@@ -1,0 +1,46 @@
+//! Microbenchmarks of the static-analysis machinery: XPath containment,
+//! policy optimization, rule expansion and Trigger planning — the
+//! `O(n·h)` costs the paper pays per update before touching any store.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use xac_policy::policy::hospital_policy;
+use xac_policy::DependencyGraph;
+use xac_xmlgen::hospital_schema;
+
+fn bench_static_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_analysis");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+
+    let narrow = xac_xpath::parse("//patient[treatment]/name").unwrap();
+    let broad = xac_xpath::parse("//patient/name").unwrap();
+    group.bench_function("containment", |b| {
+        b.iter(|| xac_xpath::contained_in(std::hint::black_box(&narrow), std::hint::black_box(&broad)))
+    });
+
+    let policy = hospital_policy();
+    group.bench_function("redundancy_elimination", |b| {
+        b.iter(|| xac_policy::redundancy_elimination(std::hint::black_box(&policy)))
+    });
+
+    let schema = hospital_schema();
+    let r5 = xac_xpath::parse("//patient[.//experimental]").unwrap();
+    group.bench_function("rule_expansion", |b| {
+        b.iter(|| xac_xpath::expand(std::hint::black_box(&r5), Some(&schema)))
+    });
+
+    group.bench_function("dependency_graph", |b| {
+        b.iter(|| DependencyGraph::build(std::hint::black_box(&policy)))
+    });
+
+    let graph = DependencyGraph::build(&policy);
+    let update = xac_xpath::parse("//treatment").unwrap();
+    group.bench_function("trigger", |b| {
+        b.iter(|| xac_policy::trigger(&policy, &graph, std::hint::black_box(&update), Some(&schema)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_static_analysis);
+criterion_main!(benches);

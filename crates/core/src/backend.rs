@@ -1,0 +1,591 @@
+//! Storage backends: the relational stores (row and column layouts) and
+//! the native XML store.
+//!
+//! All backends expose the same lifecycle — load, annotate, query,
+//! update, re-annotate — but implement it the way the corresponding
+//! system in the paper does:
+//!
+//! * the **relational** backend executes the shredded SQL `INSERT` script
+//!   to load, translates XPath to SQL for every query, and annotates with
+//!   the two-phase algorithm of Fig. 6 (evaluate the annotation query to
+//!   a set of universal ids, then iterate every table, intersect, and run
+//!   one `UPDATE … WHERE id = k` per affected tuple);
+//! * the **native XML** backend parses the XML text to load, evaluates
+//!   paths directly on the tree (through the element-name index), and
+//!   annotates by upserting `sign` attributes — storing signs only for
+//!   nodes whose accessibility differs from the default, the paper's
+//!   space optimization.
+
+use crate::document::PreparedDocument;
+use crate::error::{Error, Result};
+use std::collections::BTreeSet;
+use xac_policy::{AnnotationQuery, Effect};
+use xac_reldb::{Database, StorageKind};
+use xac_shrex::{translate, Mapping, ShreddedDocument};
+use xac_xml::Document;
+use xac_xmlstore::{NodeSetExpr, StoredDocument};
+use xac_xpath::Path;
+
+/// The sign character for an effect.
+fn sign_char(effect: Effect) -> char {
+    effect.sign()
+}
+
+/// A storage backend able to hold one annotated document.
+pub trait Backend {
+    /// Human-readable backend name (used in benchmark output).
+    fn name(&self) -> &'static str;
+
+    /// Load a prepared document, replacing any previous content.
+    fn load(&mut self, prepared: &PreparedDocument) -> Result<()>;
+
+    /// True once a document is loaded.
+    fn is_loaded(&self) -> bool;
+
+    /// Apply an annotation query; returns the number of sign writes.
+    fn annotate(&mut self, query: &AnnotationQuery) -> Result<usize>;
+
+    /// Reset every node to the default sign; returns nodes touched.
+    fn reset_annotations(&mut self) -> Result<usize>;
+
+    /// Evaluate a user query: how many nodes it selects and whether every
+    /// one of them is accessible.
+    fn query_nodes_allowed(&mut self, path: &Path) -> Result<(usize, bool)>;
+
+    /// Number of currently-accessible nodes.
+    fn accessible_count(&mut self) -> Result<usize>;
+
+    /// Delete the subtrees designated by an update path; returns the
+    /// number of elements removed.
+    fn delete(&mut self, path: &Path) -> Result<usize>;
+
+    /// Insert one new element named `name` (optionally carrying `text`)
+    /// under every node designated by `parent_path`; returns how many
+    /// elements were inserted. New nodes start at the default sign — the
+    /// re-annotator decides their real accessibility.
+    fn insert(&mut self, parent_path: &Path, name: &str, text: Option<&str>) -> Result<usize>;
+
+    /// Partial re-annotation: reset the given scopes to the default sign,
+    /// then apply the (triggered-rules) annotation query. Returns total
+    /// sign writes.
+    fn reannotate(&mut self, scope: &[Path], query: &AnnotationQuery) -> Result<usize>;
+}
+
+// ---------------------------------------------------------------------
+// Relational backend
+// ---------------------------------------------------------------------
+
+struct RelationalState {
+    mapping: Mapping,
+    doc: Document,
+    shredded: ShreddedDocument,
+    default_sign: char,
+}
+
+/// XML access control over a relational database (row layout = the
+/// PostgreSQL stand-in, column layout = the MonetDB/SQL stand-in).
+pub struct RelationalBackend {
+    kind: StorageKind,
+    db: Database,
+    state: Option<RelationalState>,
+}
+
+impl RelationalBackend {
+    /// A backend over the given layout.
+    pub fn new(kind: StorageKind) -> RelationalBackend {
+        RelationalBackend { kind, db: Database::new(kind), state: None }
+    }
+
+    /// Row-store backend (PostgreSQL stand-in).
+    pub fn row() -> RelationalBackend {
+        RelationalBackend::new(StorageKind::Row)
+    }
+
+    /// Column-store backend (MonetDB/SQL stand-in).
+    pub fn column() -> RelationalBackend {
+        RelationalBackend::new(StorageKind::Column)
+    }
+
+    /// The underlying storage kind.
+    pub fn kind(&self) -> StorageKind {
+        self.kind
+    }
+
+    fn state(&self) -> Result<&RelationalState> {
+        self.state
+            .as_ref()
+            .ok_or_else(|| Error::System("relational backend has no document loaded".into()))
+    }
+
+    /// Render an annotation query as one SQL statement — the paper's
+    /// `(Q1 UNION Q2 UNION Q6) EXCEPT (Q3 UNION Q5)`.
+    pub fn render_annotation_sql(&self, query: &AnnotationQuery) -> Result<String> {
+        let state = self.state()?;
+        let schema = state.mapping.schema();
+        let side = |paths: &[Path]| -> Result<String> {
+            let mut parts = Vec::with_capacity(paths.len());
+            for p in paths {
+                parts.push(format!("({})", translate(p, schema)?));
+            }
+            Ok(parts.join(" UNION "))
+        };
+        if query.include.is_empty() {
+            return Ok(format!("SELECT id FROM {} WHERE 1 = 0", schema.root()));
+        }
+        let include = side(&query.include)?;
+        if query.except.is_empty() {
+            Ok(include)
+        } else {
+            Ok(format!("({include}) EXCEPT ({})", side(&query.except)?))
+        }
+    }
+
+    /// Universal ids selected by a path, via XPath→SQL translation.
+    fn path_ids(&mut self, path: &Path) -> Result<BTreeSet<i64>> {
+        let sql = translate(path, self.state()?.mapping.schema())?;
+        Ok(self.db.query(&sql)?.column_as_int_set(0))
+    }
+
+    /// Per-table two-phase sign write (Fig. 6's inner loop): intersect the
+    /// table's ids with the target set and update each matching tuple.
+    fn write_signs(&mut self, targets: &BTreeSet<i64>, sign: char) -> Result<usize> {
+        let tables: Vec<String> =
+            self.state()?.mapping.tables().iter().map(|t| t.name.clone()).collect();
+        let mut updated = 0usize;
+        for table in tables {
+            let ids = self.db.query(&format!("SELECT id FROM {table}"))?;
+            let upids: Vec<i64> = ids
+                .column_as_ints(0)
+                .into_iter()
+                .filter(|id| targets.contains(id))
+                .collect();
+            for id in upids {
+                self.db
+                    .execute(&format!("UPDATE {table} SET s = '{sign}' WHERE id = {id}"))?;
+                updated += 1;
+            }
+        }
+        Ok(updated)
+    }
+
+    /// The set of accessible universal ids (sign `'+'`).
+    pub fn accessible_ids(&mut self) -> Result<BTreeSet<i64>> {
+        let tables: Vec<String> =
+            self.state()?.mapping.tables().iter().map(|t| t.name.clone()).collect();
+        let mut out = BTreeSet::new();
+        for table in tables {
+            let rs = self.db.query(&format!("SELECT id FROM {table} WHERE s = '+'"))?;
+            out.extend(rs.column_as_ints(0));
+        }
+        Ok(out)
+    }
+
+    /// The node↔universal-id mapping of the loaded document.
+    pub fn shredded(&self) -> Result<&ShreddedDocument> {
+        Ok(&self.state()?.shredded)
+    }
+}
+
+impl Backend for RelationalBackend {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            StorageKind::Row => "relational/row",
+            StorageKind::Column => "relational/column",
+        }
+    }
+
+    fn load(&mut self, prepared: &PreparedDocument) -> Result<()> {
+        let mut db = Database::new(self.kind);
+        db.execute_script(&prepared.ddl)?;
+        db.execute_script(&prepared.sql_text)?;
+        self.db = db;
+        self.state = Some(RelationalState {
+            mapping: prepared.mapping.clone(),
+            doc: prepared.doc.clone(),
+            shredded: prepared.shredded.clone(),
+            default_sign: prepared.default_sign,
+        });
+        Ok(())
+    }
+
+    fn is_loaded(&self) -> bool {
+        self.state.is_some()
+    }
+
+    fn annotate(&mut self, query: &AnnotationQuery) -> Result<usize> {
+        let sql = self.render_annotation_sql(query)?;
+        let targets = self.db.query(&sql)?.column_as_int_set(0);
+        self.write_signs(&targets, sign_char(query.mark))
+    }
+
+    fn reset_annotations(&mut self) -> Result<usize> {
+        let state = self.state()?;
+        let default = state.default_sign;
+        let tables: Vec<String> =
+            state.mapping.tables().iter().map(|t| t.name.clone()).collect();
+        let mut touched = 0usize;
+        for table in tables {
+            if let Some(n) = self
+                .db
+                .execute(&format!("UPDATE {table} SET s = '{default}'"))?
+                .count()
+            {
+                touched += n;
+            }
+        }
+        Ok(touched)
+    }
+
+    fn query_nodes_allowed(&mut self, path: &Path) -> Result<(usize, bool)> {
+        let requested = self.path_ids(path)?;
+        if requested.is_empty() {
+            return Ok((0, true));
+        }
+        let accessible = self.accessible_ids()?;
+        let allowed = requested.iter().all(|id| accessible.contains(id));
+        Ok((requested.len(), allowed))
+    }
+
+    fn accessible_count(&mut self) -> Result<usize> {
+        // One `SELECT COUNT(*)` per table — ids never leave the engine.
+        let tables: Vec<String> =
+            self.state()?.mapping.tables().iter().map(|t| t.name.clone()).collect();
+        let mut total = 0usize;
+        for table in tables {
+            let rs = self
+                .db
+                .query(&format!("SELECT COUNT(*) FROM {table} WHERE s = '+'"))?;
+            total += rs.column_as_ints(0).first().copied().unwrap_or(0) as usize;
+        }
+        Ok(total)
+    }
+
+    fn delete(&mut self, path: &Path) -> Result<usize> {
+        // Structure lives in the mapping layer's copy of the tree; rows are
+        // removed tuple by tuple through SQL point deletes on the id index.
+        let targets = {
+            let state = self.state()?;
+            xac_xpath::eval(&state.doc, path)
+        };
+        let mut removed = 0usize;
+        for target in targets {
+            let rows: Vec<(String, i64)> = {
+                let state = self.state()?;
+                if !state.doc.is_alive(target) {
+                    continue;
+                }
+                state
+                    .doc
+                    .subtree(target)
+                    .filter_map(|n| {
+                        let name = state.doc.name(n)?;
+                        Some((name.to_string(), state.shredded.id_of(n)?))
+                    })
+                    .collect()
+            };
+            for (table, id) in rows {
+                self.db.execute(&format!("DELETE FROM {table} WHERE id = {id}"))?;
+                removed += 1;
+            }
+            let state =
+                self.state.as_mut().expect("state checked above");
+            state.doc.remove_subtree(target).map_err(Error::from)?;
+        }
+        Ok(removed)
+    }
+
+    fn insert(&mut self, parent_path: &Path, name: &str, text: Option<&str>) -> Result<usize> {
+        let parents = {
+            let state = self.state()?;
+            if !state.mapping.schema().contains(name) {
+                return Err(Error::Shrex(format!(
+                    "element `{name}` is not part of the mapped schema"
+                )));
+            }
+            xac_xpath::eval(&state.doc, parent_path)
+        };
+        let has_value = self
+            .state()?
+            .mapping
+            .table(name)
+            .map(|t| t.has_value)
+            .unwrap_or(false);
+        let default = self.state()?.default_sign;
+        let mut inserted = 0usize;
+        for parent in parents {
+            let (id, pid) = {
+                let state = self.state.as_mut().expect("state checked above");
+                let node = state.doc.add_element(parent, name);
+                if let Some(t) = text {
+                    state.doc.add_text(node, t);
+                }
+                let id = state.shredded.register_insert(node);
+                let pid = state.shredded.id_of(parent).ok_or_else(|| {
+                    Error::System("insert parent has no universal id".into())
+                })?;
+                (id, pid)
+            };
+            let sql = if has_value {
+                format!(
+                    "INSERT INTO {name} (id, pid, v, s) VALUES ({id}, {pid}, '{}', '{default}')",
+                    text.unwrap_or("").replace('\'', "''")
+                )
+            } else {
+                format!("INSERT INTO {name} (id, pid, s) VALUES ({id}, {pid}, '{default}')")
+            };
+            self.db.execute(&sql)?;
+            inserted += 1;
+        }
+        Ok(inserted)
+    }
+
+    fn reannotate(&mut self, scope: &[Path], query: &AnnotationQuery) -> Result<usize> {
+        // Phase 1: reset the triggered scopes to the default sign.
+        let default = self.state()?.default_sign;
+        let mut scope_ids: BTreeSet<i64> = BTreeSet::new();
+        for p in scope {
+            scope_ids.extend(self.path_ids(p)?);
+        }
+        let reset = self.write_signs(&scope_ids, default)?;
+        // Phase 2: apply the triggered-rules annotation query.
+        let annotated = self.annotate(query)?;
+        Ok(reset + annotated)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Native XML backend
+// ---------------------------------------------------------------------
+
+/// XML access control over the native XML store (the MonetDB/XQuery
+/// stand-in).
+pub struct NativeXmlBackend {
+    sdoc: Option<StoredDocument>,
+    default_sign: char,
+}
+
+impl NativeXmlBackend {
+    /// An empty native backend.
+    pub fn new() -> NativeXmlBackend {
+        NativeXmlBackend { sdoc: None, default_sign: '-' }
+    }
+
+    fn sdoc(&self) -> Result<&StoredDocument> {
+        self.sdoc
+            .as_ref()
+            .ok_or_else(|| Error::System("native backend has no document loaded".into()))
+    }
+
+    fn sdoc_mut(&mut self) -> Result<&mut StoredDocument> {
+        self.sdoc
+            .as_mut()
+            .ok_or_else(|| Error::System("native backend has no document loaded".into()))
+    }
+
+    /// The stored document (for inspection in tests and examples).
+    pub fn stored(&self) -> Option<&StoredDocument> {
+        self.sdoc.as_ref()
+    }
+
+    fn is_accessible(&self, sdoc: &StoredDocument, node: xac_xml::NodeId) -> bool {
+        match sdoc.sign_of(node) {
+            Some('+') => true,
+            Some(_) => false,
+            None => self.default_sign == '+',
+        }
+    }
+
+    fn expr_of(query: &AnnotationQuery) -> Option<NodeSetExpr> {
+        let include = NodeSetExpr::union_of(query.include.clone())?;
+        match NodeSetExpr::union_of(query.except.clone()) {
+            Some(except) => Some(include.except(except)),
+            None => Some(include),
+        }
+    }
+}
+
+impl Default for NativeXmlBackend {
+    fn default() -> Self {
+        NativeXmlBackend::new()
+    }
+}
+
+impl Backend for NativeXmlBackend {
+    fn name(&self) -> &'static str {
+        "native/xml"
+    }
+
+    fn load(&mut self, prepared: &PreparedDocument) -> Result<()> {
+        // A native store loads from the serialized document — parsing is
+        // the measured work, exactly like shipping the XML file to the
+        // XQuery database.
+        let doc = Document::parse_str(&prepared.xml_text)?;
+        self.sdoc = Some(StoredDocument::new(doc));
+        self.default_sign = prepared.default_sign;
+        Ok(())
+    }
+
+    fn is_loaded(&self) -> bool {
+        self.sdoc.is_some()
+    }
+
+    fn annotate(&mut self, query: &AnnotationQuery) -> Result<usize> {
+        let mark = sign_char(query.mark);
+        let Some(expr) = Self::expr_of(query) else {
+            return Ok(0);
+        };
+        Ok(self.sdoc_mut()?.annotate_expr(&expr, mark))
+    }
+
+    fn reset_annotations(&mut self) -> Result<usize> {
+        Ok(self.sdoc_mut()?.clear_all_signs())
+    }
+
+    fn query_nodes_allowed(&mut self, path: &Path) -> Result<(usize, bool)> {
+        let sdoc = self.sdoc()?;
+        let nodes = sdoc.eval(path);
+        let allowed = nodes.iter().all(|&n| self.is_accessible(sdoc, n));
+        Ok((nodes.len(), allowed))
+    }
+
+    fn accessible_count(&mut self) -> Result<usize> {
+        let default = self.default_sign;
+        let sdoc = self.sdoc()?;
+        let (plus, minus) = sdoc.sign_counts();
+        if default == '+' {
+            Ok(sdoc.doc().element_count() - minus)
+        } else {
+            Ok(plus)
+        }
+    }
+
+    fn delete(&mut self, path: &Path) -> Result<usize> {
+        let path = path.clone();
+        let sdoc = self.sdoc_mut()?;
+        let before = sdoc.doc().element_count();
+        sdoc.delete_matching(&path)?;
+        Ok(before - sdoc.doc().element_count())
+    }
+
+    fn insert(&mut self, parent_path: &Path, name: &str, text: Option<&str>) -> Result<usize> {
+        let parent_path = parent_path.clone();
+        let sdoc = self.sdoc_mut()?;
+        let parents = sdoc.eval(&parent_path);
+        for &parent in &parents {
+            let node = sdoc.insert_element(parent, name);
+            if let Some(t) = text {
+                sdoc.insert_text(node, t);
+            }
+        }
+        Ok(parents.len())
+    }
+
+    fn reannotate(&mut self, scope: &[Path], query: &AnnotationQuery) -> Result<usize> {
+        let sdoc = self.sdoc_mut()?;
+        let mut scope_nodes: BTreeSet<xac_xml::NodeId> = BTreeSet::new();
+        for p in scope {
+            scope_nodes.extend(sdoc.eval(p));
+        }
+        let reset = sdoc.clear_signs(scope_nodes);
+        let annotated = self.annotate(query)?;
+        Ok(reset + annotated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xac_policy::policy::hospital_policy;
+
+    fn prepared() -> PreparedDocument {
+        let schema = crate::hospital_schema_for_docs();
+        let doc = Document::parse_str(
+            "<hospital><dept><patients>\
+             <patient><psn>033</psn><name>john doe</name>\
+             <treatment><regular><med>enoxaparin</med><bill>700</bill></regular></treatment>\
+             </patient>\
+             <patient><psn>042</psn><name>jane doe</name>\
+             <treatment><experimental><test>hypnosis</test><bill>1600</bill></experimental></treatment>\
+             </patient>\
+             <patient><psn>099</psn><name>joy smith</name></patient>\
+             </patients><staffinfo/></dept></hospital>",
+        )
+        .unwrap();
+        PreparedDocument::prepare(&schema, doc, '-').unwrap()
+    }
+
+    fn backends() -> Vec<Box<dyn Backend>> {
+        vec![
+            Box::new(RelationalBackend::row()),
+            Box::new(RelationalBackend::column()),
+            Box::new(NativeXmlBackend::new()),
+        ]
+    }
+
+    #[test]
+    fn all_backends_agree_on_hospital_annotation() {
+        let p = prepared();
+        let query = AnnotationQuery::from_policy(&hospital_policy());
+        // Reference: nodes accessible per Table 2 semantics.
+        let expected = xac_policy::accessible_nodes(&p.doc, &hospital_policy()).len();
+        for mut b in backends() {
+            assert!(!b.is_loaded());
+            b.load(&p).unwrap();
+            assert!(b.is_loaded());
+            let writes = b.annotate(&query).unwrap();
+            assert!(writes > 0, "{}", b.name());
+            assert_eq!(b.accessible_count().unwrap(), expected, "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn unloaded_backends_error() {
+        for mut b in backends() {
+            assert!(b.annotate(&AnnotationQuery::from_policy(&hospital_policy())).is_err());
+            assert!(b.accessible_count().is_err());
+            assert!(b.reset_annotations().is_err());
+        }
+    }
+
+    #[test]
+    fn reset_restores_default() {
+        let p = prepared();
+        let query = AnnotationQuery::from_policy(&hospital_policy());
+        for mut b in backends() {
+            b.load(&p).unwrap();
+            b.annotate(&query).unwrap();
+            assert!(b.accessible_count().unwrap() > 0);
+            b.reset_annotations().unwrap();
+            assert_eq!(b.accessible_count().unwrap(), 0, "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn delete_then_accessible_unchanged_until_reannotation() {
+        let p = prepared();
+        let query = AnnotationQuery::from_policy(&hospital_policy());
+        let u = xac_xpath::parse("//patient/treatment").unwrap();
+        for mut b in backends() {
+            b.load(&p).unwrap();
+            b.annotate(&query).unwrap();
+            let removed = b.delete(&u).unwrap();
+            assert_eq!(removed, 8, "{}: 2 treatments × 4 elements", b.name());
+            // The stale annotations still say only one patient accessible.
+            let (n, allowed) = b.query_nodes_allowed(&xac_xpath::parse("//patient").unwrap()).unwrap();
+            assert_eq!(n, 3);
+            assert!(!allowed, "{}: stale annotations deny", b.name());
+        }
+    }
+
+    #[test]
+    fn relational_annotation_sql_matches_paper_shape() {
+        let p = prepared();
+        let mut b = RelationalBackend::row();
+        b.load(&p).unwrap();
+        let opt = xac_policy::redundancy_elimination(&hospital_policy());
+        let q = AnnotationQuery::from_policy(&opt);
+        let sql = b.render_annotation_sql(&q).unwrap();
+        assert!(sql.contains(") EXCEPT ("), "{sql}");
+        assert!(sql.matches("UNION").count() >= 3, "{sql}");
+    }
+}

@@ -1,0 +1,316 @@
+//! `xmlac` — command-line front end to the access-control system.
+//!
+//! ```text
+//! xmlac check    --schema h.dtd --doc d.xml
+//! xmlac optimize --policy p.pol [--schema h.dtd]
+//! xmlac shred    --schema h.dtd --doc d.xml [--out d.sql]
+//! xmlac annotate --schema h.dtd --policy p.pol --doc d.xml [--backend native|row|column]
+//! xmlac query    --schema h.dtd --policy p.pol --doc d.xml --query "//patient" [...]
+//! xmlac update   --schema h.dtd --policy p.pol --doc d.xml --delete "//treatment" [--query "//patient"]
+//! ```
+//!
+//! Schemas are DTD files (the Figure 1 subset), policies use the
+//! `xac-policy` text format, documents are plain XML.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use xac_core::{Backend, NativeXmlBackend, RelationalBackend, System};
+use xac_policy::Policy;
+use xac_xml::{parse_dtd, Document, Schema};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("xmlac: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+type CliResult<T> = Result<T, String>;
+
+struct Args {
+    command: String,
+    options: BTreeMap<String, String>,
+    /// `--query` may repeat.
+    queries: Vec<String>,
+}
+
+fn parse_args() -> CliResult<Args> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(usage)?;
+    let mut options = BTreeMap::new();
+    let mut queries = Vec::new();
+    while let Some(flag) = argv.next() {
+        let key = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, found `{flag}`"))?
+            .to_string();
+        let value = argv
+            .next()
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        if key == "query" {
+            queries.push(value);
+        } else {
+            options.insert(key, value);
+        }
+    }
+    Ok(Args { command, options, queries })
+}
+
+fn usage() -> String {
+    "usage: xmlac <check|optimize|shred|annotate|query|update|view|audit> \
+     [--schema F] [--policy F] [--doc F] [--backend native|row|column] \
+     [--query XPATH]... [--delete XPATH] [--insert PARENT:NAME[:TEXT]] \
+     [--mode prune|promote] [--out F]"
+        .to_string()
+}
+
+impl Args {
+    fn required(&self, key: &str) -> CliResult<&str> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing --{key}\n{}", usage()))
+    }
+
+    fn schema(&self) -> CliResult<Schema> {
+        let path = self.required("schema")?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read schema `{path}`: {e}"))?;
+        parse_dtd(&text).map_err(|e| format!("schema `{path}`: {e}"))
+    }
+
+    fn policy(&self) -> CliResult<Policy> {
+        let path = self.required("policy")?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read policy `{path}`: {e}"))?;
+        Policy::parse(&text).map_err(|e| format!("policy `{path}`: {e}"))
+    }
+
+    fn doc(&self) -> CliResult<Document> {
+        let path = self.required("doc")?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read document `{path}`: {e}"))?;
+        Document::parse_str(&text).map_err(|e| format!("document `{path}`: {e}"))
+    }
+
+    fn backend(&self) -> CliResult<Box<dyn Backend>> {
+        match self.options.get("backend").map(String::as_str).unwrap_or("native") {
+            "native" => Ok(Box::new(NativeXmlBackend::new())),
+            "row" => Ok(Box::new(RelationalBackend::row())),
+            "column" => Ok(Box::new(RelationalBackend::column())),
+            other => Err(format!("unknown backend `{other}` (native|row|column)")),
+        }
+    }
+}
+
+fn run() -> CliResult<()> {
+    let args = parse_args()?;
+    match args.command.as_str() {
+        "check" => check(&args),
+        "optimize" => optimize(&args),
+        "shred" => shred(&args),
+        "annotate" => annotate(&args),
+        "query" => query(&args),
+        "update" => update(&args),
+        "view" => view(&args),
+        "audit" => audit(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn check(args: &Args) -> CliResult<()> {
+    let schema = args.schema()?;
+    let doc = args.doc()?;
+    schema.validate(&doc).map_err(|e| e.to_string())?;
+    println!(
+        "ok: {} elements, {} nodes, height {}, conforms to schema rooted at <{}>",
+        doc.element_count(),
+        doc.len(),
+        doc.height(),
+        schema.root()
+    );
+    Ok(())
+}
+
+fn optimize(args: &Args) -> CliResult<()> {
+    let policy = args.policy()?;
+    let report = match args.schema() {
+        Ok(schema) => xac_core::optimizer::optimize_with_schema(&policy, &schema),
+        Err(_) => xac_core::optimizer::optimize(&policy),
+    };
+    if report.removed.is_empty() {
+        eprintln!("# no redundant rules");
+    } else {
+        eprintln!("# removed: {}", report.removed.join(", "));
+    }
+    print!("{}", report.optimized.to_text());
+    Ok(())
+}
+
+fn shred(args: &Args) -> CliResult<()> {
+    let schema = args.schema()?;
+    let doc = args.doc()?;
+    let mapping = xac_shrex::Mapping::derive(&schema).map_err(|e| e.to_string())?;
+    let sql = xac_shrex::shred_to_sql(&doc, &mapping, '-').map_err(|e| e.to_string())?;
+    let output = format!("{}{}", mapping.ddl(), sql);
+    match args.options.get("out") {
+        Some(path) => {
+            std::fs::write(path, &output).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("wrote {} bytes to {path}", output.len());
+        }
+        None => print!("{output}"),
+    }
+    Ok(())
+}
+
+fn build_system(args: &Args) -> CliResult<(System, Box<dyn Backend>)> {
+    let system = System::new(args.schema()?, args.policy()?, args.doc()?)
+        .map_err(|e| e.to_string())?;
+    let mut backend = args.backend()?;
+    system.load(backend.as_mut()).map_err(|e| e.to_string())?;
+    system.annotate(backend.as_mut()).map_err(|e| e.to_string())?;
+    Ok((system, backend))
+}
+
+fn annotate(args: &Args) -> CliResult<()> {
+    let (system, mut backend) = build_system(args)?;
+    let accessible = backend.accessible_count().map_err(|e| e.to_string())?;
+    let total = system.prepared().doc.element_count();
+    println!(
+        "annotated on {}: {accessible}/{total} nodes accessible ({:.1}%), policy `{}` rules after optimization: {}",
+        backend.name(),
+        100.0 * accessible as f64 / total as f64,
+        system.original_policy().len(),
+        system.policy().len(),
+    );
+    Ok(())
+}
+
+fn query(args: &Args) -> CliResult<()> {
+    if args.queries.is_empty() {
+        return Err(format!("query needs at least one --query\n{}", usage()));
+    }
+    let (system, mut backend) = build_system(args)?;
+    let mut denied = 0;
+    for q in &args.queries {
+        let d = system.request(backend.as_mut(), q).map_err(|e| e.to_string())?;
+        println!(
+            "{:<7} {} ({} nodes)",
+            if d.granted() { "GRANTED" } else { "DENIED" },
+            q,
+            d.node_count()
+        );
+        if !d.granted() {
+            denied += 1;
+        }
+    }
+    if denied > 0 {
+        eprintln!("# {denied}/{} requests denied", args.queries.len());
+    }
+    Ok(())
+}
+
+fn update(args: &Args) -> CliResult<()> {
+    let (system, mut backend) = build_system(args)?;
+    if let Some(expr) = args.options.get("delete") {
+        let path = xac_xpath::parse(expr).map_err(|e| e.to_string())?;
+        let outcome = system
+            .apply_update(backend.as_mut(), &path)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "deleted {} elements; triggered rules {:?}; {} sign writes",
+            outcome.removed_elements,
+            outcome.plan.triggered_ids(),
+            outcome.sign_writes
+        );
+    }
+    if let Some(spec) = args.options.get("insert") {
+        let mut parts = spec.splitn(3, ':');
+        let parent = parts.next().filter(|s| !s.is_empty()).ok_or(
+            "--insert takes PARENT_XPATH:NAME[:TEXT]".to_string(),
+        )?;
+        let name = parts
+            .next()
+            .filter(|s| !s.is_empty())
+            .ok_or("--insert takes PARENT_XPATH:NAME[:TEXT]".to_string())?;
+        let text = parts.next();
+        let path = xac_xpath::parse(parent).map_err(|e| e.to_string())?;
+        let outcome = system
+            .apply_insert(backend.as_mut(), &path, name, text)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "inserted {} <{name}> elements; triggered rules {:?}; {} sign writes",
+            outcome.inserted_elements,
+            outcome.plan.triggered_ids(),
+            outcome.sign_writes
+        );
+    }
+    if !args.options.contains_key("delete") && !args.options.contains_key("insert") {
+        return Err(format!("update needs --delete and/or --insert\n{}", usage()));
+    }
+    for q in &args.queries {
+        let d = system.request(backend.as_mut(), q).map_err(|e| e.to_string())?;
+        println!(
+            "{:<7} {} ({} nodes)",
+            if d.granted() { "GRANTED" } else { "DENIED" },
+            q,
+            d.node_count()
+        );
+    }
+    Ok(())
+}
+
+fn view(args: &Args) -> CliResult<()> {
+    let system = System::new(args.schema()?, args.policy()?, args.doc()?)
+        .map_err(|e| e.to_string())?;
+    let mode = match args.options.get("mode").map(String::as_str).unwrap_or("prune") {
+        "prune" => xac_core::ViewMode::Prune,
+        "promote" => xac_core::ViewMode::Promote,
+        other => return Err(format!("unknown view mode `{other}` (prune|promote)")),
+    };
+    let view = system.security_view(mode);
+    let xml = view.to_pretty_xml();
+    match args.options.get("out") {
+        Some(path) => {
+            std::fs::write(path, &xml).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!(
+                "wrote security view ({} of {} elements) to {path}",
+                view.element_count(),
+                system.prepared().doc.element_count()
+            );
+        }
+        None => print!("{xml}"),
+    }
+    Ok(())
+}
+
+fn audit(args: &Args) -> CliResult<()> {
+    let schema = args.schema()?;
+    let policy = args.policy()?;
+    let doc = args.doc()?;
+    schema.validate(&doc).map_err(|e| e.to_string())?;
+    let report = xac_policy::analyze(&doc, &policy);
+    println!("{:<6} {:<6} {:>8} {:>10}", "rule", "effect", "scope", "exclusive");
+    for r in &report.rules {
+        println!("{:<6} {:<6} {:>8} {:>10}", r.id, r.effect.to_string(), r.scope, r.exclusive);
+    }
+    println!(
+        "nodes: {} total, {} accessible ({:.1}%), {} conflicted, {} defaulted",
+        report.total_nodes,
+        report.accessible,
+        100.0 * report.coverage(),
+        report.conflicted,
+        report.defaulted
+    );
+    if !report.dead_rules().is_empty() {
+        println!("dead on this document: {}", report.dead_rules().join(", "));
+    }
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Unified error type for the system layer.
+
+use std::fmt;
+
+/// Errors surfaced by the system and its backends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// XML substrate failure.
+    Xml(String),
+    /// XPath parsing/analysis failure.
+    XPath(String),
+    /// Policy failure.
+    Policy(String),
+    /// Relational substrate failure.
+    Relational(String),
+    /// Shredding/translation failure.
+    Shrex(String),
+    /// Native store failure.
+    Store(String),
+    /// System-level misuse (backend not loaded, …).
+    System(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (kind, msg) = match self {
+            Error::Xml(m) => ("xml", m),
+            Error::XPath(m) => ("xpath", m),
+            Error::Policy(m) => ("policy", m),
+            Error::Relational(m) => ("relational", m),
+            Error::Shrex(m) => ("shrex", m),
+            Error::Store(m) => ("store", m),
+            Error::System(m) => ("system", m),
+        };
+        write!(f, "{kind} error: {msg}")
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<xac_xml::Error> for Error {
+    fn from(e: xac_xml::Error) -> Self {
+        Error::Xml(e.to_string())
+    }
+}
+
+impl From<xac_xpath::Error> for Error {
+    fn from(e: xac_xpath::Error) -> Self {
+        Error::XPath(e.to_string())
+    }
+}
+
+impl From<xac_policy::Error> for Error {
+    fn from(e: xac_policy::Error) -> Self {
+        Error::Policy(e.to_string())
+    }
+}
+
+impl From<xac_reldb::Error> for Error {
+    fn from(e: xac_reldb::Error) -> Self {
+        Error::Relational(e.to_string())
+    }
+}
+
+impl From<xac_shrex::Error> for Error {
+    fn from(e: xac_shrex::Error) -> Self {
+        Error::Shrex(e.to_string())
+    }
+}
+
+impl From<xac_xmlstore::Error> for Error {
+    fn from(e: xac_xmlstore::Error) -> Self {
+        Error::Store(e.to_string())
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,61 @@
+//! The optimizer module of Figure 3: policy redundancy elimination.
+//!
+//! A thin system-facing wrapper over
+//! [`xac_policy::redundancy_elimination`] that also reports what was
+//! removed — the paper's Table 1 → Table 3 step.
+
+use xac_policy::{redundancy_elimination, redundancy_elimination_with_schema, Policy};
+use xac_xml::Schema;
+
+/// The outcome of optimizing a policy.
+#[derive(Debug, Clone)]
+pub struct OptimizationReport {
+    /// The redundancy-free policy.
+    pub optimized: Policy,
+    /// Ids of the rules that were removed, in original order.
+    pub removed: Vec<String>,
+}
+
+/// Run redundancy elimination and report the removed rules.
+pub fn optimize(policy: &Policy) -> OptimizationReport {
+    report(policy, redundancy_elimination(policy))
+}
+
+/// Schema-aware optimization: containment is decided on schema-valid
+/// documents, catching redundancies the blind test cannot prove.
+pub fn optimize_with_schema(policy: &Policy, schema: &Schema) -> OptimizationReport {
+    report(policy, redundancy_elimination_with_schema(policy, schema))
+}
+
+fn report(policy: &Policy, optimized: Policy) -> OptimizationReport {
+    let kept: std::collections::BTreeSet<&str> =
+        optimized.rules.iter().map(|r| r.id.as_str()).collect();
+    let removed = policy
+        .rules
+        .iter()
+        .filter(|r| !kept.contains(r.id.as_str()))
+        .map(|r| r.id.clone())
+        .collect();
+    OptimizationReport { optimized, removed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xac_policy::policy::hospital_policy;
+
+    #[test]
+    fn reports_table3_removals() {
+        let report = optimize(&hospital_policy());
+        assert_eq!(report.removed, vec!["R4", "R7", "R8"]);
+        assert_eq!(report.optimized.len(), 5);
+    }
+
+    #[test]
+    fn no_removals_reported_when_none_redundant() {
+        let p = xac_policy::Policy::parse("default deny\nconflict deny\nA allow //a\n").unwrap();
+        let report = optimize(&p);
+        assert!(report.removed.is_empty());
+        assert_eq!(report.optimized, p);
+    }
+}

@@ -1,0 +1,352 @@
+//! The assembled system (Figure 3): schema + policy + prepared document,
+//! driving any number of storage backends.
+
+use crate::annotator;
+use crate::backend::Backend;
+use crate::document::PreparedDocument;
+use crate::error::Result;
+use crate::optimizer;
+use crate::reannotator::{self, ReannotationPlan};
+use crate::requester::{self, Decision};
+use std::collections::BTreeSet;
+use xac_policy::{DefaultSemantics, DependencyGraph, Policy};
+use xac_xml::{Document, NodeId, Schema};
+use xac_xpath::Path;
+
+/// Outcome of applying one update to a backend.
+#[derive(Debug, Clone)]
+pub struct UpdateOutcome {
+    /// Elements removed (delete updates).
+    pub removed_elements: usize,
+    /// Elements inserted (insert updates).
+    pub inserted_elements: usize,
+    /// The static re-annotation plan that was applied.
+    pub plan: ReannotationPlan,
+    /// Sign writes performed by partial re-annotation.
+    pub sign_writes: usize,
+}
+
+/// Outcome of a *guarded* update: the write-access decision, and the
+/// update outcome when it was granted. This implements the paper's §8
+/// future-work item ("extend our framework to handle access control for
+/// update operations") with the same all-or-nothing semantics as reads:
+/// a delete may only touch accessible nodes, an insert may only extend
+/// accessible parents.
+#[derive(Debug, Clone)]
+pub enum GuardedUpdate {
+    /// The requester may not perform this update; nothing changed.
+    Denied(Decision),
+    /// The update ran; partial re-annotation restored consistency.
+    Applied(UpdateOutcome),
+}
+
+impl GuardedUpdate {
+    /// True when the update was applied.
+    pub fn applied(&self) -> bool {
+        matches!(self, GuardedUpdate::Applied(_))
+    }
+}
+
+/// One configured xmlac deployment: a schema, an (optimized) policy, and
+/// a prepared document that any backend can load.
+pub struct System {
+    schema: Schema,
+    original_policy: Policy,
+    policy: Policy,
+    graph: DependencyGraph,
+    prepared: PreparedDocument,
+}
+
+impl System {
+    /// Assemble a system. The document is validated against the schema,
+    /// the policy is optimized (Fig. 4), the dependency graph is built
+    /// (Fig. 7), and the document is prepared for loading (shredded SQL +
+    /// serialized XML).
+    ///
+    /// Containment tests are schema-blind, exactly as published; see
+    /// [`System::new_schema_aware`] for the §8 extension.
+    pub fn new(schema: Schema, policy: Policy, doc: Document) -> Result<System> {
+        Self::assemble(schema, policy, doc, false)
+    }
+
+    /// Assemble a system using *schema-aware* containment for both the
+    /// optimizer and the dependency graph — the paper's §8 future-work
+    /// item. This can eliminate more rules than Table 3 (e.g. under the
+    /// hospital schema, R5 ⊑ R3 because every `experimental` lives inside
+    /// a `treatment`) without changing the enforced semantics.
+    pub fn new_schema_aware(schema: Schema, policy: Policy, doc: Document) -> Result<System> {
+        Self::assemble(schema, policy, doc, true)
+    }
+
+    fn assemble(
+        schema: Schema,
+        policy: Policy,
+        doc: Document,
+        schema_aware: bool,
+    ) -> Result<System> {
+        schema.validate(&doc)?;
+        let report = if schema_aware {
+            optimizer::optimize_with_schema(&policy, &schema)
+        } else {
+            optimizer::optimize(&policy)
+        };
+        let optimized = report.optimized;
+        let graph = if schema_aware {
+            DependencyGraph::build_with_schema(&optimized, &schema)
+        } else {
+            DependencyGraph::build(&optimized)
+        };
+        let default_sign = match optimized.default_semantics {
+            DefaultSemantics::Allow => '+',
+            DefaultSemantics::Deny => '-',
+        };
+        let prepared = PreparedDocument::prepare(&schema, doc, default_sign)?;
+        Ok(System { schema, original_policy: policy, policy: optimized, graph, prepared })
+    }
+
+    /// The XML schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The optimized policy actually enforced.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// The policy as supplied, before redundancy elimination.
+    pub fn original_policy(&self) -> &Policy {
+        &self.original_policy
+    }
+
+    /// The rule dependency graph.
+    pub fn dependency_graph(&self) -> &DependencyGraph {
+        &self.graph
+    }
+
+    /// The prepared document (load artifacts and sizes).
+    pub fn prepared(&self) -> &PreparedDocument {
+        &self.prepared
+    }
+
+    /// Load the prepared document into a backend.
+    pub fn load(&self, backend: &mut dyn Backend) -> Result<()> {
+        backend.load(&self.prepared)
+    }
+
+    /// Fully annotate a loaded backend; returns sign writes.
+    pub fn annotate(&self, backend: &mut dyn Backend) -> Result<usize> {
+        annotator::annotate(backend, &self.policy)
+    }
+
+    /// Reset and fully re-annotate (the paper's baseline for Fig. 12).
+    pub fn full_reannotate(&self, backend: &mut dyn Backend) -> Result<usize> {
+        annotator::full_reannotate(backend, &self.policy)
+    }
+
+    /// Answer a user request (all-or-nothing).
+    pub fn request(&self, backend: &mut dyn Backend, query: &str) -> Result<Decision> {
+        requester::request_str(backend, query)
+    }
+
+    /// Answer a pre-parsed user request.
+    pub fn request_path(&self, backend: &mut dyn Backend, path: &Path) -> Result<Decision> {
+        requester::request(backend, path)
+    }
+
+    /// Compute the re-annotation plan for an update (static analysis; no
+    /// backend involved).
+    pub fn plan_update(&self, update: &Path) -> ReannotationPlan {
+        reannotator::plan(&self.policy, &self.graph, update, Some(&self.schema))
+    }
+
+    /// Apply a delete update to one backend: compute the plan, delete the
+    /// designated subtrees, and partially re-annotate. The system's own
+    /// prepared document is *not* mutated — reloading a backend restores
+    /// the original document, which is exactly what the experiment loop
+    /// needs (each update runs against a fresh copy).
+    pub fn apply_update(
+        &self,
+        backend: &mut dyn Backend,
+        update: &Path,
+    ) -> Result<UpdateOutcome> {
+        let plan = self.plan_update(update);
+        let removed_elements = backend.delete(update)?;
+        let sign_writes = reannotator::apply(backend, &plan)?;
+        Ok(UpdateOutcome { removed_elements, inserted_elements: 0, plan, sign_writes })
+    }
+
+    /// Apply an insert update: add one `name` element (optionally with
+    /// text content) under every node matched by `parent_path`, then
+    /// partially re-annotate. The update path handed to Trigger is
+    /// `parent_path/name` — the location of the inserted nodes, exactly
+    /// as §5.3 defines update expressions.
+    pub fn apply_insert(
+        &self,
+        backend: &mut dyn Backend,
+        parent_path: &Path,
+        name: &str,
+        text: Option<&str>,
+    ) -> Result<UpdateOutcome> {
+        let update_path = parent_path
+            .clone()
+            .then(xac_xpath::Step::child(name.to_string()));
+        let plan = self.plan_update(&update_path);
+        let inserted_elements = backend.insert(parent_path, name, text)?;
+        let sign_writes = reannotator::apply(backend, &plan)?;
+        Ok(UpdateOutcome { removed_elements: 0, inserted_elements, plan, sign_writes })
+    }
+
+    /// Access-controlled delete (§8 extension): the update runs only when
+    /// every node it designates is currently accessible.
+    pub fn guarded_delete(
+        &self,
+        backend: &mut dyn Backend,
+        update: &Path,
+    ) -> Result<GuardedUpdate> {
+        let decision = requester::request(backend, update)?;
+        if !decision.granted() {
+            return Ok(GuardedUpdate::Denied(decision));
+        }
+        Ok(GuardedUpdate::Applied(self.apply_update(backend, update)?))
+    }
+
+    /// Access-controlled insert (§8 extension): the insert runs only when
+    /// every designated parent is currently accessible.
+    pub fn guarded_insert(
+        &self,
+        backend: &mut dyn Backend,
+        parent_path: &Path,
+        name: &str,
+        text: Option<&str>,
+    ) -> Result<GuardedUpdate> {
+        let decision = requester::request(backend, parent_path)?;
+        if !decision.granted() {
+            return Ok(GuardedUpdate::Denied(decision));
+        }
+        Ok(GuardedUpdate::Applied(self.apply_insert(backend, parent_path, name, text)?))
+    }
+
+    /// Reference semantics: the accessible nodes of the prepared document
+    /// under the enforced policy, evaluated directly on the tree
+    /// (Table 2). Backends are cross-checked against this.
+    pub fn reference_accessible(&self) -> BTreeSet<NodeId> {
+        xac_policy::accessible_nodes(&self.prepared.doc, &self.policy)
+    }
+
+    /// Derive the security view of the prepared document: the
+    /// accessible-only sub-document a reader may see (see
+    /// [`crate::view`]).
+    pub fn security_view(&self, mode: crate::view::ViewMode) -> Document {
+        crate::view::security_view(&self.prepared.doc, &self.reference_accessible(), mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{NativeXmlBackend, RelationalBackend};
+    use xac_policy::policy::hospital_policy;
+
+    fn figure2() -> Document {
+        Document::parse_str(
+            "<hospital><dept><patients>\
+             <patient><psn>033</psn><name>john doe</name>\
+             <treatment><regular><med>enoxaparin</med><bill>700</bill></regular></treatment>\
+             </patient>\
+             <patient><psn>042</psn><name>jane doe</name>\
+             <treatment><experimental><test>hypnosis</test><bill>1600</bill></experimental></treatment>\
+             </patient>\
+             <patient><psn>099</psn><name>joy smith</name></patient>\
+             </patients><staffinfo/></dept></hospital>",
+        )
+        .unwrap()
+    }
+
+    fn system() -> System {
+        System::new(crate::hospital_schema_for_docs(), hospital_policy(), figure2()).unwrap()
+    }
+
+    #[test]
+    fn construction_optimizes_policy() {
+        let s = system();
+        assert_eq!(s.original_policy().len(), 8);
+        assert_eq!(s.policy().len(), 5, "Table 3");
+    }
+
+    #[test]
+    fn schema_aware_construction_eliminates_r5() {
+        let s = System::new_schema_aware(
+            crate::hospital_schema_for_docs(),
+            hospital_policy(),
+            figure2(),
+        )
+        .unwrap();
+        let ids: Vec<&str> = s.policy().rules.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, vec!["R1", "R2", "R3", "R6"], "R5 ⊑ R3 under the schema");
+        // The stronger optimization must not change the semantics.
+        let blind = system();
+        assert_eq!(
+            s.reference_accessible(),
+            blind.reference_accessible(),
+            "schema-aware optimization altered accessibility"
+        );
+        // Backends agree too.
+        let mut b = NativeXmlBackend::new();
+        s.load(&mut b).unwrap();
+        s.annotate(&mut b).unwrap();
+        assert_eq!(b.accessible_count().unwrap(), s.reference_accessible().len());
+    }
+
+    #[test]
+    fn rejects_invalid_documents() {
+        let bad = Document::parse_str("<hospital><bogus/></hospital>").unwrap();
+        assert!(System::new(crate::hospital_schema_for_docs(), hospital_policy(), bad).is_err());
+    }
+
+    #[test]
+    fn end_to_end_on_all_backends() {
+        let s = system();
+        let expected = s.reference_accessible().len();
+        let mut backends: Vec<Box<dyn Backend>> = vec![
+            Box::new(RelationalBackend::row()),
+            Box::new(RelationalBackend::column()),
+            Box::new(NativeXmlBackend::new()),
+        ];
+        for b in backends.iter_mut() {
+            s.load(b.as_mut()).unwrap();
+            s.annotate(b.as_mut()).unwrap();
+            assert_eq!(b.accessible_count().unwrap(), expected, "{}", b.name());
+            assert!(s.request(b.as_mut(), "//patient/name").unwrap().granted());
+            assert!(!s.request(b.as_mut(), "//patient").unwrap().granted());
+        }
+    }
+
+    #[test]
+    fn update_flow_on_all_backends() {
+        let s = system();
+        let u = xac_xpath::parse("//patient/treatment").unwrap();
+        let mut backends: Vec<Box<dyn Backend>> = vec![
+            Box::new(RelationalBackend::row()),
+            Box::new(RelationalBackend::column()),
+            Box::new(NativeXmlBackend::new()),
+        ];
+        for b in backends.iter_mut() {
+            s.load(b.as_mut()).unwrap();
+            s.annotate(b.as_mut()).unwrap();
+            let outcome = s.apply_update(b.as_mut(), &u).unwrap();
+            assert_eq!(outcome.removed_elements, 8, "{}", b.name());
+            assert!(outcome.plan.triggered_ids().contains(&"R1"));
+            // All three patients lack treatments now: //patient granted.
+            assert!(
+                s.request(b.as_mut(), "//patient").unwrap().granted(),
+                "{} after update",
+                b.name()
+            );
+            // Reload restores the original document.
+            s.load(b.as_mut()).unwrap();
+            s.annotate(b.as_mut()).unwrap();
+            assert!(!s.request(b.as_mut(), "//patient").unwrap().granted());
+        }
+    }
+}

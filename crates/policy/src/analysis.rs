@@ -1,0 +1,184 @@
+//! Policy analysis: per-rule scope statistics and conflict accounting on
+//! a concrete document — the audit view a policy administrator needs
+//! before deploying (which rules bite, which are dead, where the
+//! conflict-resolution strategy actually decides).
+
+use crate::policy::Policy;
+use crate::rule::Effect;
+use crate::semantics::accessible_nodes;
+use std::collections::BTreeSet;
+use xac_xml::{Document, NodeId};
+use xac_xpath::eval;
+
+/// Statistics for one rule, evaluated against one document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleStats {
+    /// Rule id.
+    pub id: String,
+    /// Rule effect.
+    pub effect: Effect,
+    /// Nodes in the rule's scope.
+    pub scope: usize,
+    /// Nodes in this rule's scope and in no other rule's scope — the part
+    /// of the policy only this rule decides.
+    pub exclusive: usize,
+}
+
+/// The policy analysis result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyReport {
+    /// Per-rule statistics, in policy order.
+    pub rules: Vec<RuleStats>,
+    /// Element nodes of the document.
+    pub total_nodes: usize,
+    /// Nodes in the scope of at least one positive *and* one negative
+    /// rule — where the conflict-resolution strategy decides.
+    pub conflicted: usize,
+    /// Nodes in no rule's scope — where the default semantics decides.
+    pub defaulted: usize,
+    /// Accessible nodes under the full Table 2 semantics.
+    pub accessible: usize,
+}
+
+impl PolicyReport {
+    /// Ids of rules whose scope is empty on this document (dead weight
+    /// for this instance — not necessarily redundant in general).
+    pub fn dead_rules(&self) -> Vec<&str> {
+        self.rules.iter().filter(|r| r.scope == 0).map(|r| r.id.as_str()).collect()
+    }
+
+    /// Fraction of nodes accessible (the paper's coverage metric).
+    pub fn coverage(&self) -> f64 {
+        if self.total_nodes == 0 {
+            return 0.0;
+        }
+        self.accessible as f64 / self.total_nodes as f64
+    }
+}
+
+/// Analyze a policy against a document.
+pub fn analyze(doc: &Document, policy: &Policy) -> PolicyReport {
+    let scopes: Vec<BTreeSet<NodeId>> = policy
+        .rules
+        .iter()
+        .map(|r| eval(doc, &r.resource).into_iter().collect())
+        .collect();
+
+    let mut in_positive: BTreeSet<NodeId> = BTreeSet::new();
+    let mut in_negative: BTreeSet<NodeId> = BTreeSet::new();
+    for (rule, scope) in policy.rules.iter().zip(&scopes) {
+        match rule.effect {
+            Effect::Allow => in_positive.extend(scope.iter().copied()),
+            Effect::Deny => in_negative.extend(scope.iter().copied()),
+        }
+    }
+
+    let rules = policy
+        .rules
+        .iter()
+        .zip(&scopes)
+        .enumerate()
+        .map(|(i, (rule, scope))| {
+            let exclusive = scope
+                .iter()
+                .filter(|n| {
+                    scopes
+                        .iter()
+                        .enumerate()
+                        .all(|(j, other)| j == i || !other.contains(n))
+                })
+                .count();
+            RuleStats {
+                id: rule.id.clone(),
+                effect: rule.effect,
+                scope: scope.len(),
+                exclusive,
+            }
+        })
+        .collect();
+
+    let total_nodes = doc.element_count();
+    let covered: BTreeSet<NodeId> =
+        in_positive.union(&in_negative).copied().collect();
+    PolicyReport {
+        rules,
+        total_nodes,
+        conflicted: in_positive.intersection(&in_negative).count(),
+        defaulted: total_nodes - covered.len(),
+        accessible: accessible_nodes(doc, policy).len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::hospital_policy;
+    use xac_xml::Document;
+
+    fn figure2() -> Document {
+        Document::parse_str(
+            "<hospital><dept><patients>\
+             <patient><psn>033</psn><name>john doe</name>\
+             <treatment><regular><med>enoxaparin</med><bill>700</bill></regular></treatment>\
+             </patient>\
+             <patient><psn>042</psn><name>jane doe</name>\
+             <treatment><experimental><test>hypnosis</test><bill>1600</bill></experimental></treatment>\
+             </patient>\
+             <patient><psn>099</psn><name>joy smith</name></patient>\
+             </patients><staffinfo/></dept></hospital>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hospital_report_matches_figure2() {
+        let doc = figure2();
+        let report = analyze(&doc, &hospital_policy());
+        let by_id = |id: &str| report.rules.iter().find(|r| r.id == id).unwrap();
+        assert_eq!(by_id("R1").scope, 3, "three patients");
+        assert_eq!(by_id("R2").scope, 3, "three names");
+        assert_eq!(by_id("R3").scope, 2, "two treated patients");
+        assert_eq!(by_id("R5").scope, 1, "one experimental patient");
+        assert_eq!(by_id("R6").scope, 1, "one regular treatment");
+        assert_eq!(by_id("R7").scope, 0, "no celecoxib in figure 2");
+        assert_eq!(by_id("R8").scope, 0, "regular bill is 700");
+        assert_eq!(report.dead_rules(), vec!["R7", "R8"]);
+        // Conflicts: both treated patients sit in R1 (+) and R3/R5 (−).
+        assert_eq!(report.conflicted, 2);
+        assert_eq!(report.accessible, 5);
+        assert_eq!(report.total_nodes, 21);
+        assert!((report.coverage() - 5.0 / 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exclusive_counts() {
+        let doc = figure2();
+        let report = analyze(&doc, &hospital_policy());
+        let by_id = |id: &str| report.rules.iter().find(|r| r.id == id).unwrap();
+        // The untreated patient is covered only by R1.
+        assert_eq!(by_id("R1").exclusive, 1);
+        // Every R3 patient is also an R1 patient: nothing exclusive.
+        assert_eq!(by_id("R3").exclusive, 0);
+        // Names (R2) are covered by no other rule except R4 (same scope on
+        // treated patients); the untreated patient's name is R2-only… R4
+        // covers treated names, so R2's exclusive = 1.
+        assert_eq!(by_id("R2").exclusive, 1);
+    }
+
+    #[test]
+    fn empty_policy_and_document() {
+        let doc = figure2();
+        let empty = Policy::parse("default deny\nconflict deny\n").unwrap();
+        let report = analyze(&doc, &empty);
+        assert!(report.rules.is_empty());
+        assert_eq!(report.defaulted, report.total_nodes);
+        assert_eq!(report.conflicted, 0);
+        assert_eq!(report.accessible, 0);
+        assert_eq!(report.coverage(), 0.0);
+
+        let lone = Document::parse_str("<a/>").unwrap();
+        let report = analyze(&lone, &hospital_policy());
+        assert_eq!(report.total_nodes, 1);
+        assert_eq!(report.accessible, 0);
+    }
+}

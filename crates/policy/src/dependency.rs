@@ -1,0 +1,192 @@
+//! Rule dependency graphs (paper §5.3, Fig. 7).
+//!
+//! When an update changes the scope of a rule `R`, every rule of the
+//! *opposite* effect whose scope is containment-related to `R`'s may also
+//! need re-evaluation: under deny-overrides, deleting the nodes that made
+//! a negative rule apply can re-expose nodes granted by a positive rule
+//! (the paper's `//patient[treatment]` / `//patient` example). The
+//! dependency graph has an edge between rules `r` and `n` of opposite
+//! effect whenever `r ⊑ n ∨ n ⊑ r ∨ r = n`; **Depend-Resolve** closes the
+//! relation transitively with a DFS, so triggering one rule pulls in its
+//! whole dependency component.
+
+use crate::policy::Policy;
+use std::collections::BTreeSet;
+
+/// The dependency graph over a policy's rules, by rule index.
+#[derive(Debug, Clone)]
+pub struct DependencyGraph {
+    /// Direct containment-related opposite-effect neighbours.
+    neighbours: Vec<Vec<usize>>,
+    /// Transitive closure (`r.depends` of Fig. 7), excluding the rule
+    /// itself.
+    depends: Vec<Vec<usize>>,
+}
+
+impl DependencyGraph {
+    /// Build the graph for a policy (the `Depend` algorithm).
+    pub fn build(policy: &Policy) -> DependencyGraph {
+        Self::build_inner(policy, None)
+    }
+
+    /// Build the graph with schema-aware containment: dependencies that
+    /// only hold on schema-valid documents (e.g. a rule testing
+    /// `.//experimental` against one testing `treatment`) are captured
+    /// too, making the Trigger closure more complete.
+    pub fn build_with_schema(policy: &Policy, schema: &xac_xml::Schema) -> DependencyGraph {
+        Self::build_inner(policy, Some(schema))
+    }
+
+    fn build_inner(policy: &Policy, schema: Option<&xac_xml::Schema>) -> DependencyGraph {
+        let contained = |a: &crate::rule::Rule, b: &crate::rule::Rule| match schema {
+            Some(s) => xac_xpath::contained_in_with_schema(&a.resource, &b.resource, s),
+            None => a.resource.contained_in(&b.resource),
+        };
+        let n = policy.rules.len();
+        let mut neighbours: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (a, b) = (&policy.rules[i], &policy.rules[j]);
+                if a.effect == b.effect {
+                    continue;
+                }
+                let related = contained(a, b) || contained(b, a);
+                if related {
+                    neighbours[i].push(j);
+                    neighbours[j].push(i);
+                }
+            }
+        }
+
+        // Depend-Resolve: DFS from each rule collecting reachable rules.
+        let mut depends: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for start in 0..n {
+            let mut seen: BTreeSet<usize> = BTreeSet::new();
+            let mut stack: Vec<usize> = neighbours[start].clone();
+            while let Some(r) = stack.pop() {
+                if r == start || !seen.insert(r) {
+                    continue;
+                }
+                stack.extend(neighbours[r].iter().copied());
+            }
+            depends.push(seen.into_iter().collect());
+        }
+        DependencyGraph { neighbours, depends }
+    }
+
+    /// Direct neighbours of rule `i`.
+    pub fn neighbours(&self, i: usize) -> &[usize] {
+        &self.neighbours[i]
+    }
+
+    /// All rules (transitively) dependent on rule `i`, excluding `i`.
+    pub fn depends(&self, i: usize) -> &[usize] {
+        &self.depends[i]
+    }
+
+    /// Number of rules covered.
+    pub fn len(&self) -> usize {
+        self.depends.len()
+    }
+
+    /// True for the empty policy.
+    pub fn is_empty(&self) -> bool {
+        self.depends.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{hospital_policy, Policy};
+
+    fn idx(policy: &Policy, id: &str) -> usize {
+        policy.rules.iter().position(|r| r.id == id).unwrap()
+    }
+
+    #[test]
+    fn paper_example_r1_r3() {
+        // R3 ⊑ R1 with opposite effects: each depends on the other.
+        let p = Policy::parse(
+            "default deny\nconflict deny\nR1 allow //patient\nR3 deny //patient[treatment]\n",
+        )
+        .unwrap();
+        let g = DependencyGraph::build(&p);
+        assert_eq!(g.depends(0), &[1]);
+        assert_eq!(g.depends(1), &[0]);
+    }
+
+    #[test]
+    fn same_effect_rules_are_independent() {
+        let p = Policy::parse(
+            "default deny\nconflict deny\nA allow //patient\nB allow //patient[treatment]\n",
+        )
+        .unwrap();
+        let g = DependencyGraph::build(&p);
+        assert!(g.depends(0).is_empty());
+        assert!(g.depends(1).is_empty());
+    }
+
+    #[test]
+    fn unrelated_rules_are_independent() {
+        let p = Policy::parse("default deny\nconflict deny\nA allow //a\nB deny //b\n").unwrap();
+        let g = DependencyGraph::build(&p);
+        assert!(g.depends(0).is_empty());
+        assert!(g.depends(1).is_empty());
+    }
+
+    #[test]
+    fn closure_hops_across_effects() {
+        // C ⊑ B ⊑ A with alternating effects: A's component is {B, C}.
+        let p = Policy::parse(
+            "default deny\nconflict deny\n\
+             A allow //a\nB deny //a[b]\nC allow //a[b[c]]\n",
+        )
+        .unwrap();
+        let g = DependencyGraph::build(&p);
+        assert_eq!(g.depends(0), &[1, 2]);
+        assert_eq!(g.depends(1), &[0, 2]);
+        assert_eq!(g.depends(2), &[0, 1]);
+        // Direct neighbours: A–B and B–C, but not A–C (same effect).
+        assert_eq!(g.neighbours(0), &[1]);
+        assert_eq!(g.neighbours(1), &[0, 2]);
+    }
+
+    #[test]
+    fn schema_aware_dependencies_catch_more() {
+        use xac_xml::{Occurs::*, Particle, Schema};
+        let schema = Schema::builder("r")
+            .sequence("r", vec![Particle::new("a", Star)])
+            .sequence("a", vec![Particle::new("b", Optional)])
+            .sequence("b", vec![Particle::new("c", Optional)])
+            .text(&["c"])
+            .build()
+            .unwrap();
+        let p = Policy::parse(
+            "default deny\nconflict deny\nA allow //a[b]\nB deny //a[.//c]\n",
+        )
+        .unwrap();
+        let blind = DependencyGraph::build(&p);
+        assert!(blind.depends(0).is_empty(), "blind test sees no relation");
+        let aware = DependencyGraph::build_with_schema(&p, &schema);
+        assert_eq!(aware.depends(0), &[1], "under the schema, B ⊑ A");
+        assert_eq!(aware.depends(1), &[0]);
+    }
+
+    #[test]
+    fn hospital_policy_dependencies() {
+        let p = crate::optimizer::redundancy_elimination(&hospital_policy());
+        let g = DependencyGraph::build(&p);
+        let r1 = idx(&p, "R1");
+        let r3 = idx(&p, "R3");
+        let r5 = idx(&p, "R5");
+        // R3 ⊑ R1 and R5 ⊑ R1 (opposite effects): R1's component is {R3, R5}.
+        let deps: Vec<&str> = g.depends(r1).iter().map(|&i| p.rules[i].id.as_str()).collect();
+        assert_eq!(deps, vec!["R3", "R5"]);
+        assert!(g.depends(r3).contains(&r1));
+        assert!(g.depends(r5).contains(&r1));
+        // R2 (//patient/name) is containment-unrelated to the negatives.
+        let r2 = idx(&p, "R2");
+        assert!(g.depends(r2).is_empty());
+    }
+}

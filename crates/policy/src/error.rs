@@ -1,0 +1,37 @@
+//! Error type for policy parsing and analysis.
+
+use std::fmt;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A policy file line could not be parsed.
+    Parse { line: usize, message: String },
+    /// An embedded XPath expression was malformed.
+    XPath(String),
+    /// A policy-level inconsistency (duplicate rule ids, …).
+    Invalid(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { line, message } => {
+                write!(f, "policy parse error on line {line}: {message}")
+            }
+            Error::XPath(m) => write!(f, "policy XPath error: {m}"),
+            Error::Invalid(m) => write!(f, "invalid policy: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<xac_xpath::Error> for Error {
+    fn from(e: xac_xpath::Error) -> Self {
+        Error::XPath(e.to_string())
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;

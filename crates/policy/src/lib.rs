@@ -1,0 +1,44 @@
+//! # xac-policy
+//!
+//! The access-control framework of the **xmlac** system (paper §3 and §5):
+//! rule-based policies over XML documents, their set semantics, and the
+//! static analyses that make materialized enforcement practical.
+//!
+//! * [`rule`] — access control rules `(resource, effect)` where the
+//!   resource is an XPath expression in the fragment of
+//!   [`xac_xpath`] and the effect grants (`+`) or denies (`−`) access;
+//! * [`policy`] — policies `P = (ds, cr, A, D)` combining a default
+//!   semantics, a conflict-resolution strategy and the rule sets, plus a
+//!   small text format for policy files;
+//! * [`semantics`] — the reference evaluation of `[[P]](T)` (Table 2),
+//!   used to cross-check every storage backend;
+//! * [`optimizer`] — **Redundancy-Elimination** (Fig. 4): same-effect
+//!   rules contained in another rule are dropped;
+//! * [`annotation_query`] — **Annotation-Queries** (Fig. 5): compiles a
+//!   policy into a backend-neutral `UNION`/`EXCEPT` query over rule
+//!   resources, later rendered to SQL or evaluated natively;
+//! * [`dependency`] — **Depend/Depend-Resolve** (Fig. 7): the dependency
+//!   graph linking opposite-effect rules related by containment;
+//! * [`trigger`] — **Trigger** (Fig. 8): given an update path, selects the
+//!   rules whose scopes must be re-annotated, using rule expansion and the
+//!   dependency closure.
+
+pub mod analysis;
+pub mod annotation_query;
+pub mod dependency;
+pub mod error;
+pub mod optimizer;
+pub mod policy;
+pub mod rule;
+pub mod semantics;
+pub mod trigger;
+
+pub use analysis::{analyze, PolicyReport, RuleStats};
+pub use annotation_query::{AnnotationQuery, QueryShape};
+pub use dependency::DependencyGraph;
+pub use error::{Error, Result};
+pub use optimizer::{redundancy_elimination, redundancy_elimination_with_schema};
+pub use policy::{ConflictResolution, DefaultSemantics, Policy};
+pub use rule::{Effect, Rule};
+pub use semantics::accessible_nodes;
+pub use trigger::trigger;

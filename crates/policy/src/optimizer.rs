@@ -1,0 +1,173 @@
+//! **Redundancy-Elimination** (paper §5.1, Fig. 4).
+//!
+//! A rule `R` is redundant when some other rule `R'` of the *same* effect
+//! contains it: every node in `R`'s scope is already in `R'`'s scope, and
+//! since both rules push the node the same way, dropping `R` leaves the
+//! policy semantics unchanged. Containment is the sound homomorphism test
+//! of [`xac_xpath::containment`].
+//!
+//! On the paper's Table 1 policy this removes R4 (⊑ R2), R7 and R8 (⊑ R6),
+//! producing Table 3. R3 ⊑ R1 holds but R3 survives: the two rules have
+//! opposite effects.
+
+use crate::policy::Policy;
+use crate::rule::Rule;
+
+/// Drop redundant rules, preserving declaration order of the survivors.
+///
+/// When two rules of the same effect are *equivalent*, the one declared
+/// first survives (the pairwise loop of Fig. 4 removes the later one).
+pub fn redundancy_elimination(policy: &Policy) -> Policy {
+    let keep = survivors(&policy.rules, None);
+    Policy {
+        default_semantics: policy.default_semantics,
+        conflict_resolution: policy.conflict_resolution,
+        rules: keep,
+    }
+}
+
+/// Redundancy elimination with schema-aware containment: on schema-valid
+/// documents some rules are redundant even though the schema-blind test
+/// cannot prove it (the paper's §8 "schema-aware optimizations").
+pub fn redundancy_elimination_with_schema(
+    policy: &Policy,
+    schema: &xac_xml::Schema,
+) -> Policy {
+    let keep = survivors(&policy.rules, Some(schema));
+    Policy {
+        default_semantics: policy.default_semantics,
+        conflict_resolution: policy.conflict_resolution,
+        rules: keep,
+    }
+}
+
+fn survivors(rules: &[Rule], schema: Option<&xac_xml::Schema>) -> Vec<Rule> {
+    let contained = |a: &Rule, b: &Rule| match schema {
+        Some(s) => a.contained_in_with_schema(b, s),
+        None => a.contained_in(b),
+    };
+    let mut removed = vec![false; rules.len()];
+    for i in 0..rules.len() {
+        if removed[i] {
+            continue;
+        }
+        for j in 0..rules.len() {
+            if i == j || removed[j] || rules[i].effect != rules[j].effect {
+                continue;
+            }
+            // rules[j] redundant if contained in the (surviving) rules[i].
+            if contained(&rules[j], &rules[i]) {
+                removed[j] = true;
+            }
+        }
+    }
+    rules
+        .iter()
+        .zip(&removed)
+        .filter(|(_, &r)| !r)
+        .map(|(rule, _)| rule.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{hospital_policy, Policy};
+    use crate::semantics::accessible_nodes;
+    use xac_xml::Document;
+
+    #[test]
+    fn table1_reduces_to_table3() {
+        let p = hospital_policy();
+        let opt = redundancy_elimination(&p);
+        let ids: Vec<&str> = opt.rules.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, vec!["R1", "R2", "R3", "R5", "R6"], "paper Table 3");
+    }
+
+    #[test]
+    fn opposite_effects_never_eliminate() {
+        let p = Policy::parse(
+            "default deny\nconflict deny\nR1 allow //patient\nR3 deny //patient[treatment]\n",
+        )
+        .unwrap();
+        let opt = redundancy_elimination(&p);
+        assert_eq!(opt.len(), 2, "R3 ⊑ R1 but with opposite effect");
+    }
+
+    #[test]
+    fn equivalent_rules_keep_first() {
+        let p = Policy::parse(
+            "default deny\nconflict deny\nA allow //x[y and z]\nB allow //x[z and y]\n",
+        )
+        .unwrap();
+        let opt = redundancy_elimination(&p);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(opt.rules[0].id, "A");
+    }
+
+    #[test]
+    fn chain_of_containment_keeps_only_broadest() {
+        let p = Policy::parse(
+            "default deny\nconflict deny\n\
+             A allow //a[b[c]]\nB allow //a[b]\nC allow //a\n",
+        )
+        .unwrap();
+        let opt = redundancy_elimination(&p);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(opt.rules[0].id, "C");
+    }
+
+    #[test]
+    fn optimization_preserves_semantics() {
+        let doc = Document::parse_str(
+            "<hospital><dept><patients>\
+             <patient><psn>1</psn><name>a</name>\
+             <treatment><regular><med>celecoxib</med><bill>1500</bill></regular></treatment>\
+             </patient>\
+             <patient><psn>2</psn><name>b</name></patient>\
+             </patients><staffinfo/></dept></hospital>",
+        )
+        .unwrap();
+        let p = hospital_policy();
+        let opt = redundancy_elimination(&p);
+        assert_eq!(
+            accessible_nodes(&doc, &p),
+            accessible_nodes(&doc, &opt),
+            "redundancy elimination must not change [[P]](T)"
+        );
+    }
+
+    #[test]
+    fn schema_aware_elimination_catches_more() {
+        use xac_xml::{Occurs::*, Particle, Schema};
+        // c occurs only below b, which occurs only below a.
+        let schema = Schema::builder("r")
+            .sequence("r", vec![Particle::new("a", Star)])
+            .sequence("a", vec![Particle::new("b", Optional)])
+            .sequence("b", vec![Particle::new("c", Optional)])
+            .text(&["c"])
+            .build()
+            .unwrap();
+        let p = Policy::parse(
+            "default deny\nconflict deny\n\
+             A allow //a[b]\nB allow //a[.//c]\n",
+        )
+        .unwrap();
+        // Blind: B is not provably contained in A.
+        assert_eq!(redundancy_elimination(&p).len(), 2);
+        // Schema-aware: every c under a sits inside a b, so B ⊑ A.
+        let opt = crate::optimizer::redundancy_elimination_with_schema(&p, &schema);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(opt.rules[0].id, "A");
+    }
+
+    #[test]
+    fn unrelated_rules_untouched() {
+        let p = Policy::parse(
+            "default deny\nconflict deny\nA allow //a\nB allow //b\nC deny //c\n",
+        )
+        .unwrap();
+        let opt = redundancy_elimination(&p);
+        assert_eq!(opt.len(), 3);
+    }
+}

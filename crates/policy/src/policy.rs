@@ -1,0 +1,282 @@
+//! Policies `P = (ds, cr, A, D)` and a line-oriented text format.
+//!
+//! The text format used by policy files, generators and examples:
+//!
+//! ```text
+//! # Hospital policy (paper Table 1)
+//! default deny
+//! conflict deny-overrides
+//! R1 allow //patient
+//! R3 deny  //patient[treatment]
+//! ```
+
+use crate::error::{Error, Result};
+use crate::rule::{Effect, Rule};
+use std::fmt;
+
+/// Default accessibility of nodes not covered by any rule (`ds`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefaultSemantics {
+    /// Nodes are accessible unless denied (`ds = +`).
+    Allow,
+    /// Nodes are inaccessible unless granted (`ds = −`). The common case.
+    Deny,
+}
+
+impl DefaultSemantics {
+    /// Paper sign notation.
+    pub fn sign(self) -> char {
+        match self {
+            DefaultSemantics::Allow => '+',
+            DefaultSemantics::Deny => '-',
+        }
+    }
+
+    /// The annotation every node starts from.
+    pub fn default_effect(self) -> Effect {
+        match self {
+            DefaultSemantics::Allow => Effect::Allow,
+            DefaultSemantics::Deny => Effect::Deny,
+        }
+    }
+}
+
+/// Resolution when a node is in the scope of rules with opposite signs
+/// (`cr`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictResolution {
+    /// The granting rule wins (`cr = +`).
+    AllowOverrides,
+    /// The denying rule wins (`cr = −`). The common case.
+    DenyOverrides,
+}
+
+impl ConflictResolution {
+    /// Paper sign notation.
+    pub fn sign(self) -> char {
+        match self {
+            ConflictResolution::AllowOverrides => '+',
+            ConflictResolution::DenyOverrides => '-',
+        }
+    }
+}
+
+/// An access control policy: default semantics, conflict resolution and
+/// the positive/negative rule sets (kept in one ordered list; `A` and `D`
+/// are views).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Policy {
+    /// `ds` — default semantics.
+    pub default_semantics: DefaultSemantics,
+    /// `cr` — conflict resolution.
+    pub conflict_resolution: ConflictResolution,
+    /// All rules in declaration order.
+    pub rules: Vec<Rule>,
+}
+
+impl Policy {
+    /// Create a policy, checking rule ids are unique.
+    pub fn new(
+        default_semantics: DefaultSemantics,
+        conflict_resolution: ConflictResolution,
+        rules: Vec<Rule>,
+    ) -> Result<Self> {
+        let mut seen = std::collections::BTreeSet::new();
+        for r in &rules {
+            if !seen.insert(r.id.as_str()) {
+                return Err(Error::Invalid(format!("duplicate rule id `{}`", r.id)));
+            }
+        }
+        Ok(Policy { default_semantics, conflict_resolution, rules })
+    }
+
+    /// The positive rule set `A`.
+    pub fn positives(&self) -> impl Iterator<Item = &Rule> {
+        self.rules.iter().filter(|r| r.effect == Effect::Allow)
+    }
+
+    /// The negative rule set `D`.
+    pub fn negatives(&self) -> impl Iterator<Item = &Rule> {
+        self.rules.iter().filter(|r| r.effect == Effect::Deny)
+    }
+
+    /// Look up a rule by id.
+    pub fn rule(&self, id: &str) -> Option<&Rule> {
+        self.rules.iter().find(|r| r.id == id)
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when the policy has no rules (everything gets the default).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Parse the text format. Blank lines and `#` comments are ignored.
+    pub fn parse(text: &str) -> Result<Policy> {
+        let mut ds = None;
+        let mut cr = None;
+        let mut rules = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = idx + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let head = parts.next().unwrap_or_default();
+            match head {
+                "default" => {
+                    let v = parts.next().unwrap_or_default();
+                    ds = Some(match v {
+                        "allow" | "+" => DefaultSemantics::Allow,
+                        "deny" | "-" => DefaultSemantics::Deny,
+                        other => {
+                            return Err(Error::Parse {
+                                line: lineno,
+                                message: format!("unknown default semantics `{other}`"),
+                            })
+                        }
+                    });
+                }
+                "conflict" => {
+                    let v = parts.next().unwrap_or_default();
+                    cr = Some(match v {
+                        "allow-overrides" | "allow" | "+" => ConflictResolution::AllowOverrides,
+                        "deny-overrides" | "deny" | "-" => ConflictResolution::DenyOverrides,
+                        other => {
+                            return Err(Error::Parse {
+                                line: lineno,
+                                message: format!("unknown conflict resolution `{other}`"),
+                            })
+                        }
+                    });
+                }
+                id => {
+                    let effect = match parts.next() {
+                        Some("allow") | Some("+") => Effect::Allow,
+                        Some("deny") | Some("-") => Effect::Deny,
+                        other => {
+                            return Err(Error::Parse {
+                                line: lineno,
+                                message: format!("expected allow/deny, found {other:?}"),
+                            })
+                        }
+                    };
+                    let resource = parts.next().ok_or(Error::Parse {
+                        line: lineno,
+                        message: "missing resource expression".into(),
+                    })?;
+                    let rule =
+                        Rule::parse(id, resource.trim(), effect).map_err(|e| Error::Parse {
+                            line: lineno,
+                            message: e.to_string(),
+                        })?;
+                    rules.push(rule);
+                }
+            }
+        }
+        let ds = ds.ok_or(Error::Invalid("missing `default` declaration".into()))?;
+        let cr = cr.ok_or(Error::Invalid("missing `conflict` declaration".into()))?;
+        Policy::new(ds, cr, rules)
+    }
+
+    /// Render in the text format (round-trips through [`Policy::parse`]).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(match self.default_semantics {
+            DefaultSemantics::Allow => "default allow\n",
+            DefaultSemantics::Deny => "default deny\n",
+        });
+        out.push_str(match self.conflict_resolution {
+            ConflictResolution::AllowOverrides => "conflict allow-overrides\n",
+            ConflictResolution::DenyOverrides => "conflict deny-overrides\n",
+        });
+        for r in &self.rules {
+            out.push_str(&format!("{} {} {}\n", r.id, r.effect, r.resource));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+/// The paper's Table 1 hospital policy (deny default, deny overrides).
+pub fn hospital_policy() -> Policy {
+    Policy::parse(
+        r#"
+        default deny
+        conflict deny-overrides
+        R1 allow //patient
+        R2 allow //patient/name
+        R3 deny  //patient[treatment]
+        R4 allow //patient[treatment]/name
+        R5 deny  //patient[.//experimental]
+        R6 allow //regular
+        R7 allow //regular[med = "celecoxib"]
+        R8 allow //regular[bill > 1000]
+        "#,
+    )
+    .expect("the paper's Table 1 policy parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_table1() {
+        let p = hospital_policy();
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.positives().count(), 6);
+        assert_eq!(p.negatives().count(), 2);
+        assert_eq!(p.default_semantics, DefaultSemantics::Deny);
+        assert_eq!(p.conflict_resolution, ConflictResolution::DenyOverrides);
+        assert_eq!(p.rule("R3").unwrap().effect, Effect::Deny);
+        assert_eq!(p.rule("R7").unwrap().resource.to_string(), "//regular[med = \"celecoxib\"]");
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let p = hospital_policy();
+        let again = Policy::parse(&p.to_text()).unwrap();
+        assert_eq!(p, again);
+    }
+
+    #[test]
+    fn sign_shorthand_accepted() {
+        let p = Policy::parse("default -\nconflict +\nR1 + //a\nR2 - //b\n").unwrap();
+        assert_eq!(p.default_semantics, DefaultSemantics::Deny);
+        assert_eq!(p.conflict_resolution, ConflictResolution::AllowOverrides);
+        assert_eq!(p.rule("R1").unwrap().effect, Effect::Allow);
+        assert_eq!(p.rule("R2").unwrap().effect, Effect::Deny);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Policy::parse("conflict deny\nR1 allow //a\n").is_err(), "missing default");
+        assert!(Policy::parse("default deny\nR1 allow //a\n").is_err(), "missing conflict");
+        assert!(Policy::parse("default deny\nconflict deny\nR1 grant //a\n").is_err());
+        assert!(Policy::parse("default deny\nconflict deny\nR1 allow\n").is_err());
+        assert!(Policy::parse("default deny\nconflict deny\nR1 allow //a[\n").is_err());
+        assert!(
+            Policy::parse("default deny\nconflict deny\nR1 allow //a\nR1 deny //b\n").is_err(),
+            "duplicate rule ids"
+        );
+        assert!(Policy::parse("default maybe\nconflict deny\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let p = Policy::parse("# hi\n\ndefault deny\n# mid\nconflict deny\nR1 allow //a\n\n")
+            .unwrap();
+        assert_eq!(p.len(), 1);
+    }
+}

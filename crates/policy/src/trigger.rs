@@ -1,0 +1,211 @@
+//! The **Trigger** algorithm (paper §5.3, Fig. 8).
+//!
+//! Given an update `u` — an XPath expression designating the nodes being
+//! inserted or deleted — Trigger selects the rules whose annotations may
+//! be invalidated:
+//!
+//! 1. each rule is *expanded* ([`xac_xpath::expand`]) into the linear
+//!    paths to every node it constrains, with descendant axes inside
+//!    predicates rewritten through the schema;
+//! 2. a rule fires when some expansion `x` satisfies
+//!    `x ⊑ u ∨ u ⊑ x ∨ x ≡ u`;
+//! 3. the fired set is closed over the [`DependencyGraph`], pulling in
+//!    opposite-effect rules related by containment.
+//!
+//! The result is the rule subset handed to the re-annotator, which resets
+//! and recomputes only the scopes of those rules. Complexity is
+//! `O(n · h)` containment tests for `n` rules and expansion sets bounded
+//! by the schema height `h`.
+
+use crate::dependency::DependencyGraph;
+use crate::policy::Policy;
+use std::collections::BTreeSet;
+use xac_xml::Schema;
+use xac_xpath::{contained_in, expand, Path};
+
+/// Indices (into `policy.rules`) of the rules an update triggers.
+pub fn trigger(
+    policy: &Policy,
+    graph: &DependencyGraph,
+    update: &Path,
+    schema: Option<&Schema>,
+) -> Vec<usize> {
+    assert!(update.absolute, "updates are absolute XPath expressions");
+    // The update path is expanded exactly like a rule resource. Fig. 8
+    // compares rule expansions against the bare update, which misses
+    // updates carrying predicates (`//treatment[experimental]` is
+    // containment-incomparable with `//patient/treatment` even though
+    // deleting it changes R5's scope); comparing expansion sets on both
+    // sides closes that hole while staying a containment test.
+    let update_expansions = expand(update, schema);
+    let mut fired: BTreeSet<usize> = BTreeSet::new();
+    for (i, rule) in policy.rules.iter().enumerate() {
+        let expansions = expand(&rule.resource, schema);
+        let hits = expansions.iter().any(|x| {
+            update_expansions
+                .iter()
+                .any(|u| contained_in(x, u) || contained_in(u, x))
+        });
+        if hits {
+            fired.insert(i);
+        }
+    }
+    // Dependency closure.
+    let direct: Vec<usize> = fired.iter().copied().collect();
+    for i in direct {
+        fired.extend(graph.depends(i).iter().copied());
+    }
+    fired.into_iter().collect()
+}
+
+/// Convenience: triggered rule ids, for logs and tests.
+pub fn triggered_ids<'p>(
+    policy: &'p Policy,
+    graph: &DependencyGraph,
+    update: &Path,
+    schema: Option<&Schema>,
+) -> Vec<&'p str> {
+    trigger(policy, graph, update, schema)
+        .into_iter()
+        .map(|i| policy.rules[i].id.as_str())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::redundancy_elimination;
+    use crate::policy::{hospital_policy, Policy};
+    use xac_xml::{Occurs::*, Particle, Schema};
+
+    fn hospital_schema() -> Schema {
+        Schema::builder("hospital")
+            .sequence("hospital", vec![Particle::new("dept", Plus)])
+            .sequence(
+                "dept",
+                vec![Particle::new("patients", One), Particle::new("staffinfo", One)],
+            )
+            .sequence("patients", vec![Particle::new("patient", Star)])
+            .sequence("staffinfo", vec![Particle::new("staff", Star)])
+            .sequence(
+                "patient",
+                vec![
+                    Particle::new("psn", One),
+                    Particle::new("name", One),
+                    Particle::new("treatment", Optional),
+                ],
+            )
+            .choice(
+                "treatment",
+                vec![
+                    Particle::new("regular", Optional),
+                    Particle::new("experimental", Optional),
+                ],
+            )
+            .sequence("regular", vec![Particle::new("med", One), Particle::new("bill", One)])
+            .sequence(
+                "experimental",
+                vec![Particle::new("test", One), Particle::new("bill", One)],
+            )
+            .choice("staff", vec![Particle::new("nurse", One), Particle::new("doctor", One)])
+            .sequence(
+                "nurse",
+                vec![
+                    Particle::new("sid", One),
+                    Particle::new("name", One),
+                    Particle::new("phone", One),
+                ],
+            )
+            .sequence(
+                "doctor",
+                vec![
+                    Particle::new("sid", One),
+                    Particle::new("name", One),
+                    Particle::new("phone", One),
+                ],
+            )
+            .text(&["psn", "name", "med", "bill", "test", "sid", "phone"])
+            .build()
+            .unwrap()
+    }
+
+    fn run(policy: &Policy, update: &str, schema: Option<&Schema>) -> Vec<String> {
+        let g = DependencyGraph::build(policy);
+        let u = xac_xpath::parse(update).unwrap();
+        triggered_ids(policy, &g, &u, schema)
+            .into_iter()
+            .map(str::to_string)
+            .collect()
+    }
+
+    #[test]
+    fn paper_example_delete_patient_treatment() {
+        // Deleting //patient/treatment must trigger R3 (its expansion
+        // contains //patient/treatment) and, through the dependency graph,
+        // the positive rule R1 (§5.3's first example).
+        let p = Policy::parse(
+            "default deny\nconflict deny\nR1 allow //patient\nR3 deny //patient[treatment]\n",
+        )
+        .unwrap();
+        let ids = run(&p, "//patient/treatment", None);
+        assert_eq!(ids, vec!["R1", "R3"]);
+    }
+
+    #[test]
+    fn paper_example_delete_all_treatments_needs_schema() {
+        // §5.3's second example: deleting //treatment must trigger R5
+        // (//patient[.//experimental]) — only the schema-expanded rule
+        // mentions a path related to //treatment.
+        let p = Policy::parse(
+            "default deny\nconflict deny\n\
+             R1 allow //patient\nR5 deny //patient[.//experimental]\n",
+        )
+        .unwrap();
+        let schema = hospital_schema();
+        let with = run(&p, "//treatment", Some(&schema));
+        assert_eq!(with, vec!["R1", "R5"], "schema expansion makes R5 fire, pulling in R1");
+    }
+
+    #[test]
+    fn unrelated_update_triggers_nothing() {
+        let p = redundancy_elimination(&hospital_policy());
+        let schema = hospital_schema();
+        let ids = run(&p, "//staffinfo/staff", Some(&schema));
+        assert!(ids.is_empty(), "staff updates do not affect patient rules, got {ids:?}");
+    }
+
+    #[test]
+    fn update_containing_rule_scope_triggers() {
+        // u = //patient contains the scope of R1 and (by expansion
+        // prefixes) relates to R3's //patient component.
+        let p = redundancy_elimination(&hospital_policy());
+        let schema = hospital_schema();
+        let ids = run(&p, "//patient", Some(&schema));
+        assert!(ids.contains(&"R1".to_string()));
+        assert!(ids.contains(&"R3".to_string()));
+        assert!(ids.contains(&"R5".to_string()));
+        assert!(ids.contains(&"R2".to_string()), "//patient/name prefix relates to //patient");
+    }
+
+    #[test]
+    fn hospital_med_update_triggers_value_rule() {
+        let p = hospital_policy(); // unoptimized: R7 still present
+        let schema = hospital_schema();
+        let ids = run(&p, "//regular/med", Some(&schema));
+        assert!(ids.contains(&"R7".to_string()), "the med-testing rule fires: {ids:?}");
+        // The update's own expansion includes the `//regular` prefix, so
+        // the other regular-scoped rules (R6, R8) fire too — a sound
+        // over-approximation that keeps subtree deletions covered.
+        assert!(ids.contains(&"R6".to_string()), "{ids:?}");
+        // An update on an unrelated subtree still triggers nothing.
+        let none = run(&p, "//staffinfo/staff", Some(&schema));
+        assert!(none.is_empty(), "staff updates are unrelated, got {none:?}");
+    }
+
+    #[test]
+    fn empty_policy() {
+        let p = Policy::parse("default deny\nconflict deny\n").unwrap();
+        let ids = run(&p, "//anything", None);
+        assert!(ids.is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! Error type for SQL parsing, planning and execution.
+
+use std::fmt;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Malformed SQL text.
+    Parse { offset: usize, message: String },
+    /// The statement references something the catalog does not know, or
+    /// is semantically invalid (ambiguous column, type mismatch, …).
+    Plan(String),
+    /// A runtime execution failure (constraint violation, …).
+    Exec(String),
+}
+
+impl Error {
+    pub(crate) fn parse(offset: usize, message: impl Into<String>) -> Self {
+        Error::Parse { offset, message: message.into() }
+    }
+
+    pub(crate) fn plan(message: impl Into<String>) -> Self {
+        Error::Plan(message.into())
+    }
+
+    pub(crate) fn exec(message: impl Into<String>) -> Self {
+        Error::Exec(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { offset, message } => {
+                write!(f, "SQL parse error at byte {offset}: {message}")
+            }
+            Error::Plan(m) => write!(f, "planning error: {m}"),
+            Error::Exec(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;

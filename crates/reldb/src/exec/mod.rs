@@ -1,0 +1,96 @@
+//! Query execution: shared result representation plus the two engines.
+
+pub mod col_exec;
+pub mod row_exec;
+
+use crate::value::Value;
+use std::collections::BTreeSet;
+
+/// A materialized query result (row-major, like a wire protocol would
+/// deliver it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were produced.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The integers of one output column (non-integers skipped).
+    pub fn column_as_ints(&self, col: usize) -> Vec<i64> {
+        self.rows.iter().filter_map(|r| r[col].as_int()).collect()
+    }
+
+    /// The integers of one output column as a set — the shape the
+    /// annotation pipeline consumes (`SELECT … id …` results).
+    pub fn column_as_int_set(&self, col: usize) -> BTreeSet<i64> {
+        self.rows.iter().filter_map(|r| r[col].as_int()).collect()
+    }
+
+    /// Rows sorted lexicographically (stable comparison output for tests).
+    pub fn sorted(mut self) -> ResultSet {
+        self.rows.sort();
+        self
+    }
+}
+
+/// Set-semantics combination used by both engines for `UNION`/`EXCEPT`/
+/// `INTERSECT` (SQL's non-`ALL` forms eliminate duplicates).
+pub(crate) fn set_op(
+    kind: crate::sql::SetOpKind,
+    left: Vec<Vec<Value>>,
+    right: Vec<Vec<Value>>,
+) -> Vec<Vec<Value>> {
+    use crate::sql::SetOpKind::*;
+    let l: BTreeSet<Vec<Value>> = left.into_iter().collect();
+    let r: BTreeSet<Vec<Value>> = right.into_iter().collect();
+    let out: Vec<Vec<Value>> = match kind {
+        Union => l.union(&r).cloned().collect(),
+        Except => l.difference(&r).cloned().collect(),
+        Intersect => l.intersection(&r).cloned().collect(),
+    };
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::SetOpKind;
+
+    fn rows(ns: &[i64]) -> Vec<Vec<Value>> {
+        ns.iter().map(|&n| vec![Value::Int(n)]).collect()
+    }
+
+    #[test]
+    fn set_ops_dedup() {
+        let l = rows(&[1, 2, 2, 3]);
+        let r = rows(&[3, 4]);
+        assert_eq!(set_op(SetOpKind::Union, l.clone(), r.clone()), rows(&[1, 2, 3, 4]));
+        assert_eq!(set_op(SetOpKind::Except, l.clone(), r.clone()), rows(&[1, 2]));
+        assert_eq!(set_op(SetOpKind::Intersect, l, r), rows(&[3]));
+    }
+
+    #[test]
+    fn result_set_helpers() {
+        let rs = ResultSet {
+            columns: vec!["id".into()],
+            rows: vec![vec![Value::Int(2)], vec![Value::Int(1)], vec![Value::Null]],
+        };
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs.column_as_ints(0), vec![2, 1]);
+        assert_eq!(rs.column_as_int_set(0).into_iter().collect::<Vec<_>>(), vec![1, 2]);
+        let sorted = rs.sorted();
+        assert_eq!(sorted.rows[0], vec![Value::Null]);
+    }
+}

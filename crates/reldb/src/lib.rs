@@ -1,0 +1,50 @@
+//! # xac-reldb
+//!
+//! An in-memory relational database built as the storage substrate for the
+//! **xmlac** system — the role PostgreSQL and MonetDB/SQL play in the
+//! paper *"Controlling Access to XML Documents over XML Native and
+//! Relational Databases"* (Koromilas et al., SDM 2009).
+//!
+//! The crate provides one SQL frontend and **two execution engines** over
+//! distinct physical layouts, so that the paper's relational comparison
+//! can be reproduced with identical queries:
+//!
+//! * [`StorageKind::Row`] — a row store executing tuple-at-a-time through
+//!   a Volcano-style iterator tree (the PostgreSQL stand-in);
+//! * [`StorageKind::Column`] — a column store executing column-at-a-time
+//!   with selection vectors (the MonetDB/SQL stand-in).
+//!
+//! The SQL dialect covers what ShreX-style shredding and the paper's
+//! annotation pipeline need: `CREATE TABLE` (with `PRIMARY KEY` / `INDEX`
+//! column options), multi-row `INSERT`, conjunctive `SELECT` over multiple
+//! tables with equi-joins and constant comparisons, the set operators
+//! `UNION` / `EXCEPT` / `INTERSECT` (with parentheses), `UPDATE` and
+//! `DELETE`.
+//!
+//! ```
+//! use xac_reldb::{Database, StorageKind, QueryResult};
+//!
+//! let mut db = Database::new(StorageKind::Row);
+//! db.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+//! db.execute("INSERT INTO t (id, v) VALUES (1, 'a'), (2, 'b')").unwrap();
+//! let r = db.execute("SELECT id FROM t WHERE v = 'b'").unwrap();
+//! match r {
+//!     QueryResult::Rows(rs) => assert_eq!(rs.column_as_ints(0), vec![2]),
+//!     _ => unreachable!(),
+//! }
+//! ```
+
+pub mod catalog;
+pub mod engine;
+pub mod error;
+pub mod exec;
+pub mod plan;
+pub mod sql;
+pub mod storage;
+pub mod value;
+
+pub use catalog::{Catalog, Column, TableSchema};
+pub use engine::{Database, QueryResult, StorageKind};
+pub use error::{Error, Result};
+pub use exec::ResultSet;
+pub use value::{DataType, Value};

@@ -1,0 +1,247 @@
+//! SQL tokenizer. Keywords are case-insensitive; identifiers keep their
+//! case. String literals use single quotes with `''` escaping.
+
+use crate::error::{Error, Result};
+
+/// A token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (stored as written).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl TokenKind {
+    /// Is this an identifier equal (case-insensitively) to `kw`?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize SQL text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                out.push(Token { kind: TokenKind::LParen, offset: i });
+                i += 1;
+            }
+            b')' => {
+                out.push(Token { kind: TokenKind::RParen, offset: i });
+                i += 1;
+            }
+            b',' => {
+                out.push(Token { kind: TokenKind::Comma, offset: i });
+                i += 1;
+            }
+            b'.' => {
+                out.push(Token { kind: TokenKind::Dot, offset: i });
+                i += 1;
+            }
+            b';' => {
+                out.push(Token { kind: TokenKind::Semicolon, offset: i });
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token { kind: TokenKind::Star, offset: i });
+                i += 1;
+            }
+            b'=' => {
+                out.push(Token { kind: TokenKind::Eq, offset: i });
+                i += 1;
+            }
+            b'!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token { kind: TokenKind::Ne, offset: i });
+                i += 2;
+            }
+            b'<' => {
+                let (kind, n) = match bytes.get(i + 1) {
+                    Some(b'=') => (TokenKind::Le, 2),
+                    Some(b'>') => (TokenKind::Ne, 2),
+                    _ => (TokenKind::Lt, 1),
+                };
+                out.push(Token { kind, offset: i });
+                i += n;
+            }
+            b'>' => {
+                let (kind, n) = match bytes.get(i + 1) {
+                    Some(b'=') => (TokenKind::Ge, 2),
+                    _ => (TokenKind::Gt, 1),
+                };
+                out.push(Token { kind, offset: i });
+                i += n;
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(Error::parse(start, "unterminated string literal")),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Advance one UTF-8 code point.
+                            let ch_len = utf8_len(bytes[i]);
+                            s.push_str(&input[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                    }
+                }
+                out.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = input[start..i]
+                    .parse()
+                    .map_err(|_| Error::parse(start, "integer literal out of range"))?;
+                out.push(Token { kind: TokenKind::Int(n), offset: start });
+            }
+            b'-' if bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = input[start..i]
+                    .parse()
+                    .map_err(|_| Error::parse(start, "integer literal out of range"))?;
+                out.push(Token { kind: TokenKind::Int(n), offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(input[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(Error::parse(i, format!("unexpected character `{}`", other as char)))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = tokenize("SELECT a.id FROM t WHERE v = 'x''y' AND n >= -5; -- c").unwrap();
+        let kinds: Vec<&TokenKind> = toks.iter().map(|t| &t.kind).collect();
+        assert!(matches!(kinds[0], TokenKind::Ident(s) if s == "SELECT"));
+        assert!(kinds.iter().any(|k| matches!(k, TokenKind::Str(s) if s == "x'y")));
+        assert!(kinds.iter().any(|k| matches!(k, TokenKind::Int(-5))));
+        assert!(kinds.iter().any(|k| matches!(k, TokenKind::Ge)));
+        assert_eq!(kinds.last(), Some(&&TokenKind::Semicolon));
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("= != <> < <= > >=").unwrap();
+        let kinds: Vec<TokenKind> = toks.into_iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge
+            ]
+        );
+    }
+
+    #[test]
+    fn keyword_case_insensitive() {
+        let toks = tokenize("select SeLeCt SELECT").unwrap();
+        assert!(toks.iter().all(|t| t.kind.is_kw("select")));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'open").is_err());
+        assert!(tokenize("a @ b").is_err());
+        assert!(tokenize("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let toks = tokenize("'héllo→'").unwrap();
+        assert!(matches!(&toks[0].kind, TokenKind::Str(s) if s == "héllo→"));
+    }
+}

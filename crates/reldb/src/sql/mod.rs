@@ -1,0 +1,11 @@
+//! The SQL dialect: lexer, AST and recursive-descent parser.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{
+    ColRef, ColumnDef, Condition, Literal, Operand, Projection, QueryExpr, Select, SetOpKind,
+    SqlCmpOp, Statement, TableRef,
+};
+pub use parser::{parse_script, parse_statement};

@@ -1,0 +1,484 @@
+//! Recursive-descent parser over the token stream.
+
+use super::ast::*;
+use super::lexer::{tokenize, Token, TokenKind};
+use crate::error::{Error, Result};
+use crate::value::DataType;
+
+/// Parse a single statement (a trailing `;` is allowed).
+pub fn parse_statement(input: &str) -> Result<Statement> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.parse_statement()?;
+    p.eat_if(|k| matches!(k, TokenKind::Semicolon));
+    if !p.at_end() {
+        return Err(p.err_here("trailing tokens after statement"));
+    }
+    Ok(stmt)
+}
+
+/// Parse a `;`-separated script.
+pub fn parse_script(input: &str) -> Result<Vec<Statement>> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    while !p.at_end() {
+        if p.eat_if(|k| matches!(k, TokenKind::Semicolon)) {
+            continue;
+        }
+        out.push(p.parse_statement()?);
+        if !p.at_end() && !p.eat_if(|k| matches!(k, TokenKind::Semicolon)) {
+            return Err(p.err_here("expected `;` between statements"));
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn next(&mut self) -> Option<&TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| &t.kind);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> Error {
+        let offset = self.tokens.get(self.pos).map(|t| t.offset).unwrap_or(usize::MAX);
+        Error::parse(if offset == usize::MAX { 0 } else { offset }, message)
+    }
+
+    fn eat_if(&mut self, f: impl Fn(&TokenKind) -> bool) -> bool {
+        if self.peek().is_some_and(&f) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        self.eat_if(|k| k.is_kw(kw))
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected keyword `{kw}`")))
+        }
+    }
+
+    fn expect(&mut self, want: TokenKind, what: &str) -> Result<()> {
+        if self.peek() == Some(&want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {what}")))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String> {
+        match self.peek() {
+            Some(TokenKind::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err_here(format!("expected {what}"))),
+        }
+    }
+
+    fn parse_statement(&mut self) -> Result<Statement> {
+        match self.peek() {
+            Some(k) if k.is_kw("create") => self.parse_create(),
+            Some(k) if k.is_kw("insert") => self.parse_insert(),
+            Some(k) if k.is_kw("update") => self.parse_update(),
+            Some(k) if k.is_kw("delete") => self.parse_delete(),
+            Some(k) if k.is_kw("select") => Ok(Statement::Query(self.parse_query_expr()?)),
+            Some(TokenKind::LParen) => Ok(Statement::Query(self.parse_query_expr()?)),
+            _ => Err(self.err_here("expected a statement")),
+        }
+    }
+
+    fn parse_create(&mut self) -> Result<Statement> {
+        self.expect_kw("create")?;
+        self.expect_kw("table")?;
+        let name = self.expect_ident("table name")?;
+        self.expect(TokenKind::LParen, "`(`")?;
+        let mut columns = Vec::new();
+        loop {
+            let col_name = self.expect_ident("column name")?;
+            let dtype = match self.next() {
+                Some(TokenKind::Ident(t)) if t.eq_ignore_ascii_case("int") => DataType::Int,
+                Some(TokenKind::Ident(t)) if t.eq_ignore_ascii_case("text") => DataType::Text,
+                _ => return Err(self.err_here("expected a type (INT or TEXT)")),
+            };
+            let mut primary_key = false;
+            let mut indexed = false;
+            if self.eat_kw("primary") {
+                self.expect_kw("key")?;
+                primary_key = true;
+                indexed = true;
+            } else if self.eat_kw("index") {
+                indexed = true;
+            }
+            columns.push(ColumnDef { name: col_name, dtype, primary_key, indexed });
+            if self.eat_if(|k| matches!(k, TokenKind::Comma)) {
+                continue;
+            }
+            self.expect(TokenKind::RParen, "`)`")?;
+            break;
+        }
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn parse_insert(&mut self) -> Result<Statement> {
+        self.expect_kw("insert")?;
+        self.expect_kw("into")?;
+        let table = self.expect_ident("table name")?;
+        self.expect(TokenKind::LParen, "`(`")?;
+        let mut columns = Vec::new();
+        loop {
+            columns.push(self.expect_ident("column name")?);
+            if self.eat_if(|k| matches!(k, TokenKind::Comma)) {
+                continue;
+            }
+            self.expect(TokenKind::RParen, "`)`")?;
+            break;
+        }
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(TokenKind::LParen, "`(`")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.parse_literal()?);
+                if self.eat_if(|k| matches!(k, TokenKind::Comma)) {
+                    continue;
+                }
+                self.expect(TokenKind::RParen, "`)`")?;
+                break;
+            }
+            rows.push(row);
+            if !self.eat_if(|k| matches!(k, TokenKind::Comma)) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, columns, rows })
+    }
+
+    fn parse_update(&mut self) -> Result<Statement> {
+        self.expect_kw("update")?;
+        let table = self.expect_ident("table name")?;
+        self.expect_kw("set")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.expect_ident("column name")?;
+            self.expect(TokenKind::Eq, "`=`")?;
+            let lit = self.parse_literal()?;
+            assignments.push((col, lit));
+            if !self.eat_if(|k| matches!(k, TokenKind::Comma)) {
+                break;
+            }
+        }
+        let conditions = self.parse_where_opt()?;
+        Ok(Statement::Update { table, assignments, conditions })
+    }
+
+    fn parse_delete(&mut self) -> Result<Statement> {
+        self.expect_kw("delete")?;
+        self.expect_kw("from")?;
+        let table = self.expect_ident("table name")?;
+        let conditions = self.parse_where_opt()?;
+        Ok(Statement::Delete { table, conditions })
+    }
+
+    fn parse_where_opt(&mut self) -> Result<Vec<Condition>> {
+        if !self.eat_kw("where") {
+            return Ok(Vec::new());
+        }
+        let mut out = vec![self.parse_condition()?];
+        while self.eat_kw("and") {
+            out.push(self.parse_condition()?);
+        }
+        Ok(out)
+    }
+
+    fn parse_condition(&mut self) -> Result<Condition> {
+        let left = self.parse_operand()?;
+        let op = match self.next() {
+            Some(TokenKind::Eq) => SqlCmpOp::Eq,
+            Some(TokenKind::Ne) => SqlCmpOp::Ne,
+            Some(TokenKind::Lt) => SqlCmpOp::Lt,
+            Some(TokenKind::Le) => SqlCmpOp::Le,
+            Some(TokenKind::Gt) => SqlCmpOp::Gt,
+            Some(TokenKind::Ge) => SqlCmpOp::Ge,
+            _ => return Err(self.err_here("expected a comparison operator")),
+        };
+        let right = self.parse_operand()?;
+        Ok(Condition { left, op, right })
+    }
+
+    fn parse_operand(&mut self) -> Result<Operand> {
+        match self.peek() {
+            Some(TokenKind::Int(_)) | Some(TokenKind::Str(_)) => {
+                Ok(Operand::Lit(self.parse_literal()?))
+            }
+            Some(TokenKind::Ident(s)) if s.eq_ignore_ascii_case("null") => {
+                self.pos += 1;
+                Ok(Operand::Lit(Literal::Null))
+            }
+            Some(TokenKind::Ident(_)) => Ok(Operand::Col(self.parse_colref()?)),
+            _ => Err(self.err_here("expected a column or literal")),
+        }
+    }
+
+    fn parse_projection(&mut self) -> Result<Projection> {
+        // `COUNT(...)` — only when followed by `(`, so a column named
+        // `count` still works.
+        let is_count = matches!(self.peek(), Some(TokenKind::Ident(s)) if s.eq_ignore_ascii_case("count"))
+            && matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind), Some(TokenKind::LParen));
+        if is_count {
+            self.pos += 2; // COUNT (
+            let proj = if self.eat_if(|k| matches!(k, TokenKind::Star)) {
+                Projection::CountStar
+            } else {
+                Projection::Count(self.parse_colref()?)
+            };
+            self.expect(TokenKind::RParen, "`)` after COUNT argument")?;
+            return Ok(proj);
+        }
+        Ok(Projection::Column(self.parse_colref()?))
+    }
+
+    fn parse_colref(&mut self) -> Result<ColRef> {
+        let first = self.expect_ident("column reference")?;
+        if self.eat_if(|k| matches!(k, TokenKind::Dot)) {
+            let column = self.expect_ident("column name after `.`")?;
+            Ok(ColRef { qualifier: Some(first), column })
+        } else {
+            Ok(ColRef { qualifier: None, column: first })
+        }
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal> {
+        let lit = match self.peek() {
+            Some(TokenKind::Int(i)) => Literal::Int(*i),
+            Some(TokenKind::Str(s)) => Literal::Str(s.clone()),
+            Some(TokenKind::Ident(s)) if s.eq_ignore_ascii_case("null") => Literal::Null,
+            _ => return Err(self.err_here("expected a literal")),
+        };
+        self.pos += 1;
+        Ok(lit)
+    }
+
+    /// `query := primary ((UNION|EXCEPT|INTERSECT) primary)*` — left
+    /// associative, equal precedence (parenthesize to group, as the
+    /// paper's annotation query does).
+    fn parse_query_expr(&mut self) -> Result<QueryExpr> {
+        let mut left = self.parse_query_primary()?;
+        loop {
+            let op = if self.eat_kw("union") {
+                SetOpKind::Union
+            } else if self.eat_kw("except") {
+                SetOpKind::Except
+            } else if self.eat_kw("intersect") {
+                SetOpKind::Intersect
+            } else {
+                return Ok(left);
+            };
+            let right = self.parse_query_primary()?;
+            left = QueryExpr::SetOp { op, left: Box::new(left), right: Box::new(right) };
+        }
+    }
+
+    fn parse_query_primary(&mut self) -> Result<QueryExpr> {
+        if self.eat_if(|k| matches!(k, TokenKind::LParen)) {
+            let q = self.parse_query_expr()?;
+            self.expect(TokenKind::RParen, "`)`")?;
+            Ok(q)
+        } else {
+            Ok(QueryExpr::Select(self.parse_select()?))
+        }
+    }
+
+    fn parse_select(&mut self) -> Result<Select> {
+        self.expect_kw("select")?;
+        let mut projections = Vec::new();
+        loop {
+            projections.push(self.parse_projection()?);
+            if !self.eat_if(|k| matches!(k, TokenKind::Comma)) {
+                break;
+            }
+        }
+        self.expect_kw("from")?;
+        let mut from = Vec::new();
+        loop {
+            let table = self.expect_ident("table name")?;
+            // Optional alias: `t alias` or `t AS alias`.
+            let mut alias = table.clone();
+            if self.eat_kw("as") {
+                alias = self.expect_ident("alias")?;
+            } else if let Some(TokenKind::Ident(s)) = self.peek() {
+                let is_clause_kw = ["where", "union", "except", "intersect", "and"]
+                    .iter()
+                    .any(|kw| s.eq_ignore_ascii_case(kw));
+                if !is_clause_kw {
+                    alias = s.clone();
+                    self.pos += 1;
+                }
+            }
+            from.push(TableRef { table, alias });
+            if !self.eat_if(|k| matches!(k, TokenKind::Comma)) {
+                break;
+            }
+        }
+        let conditions = self.parse_where_opt()?;
+        Ok(Select { projections, from, conditions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table() {
+        let s = parse_statement(
+            "CREATE TABLE patient (id INT PRIMARY KEY, pid INT INDEX, v TEXT, s TEXT);",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateTable { name, columns } => {
+                assert_eq!(name, "patient");
+                assert_eq!(columns.len(), 4);
+                assert!(columns[0].primary_key && columns[0].indexed);
+                assert!(!columns[1].primary_key && columns[1].indexed);
+                assert!(!columns[3].indexed);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_multi_row() {
+        let s = parse_statement(
+            "INSERT INTO t (id, pid, v) VALUES (1, NULL, 'a'), (2, 1, 'it''s')",
+        )
+        .unwrap();
+        match s {
+            Statement::Insert { table, columns, rows } => {
+                assert_eq!(table, "t");
+                assert_eq!(columns, vec!["id", "pid", "v"]);
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0][1], Literal::Null);
+                assert_eq!(rows[1][2], Literal::Str("it's".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_with_joins() {
+        // The paper's Q1 verbatim.
+        let s = parse_statement(
+            "SELECT pat1.id FROM patients pats1, patient pat1 WHERE pats1.id = pat1.pid;",
+        )
+        .unwrap();
+        match s {
+            Statement::Query(QueryExpr::Select(sel)) => {
+                assert_eq!(sel.projections.len(), 1);
+                assert_eq!(sel.from.len(), 2);
+                assert_eq!(sel.from[0].alias, "pats1");
+                assert_eq!(sel.conditions.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_ops_with_parens() {
+        // The paper's annotation query shape.
+        let s = parse_statement(
+            "(SELECT id FROM a UNION SELECT id FROM b) EXCEPT (SELECT id FROM c UNION SELECT id FROM d)",
+        )
+        .unwrap();
+        match s {
+            Statement::Query(QueryExpr::SetOp { op: SetOpKind::Except, left, right }) => {
+                assert!(matches!(*left, QueryExpr::SetOp { op: SetOpKind::Union, .. }));
+                assert!(matches!(*right, QueryExpr::SetOp { op: SetOpKind::Union, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let s = parse_statement("UPDATE t SET s = '+' WHERE id = 7").unwrap();
+        match s {
+            Statement::Update { table, assignments, conditions } => {
+                assert_eq!(table, "t");
+                assert_eq!(assignments, vec![("s".to_string(), Literal::Str("+".into()))]);
+                assert_eq!(conditions.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let s = parse_statement("DELETE FROM t WHERE pid = 3 AND v != 'x'").unwrap();
+        match s {
+            Statement::Delete { conditions, .. } => assert_eq!(conditions.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn script_parsing() {
+        let stmts = parse_script(
+            "CREATE TABLE t (id INT);\nINSERT INTO t (id) VALUES (1);\nSELECT id FROM t;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+        // Empty statements tolerated.
+        assert_eq!(parse_script(";;").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn as_alias_and_bare_alias() {
+        let s = parse_statement("SELECT x.id FROM t AS x WHERE x.id > 1").unwrap();
+        match s {
+            Statement::Query(QueryExpr::Select(sel)) => assert_eq!(sel.from[0].alias, "x"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let s = parse_statement("SELECT id FROM t WHERE id = 1").unwrap();
+        match s {
+            Statement::Query(QueryExpr::Select(sel)) => {
+                assert_eq!(sel.from[0].alias, "t");
+                assert_eq!(sel.conditions.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_statement("SELECT FROM t").is_err());
+        assert!(parse_statement("CREATE TABLE t (id FLOAT)").is_err());
+        assert!(parse_statement("INSERT INTO t VALUES (1)").is_err(), "column list required");
+        assert!(parse_statement("SELECT id FROM t WHERE").is_err());
+        assert!(parse_statement("SELECT id FROM t garbage garbage").is_err());
+        assert!(parse_statement("UPDATE t SET").is_err());
+    }
+}

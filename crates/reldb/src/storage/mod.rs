@@ -1,0 +1,120 @@
+//! Physical table storage: row-oriented and column-oriented layouts plus
+//! hash indexes.
+//!
+//! Both layouts share the same logical contract (append / read cell /
+//! update cell / tombstone delete, with index maintenance) but expose
+//! their natural bulk accessors: [`row::RowTable::row`] hands the row
+//! executor a contiguous tuple, [`column::ColTable::column`] hands the
+//! column executor a whole column vector.
+
+pub mod column;
+pub mod row;
+
+use crate::error::{Error, Result};
+use crate::value::Value;
+use std::collections::HashMap;
+
+pub use column::{ColTable, ColumnData};
+pub use row::RowTable;
+
+/// A hash index over one column. Unique indexes (primary keys) reject
+/// duplicate insertions.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    map: HashMap<Value, Vec<usize>>,
+    unique: bool,
+}
+
+impl HashIndex {
+    /// Create an index; `unique` enforces at most one row per key.
+    pub fn new(unique: bool) -> Self {
+        HashIndex { map: HashMap::new(), unique }
+    }
+
+    /// Register `row` under `key`. `NULL` keys are not indexed.
+    pub fn insert(&mut self, key: Value, row: usize) -> Result<()> {
+        if key.is_null() {
+            return Ok(());
+        }
+        let slot = self.map.entry(key).or_default();
+        if self.unique && !slot.is_empty() {
+            return Err(Error::exec("unique index violation"));
+        }
+        slot.push(row);
+        Ok(())
+    }
+
+    /// Remove the `(key, row)` pairing, if present.
+    pub fn remove(&mut self, key: &Value, row: usize) {
+        if key.is_null() {
+            return;
+        }
+        if let Some(slot) = self.map.get_mut(key) {
+            slot.retain(|&r| r != row);
+            if slot.is_empty() {
+                self.map.remove(key);
+            }
+        }
+    }
+
+    /// Rows filed under `key`.
+    pub fn lookup(&self, key: &Value) -> &[usize] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no keys are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Shared helper: which columns of a schema carry indexes, and whether
+/// each is unique.
+pub(crate) fn index_plan(schema: &crate::catalog::TableSchema) -> Vec<(usize, bool)> {
+    schema
+        .columns
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.indexed)
+        .map(|(i, c)| (i, c.primary_key))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_index_rejects_duplicates() {
+        let mut idx = HashIndex::new(true);
+        idx.insert(Value::Int(1), 0).unwrap();
+        assert!(idx.insert(Value::Int(1), 1).is_err());
+        assert_eq!(idx.lookup(&Value::Int(1)), &[0]);
+    }
+
+    #[test]
+    fn multi_index_accumulates() {
+        let mut idx = HashIndex::new(false);
+        idx.insert(Value::Int(7), 0).unwrap();
+        idx.insert(Value::Int(7), 3).unwrap();
+        assert_eq!(idx.lookup(&Value::Int(7)), &[0, 3]);
+        idx.remove(&Value::Int(7), 0);
+        assert_eq!(idx.lookup(&Value::Int(7)), &[3]);
+        idx.remove(&Value::Int(7), 3);
+        assert!(idx.lookup(&Value::Int(7)).is_empty());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn nulls_not_indexed() {
+        let mut idx = HashIndex::new(true);
+        idx.insert(Value::Null, 0).unwrap();
+        idx.insert(Value::Null, 1).unwrap(); // no unique violation
+        assert!(idx.lookup(&Value::Null).is_empty());
+    }
+}

@@ -1,0 +1,212 @@
+//! Row-oriented table storage (the PostgreSQL-like layout).
+//!
+//! Tuples live contiguously (`Vec<Vec<Value>>`); deletion tombstones the
+//! slot. Appends touch one allocation, reads of a whole tuple are one
+//! index away — the access profile of a classic row store.
+
+use super::{index_plan, HashIndex};
+use crate::catalog::TableSchema;
+use crate::error::{Error, Result};
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// A row-store table.
+#[derive(Debug, Clone)]
+pub struct RowTable {
+    schema: TableSchema,
+    rows: Vec<Vec<Value>>,
+    live: Vec<bool>,
+    live_count: usize,
+    indexes: BTreeMap<usize, HashIndex>,
+}
+
+impl RowTable {
+    /// Create an empty table for the schema.
+    pub fn new(schema: TableSchema) -> Self {
+        let indexes = index_plan(&schema)
+            .into_iter()
+            .map(|(col, unique)| (col, HashIndex::new(unique)))
+            .collect();
+        RowTable { schema, rows: Vec::new(), live: Vec::new(), live_count: 0, indexes }
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Live row count.
+    pub fn row_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Physical slot count (live + tombstoned).
+    pub fn capacity(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the slot live?
+    pub fn is_live(&self, row: usize) -> bool {
+        self.live.get(row).copied().unwrap_or(false)
+    }
+
+    /// Borrow a physical row (caller checks liveness).
+    pub fn row(&self, row: usize) -> &[Value] {
+        &self.rows[row]
+    }
+
+    /// Clone one cell.
+    pub fn cell(&self, row: usize, col: usize) -> Value {
+        self.rows[row][col].clone()
+    }
+
+    /// Append a tuple; returns its slot.
+    pub fn append(&mut self, row: Vec<Value>) -> Result<usize> {
+        validate_row(&self.schema, &row)?;
+        let slot = self.rows.len();
+        for (&col, index) in self.indexes.iter_mut() {
+            index.insert(row[col].clone(), slot)?;
+        }
+        self.rows.push(row);
+        self.live.push(true);
+        self.live_count += 1;
+        Ok(slot)
+    }
+
+    /// Overwrite one cell, maintaining indexes.
+    pub fn update_cell(&mut self, row: usize, col: usize, value: Value) -> Result<()> {
+        if !self.is_live(row) {
+            return Err(Error::exec("update of a deleted row"));
+        }
+        if !value.fits(self.schema.columns[col].dtype) {
+            return Err(Error::exec(format!(
+                "value {value:?} does not fit column `{}`",
+                self.schema.columns[col].name
+            )));
+        }
+        if let Some(index) = self.indexes.get_mut(&col) {
+            let old = self.rows[row][col].clone();
+            index.remove(&old, row);
+            index.insert(value.clone(), row)?;
+        }
+        self.rows[row][col] = value;
+        Ok(())
+    }
+
+    /// Tombstone a row, maintaining indexes.
+    pub fn delete_row(&mut self, row: usize) -> Result<()> {
+        if !self.is_live(row) {
+            return Err(Error::exec("double delete"));
+        }
+        for (&col, index) in self.indexes.iter_mut() {
+            let key = self.rows[row][col].clone();
+            index.remove(&key, row);
+        }
+        self.live[row] = false;
+        self.live_count -= 1;
+        Ok(())
+    }
+
+    /// Rows filed under `key` in the index on `col` (empty when the column
+    /// has no index).
+    pub fn index_lookup(&self, col: usize, key: &Value) -> &[usize] {
+        self.indexes.get(&col).map(|i| i.lookup(key)).unwrap_or(&[])
+    }
+
+    /// Whether `col` carries an index.
+    pub fn has_index(&self, col: usize) -> bool {
+        self.indexes.contains_key(&col)
+    }
+
+    /// Iterate live slots.
+    pub fn live_rows(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.rows.len()).filter(move |&r| self.live[r])
+    }
+}
+
+pub(crate) fn validate_row(schema: &TableSchema, row: &[Value]) -> Result<()> {
+    if row.len() != schema.arity() {
+        return Err(Error::exec(format!(
+            "arity mismatch for `{}`: expected {}, got {}",
+            schema.name,
+            schema.arity(),
+            row.len()
+        )));
+    }
+    for (v, c) in row.iter().zip(&schema.columns) {
+        if !v.fits(c.dtype) {
+            return Err(Error::exec(format!(
+                "value {v:?} does not fit column `{}` of `{}`",
+                c.name, schema.name
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Column;
+    use crate::value::DataType;
+
+    fn table() -> RowTable {
+        RowTable::new(
+            TableSchema::new(
+                "t",
+                vec![
+                    Column::new("id", DataType::Int).primary_key(),
+                    Column::new("pid", DataType::Int).indexed(),
+                    Column::new("v", DataType::Text),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn append_read_update_delete() {
+        let mut t = table();
+        let r0 = t.append(vec![Value::Int(1), Value::Null, Value::Text("a".into())]).unwrap();
+        let r1 = t.append(vec![Value::Int(2), Value::Int(1), Value::Text("b".into())]).unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.cell(r1, 2), Value::Text("b".into()));
+        t.update_cell(r1, 2, Value::Text("c".into())).unwrap();
+        assert_eq!(t.cell(r1, 2), Value::Text("c".into()));
+        t.delete_row(r0).unwrap();
+        assert_eq!(t.row_count(), 1);
+        assert!(!t.is_live(r0));
+        assert!(t.delete_row(r0).is_err());
+        assert!(t.update_cell(r0, 2, Value::Null).is_err());
+        assert_eq!(t.live_rows().collect::<Vec<_>>(), vec![r1]);
+    }
+
+    #[test]
+    fn indexes_follow_mutations() {
+        let mut t = table();
+        t.append(vec![Value::Int(1), Value::Int(9), Value::Null]).unwrap();
+        t.append(vec![Value::Int(2), Value::Int(9), Value::Null]).unwrap();
+        assert_eq!(t.index_lookup(1, &Value::Int(9)).len(), 2);
+        t.update_cell(0, 1, Value::Int(8)).unwrap();
+        assert_eq!(t.index_lookup(1, &Value::Int(9)), &[1]);
+        assert_eq!(t.index_lookup(1, &Value::Int(8)), &[0]);
+        t.delete_row(1).unwrap();
+        assert!(t.index_lookup(1, &Value::Int(9)).is_empty());
+        assert!(t.has_index(0) && t.has_index(1) && !t.has_index(2));
+    }
+
+    #[test]
+    fn constraint_violations() {
+        let mut t = table();
+        t.append(vec![Value::Int(1), Value::Null, Value::Null]).unwrap();
+        assert!(
+            t.append(vec![Value::Int(1), Value::Null, Value::Null]).is_err(),
+            "duplicate primary key"
+        );
+        assert!(t.append(vec![Value::Int(2), Value::Null]).is_err(), "arity");
+        assert!(
+            t.append(vec![Value::Text("x".into()), Value::Null, Value::Null]).is_err(),
+            "type mismatch"
+        );
+    }
+}

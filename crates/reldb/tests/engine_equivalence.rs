@@ -1,0 +1,114 @@
+//! Property test: the row engine and the column engine are observationally
+//! equivalent — identical results for identical SQL over identical data,
+//! under randomized schemas, data and query workloads.
+
+use proptest::prelude::*;
+use xac_reldb::{Database, StorageKind, Value};
+
+/// A randomized two-table database and a batch of queries over it.
+#[derive(Debug, Clone)]
+struct Workload {
+    parents: Vec<(i64, Option<String>)>,
+    children: Vec<(i64, i64, Option<String>, i64)>,
+    queries: Vec<String>,
+}
+
+fn arb_text() -> impl Strategy<Value = Option<String>> {
+    proptest::option::of(prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("700".to_string()),
+        Just("1600".to_string()),
+    ])
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    let parents = proptest::collection::vec(arb_text(), 1..8).prop_map(|vs| {
+        vs.into_iter()
+            .enumerate()
+            .map(|(i, v)| (i as i64 + 1, v))
+            .collect::<Vec<_>>()
+    });
+    let children = (proptest::collection::vec((1i64..8, arb_text(), 0i64..2000), 0..20))
+        .prop_map(|rows| {
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, (pid, v, n))| (100 + i as i64, pid, v, n))
+                .collect::<Vec<_>>()
+        });
+    let query = prop_oneof![
+        Just("SELECT id FROM child".to_string()),
+        Just("SELECT id FROM child WHERE v = 'a'".to_string()),
+        Just("SELECT id FROM child WHERE n > 1000".to_string()),
+        Just("SELECT id FROM child WHERE n <= 500 AND v != 'b'".to_string()),
+        Just("SELECT c.id FROM parent p, child c WHERE p.id = c.pid".to_string()),
+        Just("SELECT c.id FROM parent p, child c WHERE p.id = c.pid AND p.v = 'a'".to_string()),
+        Just(
+            "(SELECT id FROM child WHERE v = 'a') UNION (SELECT id FROM child WHERE n > 900)"
+                .to_string()
+        ),
+        Just(
+            "(SELECT id FROM child) EXCEPT (SELECT id FROM child WHERE v = 'b')".to_string()
+        ),
+        Just(
+            "(SELECT id FROM child WHERE n > 100) INTERSECT (SELECT id FROM child WHERE v = 'a')"
+                .to_string()
+        ),
+        Just("SELECT p.id FROM parent p, child c".to_string()),
+        Just("SELECT pid FROM child WHERE pid = 3".to_string()),
+        Just("SELECT COUNT(*) FROM child WHERE n > 500".to_string()),
+        Just("SELECT COUNT(v) FROM child".to_string()),
+        Just("SELECT COUNT(c.id) FROM parent p, child c WHERE p.id = c.pid".to_string()),
+    ];
+    let queries = proptest::collection::vec(query, 1..6);
+    (parents, children, queries)
+        .prop_map(|(parents, children, queries)| Workload { parents, children, queries })
+}
+
+fn build(kind: StorageKind, w: &Workload) -> Database {
+    let mut db = Database::new(kind);
+    db.execute("CREATE TABLE parent (id INT PRIMARY KEY, v TEXT)").unwrap();
+    db.execute("CREATE TABLE child (id INT PRIMARY KEY, pid INT INDEX, v TEXT, n INT)")
+        .unwrap();
+    for (id, v) in &w.parents {
+        let v = v.as_ref().map(|s| Value::Text(s.clone())).unwrap_or(Value::Null);
+        db.append_row("parent", vec![Value::Int(*id), v]).unwrap();
+    }
+    for (id, pid, v, n) in &w.children {
+        let v = v.as_ref().map(|s| Value::Text(s.clone())).unwrap_or(Value::Null);
+        db.append_row("child", vec![Value::Int(*id), Value::Int(*pid), v, Value::Int(*n)])
+            .unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn row_and_column_engines_agree(w in arb_workload()) {
+        let mut row = build(StorageKind::Row, &w);
+        let mut col = build(StorageKind::Column, &w);
+        for q in &w.queries {
+            let r = row.query(q).unwrap().sorted();
+            let c = col.query(q).unwrap().sorted();
+            prop_assert_eq!(r, c, "engines disagree on `{}`", q);
+        }
+    }
+
+    #[test]
+    fn engines_agree_after_mutations(w in arb_workload(), cut in 0i64..2000) {
+        let mut row = build(StorageKind::Row, &w);
+        let mut col = build(StorageKind::Column, &w);
+        for db in [&mut row, &mut col] {
+            db.execute(&format!("UPDATE child SET v = 'u' WHERE n > {cut}")).unwrap();
+            db.execute(&format!("DELETE FROM child WHERE n <= {}", cut / 2)).unwrap();
+        }
+        for q in &w.queries {
+            let r = row.query(q).unwrap().sorted();
+            let c = col.query(q).unwrap().sorted();
+            prop_assert_eq!(r, c, "post-mutation disagreement on `{}`", q);
+        }
+        prop_assert_eq!(row.row_count("child").unwrap(), col.row_count("child").unwrap());
+    }
+}

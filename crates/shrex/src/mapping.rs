@@ -1,0 +1,192 @@
+//! Schema mapping: one relational table per element type.
+
+use crate::{Error, Result};
+use xac_xml::Schema;
+
+/// Name of the text-value column on leaf-type tables.
+pub const VALUE_COLUMN: &str = "v";
+
+/// Name of the accessibility sign column present on every table.
+pub const SIGN_COLUMN: &str = "s";
+
+/// The derived relational mapping for an XML schema.
+#[derive(Debug, Clone)]
+pub struct Mapping {
+    schema: Schema,
+    tables: Vec<MappedTable>,
+}
+
+/// One mapped element type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappedTable {
+    /// Table (and element type) name.
+    pub name: String,
+    /// Whether the table carries a `v` value column (leaf text types).
+    pub has_value: bool,
+}
+
+impl Mapping {
+    /// Derive the mapping. The schema must be non-recursive (the paper
+    /// removed recursion from xmlgen's schema for exactly this reason) and
+    /// every mapped type must be reachable from the root.
+    pub fn derive(schema: &Schema) -> Result<Mapping> {
+        if schema.is_recursive() {
+            return Err(Error::Mapping(
+                "recursive schemas cannot be shredded with this mapping".into(),
+            ));
+        }
+        let reachable = schema.reachable_types();
+        let tables = reachable
+            .iter()
+            .map(|&name| MappedTable {
+                name: name.to_string(),
+                has_value: schema.is_text_type(name),
+            })
+            .collect();
+        Ok(Mapping { schema: schema.clone(), tables })
+    }
+
+    /// The source XML schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The mapped tables, sorted by name.
+    pub fn tables(&self) -> &[MappedTable] {
+        &self.tables
+    }
+
+    /// Look up one mapped table.
+    pub fn table(&self, name: &str) -> Option<&MappedTable> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// The column list of one table, in order.
+    pub fn columns(&self, name: &str) -> Option<Vec<&'static str>> {
+        self.table(name).map(|t| {
+            if t.has_value {
+                vec!["id", "pid", VALUE_COLUMN, SIGN_COLUMN]
+            } else {
+                vec!["id", "pid", SIGN_COLUMN]
+            }
+        })
+    }
+
+    /// The `CREATE TABLE` DDL for the whole mapping (one statement per
+    /// element type, `;`-separated).
+    pub fn ddl(&self) -> String {
+        let mut out = String::new();
+        for t in &self.tables {
+            if t.has_value {
+                out.push_str(&format!(
+                    "CREATE TABLE {} (id INT PRIMARY KEY, pid INT INDEX, v TEXT, s TEXT);\n",
+                    t.name
+                ));
+            } else {
+                out.push_str(&format!(
+                    "CREATE TABLE {} (id INT PRIMARY KEY, pid INT INDEX, s TEXT);\n",
+                    t.name
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use xac_xml::{Occurs::*, Particle, Schema};
+
+    pub(crate) fn hospital_schema() -> Schema {
+        Schema::builder("hospital")
+            .sequence("hospital", vec![Particle::new("dept", Plus)])
+            .sequence(
+                "dept",
+                vec![Particle::new("patients", One), Particle::new("staffinfo", One)],
+            )
+            .sequence("patients", vec![Particle::new("patient", Star)])
+            .sequence("staffinfo", vec![Particle::new("staff", Star)])
+            .sequence(
+                "patient",
+                vec![
+                    Particle::new("psn", One),
+                    Particle::new("name", One),
+                    Particle::new("treatment", Optional),
+                ],
+            )
+            .choice(
+                "treatment",
+                vec![
+                    Particle::new("regular", Optional),
+                    Particle::new("experimental", Optional),
+                ],
+            )
+            .sequence("regular", vec![Particle::new("med", One), Particle::new("bill", One)])
+            .sequence(
+                "experimental",
+                vec![Particle::new("test", One), Particle::new("bill", One)],
+            )
+            .choice("staff", vec![Particle::new("nurse", One), Particle::new("doctor", One)])
+            .sequence(
+                "nurse",
+                vec![
+                    Particle::new("sid", One),
+                    Particle::new("name", One),
+                    Particle::new("phone", One),
+                ],
+            )
+            .sequence(
+                "doctor",
+                vec![
+                    Particle::new("sid", One),
+                    Particle::new("name", One),
+                    Particle::new("phone", One),
+                ],
+            )
+            .text(&["psn", "name", "med", "bill", "test", "sid", "phone"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn derives_one_table_per_type() {
+        let m = Mapping::derive(&hospital_schema()).unwrap();
+        assert_eq!(m.tables().len(), 18);
+        assert!(m.table("patient").is_some());
+        assert!(!m.table("patient").unwrap().has_value);
+        assert!(m.table("med").unwrap().has_value);
+        assert_eq!(m.columns("med").unwrap(), vec!["id", "pid", "v", "s"]);
+        assert_eq!(m.columns("patient").unwrap(), vec!["id", "pid", "s"]);
+    }
+
+    #[test]
+    fn ddl_mentions_every_table() {
+        let m = Mapping::derive(&hospital_schema()).unwrap();
+        let ddl = m.ddl();
+        assert_eq!(ddl.matches("CREATE TABLE").count(), 18);
+        assert!(ddl.contains("CREATE TABLE med (id INT PRIMARY KEY, pid INT INDEX, v TEXT, s TEXT);"));
+        assert!(ddl.contains("CREATE TABLE patient (id INT PRIMARY KEY, pid INT INDEX, s TEXT);"));
+    }
+
+    #[test]
+    fn rejects_recursive_schema() {
+        let s = Schema::builder("a")
+            .sequence("a", vec![Particle::new("a", Star)])
+            .build()
+            .unwrap();
+        assert!(Mapping::derive(&s).is_err());
+    }
+
+    #[test]
+    fn unreachable_types_not_mapped() {
+        let s = Schema::builder("a")
+            .sequence("a", vec![Particle::new("b", Star)])
+            .text(&["b", "orphan"])
+            .build()
+            .unwrap();
+        let m = Mapping::derive(&s).unwrap();
+        assert!(m.table("orphan").is_none());
+        assert_eq!(m.tables().len(), 2);
+    }
+}

@@ -1,0 +1,240 @@
+//! A parser for the DTD subset this system uses, the textual form of the
+//! schema graphs of Figure 1. Round-trips with
+//! [`Schema::to_dtd_string`]:
+//!
+//! ```
+//! use xac_xml::{parse_dtd, Schema};
+//!
+//! let schema = parse_dtd(
+//!     "<!ELEMENT a (b+, c?)>\n<!ELEMENT b (#PCDATA)>\n<!ELEMENT c EMPTY>",
+//! ).unwrap();
+//! assert_eq!(schema.root(), "a");
+//! let again = parse_dtd(&schema.to_dtd_string()).unwrap();
+//! assert_eq!(again.to_dtd_string(), schema.to_dtd_string());
+//! ```
+//!
+//! Supported content models: `(#PCDATA)` leaves, `EMPTY`, sequences
+//! `(a, b?, c*)` and choices `(a | b?)`. The **first declared element is
+//! the root** (the DTD convention the paper's tooling follows). Mixed
+//! `,`/`|` groups and nested groups are outside the fragment and
+//! rejected.
+
+use crate::error::{Error, Result};
+use crate::schema::{ContentModel, ElementType, Occurs, Particle, Schema};
+use std::collections::BTreeMap;
+
+/// Parse DTD text into a [`Schema`]. See the module docs for the
+/// supported subset.
+pub fn parse_dtd(text: &str) -> Result<Schema> {
+    let mut root: Option<String> = None;
+    let mut types: BTreeMap<String, ElementType> = BTreeMap::new();
+
+    let mut rest = text;
+    loop {
+        // Find the next declaration.
+        let Some(start) = rest.find("<!ELEMENT") else {
+            let remainder = rest.trim();
+            if !remainder.is_empty() && !remainder.starts_with("<!--") {
+                // Tolerate trailing comments/whitespace only.
+                if remainder.contains('<') && !remainder.starts_with("<!--") {
+                    return Err(Error::Schema(format!(
+                        "unexpected content outside declarations: `{}`",
+                        remainder.chars().take(40).collect::<String>()
+                    )));
+                }
+            }
+            break;
+        };
+        rest = &rest[start + "<!ELEMENT".len()..];
+        let end = rest
+            .find('>')
+            .ok_or_else(|| Error::Schema("unterminated <!ELEMENT declaration".into()))?;
+        let body = rest[..end].trim();
+        rest = &rest[end + 1..];
+
+        let (name, model_src) = body
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| Error::Schema(format!("malformed declaration `{body}`")))?;
+        let name = name.trim();
+        if name.is_empty() || !is_name(name) {
+            return Err(Error::Schema(format!("invalid element name `{name}`")));
+        }
+        let content = parse_content_model(model_src.trim())?;
+        if types
+            .insert(name.to_string(), ElementType { name: name.to_string(), content })
+            .is_some()
+        {
+            return Err(Error::Schema(format!("duplicate declaration of `{name}`")));
+        }
+        root.get_or_insert_with(|| name.to_string());
+    }
+
+    let root = root.ok_or_else(|| Error::Schema("no <!ELEMENT declarations found".into()))?;
+    let mut builder = Schema::builder(root);
+    for (name, et) in types {
+        builder = match et.content {
+            ContentModel::Sequence(ps) => builder.sequence(name, ps),
+            ContentModel::Choice(ps) => builder.choice(name, ps),
+            ContentModel::Text => builder.text(&[&name]),
+            ContentModel::Empty => builder.empty(name),
+        };
+    }
+    builder.build()
+}
+
+fn is_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+}
+
+fn parse_content_model(src: &str) -> Result<ContentModel> {
+    if src.eq_ignore_ascii_case("EMPTY") {
+        return Ok(ContentModel::Empty);
+    }
+    let inner = src
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| Error::Schema(format!("content model `{src}` must be parenthesized or EMPTY")))?
+        .trim();
+    if inner == "#PCDATA" {
+        return Ok(ContentModel::Text);
+    }
+    if inner.contains('(') {
+        return Err(Error::Schema(format!(
+            "nested groups are outside the supported fragment: `{src}`"
+        )));
+    }
+    let has_comma = inner.contains(',');
+    let has_pipe = inner.contains('|');
+    if has_comma && has_pipe {
+        return Err(Error::Schema(format!(
+            "mixed `,` and `|` in one group is not supported: `{src}`"
+        )));
+    }
+    let sep = if has_pipe { '|' } else { ',' };
+    let mut particles = Vec::new();
+    for item in inner.split(sep) {
+        let item = item.trim();
+        if item.is_empty() {
+            return Err(Error::Schema(format!("empty particle in `{src}`")));
+        }
+        let (name, occurs) = match item.chars().last() {
+            Some('?') => (&item[..item.len() - 1], Occurs::Optional),
+            Some('*') => (&item[..item.len() - 1], Occurs::Star),
+            Some('+') => (&item[..item.len() - 1], Occurs::Plus),
+            _ => (item, Occurs::One),
+        };
+        let name = name.trim();
+        if !is_name(name) {
+            return Err(Error::Schema(format!("invalid particle name `{item}`")));
+        }
+        particles.push(Particle::new(name, occurs));
+    }
+    if has_pipe {
+        Ok(ContentModel::Choice(particles))
+    } else {
+        Ok(ContentModel::Sequence(particles))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOSPITAL_DTD: &str = r#"
+<!ELEMENT hospital (dept+)>
+<!ELEMENT dept (patients, staffinfo)>
+<!ELEMENT patients (patient*)>
+<!ELEMENT staffinfo (staff*)>
+<!ELEMENT patient (psn, name, treatment?)>
+<!ELEMENT treatment (regular? | experimental?)>
+<!ELEMENT regular (med, bill)>
+<!ELEMENT experimental (test, bill)>
+<!ELEMENT staff (nurse | doctor)>
+<!ELEMENT nurse (sid, name, phone)>
+<!ELEMENT doctor (sid, name, phone)>
+<!ELEMENT psn (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT med (#PCDATA)>
+<!ELEMENT bill (#PCDATA)>
+<!ELEMENT test (#PCDATA)>
+<!ELEMENT sid (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+"#;
+
+    #[test]
+    fn parses_figure1_dtd() {
+        let s = parse_dtd(HOSPITAL_DTD).unwrap();
+        assert_eq!(s.root(), "hospital");
+        assert_eq!(s.type_count(), 18);
+        assert!(s.is_text_type("med"));
+        assert!(!s.is_recursive());
+        assert_eq!(
+            s.child_types("patient"),
+            vec!["psn", "name", "treatment"]
+        );
+        match &s.element_type("treatment").unwrap().content {
+            ContentModel::Choice(ps) => {
+                assert_eq!(ps.len(), 2);
+                assert_eq!(ps[0].occurs, Occurs::Optional);
+            }
+            other => panic!("treatment should be a choice, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trips_with_to_dtd_string() {
+        let s = parse_dtd(HOSPITAL_DTD).unwrap();
+        let rendered = s.to_dtd_string();
+        let again = parse_dtd(&rendered).unwrap();
+        assert_eq!(again.to_dtd_string(), rendered);
+        assert_eq!(again.root(), s.root());
+    }
+
+    #[test]
+    fn first_declaration_is_root() {
+        let s = parse_dtd("<!ELEMENT z (a*)>\n<!ELEMENT a (#PCDATA)>").unwrap();
+        assert_eq!(s.root(), "z");
+    }
+
+    #[test]
+    fn empty_and_occurrences() {
+        let s = parse_dtd(
+            "<!ELEMENT r (a, b?, c*, d+)>\n\
+             <!ELEMENT a EMPTY>\n<!ELEMENT b EMPTY>\n<!ELEMENT c EMPTY>\n<!ELEMENT d EMPTY>",
+        )
+        .unwrap();
+        match &s.element_type("r").unwrap().content {
+            ContentModel::Sequence(ps) => {
+                let occ: Vec<Occurs> = ps.iter().map(|p| p.occurs).collect();
+                assert_eq!(occ, vec![Occurs::One, Occurs::Optional, Occurs::Star, Occurs::Plus]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_dtds() {
+        assert!(parse_dtd("").is_err(), "no declarations");
+        assert!(parse_dtd("<!ELEMENT a (b,c|d)>").is_err(), "mixed separators");
+        assert!(parse_dtd("<!ELEMENT a ((b))>\n<!ELEMENT b EMPTY>").is_err(), "nested group");
+        assert!(parse_dtd("<!ELEMENT a (missing)>").is_err(), "undeclared reference");
+        assert!(parse_dtd("<!ELEMENT a (b)>\n<!ELEMENT a EMPTY>\n<!ELEMENT b EMPTY>").is_err(), "duplicate");
+        assert!(parse_dtd("<!ELEMENT a (b)").is_err(), "unterminated");
+        assert!(parse_dtd("<!ELEMENT 9bad EMPTY>").is_err(), "bad name");
+        assert!(parse_dtd("<!ELEMENT a b>").is_err(), "unparenthesized model");
+    }
+
+    #[test]
+    fn validates_documents_parsed_from_dtd() {
+        let s = parse_dtd(HOSPITAL_DTD).unwrap();
+        let doc = crate::Document::parse_str(
+            "<hospital><dept><patients>\
+             <patient><psn>1</psn><name>n</name></patient>\
+             </patients><staffinfo/></dept></hospital>",
+        )
+        .unwrap();
+        s.validate(&doc).unwrap();
+    }
+}

@@ -1,0 +1,42 @@
+//! Error type shared by the parsing, validation and schema analyses.
+
+use std::fmt;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The XML text was malformed. Carries a byte offset and a message.
+    Parse { offset: usize, message: String },
+    /// A document did not conform to a [`crate::Schema`].
+    Validation(String),
+    /// A schema was internally inconsistent (e.g. a particle references an
+    /// undeclared element type).
+    Schema(String),
+    /// A node id did not belong to the document, or pointed at a detached
+    /// node.
+    InvalidNode(String),
+}
+
+impl Error {
+    pub(crate) fn parse(offset: usize, message: impl Into<String>) -> Self {
+        Error::Parse { offset, message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { offset, message } => {
+                write!(f, "XML parse error at byte {offset}: {message}")
+            }
+            Error::Validation(m) => write!(f, "validation error: {m}"),
+            Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::InvalidNode(m) => write!(f, "invalid node: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,708 @@
+//! DTD-style schema graphs.
+//!
+//! The paper (Figure 1) represents an XML DTD as a node-and-edge-labelled
+//! graph: nodes are element types, edges capture the content model of a
+//! type (a *sequence* or a *choice* of children), and edge labels carry the
+//! occurrence indicators `*` (zero or more), `+` (one or more) and `?`
+//! (optional).
+//!
+//! Besides acting as a vocabulary for document validation, the schema graph
+//! powers two static analyses the system depends on:
+//!
+//! * **recursion detection** — the paper removes recursive element types
+//!   from xmlgen's schema because ShreX-style shredding and the
+//!   descendant-axis rewrite require finitely many label paths;
+//! * **path enumeration** — [`Schema::paths_between`] returns every
+//!   child-axis label path connecting two element types, which is exactly
+//!   the "replace descendant axes inside predicates with relative paths
+//!   using only the child axis" rewrite of §5.3 (finite thanks to the
+//!   non-recursive schema).
+
+use crate::error::{Error, Result};
+use crate::model::{Document, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Occurrence indicator attached to a particle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Occurs {
+    /// Exactly one (no indicator in the DTD).
+    One,
+    /// `?` — zero or one.
+    Optional,
+    /// `*` — zero or more.
+    Star,
+    /// `+` — one or more.
+    Plus,
+}
+
+impl Occurs {
+    /// Minimum number of occurrences.
+    pub fn min(self) -> usize {
+        match self {
+            Occurs::One | Occurs::Plus => 1,
+            Occurs::Optional | Occurs::Star => 0,
+        }
+    }
+
+    /// Maximum number of occurrences (`None` = unbounded).
+    pub fn max(self) -> Option<usize> {
+        match self {
+            Occurs::One | Occurs::Optional => Some(1),
+            Occurs::Star | Occurs::Plus => None,
+        }
+    }
+
+    /// DTD rendering of the indicator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Occurs::One => "",
+            Occurs::Optional => "?",
+            Occurs::Star => "*",
+            Occurs::Plus => "+",
+        }
+    }
+}
+
+/// A reference to a child element type, with its occurrence indicator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Particle {
+    /// Name of the child element type.
+    pub name: String,
+    /// Occurrence indicator.
+    pub occurs: Occurs,
+}
+
+impl Particle {
+    /// Shorthand constructor.
+    pub fn new(name: impl Into<String>, occurs: Occurs) -> Self {
+        Particle { name: name.into(), occurs }
+    }
+}
+
+/// The content model of an element type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContentModel {
+    /// Ordered sequence of particles (solid edges in Figure 1).
+    Sequence(Vec<Particle>),
+    /// Choice between particles (dashed edges in Figure 1). A choice in
+    /// which every branch is optional also admits empty content — this is
+    /// how the paper's `treatment` element ("it can also be unspecified")
+    /// is modelled.
+    Choice(Vec<Particle>),
+    /// Character data only (a leaf type whose value comes from `D`).
+    Text,
+    /// No content at all.
+    Empty,
+}
+
+/// An element type declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementType {
+    /// The element name (a label from `Σ`).
+    pub name: String,
+    /// Its content model.
+    pub content: ContentModel,
+}
+
+/// A complete schema: a root element type plus declarations.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    root: String,
+    types: BTreeMap<String, ElementType>,
+}
+
+impl Schema {
+    /// Start building a schema with the given root element type.
+    pub fn builder(root: impl Into<String>) -> SchemaBuilder {
+        SchemaBuilder { root: root.into(), types: BTreeMap::new() }
+    }
+
+    /// The root element type name.
+    pub fn root(&self) -> &str {
+        &self.root
+    }
+
+    /// Look up a declaration.
+    pub fn element_type(&self, name: &str) -> Option<&ElementType> {
+        self.types.get(name)
+    }
+
+    /// Whether `name` is declared.
+    pub fn contains(&self, name: &str) -> bool {
+        self.types.contains_key(name)
+    }
+
+    /// All declared element type names, sorted.
+    pub fn type_names(&self) -> impl Iterator<Item = &str> {
+        self.types.keys().map(|s| s.as_str())
+    }
+
+    /// Number of declared element types.
+    pub fn type_count(&self) -> usize {
+        self.types.len()
+    }
+
+    /// The child element types that may appear directly under `name`.
+    pub fn child_types(&self, name: &str) -> Vec<&str> {
+        match self.types.get(name).map(|t| &t.content) {
+            Some(ContentModel::Sequence(ps)) | Some(ContentModel::Choice(ps)) => {
+                ps.iter().map(|p| p.name.as_str()).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// True if `name` is a leaf type carrying character data.
+    pub fn is_text_type(&self, name: &str) -> bool {
+        matches!(self.types.get(name).map(|t| &t.content), Some(ContentModel::Text))
+    }
+
+    /// Detect whether any element type can (transitively) contain itself.
+    pub fn is_recursive(&self) -> bool {
+        fn visit<'a>(
+            schema: &'a Schema,
+            name: &'a str,
+            on_stack: &mut BTreeSet<&'a str>,
+            done: &mut BTreeSet<&'a str>,
+        ) -> bool {
+            if on_stack.contains(name) {
+                return true;
+            }
+            if done.contains(name) {
+                return false;
+            }
+            on_stack.insert(name);
+            for child in schema.child_types(name) {
+                if visit(schema, child, on_stack, done) {
+                    return true;
+                }
+            }
+            on_stack.remove(name);
+            done.insert(name);
+            false
+        }
+
+        let mut on_stack = BTreeSet::new();
+        let mut done = BTreeSet::new();
+        self.types
+            .keys()
+            .any(|n| visit(self, n.as_str(), &mut on_stack, &mut done))
+    }
+
+    /// All element types reachable from the root (including the root).
+    pub fn reachable_types(&self) -> BTreeSet<&str> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![self.root.as_str()];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            for c in self.child_types(n) {
+                stack.push(c);
+            }
+        }
+        seen
+    }
+
+    /// Every child-axis label path from `from` (exclusive) down to an
+    /// element named `to` (inclusive). Used by the §5.3 descendant-axis
+    /// rewrite: `.//experimental` under `patient` expands to the finite set
+    /// of child paths `treatment/experimental`, …
+    ///
+    /// Errors if the schema is recursive (the set would be infinite).
+    pub fn paths_between(&self, from: &str, to: &str) -> Result<Vec<Vec<String>>> {
+        if self.is_recursive() {
+            return Err(Error::Schema(
+                "paths_between requires a non-recursive schema".into(),
+            ));
+        }
+        let mut out = Vec::new();
+        let mut prefix: Vec<String> = Vec::new();
+        self.collect_paths(from, to, &mut prefix, &mut out);
+        Ok(out)
+    }
+
+    fn collect_paths(
+        &self,
+        at: &str,
+        to: &str,
+        prefix: &mut Vec<String>,
+        out: &mut Vec<Vec<String>>,
+    ) {
+        for child in self.child_types(at) {
+            prefix.push(child.to_string());
+            if child == to {
+                out.push(prefix.clone());
+            }
+            self.collect_paths(child, to, prefix, out);
+            prefix.pop();
+        }
+    }
+
+    /// Every label path from the root (inclusive) to elements named `to`.
+    pub fn paths_from_root(&self, to: &str) -> Result<Vec<Vec<String>>> {
+        if self.root == to {
+            return Ok(vec![vec![self.root.clone()]]);
+        }
+        let mut paths = self.paths_between(&self.root, to)?;
+        for p in &mut paths {
+            p.insert(0, self.root.clone());
+        }
+        Ok(paths)
+    }
+
+    /// Whether an element named `to` can occur (strictly) below `from`.
+    pub fn reachable(&self, from: &str, to: &str) -> bool {
+        let mut seen = BTreeSet::new();
+        let mut stack: Vec<&str> = self.child_types(from);
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            stack.extend(self.child_types(n));
+        }
+        false
+    }
+
+    /// Validate a document against this schema: the root type matches, every
+    /// element is declared, and each element's children match its content
+    /// model.
+    pub fn validate(&self, doc: &Document) -> Result<()> {
+        let root_name = doc
+            .name(doc.root())
+            .ok_or_else(|| Error::Validation("root is not an element".into()))?;
+        if root_name != self.root {
+            return Err(Error::Validation(format!(
+                "root element is `{root_name}`, schema expects `{}`",
+                self.root
+            )));
+        }
+        for node in doc.all_elements() {
+            self.validate_element(doc, node)?;
+        }
+        Ok(())
+    }
+
+    fn validate_element(&self, doc: &Document, node: NodeId) -> Result<()> {
+        let name = doc.name(node).expect("element");
+        let decl = self.types.get(name).ok_or_else(|| {
+            Error::Validation(format!("element `{name}` is not declared in the schema"))
+        })?;
+        let child_names: Vec<&str> = doc
+            .children(node)
+            .map(|c| doc.name(c).unwrap_or("#text"))
+            .collect();
+        let has_text = child_names.contains(&"#text");
+        let element_children: Vec<&str> =
+            child_names.iter().copied().filter(|n| *n != "#text").collect();
+
+        match &decl.content {
+            ContentModel::Text => {
+                if !element_children.is_empty() {
+                    return Err(Error::Validation(format!(
+                        "text-only element `{name}` has element children"
+                    )));
+                }
+                Ok(())
+            }
+            ContentModel::Empty => {
+                if !child_names.is_empty() {
+                    return Err(Error::Validation(format!(
+                        "empty element `{name}` has content"
+                    )));
+                }
+                Ok(())
+            }
+            ContentModel::Sequence(ps) => {
+                if has_text {
+                    return Err(Error::Validation(format!(
+                        "element `{name}` with sequence content has text children"
+                    )));
+                }
+                if match_sequence(ps, &element_children) {
+                    Ok(())
+                } else {
+                    Err(Error::Validation(format!(
+                        "children of `{name}` ({element_children:?}) do not match its sequence model"
+                    )))
+                }
+            }
+            ContentModel::Choice(ps) => {
+                if has_text {
+                    return Err(Error::Validation(format!(
+                        "element `{name}` with choice content has text children"
+                    )));
+                }
+                if match_choice(ps, &element_children) {
+                    Ok(())
+                } else {
+                    Err(Error::Validation(format!(
+                        "children of `{name}` ({element_children:?}) do not match its choice model"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Render the schema as DTD-like text, for documentation and debugging.
+    pub fn to_dtd_string(&self) -> String {
+        let mut out = String::new();
+        // Root first, then the rest alphabetically.
+        let mut names: Vec<&String> = self.types.keys().collect();
+        names.sort_by_key(|n| (n.as_str() != self.root, n.as_str()));
+        for name in names {
+            let t = &self.types[name];
+            let body = match &t.content {
+                ContentModel::Text => "(#PCDATA)".to_string(),
+                ContentModel::Empty => "EMPTY".to_string(),
+                ContentModel::Sequence(ps) => render_particles(ps, ", "),
+                ContentModel::Choice(ps) => render_particles(ps, " | "),
+            };
+            out.push_str(&format!("<!ELEMENT {name} {body}>\n"));
+        }
+        out
+    }
+}
+
+fn render_particles(ps: &[Particle], sep: &str) -> String {
+    let inner: Vec<String> =
+        ps.iter().map(|p| format!("{}{}", p.name, p.occurs.symbol())).collect();
+    format!("({})", inner.join(sep))
+}
+
+/// Match `names` against an ordered sequence of particles with backtracking.
+fn match_sequence(particles: &[Particle], names: &[&str]) -> bool {
+    fn go(particles: &[Particle], names: &[&str], pi: usize, ni: usize) -> bool {
+        if pi == particles.len() {
+            return ni == names.len();
+        }
+        let p = &particles[pi];
+        // Count how many consecutive occurrences of p.name start at ni.
+        let mut run = 0;
+        while ni + run < names.len() && names[ni + run] == p.name {
+            run += 1;
+        }
+        let min = p.occurs.min();
+        let max = p.occurs.max().unwrap_or(run).min(run);
+        if run < min {
+            return false;
+        }
+        // Try consuming from max down to min (greedy first).
+        let mut take = max;
+        loop {
+            if go(particles, names, pi + 1, ni + take) {
+                return true;
+            }
+            if take == min {
+                return false;
+            }
+            take -= 1;
+        }
+    }
+    go(particles, names, 0, 0)
+}
+
+/// Match `names` against a choice: one branch is selected and all children
+/// must belong to it (respecting its occurrence bounds). Empty content is
+/// allowed when some branch admits zero occurrences.
+fn match_choice(particles: &[Particle], names: &[&str]) -> bool {
+    if names.is_empty() {
+        return particles.iter().any(|p| p.occurs.min() == 0);
+    }
+    particles.iter().any(|p| {
+        names.iter().all(|n| *n == p.name)
+            && names.len() >= p.occurs.min()
+            && p.occurs.max().is_none_or(|m| names.len() <= m)
+    })
+}
+
+/// Incremental schema construction.
+pub struct SchemaBuilder {
+    root: String,
+    types: BTreeMap<String, ElementType>,
+}
+
+impl SchemaBuilder {
+    /// Declare an element with sequence content.
+    pub fn sequence(
+        mut self,
+        name: impl Into<String>,
+        particles: Vec<Particle>,
+    ) -> Self {
+        let name = name.into();
+        self.types.insert(
+            name.clone(),
+            ElementType { name, content: ContentModel::Sequence(particles) },
+        );
+        self
+    }
+
+    /// Declare an element with choice content.
+    pub fn choice(mut self, name: impl Into<String>, particles: Vec<Particle>) -> Self {
+        let name = name.into();
+        self.types.insert(
+            name.clone(),
+            ElementType { name, content: ContentModel::Choice(particles) },
+        );
+        self
+    }
+
+    /// Declare one or more text-only leaf elements.
+    pub fn text(mut self, names: &[&str]) -> Self {
+        for &n in names {
+            self.types.insert(
+                n.to_string(),
+                ElementType { name: n.to_string(), content: ContentModel::Text },
+            );
+        }
+        self
+    }
+
+    /// Declare an element with no content.
+    pub fn empty(mut self, name: impl Into<String>) -> Self {
+        let name = name.into();
+        self.types
+            .insert(name.clone(), ElementType { name, content: ContentModel::Empty });
+        self
+    }
+
+    /// Finish, checking that the root and every referenced type is declared.
+    pub fn build(self) -> Result<Schema> {
+        let schema = Schema { root: self.root, types: self.types };
+        if !schema.contains(&schema.root) {
+            return Err(Error::Schema(format!(
+                "root element type `{}` is not declared",
+                schema.root
+            )));
+        }
+        for t in schema.types.values() {
+            if let ContentModel::Sequence(ps) | ContentModel::Choice(ps) = &t.content {
+                for p in ps {
+                    if !schema.contains(&p.name) {
+                        return Err(Error::Schema(format!(
+                            "element `{}` references undeclared type `{}`",
+                            t.name, p.name
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use Occurs::*;
+
+    /// The hospital schema of the paper's Figure 1.
+    fn hospital_schema() -> Schema {
+        Schema::builder("hospital")
+            .sequence("hospital", vec![Particle::new("dept", Plus)])
+            .sequence(
+                "dept",
+                vec![Particle::new("patients", One), Particle::new("staffinfo", One)],
+            )
+            .sequence("patients", vec![Particle::new("patient", Star)])
+            .sequence("staffinfo", vec![Particle::new("staff", Star)])
+            .sequence(
+                "patient",
+                vec![
+                    Particle::new("psn", One),
+                    Particle::new("name", One),
+                    Particle::new("treatment", Optional),
+                ],
+            )
+            .choice(
+                "treatment",
+                vec![
+                    Particle::new("regular", Optional),
+                    Particle::new("experimental", Optional),
+                ],
+            )
+            .sequence(
+                "regular",
+                vec![Particle::new("med", One), Particle::new("bill", One)],
+            )
+            .sequence(
+                "experimental",
+                vec![Particle::new("test", One), Particle::new("bill", One)],
+            )
+            .choice(
+                "staff",
+                vec![Particle::new("nurse", One), Particle::new("doctor", One)],
+            )
+            .sequence(
+                "nurse",
+                vec![
+                    Particle::new("sid", One),
+                    Particle::new("name", One),
+                    Particle::new("phone", One),
+                ],
+            )
+            .sequence(
+                "doctor",
+                vec![
+                    Particle::new("sid", One),
+                    Particle::new("name", One),
+                    Particle::new("phone", One),
+                ],
+            )
+            .text(&["psn", "name", "med", "bill", "test", "sid", "phone"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_dangling_references() {
+        let r = Schema::builder("a")
+            .sequence("a", vec![Particle::new("missing", One)])
+            .build();
+        assert!(r.is_err());
+        let r = Schema::builder("nope").text(&["a"]).build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn hospital_schema_is_not_recursive() {
+        let s = hospital_schema();
+        assert!(!s.is_recursive());
+        assert_eq!(s.type_count(), 18);
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let s = Schema::builder("a")
+            .sequence("a", vec![Particle::new("b", Star)])
+            .sequence("b", vec![Particle::new("a", Optional)])
+            .build()
+            .unwrap();
+        assert!(s.is_recursive());
+        assert!(s.paths_between("a", "b").is_err());
+    }
+
+    #[test]
+    fn paths_between_expands_descendant_axis() {
+        let s = hospital_schema();
+        let paths = s.paths_between("patient", "experimental").unwrap();
+        assert_eq!(paths, vec![vec!["treatment".to_string(), "experimental".to_string()]]);
+        // `bill` occurs under both treatment kinds: two paths.
+        let bill = s.paths_between("patient", "bill").unwrap();
+        assert_eq!(bill.len(), 2);
+        // `name` occurs under patient and under both staff kinds.
+        let name = s.paths_between("dept", "name").unwrap();
+        assert_eq!(name.len(), 3);
+    }
+
+    #[test]
+    fn paths_from_root() {
+        let s = hospital_schema();
+        let p = s.paths_from_root("patient").unwrap();
+        assert_eq!(
+            p,
+            vec![vec![
+                "hospital".to_string(),
+                "dept".to_string(),
+                "patients".to_string(),
+                "patient".to_string()
+            ]]
+        );
+        assert_eq!(s.paths_from_root("hospital").unwrap(), vec![vec!["hospital".to_string()]]);
+    }
+
+    #[test]
+    fn reachability() {
+        let s = hospital_schema();
+        assert!(s.reachable("hospital", "med"));
+        assert!(s.reachable("patient", "bill"));
+        assert!(!s.reachable("staff", "med"));
+        assert!(!s.reachable("med", "hospital"));
+    }
+
+    #[test]
+    fn validates_conforming_document() {
+        let s = hospital_schema();
+        let doc = parse(
+            "<hospital><dept><patients>\
+             <patient><psn>033</psn><name>john doe</name>\
+             <treatment><regular><med>enoxaparin</med><bill>700</bill></regular></treatment>\
+             </patient>\
+             <patient><psn>099</psn><name>joy smith</name></patient>\
+             </patients><staffinfo>\
+             <staff><doctor><sid>1</sid><name>dr</name><phone>555</phone></doctor></staff>\
+             </staffinfo></dept></hospital>",
+        )
+        .unwrap();
+        s.validate(&doc).unwrap();
+    }
+
+    #[test]
+    fn empty_treatment_is_valid_choice() {
+        let s = hospital_schema();
+        let doc = parse(
+            "<hospital><dept><patients>\
+             <patient><psn>1</psn><name>n</name><treatment/></patient>\
+             </patients><staffinfo/></dept></hospital>",
+        )
+        .unwrap();
+        s.validate(&doc).unwrap();
+    }
+
+    #[test]
+    fn rejects_nonconforming_documents() {
+        let s = hospital_schema();
+        // Missing mandatory psn.
+        let doc = parse(
+            "<hospital><dept><patients><patient><name>n</name></patient></patients>\
+             <staffinfo/></dept></hospital>",
+        )
+        .unwrap();
+        assert!(s.validate(&doc).is_err());
+        // Both treatment kinds present violates the choice.
+        let doc = parse(
+            "<hospital><dept><patients><patient><psn>1</psn><name>n</name>\
+             <treatment><regular><med>m</med><bill>1</bill></regular>\
+             <experimental><test>t</test><bill>2</bill></experimental></treatment>\
+             </patient></patients><staffinfo/></dept></hospital>",
+        )
+        .unwrap();
+        assert!(s.validate(&doc).is_err());
+        // Undeclared element.
+        let doc = parse("<hospital><dept><bogus/></dept></hospital>").unwrap();
+        assert!(s.validate(&doc).is_err());
+        // Wrong root.
+        let doc = parse("<dept/>").unwrap();
+        assert!(s.validate(&doc).is_err());
+    }
+
+    #[test]
+    fn sequence_matcher_handles_occurrences() {
+        use super::match_sequence;
+        let ps = vec![
+            Particle::new("a", Plus),
+            Particle::new("b", Optional),
+            Particle::new("c", Star),
+        ];
+        assert!(match_sequence(&ps, &["a"]));
+        assert!(match_sequence(&ps, &["a", "a", "b", "c", "c"]));
+        assert!(match_sequence(&ps, &["a", "c"]));
+        assert!(!match_sequence(&ps, &["b", "c"]), "missing mandatory a");
+        assert!(!match_sequence(&ps, &["a", "b", "b"]), "b at most once");
+        assert!(!match_sequence(&ps, &["a", "d"]), "unknown child");
+    }
+
+    #[test]
+    fn dtd_rendering_mentions_every_type() {
+        let s = hospital_schema();
+        let dtd = s.to_dtd_string();
+        assert!(dtd.starts_with("<!ELEMENT hospital (dept+)>"));
+        assert!(dtd.contains("<!ELEMENT treatment (regular? | experimental?)>"));
+        assert!(dtd.contains("<!ELEMENT med (#PCDATA)>"));
+        assert_eq!(dtd.lines().count(), s.type_count());
+    }
+}

@@ -1,0 +1,151 @@
+//! Serialization of [`Document`]s back to XML text.
+//!
+//! Two modes are provided: compact (no insignificant whitespace — suitable
+//! for size measurements like the paper's Table 5) and pretty-printed (for
+//! human inspection in examples and tests).
+
+use crate::model::{Document, NodeId};
+use std::fmt::Write as _;
+
+/// Options controlling serialization.
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct SerializeOptions {
+    /// Indent nested elements with two spaces and newlines.
+    pub pretty: bool,
+}
+
+
+/// Serialize the whole document compactly.
+pub fn to_string(doc: &Document) -> String {
+    let mut out = String::new();
+    write_node(doc, doc.root(), &mut out, SerializeOptions::default(), 0);
+    out
+}
+
+/// Serialize the whole document with indentation.
+pub fn to_pretty_string(doc: &Document) -> String {
+    let mut out = String::new();
+    write_node(doc, doc.root(), &mut out, SerializeOptions { pretty: true }, 0);
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
+    out
+}
+
+impl Document {
+    /// Compact serialization. See [`to_string`].
+    pub fn to_xml(&self) -> String {
+        to_string(self)
+    }
+
+    /// Pretty-printed serialization. See [`to_pretty_string`].
+    pub fn to_pretty_xml(&self) -> String {
+        to_pretty_string(self)
+    }
+}
+
+fn write_node(doc: &Document, id: NodeId, out: &mut String, opts: SerializeOptions, depth: usize) {
+    if let Some(text) = doc.text_value(id) {
+        if opts.pretty {
+            indent(out, depth);
+        }
+        escape_into(text, out);
+        if opts.pretty {
+            out.push('\n');
+        }
+        return;
+    }
+    let name = doc.name(id).expect("non-text node is an element");
+    if opts.pretty {
+        indent(out, depth);
+    }
+    out.push('<');
+    out.push_str(name);
+    for (k, v) in doc.attributes(id) {
+        let _ = write!(out, " {k}=\"");
+        escape_into(v, out);
+        out.push('"');
+    }
+    let mut children = doc.children(id).peekable();
+    if children.peek().is_none() {
+        out.push_str("/>");
+        if opts.pretty {
+            out.push('\n');
+        }
+        return;
+    }
+    out.push('>');
+    if opts.pretty {
+        out.push('\n');
+    }
+    for c in children {
+        write_node(doc, c, out, opts, depth + 1);
+    }
+    if opts.pretty {
+        indent(out, depth);
+    }
+    out.push_str("</");
+    out.push_str(name);
+    out.push('>');
+    if opts.pretty {
+        out.push('\n');
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn round_trips_compact() {
+        let src = r#"<a sign="+"><b>hi</b><c/></a>"#;
+        let doc = parse(src).unwrap();
+        assert_eq!(doc.to_xml(), src);
+    }
+
+    #[test]
+    fn escapes_special_characters() {
+        let mut d = Document::new("a");
+        let b = d.add_element(d.root(), "b");
+        d.add_text(b, "x<&>\"'y");
+        d.set_attribute(b, "k", "a&b");
+        let xml = d.to_xml();
+        assert_eq!(xml, r#"<a><b k="a&amp;b">x&lt;&amp;&gt;&quot;&apos;y</b></a>"#);
+        // Re-parse must give back the same values.
+        let re = parse(&xml).unwrap();
+        let rb = re.first_child_named(re.root(), "b").unwrap();
+        assert_eq!(re.text_of(rb), "x<&>\"'y");
+        assert_eq!(re.attribute(rb, "k"), Some("a&b"));
+    }
+
+    #[test]
+    fn pretty_output_reparses_identically() {
+        let src = "<a><b>hi</b><c><d/></c></a>";
+        let doc = parse(src).unwrap();
+        let pretty = doc.to_pretty_xml();
+        assert!(pretty.contains("\n  <b>"));
+        let re = parse(&pretty).unwrap();
+        assert_eq!(re.to_xml(), src);
+    }
+}

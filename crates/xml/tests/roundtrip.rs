@@ -1,0 +1,132 @@
+//! Property test: serialize → parse is the identity on the tree model
+//! (both compact and pretty forms), for randomized documents including
+//! attributes, text values and characters needing escapes.
+
+use proptest::prelude::*;
+use xac_xml::Document;
+
+#[derive(Debug, Clone)]
+enum Tree {
+    Leaf { name: String, text: Option<String>, attr: Option<(String, String)> },
+    Node { name: String, attr: Option<(String, String)>, kids: Vec<Tree> },
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_-]{0,6}".prop_map(|s| s)
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Include every character the serializer must escape; avoid
+    // leading/trailing whitespace (the parser trims insignificant space).
+    prop_oneof![
+        Just("hello".to_string()),
+        Just("a & b".to_string()),
+        Just("x<y>z".to_string()),
+        Just("quote\"apos'".to_string()),
+        Just("700".to_string()),
+        Just("héllo→unicode".to_string()),
+    ]
+}
+
+fn arb_attr() -> impl Strategy<Value = Option<(String, String)>> {
+    proptest::option::of((arb_name(), arb_text()))
+}
+
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    let leaf = (arb_name(), proptest::option::of(arb_text()), arb_attr())
+        .prop_map(|(name, text, attr)| Tree::Leaf { name, text, attr });
+    leaf.prop_recursive(3, 20, 4, |inner| {
+        (arb_name(), arb_attr(), proptest::collection::vec(inner, 0..4))
+            .prop_map(|(name, attr, kids)| Tree::Node { name, attr, kids })
+    })
+}
+
+fn build(tree: &Tree) -> Document {
+    fn attach(doc: &mut Document, parent: xac_xml::NodeId, t: &Tree) {
+        match t {
+            Tree::Leaf { name, text, attr } => {
+                let n = doc.add_element(parent, name.clone());
+                if let Some((k, v)) = attr {
+                    doc.set_attribute(n, k.clone(), v.clone());
+                }
+                if let Some(tv) = text {
+                    doc.add_text(n, tv.clone());
+                }
+            }
+            Tree::Node { name, attr, kids } => {
+                let n = doc.add_element(parent, name.clone());
+                if let Some((k, v)) = attr {
+                    doc.set_attribute(n, k.clone(), v.clone());
+                }
+                for k in kids {
+                    attach(doc, n, k);
+                }
+            }
+        }
+    }
+    let (name, attr, kids) = match tree {
+        Tree::Leaf { name, text: _, attr } => (name.clone(), attr.clone(), Vec::new()),
+        Tree::Node { name, attr, kids } => (name.clone(), attr.clone(), kids.clone()),
+    };
+    let mut doc = Document::new(name);
+    if let Some((k, v)) = attr {
+        doc.set_attribute(doc.root(), k, v);
+    }
+    if let Tree::Leaf { text: Some(tv), .. } = tree {
+        doc.add_text(doc.root(), tv.clone());
+    }
+    let root = doc.root();
+    for k in &kids {
+        attach(&mut doc, root, k);
+    }
+    doc
+}
+
+/// Structural equality that survives re-parsing (NodeIds differ).
+fn same_structure(a: &Document, b: &Document) -> bool {
+    fn eq(a: &Document, an: xac_xml::NodeId, b: &Document, bn: xac_xml::NodeId) -> bool {
+        if a.kind(an) != b.kind(bn) {
+            return false;
+        }
+        if a.attributes(an) != b.attributes(bn) {
+            return false;
+        }
+        let ak: Vec<_> = a.children(an).collect();
+        let bk: Vec<_> = b.children(bn).collect();
+        ak.len() == bk.len()
+            && ak.iter().zip(&bk).all(|(&x, &y)| eq(a, x, b, y))
+    }
+    eq(a, a.root(), b, b.root())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn compact_round_trip(t in arb_tree()) {
+        let doc = build(&t);
+        let xml = doc.to_xml();
+        let re = Document::parse_str(&xml)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{xml}"));
+        prop_assert!(same_structure(&doc, &re), "structure changed:\n{xml}");
+        prop_assert_eq!(re.to_xml(), xml, "serialization not a fixpoint");
+    }
+
+    #[test]
+    fn pretty_round_trip(t in arb_tree()) {
+        let doc = build(&t);
+        let pretty = doc.to_pretty_xml();
+        let re = Document::parse_str(&pretty)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{pretty}"));
+        prop_assert!(same_structure(&doc, &re), "structure changed:\n{pretty}");
+    }
+
+    #[test]
+    fn element_counts_preserved(t in arb_tree()) {
+        let doc = build(&t);
+        let re = Document::parse_str(&doc.to_xml()).unwrap();
+        prop_assert_eq!(doc.element_count(), re.element_count());
+        prop_assert_eq!(doc.len(), re.len());
+        prop_assert_eq!(doc.height(), re.height());
+    }
+}

@@ -1,0 +1,197 @@
+//! The paper's motivating example (§1.1): the Figure 1 hospital schema,
+//! the Figure 2 document, and a seeded generator for larger hospital
+//! documents.
+
+use crate::words::{person_name, pick, WORDS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xac_xml::{Document, Occurs::*, Particle, Schema};
+
+/// The hospital XML DTD of Figure 1, as a schema graph.
+pub fn hospital_schema() -> Schema {
+    Schema::builder("hospital")
+        .sequence("hospital", vec![Particle::new("dept", Plus)])
+        .sequence(
+            "dept",
+            vec![Particle::new("patients", One), Particle::new("staffinfo", One)],
+        )
+        .sequence("patients", vec![Particle::new("patient", Star)])
+        .sequence("staffinfo", vec![Particle::new("staff", Star)])
+        .sequence(
+            "patient",
+            vec![
+                Particle::new("psn", One),
+                Particle::new("name", One),
+                Particle::new("treatment", Optional),
+            ],
+        )
+        .choice(
+            "treatment",
+            vec![
+                Particle::new("regular", Optional),
+                Particle::new("experimental", Optional),
+            ],
+        )
+        .sequence("regular", vec![Particle::new("med", One), Particle::new("bill", One)])
+        .sequence(
+            "experimental",
+            vec![Particle::new("test", One), Particle::new("bill", One)],
+        )
+        .choice("staff", vec![Particle::new("nurse", One), Particle::new("doctor", One)])
+        .sequence(
+            "nurse",
+            vec![
+                Particle::new("sid", One),
+                Particle::new("name", One),
+                Particle::new("phone", One),
+            ],
+        )
+        .sequence(
+            "doctor",
+            vec![
+                Particle::new("sid", One),
+                Particle::new("name", One),
+                Particle::new("phone", One),
+            ],
+        )
+        .text(&["psn", "name", "med", "bill", "test", "sid", "phone"])
+        .build()
+        .expect("the Figure 1 schema is well-formed")
+}
+
+/// The partial hospital instance of Figure 2 (three patients: one regular
+/// treatment, one experimental, one without).
+pub fn figure2_document() -> Document {
+    Document::parse_str(
+        "<hospital><dept><patients>\
+         <patient><psn>033</psn><name>john doe</name>\
+         <treatment><regular><med>enoxaparin</med><bill>700</bill></regular></treatment>\
+         </patient>\
+         <patient><psn>042</psn><name>jane doe</name>\
+         <treatment><experimental><test>regression hypnosis</test><bill>1600</bill></experimental></treatment>\
+         </patient>\
+         <patient><psn>099</psn><name>joy smith</name></patient>\
+         </patients><staffinfo/></dept></hospital>",
+    )
+    .expect("the Figure 2 document is well-formed")
+}
+
+/// Medication names used by the generator — `celecoxib` is included so
+/// that rule R7 of the paper's policy has matches in generated data.
+pub const MEDICATIONS: &[&str] = &[
+    "celecoxib", "enoxaparin", "amoxicillin", "lisinopril", "metformin", "ibuprofen",
+    "omeprazole", "sertraline",
+];
+
+/// Seeded generator for hospital documents conforming to Figure 1.
+///
+/// About a third of the patients have no treatment, and treatments split
+/// evenly between regular and experimental (with occasional unspecified
+/// ones, which the choice model permits), so the paper's rules R1/R3/R5
+/// partition patients non-trivially.
+pub fn hospital_document(depts: usize, patients_per_dept: usize, seed: u64) -> Document {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut doc = Document::new("hospital");
+    let root = doc.root();
+    let mut psn = 1u64;
+    let mut sid = 1u64;
+    for _ in 0..depts.max(1) {
+        let dept = doc.add_element(root, "dept");
+        let patients = doc.add_element(dept, "patients");
+        for _ in 0..patients_per_dept {
+            let patient = doc.add_element(patients, "patient");
+            let e = doc.add_element(patient, "psn");
+            doc.add_text(e, format!("{psn:05}"));
+            psn += 1;
+            let e = doc.add_element(patient, "name");
+            doc.add_text(e, person_name(&mut rng));
+            match rng.gen_range(0..9) {
+                0..=2 => {} // no treatment
+                3 => {
+                    // unspecified treatment (empty element)
+                    doc.add_element(patient, "treatment");
+                }
+                4..=6 => {
+                    let t = doc.add_element(patient, "treatment");
+                    let r = doc.add_element(t, "regular");
+                    let m = doc.add_element(r, "med");
+                    doc.add_text(m, pick(&mut rng, MEDICATIONS));
+                    let b = doc.add_element(r, "bill");
+                    doc.add_text(b, rng.gen_range(50..3000).to_string());
+                }
+                _ => {
+                    let t = doc.add_element(patient, "treatment");
+                    let x = doc.add_element(t, "experimental");
+                    let te = doc.add_element(x, "test");
+                    doc.add_text(te, format!("{} {}", pick(&mut rng, WORDS), "trial"));
+                    let b = doc.add_element(x, "bill");
+                    doc.add_text(b, rng.gen_range(500..5000).to_string());
+                }
+            }
+        }
+        let staffinfo = doc.add_element(dept, "staffinfo");
+        let staff_count = (patients_per_dept / 4).max(1);
+        for _ in 0..staff_count {
+            let staff = doc.add_element(staffinfo, "staff");
+            let kind = if rng.gen_bool(0.6) { "nurse" } else { "doctor" };
+            let member = doc.add_element(staff, kind);
+            let e = doc.add_element(member, "sid");
+            doc.add_text(e, format!("{sid:04}"));
+            sid += 1;
+            let e = doc.add_element(member, "name");
+            doc.add_text(e, person_name(&mut rng));
+            let e = doc.add_element(member, "phone");
+            doc.add_text(e, format!("555-{:04}", rng.gen_range(0..10000)));
+        }
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_validates_against_figure1() {
+        hospital_schema().validate(&figure2_document()).unwrap();
+    }
+
+    #[test]
+    fn generated_documents_validate() {
+        let schema = hospital_schema();
+        for seed in [0, 1, 42] {
+            let doc = hospital_document(3, 25, seed);
+            schema.validate(&doc).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = hospital_document(2, 10, 7);
+        let b = hospital_document(2, 10, 7);
+        assert_eq!(a.to_xml(), b.to_xml());
+        let c = hospital_document(2, 10, 8);
+        assert_ne!(a.to_xml(), c.to_xml(), "different seeds differ");
+    }
+
+    #[test]
+    fn treatment_mix_is_nontrivial() {
+        let doc = hospital_document(2, 200, 3);
+        let patients = xac_xpath::eval(&doc, &xac_xpath::parse("//patient").unwrap()).len();
+        let with_treatment =
+            xac_xpath::eval(&doc, &xac_xpath::parse("//patient[treatment]").unwrap()).len();
+        let experimental =
+            xac_xpath::eval(&doc, &xac_xpath::parse("//patient[.//experimental]").unwrap()).len();
+        assert_eq!(patients, 400);
+        assert!(with_treatment > 100 && with_treatment < 350, "{with_treatment}");
+        assert!(experimental > 30, "{experimental}");
+        assert!(experimental < with_treatment);
+    }
+
+    #[test]
+    fn scales_with_parameters() {
+        let small = hospital_document(1, 5, 0).element_count();
+        let large = hospital_document(4, 50, 0).element_count();
+        assert!(large > small * 10);
+    }
+}

@@ -1,0 +1,32 @@
+//! # xac-xmlgen
+//!
+//! Deterministic workload generation for the **xmlac** experiments:
+//!
+//! * [`xmark`] — an XMark-like auction-site document generator. The paper
+//!   generated its documents with xmlgen from the XMark project \[21\],
+//!   *modified to eliminate all recursive paths* so that ShreX-style
+//!   shredding works; this module reproduces that shape (site → regions /
+//!   categories / people / open and closed auctions, with the recursive
+//!   `parlist` description replaced by flat text) with a scale factor `f`
+//!   controlling document size exactly like xmlgen's `-f`;
+//! * [`hospital`] — the motivating example of §1.1: the Figure 1 schema,
+//!   the Figure 2 document, and a generator for arbitrarily large hospital
+//!   documents;
+//! * [`coverage`] — the *coverage policy dataset*: policies crafted to
+//!   annotate a chosen fraction of a document's nodes (§7.1), plus the
+//!   actual-coverage measurement the paper performs after annotation;
+//! * [`workload`] — the 55-query response-time workload and the delete
+//!   updates driving the re-annotation experiment (§7.2).
+//!
+//! All generators are seeded and fully deterministic.
+
+pub mod coverage;
+pub mod hospital;
+pub mod words;
+pub mod workload;
+pub mod xmark;
+
+pub use coverage::{actual_coverage, coverage_policy, coverage_policy_dataset};
+pub use hospital::{figure2_document, hospital_document, hospital_schema};
+pub use workload::{delete_updates, query_workload};
+pub use xmark::{xmark_document, xmark_schema, XmarkConfig};

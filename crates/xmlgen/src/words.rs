@@ -1,0 +1,78 @@
+//! Small word pools for deterministic text generation (xmlgen fills its
+//! documents with Shakespeare vocabulary; a compact pool keeps the same
+//! flavour without shipping a corpus).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Vocabulary for names, descriptions and free text.
+pub const WORDS: &[&str] = &[
+    "amber", "anchor", "atlas", "aurora", "basil", "beacon", "birch", "breeze", "cedar",
+    "cinder", "cobalt", "coral", "crimson", "delta", "drift", "ember", "fable", "falcon",
+    "fern", "flint", "gale", "garnet", "glade", "harbor", "hazel", "heron", "indigo",
+    "ivory", "jasper", "juniper", "keystone", "lagoon", "larch", "lark", "lumen", "maple",
+    "marble", "meadow", "mica", "mistral", "nectar", "north", "oak", "ochre", "onyx",
+    "opal", "orchard", "osprey", "pearl", "pine", "quartz", "quill", "raven", "reef",
+    "ridge", "river", "saffron", "sage", "sierra", "slate", "sparrow", "spruce", "summit",
+    "thistle", "tide", "topaz", "tundra", "umber", "vale", "violet", "walnut", "willow",
+    "wren", "zephyr",
+];
+
+/// First names for people and patients.
+pub const FIRST_NAMES: &[&str] = &[
+    "alice", "bruno", "carla", "denis", "elena", "felix", "greta", "hassan", "irene",
+    "jonas", "katia", "lucas", "maria", "nils", "olga", "pavel", "quinn", "rosa",
+    "stefan", "tanya", "umar", "vera", "wanda", "xenia", "yannis", "zoe",
+];
+
+/// Last names for people and patients.
+pub const LAST_NAMES: &[&str] = &[
+    "adler", "baker", "costa", "dietrich", "evans", "fischer", "garcia", "hansen",
+    "ivanov", "jensen", "keller", "lehmann", "meyer", "novak", "olsen", "petrov",
+    "quist", "rossi", "schmidt", "tanaka", "ullman", "vogel", "weber", "xu", "young",
+    "zimmer",
+];
+
+/// Draw one entry from a pool.
+pub fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// A `first last` person name.
+pub fn person_name(rng: &mut StdRng) -> String {
+    format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, LAST_NAMES))
+}
+
+/// A short free-text phrase of `n` words.
+pub fn phrase(rng: &mut StdRng, n: usize) -> String {
+    let mut out = String::new();
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(pick(rng, WORDS));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(person_name(&mut a), person_name(&mut b));
+        assert_eq!(phrase(&mut a, 5), phrase(&mut b, 5));
+    }
+
+    #[test]
+    fn phrase_word_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(phrase(&mut rng, 4).split(' ').count(), 4);
+        assert_eq!(phrase(&mut rng, 1).split(' ').count(), 1);
+        assert!(phrase(&mut rng, 0).is_empty());
+    }
+}

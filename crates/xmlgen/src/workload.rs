@@ -1,0 +1,147 @@
+//! Query and update workloads (paper §7.1–7.2).
+//!
+//! The response-time experiment runs "55 different queries (of the same
+//! complexity as the coverage policy dataset)"; the re-annotation
+//! experiment runs "the same 55 queries … as delete updates". This module
+//! generates both: structurally varied paths drawn from the schema with a
+//! seeded RNG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use xac_xml::Schema;
+use xac_xpath::Path;
+
+/// Parent map: element type → types that can contain it directly.
+fn parent_map(schema: &Schema) -> BTreeMap<String, Vec<String>> {
+    let mut parents: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for t in schema.reachable_types() {
+        for c in schema.child_types(t) {
+            parents.entry(c.to_string()).or_default().push(t.to_string());
+        }
+    }
+    parents
+}
+
+/// Generate `n` read queries over the schema (forms: `//t`, `//t[c]`,
+/// `//p/t`, `//t[c1 and c2]`).
+pub fn query_workload(schema: &Schema, n: usize, seed: u64) -> Vec<Path> {
+    generate(schema, n, seed, false)
+}
+
+/// Generate `n` delete updates: the same query shapes, but never targeting
+/// the root or its direct children (deleting a whole document section
+/// would leave nothing to measure).
+pub fn delete_updates(schema: &Schema, n: usize, seed: u64) -> Vec<Path> {
+    generate(schema, n, seed, true)
+}
+
+fn generate(schema: &Schema, n: usize, seed: u64, for_delete: bool) -> Vec<Path> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let parents = parent_map(schema);
+    let root = schema.root().to_string();
+    let sections: Vec<&str> = schema.child_types(&root);
+
+    let mut candidates: Vec<String> = schema
+        .reachable_types()
+        .into_iter()
+        .filter(|t| *t != root)
+        .filter(|t| !for_delete || !sections.contains(t))
+        .map(str::to_string)
+        .collect();
+    candidates.sort();
+    assert!(!candidates.is_empty(), "schema has no usable element types");
+
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let t = &candidates[rng.gen_range(0..candidates.len())];
+        let children = schema.child_types(t);
+        let form = rng.gen_range(0..4u8);
+        let src = match form {
+            1 if !children.is_empty() => {
+                let c = children[rng.gen_range(0..children.len())];
+                format!("//{t}[{c}]")
+            }
+            2 => {
+                let ps = parents.get(t).map(Vec::as_slice).unwrap_or(&[]);
+                if ps.is_empty() {
+                    format!("//{t}")
+                } else {
+                    let p = &ps[rng.gen_range(0..ps.len())];
+                    format!("//{p}/{t}")
+                }
+            }
+            3 if children.len() >= 2 => {
+                let a = children[rng.gen_range(0..children.len())];
+                let b = children[rng.gen_range(0..children.len())];
+                if a == b {
+                    format!("//{t}[{a}]")
+                } else {
+                    format!("//{t}[{a} and {b}]")
+                }
+            }
+            _ => format!("//{t}"),
+        };
+        out.push(xac_xpath::parse(&src).expect("generated paths parse"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hospital::hospital_schema;
+    use crate::xmark::xmark_schema;
+
+    #[test]
+    fn generates_requested_count() {
+        let qs = query_workload(&xmark_schema(), 55, 0);
+        assert_eq!(qs.len(), 55);
+        assert!(qs.iter().all(|p| p.absolute));
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = query_workload(&xmark_schema(), 10, 5);
+        let b = query_workload(&xmark_schema(), 10, 5);
+        assert_eq!(a, b);
+        let c = query_workload(&xmark_schema(), 10, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn updates_avoid_root_and_sections() {
+        let schema = xmark_schema();
+        let updates = delete_updates(&schema, 100, 1);
+        for u in &updates {
+            let s = u.to_string();
+            assert!(!s.contains("//site"), "root targeted: {s}");
+            for section in ["//regions", "//categories", "//people", "//open_auctions", "//closed_auctions"] {
+                assert!(
+                    !s.starts_with(&section.to_string()) || s.len() > section.len() + 1,
+                    "section deleted wholesale: {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_forms_are_varied() {
+        let qs = query_workload(&xmark_schema(), 60, 2);
+        let with_pred = qs.iter().filter(|p| !p.is_predicate_free()).count();
+        let multi_step = qs.iter().filter(|p| p.len() > 1).count();
+        assert!(with_pred > 5, "predicates present ({with_pred})");
+        assert!(multi_step > 5, "parent/child forms present ({multi_step})");
+    }
+
+    #[test]
+    fn hospital_schema_workload_is_valid() {
+        let qs = query_workload(&hospital_schema(), 20, 3);
+        assert_eq!(qs.len(), 20);
+        // Spot-check evaluability against a generated document.
+        let doc = crate::hospital::hospital_document(2, 20, 0);
+        for q in &qs {
+            let _ = xac_xpath::eval(&doc, q);
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! XMark-like auction-site documents (the paper's xmlgen substitute).
+//!
+//! The shape follows XMark's `site` document: six regions holding items,
+//! categories, people with addresses and profiles, open auctions with
+//! bidders, and closed auctions. Two deliberate deviations, both matching
+//! the paper's own modifications and scale:
+//!
+//! * **no recursion** — XMark's `parlist`/`text` description markup is
+//!   recursive; the paper "modified xmlgen's code … to eliminate all
+//!   recursive paths" so shredding works, and descriptions here are flat
+//!   text for the same reason;
+//! * **scaled-down factor** — our factor `f` produces roughly one tenth of
+//!   XMark's node counts at the same `f`, keeping the full factor sweep
+//!   laptop-friendly while preserving the ratios *between* factors (which
+//!   is what the experiments compare).
+
+use crate::words::{person_name, phrase, pick, WORDS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xac_xml::{Document, NodeId, Occurs::*, Particle, Schema};
+
+/// The six region element names.
+pub const REGIONS: &[&str] =
+    &["africa", "asia", "australia", "europe", "namerica", "samerica"];
+
+/// The non-recursive XMark-like schema.
+pub fn xmark_schema() -> Schema {
+    let mut b = Schema::builder("site").sequence(
+        "site",
+        vec![
+            Particle::new("regions", One),
+            Particle::new("categories", One),
+            Particle::new("people", One),
+            Particle::new("open_auctions", One),
+            Particle::new("closed_auctions", One),
+        ],
+    );
+    b = b.sequence(
+        "regions",
+        REGIONS.iter().map(|r| Particle::new(*r, One)).collect(),
+    );
+    for r in REGIONS {
+        b = b.sequence(*r, vec![Particle::new("item", Star)]);
+    }
+    b = b
+        .sequence(
+            "item",
+            vec![
+                Particle::new("location", One),
+                Particle::new("quantity", One),
+                Particle::new("name", One),
+                Particle::new("payment", One),
+                Particle::new("description", One),
+                Particle::new("shipping", One),
+                Particle::new("incategory", Star),
+                Particle::new("mailbox", Optional),
+            ],
+        )
+        .sequence("mailbox", vec![Particle::new("mail", Star)])
+        .sequence(
+            "mail",
+            vec![
+                Particle::new("from", One),
+                Particle::new("to", One),
+                Particle::new("date", One),
+                Particle::new("text", One),
+            ],
+        )
+        .sequence("categories", vec![Particle::new("category", Star)])
+        .sequence(
+            "category",
+            vec![Particle::new("name", One), Particle::new("description", One)],
+        )
+        .sequence("people", vec![Particle::new("person", Star)])
+        .sequence(
+            "person",
+            vec![
+                Particle::new("name", One),
+                Particle::new("emailaddress", One),
+                Particle::new("phone", Optional),
+                Particle::new("address", Optional),
+                Particle::new("creditcard", Optional),
+                Particle::new("profile", Optional),
+                Particle::new("watches", Optional),
+            ],
+        )
+        .sequence(
+            "address",
+            vec![
+                Particle::new("street", One),
+                Particle::new("city", One),
+                Particle::new("country", One),
+                Particle::new("zipcode", One),
+            ],
+        )
+        .sequence(
+            "profile",
+            vec![
+                Particle::new("interest", Star),
+                Particle::new("education", Optional),
+                Particle::new("gender", Optional),
+                Particle::new("business", One),
+                Particle::new("age", Optional),
+            ],
+        )
+        .sequence("watches", vec![Particle::new("watch", Star)])
+        .sequence("open_auctions", vec![Particle::new("open_auction", Star)])
+        .sequence(
+            "open_auction",
+            vec![
+                Particle::new("initial", One),
+                Particle::new("reserve", Optional),
+                Particle::new("bidder", Star),
+                Particle::new("current", One),
+                Particle::new("itemref", One),
+                Particle::new("seller", One),
+                Particle::new("annotation", One),
+                Particle::new("quantity", One),
+                Particle::new("type", One),
+            ],
+        )
+        .sequence(
+            "bidder",
+            vec![
+                Particle::new("date", One),
+                Particle::new("time", One),
+                Particle::new("personref", One),
+                Particle::new("increase", One),
+            ],
+        )
+        .sequence(
+            "annotation",
+            vec![
+                Particle::new("author", One),
+                Particle::new("description", One),
+                Particle::new("happiness", One),
+            ],
+        )
+        .sequence("closed_auctions", vec![Particle::new("closed_auction", Star)])
+        .sequence(
+            "closed_auction",
+            vec![
+                Particle::new("seller", One),
+                Particle::new("buyer", One),
+                Particle::new("itemref", One),
+                Particle::new("price", One),
+                Particle::new("date", One),
+                Particle::new("quantity", One),
+                Particle::new("type", One),
+                Particle::new("annotation", One),
+            ],
+        )
+        .text(&[
+            "location", "quantity", "name", "payment", "description", "shipping",
+            "incategory", "from", "to", "date", "text", "street", "city", "country",
+            "zipcode", "interest", "education", "gender", "business", "age", "watch",
+            "emailaddress", "phone", "creditcard", "initial", "reserve", "current",
+            "itemref", "seller", "personref", "increase", "time", "price", "buyer",
+            "author", "happiness", "type",
+        ]);
+    b.build().expect("the XMark-like schema is well-formed")
+}
+
+/// Size/seed configuration for the generator.
+#[derive(Debug, Clone, Copy)]
+pub struct XmarkConfig {
+    /// Scale factor (xmlgen's `-f`).
+    pub factor: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl XmarkConfig {
+    /// Configuration for a factor with the default seed.
+    pub fn with_factor(factor: f64) -> XmarkConfig {
+        XmarkConfig { factor, seed: 0xAC }
+    }
+
+    fn scaled(&self, base: usize, min: usize) -> usize {
+        ((base as f64 * self.factor).round() as usize).max(min)
+    }
+
+    /// Total items across the six regions.
+    pub fn items(&self) -> usize {
+        self.scaled(2175, 6)
+    }
+
+    /// Number of categories.
+    pub fn categories(&self) -> usize {
+        self.scaled(100, 2)
+    }
+
+    /// Number of people.
+    pub fn people(&self) -> usize {
+        self.scaled(2550, 3)
+    }
+
+    /// Number of open auctions.
+    pub fn open_auctions(&self) -> usize {
+        self.scaled(1200, 2)
+    }
+
+    /// Number of closed auctions.
+    pub fn closed_auctions(&self) -> usize {
+        self.scaled(975, 1)
+    }
+}
+
+fn leaf(doc: &mut Document, parent: NodeId, name: &str, value: impl Into<String>) {
+    let e = doc.add_element(parent, name);
+    doc.add_text(e, value.into());
+}
+
+/// Generate an XMark-like document.
+pub fn xmark_document(config: XmarkConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ config.factor.to_bits());
+    let mut doc = Document::new("site");
+    let site = doc.root();
+
+    // Regions and items.
+    let regions = doc.add_element(site, "regions");
+    let n_items = config.items();
+    let n_categories = config.categories();
+    for (i, region_name) in REGIONS.iter().enumerate() {
+        let region = doc.add_element(regions, *region_name);
+        let share = n_items / REGIONS.len()
+            + usize::from(i < n_items % REGIONS.len());
+        for item_no in 0..share {
+            let item = doc.add_element(region, "item");
+            leaf(&mut doc, item, "location", pick(&mut rng, WORDS));
+            leaf(&mut doc, item, "quantity", rng.gen_range(1..10).to_string());
+            leaf(&mut doc, item, "name", phrase(&mut rng, 2));
+            leaf(
+                &mut doc,
+                item,
+                "payment",
+                if rng.gen_bool(0.5) { "creditcard" } else { "money order" },
+            );
+            leaf(&mut doc, item, "description", phrase(&mut rng, 8));
+            leaf(&mut doc, item, "shipping", "will ship internationally");
+            for _ in 0..rng.gen_range(1..=3usize) {
+                leaf(
+                    &mut doc,
+                    item,
+                    "incategory",
+                    format!("category{}", rng.gen_range(0..n_categories)),
+                );
+            }
+            if item_no % 3 == 0 {
+                let mailbox = doc.add_element(item, "mailbox");
+                for _ in 0..rng.gen_range(0..3usize) {
+                    let mail = doc.add_element(mailbox, "mail");
+                    leaf(&mut doc, mail, "from", person_name(&mut rng));
+                    leaf(&mut doc, mail, "to", person_name(&mut rng));
+                    leaf(&mut doc, mail, "date", random_date(&mut rng));
+                    leaf(&mut doc, mail, "text", phrase(&mut rng, 12));
+                }
+            }
+        }
+    }
+
+    // Categories.
+    let categories = doc.add_element(site, "categories");
+    for _ in 0..n_categories {
+        let cat = doc.add_element(categories, "category");
+        leaf(&mut doc, cat, "name", phrase(&mut rng, 1));
+        leaf(&mut doc, cat, "description", phrase(&mut rng, 6));
+    }
+
+    // People.
+    let people = doc.add_element(site, "people");
+    let n_people = config.people();
+    for p in 0..n_people {
+        let person = doc.add_element(people, "person");
+        leaf(&mut doc, person, "name", person_name(&mut rng));
+        leaf(&mut doc, person, "emailaddress", format!("person{p}@example.org"));
+        if rng.gen_bool(0.5) {
+            leaf(&mut doc, person, "phone", format!("+30 {:07}", rng.gen_range(0..10_000_000)));
+        }
+        if rng.gen_bool(0.5) {
+            let address = doc.add_element(person, "address");
+            leaf(&mut doc, address, "street", format!("{} st", pick(&mut rng, WORDS)));
+            leaf(&mut doc, address, "city", pick(&mut rng, WORDS));
+            leaf(&mut doc, address, "country", "greece");
+            leaf(&mut doc, address, "zipcode", rng.gen_range(10000..99999).to_string());
+        }
+        if rng.gen_bool(0.3) {
+            leaf(
+                &mut doc,
+                person,
+                "creditcard",
+                format!("{:04} {:04} {:04} {:04}", rng.gen_range(0..10000), rng.gen_range(0..10000), rng.gen_range(0..10000), rng.gen_range(0..10000)),
+            );
+        }
+        if rng.gen_bool(0.7) {
+            let profile = doc.add_element(person, "profile");
+            for _ in 0..rng.gen_range(0..3usize) {
+                leaf(&mut doc, profile, "interest", format!("category{}", rng.gen_range(0..n_categories)));
+            }
+            if rng.gen_bool(0.4) {
+                leaf(&mut doc, profile, "education", "graduate school");
+            }
+            if rng.gen_bool(0.6) {
+                leaf(&mut doc, profile, "gender", if rng.gen_bool(0.5) { "male" } else { "female" });
+            }
+            leaf(&mut doc, profile, "business", if rng.gen_bool(0.2) { "yes" } else { "no" });
+            if rng.gen_bool(0.5) {
+                leaf(&mut doc, profile, "age", rng.gen_range(18..90).to_string());
+            }
+        }
+        if rng.gen_bool(0.3) {
+            let watches = doc.add_element(person, "watches");
+            for _ in 0..rng.gen_range(1..4usize) {
+                leaf(
+                    &mut doc,
+                    watches,
+                    "watch",
+                    format!("open_auction{}", rng.gen_range(0..config.open_auctions())),
+                );
+            }
+        }
+    }
+
+    // Open auctions.
+    let open_auctions = doc.add_element(site, "open_auctions");
+    for _ in 0..config.open_auctions() {
+        let auction = doc.add_element(open_auctions, "open_auction");
+        let initial: i64 = rng.gen_range(1..200);
+        leaf(&mut doc, auction, "initial", initial.to_string());
+        if rng.gen_bool(0.4) {
+            leaf(&mut doc, auction, "reserve", (initial * 2).to_string());
+        }
+        let bidders = rng.gen_range(0..4usize);
+        let mut current = initial;
+        for _ in 0..bidders {
+            let bidder = doc.add_element(auction, "bidder");
+            leaf(&mut doc, bidder, "date", random_date(&mut rng));
+            leaf(&mut doc, bidder, "time", format!("{:02}:{:02}:00", rng.gen_range(0..24), rng.gen_range(0..60)));
+            leaf(&mut doc, bidder, "personref", format!("person{}", rng.gen_range(0..n_people)));
+            let inc: i64 = rng.gen_range(1..30);
+            current += inc;
+            leaf(&mut doc, bidder, "increase", inc.to_string());
+        }
+        leaf(&mut doc, auction, "current", current.to_string());
+        leaf(&mut doc, auction, "itemref", format!("item{}", rng.gen_range(0..n_items)));
+        leaf(&mut doc, auction, "seller", format!("person{}", rng.gen_range(0..n_people)));
+        add_annotation(&mut doc, auction, &mut rng);
+        leaf(&mut doc, auction, "quantity", rng.gen_range(1..5).to_string());
+        leaf(&mut doc, auction, "type", if rng.gen_bool(0.5) { "Regular" } else { "Featured" });
+    }
+
+    // Closed auctions.
+    let closed_auctions = doc.add_element(site, "closed_auctions");
+    for _ in 0..config.closed_auctions() {
+        let auction = doc.add_element(closed_auctions, "closed_auction");
+        leaf(&mut doc, auction, "seller", format!("person{}", rng.gen_range(0..n_people)));
+        leaf(&mut doc, auction, "buyer", format!("person{}", rng.gen_range(0..n_people)));
+        leaf(&mut doc, auction, "itemref", format!("item{}", rng.gen_range(0..n_items)));
+        leaf(&mut doc, auction, "price", rng.gen_range(5..2000).to_string());
+        leaf(&mut doc, auction, "date", random_date(&mut rng));
+        leaf(&mut doc, auction, "quantity", rng.gen_range(1..5).to_string());
+        leaf(&mut doc, auction, "type", if rng.gen_bool(0.5) { "Regular" } else { "Featured" });
+        add_annotation(&mut doc, auction, &mut rng);
+    }
+
+    doc
+}
+
+fn add_annotation(doc: &mut Document, parent: NodeId, rng: &mut StdRng) {
+    let annotation = doc.add_element(parent, "annotation");
+    leaf(doc, annotation, "author", person_name(rng));
+    leaf(doc, annotation, "description", phrase(rng, 10));
+    leaf(doc, annotation, "happiness", rng.gen_range(1..10).to_string());
+}
+
+fn random_date(rng: &mut StdRng) -> String {
+    format!(
+        "{:02}/{:02}/{}",
+        rng.gen_range(1..13),
+        rng.gen_range(1..29),
+        rng.gen_range(1998..2009)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_is_non_recursive_and_complete() {
+        let s = xmark_schema();
+        assert!(!s.is_recursive());
+        assert_eq!(s.root(), "site");
+        assert!(s.reachable_types().len() > 40);
+    }
+
+    #[test]
+    fn small_document_validates() {
+        let doc = xmark_document(XmarkConfig::with_factor(0.001));
+        xmark_schema().validate(&doc).unwrap();
+    }
+
+    #[test]
+    fn factor_scales_size_roughly_linearly() {
+        let small = xmark_document(XmarkConfig::with_factor(0.01)).element_count();
+        let large = xmark_document(XmarkConfig::with_factor(0.1)).element_count();
+        let ratio = large as f64 / small as f64;
+        assert!((5.0..20.0).contains(&ratio), "ratio {ratio} for 10x factor");
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_factor() {
+        let a = xmark_document(XmarkConfig { factor: 0.001, seed: 1 });
+        let b = xmark_document(XmarkConfig { factor: 0.001, seed: 1 });
+        assert_eq!(a.to_xml(), b.to_xml());
+        let c = xmark_document(XmarkConfig { factor: 0.001, seed: 2 });
+        assert_ne!(a.to_xml(), c.to_xml());
+    }
+
+    #[test]
+    fn tiny_factor_still_produces_all_sections() {
+        let doc = xmark_document(XmarkConfig::with_factor(0.0001));
+        for section in ["regions", "categories", "people", "open_auctions", "closed_auctions"] {
+            assert_eq!(
+                xac_xpath::eval(&doc, &xac_xpath::parse(&format!("//{section}")).unwrap()).len(),
+                1,
+                "{section} missing"
+            );
+        }
+        assert!(doc.element_count() > 50);
+    }
+
+    #[test]
+    fn interesting_query_targets_exist() {
+        let doc = xmark_document(XmarkConfig::with_factor(0.01));
+        for q in ["//item", "//person[address]", "//open_auction[bidder]", "//annotation"] {
+            assert!(
+                !xac_xpath::eval(&doc, &xac_xpath::parse(q).unwrap()).is_empty(),
+                "{q} matched nothing"
+            );
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Element-name index: element name → node ids, in document order.
+//!
+//! This is the structural index a native XML database maintains so that
+//! `//name` queries need not sweep the whole tree. Deleted nodes are
+//! filtered lazily on lookup; [`NameIndex::rebuild`] compacts the buckets
+//! after heavy update churn.
+
+use std::collections::HashMap;
+use xac_xml::{Document, NodeId};
+
+/// An element-name index over one document.
+#[derive(Debug, Clone, Default)]
+pub struct NameIndex {
+    buckets: HashMap<String, Vec<NodeId>>,
+}
+
+impl NameIndex {
+    /// Build the index for a document.
+    pub fn build(doc: &Document) -> NameIndex {
+        let mut buckets: HashMap<String, Vec<NodeId>> = HashMap::new();
+        for node in doc.subtree(doc.root()) {
+            if let Some(name) = doc.name(node) {
+                buckets.entry(name.to_string()).or_default().push(node);
+            }
+        }
+        NameIndex { buckets }
+    }
+
+    /// Live nodes named `name`, in document order.
+    pub fn lookup<'d>(
+        &'d self,
+        doc: &'d Document,
+        name: &str,
+    ) -> impl Iterator<Item = NodeId> + 'd {
+        self.buckets
+            .get(name)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .copied()
+            .filter(move |&n| doc.is_alive(n))
+    }
+
+    /// Register a newly inserted element.
+    pub fn insert(&mut self, name: &str, node: NodeId) {
+        self.buckets.entry(name.to_string()).or_default().push(node);
+    }
+
+    /// Distinct element names indexed.
+    pub fn name_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Rebuild from scratch (drops stale entries for deleted nodes).
+    pub fn rebuild(&mut self, doc: &Document) {
+        *self = NameIndex::build(doc);
+    }
+
+    /// Total bucket entries, including stale ones (observability hook used
+    /// to decide when to rebuild).
+    pub fn entry_count(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xac_xml::Document;
+
+    #[test]
+    fn build_and_lookup() {
+        let doc = Document::parse_str("<a><b/><c><b>x</b></c></a>").unwrap();
+        let idx = NameIndex::build(&doc);
+        assert_eq!(idx.lookup(&doc, "b").count(), 2);
+        assert_eq!(idx.lookup(&doc, "a").count(), 1);
+        assert_eq!(idx.lookup(&doc, "zz").count(), 0);
+        assert_eq!(idx.name_count(), 3);
+    }
+
+    #[test]
+    fn deleted_nodes_filtered() {
+        let mut doc = Document::parse_str("<a><b/><c><b/></c></a>").unwrap();
+        let idx = NameIndex::build(&doc);
+        let c = doc.first_child_named(doc.root(), "c").unwrap();
+        doc.remove_subtree(c).unwrap();
+        assert_eq!(idx.lookup(&doc, "b").count(), 1, "b under c is gone");
+        assert_eq!(idx.entry_count(), 4, "stale entries remain until rebuild");
+        let mut idx = idx;
+        idx.rebuild(&doc);
+        assert_eq!(idx.entry_count(), 2);
+    }
+
+    #[test]
+    fn insert_tracks_new_nodes() {
+        let mut doc = Document::parse_str("<a/>").unwrap();
+        let mut idx = NameIndex::build(&doc);
+        let b = doc.add_element(doc.root(), "b");
+        idx.insert("b", b);
+        assert_eq!(idx.lookup(&doc, "b").collect::<Vec<_>>(), vec![b]);
+    }
+
+    #[test]
+    fn document_order_preserved() {
+        let doc = Document::parse_str("<a><b/><b/><b/></a>").unwrap();
+        let idx = NameIndex::build(&doc);
+        let ids: Vec<NodeId> = idx.lookup(&doc, "b").collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+}

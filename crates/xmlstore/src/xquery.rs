@@ -1,0 +1,289 @@
+//! XQuery-lite node-set algebra.
+//!
+//! The annotation query of §5.2 runs in the native store as
+//!
+//! ```text
+//! for $n := doc("xmlgen")((R1 union R2 union R6) except (R3 union R5))
+//! return xmlac:annotate($n, "+")
+//! ```
+//!
+//! [`NodeSetExpr`] is the algebraic core of that expression: paths
+//! combined with `union` and `except`. Evaluation happens inside
+//! [`crate::StoredDocument::eval_expr`].
+
+use crate::Result;
+use std::fmt;
+use xac_xpath::Path;
+
+/// A node-set expression over one document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeSetExpr {
+    /// An absolute path.
+    Path(Path),
+    /// Set union.
+    Union(Box<NodeSetExpr>, Box<NodeSetExpr>),
+    /// Set difference.
+    Except(Box<NodeSetExpr>, Box<NodeSetExpr>),
+}
+
+impl NodeSetExpr {
+    /// Parse a path into a leaf expression.
+    pub fn path(src: &str) -> Result<NodeSetExpr> {
+        Ok(NodeSetExpr::Path(xac_xpath::parse(src)?))
+    }
+
+    /// Union of many paths (`None` when the list is empty).
+    pub fn union_of(paths: Vec<Path>) -> Option<NodeSetExpr> {
+        let mut iter = paths.into_iter();
+        let first = NodeSetExpr::Path(iter.next()?);
+        Some(iter.fold(first, |acc, p| {
+            NodeSetExpr::Union(Box::new(acc), Box::new(NodeSetExpr::Path(p)))
+        }))
+    }
+
+    /// `self except other`.
+    pub fn except(self, other: NodeSetExpr) -> NodeSetExpr {
+        NodeSetExpr::Except(Box::new(self), Box::new(other))
+    }
+}
+
+impl fmt::Display for NodeSetExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeSetExpr::Path(p) => write!(f, "{p}"),
+            NodeSetExpr::Union(a, b) => write!(f, "({a} union {b})"),
+            NodeSetExpr::Except(a, b) => write!(f, "({a} except {b})"),
+        }
+    }
+}
+
+impl NodeSetExpr {
+    /// Parse the textual algebra, e.g. the paper's
+    /// `(//patient union //patient/name union //regular) except
+    /// (//patient[treatment] union //patient[.//experimental])`.
+    ///
+    /// `union` and `except` are left-associative with equal precedence;
+    /// parenthesize to group. Round-trips with `Display`.
+    pub fn parse(src: &str) -> crate::Result<NodeSetExpr> {
+        let tokens = tokenize_expr(src)?;
+        let mut pos = 0usize;
+        let expr = parse_expr(&tokens, &mut pos)?;
+        if pos != tokens.len() {
+            return Err(crate::Error::Query(format!(
+                "trailing tokens after expression: {:?}",
+                &tokens[pos..]
+            )));
+        }
+        Ok(expr)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    LParen,
+    RParen,
+    Union,
+    Except,
+    Path(String),
+}
+
+/// Split the expression into parens, operators and path chunks. Brackets
+/// and string literals inside paths shield their content (a predicate may
+/// contain spaces and even the words `union`/`except` inside quotes).
+fn tokenize_expr(src: &str) -> crate::Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            _ => {
+                // A word or a path: read until a top-level delimiter.
+                let start = i;
+                let mut depth = 0usize;
+                let mut quote: Option<u8> = None;
+                while i < bytes.len() {
+                    let b = bytes[i];
+                    if let Some(q) = quote {
+                        if b == q {
+                            quote = None;
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    match b {
+                        b'"' | b'\'' => {
+                            quote = Some(b);
+                            i += 1;
+                        }
+                        b'[' => {
+                            depth += 1;
+                            i += 1;
+                        }
+                        b']' => {
+                            depth = depth.saturating_sub(1);
+                            i += 1;
+                        }
+                        b'(' | b')' if depth == 0 => break,
+                        b' ' | b'\t' | b'\r' | b'\n' if depth == 0 => break,
+                        _ => i += 1,
+                    }
+                }
+                if quote.is_some() {
+                    return Err(crate::Error::Query("unterminated string literal".into()));
+                }
+                let word = &src[start..i];
+                out.push(match word {
+                    "union" => Tok::Union,
+                    "except" => Tok::Except,
+                    path => Tok::Path(path.to_string()),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_expr(tokens: &[Tok], pos: &mut usize) -> crate::Result<NodeSetExpr> {
+    let mut left = parse_primary(tokens, pos)?;
+    loop {
+        match tokens.get(*pos) {
+            Some(Tok::Union) => {
+                *pos += 1;
+                let right = parse_primary(tokens, pos)?;
+                left = NodeSetExpr::Union(Box::new(left), Box::new(right));
+            }
+            Some(Tok::Except) => {
+                *pos += 1;
+                let right = parse_primary(tokens, pos)?;
+                left = NodeSetExpr::Except(Box::new(left), Box::new(right));
+            }
+            _ => return Ok(left),
+        }
+    }
+}
+
+fn parse_primary(tokens: &[Tok], pos: &mut usize) -> crate::Result<NodeSetExpr> {
+    match tokens.get(*pos) {
+        Some(Tok::LParen) => {
+            *pos += 1;
+            let inner = parse_expr(tokens, pos)?;
+            match tokens.get(*pos) {
+                Some(Tok::RParen) => {
+                    *pos += 1;
+                    Ok(inner)
+                }
+                other => Err(crate::Error::Query(format!("expected `)`, found {other:?}"))),
+            }
+        }
+        Some(Tok::Path(p)) => {
+            *pos += 1;
+            NodeSetExpr::path(p)
+        }
+        other => Err(crate::Error::Query(format!(
+            "expected a path or `(`, found {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let paths = vec![
+            xac_xpath::parse("//a").unwrap(),
+            xac_xpath::parse("//b").unwrap(),
+            xac_xpath::parse("//c").unwrap(),
+        ];
+        let u = NodeSetExpr::union_of(paths).unwrap();
+        assert_eq!(u.to_string(), "((//a union //b) union //c)");
+        assert!(NodeSetExpr::union_of(Vec::new()).is_none());
+        let e = NodeSetExpr::path("//a")
+            .unwrap()
+            .except(NodeSetExpr::path("//b").unwrap());
+        assert_eq!(e.to_string(), "(//a except //b)");
+    }
+
+    #[test]
+    fn parse_error_propagates() {
+        assert!(NodeSetExpr::path("//bad[").is_err());
+    }
+
+    #[test]
+    fn parses_paper_annotation_expression() {
+        let e = NodeSetExpr::parse(
+            "(//patient union //patient/name union //regular) \
+             except (//patient[treatment] union //patient[.//experimental])",
+        )
+        .unwrap();
+        match &e {
+            NodeSetExpr::Except(l, r) => {
+                assert!(matches!(**l, NodeSetExpr::Union(..)));
+                assert!(matches!(**r, NodeSetExpr::Union(..)));
+            }
+            other => panic!("expected Except at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_display_round_trip() {
+        for src in [
+            "//a",
+            "(//a union //b)",
+            "((//a union //b) except //c)",
+            "((//a except //b) except (//c union //d))",
+        ] {
+            let e = NodeSetExpr::parse(src).unwrap();
+            let printed = e.to_string();
+            let again = NodeSetExpr::parse(&printed).unwrap();
+            assert_eq!(e, again, "{src} -> {printed}");
+        }
+    }
+
+    #[test]
+    fn predicates_shield_operators_and_spaces() {
+        let e = NodeSetExpr::parse("//a[b = \"x union y\"] except //c[d and e]").unwrap();
+        match e {
+            NodeSetExpr::Except(l, _) => {
+                assert_eq!(l.to_string(), "//a[b = \"x union y\"]");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn left_associativity() {
+        let e = NodeSetExpr::parse("//a union //b except //c").unwrap();
+        assert_eq!(e.to_string(), "((//a union //b) except //c)");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(NodeSetExpr::parse("").is_err());
+        assert!(NodeSetExpr::parse("(//a").is_err());
+        assert!(NodeSetExpr::parse("//a union").is_err());
+        assert!(NodeSetExpr::parse("union //a").is_err());
+        assert!(NodeSetExpr::parse("//a //b").is_err());
+        assert!(NodeSetExpr::parse("//a[b = \"open]").is_err());
+    }
+
+    #[test]
+    fn parsed_expression_evaluates() {
+        let sdoc = crate::StoredDocument::new(
+            xac_xml::Document::parse_str("<r><a><b/></a><a/><c/></r>").unwrap(),
+        );
+        let e = NodeSetExpr::parse("(//a union //c) except //a[b]").unwrap();
+        let nodes = sdoc.eval_expr(&e);
+        assert_eq!(nodes.len(), 2, "one a without b, plus c");
+    }
+}

@@ -1,0 +1,380 @@
+//! Abstract syntax for the paper's XPath fragment.
+//!
+//! A [`Path`] is a sequence of [`Step`]s, each with an axis (`child` or
+//! `descendant`), a node test (a label or `*`) and a conjunction of
+//! qualifiers. Paths are *absolute* (access-control rules, user queries,
+//! updates) or *relative* (paths inside qualifiers, evaluated from the
+//! context node).
+//!
+//! `Display` renders the abbreviated syntax and round-trips through
+//! [`crate::parse`].
+
+use std::fmt;
+
+/// The two axes of the fragment (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `child::` — rendered `/` (or nothing for the first step of a
+    /// relative path).
+    Child,
+    /// `descendant::` — rendered `//` (or `.//` leading a relative path).
+    Descendant,
+}
+
+/// A node test: an element label from `Σ` or the wildcard `*`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeTest {
+    /// Match elements with this name.
+    Name(String),
+    /// Match any element.
+    Wildcard,
+}
+
+impl NodeTest {
+    /// Does this test accept an element named `name`?
+    pub fn matches(&self, name: &str) -> bool {
+        match self {
+            NodeTest::Name(n) => n == name,
+            NodeTest::Wildcard => true,
+        }
+    }
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Name(n) => f.write_str(n),
+            NodeTest::Wildcard => f.write_str("*"),
+        }
+    }
+}
+
+/// Comparison operators usable in value qualifiers. The paper's grammar
+/// lists only `p = d`, but its own rule R8 (`//regular[bill > 1000]`) uses
+/// an inequality, so the full comparator set is supported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply the comparison. Operands compare numerically when both parse
+    /// as numbers, lexicographically otherwise (only `=`/`!=` are
+    /// meaningful for non-numeric strings, but the others stay total).
+    pub fn compare(self, lhs: &str, rhs: &str) -> bool {
+        if let (Ok(a), Ok(b)) = (lhs.trim().parse::<f64>(), rhs.trim().parse::<f64>()) {
+            return match self {
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+            };
+        }
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+
+    /// Does satisfying `self` with bound `own` imply satisfying `other`
+    /// with bound `other_bound`? Sound (never claims implication that does
+    /// not hold); used by the containment test. Numeric bounds only; for
+    /// non-numeric bounds only syntactic identity implies.
+    pub fn implies(self, own: &str, other: CmpOp, other_bound: &str) -> bool {
+        if self == other && own == other_bound {
+            return true;
+        }
+        let (a, b) = match (own.trim().parse::<f64>(), other_bound.trim().parse::<f64>()) {
+            (Ok(a), Ok(b)) => (a, b),
+            _ => return false,
+        };
+        use CmpOp::*;
+        match (self, other) {
+            (Eq, _) => other.compare(own, other_bound),
+            (Gt, Gt) => a >= b,
+            (Gt, Ge) => a >= b,
+            (Ge, Ge) => a >= b,
+            (Ge, Gt) => a > b,
+            (Lt, Lt) => a <= b,
+            (Lt, Le) => a <= b,
+            (Le, Le) => a <= b,
+            (Le, Lt) => a < b,
+            (Gt, Ne) => a >= b,
+            (Ge, Ne) => a > b,
+            (Lt, Ne) => a <= b,
+            (Le, Ne) => a < b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A qualifier (`[...]` predicate body).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Qualifier {
+    /// `p` — the relative path has a non-empty result from the context
+    /// node. `Exists(Path::self_path())` is the trivial `[.]`.
+    Exists(Path),
+    /// `p op d` — some node reached by `p` has a string value satisfying
+    /// the comparison with constant `d`.
+    Cmp(Path, CmpOp, String),
+    /// `q and q …` — conjunction.
+    And(Vec<Qualifier>),
+}
+
+impl fmt::Display for Qualifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Qualifier::Exists(p) => write!(f, "{p}"),
+            Qualifier::Cmp(p, op, d) => {
+                if d.trim().parse::<f64>().is_ok() {
+                    write!(f, "{p} {op} {d}")
+                } else {
+                    write!(f, "{p} {op} \"{d}\"")
+                }
+            }
+            Qualifier::And(qs) => {
+                let mut first = true;
+                for q in qs {
+                    if !first {
+                        f.write_str(" and ")?;
+                    }
+                    first = false;
+                    write!(f, "{q}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One location step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Step {
+    /// The axis relating this step to the previous context.
+    pub axis: Axis,
+    /// The node test.
+    pub test: NodeTest,
+    /// Conjoined qualifiers (all must hold).
+    pub predicates: Vec<Qualifier>,
+}
+
+impl Step {
+    /// A step with no predicates.
+    pub fn new(axis: Axis, test: NodeTest) -> Self {
+        Step { axis, test, predicates: Vec::new() }
+    }
+
+    /// Child step to a named element.
+    pub fn child(name: impl Into<String>) -> Self {
+        Step::new(Axis::Child, NodeTest::Name(name.into()))
+    }
+
+    /// Descendant step to a named element.
+    pub fn descendant(name: impl Into<String>) -> Self {
+        Step::new(Axis::Descendant, NodeTest::Name(name.into()))
+    }
+
+    /// Attach a predicate (builder style).
+    pub fn with_predicate(mut self, q: Qualifier) -> Self {
+        self.predicates.push(q);
+        self
+    }
+}
+
+/// A path expression: absolute (`/p`, `//p`) or relative (evaluated from a
+/// context node inside a qualifier).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    /// True for absolute paths (starting at the document root).
+    pub absolute: bool,
+    /// The location steps. May be empty only for the relative self path
+    /// (`.`).
+    pub steps: Vec<Step>,
+}
+
+impl Path {
+    /// An absolute path from the given steps.
+    pub fn absolute(steps: Vec<Step>) -> Self {
+        Path { absolute: true, steps }
+    }
+
+    /// A relative path from the given steps.
+    pub fn relative(steps: Vec<Step>) -> Self {
+        Path { absolute: false, steps }
+    }
+
+    /// The relative self path `.`.
+    pub fn self_path() -> Self {
+        Path { absolute: false, steps: Vec::new() }
+    }
+
+    /// True if this is the relative self path.
+    pub fn is_self(&self) -> bool {
+        !self.absolute && self.steps.is_empty()
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the path has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The last step, if any.
+    pub fn last_step(&self) -> Option<&Step> {
+        self.steps.last()
+    }
+
+    /// True if no step (at any nesting depth) uses a predicate.
+    pub fn is_predicate_free(&self) -> bool {
+        self.steps.iter().all(|s| s.predicates.is_empty())
+    }
+
+    /// True if any step (at any nesting depth) uses the descendant axis.
+    pub fn uses_descendant(&self) -> bool {
+        fn qual_uses(q: &Qualifier) -> bool {
+            match q {
+                Qualifier::Exists(p) | Qualifier::Cmp(p, _, _) => p.uses_descendant(),
+                Qualifier::And(qs) => qs.iter().any(qual_uses),
+            }
+        }
+        self.steps.iter().any(|s| {
+            s.axis == Axis::Descendant || s.predicates.iter().any(qual_uses)
+        })
+    }
+
+    /// Append a step (builder style).
+    pub fn then(mut self, step: Step) -> Self {
+        self.steps.push(step);
+        self
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_self() {
+            return f.write_str(".");
+        }
+        for (i, step) in self.steps.iter().enumerate() {
+            let sep = match (i, self.absolute, step.axis) {
+                (0, false, Axis::Child) => "",
+                (0, false, Axis::Descendant) => ".//",
+                (_, _, Axis::Child) => "/",
+                (_, _, Axis::Descendant) => "//",
+            };
+            f.write_str(sep)?;
+            write!(f, "{}", step.test)?;
+            for p in &step.predicates {
+                write!(f, "[{p}]")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_absolute_paths() {
+        let p = Path::absolute(vec![Step::descendant("patient"), Step::child("name")]);
+        assert_eq!(p.to_string(), "//patient/name");
+        let p = Path::absolute(vec![Step::child("hospital"), Step::child("dept")]);
+        assert_eq!(p.to_string(), "/hospital/dept");
+    }
+
+    #[test]
+    fn display_relative_and_predicates() {
+        let rel = Path::relative(vec![Step::descendant("experimental")]);
+        assert_eq!(rel.to_string(), ".//experimental");
+        let p = Path::absolute(vec![Step::descendant("patient")
+            .with_predicate(Qualifier::Exists(Path::relative(vec![Step::child("treatment")])))]);
+        assert_eq!(p.to_string(), "//patient[treatment]");
+        let p = Path::absolute(vec![Step::descendant("regular").with_predicate(
+            Qualifier::Cmp(
+                Path::relative(vec![Step::child("med")]),
+                CmpOp::Eq,
+                "celecoxib".into(),
+            ),
+        )]);
+        assert_eq!(p.to_string(), "//regular[med = \"celecoxib\"]");
+    }
+
+    #[test]
+    fn display_numeric_literal_unquoted() {
+        let p = Path::absolute(vec![Step::descendant("regular").with_predicate(
+            Qualifier::Cmp(Path::relative(vec![Step::child("bill")]), CmpOp::Gt, "1000".into()),
+        )]);
+        assert_eq!(p.to_string(), "//regular[bill > 1000]");
+    }
+
+    #[test]
+    fn cmp_numeric_and_string() {
+        assert!(CmpOp::Gt.compare("1600", "1000"));
+        assert!(!CmpOp::Gt.compare("700", "1000"));
+        assert!(CmpOp::Eq.compare("celecoxib", "celecoxib"));
+        assert!(CmpOp::Ne.compare("a", "b"));
+        assert!(CmpOp::Eq.compare(" 10 ", "10.0"), "numeric equality after trim");
+    }
+
+    #[test]
+    fn cmp_implication() {
+        use CmpOp::*;
+        assert!(Gt.implies("1000", Gt, "500"));
+        assert!(!Gt.implies("500", Gt, "1000"));
+        assert!(Gt.implies("1000", Ge, "1000"));
+        assert!(Ge.implies("1000", Gt, "999"));
+        assert!(!Ge.implies("1000", Gt, "1000"));
+        assert!(Lt.implies("5", Le, "5"));
+        assert!(Eq.implies("7", Gt, "5"));
+        assert!(Eq.implies("x", Eq, "x"));
+        assert!(!Eq.implies("x", Eq, "y"));
+        assert!(Gt.implies("10", Ne, "10"));
+        assert!(!Gt.implies("10", Ne, "11"));
+    }
+
+    #[test]
+    fn uses_descendant_looks_into_predicates() {
+        let p = Path::absolute(vec![Step::child("a").with_predicate(Qualifier::Exists(
+            Path::relative(vec![Step::descendant("b")]),
+        ))]);
+        assert!(p.uses_descendant());
+        let p = Path::absolute(vec![Step::child("a")]);
+        assert!(!p.uses_descendant());
+    }
+
+    #[test]
+    fn self_path_display() {
+        assert_eq!(Path::self_path().to_string(), ".");
+        assert!(Path::self_path().is_self());
+    }
+}

@@ -1,0 +1,35 @@
+//! Error type for parsing and static analysis.
+
+use std::fmt;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The XPath text was malformed.
+    Parse { offset: usize, message: String },
+    /// A static analysis was asked something it cannot answer (e.g.
+    /// expansion over a recursive schema).
+    Analysis(String),
+}
+
+impl Error {
+    pub(crate) fn parse(offset: usize, message: impl Into<String>) -> Self {
+        Error::Parse { offset, message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { offset, message } => {
+                write!(f, "XPath parse error at byte {offset}: {message}")
+            }
+            Error::Analysis(m) => write!(f, "XPath analysis error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;

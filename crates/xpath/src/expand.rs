@@ -1,0 +1,323 @@
+//! Rule expansion for re-annotation triggering (paper §5.3).
+//!
+//! When an update `u` (an XPath designating inserted or deleted nodes)
+//! arrives, the **Trigger** algorithm must find every rule whose scope may
+//! change. A rule's resource path mentions nodes beyond its output — its
+//! predicates test for the existence (or value) of other nodes — so each
+//! rule is first *expanded* into the set of linear paths to every node it
+//! touches:
+//!
+//! ```text
+//! //patient[treatment]        →  { //patient, //patient/treatment }
+//! //patient[.//experimental]  →  { //patient,
+//!                                  //patient/treatment,
+//!                                  //patient/treatment/experimental }
+//! ```
+//!
+//! The second example shows the schema-guided rewrite: a descendant axis
+//! inside a predicate is replaced by the finite set of child-axis label
+//! paths the (non-recursive) schema allows — without it, an update like
+//! `//treatment` would fail to trigger the rule even though deleting
+//! treatments removes the `experimental` descendants the rule tests for.
+//!
+//! Expansions are predicate-free by construction, and every *prefix* of an
+//! expansion is also emitted. Prefix closure makes triggering robust for
+//! subtree deletions (deleting `//treatment` must be seen to affect
+//! `//patient/treatment/experimental` through its `//patient/treatment`
+//! prefix) at the cost of occasionally re-annotating more than strictly
+//! necessary — a sound over-approximation.
+
+use crate::ast::{Axis, NodeTest, Path, Qualifier, Step};
+use xac_xml::Schema;
+
+/// Expand an absolute path into the set of predicate-free linear paths to
+/// every node the path constrains. See the module docs.
+pub fn expand(path: &Path, schema: Option<&Schema>) -> Vec<Path> {
+    assert!(path.absolute, "expansion applies to absolute rule resources");
+    let mut out: Vec<Path> = Vec::new();
+    let mut prefix: Vec<Step> = Vec::new();
+    for step in &path.steps {
+        prefix.push(Step::new(step.axis, step.test.clone()));
+        push_unique(&mut out, Path::absolute(prefix.clone()));
+        let anchor = anchor_of(&step.test);
+        for q in &step.predicates {
+            expand_qualifier(&mut prefix, anchor, q, schema, &mut out);
+        }
+    }
+    out
+}
+
+fn anchor_of(test: &NodeTest) -> Option<&str> {
+    match test {
+        NodeTest::Name(n) => Some(n),
+        NodeTest::Wildcard => None,
+    }
+}
+
+fn push_unique(out: &mut Vec<Path>, path: Path) {
+    if !out.contains(&path) {
+        out.push(path);
+    }
+}
+
+fn expand_qualifier(
+    prefix: &mut Vec<Step>,
+    anchor: Option<&str>,
+    q: &Qualifier,
+    schema: Option<&Schema>,
+    out: &mut Vec<Path>,
+) {
+    match q {
+        Qualifier::Exists(rel) | Qualifier::Cmp(rel, _, _) => {
+            expand_relative(prefix, anchor, &rel.steps, 0, schema, out);
+        }
+        Qualifier::And(qs) => {
+            for q in qs {
+                expand_qualifier(prefix, anchor, q, schema, out);
+            }
+        }
+    }
+}
+
+fn expand_relative(
+    prefix: &mut Vec<Step>,
+    anchor: Option<&str>,
+    steps: &[Step],
+    i: usize,
+    schema: Option<&Schema>,
+    out: &mut Vec<Path>,
+) {
+    let Some(step) = steps.get(i) else {
+        return;
+    };
+    match step.axis {
+        Axis::Child => {
+            prefix.push(Step::new(Axis::Child, step.test.clone()));
+            push_unique(out, Path::absolute(prefix.clone()));
+            let next_anchor = anchor_of(&step.test);
+            for q in &step.predicates {
+                expand_qualifier(prefix, next_anchor, q, schema, out);
+            }
+            expand_relative(prefix, next_anchor, steps, i + 1, schema, out);
+            prefix.pop();
+        }
+        Axis::Descendant => {
+            let rewrites = schema_paths(anchor, &step.test, schema);
+            match rewrites {
+                Some(label_paths) if !label_paths.is_empty() => {
+                    for labels in label_paths {
+                        let pushed = labels.len();
+                        for label in &labels {
+                            prefix.push(Step::child(label.clone()));
+                            push_unique(out, Path::absolute(prefix.clone()));
+                        }
+                        let next_anchor = labels.last().map(|s| s.as_str());
+                        for q in &step.predicates {
+                            expand_qualifier(prefix, next_anchor, q, schema, out);
+                        }
+                        expand_relative(prefix, next_anchor, steps, i + 1, schema, out);
+                        for _ in 0..pushed {
+                            prefix.pop();
+                        }
+                    }
+                }
+                _ => {
+                    // No schema, recursive schema, unknown anchor, or a
+                    // wildcard test: keep the descendant step verbatim.
+                    prefix.push(Step::new(Axis::Descendant, step.test.clone()));
+                    push_unique(out, Path::absolute(prefix.clone()));
+                    let next_anchor = anchor_of(&step.test);
+                    for q in &step.predicates {
+                        expand_qualifier(prefix, next_anchor, q, schema, out);
+                    }
+                    expand_relative(prefix, next_anchor, steps, i + 1, schema, out);
+                    prefix.pop();
+                }
+            }
+        }
+    }
+}
+
+/// The schema-derived child-axis label paths from `anchor` down to nodes
+/// matched by `test`. `None` when the rewrite is not applicable.
+fn schema_paths(
+    anchor: Option<&str>,
+    test: &NodeTest,
+    schema: Option<&Schema>,
+) -> Option<Vec<Vec<String>>> {
+    let anchor = anchor?;
+    let schema = schema?;
+    let NodeTest::Name(target) = test else {
+        return None;
+    };
+    if !schema.contains(anchor) || !schema.contains(target) {
+        return None;
+    }
+    schema.paths_between(anchor, target).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use xac_xml::{Particle, Schema};
+
+    fn hospital_schema() -> Schema {
+        use xac_xml::Occurs::*;
+        Schema::builder("hospital")
+            .sequence("hospital", vec![Particle::new("dept", Plus)])
+            .sequence(
+                "dept",
+                vec![Particle::new("patients", One), Particle::new("staffinfo", One)],
+            )
+            .sequence("patients", vec![Particle::new("patient", Star)])
+            .sequence("staffinfo", vec![Particle::new("staff", Star)])
+            .sequence(
+                "patient",
+                vec![
+                    Particle::new("psn", One),
+                    Particle::new("name", One),
+                    Particle::new("treatment", Optional),
+                ],
+            )
+            .choice(
+                "treatment",
+                vec![
+                    Particle::new("regular", Optional),
+                    Particle::new("experimental", Optional),
+                ],
+            )
+            .sequence("regular", vec![Particle::new("med", One), Particle::new("bill", One)])
+            .sequence(
+                "experimental",
+                vec![Particle::new("test", One), Particle::new("bill", One)],
+            )
+            .choice("staff", vec![Particle::new("nurse", One), Particle::new("doctor", One)])
+            .sequence(
+                "nurse",
+                vec![
+                    Particle::new("sid", One),
+                    Particle::new("name", One),
+                    Particle::new("phone", One),
+                ],
+            )
+            .sequence(
+                "doctor",
+                vec![
+                    Particle::new("sid", One),
+                    Particle::new("name", One),
+                    Particle::new("phone", One),
+                ],
+            )
+            .text(&["psn", "name", "med", "bill", "test", "sid", "phone"])
+            .build()
+            .unwrap()
+    }
+
+    fn strings(paths: &[Path]) -> Vec<String> {
+        paths.iter().map(|p| p.to_string()).collect()
+    }
+
+    #[test]
+    fn plain_path_expands_to_prefixes() {
+        let x = expand(&parse("//patient/name").unwrap(), None);
+        assert_eq!(strings(&x), vec!["//patient", "//patient/name"]);
+    }
+
+    #[test]
+    fn paper_example_r3() {
+        // //patient[treatment] → //patient, //patient/treatment (Fig. 8 text).
+        let x = expand(&parse("//patient[treatment]").unwrap(), None);
+        assert_eq!(strings(&x), vec!["//patient", "//patient/treatment"]);
+    }
+
+    #[test]
+    fn paper_example_r5_with_schema() {
+        // //patient[.//experimental] → the descendant axis inside the
+        // predicate is replaced using the schema (§5.3's second example).
+        let s = hospital_schema();
+        let x = expand(&parse("//patient[.//experimental]").unwrap(), Some(&s));
+        assert_eq!(
+            strings(&x),
+            vec![
+                "//patient",
+                "//patient/treatment",
+                "//patient/treatment/experimental",
+            ]
+        );
+    }
+
+    #[test]
+    fn without_schema_descendant_kept_verbatim() {
+        let x = expand(&parse("//patient[.//experimental]").unwrap(), None);
+        assert_eq!(strings(&x), vec!["//patient", "//patient//experimental"]);
+    }
+
+    #[test]
+    fn value_predicates_expand_structurally() {
+        let x = expand(&parse("//regular[med = \"celecoxib\"]").unwrap(), None);
+        assert_eq!(strings(&x), vec!["//regular", "//regular/med"]);
+        let x = expand(&parse("//regular[bill > 1000]").unwrap(), None);
+        assert_eq!(strings(&x), vec!["//regular", "//regular/bill"]);
+    }
+
+    #[test]
+    fn conjunction_and_nesting() {
+        let x = expand(&parse("//a[b and c/d]").unwrap(), None);
+        assert_eq!(strings(&x), vec!["//a", "//a/b", "//a/c", "//a/c/d"]);
+        let x = expand(&parse("//a[b[c]]").unwrap(), None);
+        assert_eq!(strings(&x), vec!["//a", "//a/b", "//a/b/c"]);
+    }
+
+    #[test]
+    fn multiple_schema_paths_fan_out() {
+        // `bill` lives under both regular and experimental treatments.
+        let s = hospital_schema();
+        let x = expand(&parse("//patient[.//bill]").unwrap(), Some(&s));
+        let got = strings(&x);
+        assert!(got.contains(&"//patient/treatment/regular/bill".to_string()));
+        assert!(got.contains(&"//patient/treatment/experimental/bill".to_string()));
+        assert!(got.contains(&"//patient/treatment".to_string()), "prefixes included");
+    }
+
+    #[test]
+    fn descendant_on_spine_not_rewritten() {
+        let s = hospital_schema();
+        let x = expand(&parse("//patient//bill").unwrap(), Some(&s));
+        assert_eq!(strings(&x), vec!["//patient", "//patient//bill"]);
+    }
+
+    #[test]
+    fn wildcard_anchor_blocks_schema_rewrite() {
+        let s = hospital_schema();
+        let x = expand(&parse("//*[.//bill]").unwrap(), Some(&s));
+        assert_eq!(strings(&x), vec!["//*", "//*//bill"]);
+    }
+
+    #[test]
+    fn unknown_labels_fall_back() {
+        let s = hospital_schema();
+        let x = expand(&parse("//martian[.//bill]").unwrap(), Some(&s));
+        assert_eq!(strings(&x), vec!["//martian", "//martian//bill"]);
+    }
+
+    #[test]
+    fn duplicates_are_merged() {
+        let x = expand(&parse("//a[b and b]").unwrap(), None);
+        assert_eq!(strings(&x), vec!["//a", "//a/b"]);
+    }
+
+    #[test]
+    fn expansions_are_predicate_free() {
+        let s = hospital_schema();
+        for src in [
+            "//patient[treatment]/name",
+            "//patient[.//experimental]",
+            "//regular[med = \"x\" and bill > 9]",
+        ] {
+            for p in expand(&parse(src).unwrap(), Some(&s)) {
+                assert!(p.is_predicate_free(), "{p} from {src} has predicates");
+            }
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Tree-pattern view of a path expression.
+//!
+//! Static analysis (containment, disjointness) works on *tree patterns*:
+//! rooted trees whose nodes carry a label (`Σ`, `*`, or the virtual root)
+//! and optional value constraints, and whose edges are either `child` or
+//! `descendant` edges. The *spine* is the root-to-output path; predicate
+//! subtrees branch off it. This is the canonical representation of
+//! Miklau & Suciu's XP(`/`, `//`, `*`, `\[\]`) fragment \[18\], extended with
+//! value-comparison constraints.
+
+use crate::ast::{Axis, CmpOp, Path, Qualifier};
+
+/// Pattern node label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PLabel {
+    /// The virtual node above the document root (shared origin of all
+    /// absolute paths).
+    Root,
+    /// Wildcard `*` — any element.
+    Wild,
+    /// A specific element name.
+    Name(String),
+}
+
+/// Pattern edge kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Must map to a parent/child pair.
+    Child,
+    /// Must map to an ancestor/descendant pair (distance ≥ 1).
+    Descendant,
+}
+
+impl From<Axis> for EdgeKind {
+    fn from(a: Axis) -> Self {
+        match a {
+            Axis::Child => EdgeKind::Child,
+            Axis::Descendant => EdgeKind::Descendant,
+        }
+    }
+}
+
+/// A value constraint attached to a pattern node (`[p op d]` lands on the
+/// node reached by `p`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// The constant operand.
+    pub value: String,
+}
+
+/// One node of a tree pattern.
+#[derive(Debug, Clone)]
+pub struct PNode {
+    /// Node label.
+    pub label: PLabel,
+    /// Value constraints that must all hold at the matched element.
+    pub constraints: Vec<Constraint>,
+    /// Outgoing edges `(kind, child index)`.
+    pub children: Vec<(EdgeKind, usize)>,
+}
+
+/// A tree pattern with a distinguished spine (root → output path).
+#[derive(Debug, Clone)]
+pub struct TreePattern {
+    nodes: Vec<PNode>,
+    /// Indices of the spine nodes; `spine[0]` is the virtual root and
+    /// `spine[last]` the output node.
+    spine: Vec<usize>,
+}
+
+impl TreePattern {
+    /// Build the pattern of an absolute path.
+    pub fn from_path(path: &Path) -> TreePattern {
+        assert!(path.absolute, "tree patterns are built from absolute paths");
+        let mut tp = TreePattern {
+            nodes: vec![PNode {
+                label: PLabel::Root,
+                constraints: Vec::new(),
+                children: Vec::new(),
+            }],
+            spine: vec![0],
+        };
+        let mut at = 0usize;
+        for step in &path.steps {
+            let label = match &step.test {
+                crate::ast::NodeTest::Name(n) => PLabel::Name(n.clone()),
+                crate::ast::NodeTest::Wildcard => PLabel::Wild,
+            };
+            let next = tp.push_node(at, step.axis.into(), label);
+            for q in &step.predicates {
+                tp.add_qualifier(next, q);
+            }
+            tp.spine.push(next);
+            at = next;
+        }
+        tp
+    }
+
+    fn push_node(&mut self, parent: usize, kind: EdgeKind, label: PLabel) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(PNode { label, constraints: Vec::new(), children: Vec::new() });
+        self.nodes[parent].children.push((kind, id));
+        id
+    }
+
+    fn add_qualifier(&mut self, at: usize, q: &Qualifier) {
+        match q {
+            Qualifier::Exists(rel) => {
+                self.add_relative_chain(at, rel);
+            }
+            Qualifier::Cmp(rel, op, d) => {
+                let end = self.add_relative_chain(at, rel);
+                self.nodes[end]
+                    .constraints
+                    .push(Constraint { op: *op, value: d.clone() });
+            }
+            Qualifier::And(qs) => {
+                for q in qs {
+                    self.add_qualifier(at, q);
+                }
+            }
+        }
+    }
+
+    /// Add the chain of nodes for a relative path anchored at `at`,
+    /// returning the final node (or `at` itself for the self path).
+    fn add_relative_chain(&mut self, at: usize, rel: &Path) -> usize {
+        assert!(!rel.absolute, "qualifier paths are relative");
+        let mut cur = at;
+        for step in &rel.steps {
+            let label = match &step.test {
+                crate::ast::NodeTest::Name(n) => PLabel::Name(n.clone()),
+                crate::ast::NodeTest::Wildcard => PLabel::Wild,
+            };
+            cur = self.push_node(cur, step.axis.into(), label);
+            let here = cur;
+            for q in &step.predicates {
+                self.add_qualifier(here, q);
+            }
+        }
+        cur
+    }
+
+    /// Number of pattern nodes (including the virtual root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True only for a degenerate pattern (never produced by
+    /// [`TreePattern::from_path`]).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node accessor.
+    pub fn node(&self, i: usize) -> &PNode {
+        &self.nodes[i]
+    }
+
+    /// The spine (root-to-output indices).
+    pub fn spine(&self) -> &[usize] {
+        &self.spine
+    }
+
+    /// The output node index.
+    pub fn output(&self) -> usize {
+        *self.spine.last().expect("spine is never empty")
+    }
+
+    /// Direct children reachable through a child edge.
+    pub fn child_edges(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.nodes[i]
+            .children
+            .iter()
+            .filter(|(k, _)| *k == EdgeKind::Child)
+            .map(|(_, c)| *c)
+    }
+
+    /// Reachability matrix: `reach[u][v]` is true when `v` is reachable
+    /// from `u` via one or more edges (of any kind).
+    pub fn reachability(&self) -> Vec<Vec<bool>> {
+        let n = self.nodes.len();
+        let mut reach = vec![vec![false; n]; n];
+        // Nodes are created parent-before-child, so a reverse sweep
+        // propagates transitive closure in one pass.
+        for u in (0..n).rev() {
+            for &(_, c) in &self.nodes[u].children {
+                reach[u][c] = true;
+                let (child_row, u_row) = if c > u {
+                    let (a, b) = reach.split_at_mut(c);
+                    (&b[0], &mut a[u])
+                } else {
+                    unreachable!("children are created after parents")
+                };
+                for (slot, &reachable) in u_row.iter_mut().zip(child_row.iter()) {
+                    *slot |= reachable;
+                }
+            }
+        }
+        reach
+    }
+
+    /// Whether the spine consists solely of child edges (the pattern then
+    /// fixes its output's depth exactly).
+    pub fn spine_child_only(&self) -> bool {
+        self.spine_edges().all(|k| k == EdgeKind::Child)
+    }
+
+    /// Kinds of the spine edges, root-side first.
+    pub fn spine_edges(&self) -> impl Iterator<Item = EdgeKind> + '_ {
+        self.spine.windows(2).map(move |w| {
+            self.nodes[w[0]]
+                .children
+                .iter()
+                .find(|(_, c)| *c == w[1])
+                .map(|(k, _)| *k)
+                .expect("spine edge exists")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn pattern(src: &str) -> TreePattern {
+        TreePattern::from_path(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn simple_spine() {
+        let tp = pattern("//patient/name");
+        assert_eq!(tp.len(), 3);
+        assert_eq!(tp.spine().len(), 3);
+        assert_eq!(tp.node(0).label, PLabel::Root);
+        assert_eq!(tp.node(tp.output()).label, PLabel::Name("name".into()));
+        let edges: Vec<EdgeKind> = tp.spine_edges().collect();
+        assert_eq!(edges, vec![EdgeKind::Descendant, EdgeKind::Child]);
+        assert!(!tp.spine_child_only());
+    }
+
+    #[test]
+    fn predicates_branch_off_spine() {
+        let tp = pattern("//patient[treatment]/name");
+        assert_eq!(tp.len(), 4);
+        assert_eq!(tp.spine().len(), 3);
+        // The patient node has two children: the predicate chain and the
+        // spine continuation.
+        let patient = tp.spine()[1];
+        assert_eq!(tp.node(patient).children.len(), 2);
+    }
+
+    #[test]
+    fn constraints_attach_to_final_chain_node() {
+        let tp = pattern("//regular[med = \"celecoxib\"]");
+        let regular = tp.output();
+        let (_, med) = tp.node(regular).children[0];
+        assert_eq!(tp.node(med).label, PLabel::Name("med".into()));
+        assert_eq!(tp.node(med).constraints.len(), 1);
+        assert_eq!(tp.node(med).constraints[0].op, CmpOp::Eq);
+        assert_eq!(tp.node(med).constraints[0].value, "celecoxib");
+    }
+
+    #[test]
+    fn self_comparison_constrains_step_node() {
+        let tp = pattern("//bill[. > 1000]");
+        let bill = tp.output();
+        assert_eq!(tp.node(bill).constraints.len(), 1);
+        assert_eq!(tp.node(bill).children.len(), 0);
+    }
+
+    #[test]
+    fn conjunction_makes_sibling_branches() {
+        let tp = pattern("//a[b and c/d]");
+        let a = tp.output();
+        assert_eq!(tp.node(a).children.len(), 2);
+    }
+
+    #[test]
+    fn reachability_closure() {
+        let tp = pattern("//a/b[c]//d");
+        let reach = tp.reachability();
+        let root = 0;
+        assert!(
+            reach[root][1..tp.len()].iter().all(|&r| r),
+            "root reaches everything"
+        );
+        assert!(!reach[tp.output()][root]);
+    }
+
+    #[test]
+    fn child_only_spine_detection() {
+        assert!(pattern("/a/b/c").spine_child_only());
+        assert!(!pattern("/a//c").spine_child_only());
+        assert!(pattern("/a[.//x]/b").spine_child_only(), "predicates don't affect the spine");
+    }
+}

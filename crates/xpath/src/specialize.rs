@@ -1,0 +1,440 @@
+//! Schema specialization: rewriting a path into the finite union of
+//! child-axis-only variants it denotes on documents valid under a
+//! (non-recursive) schema.
+//!
+//! On schema-valid trees, `[[p]] = ⋃ [[v]]` over the variants `v` — the
+//! rewrite preserves semantics exactly, unlike [`crate::expand`] (which
+//! strips predicates and adds prefixes for *triggering*). Specialization
+//! powers the schema-aware containment test the paper's §8 calls for:
+//!
+//! ```
+//! use xac_xml::{Schema, Particle, Occurs::*};
+//! use xac_xpath::{parse, contained_in, specialize::contained_in_with_schema};
+//!
+//! let schema = Schema::builder("r")
+//!     .sequence("r", vec![Particle::new("a", Star)])
+//!     .sequence("a", vec![Particle::new("b", Optional)])
+//!     .sequence("b", vec![Particle::new("c", Optional)])
+//!     .text(&["c"])
+//!     .build()
+//!     .unwrap();
+//! let p = parse("//a[.//c]").unwrap();
+//! let q = parse("//a[b]").unwrap();
+//! // Schema-blind containment cannot relate the descendant predicate to
+//! // `b`; under the schema every `c` below `a` sits inside a `b`.
+//! assert!(!contained_in(&p, &q));
+//! assert!(contained_in_with_schema(&p, &q, &schema));
+//! ```
+
+use crate::ast::{Axis, NodeTest, Path, Qualifier, Step};
+use crate::containment::contained_in;
+use xac_xml::Schema;
+
+/// Rewrite an absolute path into its child-axis-only schema variants.
+///
+/// Descendant steps (on the spine and inside qualifiers) are replaced by
+/// every child-axis label path the schema admits; steps whose anchor is a
+/// wildcard or unknown label keep their descendant axis (the variant set
+/// then still covers `[[p]]`, it is just less specialized). Paths that
+/// cannot match any valid document yield an empty set.
+pub fn schema_variants(path: &Path, schema: &Schema) -> Vec<Path> {
+    assert!(path.absolute, "specialization applies to absolute paths");
+    if schema.is_recursive() {
+        // Infinitely many child paths: return the path unchanged.
+        return vec![path.clone()];
+    }
+    let mut variants: Vec<(Vec<Step>, Option<String>)> = vec![(Vec::new(), None)];
+    let mut first = true;
+    for step in &path.steps {
+        let mut next = Vec::new();
+        for (prefix, anchor) in &variants {
+            for (steps, end) in specialize_step(step, anchor.as_deref(), first, schema) {
+                let mut longer = prefix.clone();
+                longer.extend(steps);
+                next.push((longer, end));
+            }
+        }
+        variants = next;
+        first = false;
+        if variants.is_empty() {
+            return Vec::new();
+        }
+    }
+    variants
+        .into_iter()
+        .map(|(steps, _)| Path::absolute(steps))
+        .collect()
+}
+
+/// Specialize one step from an anchor type. Returns `(steps, end type)`
+/// alternatives; `end` is `None` when the label is not statically known.
+fn specialize_step(
+    step: &Step,
+    anchor: Option<&str>,
+    from_root: bool,
+    schema: &Schema,
+) -> Vec<(Vec<Step>, Option<String>)> {
+    let preds = |label: Option<&str>| -> Vec<Vec<Qualifier>> {
+        specialize_qualifiers(&step.predicates, label, schema)
+    };
+    let mk = |axis: Axis, test: NodeTest, quals: Vec<Qualifier>| Step {
+        axis,
+        test,
+        predicates: quals,
+    };
+
+    // The set of (label path, end label) pairs this step can denote.
+    let label_paths: Vec<(Vec<String>, Option<String>)> = match (&step.test, step.axis) {
+        (NodeTest::Name(n), Axis::Child) => {
+            let ok = match (from_root, anchor) {
+                (true, _) => n == schema.root(),
+                (false, Some(a)) => schema.child_types(a).contains(&n.as_str()),
+                (false, None) => true, // unknown anchor: keep as written
+            };
+            if ok {
+                vec![(vec![n.clone()], Some(n.clone()))]
+            } else {
+                Vec::new()
+            }
+        }
+        (NodeTest::Name(n), Axis::Descendant) => {
+            if from_root {
+                // Descendants of the virtual root = every node, so the
+                // label paths run from the document root inclusive.
+                if !schema.contains(n) {
+                    return Vec::new();
+                }
+                schema
+                    .paths_from_root(n)
+                    .unwrap_or_default()
+                    .into_iter()
+                    .map(|p| (p, Some(n.clone())))
+                    .collect()
+            } else {
+                match anchor {
+                    Some(a) if schema.contains(a) && schema.contains(n) => schema
+                        .paths_between(a, n)
+                        .unwrap_or_default()
+                        .into_iter()
+                        .map(|p| (p, Some(n.clone())))
+                        .collect(),
+                    _ => return keep_verbatim(step, preds(None), mk),
+                }
+            }
+        }
+        (NodeTest::Wildcard, _) => return keep_verbatim(step, preds(None), mk),
+    };
+
+    let mut out = Vec::new();
+    for (labels, end) in label_paths {
+        for quals in preds(end.as_deref()) {
+            let mut steps: Vec<Step> = labels
+                .iter()
+                .map(|l| Step::child(l.clone()))
+                .collect();
+            if let Some(last) = steps.last_mut() {
+                last.predicates = quals.clone();
+            }
+            out.push((steps, end.clone()));
+        }
+    }
+    out
+}
+
+/// A step kept as written (wildcard or unknown anchor), with its
+/// qualifier alternatives attached.
+fn keep_verbatim(
+    step: &Step,
+    qual_sets: Vec<Vec<Qualifier>>,
+    mk: impl Fn(Axis, NodeTest, Vec<Qualifier>) -> Step,
+) -> Vec<(Vec<Step>, Option<String>)> {
+    let end = match &step.test {
+        NodeTest::Name(n) => Some(n.clone()),
+        NodeTest::Wildcard => None,
+    };
+    qual_sets
+        .into_iter()
+        .map(|quals| (vec![mk(step.axis, step.test.clone(), quals)], end.clone()))
+        .collect()
+}
+
+/// Specialize a conjunction of qualifiers at a context label: the
+/// cartesian product of each qualifier's alternatives.
+fn specialize_qualifiers(
+    quals: &[Qualifier],
+    anchor: Option<&str>,
+    schema: &Schema,
+) -> Vec<Vec<Qualifier>> {
+    let mut sets: Vec<Vec<Qualifier>> = vec![Vec::new()];
+    for q in quals {
+        let alts = specialize_qualifier(q, anchor, schema);
+        if alts.is_empty() {
+            return Vec::new(); // unsatisfiable qualifier
+        }
+        let mut next = Vec::new();
+        for set in &sets {
+            for alt in &alts {
+                let mut grown = set.clone();
+                grown.push(alt.clone());
+                next.push(grown);
+            }
+        }
+        sets = next;
+    }
+    sets
+}
+
+fn specialize_qualifier(
+    q: &Qualifier,
+    anchor: Option<&str>,
+    schema: &Schema,
+) -> Vec<Qualifier> {
+    match q {
+        Qualifier::Exists(rel) => specialize_relative(rel, anchor, schema)
+            .into_iter()
+            .map(Qualifier::Exists)
+            .collect(),
+        Qualifier::Cmp(rel, op, d) => specialize_relative(rel, anchor, schema)
+            .into_iter()
+            .map(|r| Qualifier::Cmp(r, *op, d.clone()))
+            .collect(),
+        Qualifier::And(qs) => specialize_qualifiers(qs, anchor, schema)
+            .into_iter()
+            .map(Qualifier::And)
+            .collect(),
+    }
+}
+
+/// Specialize a relative (qualifier) path from an anchor label.
+fn specialize_relative(rel: &Path, anchor: Option<&str>, schema: &Schema) -> Vec<Path> {
+    if rel.is_self() {
+        return vec![rel.clone()];
+    }
+    let mut variants: Vec<(Vec<Step>, Option<String>)> =
+        vec![(Vec::new(), anchor.map(str::to_string))];
+    for step in &rel.steps {
+        let mut next = Vec::new();
+        for (prefix, at) in &variants {
+            for (steps, end) in specialize_step(step, at.as_deref(), false, schema) {
+                let mut longer = prefix.clone();
+                longer.extend(steps);
+                next.push((longer, end));
+            }
+        }
+        variants = next;
+        if variants.is_empty() {
+            return Vec::new();
+        }
+    }
+    variants
+        .into_iter()
+        .map(|(steps, _)| Path::relative(steps))
+        .collect()
+}
+
+/// Schema-aware containment: `p ⊑ q` on documents valid under `schema`.
+///
+/// Sound strengthening of [`contained_in`]: every schema variant of `p`
+/// must embed into some schema variant of `q` (each variant denotes a
+/// subset of `[[q]]` on valid documents).
+pub fn contained_in_with_schema(p: &Path, q: &Path, schema: &Schema) -> bool {
+    if contained_in(p, q) {
+        return true;
+    }
+    let p_variants = schema_variants(p, schema);
+    if p_variants.is_empty() {
+        return true; // p matches nothing on valid documents
+    }
+    let mut q_variants = schema_variants(q, schema);
+    q_variants.push(q.clone());
+    p_variants
+        .iter()
+        .all(|v| q_variants.iter().any(|qv| contained_in(v, qv)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use xac_xml::{Occurs::*, Particle};
+
+    fn hospital_schema() -> Schema {
+        Schema::builder("hospital")
+            .sequence("hospital", vec![Particle::new("dept", Plus)])
+            .sequence(
+                "dept",
+                vec![Particle::new("patients", One), Particle::new("staffinfo", One)],
+            )
+            .sequence("patients", vec![Particle::new("patient", Star)])
+            .sequence("staffinfo", vec![Particle::new("staff", Star)])
+            .sequence(
+                "patient",
+                vec![
+                    Particle::new("psn", One),
+                    Particle::new("name", One),
+                    Particle::new("treatment", Optional),
+                ],
+            )
+            .choice(
+                "treatment",
+                vec![
+                    Particle::new("regular", Optional),
+                    Particle::new("experimental", Optional),
+                ],
+            )
+            .sequence("regular", vec![Particle::new("med", One), Particle::new("bill", One)])
+            .sequence(
+                "experimental",
+                vec![Particle::new("test", One), Particle::new("bill", One)],
+            )
+            .choice("staff", vec![Particle::new("nurse", One), Particle::new("doctor", One)])
+            .sequence(
+                "nurse",
+                vec![
+                    Particle::new("sid", One),
+                    Particle::new("name", One),
+                    Particle::new("phone", One),
+                ],
+            )
+            .sequence(
+                "doctor",
+                vec![
+                    Particle::new("sid", One),
+                    Particle::new("name", One),
+                    Particle::new("phone", One),
+                ],
+            )
+            .text(&["psn", "name", "med", "bill", "test", "sid", "phone"])
+            .build()
+            .unwrap()
+    }
+
+    fn strings(paths: &[Path]) -> Vec<String> {
+        paths.iter().map(|p| p.to_string()).collect()
+    }
+
+    #[test]
+    fn spine_descendants_expand() {
+        let s = hospital_schema();
+        let vs = schema_variants(&parse("//regular").unwrap(), &s);
+        assert_eq!(
+            strings(&vs),
+            vec!["/hospital/dept/patients/patient/treatment/regular"]
+        );
+        // `//bill` fans out into both treatment branches.
+        let vs = schema_variants(&parse("//bill").unwrap(), &s);
+        assert_eq!(vs.len(), 2);
+        assert!(vs.iter().all(|v| !v.uses_descendant()));
+    }
+
+    #[test]
+    fn predicate_descendants_expand() {
+        let s = hospital_schema();
+        let vs = schema_variants(&parse("//patient[.//experimental]").unwrap(), &s);
+        assert_eq!(
+            strings(&vs),
+            vec!["/hospital/dept/patients/patient[treatment/experimental]"]
+        );
+    }
+
+    #[test]
+    fn impossible_paths_vanish() {
+        let s = hospital_schema();
+        assert!(schema_variants(&parse("//med/patient").unwrap(), &s).is_empty());
+        assert!(schema_variants(&parse("//patient[phone]").unwrap(), &s).is_empty());
+        assert!(schema_variants(&parse("/dept").unwrap(), &s).is_empty());
+    }
+
+    #[test]
+    fn root_matched_by_descendant_step() {
+        let s = hospital_schema();
+        let vs = schema_variants(&parse("//hospital").unwrap(), &s);
+        assert_eq!(strings(&vs), vec!["/hospital"]);
+    }
+
+    #[test]
+    fn wildcards_kept_verbatim() {
+        let s = hospital_schema();
+        let vs = schema_variants(&parse("//*[psn]").unwrap(), &s);
+        assert_eq!(strings(&vs), vec!["//*[psn]"]);
+    }
+
+    #[test]
+    fn variants_preserve_semantics_on_valid_documents() {
+        let s = hospital_schema();
+        let doc = xac_xml::Document::parse_str(
+            "<hospital><dept><patients>\
+             <patient><psn>1</psn><name>a</name>\
+             <treatment><experimental><test>t</test><bill>9</bill></experimental></treatment>\
+             </patient>\
+             <patient><psn>2</psn><name>b</name></patient>\
+             </patients><staffinfo/></dept></hospital>",
+        )
+        .unwrap();
+        for src in [
+            "//patient",
+            "//patient[.//experimental]",
+            "//bill",
+            "//dept//name",
+            "//patient[.//bill > 5]",
+        ] {
+            let p = parse(src).unwrap();
+            let expected = crate::eval(&doc, &p);
+            let mut got: Vec<_> = schema_variants(&p, &s)
+                .iter()
+                .flat_map(|v| crate::eval(&doc, v))
+                .collect();
+            got.sort();
+            got.dedup();
+            assert_eq!(got, expected, "variants of {src} changed semantics");
+        }
+    }
+
+    #[test]
+    fn schema_containment_beats_blind_containment() {
+        let s = hospital_schema();
+        let p = parse("//patient[.//experimental]").unwrap();
+        let q = parse("//patient[treatment]").unwrap();
+        assert!(!contained_in(&p, &q), "schema-blind test cannot know");
+        assert!(contained_in_with_schema(&p, &q, &s));
+        // And the reverse still fails (a treatment need not be experimental).
+        assert!(!contained_in_with_schema(&q, &p, &s));
+    }
+
+    #[test]
+    fn schema_containment_relates_descendant_to_child_chain() {
+        let s = hospital_schema();
+        let p = parse("//patients//bill").unwrap();
+        let q = parse("//treatment/*/bill").unwrap();
+        assert!(!contained_in(&p, &q));
+        assert!(contained_in_with_schema(&p, &q, &s));
+    }
+
+    #[test]
+    fn schema_containment_still_sound() {
+        let s = hospital_schema();
+        // Distinct leaves stay unrelated.
+        assert!(!contained_in_with_schema(
+            &parse("//med").unwrap(),
+            &parse("//test").unwrap(),
+            &s
+        ));
+        // Unsatisfiable p is contained in anything.
+        assert!(contained_in_with_schema(
+            &parse("//med/patient").unwrap(),
+            &parse("//test").unwrap(),
+            &s
+        ));
+    }
+
+    #[test]
+    fn recursive_schema_degrades_gracefully() {
+        let s = Schema::builder("a")
+            .sequence("a", vec![Particle::new("a", Star)])
+            .build()
+            .unwrap();
+        let p = parse("//a").unwrap();
+        assert_eq!(schema_variants(&p, &s), vec![p.clone()]);
+        assert!(contained_in_with_schema(&p, &p, &s));
+    }
+}

@@ -1,0 +1,105 @@
+//! Robustness: the XPath parser must never panic — arbitrary input either
+//! parses (and then round-trips) or returns a parse error.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup: no panics, errors carry sane offsets.
+    #[test]
+    fn arbitrary_input_never_panics(input in ".{0,40}") {
+        match xac_xpath::parse(&input) {
+            Ok(path) => {
+                // Whatever parsed must round-trip.
+                let printed = path.to_string();
+                let again = xac_xpath::parse(&printed)
+                    .unwrap_or_else(|e| panic!("round-trip of `{input}` -> `{printed}`: {e}"));
+                prop_assert_eq!(path, again);
+            }
+            Err(xac_xpath::Error::Parse { offset, .. }) => {
+                prop_assert!(offset <= input.len());
+            }
+            Err(other) => panic!("unexpected error kind: {other}"),
+        }
+    }
+
+    /// Structured-ish garbage from path-flavoured fragments: higher parse
+    /// hit-rate, same invariants.
+    #[test]
+    fn fragment_soup_never_panics(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("/"), Just("//"), Just("a"), Just("bc"), Just("*"),
+                Just("["), Just("]"), Just("."), Just(".//"), Just(" and "),
+                Just("= 5"), Just("= \"x\""), Just(">"), Just("<="), Just("!"),
+            ],
+            0..12,
+        )
+    ) {
+        let input: String = parts.concat();
+        if let Ok(path) = xac_xpath::parse(&input) {
+            let printed = path.to_string();
+            let again = xac_xpath::parse(&printed).expect("display must re-parse");
+            prop_assert_eq!(path, again);
+        }
+    }
+}
+
+// The XML parser under the same contract.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn xml_parser_never_panics(input in ".{0,60}") {
+        let _ = xac_xml::Document::parse_str(&input);
+    }
+
+    #[test]
+    fn xml_fragment_soup_never_panics(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("<a>"), Just("</a>"), Just("<b/>"), Just("text"),
+                Just("<"), Just(">"), Just("&amp;"), Just("&bogus;"),
+                Just("<!--"), Just("-->"), Just("<?xml?>"), Just("attr=\"v\""),
+                Just("<a attr='v'>"), Just("\""),
+            ],
+            0..10,
+        )
+    ) {
+        let input: String = parts.concat();
+        if let Ok(doc) = xac_xml::Document::parse_str(&input) {
+            // Anything that parses must serialize and re-parse.
+            let xml = doc.to_xml();
+            xac_xml::Document::parse_str(&xml).expect("serialized form re-parses");
+        }
+    }
+}
+
+// The DTD parser too.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dtd_parser_never_panics(input in ".{0,80}") {
+        let _ = xac_xml::parse_dtd(&input);
+    }
+
+    #[test]
+    fn dtd_fragment_soup_never_panics(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("<!ELEMENT "), Just("a "), Just("(b)"), Just("(#PCDATA)"),
+                Just("EMPTY"), Just(">"), Just("(a, b?)"), Just("(a | b)"),
+                Just("(("), Just("*"), Just("+"),
+            ],
+            0..8,
+        )
+    ) {
+        let input: String = parts.concat();
+        if let Ok(schema) = xac_xml::parse_dtd(&input) {
+            let rendered = schema.to_dtd_string();
+            xac_xml::parse_dtd(&rendered).expect("rendered DTD re-parses");
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! End-to-end tests of the `xmlac` command-line interface against the
+//! checked-in hospital data files.
+
+use std::process::{Command, Output};
+
+fn data(file: &str) -> String {
+    format!("{}/../../data/{file}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn xmlac(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xmlac"))
+        .args(args)
+        .output()
+        .expect("xmlac runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn check_validates_document() {
+    let out = xmlac(&["check", "--schema", &data("hospital.dtd"), "--doc", &data("figure2.xml")]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("21 elements"), "{text}");
+    assert!(text.contains("<hospital>"), "{text}");
+}
+
+#[test]
+fn optimize_prints_reduced_policy() {
+    let out = xmlac(&["optimize", "--policy", &data("hospital.pol")]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    // Blind optimization: Table 3.
+    assert!(text.contains("R1 allow //patient"), "{text}");
+    assert!(!text.contains("R4"), "{text}");
+    assert!(text.contains("R5"), "blind optimizer keeps R5: {text}");
+    assert!(stderr(&out).contains("R4, R7, R8"), "{}", stderr(&out));
+
+    // Schema-aware optimization removes R5 too.
+    let out = xmlac(&[
+        "optimize",
+        "--policy",
+        &data("hospital.pol"),
+        "--schema",
+        &data("hospital.dtd"),
+    ]);
+    assert!(out.status.success());
+    assert!(!stdout(&out).contains("R5"), "{}", stdout(&out));
+}
+
+#[test]
+fn query_reports_decisions_on_all_backends() {
+    for backend in ["native", "row", "column"] {
+        let out = xmlac(&[
+            "query",
+            "--schema",
+            &data("hospital.dtd"),
+            "--policy",
+            &data("hospital.pol"),
+            "--doc",
+            &data("figure2.xml"),
+            "--backend",
+            backend,
+            "--query",
+            "//patient/name",
+            "--query",
+            "//patient",
+        ]);
+        assert!(out.status.success(), "{backend}: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(text.contains("GRANTED //patient/name (3 nodes)"), "{backend}: {text}");
+        assert!(text.contains("DENIED  //patient (3 nodes)"), "{backend}: {text}");
+    }
+}
+
+#[test]
+fn update_deletes_and_requeries() {
+    let out = xmlac(&[
+        "update",
+        "--schema",
+        &data("hospital.dtd"),
+        "--policy",
+        &data("hospital.pol"),
+        "--doc",
+        &data("figure2.xml"),
+        "--delete",
+        "//treatment",
+        "--query",
+        "//patient",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("deleted 8 elements"), "{text}");
+    assert!(text.contains("R3"), "{text}");
+    assert!(text.contains("GRANTED //patient (3 nodes)"), "{text}");
+}
+
+#[test]
+fn update_insert_flow() {
+    let out = xmlac(&[
+        "update",
+        "--schema",
+        &data("hospital.dtd"),
+        "--policy",
+        &data("hospital.pol"),
+        "--doc",
+        &data("figure2.xml"),
+        "--insert",
+        "//patient[psn = \"099\"]:treatment",
+        "--query",
+        "//patient[psn = \"099\"]",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("inserted 1 <treatment>"), "{text}");
+    assert!(text.contains("DENIED  //patient[psn = \"099\"]"), "{text}");
+}
+
+#[test]
+fn shred_emits_ddl_and_inserts() {
+    let out = xmlac(&["shred", "--schema", &data("hospital.dtd"), "--doc", &data("figure2.xml")]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("CREATE TABLE patient"), "{text}");
+    assert_eq!(text.matches("INSERT INTO").count(), 21, "one insert per element");
+}
+
+#[test]
+fn audit_reports_rule_statistics() {
+    let out = xmlac(&[
+        "audit",
+        "--schema",
+        &data("hospital.dtd"),
+        "--policy",
+        &data("hospital.pol"),
+        "--doc",
+        &data("figure2.xml"),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("R1"), "{text}");
+    assert!(text.contains("5 accessible"), "{text}");
+    assert!(text.contains("2 conflicted"), "{text}");
+    assert!(text.contains("dead on this document: R7, R8"), "{text}");
+}
+
+#[test]
+fn view_prints_security_view() {
+    let out = xmlac(&[
+        "view",
+        "--schema",
+        &data("hospital.dtd"),
+        "--policy",
+        &data("hospital.pol"),
+        "--doc",
+        &data("figure2.xml"),
+        "--mode",
+        "promote",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("joy smith"), "{text}");
+    assert!(!text.contains("psn"), "denied data must not leak: {text}");
+    assert!(!text.contains("enoxaparin"), "{text}");
+
+    // Prune mode hides everything below the denied dept.
+    let out = xmlac(&[
+        "view",
+        "--schema",
+        &data("hospital.dtd"),
+        "--policy",
+        &data("hospital.pol"),
+        "--doc",
+        &data("figure2.xml"),
+        "--mode",
+        "prune",
+    ]);
+    assert!(out.status.success());
+    assert_eq!(stdout(&out).trim(), "<hospital/>");
+}
+
+#[test]
+fn errors_are_reported_with_nonzero_exit() {
+    let out = xmlac(&["bogus-command"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+
+    let out = xmlac(&["check", "--schema", "/nonexistent.dtd", "--doc", &data("figure2.xml")]);
+    assert!(!out.status.success());
+
+    let out = xmlac(&["query", "--schema", &data("hospital.dtd"), "--policy", &data("hospital.pol"), "--doc", &data("figure2.xml")]);
+    assert!(!out.status.success(), "query without --query must fail");
+}

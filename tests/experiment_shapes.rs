@@ -1,0 +1,137 @@
+//! Non-flaky, count-based checks that the experimental *shapes* reported
+//! in §7 hold in this reproduction (timing-based shape checks live in the
+//! benchmark harness, where release builds make them meaningful).
+
+use xac_core::{Backend, NativeXmlBackend, RelationalBackend, System};
+use xac_xmlgen::{
+    actual_coverage, coverage_policy, coverage_policy_dataset, delete_updates, xmark_document,
+    xmark_schema, XmarkConfig,
+};
+
+/// Table 5 shape: the SQL artifact is larger than the XML artifact at
+/// small factors and document size grows monotonically with the factor.
+#[test]
+fn table5_artifact_sizes() {
+    // Factors below ~0.003 all hit the generator's minimum-count floors
+    // (a handful of items/people), so start the growth check above them.
+    let mut last_xml = 0usize;
+    for factor in [0.005, 0.02, 0.08] {
+        let doc = xmark_document(XmarkConfig::with_factor(factor));
+        let policy = coverage_policy(&doc, 0.3, 1);
+        let s = System::new(xmark_schema(), policy, doc).unwrap();
+        let xml = s.prepared().xml_bytes();
+        let sql = s.prepared().sql_bytes();
+        assert!(xml > last_xml, "XML size must grow with factor");
+        assert!(sql > xml, "INSERT text is bulkier than XML at factor {factor}");
+        last_xml = xml;
+    }
+}
+
+/// Figure 11 shape: annotation work (sign writes) grows with policy
+/// coverage on every backend.
+#[test]
+fn annotation_work_grows_with_coverage() {
+    let doc = xmark_document(XmarkConfig::with_factor(0.005));
+    let dataset = coverage_policy_dataset(&doc, &[0.25, 0.45, 0.65], 2);
+    let mut backends: Vec<Box<dyn Backend>> = vec![
+        Box::new(RelationalBackend::row()),
+        Box::new(RelationalBackend::column()),
+        Box::new(NativeXmlBackend::new()),
+    ];
+    for b in backends.iter_mut() {
+        let mut last = 0usize;
+        for (target, policy) in &dataset {
+            let s = System::new(xmark_schema(), policy.clone(), doc.clone()).unwrap();
+            s.load(b.as_mut()).unwrap();
+            let writes = s.annotate(b.as_mut()).unwrap();
+            assert!(
+                writes >= last,
+                "{}: writes decreased at coverage {target}",
+                b.name()
+            );
+            last = writes;
+        }
+        assert!(last > 0);
+    }
+}
+
+/// Coverage targets are realized: the dataset spans the paper's ~25–70%
+/// band.
+#[test]
+fn coverage_dataset_spans_band() {
+    let doc = xmark_document(XmarkConfig::with_factor(0.005));
+    let low = coverage_policy(&doc, 0.25, 3);
+    let high = coverage_policy(&doc, 0.7, 3);
+    let low_cov = actual_coverage(&doc, &low);
+    let high_cov = actual_coverage(&doc, &high);
+    assert!((0.15..=0.45).contains(&low_cov), "low {low_cov:.2}");
+    assert!(high_cov >= 0.6, "high {high_cov:.2}");
+    assert!(high_cov > low_cov + 0.2);
+}
+
+/// Figure 12 shape, in operation counts: across an update workload, the
+/// Trigger-planned partial pass writes far fewer signs than from-scratch
+/// annotation — the mechanism behind the paper's 5–9× speedups.
+#[test]
+fn partial_reannotation_writes_fraction_of_full() {
+    let doc = xmark_document(XmarkConfig::with_factor(0.01));
+    let policy = coverage_policy(&doc, 0.5, 7);
+    let s = System::new(xmark_schema(), policy, doc).unwrap();
+    let mut b = NativeXmlBackend::new();
+
+    let mut partial_writes = 0usize;
+    let mut full_writes = 0usize;
+    for u in delete_updates(&xmark_schema(), 12, 9) {
+        s.load(&mut b).unwrap();
+        s.annotate(&mut b).unwrap();
+        let outcome = s.apply_update(&mut b, &u).unwrap();
+        partial_writes += outcome.sign_writes;
+
+        s.load(&mut b).unwrap();
+        s.annotate(&mut b).unwrap();
+        b.delete(&u).unwrap();
+        full_writes += s.full_reannotate(&mut b).unwrap();
+    }
+    assert!(
+        (partial_writes as f64) < 0.5 * full_writes as f64,
+        "partial {partial_writes} vs full {full_writes}"
+    );
+}
+
+/// Loading artifact shape behind Figure 9: the relational stores execute
+/// one INSERT statement per element while the native store parses once;
+/// statement count equals element count.
+#[test]
+fn relational_load_is_statement_per_element() {
+    let doc = xmark_document(XmarkConfig::with_factor(0.002));
+    let policy = coverage_policy(&doc, 0.3, 5);
+    let s = System::new(xmark_schema(), policy, doc).unwrap();
+    let statements = s.prepared().sql_text.lines().count();
+    assert_eq!(statements, s.prepared().doc.element_count());
+}
+
+/// The §7.2 response-time observation is structural: every request costs
+/// the relational store a per-table sweep, while the native store walks
+/// the tree index. Check both return identical decisions on a workload
+/// (the timing factor itself is measured in the bench harness).
+#[test]
+fn response_decisions_stable_under_updates() {
+    let doc = xmark_document(XmarkConfig::with_factor(0.002));
+    let policy = coverage_policy(&doc, 0.5, 13);
+    let s = System::new(xmark_schema(), policy, doc).unwrap();
+    let u = xac_xpath::parse("//mailbox/mail").unwrap();
+
+    let mut native = NativeXmlBackend::new();
+    let mut rel = RelationalBackend::column();
+    for b in [&mut native as &mut dyn Backend, &mut rel as &mut dyn Backend] {
+        s.load(b).unwrap();
+        s.annotate(b).unwrap();
+        s.apply_update(b, &u).unwrap();
+    }
+    for q in xac_xmlgen::query_workload(&xmark_schema(), 25, 15) {
+        let dn = s.request_path(&mut native, &q).unwrap();
+        let dr = s.request_path(&mut rel, &q).unwrap();
+        assert_eq!(dn.granted(), dr.granted(), "{q}");
+        assert_eq!(dn.node_count(), dr.node_count(), "{q}");
+    }
+}

@@ -1,0 +1,201 @@
+//! Property tests at the whole-pipeline level: for randomized policies
+//! and documents, the annotation query materialized in the native store
+//! must reproduce the Table 2 reference semantics, under all four
+//! `(ds, cr)` combinations.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use xac_policy::{AnnotationQuery, ConflictResolution, DefaultSemantics, Effect, Policy, Rule};
+use xac_xml::Document;
+use xac_xmlstore::{NodeSetExpr, StoredDocument};
+
+// -- random documents over {a,b,c,d} ----------------------------------
+
+#[derive(Debug, Clone)]
+enum Tree {
+    Leaf(&'static str),
+    Node(&'static str, Vec<Tree>),
+}
+
+fn arb_label() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")]
+}
+
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    let leaf = arb_label().prop_map(Tree::Leaf);
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (arb_label(), proptest::collection::vec(inner, 0..4))
+            .prop_map(|(l, kids)| Tree::Node(l, kids))
+    })
+}
+
+fn to_document(tree: &Tree) -> Document {
+    fn attach(doc: &mut Document, parent: xac_xml::NodeId, t: &Tree) {
+        match t {
+            Tree::Leaf(l) => {
+                doc.add_element(parent, *l);
+            }
+            Tree::Node(l, kids) => {
+                let n = doc.add_element(parent, *l);
+                for k in kids {
+                    attach(doc, n, k);
+                }
+            }
+        }
+    }
+    let (label, kids) = match tree {
+        Tree::Leaf(l) => (*l, Vec::new()),
+        Tree::Node(l, kids) => (*l, kids.clone()),
+    };
+    let mut doc = Document::new(label);
+    let root = doc.root();
+    for k in &kids {
+        attach(&mut doc, root, k);
+    }
+    doc
+}
+
+// -- random policies ----------------------------------------------------
+
+fn arb_rule_src() -> impl Strategy<Value = String> {
+    let step = prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("c".to_string()),
+        Just("d".to_string()),
+        Just("*".to_string()),
+    ];
+    (step.clone(), proptest::option::of(step.clone()), proptest::option::of(step))
+        .prop_map(|(first, child, pred)| {
+            let mut s = format!("//{first}");
+            if let Some(p) = pred {
+                s.push_str(&format!("[{p}]"));
+            }
+            if let Some(c) = child {
+                s.push_str(&format!("/{c}"));
+            }
+            s
+        })
+}
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    let rule = (arb_rule_src(), proptest::bool::ANY);
+    (
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+        proptest::collection::vec(rule, 0..6),
+    )
+        .prop_map(|(ds, cr, rules)| {
+            let rules = rules
+                .into_iter()
+                .enumerate()
+                .map(|(i, (src, allow))| {
+                    Rule::parse(
+                        format!("G{i}"),
+                        &src,
+                        if allow { Effect::Allow } else { Effect::Deny },
+                    )
+                    .expect("generated rule parses")
+                })
+                .collect();
+            Policy::new(
+                if ds { DefaultSemantics::Allow } else { DefaultSemantics::Deny },
+                if cr {
+                    ConflictResolution::AllowOverrides
+                } else {
+                    ConflictResolution::DenyOverrides
+                },
+                rules,
+            )
+            .expect("generated ids unique")
+        })
+}
+
+/// Accessibility as materialized in a native store by the annotation
+/// query: the selected nodes get the mark, everything else the default.
+fn materialized_accessible(doc: &Document, policy: &Policy) -> BTreeSet<xac_xml::NodeId> {
+    let query = AnnotationQuery::from_policy(policy);
+    let mut sdoc = StoredDocument::new(doc.clone());
+    if let Some(include) = NodeSetExpr::union_of(query.include.clone()) {
+        let expr = match NodeSetExpr::union_of(query.except.clone()) {
+            Some(except) => include.except(except),
+            None => include,
+        };
+        sdoc.annotate_expr(&expr, query.mark.sign());
+    }
+    let default_accessible = policy.default_semantics == DefaultSemantics::Allow;
+    doc.all_elements()
+        .filter(|&n| match sdoc.sign_of(n) {
+            Some('+') => true,
+            Some(_) => false,
+            None => default_accessible,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The materialized annotation equals the reference semantics for
+    /// every policy/document pair.
+    #[test]
+    fn materialized_annotation_matches_table2(policy in arb_policy(), t in arb_tree()) {
+        let doc = to_document(&t);
+        let reference = xac_policy::accessible_nodes(&doc, &policy);
+        let materialized = materialized_accessible(&doc, &policy);
+        prop_assert_eq!(
+            materialized, reference,
+            "ds={:?} cr={:?} policy:\n{}",
+            policy.default_semantics, policy.conflict_resolution, policy.to_text()
+        );
+    }
+
+    /// Redundancy elimination never changes the semantics.
+    #[test]
+    fn optimization_preserves_semantics(policy in arb_policy(), t in arb_tree()) {
+        let doc = to_document(&t);
+        let optimized = xac_policy::redundancy_elimination(&policy);
+        prop_assert!(optimized.len() <= policy.len());
+        prop_assert_eq!(
+            xac_policy::accessible_nodes(&doc, &optimized),
+            xac_policy::accessible_nodes(&doc, &policy),
+            "optimizer changed semantics of:\n{}",
+            policy.to_text()
+        );
+    }
+
+    /// The security view never leaks: every element in the view
+    /// corresponds to an accessible element, in both modes.
+    #[test]
+    fn security_views_never_leak(policy in arb_policy(), t in arb_tree()) {
+        let doc = to_document(&t);
+        let accessible = xac_policy::accessible_nodes(&doc, &policy);
+        for mode in [xac_core::ViewMode::Prune, xac_core::ViewMode::Promote] {
+            let view = xac_core::security_view(&doc, &accessible, mode);
+            // Count elements per label in the view; none may exceed the
+            // accessible count of that label (root excepted — it is always
+            // emitted as the document shell).
+            for label in ["a", "b", "c", "d"] {
+                let in_view = view
+                    .all_elements()
+                    .filter(|&n| n != view.root() && view.name(n) == Some(label))
+                    .count();
+                let allowed = accessible
+                    .iter()
+                    .filter(|&&n| doc.name(n) == Some(label))
+                    .count();
+                prop_assert!(
+                    in_view <= allowed,
+                    "{mode:?}: {in_view} `{label}` elements in view, {allowed} accessible"
+                );
+            }
+            if mode == xac_core::ViewMode::Promote {
+                // Promote preserves every accessible non-root element.
+                let total_view = view.all_elements().count() - 1;
+                let total_accessible =
+                    accessible.iter().filter(|&&n| n != doc.root()).count();
+                prop_assert_eq!(total_view, total_accessible);
+            }
+        }
+    }
+}

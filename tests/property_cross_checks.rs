@@ -1,0 +1,207 @@
+//! Property-based cross-checks over the static-analysis core: containment
+//! soundness against evaluation, parser round-trips, index-accelerated
+//! evaluation, and the XPath→SQL translation — all on randomized inputs.
+
+use proptest::prelude::*;
+use xac_xml::Document;
+use xac_xpath::{contained_in, eval, parse, Axis, NodeTest, Path, Qualifier, Step};
+
+// ---------------------------------------------------------------------
+// Random trees over a small alphabet
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Tree {
+    Leaf(&'static str, Option<&'static str>),
+    Node(&'static str, Vec<Tree>),
+}
+
+fn arb_label() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")]
+}
+
+fn arb_value() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("1"), Just("2"), Just("x")]
+}
+
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    let leaf = (arb_label(), proptest::option::of(arb_value()))
+        .prop_map(|(l, v)| Tree::Leaf(l, v));
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (arb_label(), proptest::collection::vec(inner, 0..4))
+            .prop_map(|(l, kids)| Tree::Node(l, kids))
+    })
+}
+
+fn to_document(tree: &Tree) -> Document {
+    fn attach(doc: &mut Document, parent: xac_xml::NodeId, t: &Tree) {
+        match t {
+            Tree::Leaf(l, v) => {
+                let n = doc.add_element(parent, *l);
+                if let Some(v) = v {
+                    doc.add_text(n, *v);
+                }
+            }
+            Tree::Node(l, kids) => {
+                let n = doc.add_element(parent, *l);
+                for k in kids {
+                    attach(doc, n, k);
+                }
+            }
+        }
+    }
+    let (label, kids) = match tree {
+        Tree::Leaf(l, _) => (*l, Vec::new()),
+        Tree::Node(l, kids) => (*l, kids.clone()),
+    };
+    let mut doc = Document::new(label);
+    let root = doc.root();
+    for k in &kids {
+        attach(&mut doc, root, k);
+    }
+    doc
+}
+
+// ---------------------------------------------------------------------
+// Random paths in the fragment
+// ---------------------------------------------------------------------
+
+fn arb_qualifier() -> impl Strategy<Value = Qualifier> {
+    prop_oneof![
+        arb_label().prop_map(|l| Qualifier::Exists(Path::relative(vec![Step::child(l)]))),
+        (arb_label(), arb_value()).prop_map(|(l, v)| Qualifier::Cmp(
+            Path::relative(vec![Step::child(l)]),
+            xac_xpath::CmpOp::Eq,
+            v.to_string(),
+        )),
+    ]
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    (
+        prop_oneof![Just(Axis::Child), Just(Axis::Descendant)],
+        prop_oneof![
+            arb_label().prop_map(|l| NodeTest::Name(l.to_string())),
+            Just(NodeTest::Wildcard),
+        ],
+        proptest::collection::vec(arb_qualifier(), 0..2),
+    )
+        .prop_map(|(axis, test, predicates)| Step { axis, test, predicates })
+}
+
+fn arb_path() -> impl Strategy<Value = Path> {
+    proptest::collection::vec(arb_step(), 1..4).prop_map(Path::absolute)
+}
+
+/// Drop every predicate (a strict generalization of the path).
+fn strip_predicates(p: &Path) -> Path {
+    Path::absolute(
+        p.steps
+            .iter()
+            .map(|s| Step::new(s.axis, s.test.clone()))
+            .collect(),
+    )
+}
+
+/// Turn every child axis into descendant (another generalization).
+fn loosen_axes(p: &Path) -> Path {
+    Path::absolute(
+        p.steps
+            .iter()
+            .map(|s| Step {
+                axis: Axis::Descendant,
+                test: s.test.clone(),
+                predicates: s.predicates.clone(),
+            })
+            .collect(),
+    )
+}
+
+fn is_subset(a: &[xac_xml::NodeId], b: &[xac_xml::NodeId]) -> bool {
+    let set: std::collections::BTreeSet<_> = b.iter().collect();
+    a.iter().all(|n| set.contains(n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Soundness: whenever the homomorphism test claims `p ⊑ q`, the
+    /// result sets obey it on arbitrary trees.
+    #[test]
+    fn containment_claim_implies_subset(p in arb_path(), q in arb_path(), t in arb_tree()) {
+        if contained_in(&p, &q) {
+            let doc = to_document(&t);
+            prop_assert!(
+                is_subset(&eval(&doc, &p), &eval(&doc, &q)),
+                "checker claimed {p} ⊑ {q} but results differ"
+            );
+        }
+    }
+
+    /// Derived generalizations must be recognized as containing the
+    /// original (a completeness check on the subclass that matters).
+    #[test]
+    fn derived_generalizations_contain(p in arb_path()) {
+        prop_assert!(contained_in(&p, &p), "reflexivity on {p}");
+        prop_assert!(contained_in(&p, &strip_predicates(&p)), "{p} vs stripped");
+        prop_assert!(contained_in(&p, &loosen_axes(&p)), "{p} vs loosened");
+    }
+
+    /// Display output re-parses to the identical AST.
+    #[test]
+    fn display_parse_round_trip(p in arb_path()) {
+        let printed = p.to_string();
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{printed}: {e}"));
+        prop_assert_eq!(p, reparsed);
+    }
+
+    /// Evaluation returns deduplicated, document-ordered results, and
+    /// generalizations select supersets on real trees.
+    #[test]
+    fn eval_invariants(p in arb_path(), t in arb_tree()) {
+        let doc = to_document(&t);
+        let r = eval(&doc, &p);
+        prop_assert!(r.windows(2).all(|w| w[0] < w[1]), "sorted + unique");
+        let stripped = eval(&doc, &strip_predicates(&p));
+        prop_assert!(is_subset(&r, &stripped));
+        let loosened = eval(&doc, &loosen_axes(&p));
+        prop_assert!(is_subset(&r, &loosened));
+    }
+
+    /// The name-indexed evaluation of the native store agrees with the
+    /// reference evaluation.
+    #[test]
+    fn indexed_eval_matches_reference(p in arb_path(), t in arb_tree()) {
+        let doc = to_document(&t);
+        let sdoc = xac_xmlstore::StoredDocument::new(doc.clone());
+        prop_assert_eq!(sdoc.eval(&p), eval(&doc, &p), "indexed eval differs for {}", p);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// XPath→SQL translation agrees with tree evaluation on generated
+    /// hospital documents, for workload queries drawn from the schema.
+    #[test]
+    fn sql_translation_matches_eval(seed in 0u64..500, qseed in 0u64..500) {
+        let schema = xac_xmlgen::hospital_schema();
+        let doc = xac_xmlgen::hospital_document(1, 12, seed);
+        let mapping = xac_shrex::Mapping::derive(&schema).unwrap();
+        let shredded = xac_shrex::shred_document(&doc, &mapping, '-').unwrap();
+        let sql_text = xac_shrex::shred_to_sql(&doc, &mapping, '-').unwrap();
+        let mut db = xac_reldb::Database::new(xac_reldb::StorageKind::Row);
+        db.execute_script(&mapping.ddl()).unwrap();
+        db.execute_script(&sql_text).unwrap();
+
+        for q in xac_xmlgen::query_workload(&schema, 6, qseed) {
+            let expected: std::collections::BTreeSet<i64> = eval(&doc, &q)
+                .into_iter()
+                .map(|n| shredded.id_of(n).unwrap())
+                .collect();
+            let sql = xac_shrex::translate(&q, &schema).unwrap();
+            let got = db.query(&sql).unwrap().column_as_int_set(0);
+            prop_assert_eq!(got, expected, "mismatch for {} (seed {})", q, seed);
+        }
+    }
+}
