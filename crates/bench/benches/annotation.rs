@@ -1,25 +1,21 @@
 //! Figure 11 spot benchmark: a full annotation pass (reset + annotate)
 //! at two coverage levels on each backend.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
+use xac_bench::harness::BenchGroup;
 use xac_bench::{backends, xmark_system};
 
-fn bench_annotation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("annotation");
+fn main() {
+    let mut group = BenchGroup::new("annotation");
     group.sample_size(10).measurement_time(Duration::from_secs(3));
     for coverage in [0.25, 0.7] {
         let system = xmark_system(0.005, coverage, 1);
         for mut backend in backends() {
             system.load(backend.as_mut()).expect("load");
             let label = format!("{}/cov{:.0}%", backend.name(), coverage * 100.0);
-            group.bench_function(BenchmarkId::from_parameter(label), |bencher| {
-                bencher.iter(|| system.full_reannotate(backend.as_mut()).expect("annotate"));
+            group.bench(&label, || {
+                system.full_reannotate(backend.as_mut()).expect("annotate");
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_annotation);
-criterion_main!(benches);

@@ -2,21 +2,17 @@
 //! backend (native parses XML; relational engines execute the shredded
 //! INSERT script).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
+use xac_bench::harness::BenchGroup;
 use xac_bench::{backends, xmark_system};
 
-fn bench_loading(c: &mut Criterion) {
+fn main() {
     let system = xmark_system(0.005, 0.4, 1);
-    let mut group = c.benchmark_group("loading");
+    let mut group = BenchGroup::new("loading");
     group.sample_size(10).measurement_time(Duration::from_secs(3));
     for mut backend in backends() {
-        group.bench_function(BenchmarkId::from_parameter(backend.name()), |bencher| {
-            bencher.iter(|| system.load(backend.as_mut()).expect("load"));
+        group.bench(backend.name(), || {
+            system.load(backend.as_mut()).expect("load");
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_loading);
-criterion_main!(benches);

@@ -2,39 +2,27 @@
 //! from-scratch full annotation after a delete update (both repairs are
 //! idempotent, so each can be iterated on the updated store).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
+use xac_bench::harness::BenchGroup;
 use xac_bench::{backends, xmark_system};
 
-fn bench_reannotation(c: &mut Criterion) {
+fn main() {
     let system = xmark_system(0.005, 0.5, 1);
     let update = xac_xpath::parse("//mailbox/mail").unwrap();
     let plan = system.plan_update(&update);
 
-    let mut group = c.benchmark_group("reannotation");
+    let mut group = BenchGroup::new("reannotation");
     group.sample_size(10).measurement_time(Duration::from_secs(3));
     for mut backend in backends() {
         system.load(backend.as_mut()).expect("load");
         system.annotate(backend.as_mut()).expect("annotate");
         backend.delete(&update).expect("delete");
 
-        group.bench_function(
-            BenchmarkId::from_parameter(format!("{}/partial", backend.name())),
-            |bencher| {
-                bencher.iter(|| {
-                    xac_core::reannotator::apply(backend.as_mut(), &plan).expect("partial")
-                });
-            },
-        );
-        group.bench_function(
-            BenchmarkId::from_parameter(format!("{}/full", backend.name())),
-            |bencher| {
-                bencher.iter(|| system.full_reannotate(backend.as_mut()).expect("full"));
-            },
-        );
+        group.bench(&format!("{}/partial", backend.name()), || {
+            xac_core::reannotator::apply(backend.as_mut(), &plan).expect("partial");
+        });
+        group.bench(&format!("{}/full", backend.name()), || {
+            system.full_reannotate(backend.as_mut()).expect("full");
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_reannotation);
-criterion_main!(benches);

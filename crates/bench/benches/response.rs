@@ -1,29 +1,23 @@
 //! Figure 10 spot benchmark: answering the 55-query workload (average
 //! response time per request) on each annotated backend.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
+use xac_bench::harness::BenchGroup;
 use xac_bench::{backends, xmark_system, WORKLOAD_SIZE};
 use xac_xmlgen::{query_workload, xmark_schema};
 
-fn bench_response(c: &mut Criterion) {
+fn main() {
     let system = xmark_system(0.005, 0.5, 1);
     let queries = query_workload(&xmark_schema(), WORKLOAD_SIZE, 99);
-    let mut group = c.benchmark_group("response");
+    let mut group = BenchGroup::new("response");
     group.sample_size(10).measurement_time(Duration::from_secs(3));
     for mut backend in backends() {
         system.load(backend.as_mut()).expect("load");
         system.annotate(backend.as_mut()).expect("annotate");
-        group.bench_function(BenchmarkId::from_parameter(backend.name()), |bencher| {
-            bencher.iter(|| {
-                for q in &queries {
-                    let _ = system.request_path(backend.as_mut(), q).expect("request");
-                }
-            });
+        group.bench(backend.name(), || {
+            for q in &queries {
+                let _ = system.request_path(backend.as_mut(), q).expect("request");
+            }
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_response);
-criterion_main!(benches);

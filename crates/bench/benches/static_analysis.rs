@@ -1,46 +1,64 @@
-//! Microbenchmarks of the static-analysis machinery: XPath containment,
-//! policy optimization, rule expansion and Trigger planning — the
-//! `O(n·h)` costs the paper pays per update before touching any store.
+//! Microbenchmarks of the static-analysis machinery: XPath containment
+//! (cold and memoized), policy optimization, rule expansion and Trigger
+//! planning — the `O(n·h)` costs the paper pays per update before
+//! touching any store.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
+use xac_bench::harness::BenchGroup;
 use xac_policy::policy::hospital_policy;
-use xac_policy::DependencyGraph;
+use xac_policy::{DependencyGraph, PolicyAnalysis};
 use xac_xmlgen::hospital_schema;
+use xac_xpath::ContainmentOracle;
 
-fn bench_static_analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("static_analysis");
+fn main() {
+    let mut group = BenchGroup::new("static_analysis");
     group.sample_size(30).measurement_time(Duration::from_secs(2));
 
     let narrow = xac_xpath::parse("//patient[treatment]/name").unwrap();
     let broad = xac_xpath::parse("//patient/name").unwrap();
-    group.bench_function("containment", |b| {
-        b.iter(|| xac_xpath::contained_in(std::hint::black_box(&narrow), std::hint::black_box(&broad)))
+    group.bench("containment/cold", || {
+        std::hint::black_box(xac_xpath::contained_in(
+            std::hint::black_box(&narrow),
+            std::hint::black_box(&broad),
+        ));
+    });
+
+    let oracle = ContainmentOracle::new();
+    group.bench("containment/memoized", || {
+        std::hint::black_box(oracle.contained_in(
+            std::hint::black_box(&narrow),
+            std::hint::black_box(&broad),
+        ));
     });
 
     let policy = hospital_policy();
-    group.bench_function("redundancy_elimination", |b| {
-        b.iter(|| xac_policy::redundancy_elimination(std::hint::black_box(&policy)))
+    group.bench("redundancy_elimination", || {
+        std::hint::black_box(xac_policy::redundancy_elimination(std::hint::black_box(&policy)));
     });
 
     let schema = hospital_schema();
     let r5 = xac_xpath::parse("//patient[.//experimental]").unwrap();
-    group.bench_function("rule_expansion", |b| {
-        b.iter(|| xac_xpath::expand(std::hint::black_box(&r5), Some(&schema)))
+    group.bench("rule_expansion", || {
+        std::hint::black_box(xac_xpath::expand(std::hint::black_box(&r5), Some(&schema)));
     });
 
-    group.bench_function("dependency_graph", |b| {
-        b.iter(|| DependencyGraph::build(std::hint::black_box(&policy)))
+    group.bench("dependency_graph", || {
+        std::hint::black_box(DependencyGraph::build(std::hint::black_box(&policy)));
     });
 
     let graph = DependencyGraph::build(&policy);
     let update = xac_xpath::parse("//treatment").unwrap();
-    group.bench_function("trigger", |b| {
-        b.iter(|| xac_policy::trigger(&policy, &graph, std::hint::black_box(&update), Some(&schema)))
+    group.bench("trigger/per_call", || {
+        std::hint::black_box(xac_policy::trigger(
+            &policy,
+            &graph,
+            std::hint::black_box(&update),
+            Some(&schema),
+        ));
     });
 
-    group.finish();
+    let analysis = PolicyAnalysis::build(&policy, Some(&schema));
+    group.bench("trigger/precomputed", || {
+        std::hint::black_box(analysis.trigger(std::hint::black_box(&update)));
+    });
 }
-
-criterion_group!(benches, bench_static_analysis);
-criterion_main!(benches);

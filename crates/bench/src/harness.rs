@@ -1,0 +1,113 @@
+//! Minimal in-repo timing harness for the spot benchmarks.
+//!
+//! The bench targets (`cargo bench`) used to run under criterion; this
+//! module replaces it with ~60 lines of `std::time` so the workspace
+//! builds with zero external crates. Reported numbers are the median,
+//! minimum and mean of wall-clock samples after one warm-up call —
+//! enough fidelity for the order-of-magnitude comparisons the paper's
+//! figures make, without criterion's statistical machinery.
+//!
+//! When cargo runs a `harness = false` bench target under `cargo test`
+//! it passes `--test`; the harness detects that and collapses to one
+//! sample per benchmark so the tier-1 suite stays fast while still
+//! smoke-testing every bench body.
+
+use crate::fmt_duration;
+use std::time::{Duration, Instant};
+
+/// A named group of benchmarks sharing sampling parameters.
+pub struct BenchGroup {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    smoke: bool,
+}
+
+impl BenchGroup {
+    /// New group with default sampling (20 samples, 2 s budget).
+    pub fn new(name: &str) -> BenchGroup {
+        let smoke = std::env::args().any(|a| a == "--test");
+        BenchGroup {
+            name: name.to_string(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            smoke,
+        }
+    }
+
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut BenchGroup {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the wall-clock budget per benchmark; sampling stops early
+    /// once it is exhausted.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut BenchGroup {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time one closure and print a summary line.
+    pub fn bench<F: FnMut()>(&self, label: &str, mut f: F) {
+        f(); // warm-up, untimed
+        let samples = if self.smoke { 1 } else { self.sample_size };
+        let mut times = Vec::with_capacity(samples);
+        let budget = Instant::now();
+        for _ in 0..samples {
+            let t = Instant::now();
+            f();
+            times.push(t.elapsed());
+            if !self.smoke && budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        times.sort();
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "{}/{:<34} median {:>10}  min {:>10}  mean {:>10}  ({} samples)",
+            self.name,
+            label,
+            fmt_duration(median),
+            fmt_duration(times[0]),
+            fmt_duration(mean),
+            times.len()
+        );
+    }
+}
+
+/// Median wall-clock duration of `samples` runs of `f` (one untimed
+/// warm-up first). Shared by the `figures` binary's timing loops.
+pub fn median_time<F: FnMut()>(samples: usize, mut f: F) -> Duration {
+    f();
+    let mut times: Vec<Duration> = (0..samples.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_time_measures_something() {
+        let d = median_time(3, || std::thread::sleep(Duration::from_millis(2)));
+        assert!(d >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn bench_group_runs_closure() {
+        let mut calls = 0;
+        let mut g = BenchGroup::new("t");
+        g.sample_size(3).measurement_time(Duration::from_secs(1));
+        g.bench("count", || calls += 1);
+        assert!(calls >= 2, "warm-up plus at least one sample");
+    }
+}

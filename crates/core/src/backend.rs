@@ -18,7 +18,7 @@
 
 use crate::document::PreparedDocument;
 use crate::error::{Error, Result};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use xac_policy::{AnnotationQuery, Effect};
 use xac_reldb::{Database, StorageKind};
 use xac_shrex::{translate, Mapping, ShreddedDocument};
@@ -75,11 +75,34 @@ pub trait Backend {
 // Relational backend
 // ---------------------------------------------------------------------
 
+/// How a relational backend writes signs during (re-)annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnnotateMode {
+    /// The Fig. 6 inner loop exactly as published: one
+    /// `UPDATE {table} SET s = … WHERE id = k` SQL statement per affected
+    /// tuple, each one parsed, planned and executed individually. This is
+    /// what the paper measures, and the default.
+    #[default]
+    PaperFaithful,
+    /// Engine-level batched writes ([`Database::update_signs`]): the whole
+    /// target-id set goes to each table's primary-key index in one call.
+    /// Byte-identical final table state, none of the per-statement
+    /// overhead — an extension over the paper, reported separately by the
+    /// `figures annotate-modes` benchmark.
+    Batched,
+}
+
 struct RelationalState {
     mapping: Mapping,
     doc: Document,
     shredded: ShreddedDocument,
     default_sign: char,
+    /// Universal id → position in `mapping.tables()`, built at load and
+    /// extended on insert. Lets the batched write path hand each table
+    /// only its own ids instead of probing every table's primary-key
+    /// index with the full target set. Entries for deleted rows linger
+    /// harmlessly (their point writes miss the index, as before).
+    table_of: HashMap<i64, usize>,
 }
 
 /// XML access control over a relational database (row layout = the
@@ -88,12 +111,40 @@ pub struct RelationalBackend {
     kind: StorageKind,
     db: Database,
     state: Option<RelationalState>,
+    mode: AnnotateMode,
+    /// Accessible-id set cached per annotation epoch; any sign write or
+    /// document mutation invalidates it.
+    accessible_cache: Option<BTreeSet<i64>>,
 }
 
 impl RelationalBackend {
-    /// A backend over the given layout.
+    /// A backend over the given layout, in the default
+    /// [`AnnotateMode::PaperFaithful`] mode.
     pub fn new(kind: StorageKind) -> RelationalBackend {
-        RelationalBackend { kind, db: Database::new(kind), state: None }
+        RelationalBackend {
+            kind,
+            db: Database::new(kind),
+            state: None,
+            mode: AnnotateMode::default(),
+            accessible_cache: None,
+        }
+    }
+
+    /// A backend over the given layout and annotation write mode.
+    pub fn with_mode(kind: StorageKind, mode: AnnotateMode) -> RelationalBackend {
+        let mut b = RelationalBackend::new(kind);
+        b.mode = mode;
+        b
+    }
+
+    /// The current annotation write mode.
+    pub fn annotate_mode(&self) -> AnnotateMode {
+        self.mode
+    }
+
+    /// Switch the annotation write mode (affects future writes only).
+    pub fn set_annotate_mode(&mut self, mode: AnnotateMode) {
+        self.mode = mode;
     }
 
     /// Row-store backend (PostgreSQL stand-in).
@@ -146,36 +197,100 @@ impl RelationalBackend {
         Ok(self.db.query(&sql)?.column_as_int_set(0))
     }
 
-    /// Per-table two-phase sign write (Fig. 6's inner loop): intersect the
-    /// table's ids with the target set and update each matching tuple.
-    fn write_signs(&mut self, targets: &BTreeSet<i64>, sign: char) -> Result<usize> {
+    /// Per-table two-phase sign write, dispatching on the annotation
+    /// mode. Both modes leave identical table state; they differ only in
+    /// how the writes reach the engine. Public so benches and equivalence
+    /// tests can measure the write path in isolation from annotation-query
+    /// evaluation (which is mode-independent and dominates `annotate`).
+    pub fn write_signs(&mut self, targets: &BTreeSet<i64>, sign: char) -> Result<usize> {
+        self.accessible_cache = None;
         let tables: Vec<String> =
             self.state()?.mapping.tables().iter().map(|t| t.name.clone()).collect();
         let mut updated = 0usize;
-        for table in tables {
-            let ids = self.db.query(&format!("SELECT id FROM {table}"))?;
-            let upids: Vec<i64> = ids
-                .column_as_ints(0)
-                .into_iter()
-                .filter(|id| targets.contains(id))
-                .collect();
-            for id in upids {
-                self.db
-                    .execute(&format!("UPDATE {table} SET s = '{sign}' WHERE id = {id}"))?;
-                updated += 1;
+        match self.mode {
+            // Fig. 6's inner loop as published: fetch each table's ids,
+            // intersect with the target set, one UPDATE statement per
+            // affected tuple.
+            AnnotateMode::PaperFaithful => {
+                for table in tables {
+                    let ids = self.db.query(&format!("SELECT id FROM {table}"))?;
+                    let upids: Vec<i64> = ids
+                        .column_as_ints(0)
+                        .into_iter()
+                        .filter(|id| targets.contains(id))
+                        .collect();
+                    for id in upids {
+                        self.db.execute(&format!(
+                            "UPDATE {table} SET s = '{sign}' WHERE id = {id}"
+                        ))?;
+                        updated += 1;
+                    }
+                }
+            }
+            // Batched: partition the target set by owning table (via the
+            // id→table map maintained since load), then one engine call
+            // per table with exactly its own ids. Ids the map does not
+            // know (none today; defensive) go to every table and simply
+            // miss the foreign primary-key indexes.
+            AnnotateMode::Batched => {
+                let mut buckets: Vec<Vec<i64>> = vec![Vec::new(); tables.len()];
+                let mut unknown: Vec<i64> = Vec::new();
+                {
+                    let state = self.state()?;
+                    for &id in targets {
+                        match state.table_of.get(&id) {
+                            Some(&i) => buckets[i].push(id),
+                            None => unknown.push(id),
+                        }
+                    }
+                }
+                for (table, mut ids) in tables.into_iter().zip(buckets) {
+                    ids.extend_from_slice(&unknown);
+                    if !ids.is_empty() {
+                        updated += self.db.update_signs(&table, &ids, sign)?;
+                    }
+                }
             }
         }
         Ok(updated)
     }
 
-    /// The set of accessible universal ids (sign `'+'`).
+    /// The set of accessible universal ids (sign `'+'`), cached per
+    /// annotation epoch: repeated requests between sign writes reuse the
+    /// same set instead of re-running one `SELECT` per table.
     pub fn accessible_ids(&mut self) -> Result<BTreeSet<i64>> {
+        Ok(self.accessible_ids_cached()?.clone())
+    }
+
+    fn accessible_ids_cached(&mut self) -> Result<&BTreeSet<i64>> {
+        if self.accessible_cache.is_none() {
+            let tables: Vec<String> =
+                self.state()?.mapping.tables().iter().map(|t| t.name.clone()).collect();
+            let mut out = BTreeSet::new();
+            for table in tables {
+                let rs = self.db.query(&format!("SELECT id FROM {table} WHERE s = '+'"))?;
+                out.extend(rs.column_as_ints(0));
+            }
+            self.accessible_cache = Some(out);
+        }
+        Ok(self.accessible_cache.as_ref().expect("just populated"))
+    }
+
+    /// The complete sign state: every live universal id mapped to its
+    /// current sign character. Used by the equivalence tests to assert
+    /// that two write modes leave byte-identical annotations (including
+    /// the `'-'` rows that `accessible_ids` elides).
+    pub fn sign_map(&mut self) -> Result<std::collections::BTreeMap<i64, char>> {
         let tables: Vec<String> =
             self.state()?.mapping.tables().iter().map(|t| t.name.clone()).collect();
-        let mut out = BTreeSet::new();
+        let mut out = std::collections::BTreeMap::new();
         for table in tables {
-            let rs = self.db.query(&format!("SELECT id FROM {table} WHERE s = '+'"))?;
-            out.extend(rs.column_as_ints(0));
+            let rs = self.db.query(&format!("SELECT id, s FROM {table}"))?;
+            for row in &rs.rows {
+                if let (Some(id), xac_reldb::Value::Text(s)) = (row[0].as_int(), &row[1]) {
+                    out.insert(id, s.chars().next().unwrap_or(' '));
+                }
+            }
         }
         Ok(out)
     }
@@ -199,11 +314,26 @@ impl Backend for RelationalBackend {
         db.execute_script(&prepared.ddl)?;
         db.execute_script(&prepared.sql_text)?;
         self.db = db;
+        self.accessible_cache = None;
+        let table_index: HashMap<&str, usize> = prepared
+            .mapping
+            .tables()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.name.as_str(), i))
+            .collect();
+        let table_of = prepared
+            .shredded
+            .rows
+            .iter()
+            .filter_map(|r| table_index.get(r.table.as_str()).map(|&i| (r.id, i)))
+            .collect();
         self.state = Some(RelationalState {
             mapping: prepared.mapping.clone(),
             doc: prepared.doc.clone(),
             shredded: prepared.shredded.clone(),
             default_sign: prepared.default_sign,
+            table_of,
         });
         Ok(())
     }
@@ -219,6 +349,7 @@ impl Backend for RelationalBackend {
     }
 
     fn reset_annotations(&mut self) -> Result<usize> {
+        self.accessible_cache = None;
         let state = self.state()?;
         let default = state.default_sign;
         let tables: Vec<String> =
@@ -241,7 +372,7 @@ impl Backend for RelationalBackend {
         if requested.is_empty() {
             return Ok((0, true));
         }
-        let accessible = self.accessible_ids()?;
+        let accessible = self.accessible_ids_cached()?;
         let allowed = requested.iter().all(|id| accessible.contains(id));
         Ok((requested.len(), allowed))
     }
@@ -261,6 +392,7 @@ impl Backend for RelationalBackend {
     }
 
     fn delete(&mut self, path: &Path) -> Result<usize> {
+        self.accessible_cache = None;
         // Structure lives in the mapping layer's copy of the tree; rows are
         // removed tuple by tuple through SQL point deletes on the id index.
         let targets = {
@@ -295,6 +427,7 @@ impl Backend for RelationalBackend {
     }
 
     fn insert(&mut self, parent_path: &Path, name: &str, text: Option<&str>) -> Result<usize> {
+        self.accessible_cache = None;
         let parents = {
             let state = self.state()?;
             if !state.mapping.schema().contains(name) {
@@ -311,6 +444,12 @@ impl Backend for RelationalBackend {
             .map(|t| t.has_value)
             .unwrap_or(false);
         let default = self.state()?.default_sign;
+        let table_idx = self
+            .state()?
+            .mapping
+            .tables()
+            .iter()
+            .position(|t| t.name == name);
         let mut inserted = 0usize;
         for parent in parents {
             let (id, pid) = {
@@ -320,6 +459,9 @@ impl Backend for RelationalBackend {
                     state.doc.add_text(node, t);
                 }
                 let id = state.shredded.register_insert(node);
+                if let Some(i) = table_idx {
+                    state.table_of.insert(id, i);
+                }
                 let pid = state.shredded.id_of(parent).ok_or_else(|| {
                     Error::System("insert parent has no universal id".into())
                 })?;
@@ -575,6 +717,62 @@ mod tests {
             assert_eq!(n, 3);
             assert!(!allowed, "{}: stale annotations deny", b.name());
         }
+    }
+
+    #[test]
+    fn annotate_modes_agree_on_hospital() {
+        let p = prepared();
+        let query = AnnotationQuery::from_policy(&hospital_policy());
+        for kind in [StorageKind::Row, StorageKind::Column] {
+            let mut faithful = RelationalBackend::new(kind);
+            let mut batched = RelationalBackend::with_mode(kind, AnnotateMode::Batched);
+            assert_eq!(faithful.annotate_mode(), AnnotateMode::PaperFaithful);
+            faithful.load(&p).unwrap();
+            batched.load(&p).unwrap();
+            let w1 = faithful.annotate(&query).unwrap();
+            let w2 = batched.annotate(&query).unwrap();
+            assert_eq!(w1, w2, "{kind:?}: same number of sign writes");
+            assert_eq!(
+                faithful.accessible_ids().unwrap(),
+                batched.accessible_ids().unwrap(),
+                "{kind:?}: identical sign outcome"
+            );
+            // Re-annotation after an update agrees too.
+            let u = xac_xpath::parse("//patient/treatment").unwrap();
+            let scope = vec![xac_xpath::parse("//patient").unwrap()];
+            for b in [&mut faithful, &mut batched] {
+                b.delete(&u).unwrap();
+                b.reannotate(&scope, &query).unwrap();
+            }
+            assert_eq!(
+                faithful.accessible_ids().unwrap(),
+                batched.accessible_ids().unwrap(),
+                "{kind:?}: identical after reannotation"
+            );
+        }
+    }
+
+    #[test]
+    fn accessible_ids_cache_invalidates_on_writes() {
+        let p = prepared();
+        let query = AnnotationQuery::from_policy(&hospital_policy());
+        let mut b = RelationalBackend::row();
+        b.load(&p).unwrap();
+        assert!(b.accessible_ids().unwrap().is_empty());
+        b.annotate(&query).unwrap();
+        let annotated = b.accessible_ids().unwrap();
+        assert!(!annotated.is_empty(), "annotation must invalidate the cached empty set");
+        // Cached between reads.
+        assert_eq!(b.accessible_ids().unwrap(), annotated);
+        b.reset_annotations().unwrap();
+        assert!(b.accessible_ids().unwrap().is_empty(), "reset invalidates");
+        b.annotate(&query).unwrap();
+        b.delete(&xac_xpath::parse("//patient/treatment").unwrap()).unwrap();
+        let after_delete = b.accessible_ids().unwrap();
+        assert!(
+            after_delete.len() < annotated.len(),
+            "deleting annotated rows shrinks the accessible set immediately"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
-use xac_core::{Backend, NativeXmlBackend, RelationalBackend, System};
+use xac_core::{AnnotateMode, Backend, NativeXmlBackend, RelationalBackend, System};
 use xac_policy::Policy;
 use xac_xml::{parse_dtd, Document, Schema};
 
@@ -62,6 +62,7 @@ fn parse_args() -> CliResult<Args> {
 fn usage() -> String {
     "usage: xmlac <check|optimize|shred|annotate|query|update|view|audit> \
      [--schema F] [--policy F] [--doc F] [--backend native|row|column] \
+     [--annotate-mode paper|batched] \
      [--query XPATH]... [--delete XPATH] [--insert PARENT:NAME[:TEXT]] \
      [--mode prune|promote] [--out F]"
         .to_string()
@@ -96,11 +97,31 @@ impl Args {
         Document::parse_str(&text).map_err(|e| format!("document `{path}`: {e}"))
     }
 
+    fn annotate_mode(&self) -> CliResult<AnnotateMode> {
+        match self
+            .options
+            .get("annotate-mode")
+            .map(String::as_str)
+            .unwrap_or("paper")
+        {
+            "paper" => Ok(AnnotateMode::PaperFaithful),
+            "batched" => Ok(AnnotateMode::Batched),
+            other => Err(format!("unknown annotate mode `{other}` (paper|batched)")),
+        }
+    }
+
     fn backend(&self) -> CliResult<Box<dyn Backend>> {
+        let mode = self.annotate_mode()?;
         match self.options.get("backend").map(String::as_str).unwrap_or("native") {
             "native" => Ok(Box::new(NativeXmlBackend::new())),
-            "row" => Ok(Box::new(RelationalBackend::row())),
-            "column" => Ok(Box::new(RelationalBackend::column())),
+            "row" => Ok(Box::new(RelationalBackend::with_mode(
+                xac_reldb::StorageKind::Row,
+                mode,
+            ))),
+            "column" => Ok(Box::new(RelationalBackend::with_mode(
+                xac_reldb::StorageKind::Column,
+                mode,
+            ))),
             other => Err(format!("unknown backend `{other}` (native|row|column)")),
         }
     }

@@ -55,7 +55,7 @@ pub mod system;
 pub mod timing;
 pub mod view;
 
-pub use backend::{Backend, NativeXmlBackend, RelationalBackend};
+pub use backend::{AnnotateMode, Backend, NativeXmlBackend, RelationalBackend};
 pub use document::PreparedDocument;
 pub use error::{Error, Result};
 pub use reannotator::ReannotationPlan;

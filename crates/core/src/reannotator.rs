@@ -23,9 +23,9 @@
 
 use crate::backend::Backend;
 use crate::error::Result;
-use xac_policy::{trigger, AnnotationQuery, DependencyGraph, Policy, Rule};
+use xac_policy::{trigger, AnnotationQuery, DependencyGraph, Policy, PolicyAnalysis, Rule};
 use xac_xml::Schema;
-use xac_xpath::Path;
+use xac_xpath::{ContainmentOracle, Path};
 
 /// The statically-computed plan for one update.
 #[derive(Debug, Clone)]
@@ -58,6 +58,29 @@ pub fn plan(
     schema: Option<&Schema>,
 ) -> ReannotationPlan {
     let indices = trigger(policy, graph, update, schema);
+    let expansions: Vec<Vec<Path>> = policy
+        .rules
+        .iter()
+        .map(|r| xac_xpath::expand(&r.resource, schema))
+        .collect();
+    assemble(policy, &indices, &expansions, &ContainmentOracle::new())
+}
+
+/// The [`plan`] fast path against a precomputed [`PolicyAnalysis`]: the
+/// trigger context, rule expansions and containment answers are all
+/// reused across updates instead of re-derived per call. The resulting
+/// plan is identical to [`plan`] over the matching graph and schema.
+pub fn plan_with_analysis(analysis: &PolicyAnalysis, update: &Path) -> ReannotationPlan {
+    let indices = analysis.trigger(update);
+    assemble(analysis.policy(), &indices, analysis.expansions(), analysis.oracle())
+}
+
+fn assemble(
+    policy: &Policy,
+    indices: &[usize],
+    expansions: &[Vec<Path>],
+    oracle: &ContainmentOracle,
+) -> ReannotationPlan {
     let triggered: Vec<Rule> = indices.iter().map(|&i| policy.rules[i].clone()).collect();
     // Reset scopes are the triggered rules' *expansions* (predicate-free
     // prefixes included), not their raw resources: after the update a
@@ -65,10 +88,10 @@ pub fn plan(
     // while keeping a stale sign — `//a[b]` no longer matches once `b` is
     // deleted, but the prefix `//a` still reaches the node to reset it.
     let mut scope: Vec<Path> = Vec::new();
-    for r in &triggered {
-        for p in xac_xpath::expand(&r.resource, schema) {
-            if !scope.contains(&p) {
-                scope.push(p);
+    for &i in indices {
+        for p in &expansions[i] {
+            if !scope.contains(p) {
+                scope.push(p.clone());
             }
         }
     }
@@ -81,12 +104,12 @@ pub fn plan(
         .rules
         .iter()
         .enumerate()
-        .filter(|(i, r)| {
+        .filter(|(i, _)| {
             indices.contains(i)
-                || xac_xpath::expand(&r.resource, schema).iter().any(|e| {
+                || expansions[*i].iter().any(|e| {
                     scope
                         .iter()
-                        .any(|s| xac_xpath::contained_in(e, s) || xac_xpath::contained_in(s, e))
+                        .any(|s| oracle.contained_in(e, s) || oracle.contained_in(s, e))
                 })
         })
         .map(|(_, r)| r.clone())

@@ -9,7 +9,7 @@ use crate::optimizer;
 use crate::reannotator::{self, ReannotationPlan};
 use crate::requester::{self, Decision};
 use std::collections::BTreeSet;
-use xac_policy::{DefaultSemantics, DependencyGraph, Policy};
+use xac_policy::{DefaultSemantics, DependencyGraph, Policy, PolicyAnalysis};
 use xac_xml::{Document, NodeId, Schema};
 use xac_xpath::Path;
 
@@ -53,7 +53,7 @@ pub struct System {
     schema: Schema,
     original_policy: Policy,
     policy: Policy,
-    graph: DependencyGraph,
+    analysis: PolicyAnalysis,
     prepared: PreparedDocument,
 }
 
@@ -91,17 +91,19 @@ impl System {
             optimizer::optimize(&policy)
         };
         let optimized = report.optimized;
-        let graph = if schema_aware {
-            DependencyGraph::build_with_schema(&optimized, &schema)
+        // The Trigger context (expansions, dependency graph, containment
+        // cache) is built once here; every update reuses it.
+        let analysis = if schema_aware {
+            PolicyAnalysis::build_schema_aware(&optimized, &schema)
         } else {
-            DependencyGraph::build(&optimized)
+            PolicyAnalysis::build(&optimized, Some(&schema))
         };
         let default_sign = match optimized.default_semantics {
             DefaultSemantics::Allow => '+',
             DefaultSemantics::Deny => '-',
         };
         let prepared = PreparedDocument::prepare(&schema, doc, default_sign)?;
-        Ok(System { schema, original_policy: policy, policy: optimized, graph, prepared })
+        Ok(System { schema, original_policy: policy, policy: optimized, analysis, prepared })
     }
 
     /// The XML schema.
@@ -121,7 +123,13 @@ impl System {
 
     /// The rule dependency graph.
     pub fn dependency_graph(&self) -> &DependencyGraph {
-        &self.graph
+        self.analysis.graph()
+    }
+
+    /// The precomputed static-analysis context (expansions, dependency
+    /// graph, containment cache).
+    pub fn analysis(&self) -> &PolicyAnalysis {
+        &self.analysis
     }
 
     /// The prepared document (load artifacts and sizes).
@@ -157,7 +165,7 @@ impl System {
     /// Compute the re-annotation plan for an update (static analysis; no
     /// backend involved).
     pub fn plan_update(&self, update: &Path) -> ReannotationPlan {
-        reannotator::plan(&self.policy, &self.graph, update, Some(&self.schema))
+        reannotator::plan_with_analysis(&self.analysis, update)
     }
 
     /// Apply a delete update to one backend: compute the plan, delete the

@@ -12,6 +12,7 @@
 
 use crate::policy::Policy;
 use std::collections::BTreeSet;
+use xac_xpath::ContainmentOracle;
 
 /// The dependency graph over a policy's rules, by rule index.
 #[derive(Debug, Clone)]
@@ -26,7 +27,7 @@ pub struct DependencyGraph {
 impl DependencyGraph {
     /// Build the graph for a policy (the `Depend` algorithm).
     pub fn build(policy: &Policy) -> DependencyGraph {
-        Self::build_inner(policy, None)
+        Self::build_with_oracle(policy, &ContainmentOracle::new())
     }
 
     /// Build the graph with schema-aware containment: dependencies that
@@ -34,13 +35,16 @@ impl DependencyGraph {
     /// `.//experimental` against one testing `treatment`) are captured
     /// too, making the Trigger closure more complete.
     pub fn build_with_schema(policy: &Policy, schema: &xac_xml::Schema) -> DependencyGraph {
-        Self::build_inner(policy, Some(schema))
+        Self::build_with_oracle(policy, &ContainmentOracle::with_schema(schema.clone()))
     }
 
-    fn build_inner(policy: &Policy, schema: Option<&xac_xml::Schema>) -> DependencyGraph {
-        let contained = |a: &crate::rule::Rule, b: &crate::rule::Rule| match schema {
-            Some(s) => xac_xpath::contained_in_with_schema(&a.resource, &b.resource, s),
-            None => a.resource.contained_in(&b.resource),
+    /// Build the graph through a caller-supplied [`ContainmentOracle`] —
+    /// schema-aware exactly when the oracle holds a schema. Sharing the
+    /// oracle with the optimizer and Trigger means the pairwise pass here
+    /// re-answers from cache instead of re-running homomorphism tests.
+    pub fn build_with_oracle(policy: &Policy, oracle: &ContainmentOracle) -> DependencyGraph {
+        let contained = |a: &crate::rule::Rule, b: &crate::rule::Rule| {
+            oracle.contained_in_schema_aware(&a.resource, &b.resource)
         };
         let n = policy.rules.len();
         let mut neighbours: Vec<Vec<usize>> = vec![Vec::new(); n];

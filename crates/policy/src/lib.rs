@@ -21,7 +21,11 @@
 //!   graph linking opposite-effect rules related by containment;
 //! * [`trigger`] — **Trigger** (Fig. 8): given an update path, selects the
 //!   rules whose scopes must be re-annotated, using rule expansion and the
-//!   dependency closure.
+//!   dependency closure;
+//! * [`policy_analysis`] — [`PolicyAnalysis`], the precomputed Trigger
+//!   context: rule expansions, dependency graph and a shared containment
+//!   oracle built once per `(policy, schema)` so per-update analysis is
+//!   (memoized) lookups, not recomputation.
 
 pub mod analysis;
 pub mod annotation_query;
@@ -29,6 +33,7 @@ pub mod dependency;
 pub mod error;
 pub mod optimizer;
 pub mod policy;
+pub mod policy_analysis;
 pub mod rule;
 pub mod semantics;
 pub mod trigger;
@@ -37,8 +42,12 @@ pub use analysis::{analyze, PolicyReport, RuleStats};
 pub use annotation_query::{AnnotationQuery, QueryShape};
 pub use dependency::DependencyGraph;
 pub use error::{Error, Result};
-pub use optimizer::{redundancy_elimination, redundancy_elimination_with_schema};
+pub use optimizer::{
+    redundancy_elimination, redundancy_elimination_with_oracle,
+    redundancy_elimination_with_schema,
+};
 pub use policy::{ConflictResolution, DefaultSemantics, Policy};
+pub use policy_analysis::PolicyAnalysis;
 pub use rule::{Effect, Rule};
 pub use semantics::accessible_nodes;
 pub use trigger::trigger;

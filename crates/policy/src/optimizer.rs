@@ -12,18 +12,14 @@
 
 use crate::policy::Policy;
 use crate::rule::Rule;
+use xac_xpath::ContainmentOracle;
 
 /// Drop redundant rules, preserving declaration order of the survivors.
 ///
 /// When two rules of the same effect are *equivalent*, the one declared
 /// first survives (the pairwise loop of Fig. 4 removes the later one).
 pub fn redundancy_elimination(policy: &Policy) -> Policy {
-    let keep = survivors(&policy.rules, None);
-    Policy {
-        default_semantics: policy.default_semantics,
-        conflict_resolution: policy.conflict_resolution,
-        rules: keep,
-    }
+    redundancy_elimination_with_oracle(policy, &ContainmentOracle::new())
 }
 
 /// Redundancy elimination with schema-aware containment: on schema-valid
@@ -33,18 +29,28 @@ pub fn redundancy_elimination_with_schema(
     policy: &Policy,
     schema: &xac_xml::Schema,
 ) -> Policy {
-    let keep = survivors(&policy.rules, Some(schema));
+    redundancy_elimination_with_oracle(policy, &ContainmentOracle::with_schema(schema.clone()))
+}
+
+/// Redundancy elimination through a caller-supplied [`ContainmentOracle`]
+/// — schema-aware exactly when the oracle holds a schema. The pairwise
+/// loop is `O(n²)` containment queries over at most `n` distinct paths;
+/// sharing the oracle across analysis passes lets later phases (the
+/// dependency graph, Trigger) reuse every answer computed here.
+pub fn redundancy_elimination_with_oracle(
+    policy: &Policy,
+    oracle: &ContainmentOracle,
+) -> Policy {
     Policy {
         default_semantics: policy.default_semantics,
         conflict_resolution: policy.conflict_resolution,
-        rules: keep,
+        rules: survivors(&policy.rules, oracle),
     }
 }
 
-fn survivors(rules: &[Rule], schema: Option<&xac_xml::Schema>) -> Vec<Rule> {
-    let contained = |a: &Rule, b: &Rule| match schema {
-        Some(s) => a.contained_in_with_schema(b, s),
-        None => a.contained_in(b),
+fn survivors(rules: &[Rule], oracle: &ContainmentOracle) -> Vec<Rule> {
+    let contained = |a: &Rule, b: &Rule| {
+        a.effect == b.effect && oracle.contained_in_schema_aware(&a.resource, &b.resource)
     };
     let mut removed = vec![false; rules.len()];
     for i in 0..rules.len() {

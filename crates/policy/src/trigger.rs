@@ -21,7 +21,7 @@ use crate::dependency::DependencyGraph;
 use crate::policy::Policy;
 use std::collections::BTreeSet;
 use xac_xml::Schema;
-use xac_xpath::{contained_in, expand, Path};
+use xac_xpath::{expand, ContainmentOracle, Path};
 
 /// Indices (into `policy.rules`) of the rules an update triggers.
 pub fn trigger(
@@ -30,21 +30,40 @@ pub fn trigger(
     update: &Path,
     schema: Option<&Schema>,
 ) -> Vec<usize> {
-    assert!(update.absolute, "updates are absolute XPath expressions");
+    let expansions: Vec<Vec<Path>> =
+        policy.rules.iter().map(|r| expand(&r.resource, schema)).collect();
     // The update path is expanded exactly like a rule resource. Fig. 8
     // compares rule expansions against the bare update, which misses
     // updates carrying predicates (`//treatment[experimental]` is
     // containment-incomparable with `//patient/treatment` even though
     // deleting it changes R5's scope); comparing expansion sets on both
     // sides closes that hole while staying a containment test.
-    let update_expansions = expand(update, schema);
+    trigger_with_expansions(&expansions, graph, &expand_update(update, schema), &ContainmentOracle::new())
+}
+
+/// Expand an update path for triggering, exactly as rule resources are.
+pub fn expand_update(update: &Path, schema: Option<&Schema>) -> Vec<Path> {
+    assert!(update.absolute, "updates are absolute XPath expressions");
+    expand(update, schema)
+}
+
+/// The Fig. 8 core over *precomputed* rule expansions: [`crate::PolicyAnalysis`]
+/// expands every rule once at build time and replays this per update, so
+/// the per-call cost collapses to (memoized) containment tests plus the
+/// dependency closure. Firing containment is schema-blind, exactly as in
+/// [`trigger`] — the schema's influence is confined to the expansions.
+pub fn trigger_with_expansions(
+    expansions: &[Vec<Path>],
+    graph: &DependencyGraph,
+    update_expansions: &[Path],
+    oracle: &ContainmentOracle,
+) -> Vec<usize> {
     let mut fired: BTreeSet<usize> = BTreeSet::new();
-    for (i, rule) in policy.rules.iter().enumerate() {
-        let expansions = expand(&rule.resource, schema);
-        let hits = expansions.iter().any(|x| {
+    for (i, rule_expansions) in expansions.iter().enumerate() {
+        let hits = rule_expansions.iter().any(|x| {
             update_expansions
                 .iter()
-                .any(|u| contained_in(x, u) || contained_in(u, x))
+                .any(|u| oracle.contained_in(x, u) || oracle.contained_in(u, x))
         });
         if hits {
             fired.insert(i);

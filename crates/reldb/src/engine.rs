@@ -240,6 +240,58 @@ impl Database {
         }
     }
 
+    /// Batched sign write: set the `s` column of every row whose `id` is
+    /// in `ids` to `sign`, in one engine call.
+    ///
+    /// This is the write path behind the *batched* annotation mode: the
+    /// per-tuple Fig. 6 loop issues one `UPDATE … WHERE id = k` string per
+    /// tuple, paying SQL parsing, planning and condition evaluation each
+    /// time. Here the ids go straight to the primary-key hash index and
+    /// the cell writes happen in place — same final table state, same
+    /// per-row index maintenance, none of the per-statement overhead.
+    pub fn update_signs(&mut self, table: &str, ids: &[i64], sign: char) -> Result<usize> {
+        let schema = self.catalog.require_table(table)?;
+        let id_col = schema
+            .column_index("id")
+            .ok_or_else(|| Error::plan(format!("table `{table}` has no `id` column")))?;
+        let s_col = schema
+            .column_index("s")
+            .ok_or_else(|| Error::plan(format!("table `{table}` has no `s` column")))?;
+        if !self.has_index(table, id_col) {
+            return Err(Error::exec(format!("`{table}.id` is not indexed")));
+        }
+        let value = Value::Text(sign.to_string());
+        let mut updated = 0usize;
+        macro_rules! write_batch {
+            ($t:expr) => {{
+                for &id in ids {
+                    let slots = $t.index_lookup(id_col, &Value::Int(id)).to_vec();
+                    for slot in slots {
+                        if $t.is_live(slot) {
+                            $t.update_cell(slot, s_col, value.clone())?;
+                            updated += 1;
+                        }
+                    }
+                }
+            }};
+        }
+        match &mut self.store {
+            Store::Row(m) => {
+                let t = m
+                    .get_mut(table)
+                    .ok_or_else(|| Error::exec(format!("missing table `{table}`")))?;
+                write_batch!(t)
+            }
+            Store::Col(m) => {
+                let t = m
+                    .get_mut(table)
+                    .ok_or_else(|| Error::exec(format!("missing table `{table}`")))?;
+                write_batch!(t)
+            }
+        }
+        Ok(updated)
+    }
+
     /// Live row count of a table.
     pub fn row_count(&self, table: &str) -> Result<usize> {
         match &self.store {
@@ -445,6 +497,53 @@ mod tests {
             assert_eq!(n, QueryResult::Count(1));
             let rs = db.query("SELECT id FROM child WHERE s = '+'").unwrap();
             assert_eq!(rs.column_as_ints(0), vec![11]);
+        }
+    }
+
+    #[test]
+    fn update_signs_matches_per_tuple_updates() {
+        for mut db in both() {
+            load(&mut db);
+            let n = db.update_signs("child", &[10, 12], '+').unwrap();
+            assert_eq!(n, 2);
+            let rs = db.query("SELECT id FROM child WHERE s = '+'").unwrap();
+            assert_eq!(rs.column_as_int_set(0), [10, 12].into_iter().collect());
+            // A per-tuple reference run over the same ids lands on the
+            // same table state.
+            let mut reference = Database::new(db.kind());
+            load(&mut reference);
+            for id in [10, 12] {
+                reference
+                    .execute(&format!("UPDATE child SET s = '+' WHERE id = {id}"))
+                    .unwrap();
+            }
+            assert_eq!(
+                db.query("SELECT id, s FROM child").unwrap().sorted(),
+                reference.query("SELECT id, s FROM child").unwrap().sorted(),
+            );
+        }
+    }
+
+    #[test]
+    fn update_signs_skips_absent_ids_and_checks_schema() {
+        for mut db in both() {
+            load(&mut db);
+            assert_eq!(db.update_signs("child", &[999], '+').unwrap(), 0);
+            assert_eq!(db.update_signs("child", &[], '+').unwrap(), 0);
+            assert!(db.update_signs("nope", &[1], '+').is_err());
+            db.execute("CREATE TABLE bare (id INT PRIMARY KEY)").unwrap();
+            assert!(db.update_signs("bare", &[1], '+').is_err(), "no `s` column");
+        }
+    }
+
+    #[test]
+    fn update_signs_maintains_sign_index_queries() {
+        for mut db in both() {
+            load(&mut db);
+            db.update_signs("child", &[10, 11, 12], '+').unwrap();
+            db.update_signs("child", &[11], '-').unwrap();
+            let rs = db.query("SELECT COUNT(*) FROM child WHERE s = '+'").unwrap();
+            assert_eq!(rs.column_as_ints(0), vec![2]);
         }
     }
 

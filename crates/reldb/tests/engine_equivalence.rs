@@ -1,68 +1,81 @@
 //! Property test: the row engine and the column engine are observationally
 //! equivalent — identical results for identical SQL over identical data,
 //! under randomized schemas, data and query workloads.
+//!
+//! Seeded hand-rolled generation (no external crates): every run explores
+//! the same workloads, and failures name the case index.
 
-use proptest::prelude::*;
 use xac_reldb::{Database, StorageKind, Value};
 
+/// Tiny splitmix64 stream keeping this test self-contained and offline.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
 /// A randomized two-table database and a batch of queries over it.
-#[derive(Debug, Clone)]
 struct Workload {
     parents: Vec<(i64, Option<String>)>,
     children: Vec<(i64, i64, Option<String>, i64)>,
     queries: Vec<String>,
 }
 
-fn arb_text() -> impl Strategy<Value = Option<String>> {
-    proptest::option::of(prop_oneof![
-        Just("a".to_string()),
-        Just("b".to_string()),
-        Just("700".to_string()),
-        Just("1600".to_string()),
-    ])
+fn random_text(rng: &mut Rng) -> Option<String> {
+    match rng.below(8) {
+        0 | 1 => Some("a".to_string()),
+        2 | 3 => Some("b".to_string()),
+        4 => Some("700".to_string()),
+        5 => Some("1600".to_string()),
+        _ => None,
+    }
 }
 
-fn arb_workload() -> impl Strategy<Value = Workload> {
-    let parents = proptest::collection::vec(arb_text(), 1..8).prop_map(|vs| {
-        vs.into_iter()
-            .enumerate()
-            .map(|(i, v)| (i as i64 + 1, v))
-            .collect::<Vec<_>>()
-    });
-    let children = (proptest::collection::vec((1i64..8, arb_text(), 0i64..2000), 0..20))
-        .prop_map(|rows| {
-            rows.into_iter()
-                .enumerate()
-                .map(|(i, (pid, v, n))| (100 + i as i64, pid, v, n))
-                .collect::<Vec<_>>()
-        });
-    let query = prop_oneof![
-        Just("SELECT id FROM child".to_string()),
-        Just("SELECT id FROM child WHERE v = 'a'".to_string()),
-        Just("SELECT id FROM child WHERE n > 1000".to_string()),
-        Just("SELECT id FROM child WHERE n <= 500 AND v != 'b'".to_string()),
-        Just("SELECT c.id FROM parent p, child c WHERE p.id = c.pid".to_string()),
-        Just("SELECT c.id FROM parent p, child c WHERE p.id = c.pid AND p.v = 'a'".to_string()),
-        Just(
-            "(SELECT id FROM child WHERE v = 'a') UNION (SELECT id FROM child WHERE n > 900)"
-                .to_string()
-        ),
-        Just(
-            "(SELECT id FROM child) EXCEPT (SELECT id FROM child WHERE v = 'b')".to_string()
-        ),
-        Just(
-            "(SELECT id FROM child WHERE n > 100) INTERSECT (SELECT id FROM child WHERE v = 'a')"
-                .to_string()
-        ),
-        Just("SELECT p.id FROM parent p, child c".to_string()),
-        Just("SELECT pid FROM child WHERE pid = 3".to_string()),
-        Just("SELECT COUNT(*) FROM child WHERE n > 500".to_string()),
-        Just("SELECT COUNT(v) FROM child".to_string()),
-        Just("SELECT COUNT(c.id) FROM parent p, child c WHERE p.id = c.pid".to_string()),
-    ];
-    let queries = proptest::collection::vec(query, 1..6);
-    (parents, children, queries)
-        .prop_map(|(parents, children, queries)| Workload { parents, children, queries })
+const QUERY_POOL: &[&str] = &[
+    "SELECT id FROM child",
+    "SELECT id FROM child WHERE v = 'a'",
+    "SELECT id FROM child WHERE n > 1000",
+    "SELECT id FROM child WHERE n <= 500 AND v != 'b'",
+    "SELECT c.id FROM parent p, child c WHERE p.id = c.pid",
+    "SELECT c.id FROM parent p, child c WHERE p.id = c.pid AND p.v = 'a'",
+    "(SELECT id FROM child WHERE v = 'a') UNION (SELECT id FROM child WHERE n > 900)",
+    "(SELECT id FROM child) EXCEPT (SELECT id FROM child WHERE v = 'b')",
+    "(SELECT id FROM child WHERE n > 100) INTERSECT (SELECT id FROM child WHERE v = 'a')",
+    "SELECT p.id FROM parent p, child c",
+    "SELECT pid FROM child WHERE pid = 3",
+    "SELECT COUNT(*) FROM child WHERE n > 500",
+    "SELECT COUNT(v) FROM child",
+    "SELECT COUNT(c.id) FROM parent p, child c WHERE p.id = c.pid",
+];
+
+fn random_workload(rng: &mut Rng) -> Workload {
+    let parents = (0..1 + rng.below(7))
+        .map(|i| (i as i64 + 1, random_text(rng)))
+        .collect();
+    let children = (0..rng.below(20))
+        .map(|i| {
+            (
+                100 + i as i64,
+                1 + rng.below(7) as i64,
+                random_text(rng),
+                rng.below(2000) as i64,
+            )
+        })
+        .collect();
+    let queries = (0..1 + rng.below(5))
+        .map(|_| QUERY_POOL[rng.below(QUERY_POOL.len())].to_string())
+        .collect();
+    Workload { parents, children, queries }
 }
 
 fn build(kind: StorageKind, w: &Workload) -> Database {
@@ -82,22 +95,27 @@ fn build(kind: StorageKind, w: &Workload) -> Database {
     db
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn row_and_column_engines_agree(w in arb_workload()) {
+#[test]
+fn row_and_column_engines_agree() {
+    let mut rng = Rng(0xE1);
+    for case in 0..128 {
+        let w = random_workload(&mut rng);
         let mut row = build(StorageKind::Row, &w);
         let mut col = build(StorageKind::Column, &w);
         for q in &w.queries {
             let r = row.query(q).unwrap().sorted();
             let c = col.query(q).unwrap().sorted();
-            prop_assert_eq!(r, c, "engines disagree on `{}`", q);
+            assert_eq!(r, c, "case {case}: engines disagree on `{q}`");
         }
     }
+}
 
-    #[test]
-    fn engines_agree_after_mutations(w in arb_workload(), cut in 0i64..2000) {
+#[test]
+fn engines_agree_after_mutations() {
+    let mut rng = Rng(0xE2);
+    for case in 0..128 {
+        let w = random_workload(&mut rng);
+        let cut = rng.below(2000) as i64;
         let mut row = build(StorageKind::Row, &w);
         let mut col = build(StorageKind::Column, &w);
         for db in [&mut row, &mut col] {
@@ -107,8 +125,12 @@ proptest! {
         for q in &w.queries {
             let r = row.query(q).unwrap().sorted();
             let c = col.query(q).unwrap().sorted();
-            prop_assert_eq!(r, c, "post-mutation disagreement on `{}`", q);
+            assert_eq!(r, c, "case {case}: post-mutation disagreement on `{q}`");
         }
-        prop_assert_eq!(row.row_count("child").unwrap(), col.row_count("child").unwrap());
+        assert_eq!(
+            row.row_count("child").unwrap(),
+            col.row_count("child").unwrap(),
+            "case {case}"
+        );
     }
 }

@@ -1,83 +1,88 @@
 //! Property test: serialize → parse is the identity on the tree model
 //! (both compact and pretty forms), for randomized documents including
 //! attributes, text values and characters needing escapes.
+//!
+//! Seeded hand-rolled generation (no external crates): each case index
+//! deterministically derives one document, so failures reproduce.
 
-use proptest::prelude::*;
 use xac_xml::Document;
 
-#[derive(Debug, Clone)]
-enum Tree {
-    Leaf { name: String, text: Option<String>, attr: Option<(String, String)> },
-    Node { name: String, attr: Option<(String, String)>, kids: Vec<Tree> },
+/// Tiny splitmix64 stream keeping this test self-contained and offline.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.next() % 100 < percent
+    }
 }
 
-fn arb_name() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_-]{0,6}".prop_map(|s| s)
+fn random_name(rng: &mut Rng) -> String {
+    const FIRST: &[char] = &['a', 'b', 'c', 'x', 'y', 'z'];
+    const REST: &[char] = &['a', 'z', '0', '9', '_', '-'];
+    let mut s = String::new();
+    s.push(FIRST[rng.below(FIRST.len())]);
+    for _ in 0..rng.below(7) {
+        s.push(REST[rng.below(REST.len())]);
+    }
+    s
 }
 
-fn arb_text() -> impl Strategy<Value = String> {
+fn random_text(rng: &mut Rng) -> String {
     // Include every character the serializer must escape; avoid
     // leading/trailing whitespace (the parser trims insignificant space).
-    prop_oneof![
-        Just("hello".to_string()),
-        Just("a & b".to_string()),
-        Just("x<y>z".to_string()),
-        Just("quote\"apos'".to_string()),
-        Just("700".to_string()),
-        Just("héllo→unicode".to_string()),
-    ]
+    const TEXTS: &[&str] = &[
+        "hello",
+        "a & b",
+        "x<y>z",
+        "quote\"apos'",
+        "700",
+        "héllo→unicode",
+    ];
+    TEXTS[rng.below(TEXTS.len())].to_string()
 }
 
-fn arb_attr() -> impl Strategy<Value = Option<(String, String)>> {
-    proptest::option::of((arb_name(), arb_text()))
-}
-
-fn arb_tree() -> impl Strategy<Value = Tree> {
-    let leaf = (arb_name(), proptest::option::of(arb_text()), arb_attr())
-        .prop_map(|(name, text, attr)| Tree::Leaf { name, text, attr });
-    leaf.prop_recursive(3, 20, 4, |inner| {
-        (arb_name(), arb_attr(), proptest::collection::vec(inner, 0..4))
-            .prop_map(|(name, attr, kids)| Tree::Node { name, attr, kids })
-    })
-}
-
-fn build(tree: &Tree) -> Document {
-    fn attach(doc: &mut Document, parent: xac_xml::NodeId, t: &Tree) {
-        match t {
-            Tree::Leaf { name, text, attr } => {
-                let n = doc.add_element(parent, name.clone());
-                if let Some((k, v)) = attr {
-                    doc.set_attribute(n, k.clone(), v.clone());
-                }
-                if let Some(tv) = text {
-                    doc.add_text(n, tv.clone());
-                }
-            }
-            Tree::Node { name, attr, kids } => {
-                let n = doc.add_element(parent, name.clone());
-                if let Some((k, v)) = attr {
-                    doc.set_attribute(n, k.clone(), v.clone());
-                }
-                for k in kids {
-                    attach(doc, n, k);
-                }
-            }
+/// Grow a random subtree under `parent`: leaves carry optional text, inner
+/// nodes up to 3 children, both optionally attributed — depth-bounded.
+fn attach_random(doc: &mut Document, parent: xac_xml::NodeId, rng: &mut Rng, depth: usize) {
+    let n = doc.add_element(parent, random_name(rng));
+    if rng.chance(40) {
+        doc.set_attribute(n, random_name(rng), random_text(rng));
+    }
+    if depth == 0 || rng.chance(40) {
+        if rng.chance(60) {
+            doc.add_text(n, random_text(rng));
+        }
+    } else {
+        for _ in 0..rng.below(4) {
+            attach_random(doc, n, rng, depth - 1);
         }
     }
-    let (name, attr, kids) = match tree {
-        Tree::Leaf { name, text: _, attr } => (name.clone(), attr.clone(), Vec::new()),
-        Tree::Node { name, attr, kids } => (name.clone(), attr.clone(), kids.clone()),
-    };
-    let mut doc = Document::new(name);
-    if let Some((k, v)) = attr {
-        doc.set_attribute(doc.root(), k, v);
-    }
-    if let Tree::Leaf { text: Some(tv), .. } = tree {
-        doc.add_text(doc.root(), tv.clone());
-    }
+}
+
+fn random_document(rng: &mut Rng) -> Document {
+    let mut doc = Document::new(random_name(rng));
     let root = doc.root();
-    for k in &kids {
-        attach(&mut doc, root, k);
+    if rng.chance(40) {
+        doc.set_attribute(root, random_name(rng), random_text(rng));
+    }
+    if rng.chance(30) {
+        doc.add_text(root, random_text(rng));
+    } else {
+        for _ in 0..rng.below(4) {
+            attach_random(&mut doc, root, rng, 2);
+        }
     }
     doc
 }
@@ -93,40 +98,44 @@ fn same_structure(a: &Document, b: &Document) -> bool {
         }
         let ak: Vec<_> = a.children(an).collect();
         let bk: Vec<_> = b.children(bn).collect();
-        ak.len() == bk.len()
-            && ak.iter().zip(&bk).all(|(&x, &y)| eq(a, x, b, y))
+        ak.len() == bk.len() && ak.iter().zip(&bk).all(|(&x, &y)| eq(a, x, b, y))
     }
     eq(a, a.root(), b, b.root())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn compact_round_trip(t in arb_tree()) {
-        let doc = build(&t);
+#[test]
+fn compact_round_trip() {
+    let mut rng = Rng(0xD1);
+    for case in 0..128 {
+        let doc = random_document(&mut rng);
         let xml = doc.to_xml();
         let re = Document::parse_str(&xml)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{xml}"));
-        prop_assert!(same_structure(&doc, &re), "structure changed:\n{xml}");
-        prop_assert_eq!(re.to_xml(), xml, "serialization not a fixpoint");
+            .unwrap_or_else(|e| panic!("case {case}: reparse failed: {e}\n{xml}"));
+        assert!(same_structure(&doc, &re), "case {case}: structure changed:\n{xml}");
+        assert_eq!(re.to_xml(), xml, "case {case}: serialization not a fixpoint");
     }
+}
 
-    #[test]
-    fn pretty_round_trip(t in arb_tree()) {
-        let doc = build(&t);
+#[test]
+fn pretty_round_trip() {
+    let mut rng = Rng(0xD2);
+    for case in 0..128 {
+        let doc = random_document(&mut rng);
         let pretty = doc.to_pretty_xml();
         let re = Document::parse_str(&pretty)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{pretty}"));
-        prop_assert!(same_structure(&doc, &re), "structure changed:\n{pretty}");
+            .unwrap_or_else(|e| panic!("case {case}: reparse failed: {e}\n{pretty}"));
+        assert!(same_structure(&doc, &re), "case {case}: structure changed:\n{pretty}");
     }
+}
 
-    #[test]
-    fn element_counts_preserved(t in arb_tree()) {
-        let doc = build(&t);
+#[test]
+fn element_counts_preserved() {
+    let mut rng = Rng(0xD3);
+    for case in 0..128 {
+        let doc = random_document(&mut rng);
         let re = Document::parse_str(&doc.to_xml()).unwrap();
-        prop_assert_eq!(doc.element_count(), re.element_count());
-        prop_assert_eq!(doc.len(), re.len());
-        prop_assert_eq!(doc.height(), re.height());
+        assert_eq!(doc.element_count(), re.element_count(), "case {case}");
+        assert_eq!(doc.len(), re.len(), "case {case}");
+        assert_eq!(doc.height(), re.height(), "case {case}");
     }
 }

@@ -10,8 +10,7 @@
 //! policy does).
 
 use crate::words::pick;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::rng::SplitMix64;
 use std::collections::BTreeMap;
 use xac_policy::{accessible_nodes, ConflictResolution, DefaultSemantics, Policy, Rule};
 use xac_xml::Document;
@@ -46,7 +45,7 @@ fn names_by_frequency(doc: &Document) -> Vec<(String, usize)> {
 /// (modulo the negative rule's small bite); measure it exactly with
 /// [`actual_coverage`].
 pub fn coverage_policy(doc: &Document, target: f64, seed: u64) -> Policy {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let freq = names_by_frequency(doc);
     let total: usize = doc.element_count();
     let mut rules: Vec<Rule> = Vec::new();

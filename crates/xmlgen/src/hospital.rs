@@ -3,8 +3,7 @@
 //! documents.
 
 use crate::words::{person_name, pick, WORDS};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use xac_xml::{Document, Occurs::*, Particle, Schema};
 
 /// The hospital XML DTD of Figure 1, as a schema graph.
@@ -90,7 +89,7 @@ pub const MEDICATIONS: &[&str] = &[
 /// ones, which the choice model permits), so the paper's rules R1/R3/R5
 /// partition patients non-trivially.
 pub fn hospital_document(depts: usize, patients_per_dept: usize, seed: u64) -> Document {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut doc = Document::new("hospital");
     let root = doc.root();
     let mut psn = 1u64;

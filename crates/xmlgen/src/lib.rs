@@ -18,15 +18,19 @@
 //! * [`workload`] — the 55-query response-time workload and the delete
 //!   updates driving the re-annotation experiment (§7.2).
 //!
-//! All generators are seeded and fully deterministic.
+//! All generators are seeded and fully deterministic, driven by the
+//! in-repo [`rng::SplitMix64`] stream (no external crates), so the same
+//! seed always reproduces the same document bytes.
 
 pub mod coverage;
 pub mod hospital;
+pub mod rng;
 pub mod words;
 pub mod workload;
 pub mod xmark;
 
 pub use coverage::{actual_coverage, coverage_policy, coverage_policy_dataset};
 pub use hospital::{figure2_document, hospital_document, hospital_schema};
+pub use rng::SplitMix64;
 pub use workload::{delete_updates, query_workload};
 pub use xmark::{xmark_document, xmark_schema, XmarkConfig};

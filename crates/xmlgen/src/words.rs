@@ -2,8 +2,7 @@
 //! documents with Shakespeare vocabulary; a compact pool keeps the same
 //! flavour without shipping a corpus).
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use crate::rng::SplitMix64;
 
 /// Vocabulary for names, descriptions and free text.
 pub const WORDS: &[&str] = &[
@@ -34,17 +33,17 @@ pub const LAST_NAMES: &[&str] = &[
 ];
 
 /// Draw one entry from a pool.
-pub fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+pub fn pick<'a>(rng: &mut SplitMix64, pool: &[&'a str]) -> &'a str {
     pool[rng.gen_range(0..pool.len())]
 }
 
 /// A `first last` person name.
-pub fn person_name(rng: &mut StdRng) -> String {
+pub fn person_name(rng: &mut SplitMix64) -> String {
     format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, LAST_NAMES))
 }
 
 /// A short free-text phrase of `n` words.
-pub fn phrase(rng: &mut StdRng, n: usize) -> String {
+pub fn phrase(rng: &mut SplitMix64, n: usize) -> String {
     let mut out = String::new();
     for i in 0..n {
         if i > 0 {
@@ -58,19 +57,18 @@ pub fn phrase(rng: &mut StdRng, n: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn deterministic_for_seed() {
-        let mut a = StdRng::seed_from_u64(7);
-        let mut b = StdRng::seed_from_u64(7);
+        let mut a = SplitMix64::seed_from_u64(7);
+        let mut b = SplitMix64::seed_from_u64(7);
         assert_eq!(person_name(&mut a), person_name(&mut b));
         assert_eq!(phrase(&mut a, 5), phrase(&mut b, 5));
     }
 
     #[test]
     fn phrase_word_count() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
         assert_eq!(phrase(&mut rng, 4).split(' ').count(), 4);
         assert_eq!(phrase(&mut rng, 1).split(' ').count(), 1);
         assert!(phrase(&mut rng, 0).is_empty());

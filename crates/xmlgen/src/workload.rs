@@ -6,8 +6,7 @@
 //! generates both: structurally varied paths drawn from the schema with a
 //! seeded RNG.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use std::collections::BTreeMap;
 use xac_xml::Schema;
 use xac_xpath::Path;
@@ -37,7 +36,7 @@ pub fn delete_updates(schema: &Schema, n: usize, seed: u64) -> Vec<Path> {
 }
 
 fn generate(schema: &Schema, n: usize, seed: u64, for_delete: bool) -> Vec<Path> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let parents = parent_map(schema);
     let root = schema.root().to_string();
     let sections: Vec<&str> = schema.child_types(&root);

@@ -15,8 +15,7 @@
 //!   is what the experiments compare).
 
 use crate::words::{person_name, phrase, pick, WORDS};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use xac_xml::{Document, NodeId, Occurs::*, Particle, Schema};
 
 /// The six region element names.
@@ -213,7 +212,7 @@ fn leaf(doc: &mut Document, parent: NodeId, name: &str, value: impl Into<String>
 
 /// Generate an XMark-like document.
 pub fn xmark_document(config: XmarkConfig) -> Document {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ config.factor.to_bits());
+    let mut rng = SplitMix64::seed_from_u64(config.seed ^ config.factor.to_bits());
     let mut doc = Document::new("site");
     let site = doc.root();
 
@@ -366,14 +365,14 @@ pub fn xmark_document(config: XmarkConfig) -> Document {
     doc
 }
 
-fn add_annotation(doc: &mut Document, parent: NodeId, rng: &mut StdRng) {
+fn add_annotation(doc: &mut Document, parent: NodeId, rng: &mut SplitMix64) {
     let annotation = doc.add_element(parent, "annotation");
     leaf(doc, annotation, "author", person_name(rng));
     leaf(doc, annotation, "description", phrase(rng, 10));
     leaf(doc, annotation, "happiness", rng.gen_range(1..10).to_string());
 }
 
-fn random_date(rng: &mut StdRng) -> String {
+fn random_date(rng: &mut SplitMix64) -> String {
     format!(
         "{:02}/{:02}/{}",
         rng.gen_range(1..13),

@@ -27,6 +27,13 @@ pub fn contained_in(p: &Path, q: &Path) -> bool {
     homomorphism_exists(&tq, &tp)
 }
 
+/// `p ⊑ q` over prebuilt tree patterns — the memoization-friendly entry
+/// point: [`crate::ContainmentOracle`] builds each distinct pattern once
+/// and replays it here instead of re-deriving it per query.
+pub fn pattern_contained_in(tp: &TreePattern, tq: &TreePattern) -> bool {
+    homomorphism_exists(tq, tp)
+}
+
 /// `p ≡ q` — containment in both directions.
 pub fn equivalent(p: &Path, q: &Path) -> bool {
     contained_in(p, q) && contained_in(q, p)

@@ -28,7 +28,10 @@
 //!   XP{/,//,[]}, plus equivalence and a sound disjointness test;
 //! * [`expand`] — the §5.3 rule expansion: predicate hoisting plus the
 //!   schema-guided rewrite of descendant axes inside predicates into
-//!   finite sets of child paths.
+//!   finite sets of child paths;
+//! * [`oracle`] — a hash-consing, memoizing façade over the containment
+//!   tests, so static analysis runs each homomorphism check at most once
+//!   per ordered path pair.
 //!
 //! ```
 //! use xac_xpath::{parse, eval};
@@ -47,6 +50,7 @@ pub mod containment;
 pub mod error;
 pub mod eval;
 pub mod expand;
+pub mod oracle;
 pub mod parser;
 pub mod pattern;
 pub mod specialize;
@@ -56,6 +60,7 @@ pub use containment::{contained_in, disjoint, equivalent};
 pub use error::{Error, Result};
 pub use eval::{eval, eval_from};
 pub use expand::expand;
+pub use oracle::{ContainmentOracle, OracleStats};
 pub use parser::parse;
 pub use pattern::TreePattern;
 pub use specialize::{contained_in_with_schema, schema_variants};

@@ -1,0 +1,270 @@
+//! Memoized containment oracle.
+//!
+//! Static analysis (redundancy elimination, dependency graphs, Trigger)
+//! asks the same containment questions over and over: the optimizer's
+//! pairwise loop is `O(n²)` queries over `n` rule paths, and every
+//! update re-compares the same rule expansions. Each blind query pays
+//! twice — [`TreePattern::from_path`] for both sides, then the
+//! homomorphism search. The oracle hash-conses paths (keyed by their
+//! round-tripping `Display` form) so each distinct path is lowered to a
+//! tree pattern exactly once, and memoizes the boolean answer per
+//! ordered pair, so the Miklau–Suciu test runs at most once per
+//! `(p, q)`.
+//!
+//! Interior mutability is a `std::sync::Mutex` (the workspace is
+//! dependency-free by design), letting callers share one oracle behind
+//! `&self` across an analysis pass. Answers are bit-identical to
+//! [`crate::contained_in`] / [`crate::contained_in_with_schema`] — the
+//! oracle only caches, never approximates.
+
+use crate::ast::Path;
+use crate::containment::pattern_contained_in;
+use crate::pattern::TreePattern;
+use crate::specialize::contained_in_with_schema;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use xac_xml::Schema;
+
+/// Interned path handle: index into the oracle's pattern arena.
+type PathId = u32;
+
+#[derive(Default)]
+struct State {
+    /// Canonical `Display` form → interned id.
+    ids: HashMap<String, PathId>,
+    /// Tree pattern per interned path, built once.
+    patterns: Vec<TreePattern>,
+    /// Memoized schema-blind answers per ordered pair.
+    plain: HashMap<(PathId, PathId), bool>,
+    /// Memoized schema-aware answers per ordered pair.
+    schema_aware: HashMap<(PathId, PathId), bool>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Cache counters, exposed for tests and perf reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Queries answered from the memo table.
+    pub hits: u64,
+    /// Queries that ran the homomorphism test.
+    pub misses: u64,
+    /// Distinct paths interned (= tree patterns built).
+    pub distinct_paths: usize,
+}
+
+/// A shared, memoizing façade over the containment checker.
+///
+/// Construct one per analysis context ([`ContainmentOracle::new`] for
+/// schema-blind use, [`ContainmentOracle::with_schema`] to also memoize
+/// schema-aware queries) and pass it by reference wherever repeated
+/// containment tests happen.
+pub struct ContainmentOracle {
+    schema: Option<Schema>,
+    state: Mutex<State>,
+}
+
+impl Default for ContainmentOracle {
+    fn default() -> ContainmentOracle {
+        ContainmentOracle::new()
+    }
+}
+
+impl ContainmentOracle {
+    /// Oracle without schema knowledge: `contained_in_schema_aware`
+    /// degrades to the blind test.
+    pub fn new() -> ContainmentOracle {
+        ContainmentOracle { schema: None, state: Mutex::new(State::default()) }
+    }
+
+    /// Oracle whose schema-aware queries specialize descendant steps
+    /// through `schema` (see [`crate::contained_in_with_schema`]).
+    pub fn with_schema(schema: Schema) -> ContainmentOracle {
+        ContainmentOracle { schema: Some(schema), state: Mutex::new(State::default()) }
+    }
+
+    /// The schema this oracle specializes against, if any.
+    pub fn schema(&self) -> Option<&Schema> {
+        self.schema.as_ref()
+    }
+
+    fn intern(state: &mut State, p: &Path) -> PathId {
+        let key = p.to_string();
+        if let Some(&id) = state.ids.get(&key) {
+            return id;
+        }
+        let id = state.patterns.len() as PathId;
+        state.patterns.push(TreePattern::from_path(p));
+        state.ids.insert(key, id);
+        id
+    }
+
+    /// Memoized `p ⊑ q` (schema-blind homomorphism test).
+    pub fn contained_in(&self, p: &Path, q: &Path) -> bool {
+        let mut s = self.state.lock().expect("oracle lock poisoned");
+        let pi = Self::intern(&mut s, p);
+        let qi = Self::intern(&mut s, q);
+        if let Some(&v) = s.plain.get(&(pi, qi)) {
+            s.hits += 1;
+            return v;
+        }
+        s.misses += 1;
+        let v = pattern_contained_in(&s.patterns[pi as usize], &s.patterns[qi as usize]);
+        s.plain.insert((pi, qi), v);
+        v
+    }
+
+    /// Memoized `p ⊑ q` specialized through the held schema; identical
+    /// to [`ContainmentOracle::contained_in`] when none was given.
+    pub fn contained_in_schema_aware(&self, p: &Path, q: &Path) -> bool {
+        let Some(schema) = &self.schema else {
+            return self.contained_in(p, q);
+        };
+        let mut s = self.state.lock().expect("oracle lock poisoned");
+        let pi = Self::intern(&mut s, p);
+        let qi = Self::intern(&mut s, q);
+        if let Some(&v) = s.schema_aware.get(&(pi, qi)) {
+            s.hits += 1;
+            return v;
+        }
+        s.misses += 1;
+        // Cheap path first: a blind yes is also a schema-aware yes, and
+        // the blind answer may already be memoized.
+        let blind = match s.plain.get(&(pi, qi)) {
+            Some(&v) => v,
+            None => {
+                let v =
+                    pattern_contained_in(&s.patterns[pi as usize], &s.patterns[qi as usize]);
+                s.plain.insert((pi, qi), v);
+                v
+            }
+        };
+        let v = blind || contained_in_with_schema(p, q, schema);
+        s.schema_aware.insert((pi, qi), v);
+        v
+    }
+
+    /// Memoized equivalence: containment in both directions.
+    pub fn equivalent(&self, p: &Path, q: &Path) -> bool {
+        self.contained_in(p, q) && self.contained_in(q, p)
+    }
+
+    /// Current cache counters.
+    pub fn stats(&self) -> OracleStats {
+        let s = self.state.lock().expect("oracle lock poisoned");
+        OracleStats { hits: s.hits, misses: s.misses, distinct_paths: s.patterns.len() }
+    }
+}
+
+impl std::fmt::Debug for ContainmentOracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("ContainmentOracle")
+            .field("schema", &self.schema.as_ref().map(|s| s.root()))
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn answers_match_fresh_calls() {
+        let oracle = ContainmentOracle::new();
+        let paths: Vec<Path> = [
+            "//patient",
+            "//patient[treatment]",
+            "//patient/name",
+            "//*",
+            "/hospital//patient",
+            "//patient[psn = \"1\"]",
+        ]
+        .iter()
+        .map(|s| parse(s).unwrap())
+        .collect();
+        for p in &paths {
+            for q in &paths {
+                assert_eq!(
+                    oracle.contained_in(p, q),
+                    crate::contained_in(p, q),
+                    "oracle diverged on {p} ⊑ {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn second_query_hits_the_cache() {
+        let oracle = ContainmentOracle::new();
+        let p = parse("//patient[treatment]").unwrap();
+        let q = parse("//patient").unwrap();
+        assert!(oracle.contained_in(&p, &q));
+        let after_first = oracle.stats();
+        assert_eq!(after_first.misses, 1);
+        assert_eq!(after_first.hits, 0);
+        assert_eq!(after_first.distinct_paths, 2);
+        assert!(oracle.contained_in(&p, &q));
+        let after_second = oracle.stats();
+        assert_eq!(after_second.misses, 1, "no recomputation");
+        assert_eq!(after_second.hits, 1);
+    }
+
+    #[test]
+    fn interning_is_by_canonical_form() {
+        let oracle = ContainmentOracle::new();
+        let p1 = parse("//patient").unwrap();
+        let p2 = parse("  //patient ").unwrap_or_else(|_| parse("//patient").unwrap());
+        oracle.contained_in(&p1, &p2);
+        assert_eq!(oracle.stats().distinct_paths, 1, "same canonical path interned once");
+    }
+
+    #[test]
+    fn ordered_pairs_are_cached_separately() {
+        let oracle = ContainmentOracle::new();
+        let p = parse("//patient[treatment]").unwrap();
+        let q = parse("//patient").unwrap();
+        assert!(oracle.contained_in(&p, &q));
+        assert!(!oracle.contained_in(&q, &p), "containment is directional");
+        assert_eq!(oracle.stats().misses, 2);
+    }
+
+    #[test]
+    fn schema_aware_matches_fresh_calls() {
+        use xac_xml::{Occurs::*, Particle, Schema};
+        let schema = Schema::builder("r")
+            .sequence("r", vec![Particle::new("a", Star)])
+            .sequence("a", vec![Particle::new("b", Optional)])
+            .sequence("b", vec![Particle::new("c", Optional)])
+            .text(&["c"])
+            .build()
+            .unwrap();
+        let oracle = ContainmentOracle::with_schema(schema.clone());
+        let pairs = [
+            ("//a[.//c]", "//a[b]"),
+            ("//a[b]", "//a[.//c]"),
+            ("//a", "//a"),
+            ("//a/b", "//a"),
+        ];
+        for (ps, qs) in pairs {
+            let p = parse(ps).unwrap();
+            let q = parse(qs).unwrap();
+            let fresh = crate::contained_in_with_schema(&p, &q, &schema);
+            assert_eq!(oracle.contained_in_schema_aware(&p, &q), fresh, "{ps} ⊑ {qs}");
+            // And again, from the cache.
+            assert_eq!(oracle.contained_in_schema_aware(&p, &q), fresh, "{ps} ⊑ {qs} (cached)");
+        }
+        assert!(oracle.stats().hits >= 4);
+    }
+
+    #[test]
+    fn equivalence_through_the_oracle() {
+        let oracle = ContainmentOracle::new();
+        let a = parse("//x[y and z]").unwrap();
+        let b = parse("//x[z and y]").unwrap();
+        assert!(oracle.equivalent(&a, &b));
+        assert!(!oracle.equivalent(&a, &parse("//x[y]").unwrap()));
+    }
+}

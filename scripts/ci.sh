@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Offline CI gate: the whole workspace must build, test and run the
+# figures smoke entirely without network access (no external crates —
+# see DESIGN.md §6). Run from the repository root.
+set -eu
+
+export CARGO_NET_OFFLINE=true
+
+echo "== tier 1: release build =="
+cargo build --release
+
+echo "== tier 1: tests =="
+cargo test -q
+
+echo "== bench targets compile (in-repo harness) =="
+cargo bench --no-run -q
+
+echo "== figures smoke: table3 =="
+cargo run --release -q -p xac-bench --bin figures -- table3
+
+echo "== figures smoke: annotate-modes artifact =="
+cargo run --release -q -p xac-bench --bin figures -- annotate-modes
+test -s BENCH_annotation_modes.json
+
+echo "ci.sh: all green"

@@ -2,113 +2,77 @@
 //! and documents, the annotation query materialized in the native store
 //! must reproduce the Table 2 reference semantics, under all four
 //! `(ds, cr)` combinations.
+//!
+//! Randomness comes from the seeded in-repo [`xac_xmlgen::SplitMix64`]
+//! stream, so every run explores the same cases and failures reproduce.
 
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 use xac_policy::{AnnotationQuery, ConflictResolution, DefaultSemantics, Effect, Policy, Rule};
 use xac_xml::Document;
+use xac_xmlgen::SplitMix64;
 use xac_xmlstore::{NodeSetExpr, StoredDocument};
 
 // -- random documents over {a,b,c,d} ----------------------------------
 
-#[derive(Debug, Clone)]
-enum Tree {
-    Leaf(&'static str),
-    Node(&'static str, Vec<Tree>),
+const LABELS: &[&str] = &["a", "b", "c", "d"];
+
+fn label(rng: &mut SplitMix64) -> &'static str {
+    LABELS[rng.gen_range(0..LABELS.len())]
 }
 
-fn arb_label() -> impl Strategy<Value = &'static str> {
-    prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")]
-}
-
-fn arb_tree() -> impl Strategy<Value = Tree> {
-    let leaf = arb_label().prop_map(Tree::Leaf);
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        (arb_label(), proptest::collection::vec(inner, 0..4))
-            .prop_map(|(l, kids)| Tree::Node(l, kids))
-    })
-}
-
-fn to_document(tree: &Tree) -> Document {
-    fn attach(doc: &mut Document, parent: xac_xml::NodeId, t: &Tree) {
-        match t {
-            Tree::Leaf(l) => {
-                doc.add_element(parent, *l);
-            }
-            Tree::Node(l, kids) => {
-                let n = doc.add_element(parent, *l);
-                for k in kids {
-                    attach(doc, n, k);
-                }
-            }
+fn attach_random(doc: &mut Document, parent: xac_xml::NodeId, rng: &mut SplitMix64, depth: usize) {
+    let n = doc.add_element(parent, label(rng));
+    if depth > 0 && rng.gen_bool(0.6) {
+        for _ in 0..rng.gen_range(0..4usize) {
+            attach_random(doc, n, rng, depth - 1);
         }
     }
-    let (label, kids) = match tree {
-        Tree::Leaf(l) => (*l, Vec::new()),
-        Tree::Node(l, kids) => (*l, kids.clone()),
-    };
-    let mut doc = Document::new(label);
+}
+
+fn random_document(rng: &mut SplitMix64) -> Document {
+    let mut doc = Document::new(label(rng));
     let root = doc.root();
-    for k in &kids {
-        attach(&mut doc, root, k);
+    for _ in 0..rng.gen_range(0..4usize) {
+        attach_random(&mut doc, root, rng, 2);
     }
     doc
 }
 
 // -- random policies ----------------------------------------------------
 
-fn arb_rule_src() -> impl Strategy<Value = String> {
-    let step = prop_oneof![
-        Just("a".to_string()),
-        Just("b".to_string()),
-        Just("c".to_string()),
-        Just("d".to_string()),
-        Just("*".to_string()),
-    ];
-    (step.clone(), proptest::option::of(step.clone()), proptest::option::of(step))
-        .prop_map(|(first, child, pred)| {
-            let mut s = format!("//{first}");
-            if let Some(p) = pred {
-                s.push_str(&format!("[{p}]"));
-            }
-            if let Some(c) = child {
-                s.push_str(&format!("/{c}"));
-            }
-            s
-        })
+fn random_rule_src(rng: &mut SplitMix64) -> String {
+    const STEPS: &[&str] = &["a", "b", "c", "d", "*"];
+    let mut s = format!("//{}", STEPS[rng.gen_range(0..STEPS.len())]);
+    if rng.gen_bool(0.5) {
+        s.push_str(&format!("[{}]", STEPS[rng.gen_range(0..STEPS.len())]));
+    }
+    if rng.gen_bool(0.5) {
+        s.push_str(&format!("/{}", STEPS[rng.gen_range(0..STEPS.len())]));
+    }
+    s
 }
 
-fn arb_policy() -> impl Strategy<Value = Policy> {
-    let rule = (arb_rule_src(), proptest::bool::ANY);
-    (
-        proptest::bool::ANY,
-        proptest::bool::ANY,
-        proptest::collection::vec(rule, 0..6),
-    )
-        .prop_map(|(ds, cr, rules)| {
-            let rules = rules
-                .into_iter()
-                .enumerate()
-                .map(|(i, (src, allow))| {
-                    Rule::parse(
-                        format!("G{i}"),
-                        &src,
-                        if allow { Effect::Allow } else { Effect::Deny },
-                    )
-                    .expect("generated rule parses")
-                })
-                .collect();
-            Policy::new(
-                if ds { DefaultSemantics::Allow } else { DefaultSemantics::Deny },
-                if cr {
-                    ConflictResolution::AllowOverrides
-                } else {
-                    ConflictResolution::DenyOverrides
-                },
-                rules,
+fn random_policy(rng: &mut SplitMix64) -> Policy {
+    let rules = (0..rng.gen_range(0..6usize))
+        .map(|i| {
+            Rule::parse(
+                format!("G{i}"),
+                &random_rule_src(rng),
+                if rng.gen_bool(0.5) { Effect::Allow } else { Effect::Deny },
             )
-            .expect("generated ids unique")
+            .expect("generated rule parses")
         })
+        .collect();
+    Policy::new(
+        if rng.gen_bool(0.5) { DefaultSemantics::Allow } else { DefaultSemantics::Deny },
+        if rng.gen_bool(0.5) {
+            ConflictResolution::AllowOverrides
+        } else {
+            ConflictResolution::DenyOverrides
+        },
+        rules,
+    )
+    .expect("generated ids unique")
 }
 
 /// Accessibility as materialized in a native store by the annotation
@@ -133,49 +97,59 @@ fn materialized_accessible(doc: &Document, policy: &Policy) -> BTreeSet<xac_xml:
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The materialized annotation equals the reference semantics for
-    /// every policy/document pair.
-    #[test]
-    fn materialized_annotation_matches_table2(policy in arb_policy(), t in arb_tree()) {
-        let doc = to_document(&t);
+/// The materialized annotation equals the reference semantics for
+/// every policy/document pair.
+#[test]
+fn materialized_annotation_matches_table2() {
+    let mut rng = SplitMix64::seed_from_u64(0x21);
+    for _ in 0..128 {
+        let policy = random_policy(&mut rng);
+        let doc = random_document(&mut rng);
         let reference = xac_policy::accessible_nodes(&doc, &policy);
         let materialized = materialized_accessible(&doc, &policy);
-        prop_assert_eq!(
+        assert_eq!(
             materialized, reference,
             "ds={:?} cr={:?} policy:\n{}",
-            policy.default_semantics, policy.conflict_resolution, policy.to_text()
+            policy.default_semantics,
+            policy.conflict_resolution,
+            policy.to_text()
         );
     }
+}
 
-    /// Redundancy elimination never changes the semantics.
-    #[test]
-    fn optimization_preserves_semantics(policy in arb_policy(), t in arb_tree()) {
-        let doc = to_document(&t);
+/// Redundancy elimination never changes the semantics.
+#[test]
+fn optimization_preserves_semantics() {
+    let mut rng = SplitMix64::seed_from_u64(0x22);
+    for _ in 0..128 {
+        let policy = random_policy(&mut rng);
+        let doc = random_document(&mut rng);
         let optimized = xac_policy::redundancy_elimination(&policy);
-        prop_assert!(optimized.len() <= policy.len());
-        prop_assert_eq!(
+        assert!(optimized.len() <= policy.len());
+        assert_eq!(
             xac_policy::accessible_nodes(&doc, &optimized),
             xac_policy::accessible_nodes(&doc, &policy),
             "optimizer changed semantics of:\n{}",
             policy.to_text()
         );
     }
+}
 
-    /// The security view never leaks: every element in the view
-    /// corresponds to an accessible element, in both modes.
-    #[test]
-    fn security_views_never_leak(policy in arb_policy(), t in arb_tree()) {
-        let doc = to_document(&t);
+/// The security view never leaks: every element in the view
+/// corresponds to an accessible element, in both modes.
+#[test]
+fn security_views_never_leak() {
+    let mut rng = SplitMix64::seed_from_u64(0x23);
+    for _ in 0..128 {
+        let policy = random_policy(&mut rng);
+        let doc = random_document(&mut rng);
         let accessible = xac_policy::accessible_nodes(&doc, &policy);
         for mode in [xac_core::ViewMode::Prune, xac_core::ViewMode::Promote] {
             let view = xac_core::security_view(&doc, &accessible, mode);
             // Count elements per label in the view; none may exceed the
             // accessible count of that label (root excepted — it is always
             // emitted as the document shell).
-            for label in ["a", "b", "c", "d"] {
+            for label in LABELS {
                 let in_view = view
                     .all_elements()
                     .filter(|&n| n != view.root() && view.name(n) == Some(label))
@@ -184,7 +158,7 @@ proptest! {
                     .iter()
                     .filter(|&&n| doc.name(n) == Some(label))
                     .count();
-                prop_assert!(
+                assert!(
                     in_view <= allowed,
                     "{mode:?}: {in_view} `{label}` elements in view, {allowed} accessible"
                 );
@@ -194,7 +168,7 @@ proptest! {
                 let total_view = view.all_elements().count() - 1;
                 let total_accessible =
                     accessible.iter().filter(|&&n| n != doc.root()).count();
-                prop_assert_eq!(total_view, total_accessible);
+                assert_eq!(total_view, total_accessible);
             }
         }
     }

@@ -1,63 +1,47 @@
 //! Property-based cross-checks over the static-analysis core: containment
 //! soundness against evaluation, parser round-trips, index-accelerated
 //! evaluation, and the XPath→SQL translation — all on randomized inputs.
+//!
+//! Randomness comes from the seeded in-repo [`xac_xmlgen::SplitMix64`]
+//! stream, so every run explores the same cases and failures reproduce.
 
-use proptest::prelude::*;
 use xac_xml::Document;
+use xac_xmlgen::SplitMix64;
 use xac_xpath::{contained_in, eval, parse, Axis, NodeTest, Path, Qualifier, Step};
 
 // ---------------------------------------------------------------------
 // Random trees over a small alphabet
 // ---------------------------------------------------------------------
 
-#[derive(Debug, Clone)]
-enum Tree {
-    Leaf(&'static str, Option<&'static str>),
-    Node(&'static str, Vec<Tree>),
+const LABELS: &[&str] = &["a", "b", "c", "d"];
+const VALUES: &[&str] = &["1", "2", "x"];
+
+fn label(rng: &mut SplitMix64) -> &'static str {
+    LABELS[rng.gen_range(0..LABELS.len())]
 }
 
-fn arb_label() -> impl Strategy<Value = &'static str> {
-    prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")]
+fn value(rng: &mut SplitMix64) -> &'static str {
+    VALUES[rng.gen_range(0..VALUES.len())]
 }
 
-fn arb_value() -> impl Strategy<Value = &'static str> {
-    prop_oneof![Just("1"), Just("2"), Just("x")]
-}
-
-fn arb_tree() -> impl Strategy<Value = Tree> {
-    let leaf = (arb_label(), proptest::option::of(arb_value()))
-        .prop_map(|(l, v)| Tree::Leaf(l, v));
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        (arb_label(), proptest::collection::vec(inner, 0..4))
-            .prop_map(|(l, kids)| Tree::Node(l, kids))
-    })
-}
-
-fn to_document(tree: &Tree) -> Document {
-    fn attach(doc: &mut Document, parent: xac_xml::NodeId, t: &Tree) {
-        match t {
-            Tree::Leaf(l, v) => {
-                let n = doc.add_element(parent, *l);
-                if let Some(v) = v {
-                    doc.add_text(n, *v);
-                }
-            }
-            Tree::Node(l, kids) => {
-                let n = doc.add_element(parent, *l);
-                for k in kids {
-                    attach(doc, n, k);
-                }
-            }
+fn attach_random(doc: &mut Document, parent: xac_xml::NodeId, rng: &mut SplitMix64, depth: usize) {
+    let n = doc.add_element(parent, label(rng));
+    if depth == 0 || rng.gen_bool(0.4) {
+        if rng.gen_bool(0.5) {
+            doc.add_text(n, value(rng));
+        }
+    } else {
+        for _ in 0..rng.gen_range(0..4usize) {
+            attach_random(doc, n, rng, depth - 1);
         }
     }
-    let (label, kids) = match tree {
-        Tree::Leaf(l, _) => (*l, Vec::new()),
-        Tree::Node(l, kids) => (*l, kids.clone()),
-    };
-    let mut doc = Document::new(label);
+}
+
+fn random_document(rng: &mut SplitMix64) -> Document {
+    let mut doc = Document::new(label(rng));
     let root = doc.root();
-    for k in &kids {
-        attach(&mut doc, root, k);
+    for _ in 0..rng.gen_range(0..4usize) {
+        attach_random(&mut doc, root, rng, 2);
     }
     doc
 }
@@ -66,31 +50,32 @@ fn to_document(tree: &Tree) -> Document {
 // Random paths in the fragment
 // ---------------------------------------------------------------------
 
-fn arb_qualifier() -> impl Strategy<Value = Qualifier> {
-    prop_oneof![
-        arb_label().prop_map(|l| Qualifier::Exists(Path::relative(vec![Step::child(l)]))),
-        (arb_label(), arb_value()).prop_map(|(l, v)| Qualifier::Cmp(
-            Path::relative(vec![Step::child(l)]),
+fn random_qualifier(rng: &mut SplitMix64) -> Qualifier {
+    if rng.gen_bool(0.5) {
+        Qualifier::Exists(Path::relative(vec![Step::child(label(rng))]))
+    } else {
+        Qualifier::Cmp(
+            Path::relative(vec![Step::child(label(rng))]),
             xac_xpath::CmpOp::Eq,
-            v.to_string(),
-        )),
-    ]
+            value(rng).to_string(),
+        )
+    }
 }
 
-fn arb_step() -> impl Strategy<Value = Step> {
-    (
-        prop_oneof![Just(Axis::Child), Just(Axis::Descendant)],
-        prop_oneof![
-            arb_label().prop_map(|l| NodeTest::Name(l.to_string())),
-            Just(NodeTest::Wildcard),
-        ],
-        proptest::collection::vec(arb_qualifier(), 0..2),
-    )
-        .prop_map(|(axis, test, predicates)| Step { axis, test, predicates })
+fn random_step(rng: &mut SplitMix64) -> Step {
+    let axis = if rng.gen_bool(0.5) { Axis::Child } else { Axis::Descendant };
+    let test = if rng.gen_bool(0.75) {
+        NodeTest::Name(label(rng).to_string())
+    } else {
+        NodeTest::Wildcard
+    };
+    let predicates = (0..rng.gen_range(0..2usize)).map(|_| random_qualifier(rng)).collect();
+    Step { axis, test, predicates }
 }
 
-fn arb_path() -> impl Strategy<Value = Path> {
-    proptest::collection::vec(arb_step(), 1..4).prop_map(Path::absolute)
+fn random_path(rng: &mut SplitMix64) -> Path {
+    let steps = (0..rng.gen_range(1..4usize)).map(|_| random_step(rng)).collect();
+    Path::absolute(steps)
 }
 
 /// Drop every predicate (a strict generalization of the path).
@@ -122,69 +107,87 @@ fn is_subset(a: &[xac_xml::NodeId], b: &[xac_xml::NodeId]) -> bool {
     a.iter().all(|n| set.contains(n))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Soundness: whenever the homomorphism test claims `p ⊑ q`, the
-    /// result sets obey it on arbitrary trees.
-    #[test]
-    fn containment_claim_implies_subset(p in arb_path(), q in arb_path(), t in arb_tree()) {
+/// Soundness: whenever the homomorphism test claims `p ⊑ q`, the
+/// result sets obey it on arbitrary trees.
+#[test]
+fn containment_claim_implies_subset() {
+    let mut rng = SplitMix64::seed_from_u64(0x11);
+    for _ in 0..96 {
+        let p = random_path(&mut rng);
+        let q = random_path(&mut rng);
         if contained_in(&p, &q) {
-            let doc = to_document(&t);
-            prop_assert!(
+            let doc = random_document(&mut rng);
+            assert!(
                 is_subset(&eval(&doc, &p), &eval(&doc, &q)),
                 "checker claimed {p} ⊑ {q} but results differ"
             );
         }
     }
+}
 
-    /// Derived generalizations must be recognized as containing the
-    /// original (a completeness check on the subclass that matters).
-    #[test]
-    fn derived_generalizations_contain(p in arb_path()) {
-        prop_assert!(contained_in(&p, &p), "reflexivity on {p}");
-        prop_assert!(contained_in(&p, &strip_predicates(&p)), "{p} vs stripped");
-        prop_assert!(contained_in(&p, &loosen_axes(&p)), "{p} vs loosened");
-    }
-
-    /// Display output re-parses to the identical AST.
-    #[test]
-    fn display_parse_round_trip(p in arb_path()) {
-        let printed = p.to_string();
-        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{printed}: {e}"));
-        prop_assert_eq!(p, reparsed);
-    }
-
-    /// Evaluation returns deduplicated, document-ordered results, and
-    /// generalizations select supersets on real trees.
-    #[test]
-    fn eval_invariants(p in arb_path(), t in arb_tree()) {
-        let doc = to_document(&t);
-        let r = eval(&doc, &p);
-        prop_assert!(r.windows(2).all(|w| w[0] < w[1]), "sorted + unique");
-        let stripped = eval(&doc, &strip_predicates(&p));
-        prop_assert!(is_subset(&r, &stripped));
-        let loosened = eval(&doc, &loosen_axes(&p));
-        prop_assert!(is_subset(&r, &loosened));
-    }
-
-    /// The name-indexed evaluation of the native store agrees with the
-    /// reference evaluation.
-    #[test]
-    fn indexed_eval_matches_reference(p in arb_path(), t in arb_tree()) {
-        let doc = to_document(&t);
-        let sdoc = xac_xmlstore::StoredDocument::new(doc.clone());
-        prop_assert_eq!(sdoc.eval(&p), eval(&doc, &p), "indexed eval differs for {}", p);
+/// Derived generalizations must be recognized as containing the
+/// original (a completeness check on the subclass that matters).
+#[test]
+fn derived_generalizations_contain() {
+    let mut rng = SplitMix64::seed_from_u64(0x12);
+    for _ in 0..96 {
+        let p = random_path(&mut rng);
+        assert!(contained_in(&p, &p), "reflexivity on {p}");
+        assert!(contained_in(&p, &strip_predicates(&p)), "{p} vs stripped");
+        assert!(contained_in(&p, &loosen_axes(&p)), "{p} vs loosened");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Display output re-parses to the identical AST.
+#[test]
+fn display_parse_round_trip() {
+    let mut rng = SplitMix64::seed_from_u64(0x13);
+    for _ in 0..96 {
+        let p = random_path(&mut rng);
+        let printed = p.to_string();
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{printed}: {e}"));
+        assert_eq!(p, reparsed);
+    }
+}
 
-    /// XPath→SQL translation agrees with tree evaluation on generated
-    /// hospital documents, for workload queries drawn from the schema.
-    #[test]
-    fn sql_translation_matches_eval(seed in 0u64..500, qseed in 0u64..500) {
+/// Evaluation returns deduplicated, document-ordered results, and
+/// generalizations select supersets on real trees.
+#[test]
+fn eval_invariants() {
+    let mut rng = SplitMix64::seed_from_u64(0x14);
+    for _ in 0..96 {
+        let p = random_path(&mut rng);
+        let doc = random_document(&mut rng);
+        let r = eval(&doc, &p);
+        assert!(r.windows(2).all(|w| w[0] < w[1]), "sorted + unique for {p}");
+        let stripped = eval(&doc, &strip_predicates(&p));
+        assert!(is_subset(&r, &stripped), "{p} vs stripped");
+        let loosened = eval(&doc, &loosen_axes(&p));
+        assert!(is_subset(&r, &loosened), "{p} vs loosened");
+    }
+}
+
+/// The name-indexed evaluation of the native store agrees with the
+/// reference evaluation.
+#[test]
+fn indexed_eval_matches_reference() {
+    let mut rng = SplitMix64::seed_from_u64(0x15);
+    for _ in 0..96 {
+        let p = random_path(&mut rng);
+        let doc = random_document(&mut rng);
+        let sdoc = xac_xmlstore::StoredDocument::new(doc.clone());
+        assert_eq!(sdoc.eval(&p), eval(&doc, &p), "indexed eval differs for {p}");
+    }
+}
+
+/// XPath→SQL translation agrees with tree evaluation on generated
+/// hospital documents, for workload queries drawn from the schema.
+#[test]
+fn sql_translation_matches_eval() {
+    let mut rng = SplitMix64::seed_from_u64(0x16);
+    for _ in 0..24 {
+        let seed = rng.gen_range(0..500u64);
+        let qseed = rng.gen_range(0..500u64);
         let schema = xac_xmlgen::hospital_schema();
         let doc = xac_xmlgen::hospital_document(1, 12, seed);
         let mapping = xac_shrex::Mapping::derive(&schema).unwrap();
@@ -201,7 +204,7 @@ proptest! {
                 .collect();
             let sql = xac_shrex::translate(&q, &schema).unwrap();
             let got = db.query(&sql).unwrap().column_as_int_set(0);
-            prop_assert_eq!(got, expected, "mismatch for {} (seed {})", q, seed);
+            assert_eq!(got, expected, "mismatch for {q} (seed {seed})");
         }
     }
 }

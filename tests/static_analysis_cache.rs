@@ -1,0 +1,157 @@
+//! Correctness of the static-analysis memoization layer: the containment
+//! oracle must be a transparent cache over `contained_in`, and the
+//! precomputed `PolicyAnalysis` must reproduce the free-function trigger
+//! and re-annotation plans exactly.
+//!
+//! Property-style checks run on seeded randomized paths (in-repo
+//! [`xac_xmlgen::SplitMix64`], no external property-testing crate), so
+//! every run explores the same cases and failures reproduce.
+
+use xac_core::reannotator;
+use xac_policy::{trigger, DependencyGraph, PolicyAnalysis};
+use xac_xmlgen::{delete_updates, hospital_schema, xmark_schema, SplitMix64};
+use xac_xpath::{contained_in, Axis, ContainmentOracle, NodeTest, Path, Qualifier, Step};
+
+const LABELS: &[&str] = &["a", "b", "c", "d"];
+
+fn label(rng: &mut SplitMix64) -> &'static str {
+    LABELS[rng.gen_range(0..LABELS.len())]
+}
+
+fn random_step(rng: &mut SplitMix64) -> Step {
+    let axis = if rng.gen_bool(0.5) { Axis::Child } else { Axis::Descendant };
+    let test = if rng.gen_bool(0.75) {
+        NodeTest::Name(label(rng).to_string())
+    } else {
+        NodeTest::Wildcard
+    };
+    let predicates = (0..rng.gen_range(0..2usize))
+        .map(|_| Qualifier::Exists(Path::relative(vec![Step::child(label(rng))])))
+        .collect();
+    Step { axis, test, predicates }
+}
+
+fn random_path(rng: &mut SplitMix64) -> Path {
+    let steps = (0..rng.gen_range(1..4usize)).map(|_| random_step(rng)).collect();
+    Path::absolute(steps)
+}
+
+/// The oracle is a transparent cache: over hundreds of random ordered
+/// pairs, cached answers equal fresh `contained_in` calls — on first
+/// query (miss path) and on repeat query (hit path) alike.
+#[test]
+fn oracle_matches_fresh_containment_on_random_pairs() {
+    let mut rng = SplitMix64::seed_from_u64(0xCAFE);
+    let oracle = ContainmentOracle::new();
+    let mut pairs = Vec::new();
+    for _ in 0..192 {
+        let p = random_path(&mut rng);
+        let q = random_path(&mut rng);
+        let fresh = contained_in(&p, &q);
+        assert_eq!(oracle.contained_in(&p, &q), fresh, "miss path differs: {p} vs {q}");
+        pairs.push((p, q, fresh));
+    }
+    // Second sweep answers from the cache (stats prove it) and must not
+    // change a single verdict.
+    let misses_before = oracle.stats().misses;
+    for (p, q, fresh) in &pairs {
+        assert_eq!(oracle.contained_in(p, q), *fresh, "hit path differs: {p} vs {q}");
+    }
+    assert_eq!(oracle.stats().misses, misses_before, "second sweep recomputed");
+    assert!(oracle.stats().hits >= pairs.len() as u64);
+}
+
+/// Interning is by canonical form: structurally equal paths constructed
+/// separately share one id, so the pair cache stays dense under the
+/// repeated-parse pattern of real workloads.
+#[test]
+fn oracle_agrees_across_reparsed_paths() {
+    let mut rng = SplitMix64::seed_from_u64(0xBEEF);
+    let oracle = ContainmentOracle::new();
+    for _ in 0..64 {
+        let p = random_path(&mut rng);
+        let q = random_path(&mut rng);
+        let first = oracle.contained_in(&p, &q);
+        let (p2, q2) = (
+            xac_xpath::parse(&p.to_string()).unwrap(),
+            xac_xpath::parse(&q.to_string()).unwrap(),
+        );
+        assert_eq!(oracle.contained_in(&p2, &q2), first, "{p} vs {q} after reparse");
+    }
+    let stats = oracle.stats();
+    assert!(
+        stats.distinct_paths <= 2 * 64,
+        "reparsed paths interned separately: {} ids",
+        stats.distinct_paths
+    );
+}
+
+/// `PolicyAnalysis::trigger` must reproduce the free-function `trigger`
+/// rule-for-rule on the hospital workload, with and without the schema.
+#[test]
+fn policy_analysis_trigger_matches_free_trigger_on_hospital_workload() {
+    let schema = hospital_schema();
+    let policies = [
+        xac_policy::policy::hospital_policy(),
+        xac_policy::redundancy_elimination(&xac_policy::policy::hospital_policy()),
+    ];
+    let mut updates = delete_updates(&schema, 24, 13);
+    updates.push(xac_xpath::parse("//patient/treatment").unwrap());
+    updates.push(xac_xpath::parse("//staffinfo/staff").unwrap());
+    for policy in &policies {
+        let graph = DependencyGraph::build(policy);
+        for schema_opt in [None, Some(&schema)] {
+            let analysis = PolicyAnalysis::build(policy, schema_opt);
+            for u in &updates {
+                assert_eq!(
+                    analysis.trigger(u),
+                    trigger(policy, &graph, u, schema_opt),
+                    "trigger diverges on {u} (schema: {})",
+                    schema_opt.is_some()
+                );
+            }
+        }
+    }
+}
+
+/// Same equivalence on the larger XMark schema with a generated policy —
+/// the workload shape the Fig. 12 sweep actually runs.
+#[test]
+fn policy_analysis_trigger_matches_free_trigger_on_xmark() {
+    let schema = xmark_schema();
+    let doc = xac_xmlgen::xmark_document(xac_xmlgen::XmarkConfig::with_factor(0.001));
+    let policy = xac_xmlgen::coverage_policy(&doc, 0.5, 5);
+    let graph = DependencyGraph::build(&policy);
+    let analysis = PolicyAnalysis::build(&policy, Some(&schema));
+    for u in &delete_updates(&schema, 24, 29) {
+        assert_eq!(
+            analysis.trigger(u),
+            trigger(&policy, &graph, u, Some(&schema)),
+            "trigger diverges on {u}"
+        );
+    }
+}
+
+/// The re-annotation fast path: `plan_with_analysis` must produce the
+/// same plan (triggered rules, reset scopes, annotation query) as the
+/// per-call `plan`.
+#[test]
+fn plan_with_analysis_matches_plan() {
+    let schema = hospital_schema();
+    let policy = xac_policy::redundancy_elimination(&xac_policy::policy::hospital_policy());
+    let graph = DependencyGraph::build(&policy);
+    let analysis = PolicyAnalysis::build(&policy, Some(&schema));
+    let mut updates = delete_updates(&schema, 16, 41);
+    updates.push(xac_xpath::parse("//patient/treatment").unwrap());
+    for u in &updates {
+        let slow = reannotator::plan(&policy, &graph, u, Some(&schema));
+        let fast = reannotator::plan_with_analysis(&analysis, u);
+        assert_eq!(fast.triggered_ids(), slow.triggered_ids(), "{u}");
+        assert_eq!(
+            fast.scope.iter().map(Path::to_string).collect::<Vec<_>>(),
+            slow.scope.iter().map(Path::to_string).collect::<Vec<_>>(),
+            "{u}"
+        );
+        assert_eq!(format!("{:?}", fast.query), format!("{:?}", slow.query), "{u}");
+    }
+}
