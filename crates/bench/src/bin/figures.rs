@@ -47,6 +47,7 @@ fn main() {
         }
         "ablations" => ablations(),
         "annotate-modes" => annotate_modes(factors),
+        "serve" => serve(factors),
         "all" => {
             table3();
             table5(factors);
@@ -56,12 +57,13 @@ fn main() {
             let data = fig12(factors);
             summary(&data);
             annotate_modes(factors);
+            serve(factors);
             ablations();
         }
         other => {
             eprintln!(
                 "unknown artifact `{other}`; use \
-                 table3|table5|fig9|fig10|fig11|fig12|summary|ablations|annotate-modes|all"
+                 table3|table5|fig9|fig10|fig11|fig12|summary|ablations|annotate-modes|serve|all"
             );
             std::process::exit(2);
         }
@@ -509,9 +511,9 @@ fn ablation_optimizer() {
     use xac_xmlgen::{hospital_document, hospital_schema};
     let doc = hospital_document(4, 400, 7);
     let policy = hospital_policy();
-    let blind = xac_core::System::new(hospital_schema(), policy.clone(), doc.clone())
+    let blind = xac_core::System::builder(hospital_schema(), policy.clone(), doc.clone()).build()
         .expect("system");
-    let aware = xac_core::System::new_schema_aware(hospital_schema(), policy.clone(), doc)
+    let aware = xac_core::System::builder(hospital_schema(), policy.clone(), doc).schema_aware(true).build()
         .expect("system");
     let unopt_query = xac_policy::AnnotationQuery::from_policy(&policy);
 
@@ -626,11 +628,11 @@ fn ablation_trigger_schema() {
         updates.len()
     );
     // The hospital §5.3 example, explicitly:
-    let hsys = xac_core::System::new(
+    let hsys = xac_core::System::builder(
         xac_xmlgen::hospital_schema(),
         hospital_policy(),
         xac_xmlgen::figure2_document(),
-    )
+    ).build()
     .expect("system");
     let hgraph = xac_policy::DependencyGraph::build(hsys.policy());
     let u = xac_xpath::parse("//treatment").expect("parse");
@@ -668,7 +670,7 @@ fn ablation_prefix_scope() {
     .expect("policy parses");
     let doc = xac_xmlgen::xmark_document(xac_xmlgen::XmarkConfig::with_factor(0.01));
     let system =
-        xac_core::System::new(xmark_schema(), policy, doc).expect("system assembles");
+        xac_core::System::builder(xmark_schema(), policy, doc).build().expect("system assembles");
     let updates = delete_updates(&xmark_schema(), 30, 9);
     let mut backend = xac_core::NativeXmlBackend::new();
     let mut stale_raw = 0usize;
@@ -722,7 +724,7 @@ fn ablation_cam() {
     t.rule();
 
     let measure = |label: &str, policy: xac_policy::Policy| {
-        let system = xac_core::System::new(xmark_schema(), policy, doc.clone())
+        let system = xac_core::System::builder(xmark_schema(), policy, doc.clone()).build()
             .expect("system assembles");
         let mut b = xac_core::NativeXmlBackend::new();
         system.load(&mut b).expect("load");
@@ -756,4 +758,120 @@ fn ablation_cam() {
         .expect("policy parses"),
     );
     println!("(signs = the paper's materialized annotation writes; CAM = boundary\n entries of the compressed map — smaller only when accessibility is\n region-shaped)");
+}
+
+/// Serving-engine throughput: concurrent readers over epoch snapshots
+/// while a writer applies guarded deletes, per backend (the deployment
+/// shape the paper's evaluation implies). Emits `BENCH_serve.json` so
+/// the serving perf trajectory is tracked across revisions.
+fn serve(factors: &[f64]) {
+    use std::sync::Arc;
+    use xac_serve::{BackendKind, ServeEngine};
+
+    banner("Serving engine — concurrent epoch-snapshot reads under guarded updates");
+    const READERS: usize = 4;
+    const READS_PER_READER: usize = 400;
+    const UPDATES: usize = 12;
+
+    let t = TablePrinter::new(vec![8, 12, 10, 12, 10, 10, 9, 9, 8]);
+    t.row(&[
+        "factor".into(),
+        "backend".into(),
+        "reads/s".into(),
+        "mean µs".into(),
+        "p50 µs".into(),
+        "p99 µs".into(),
+        "applied".into(),
+        "denied".into(),
+        "epochs".into(),
+    ]);
+    t.rule();
+
+    let queries = query_workload(&xmark_schema(), WORKLOAD_SIZE, 99);
+    let updates = delete_updates(&xmark_schema(), UPDATES, 5);
+    let mut csv = String::from(
+        "factor,backend,readers,reads,reads_per_s,read_mean_us,read_p50_us,read_p99_us,\
+         updates_applied,updates_denied,epochs_published,full_fallbacks\n",
+    );
+    let mut json = String::from("[\n");
+    let mut first = true;
+
+    for &f in factors {
+        let system = Arc::new(xmark_system(f, 0.5, 1));
+        for kind in BackendKind::ALL {
+            let engine =
+                Arc::new(ServeEngine::for_kind(Arc::clone(&system), kind).expect("engine"));
+            let (_, wall) = time(|| {
+                std::thread::scope(|scope| {
+                    for reader in 0..READERS {
+                        let engine = Arc::clone(&engine);
+                        let queries = &queries;
+                        scope.spawn(move || {
+                            for i in 0..READS_PER_READER {
+                                engine.query(&queries[(i + reader) % queries.len()]);
+                            }
+                        });
+                    }
+                    for u in &updates {
+                        engine.guarded_delete(u).expect("guarded delete");
+                    }
+                });
+            });
+            let m = engine.metrics();
+            let reads_per_s = m.reads_issued() as f64 / wall.as_secs_f64().max(1e-9);
+            let name = engine.backend_name();
+            t.row(&[
+                format!("{f}"),
+                name.into(),
+                format!("{reads_per_s:.0}"),
+                format!("{:.1}", m.read_latency.mean_us()),
+                m.read_latency.quantile_us(0.5).to_string(),
+                m.read_latency.quantile_us(0.99).to_string(),
+                m.updates_applied.to_string(),
+                m.updates_denied.to_string(),
+                m.epochs_published.to_string(),
+            ]);
+            let _ = writeln!(
+                csv,
+                "{f},{name},{READERS},{},{reads_per_s},{},{},{},{},{},{},{}",
+                m.reads_issued(),
+                m.read_latency.mean_us(),
+                m.read_latency.quantile_us(0.5),
+                m.read_latency.quantile_us(0.99),
+                m.updates_applied,
+                m.updates_denied,
+                m.epochs_published,
+                m.full_fallbacks,
+            );
+            if !first {
+                json.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                json,
+                "  {{\"factor\": {f}, \"backend\": \"{name}\", \"readers\": {READERS}, \
+                 \"reads\": {}, \"reads_per_s\": {reads_per_s}, \
+                 \"read_mean_us\": {}, \"read_p50_us\": {}, \"read_p99_us\": {}, \
+                 \"updates_applied\": {}, \"updates_denied\": {}, \
+                 \"epochs_published\": {}, \"full_fallbacks\": {}}}",
+                m.reads_issued(),
+                m.read_latency.mean_us(),
+                m.read_latency.quantile_us(0.5),
+                m.read_latency.quantile_us(0.99),
+                m.updates_applied,
+                m.updates_denied,
+                m.epochs_published,
+                m.full_fallbacks,
+            );
+        }
+    }
+    json.push_str("\n]\n");
+    write_csv("serve.csv", &csv);
+    std::fs::write("BENCH_serve.json", &json).expect("write json");
+    println!("  [json -> BENCH_serve.json]");
+    println!(
+        "(reads run lock-free against the published epoch snapshot while the\n \
+         writer re-annotates; applied+denied reflects which of the {UPDATES} guarded\n \
+         deletes the access check allowed; epochs = snapshots published)"
+    );
 }

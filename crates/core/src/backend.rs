@@ -18,7 +18,8 @@
 
 use crate::document::PreparedDocument;
 use crate::error::{Error, Result};
-use std::collections::{BTreeSet, HashMap};
+use crate::snapshot::AccessSnapshot;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use xac_policy::{AnnotationQuery, Effect};
 use xac_reldb::{Database, StorageKind};
 use xac_shrex::{translate, Mapping, ShreddedDocument};
@@ -69,6 +70,25 @@ pub trait Backend {
     /// then apply the (triggered-rules) annotation query. Returns total
     /// sign writes.
     fn reannotate(&mut self, scope: &[Path], query: &AnnotationQuery) -> Result<usize>;
+
+    /// The backend's annotation epoch: a monotone counter bumped by every
+    /// state mutation (load, sign writes, resets, document updates).
+    /// Read-only operations never change it. Two observations with equal
+    /// epochs are guaranteed to have seen identical sign state.
+    fn epoch(&self) -> u64;
+
+    /// Publish an immutable [`AccessSnapshot`] of the current epoch:
+    /// the document (behind an element-name index) plus the accessible
+    /// node set. The snapshot answers requests with no further backend
+    /// involvement — the serving engine's read path.
+    fn snapshot(&mut self) -> Result<AccessSnapshot>;
+
+    /// The materialized sign state exactly as stored: storage id →
+    /// sign character. Relational backends report every live tuple;
+    /// the native store reports only the explicitly-annotated nodes
+    /// (its default-sign elision). Equivalence tests use this for
+    /// byte-identical comparisons across write paths and serving modes.
+    fn sign_state(&mut self) -> Result<BTreeMap<i64, char>>;
 }
 
 // ---------------------------------------------------------------------
@@ -90,6 +110,39 @@ pub enum AnnotateMode {
     /// overhead — an extension over the paper, reported separately by the
     /// `figures annotate-modes` benchmark.
     Batched,
+}
+
+impl AnnotateMode {
+    /// The accepted command-line spellings, in [`AnnotateMode::parse`]
+    /// order.
+    pub const VALID_NAMES: [&'static str; 2] = ["paper", "batched"];
+
+    /// Parse a command-line spelling. Unknown input yields the
+    /// structured [`Error::UnknownAnnotateMode`] so callers can report
+    /// the valid modes instead of string-matching the message.
+    pub fn parse(input: &str) -> Result<AnnotateMode> {
+        match input {
+            "paper" => Ok(AnnotateMode::PaperFaithful),
+            "batched" => Ok(AnnotateMode::Batched),
+            other => Err(Error::UnknownAnnotateMode(other.to_string())),
+        }
+    }
+
+    /// The canonical command-line spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnnotateMode::PaperFaithful => "paper",
+            AnnotateMode::Batched => "batched",
+        }
+    }
+}
+
+impl std::str::FromStr for AnnotateMode {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<AnnotateMode> {
+        AnnotateMode::parse(s)
+    }
 }
 
 struct RelationalState {
@@ -115,6 +168,8 @@ pub struct RelationalBackend {
     /// Accessible-id set cached per annotation epoch; any sign write or
     /// document mutation invalidates it.
     accessible_cache: Option<BTreeSet<i64>>,
+    /// Monotone annotation epoch; see [`Backend::epoch`].
+    epoch: u64,
 }
 
 impl RelationalBackend {
@@ -127,6 +182,21 @@ impl RelationalBackend {
             state: None,
             mode: AnnotateMode::default(),
             accessible_cache: None,
+            epoch: 0,
+        }
+    }
+
+    /// Record a state mutation: bump the epoch and drop the cached
+    /// accessible set, which the mutation may have invalidated.
+    fn mutated(&mut self) {
+        self.epoch += 1;
+        self.accessible_cache = None;
+    }
+
+    fn static_name(kind: StorageKind) -> &'static str {
+        match kind {
+            StorageKind::Row => "relational/row",
+            StorageKind::Column => "relational/column",
         }
     }
 
@@ -165,7 +235,7 @@ impl RelationalBackend {
     fn state(&self) -> Result<&RelationalState> {
         self.state
             .as_ref()
-            .ok_or_else(|| Error::System("relational backend has no document loaded".into()))
+            .ok_or(Error::BackendNotLoaded { backend: Self::static_name(self.kind) })
     }
 
     /// Render an annotation query as one SQL statement — the paper's
@@ -203,7 +273,7 @@ impl RelationalBackend {
     /// tests can measure the write path in isolation from annotation-query
     /// evaluation (which is mode-independent and dominates `annotate`).
     pub fn write_signs(&mut self, targets: &BTreeSet<i64>, sign: char) -> Result<usize> {
-        self.accessible_cache = None;
+        self.mutated();
         let tables: Vec<String> =
             self.state()?.mapping.tables().iter().map(|t| t.name.clone()).collect();
         let mut updated = 0usize;
@@ -314,7 +384,7 @@ impl Backend for RelationalBackend {
         db.execute_script(&prepared.ddl)?;
         db.execute_script(&prepared.sql_text)?;
         self.db = db;
-        self.accessible_cache = None;
+        self.mutated();
         let table_index: HashMap<&str, usize> = prepared
             .mapping
             .tables()
@@ -349,7 +419,7 @@ impl Backend for RelationalBackend {
     }
 
     fn reset_annotations(&mut self) -> Result<usize> {
-        self.accessible_cache = None;
+        self.mutated();
         let state = self.state()?;
         let default = state.default_sign;
         let tables: Vec<String> =
@@ -392,7 +462,7 @@ impl Backend for RelationalBackend {
     }
 
     fn delete(&mut self, path: &Path) -> Result<usize> {
-        self.accessible_cache = None;
+        self.mutated();
         // Structure lives in the mapping layer's copy of the tree; rows are
         // removed tuple by tuple through SQL point deletes on the id index.
         let targets = {
@@ -427,7 +497,7 @@ impl Backend for RelationalBackend {
     }
 
     fn insert(&mut self, parent_path: &Path, name: &str, text: Option<&str>) -> Result<usize> {
-        self.accessible_cache = None;
+        self.mutated();
         let parents = {
             let state = self.state()?;
             if !state.mapping.schema().contains(name) {
@@ -493,6 +563,34 @@ impl Backend for RelationalBackend {
         let annotated = self.annotate(query)?;
         Ok(reset + annotated)
     }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn snapshot(&mut self) -> Result<AccessSnapshot> {
+        let epoch = self.epoch;
+        let ids = self.accessible_ids_cached()?.clone();
+        let state = self.state()?;
+        // Node ids survive the document clone unchanged (the arena is
+        // copied slot for slot), so membership can be decided here and
+        // used against the snapshot's own tree.
+        let accessible: BTreeSet<xac_xml::NodeId> = state
+            .doc
+            .all_elements()
+            .filter(|&n| state.shredded.id_of(n).is_some_and(|id| ids.contains(&id)))
+            .collect();
+        Ok(AccessSnapshot::new(
+            epoch,
+            Self::static_name(self.kind),
+            StoredDocument::new(state.doc.clone()),
+            accessible,
+        ))
+    }
+
+    fn sign_state(&mut self) -> Result<BTreeMap<i64, char>> {
+        self.sign_map()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -504,24 +602,29 @@ impl Backend for RelationalBackend {
 pub struct NativeXmlBackend {
     sdoc: Option<StoredDocument>,
     default_sign: char,
+    /// Monotone annotation epoch; see [`Backend::epoch`].
+    epoch: u64,
 }
 
 impl NativeXmlBackend {
     /// An empty native backend.
     pub fn new() -> NativeXmlBackend {
-        NativeXmlBackend { sdoc: None, default_sign: '-' }
+        NativeXmlBackend { sdoc: None, default_sign: '-', epoch: 0 }
     }
 
     fn sdoc(&self) -> Result<&StoredDocument> {
         self.sdoc
             .as_ref()
-            .ok_or_else(|| Error::System("native backend has no document loaded".into()))
+            .ok_or(Error::BackendNotLoaded { backend: "native/xml" })
     }
 
+    /// Mutable access to the store; every caller is a state mutation,
+    /// so the epoch advances here.
     fn sdoc_mut(&mut self) -> Result<&mut StoredDocument> {
+        self.epoch += 1;
         self.sdoc
             .as_mut()
-            .ok_or_else(|| Error::System("native backend has no document loaded".into()))
+            .ok_or(Error::BackendNotLoaded { backend: "native/xml" })
     }
 
     /// The stored document (for inspection in tests and examples).
@@ -564,6 +667,7 @@ impl Backend for NativeXmlBackend {
         let doc = Document::parse_str(&prepared.xml_text)?;
         self.sdoc = Some(StoredDocument::new(doc));
         self.default_sign = prepared.default_sign;
+        self.epoch += 1;
         Ok(())
     }
 
@@ -631,6 +735,39 @@ impl Backend for NativeXmlBackend {
         let reset = sdoc.clear_signs(scope_nodes);
         let annotated = self.annotate(query)?;
         Ok(reset + annotated)
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn snapshot(&mut self) -> Result<AccessSnapshot> {
+        let epoch = self.epoch;
+        let default_accessible = self.default_sign == '+';
+        let sdoc = self.sdoc()?;
+        let accessible: BTreeSet<xac_xml::NodeId> = sdoc
+            .doc()
+            .all_elements()
+            .filter(|&n| match sdoc.sign_of(n) {
+                Some(sign) => sign == '+',
+                None => default_accessible,
+            })
+            .collect();
+        Ok(AccessSnapshot::new(
+            epoch,
+            "native/xml",
+            StoredDocument::new(sdoc.doc().clone()),
+            accessible,
+        ))
+    }
+
+    fn sign_state(&mut self) -> Result<BTreeMap<i64, char>> {
+        let sdoc = self.sdoc()?;
+        Ok(sdoc
+            .doc()
+            .all_elements()
+            .filter_map(|n| sdoc.sign_of(n).map(|s| (n.index() as i64, s)))
+            .collect())
     }
 }
 

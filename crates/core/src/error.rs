@@ -3,7 +3,13 @@
 use std::fmt;
 
 /// Errors surfaced by the system and its backends.
+///
+/// The enum is `#[non_exhaustive]`: downstream crates (the serving
+/// engine, the CLI) match on the variants they can act on and must keep
+/// a wildcard arm, so new structured variants can be added without a
+/// breaking release.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Error {
     /// XML substrate failure.
     Xml(String),
@@ -17,22 +23,39 @@ pub enum Error {
     Shrex(String),
     /// Native store failure.
     Store(String),
-    /// System-level misuse (backend not loaded, …).
+    /// An operation needed a loaded document but the backend has none.
+    /// `backend` is the backend's [`crate::Backend::name`].
+    BackendNotLoaded {
+        /// Name of the backend that was driven while empty.
+        backend: &'static str,
+    },
+    /// An annotation write mode string did not name a known mode.
+    /// Carries the rejected input; valid spellings are listed by
+    /// [`crate::AnnotateMode::VALID_NAMES`].
+    UnknownAnnotateMode(String),
+    /// System-level misuse not covered by a structured variant.
     System(String),
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let (kind, msg) = match self {
-            Error::Xml(m) => ("xml", m),
-            Error::XPath(m) => ("xpath", m),
-            Error::Policy(m) => ("policy", m),
-            Error::Relational(m) => ("relational", m),
-            Error::Shrex(m) => ("shrex", m),
-            Error::Store(m) => ("store", m),
-            Error::System(m) => ("system", m),
-        };
-        write!(f, "{kind} error: {msg}")
+        match self {
+            Error::Xml(m) => write!(f, "xml error: {m}"),
+            Error::XPath(m) => write!(f, "xpath error: {m}"),
+            Error::Policy(m) => write!(f, "policy error: {m}"),
+            Error::Relational(m) => write!(f, "relational error: {m}"),
+            Error::Shrex(m) => write!(f, "shrex error: {m}"),
+            Error::Store(m) => write!(f, "store error: {m}"),
+            Error::BackendNotLoaded { backend } => {
+                write!(f, "system error: backend `{backend}` has no document loaded")
+            }
+            Error::UnknownAnnotateMode(input) => write!(
+                f,
+                "system error: unknown annotate mode `{input}` (valid modes: {})",
+                crate::backend::AnnotateMode::VALID_NAMES.join(", ")
+            ),
+            Error::System(m) => write!(f, "system error: {m}"),
+        }
     }
 }
 

@@ -35,7 +35,7 @@
 //!     "<hospital><dept><patients>\
 //!      <patient><psn>1</psn><name>a</name></patient>\
 //!      </patients><staffinfo/></dept></hospital>").unwrap();
-//! let system = System::new(schema, hospital_policy(), doc).unwrap();
+//! let system = System::builder(schema, hospital_policy(), doc).build().unwrap();
 //! let mut backend = NativeXmlBackend::new();
 //! system.load(&mut backend).unwrap();
 //! system.annotate(&mut backend).unwrap();
@@ -51,6 +51,7 @@ pub mod error;
 pub mod optimizer;
 pub mod reannotator;
 pub mod requester;
+pub mod snapshot;
 pub mod system;
 pub mod timing;
 pub mod view;
@@ -60,7 +61,8 @@ pub use document::PreparedDocument;
 pub use error::{Error, Result};
 pub use reannotator::ReannotationPlan;
 pub use requester::Decision;
-pub use system::{GuardedUpdate, System, UpdateOutcome};
+pub use snapshot::AccessSnapshot;
+pub use system::{GuardedUpdate, System, SystemBuilder, UpdateOutcome};
 pub use timing::time;
 pub use view::{security_view, ViewMode};
 

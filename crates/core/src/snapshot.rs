@@ -1,0 +1,172 @@
+//! Epoch-stamped accessibility snapshots.
+//!
+//! PR 1 cached the relational accessible-id set *inside* the backend,
+//! invalidated on every sign write. This module lifts that idea into a
+//! first-class, **immutable** artifact a backend can publish: the
+//! document tree (behind the native store's element-name index) plus
+//! the set of accessible nodes, stamped with the backend's annotation
+//! epoch. Because a snapshot never changes after construction, any
+//! number of threads can answer requests against it through `&self`
+//! with no locking at all — the basis of the `xac-serve` engine, where
+//! readers keep serving an old epoch while the writer re-annotates and
+//! publishes the next one.
+
+use crate::error::Result;
+use crate::requester::Decision;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use xac_xml::NodeId;
+use xac_xmlstore::StoredDocument;
+use xac_xpath::Path;
+
+/// One published accessibility state: everything needed to answer
+/// read-only requests (`query`, `accessible_count`) without touching
+/// the backend that produced it.
+///
+/// Construction is the backend's job ([`crate::Backend::snapshot`]);
+/// the snapshot itself is plain immutable data and therefore
+/// `Send + Sync` for free.
+#[derive(Debug, Clone)]
+pub struct AccessSnapshot {
+    epoch: u64,
+    backend: &'static str,
+    store: Arc<StoredDocument>,
+    accessible: Arc<BTreeSet<NodeId>>,
+}
+
+impl AccessSnapshot {
+    /// Assemble a snapshot (backends call this; see
+    /// [`crate::Backend::snapshot`]).
+    pub fn new(
+        epoch: u64,
+        backend: &'static str,
+        store: StoredDocument,
+        accessible: BTreeSet<NodeId>,
+    ) -> AccessSnapshot {
+        AccessSnapshot {
+            epoch,
+            backend,
+            store: Arc::new(store),
+            accessible: Arc::new(accessible),
+        }
+    }
+
+    /// The backend annotation epoch this snapshot was taken at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Name of the backend that produced the snapshot.
+    pub fn backend(&self) -> &'static str {
+        self.backend
+    }
+
+    /// Answer a user request against this snapshot with the paper's
+    /// all-or-nothing semantics (§4), exactly like
+    /// [`crate::requester::request`] against a live backend.
+    pub fn query(&self, path: &Path) -> Decision {
+        let nodes = self.store.eval(path);
+        let allowed = nodes.iter().all(|n| self.accessible.contains(n));
+        if allowed {
+            Decision::Granted { nodes: nodes.len() }
+        } else {
+            Decision::Denied { nodes: nodes.len() }
+        }
+    }
+
+    /// Parse and answer a user request.
+    pub fn query_str(&self, query: &str) -> Result<Decision> {
+        let path = xac_xpath::parse(query)?;
+        Ok(self.query(&path))
+    }
+
+    /// Number of accessible nodes at this epoch.
+    pub fn accessible_count(&self) -> usize {
+        self.accessible.len()
+    }
+
+    /// Number of element nodes in the snapshot document.
+    pub fn element_count(&self) -> usize {
+        self.store.doc().element_count()
+    }
+
+    /// The accessible node set (node ids are in the snapshot document's
+    /// arena space).
+    pub fn accessible(&self) -> &BTreeSet<NodeId> {
+        &self.accessible
+    }
+
+    /// The snapshot document behind its element-name index.
+    pub fn store(&self) -> &StoredDocument {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::backend::{Backend, NativeXmlBackend, RelationalBackend};
+    use crate::document::PreparedDocument;
+    use xac_policy::policy::hospital_policy;
+    use xac_policy::AnnotationQuery;
+    use xac_xml::Document;
+
+    fn prepared() -> PreparedDocument {
+        let schema = crate::hospital_schema_for_docs();
+        let doc = Document::parse_str(
+            "<hospital><dept><patients>\
+             <patient><psn>1</psn><name>a</name>\
+             <treatment><regular><med>m</med><bill>1</bill></regular></treatment></patient>\
+             <patient><psn>2</psn><name>b</name></patient>\
+             </patients><staffinfo/></dept></hospital>",
+        )
+        .unwrap();
+        PreparedDocument::prepare(&schema, doc, '-').unwrap()
+    }
+
+    #[test]
+    fn snapshot_agrees_with_live_backend_on_all_backends() {
+        let p = prepared();
+        let q = AnnotationQuery::from_policy(&hospital_policy());
+        let backends: Vec<Box<dyn Backend>> = vec![
+            Box::new(RelationalBackend::row()),
+            Box::new(RelationalBackend::column()),
+            Box::new(NativeXmlBackend::new()),
+        ];
+        for mut b in backends {
+            b.load(&p).unwrap();
+            b.annotate(&q).unwrap();
+            let snap = b.snapshot().unwrap();
+            assert_eq!(snap.backend(), b.name());
+            assert_eq!(snap.epoch(), b.epoch());
+            assert_eq!(snap.accessible_count(), b.accessible_count().unwrap(), "{}", b.name());
+            for query in ["//patient/name", "//patient", "//regular", "//med", "//none"] {
+                let path = xac_xpath::parse(query).unwrap();
+                let (nodes, allowed) = b.query_nodes_allowed(&path).unwrap();
+                let d = snap.query(&path);
+                assert_eq!(d.node_count(), nodes, "{}: {query}", b.name());
+                assert_eq!(d.granted(), allowed, "{}: {query}", b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_is_immutable_under_backend_mutation() {
+        let p = prepared();
+        let q = AnnotationQuery::from_policy(&hospital_policy());
+        let mut b = NativeXmlBackend::new();
+        b.load(&p).unwrap();
+        b.annotate(&q).unwrap();
+        let snap = b.snapshot().unwrap();
+        let before = snap.accessible_count();
+        b.reset_annotations().unwrap();
+        assert_eq!(b.accessible_count().unwrap(), 0);
+        assert_eq!(snap.accessible_count(), before, "published snapshot unaffected");
+        assert!(b.epoch() > snap.epoch(), "backend moved to a later epoch");
+    }
+
+    #[test]
+    fn snapshot_errors_when_unloaded() {
+        assert!(NativeXmlBackend::new().snapshot().is_err());
+        assert!(RelationalBackend::row().snapshot().is_err());
+    }
+}

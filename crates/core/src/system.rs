@@ -2,7 +2,7 @@
 //! driving any number of storage backends.
 
 use crate::annotator;
-use crate::backend::Backend;
+use crate::backend::{AnnotateMode, Backend};
 use crate::document::PreparedDocument;
 use crate::error::Result;
 use crate::optimizer;
@@ -47,43 +47,65 @@ impl GuardedUpdate {
     }
 }
 
-/// One configured xmlac deployment: a schema, an (optimized) policy, and
-/// a prepared document that any backend can load.
-pub struct System {
+/// Staged construction of a [`System`].
+///
+/// Obtained from [`System::builder`]; every knob has a default matching
+/// the paper's published configuration (schema-blind containment,
+/// paper-faithful sign writes), so
+/// `System::builder(schema, policy, doc).build()` is the baseline and
+/// each extension is opted into explicitly:
+///
+/// ```
+/// use xac_core::{AnnotateMode, System};
+/// use xac_policy::policy::hospital_policy;
+///
+/// let schema = xac_core::hospital_schema_for_docs();
+/// let doc = xac_xml::Document::parse_str(
+///     "<hospital><dept><patients>\
+///      <patient><psn>1</psn><name>a</name></patient>\
+///      </patients><staffinfo/></dept></hospital>").unwrap();
+/// let system = System::builder(schema, hospital_policy(), doc)
+///     .schema_aware(true)
+///     .annotate_mode(AnnotateMode::Batched)
+///     .build()
+///     .unwrap();
+/// assert_eq!(system.annotate_mode(), AnnotateMode::Batched);
+/// ```
+#[must_use = "a builder does nothing until .build() is called"]
+pub struct SystemBuilder {
     schema: Schema,
-    original_policy: Policy,
     policy: Policy,
-    analysis: PolicyAnalysis,
-    prepared: PreparedDocument,
+    doc: Document,
+    schema_aware: bool,
+    annotate_mode: AnnotateMode,
 }
 
-impl System {
-    /// Assemble a system. The document is validated against the schema,
-    /// the policy is optimized (Fig. 4), the dependency graph is built
-    /// (Fig. 7), and the document is prepared for loading (shredded SQL +
-    /// serialized XML).
-    ///
-    /// Containment tests are schema-blind, exactly as published; see
-    /// [`System::new_schema_aware`] for the §8 extension.
-    pub fn new(schema: Schema, policy: Policy, doc: Document) -> Result<System> {
-        Self::assemble(schema, policy, doc, false)
+impl SystemBuilder {
+    /// Use *schema-aware* containment for both the optimizer and the
+    /// dependency graph — the paper's §8 future-work item. This can
+    /// eliminate more rules than Table 3 (e.g. under the hospital
+    /// schema, R5 ⊑ R3 because every `experimental` lives inside a
+    /// `treatment`) without changing the enforced semantics.
+    pub fn schema_aware(mut self, yes: bool) -> SystemBuilder {
+        self.schema_aware = yes;
+        self
     }
 
-    /// Assemble a system using *schema-aware* containment for both the
-    /// optimizer and the dependency graph — the paper's §8 future-work
-    /// item. This can eliminate more rules than Table 3 (e.g. under the
-    /// hospital schema, R5 ⊑ R3 because every `experimental` lives inside
-    /// a `treatment`) without changing the enforced semantics.
-    pub fn new_schema_aware(schema: Schema, policy: Policy, doc: Document) -> Result<System> {
-        Self::assemble(schema, policy, doc, true)
+    /// The annotation write mode relational backends driven by this
+    /// system should use (see [`AnnotateMode`]). The system records the
+    /// preference ([`System::annotate_mode`]); components that construct
+    /// backends — the CLI, the serving engine — read it from here.
+    pub fn annotate_mode(mut self, mode: AnnotateMode) -> SystemBuilder {
+        self.annotate_mode = mode;
+        self
     }
 
-    fn assemble(
-        schema: Schema,
-        policy: Policy,
-        doc: Document,
-        schema_aware: bool,
-    ) -> Result<System> {
+    /// Assemble the system: the document is validated against the
+    /// schema, the policy is optimized (Fig. 4), the dependency graph is
+    /// built (Fig. 7), and the document is prepared for loading
+    /// (shredded SQL + serialized XML).
+    pub fn build(self) -> Result<System> {
+        let SystemBuilder { schema, policy, doc, schema_aware, annotate_mode } = self;
         schema.validate(&doc)?;
         let report = if schema_aware {
             optimizer::optimize_with_schema(&policy, &schema)
@@ -103,7 +125,54 @@ impl System {
             DefaultSemantics::Deny => '-',
         };
         let prepared = PreparedDocument::prepare(&schema, doc, default_sign)?;
-        Ok(System { schema, original_policy: policy, policy: optimized, analysis, prepared })
+        Ok(System {
+            schema,
+            original_policy: policy,
+            policy: optimized,
+            analysis,
+            prepared,
+            annotate_mode,
+        })
+    }
+}
+
+/// One configured xmlac deployment: a schema, an (optimized) policy, and
+/// a prepared document that any backend can load.
+pub struct System {
+    schema: Schema,
+    original_policy: Policy,
+    policy: Policy,
+    analysis: PolicyAnalysis,
+    prepared: PreparedDocument,
+    annotate_mode: AnnotateMode,
+}
+
+impl System {
+    /// Start building a system from its three ingredients. All other
+    /// configuration happens on the returned [`SystemBuilder`].
+    pub fn builder(schema: Schema, policy: Policy, doc: Document) -> SystemBuilder {
+        SystemBuilder {
+            schema,
+            policy,
+            doc,
+            schema_aware: false,
+            annotate_mode: AnnotateMode::default(),
+        }
+    }
+
+    /// Assemble a system with the default (paper-faithful) configuration.
+    #[deprecated(since = "0.1.0", note = "use `System::builder(schema, policy, doc).build()`")]
+    pub fn new(schema: Schema, policy: Policy, doc: Document) -> Result<System> {
+        Self::builder(schema, policy, doc).build()
+    }
+
+    /// Assemble a system using schema-aware containment.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `System::builder(schema, policy, doc).schema_aware(true).build()`"
+    )]
+    pub fn new_schema_aware(schema: Schema, policy: Policy, doc: Document) -> Result<System> {
+        Self::builder(schema, policy, doc).schema_aware(true).build()
     }
 
     /// The XML schema.
@@ -135,6 +204,13 @@ impl System {
     /// The prepared document (load artifacts and sizes).
     pub fn prepared(&self) -> &PreparedDocument {
         &self.prepared
+    }
+
+    /// The annotation write mode configured at build time. Components
+    /// that construct relational backends for this system (the CLI, the
+    /// serving engine) honour this preference.
+    pub fn annotate_mode(&self) -> AnnotateMode {
+        self.annotate_mode
     }
 
     /// Load the prepared document into a backend.
@@ -272,7 +348,9 @@ mod tests {
     }
 
     fn system() -> System {
-        System::new(crate::hospital_schema_for_docs(), hospital_policy(), figure2()).unwrap()
+        System::builder(crate::hospital_schema_for_docs(), hospital_policy(), figure2())
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -283,12 +361,44 @@ mod tests {
     }
 
     #[test]
-    fn schema_aware_construction_eliminates_r5() {
-        let s = System::new_schema_aware(
+    fn deprecated_constructors_still_assemble() {
+        // The pre-builder API stays as thin wrappers; equivalence with
+        // the builder keeps old downstream code working.
+        #[allow(deprecated)]
+        let old = System::new(crate::hospital_schema_for_docs(), hospital_policy(), figure2())
+            .unwrap();
+        let new = system();
+        assert_eq!(old.policy().len(), new.policy().len());
+        assert_eq!(old.reference_accessible(), new.reference_accessible());
+        #[allow(deprecated)]
+        let old_aware = System::new_schema_aware(
             crate::hospital_schema_for_docs(),
             hospital_policy(),
             figure2(),
         )
+        .unwrap();
+        assert_eq!(old_aware.reference_accessible(), new.reference_accessible());
+    }
+
+    #[test]
+    fn builder_records_annotate_mode() {
+        let s = System::builder(crate::hospital_schema_for_docs(), hospital_policy(), figure2())
+            .annotate_mode(crate::AnnotateMode::Batched)
+            .build()
+            .unwrap();
+        assert_eq!(s.annotate_mode(), crate::AnnotateMode::Batched);
+        assert_eq!(system().annotate_mode(), crate::AnnotateMode::PaperFaithful);
+    }
+
+    #[test]
+    fn schema_aware_construction_eliminates_r5() {
+        let s = System::builder(
+            crate::hospital_schema_for_docs(),
+            hospital_policy(),
+            figure2(),
+        )
+        .schema_aware(true)
+        .build()
         .unwrap();
         let ids: Vec<&str> = s.policy().rules.iter().map(|r| r.id.as_str()).collect();
         assert_eq!(ids, vec!["R1", "R2", "R3", "R6"], "R5 ⊑ R3 under the schema");
@@ -309,7 +419,9 @@ mod tests {
     #[test]
     fn rejects_invalid_documents() {
         let bad = Document::parse_str("<hospital><bogus/></hospital>").unwrap();
-        assert!(System::new(crate::hospital_schema_for_docs(), hospital_policy(), bad).is_err());
+        assert!(System::builder(crate::hospital_schema_for_docs(), hospital_policy(), bad)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! `xmlac` — command-line front end to the access-control system.
 //!
 //! ```text
-//! xmlac check    --schema h.dtd --doc d.xml
-//! xmlac optimize --policy p.pol [--schema h.dtd]
-//! xmlac shred    --schema h.dtd --doc d.xml [--out d.sql]
-//! xmlac annotate --schema h.dtd --policy p.pol --doc d.xml [--backend native|row|column]
-//! xmlac query    --schema h.dtd --policy p.pol --doc d.xml --query "//patient" [...]
-//! xmlac update   --schema h.dtd --policy p.pol --doc d.xml --delete "//treatment" [--query "//patient"]
+//! xmlac check       --schema h.dtd --doc d.xml
+//! xmlac optimize    --policy p.pol [--schema h.dtd]
+//! xmlac shred       --schema h.dtd --doc d.xml [--out d.sql]
+//! xmlac annotate    --schema h.dtd --policy p.pol --doc d.xml [--backend native|row|column]
+//! xmlac query       --schema h.dtd --policy p.pol --doc d.xml --query "//patient" [...]
+//! xmlac update      --schema h.dtd --policy p.pol --doc d.xml --delete "//treatment" [--query "//patient"]
+//! xmlac serve-bench --schema h.dtd --policy p.pol --doc d.xml --query "//patient/name" \
+//!                   [--readers 4] [--reads 200] [--delete XPATH]
 //! ```
 //!
 //! Schemas are DTD files (the Figure 1 subset), policies use the
@@ -14,8 +16,10 @@
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
-use xac_core::{AnnotateMode, Backend, NativeXmlBackend, RelationalBackend, System};
+use std::sync::Arc;
+use xac_core::{AnnotateMode, Backend, System};
 use xac_policy::Policy;
+use xac_serve::{BackendKind, ServeEngine};
 use xac_xml::{parse_dtd, Document, Schema};
 
 fn main() -> ExitCode {
@@ -60,11 +64,11 @@ fn parse_args() -> CliResult<Args> {
 }
 
 fn usage() -> String {
-    "usage: xmlac <check|optimize|shred|annotate|query|update|view|audit> \
+    "usage: xmlac <check|optimize|shred|annotate|query|update|view|audit|serve-bench> \
      [--schema F] [--policy F] [--doc F] [--backend native|row|column] \
      [--annotate-mode paper|batched] \
      [--query XPATH]... [--delete XPATH] [--insert PARENT:NAME[:TEXT]] \
-     [--mode prune|promote] [--out F]"
+     [--mode prune|promote] [--readers N] [--reads N] [--out F]"
         .to_string()
 }
 
@@ -98,32 +102,36 @@ impl Args {
     }
 
     fn annotate_mode(&self) -> CliResult<AnnotateMode> {
-        match self
-            .options
-            .get("annotate-mode")
-            .map(String::as_str)
-            .unwrap_or("paper")
-        {
-            "paper" => Ok(AnnotateMode::PaperFaithful),
-            "batched" => Ok(AnnotateMode::Batched),
-            other => Err(format!("unknown annotate mode `{other}` (paper|batched)")),
+        match self.options.get("annotate-mode") {
+            None => Ok(AnnotateMode::default()),
+            // The structured core error lists the valid modes.
+            Some(value) => AnnotateMode::parse(value).map_err(|e| e.to_string()),
         }
     }
 
-    fn backend(&self) -> CliResult<Box<dyn Backend>> {
-        let mode = self.annotate_mode()?;
-        match self.options.get("backend").map(String::as_str).unwrap_or("native") {
-            "native" => Ok(Box::new(NativeXmlBackend::new())),
-            "row" => Ok(Box::new(RelationalBackend::with_mode(
-                xac_reldb::StorageKind::Row,
-                mode,
-            ))),
-            "column" => Ok(Box::new(RelationalBackend::with_mode(
-                xac_reldb::StorageKind::Column,
-                mode,
-            ))),
-            other => Err(format!("unknown backend `{other}` (native|row|column)")),
+    fn backend_kind(&self) -> CliResult<BackendKind> {
+        let spelling = self.options.get("backend").map(String::as_str).unwrap_or("native");
+        BackendKind::parse(spelling).map_err(|e| e.to_string())
+    }
+
+    fn backend(&self) -> CliResult<Box<dyn Backend + Send>> {
+        Ok(self.backend_kind()?.make(self.annotate_mode()?))
+    }
+
+    fn count(&self, key: &str, default: usize) -> CliResult<usize> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} needs a positive integer, found `{v}`")),
         }
+    }
+
+    fn build_system(&self) -> CliResult<System> {
+        System::builder(self.schema()?, self.policy()?, self.doc()?)
+            .annotate_mode(self.annotate_mode()?)
+            .build()
+            .map_err(|e| e.to_string())
     }
 }
 
@@ -138,6 +146,7 @@ fn run() -> CliResult<()> {
         "update" => update(&args),
         "view" => view(&args),
         "audit" => audit(&args),
+        "serve-bench" => serve_bench(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -191,9 +200,8 @@ fn shred(args: &Args) -> CliResult<()> {
     Ok(())
 }
 
-fn build_system(args: &Args) -> CliResult<(System, Box<dyn Backend>)> {
-    let system = System::new(args.schema()?, args.policy()?, args.doc()?)
-        .map_err(|e| e.to_string())?;
+fn build_system(args: &Args) -> CliResult<(System, Box<dyn Backend + Send>)> {
+    let system = args.build_system()?;
     let mut backend = args.backend()?;
     system.load(backend.as_mut()).map_err(|e| e.to_string())?;
     system.annotate(backend.as_mut()).map_err(|e| e.to_string())?;
@@ -289,8 +297,7 @@ fn update(args: &Args) -> CliResult<()> {
 }
 
 fn view(args: &Args) -> CliResult<()> {
-    let system = System::new(args.schema()?, args.policy()?, args.doc()?)
-        .map_err(|e| e.to_string())?;
+    let system = args.build_system()?;
     let mode = match args.options.get("mode").map(String::as_str).unwrap_or("prune") {
         "prune" => xac_core::ViewMode::Prune,
         "promote" => xac_core::ViewMode::Promote,
@@ -333,5 +340,57 @@ fn audit(args: &Args) -> CliResult<()> {
     if !report.dead_rules().is_empty() {
         println!("dead on this document: {}", report.dead_rules().join(", "));
     }
+    Ok(())
+}
+
+/// Drive the serving engine: N reader threads issue the given queries
+/// against published snapshots while this thread applies guarded
+/// updates, then report the engine's metrics.
+fn serve_bench(args: &Args) -> CliResult<()> {
+    if args.queries.is_empty() {
+        return Err(format!("serve-bench needs at least one --query\n{}", usage()));
+    }
+    let system = Arc::new(args.build_system()?);
+    let kind = args.backend_kind()?;
+    let engine =
+        Arc::new(ServeEngine::for_kind(system, kind).map_err(|e| e.to_string())?);
+    let readers = args.count("readers", 4)?;
+    let reads = args.count("reads", 200)?;
+    let paths: Vec<xac_xpath::Path> = args
+        .queries
+        .iter()
+        .map(|q| xac_xpath::parse(q).map_err(|e| format!("--query `{q}`: {e}")))
+        .collect::<CliResult<_>>()?;
+    let delete = match args.options.get("delete") {
+        Some(expr) => Some(xac_xpath::parse(expr).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..readers {
+            let engine = Arc::clone(&engine);
+            let paths = &paths;
+            scope.spawn(move || {
+                for i in 0..reads {
+                    engine.query(&paths[i % paths.len()]);
+                }
+            });
+        }
+        if let Some(update) = &delete {
+            let g = engine.guarded_delete(update).map_err(|e| e.to_string())?;
+            println!(
+                "writer: guarded delete {} at epoch {}",
+                if g.applied() { "applied" } else { "denied" },
+                engine.epoch()
+            );
+        }
+        Ok::<(), String>(())
+    })?;
+    println!(
+        "served {} readers × {} reads on {}",
+        readers,
+        reads,
+        engine.backend_name()
+    );
+    println!("{}", engine.metrics().render());
     Ok(())
 }

@@ -1,0 +1,462 @@
+//! The concurrent serving engine.
+//!
+//! One [`ServeEngine`] fronts one [`System`] and one annotated
+//! [`Backend`] and serves any number of requester threads at once:
+//!
+//! * **Reads** (`query`, `accessible_count`) never touch the backend.
+//!   They clone the currently published [`AccessSnapshot`] (an `Arc`
+//!   swap under a momentarily-held lock) and evaluate against that
+//!   immutable state — a re-annotation in progress never blocks or
+//!   tears a read.
+//! * **Writes** (guarded delete/insert, the §8 access-controlled
+//!   updates) serialize behind the writer lock. An applied update runs
+//!   the paper's partial re-annotation and then *publishes* a fresh
+//!   snapshot with the backend's new epoch; a denied update publishes
+//!   nothing, so readers cannot observe intermediate sign states —
+//!   each epoch is all-or-nothing with respect to each re-annotation.
+//! * **Degradation**: when a partial plan fails to apply, the engine
+//!   falls back to full re-annotation (the paper's baseline) and
+//!   records the fallback in its [`Metrics`], keeping the served state
+//!   consistent at the cost of the ~7× speedup for that one update.
+
+use crate::metrics::{Metrics, MetricsSnapshot};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+use xac_core::{
+    reannotator, requester, AccessSnapshot, AnnotateMode, Backend, Decision, GuardedUpdate,
+    NativeXmlBackend, RelationalBackend, Result, System, UpdateOutcome,
+};
+use xac_xpath::Path;
+
+/// The storage kinds an engine can front, mirroring the paper's three
+/// systems. Parsed from CLI spellings; constructs configured backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Native XML store (the MonetDB/XQuery stand-in).
+    Native,
+    /// Relational row store (the PostgreSQL stand-in).
+    Row,
+    /// Relational column store (the MonetDB/SQL stand-in).
+    Column,
+}
+
+impl BackendKind {
+    /// All kinds, in the paper's presentation order.
+    pub const ALL: [BackendKind; 3] = [BackendKind::Native, BackendKind::Column, BackendKind::Row];
+
+    /// Parse a CLI spelling (`native`, `row`, `column`).
+    pub fn parse(input: &str) -> Result<BackendKind> {
+        match input {
+            "native" => Ok(BackendKind::Native),
+            "row" => Ok(BackendKind::Row),
+            "column" => Ok(BackendKind::Column),
+            other => Err(xac_core::Error::System(format!(
+                "unknown backend `{other}` (valid backends: native, row, column)"
+            ))),
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            BackendKind::Native => "native",
+            BackendKind::Row => "row",
+            BackendKind::Column => "column",
+        }
+    }
+
+    /// Construct an empty backend of this kind, relational ones in the
+    /// given annotation write mode.
+    pub fn make(self, mode: AnnotateMode) -> Box<dyn Backend + Send> {
+        match self {
+            BackendKind::Native => Box::new(NativeXmlBackend::new()),
+            BackendKind::Row => {
+                Box::new(RelationalBackend::with_mode(xac_reldb::StorageKind::Row, mode))
+            }
+            BackendKind::Column => {
+                Box::new(RelationalBackend::with_mode(xac_reldb::StorageKind::Column, mode))
+            }
+        }
+    }
+}
+
+/// A delete or insert, normalized so the guarded write path is one code
+/// path (same access check, same plan, same fallback).
+enum UpdateOp<'a> {
+    Delete(&'a Path),
+    Insert { parent: &'a Path, name: &'a str, text: Option<&'a str> },
+}
+
+/// The concurrent serving engine. See the [module docs](self).
+pub struct ServeEngine {
+    system: Arc<System>,
+    /// The live backend; every guarded update owns it exclusively for
+    /// the update + re-annotation + publication critical section.
+    writer: Mutex<Box<dyn Backend + Send>>,
+    /// The published snapshot. Readers hold the lock only long enough
+    /// to clone the `Arc`; the writer only long enough to swap it —
+    /// never during re-annotation.
+    published: RwLock<Arc<AccessSnapshot>>,
+    metrics: Metrics,
+    backend_name: &'static str,
+}
+
+impl ServeEngine {
+    /// Stand up an engine: load the system's prepared document into the
+    /// backend, annotate it fully (the paper's startup cost), and
+    /// publish the first snapshot.
+    pub fn new(system: Arc<System>, mut backend: Box<dyn Backend + Send>) -> Result<ServeEngine> {
+        system.load(backend.as_mut())?;
+        system.annotate(backend.as_mut())?;
+        let snapshot = Arc::new(backend.snapshot()?);
+        let backend_name = backend.name();
+        let metrics = Metrics::default();
+        metrics
+            .current_epoch
+            .store(snapshot.epoch(), std::sync::atomic::Ordering::Relaxed);
+        metrics
+            .epochs_published
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(ServeEngine {
+            system,
+            writer: Mutex::new(backend),
+            published: RwLock::new(snapshot),
+            metrics,
+            backend_name,
+        })
+    }
+
+    /// Convenience: build an engine for a [`BackendKind`], honouring the
+    /// system's configured [`AnnotateMode`].
+    pub fn for_kind(system: Arc<System>, kind: BackendKind) -> Result<ServeEngine> {
+        let mode = system.annotate_mode();
+        ServeEngine::new(system, kind.make(mode))
+    }
+
+    /// The system this engine serves.
+    pub fn system(&self) -> &Arc<System> {
+        &self.system
+    }
+
+    /// Name of the fronted backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend_name
+    }
+
+    /// The currently published snapshot. Requests answered against it
+    /// stay consistent with each other even if the engine publishes a
+    /// newer epoch meanwhile.
+    pub fn snapshot(&self) -> Arc<AccessSnapshot> {
+        self.published.read().expect("snapshot lock poisoned").clone()
+    }
+
+    /// Epoch of the currently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch()
+    }
+
+    /// Accessible-node count at the published epoch.
+    pub fn accessible_count(&self) -> usize {
+        self.snapshot().accessible_count()
+    }
+
+    /// Frozen copy of the engine's request counters and latency
+    /// histograms.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Answer a read request against the published snapshot, recording
+    /// outcome and latency; returns the decision and the epoch it was
+    /// served at.
+    pub fn query_observed(&self, path: &Path) -> (Decision, u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let start = Instant::now();
+        let snap = self.snapshot();
+        let decision = snap.query(path);
+        self.metrics.read_latency.record(start.elapsed());
+        if decision.granted() {
+            self.metrics.reads_allowed.fetch_add(1, Relaxed);
+        } else {
+            self.metrics.reads_denied.fetch_add(1, Relaxed);
+        }
+        (decision, snap.epoch())
+    }
+
+    /// Answer a read request against the published snapshot.
+    pub fn query(&self, path: &Path) -> Decision {
+        self.query_observed(path).0
+    }
+
+    /// Parse and answer a read request; parse failures count as request
+    /// errors.
+    pub fn query_str(&self, query: &str) -> Result<Decision> {
+        use std::sync::atomic::Ordering::Relaxed;
+        match xac_xpath::parse(query) {
+            Ok(path) => Ok(self.query(&path)),
+            Err(e) => {
+                self.metrics.read_errors.fetch_add(1, Relaxed);
+                self.metrics.read_latency.record(std::time::Duration::ZERO);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Access-controlled delete (§8): refused unless every designated
+    /// node is accessible at the *current* backend state; applied
+    /// updates re-annotate partially and publish a new epoch.
+    pub fn guarded_delete(&self, update: &Path) -> Result<GuardedUpdate> {
+        self.guarded(UpdateOp::Delete(update))
+    }
+
+    /// Access-controlled insert (§8): refused unless every designated
+    /// parent is accessible.
+    pub fn guarded_insert(
+        &self,
+        parent: &Path,
+        name: &str,
+        text: Option<&str>,
+    ) -> Result<GuardedUpdate> {
+        self.guarded(UpdateOp::Insert { parent, name, text })
+    }
+
+    /// Run a closure against the live backend under the writer lock.
+    /// For tests and maintenance tasks (sign-state audits); readers
+    /// keep serving the published snapshot meanwhile. No snapshot is
+    /// republished — mutate through the guarded update path instead.
+    pub fn with_writer<R>(&self, f: impl FnOnce(&mut dyn Backend) -> R) -> R {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        f(writer.as_mut())
+    }
+
+    fn guarded(&self, op: UpdateOp<'_>) -> Result<GuardedUpdate> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let start = Instant::now();
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let result = self.apply_guarded(writer.as_mut(), &op);
+        let result = match result {
+            Ok(GuardedUpdate::Applied(outcome)) => match self.publish(writer.as_mut()) {
+                Ok(()) => {
+                    self.metrics.updates_applied.fetch_add(1, Relaxed);
+                    self.metrics.sign_writes.fetch_add(outcome.sign_writes as u64, Relaxed);
+                    Ok(GuardedUpdate::Applied(outcome))
+                }
+                Err(e) => {
+                    self.metrics.update_errors.fetch_add(1, Relaxed);
+                    Err(e)
+                }
+            },
+            Ok(denied @ GuardedUpdate::Denied(_)) => {
+                self.metrics.updates_denied.fetch_add(1, Relaxed);
+                Ok(denied)
+            }
+            Err(e) => {
+                self.metrics.update_errors.fetch_add(1, Relaxed);
+                Err(e)
+            }
+        };
+        self.metrics.update_latency.record(start.elapsed());
+        result
+    }
+
+    /// The write-path body, mirroring [`System::guarded_delete`] /
+    /// [`System::guarded_insert`] step for step so a single-threaded
+    /// `System` replay of the same sequence reaches byte-identical sign
+    /// state — plus the graceful-degradation fallback.
+    fn apply_guarded(&self, b: &mut dyn Backend, op: &UpdateOp<'_>) -> Result<GuardedUpdate> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let guard_path = match op {
+            UpdateOp::Delete(u) => (*u).clone(),
+            UpdateOp::Insert { parent, .. } => (*parent).clone(),
+        };
+        let decision = requester::request(b, &guard_path)?;
+        if !decision.granted() {
+            return Ok(GuardedUpdate::Denied(decision));
+        }
+        let update_path = match op {
+            UpdateOp::Delete(u) => (*u).clone(),
+            UpdateOp::Insert { parent, name, .. } => {
+                (*parent).clone().then(xac_xpath::Step::child(name.to_string()))
+            }
+        };
+        let plan = self.system.plan_update(&update_path);
+        let (removed_elements, inserted_elements) = match op {
+            UpdateOp::Delete(u) => (b.delete(u)?, 0),
+            UpdateOp::Insert { parent, name, text } => (0, b.insert(parent, name, *text)?),
+        };
+        let sign_writes = match reannotator::apply(b, &plan) {
+            Ok(writes) => writes,
+            Err(_) => {
+                // Partial repair failed: degrade to the paper's full
+                // re-annotation baseline so the served state stays
+                // consistent, and surface the event in the metrics.
+                self.metrics.full_fallbacks.fetch_add(1, Relaxed);
+                self.system.full_reannotate(b)?
+            }
+        };
+        Ok(GuardedUpdate::Applied(UpdateOutcome {
+            removed_elements,
+            inserted_elements,
+            plan,
+            sign_writes,
+        }))
+    }
+
+    /// Publish the backend's current state as the new snapshot epoch.
+    fn publish(&self, b: &mut dyn Backend) -> Result<()> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let snapshot = Arc::new(b.snapshot()?);
+        self.metrics.current_epoch.store(snapshot.epoch(), Relaxed);
+        self.metrics.epochs_published.fetch_add(1, Relaxed);
+        *self.published.write().expect("snapshot lock poisoned") = snapshot;
+        Ok(())
+    }
+}
+
+/// One engine per configured storage kind over a shared [`System`] —
+/// the deployment shape of the paper's evaluation (three systems, one
+/// document, one policy), ready to serve traffic on each.
+pub struct ServeCluster {
+    system: Arc<System>,
+    engines: Vec<Arc<ServeEngine>>,
+}
+
+impl ServeCluster {
+    /// Stand up one engine per kind. The system is built once (policy
+    /// optimization, dependency graph, shredding) and shared; each
+    /// backend loads and annotates its own copy of the document.
+    pub fn new(system: System, kinds: &[BackendKind]) -> Result<ServeCluster> {
+        let system = Arc::new(system);
+        let mut engines = Vec::with_capacity(kinds.len());
+        for &kind in kinds {
+            engines.push(Arc::new(ServeEngine::for_kind(system.clone(), kind)?));
+        }
+        Ok(ServeCluster { system, engines })
+    }
+
+    /// The shared system.
+    pub fn system(&self) -> &Arc<System> {
+        &self.system
+    }
+
+    /// The engines, in construction order.
+    pub fn engines(&self) -> &[Arc<ServeEngine>] {
+        &self.engines
+    }
+
+    /// Find an engine by its backend name (e.g. `"native/xml"`).
+    pub fn engine(&self, backend_name: &str) -> Option<&Arc<ServeEngine>> {
+        self.engines.iter().find(|e| e.backend_name() == backend_name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xac_policy::policy::hospital_policy;
+    use xac_xml::Document;
+
+    fn figure2() -> Document {
+        Document::parse_str(
+            "<hospital><dept><patients>\
+             <patient><psn>033</psn><name>john doe</name>\
+             <treatment><regular><med>enoxaparin</med><bill>700</bill></regular></treatment>\
+             </patient>\
+             <patient><psn>042</psn><name>jane doe</name>\
+             <treatment><experimental><test>hypnosis</test><bill>1600</bill></experimental></treatment>\
+             </patient>\
+             <patient><psn>099</psn><name>joy smith</name></patient>\
+             </patients><staffinfo/></dept></hospital>",
+        )
+        .unwrap()
+    }
+
+    fn system() -> System {
+        System::builder(xac_core::hospital_schema_for_docs(), hospital_policy(), figure2())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeEngine>();
+        assert_send_sync::<ServeCluster>();
+    }
+
+    #[test]
+    fn serves_reads_on_every_kind() {
+        let cluster = ServeCluster::new(system(), &BackendKind::ALL).unwrap();
+        assert_eq!(cluster.engines().len(), 3);
+        for engine in cluster.engines() {
+            assert!(engine.query_str("//patient/name").unwrap().granted());
+            assert!(!engine.query_str("//patient").unwrap().granted());
+            assert!(engine.query_str("//bad[").is_err());
+            let m = engine.metrics();
+            assert_eq!(m.reads_issued(), 3, "{}", engine.backend_name());
+            assert_eq!(m.read_errors, 1);
+            assert_eq!(m.epochs_published, 1);
+        }
+        assert!(cluster.engine("native/xml").is_some());
+        assert!(cluster.engine("no/such").is_none());
+    }
+
+    #[test]
+    fn applied_update_publishes_new_epoch() {
+        let engine =
+            ServeEngine::for_kind(Arc::new(system()), BackendKind::Native).unwrap();
+        let before = engine.epoch();
+        assert!(!engine.query_str("//patient").unwrap().granted());
+        let u = xac_xpath::parse("//regular").unwrap();
+        let g = engine.guarded_delete(&u).unwrap();
+        let outcome = match g {
+            GuardedUpdate::Applied(o) => o,
+            GuardedUpdate::Denied(d) => panic!("unexpectedly denied: {d:?}"),
+        };
+        assert!(engine.epoch() > before, "applied update advances the epoch");
+        let m = engine.metrics();
+        assert_eq!(m.updates_applied, 1);
+        assert_eq!(m.epochs_published, 2);
+        assert_eq!(m.current_epoch, engine.epoch());
+        assert_eq!(m.sign_writes, outcome.sign_writes as u64);
+    }
+
+    #[test]
+    fn denied_update_keeps_epoch_and_state() {
+        for kind in BackendKind::ALL {
+            let engine = ServeEngine::for_kind(Arc::new(system()), kind).unwrap();
+            let before_epoch = engine.epoch();
+            let before_signs = engine.with_writer(|b| b.sign_state().unwrap());
+            // //med is inaccessible: guarded delete refused.
+            let med = xac_xpath::parse("//med").unwrap();
+            let g = engine.guarded_delete(&med).unwrap();
+            assert!(!g.applied(), "{}", engine.backend_name());
+            // Inserting under an inaccessible parent: refused too.
+            let treatment = xac_xpath::parse("//treatment").unwrap();
+            let g = engine.guarded_insert(&treatment, "regular", None).unwrap();
+            assert!(!g.applied(), "{}", engine.backend_name());
+            assert_eq!(engine.epoch(), before_epoch, "{}", engine.backend_name());
+            assert_eq!(
+                engine.with_writer(|b| b.sign_state().unwrap()),
+                before_signs,
+                "{}: denied updates must not change sign state",
+                engine.backend_name()
+            );
+            let m = engine.metrics();
+            assert_eq!(m.updates_denied, 2);
+            assert_eq!(m.updates_applied, 0);
+            assert_eq!(m.epochs_published, 1);
+        }
+    }
+
+    #[test]
+    fn backend_kind_parsing() {
+        assert_eq!(BackendKind::parse("native").unwrap(), BackendKind::Native);
+        assert_eq!(BackendKind::parse("row").unwrap(), BackendKind::Row);
+        assert_eq!(BackendKind::parse("column").unwrap(), BackendKind::Column);
+        assert!(BackendKind::parse("mongodb").is_err());
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::parse(kind.cli_name()).unwrap(), kind);
+        }
+    }
+}

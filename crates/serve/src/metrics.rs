@@ -1,0 +1,250 @@
+//! Per-request observability for the serving engine.
+//!
+//! Everything here is lock-free: counters and histogram buckets are
+//! plain relaxed atomics, updated on the request path and read by
+//! [`Metrics::snapshot`] without stopping traffic. Relaxed ordering is
+//! sufficient because each counter is independent — a snapshot is a
+//! statistically consistent view, not a transactional one — while the
+//! accounting identity `allowed + denied + errors == issued` holds
+//! exactly once traffic has quiesced (each request increments exactly
+//! one outcome counter before returning).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets: bucket `i` counts requests
+/// with `latency_us` in `[2^(i-1), 2^i)` (bucket 0 is `< 1 µs`), so 40
+/// buckets cover past 15 minutes — far beyond any request we serve.
+const BUCKETS: usize = 40;
+
+/// A fixed-bucket log₂ latency histogram over microseconds.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    total_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            total_us: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one observation.
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros() as u64;
+        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn freeze(&self) -> LatencySummary {
+        let buckets: Vec<u64> =
+            self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        LatencySummary {
+            count: self.count.load(Ordering::Relaxed),
+            total_us: self.total_us.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Immutable histogram state inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed latencies, in microseconds.
+    pub total_us: u64,
+    /// Log₂ bucket counts; bucket `i` holds latencies in
+    /// `[2^(i-1), 2^i)` µs.
+    pub buckets: Vec<u64>,
+}
+
+impl LatencySummary {
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (µs) of the bucket containing the q-quantile
+    /// (`0.0 ..= 1.0`), or 0 when empty. Bucket resolution makes this an
+    /// upper estimate within a factor of two — enough for the serving
+    /// dashboards the paper's workload motivates.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank.max(1) {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (self.buckets.len() - 1)
+    }
+}
+
+/// Live engine counters. One instance per [`crate::ServeEngine`];
+/// updated from any thread, summarized by [`Metrics::snapshot`].
+#[derive(Default)]
+pub struct Metrics {
+    pub(crate) reads_allowed: AtomicU64,
+    pub(crate) reads_denied: AtomicU64,
+    pub(crate) read_errors: AtomicU64,
+    pub(crate) updates_applied: AtomicU64,
+    pub(crate) updates_denied: AtomicU64,
+    pub(crate) update_errors: AtomicU64,
+    pub(crate) full_fallbacks: AtomicU64,
+    pub(crate) sign_writes: AtomicU64,
+    pub(crate) epochs_published: AtomicU64,
+    pub(crate) current_epoch: AtomicU64,
+    pub(crate) read_latency: LatencyHistogram,
+    pub(crate) update_latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            reads_allowed: self.reads_allowed.load(Ordering::Relaxed),
+            reads_denied: self.reads_denied.load(Ordering::Relaxed),
+            read_errors: self.read_errors.load(Ordering::Relaxed),
+            updates_applied: self.updates_applied.load(Ordering::Relaxed),
+            updates_denied: self.updates_denied.load(Ordering::Relaxed),
+            update_errors: self.update_errors.load(Ordering::Relaxed),
+            full_fallbacks: self.full_fallbacks.load(Ordering::Relaxed),
+            sign_writes: self.sign_writes.load(Ordering::Relaxed),
+            epochs_published: self.epochs_published.load(Ordering::Relaxed),
+            current_epoch: self.current_epoch.load(Ordering::Relaxed),
+            read_latency: self.read_latency.freeze(),
+            update_latency: self.update_latency.freeze(),
+        }
+    }
+}
+
+/// Frozen engine counters, safe to ship across threads, print, or
+/// serialize. Produced by [`crate::ServeEngine::metrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Read requests answered `Granted`.
+    pub reads_allowed: u64,
+    /// Read requests answered `Denied`.
+    pub reads_denied: u64,
+    /// Read requests that failed (e.g. malformed XPath).
+    pub read_errors: u64,
+    /// Guarded updates that ran (write access granted).
+    pub updates_applied: u64,
+    /// Guarded updates refused by the write-access check.
+    pub updates_denied: u64,
+    /// Guarded updates that errored.
+    pub update_errors: u64,
+    /// Partial re-annotations that fell back to full re-annotation.
+    pub full_fallbacks: u64,
+    /// Total sign writes performed by applied updates.
+    pub sign_writes: u64,
+    /// Snapshots published since the engine started (including the
+    /// initial one).
+    pub epochs_published: u64,
+    /// Epoch of the currently published snapshot.
+    pub current_epoch: u64,
+    /// Read-path latencies.
+    pub read_latency: LatencySummary,
+    /// Update-path latencies (lock wait included — that *is* the
+    /// serialization cost being observed).
+    pub update_latency: LatencySummary,
+}
+
+impl MetricsSnapshot {
+    /// Total read requests issued (every one lands in exactly one
+    /// outcome counter).
+    pub fn reads_issued(&self) -> u64 {
+        self.reads_allowed + self.reads_denied + self.read_errors
+    }
+
+    /// Total guarded updates issued.
+    pub fn updates_issued(&self) -> u64 {
+        self.updates_applied + self.updates_denied + self.update_errors
+    }
+
+    /// Render a compact human-readable report.
+    pub fn render(&self) -> String {
+        format!(
+            "reads: {} ({} allowed, {} denied, {} errors) \
+             mean {:.1}µs p50 ≤{}µs p99 ≤{}µs\n\
+             updates: {} ({} applied, {} denied, {} errors, {} full-reannotation fallbacks) \
+             mean {:.1}µs\n\
+             epoch {} ({} published), {} sign writes",
+            self.reads_issued(),
+            self.reads_allowed,
+            self.reads_denied,
+            self.read_errors,
+            self.read_latency.mean_us(),
+            self.read_latency.quantile_us(0.5),
+            self.read_latency.quantile_us(0.99),
+            self.updates_issued(),
+            self.updates_applied,
+            self.updates_denied,
+            self.update_errors,
+            self.full_fallbacks,
+            self.update_latency.mean_us(),
+            self.current_epoch,
+            self.epochs_published,
+            self.sign_writes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        for us in [0u64, 1, 3, 8, 100, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.freeze();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.total_us, 1112);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 6);
+        // 0µs lands in bucket 0 (the `< 1µs` bucket).
+        assert_eq!(s.buckets[0], 1);
+        assert!(s.quantile_us(0.0) >= 1);
+        assert!(s.quantile_us(1.0) >= 1000);
+        assert!(s.mean_us() > 100.0);
+    }
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let s = LatencyHistogram::default().freeze();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_us(), 0.0);
+        assert_eq!(s.quantile_us(0.99), 0);
+    }
+
+    #[test]
+    fn snapshot_accounting_identity() {
+        let m = Metrics::default();
+        m.reads_allowed.fetch_add(3, Ordering::Relaxed);
+        m.reads_denied.fetch_add(2, Ordering::Relaxed);
+        m.read_errors.fetch_add(1, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.reads_issued(), 6);
+        assert_eq!(s.updates_issued(), 0);
+        assert!(s.render().contains("6 "));
+    }
+}

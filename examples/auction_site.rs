@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{policy}");
 
-    let system = System::new(xmark_schema(), policy, doc)?;
+    let system = System::builder(xmark_schema(), policy, doc).build()?;
     println!(
         "prepared artifacts: XML {} KiB, SQL {} KiB",
         system.prepared().xml_bytes() / 1024,

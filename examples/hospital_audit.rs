@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         xac_xpath::eval(&doc, &xac_xpath::parse("//patient")?).len()
     );
 
-    let system = System::new(hospital_schema(), hospital_policy(), doc)?;
+    let system = System::builder(hospital_schema(), hospital_policy(), doc).build()?;
 
     // Per-rule scope audit on the reference tree.
     println!("\n== Rule scopes ==");

@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let policy = hospital_policy();
     println!("== Policy (paper Table 1) ==\n{policy}");
 
-    let system = System::new(hospital_schema(), policy, figure2_document())?;
+    let system = System::builder(hospital_schema(), policy, figure2_document()).build()?;
     println!("== After redundancy elimination (paper Table 3) ==\n{}", system.policy());
 
     println!("== Annotation query ==");

@@ -15,7 +15,7 @@ use xac_xmlgen::{coverage_policy, delete_updates, xmark_document, xmark_schema, 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let doc = xmark_document(XmarkConfig::with_factor(0.02));
     let policy = coverage_policy(&doc, 0.5, 13);
-    let system = System::new(xmark_schema(), policy, doc)?;
+    let system = System::builder(xmark_schema(), policy, doc).build()?;
     let updates = delete_updates(&xmark_schema(), 20, 5);
 
     let mut backend = NativeXmlBackend::new();

@@ -12,6 +12,9 @@ cargo build --release
 echo "== tier 1: tests =="
 cargo test -q
 
+echo "== lint: clippy, warnings are errors =="
+cargo clippy --workspace -- -D warnings
+
 echo "== bench targets compile (in-repo harness) =="
 cargo bench --no-run -q
 
@@ -21,5 +24,9 @@ cargo run --release -q -p xac-bench --bin figures -- table3
 echo "== figures smoke: annotate-modes artifact =="
 cargo run --release -q -p xac-bench --bin figures -- annotate-modes
 test -s BENCH_annotation_modes.json
+
+echo "== figures smoke: serve artifact =="
+cargo run --release -q -p xac-bench --bin figures -- serve
+test -s BENCH_serve.json
 
 echo "ci.sh: all green"

@@ -39,7 +39,7 @@ fn xmark_coverage_policies_agree() {
     let doc = xmark_document(XmarkConfig::with_factor(0.005));
     let dataset = coverage_policy_dataset(&doc, &[0.25, 0.5, 0.7], 21);
     for (target, policy) in dataset {
-        let s = System::new(xmark_schema(), policy, doc.clone()).unwrap();
+        let s = System::builder(xmark_schema(), policy, doc.clone()).build().unwrap();
         let mut expected: Option<BTreeSet<i64>> = None;
         for mut b in backends() {
             s.load(b.as_mut()).unwrap();
@@ -61,7 +61,7 @@ fn xmark_coverage_policies_agree() {
 fn relational_accessible_set_matches_reference_exactly() {
     let doc = xmark_document(XmarkConfig::with_factor(0.003));
     let (_, policy) = coverage_policy_dataset(&doc, &[0.5], 4).pop().unwrap();
-    let s = System::new(xmark_schema(), policy, doc).unwrap();
+    let s = System::builder(xmark_schema(), policy, doc).build().unwrap();
     let reference: BTreeSet<i64> = s
         .reference_accessible()
         .into_iter()
@@ -79,7 +79,7 @@ fn relational_accessible_set_matches_reference_exactly() {
 fn request_decisions_agree_across_backends() {
     let doc = xmark_document(XmarkConfig::with_factor(0.003));
     let (_, policy) = coverage_policy_dataset(&doc, &[0.45], 8).pop().unwrap();
-    let s = System::new(xmark_schema(), policy, doc).unwrap();
+    let s = System::builder(xmark_schema(), policy, doc).build().unwrap();
     let queries = query_workload(&xmark_schema(), 40, 17);
 
     let mut decisions: Vec<Vec<(usize, bool)>> = Vec::new();
@@ -108,7 +108,7 @@ fn hospital_documents_agree_across_seeds() {
     let policy = xac_policy::policy::hospital_policy();
     for seed in [1, 2, 3] {
         let doc = hospital_document(2, 40, seed);
-        let s = System::new(hospital_schema(), policy.clone(), doc).unwrap();
+        let s = System::builder(hospital_schema(), policy.clone(), doc).build().unwrap();
         let expected = s.reference_accessible().len();
         for mut b in backends() {
             s.load(b.as_mut()).unwrap();
@@ -147,16 +147,16 @@ fn annotate_both_modes(
 #[test]
 fn annotate_modes_identical_signs_on_hospital_and_xmark() {
     let systems = [
-        System::new(
+        System::builder(
             hospital_schema(),
             xac_policy::policy::hospital_policy(),
             hospital_document(2, 60, 3),
-        )
+        ).build()
         .unwrap(),
         {
             let doc = xmark_document(XmarkConfig::with_factor(0.001));
             let (_, policy) = coverage_policy_dataset(&doc, &[0.5], 7).pop().unwrap();
-            System::new(xmark_schema(), policy, doc).unwrap()
+            System::builder(xmark_schema(), policy, doc).build().unwrap()
         },
     ];
     for s in &systems {
@@ -178,7 +178,7 @@ fn annotate_modes_identical_signs_on_hospital_and_xmark() {
 fn annotate_modes_identical_signs_after_updates() {
     let doc = xmark_document(XmarkConfig::with_factor(0.001));
     let (_, policy) = coverage_policy_dataset(&doc, &[0.4], 11).pop().unwrap();
-    let s = System::new(xmark_schema(), policy, doc).unwrap();
+    let s = System::builder(xmark_schema(), policy, doc).build().unwrap();
     let u = xac_xpath::parse("//bidder").unwrap();
     let mut states = Vec::new();
     for mode in [AnnotateMode::PaperFaithful, AnnotateMode::Batched] {
@@ -201,7 +201,7 @@ fn annotate_modes_identical_signs_after_updates() {
 fn batched_sign_writes_beat_paper_faithful_by_5x_on_row() {
     let doc = xmark_document(XmarkConfig::with_factor(0.01));
     let (_, policy) = coverage_policy_dataset(&doc, &[0.5], 1).pop().unwrap();
-    let s = System::new(xmark_schema(), policy, doc).unwrap();
+    let s = System::builder(xmark_schema(), policy, doc).build().unwrap();
     let (accessible, _) = annotate_both_modes(&s, xac_reldb::StorageKind::Row);
 
     // Median-of-5 passes per mode over the same target set, interleaving
@@ -236,7 +236,7 @@ fn all_four_policy_semantics_agree() {
                  R6 allow //regular\nR5 deny //patient[.//experimental]\n"
             ))
             .unwrap();
-            let s = System::new(hospital_schema(), policy, doc.clone()).unwrap();
+            let s = System::builder(hospital_schema(), policy, doc.clone()).build().unwrap();
             let expected = s.reference_accessible().len();
             for mut b in backends() {
                 s.load(b.as_mut()).unwrap();

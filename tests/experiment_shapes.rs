@@ -18,7 +18,7 @@ fn table5_artifact_sizes() {
     for factor in [0.005, 0.02, 0.08] {
         let doc = xmark_document(XmarkConfig::with_factor(factor));
         let policy = coverage_policy(&doc, 0.3, 1);
-        let s = System::new(xmark_schema(), policy, doc).unwrap();
+        let s = System::builder(xmark_schema(), policy, doc).build().unwrap();
         let xml = s.prepared().xml_bytes();
         let sql = s.prepared().sql_bytes();
         assert!(xml > last_xml, "XML size must grow with factor");
@@ -41,7 +41,7 @@ fn annotation_work_grows_with_coverage() {
     for b in backends.iter_mut() {
         let mut last = 0usize;
         for (target, policy) in &dataset {
-            let s = System::new(xmark_schema(), policy.clone(), doc.clone()).unwrap();
+            let s = System::builder(xmark_schema(), policy.clone(), doc.clone()).build().unwrap();
             s.load(b.as_mut()).unwrap();
             let writes = s.annotate(b.as_mut()).unwrap();
             assert!(
@@ -76,7 +76,7 @@ fn coverage_dataset_spans_band() {
 fn partial_reannotation_writes_fraction_of_full() {
     let doc = xmark_document(XmarkConfig::with_factor(0.01));
     let policy = coverage_policy(&doc, 0.5, 7);
-    let s = System::new(xmark_schema(), policy, doc).unwrap();
+    let s = System::builder(xmark_schema(), policy, doc).build().unwrap();
     let mut b = NativeXmlBackend::new();
 
     let mut partial_writes = 0usize;
@@ -105,7 +105,7 @@ fn partial_reannotation_writes_fraction_of_full() {
 fn relational_load_is_statement_per_element() {
     let doc = xmark_document(XmarkConfig::with_factor(0.002));
     let policy = coverage_policy(&doc, 0.3, 5);
-    let s = System::new(xmark_schema(), policy, doc).unwrap();
+    let s = System::builder(xmark_schema(), policy, doc).build().unwrap();
     let statements = s.prepared().sql_text.lines().count();
     assert_eq!(statements, s.prepared().doc.element_count());
 }
@@ -118,7 +118,7 @@ fn relational_load_is_statement_per_element() {
 fn response_decisions_stable_under_updates() {
     let doc = xmark_document(XmarkConfig::with_factor(0.002));
     let policy = coverage_policy(&doc, 0.5, 13);
-    let s = System::new(xmark_schema(), policy, doc).unwrap();
+    let s = System::builder(xmark_schema(), policy, doc).build().unwrap();
     let u = xac_xpath::parse("//mailbox/mail").unwrap();
 
     let mut native = NativeXmlBackend::new();

@@ -9,7 +9,7 @@ use xac_policy::Effect;
 use xac_xmlgen::{figure2_document, hospital_schema};
 
 fn system() -> System {
-    System::new(hospital_schema(), hospital_policy(), figure2_document()).unwrap()
+    System::builder(hospital_schema(), hospital_policy(), figure2_document()).build().unwrap()
 }
 
 #[test]

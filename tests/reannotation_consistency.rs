@@ -39,7 +39,7 @@ fn check_update(s: &System, b: &mut dyn Backend, u: &xac_xpath::Path) {
 #[test]
 fn hospital_updates_converge_on_all_backends() {
     let doc = hospital_document(2, 60, 11);
-    let s = System::new(hospital_schema(), xac_policy::policy::hospital_policy(), doc).unwrap();
+    let s = System::builder(hospital_schema(), xac_policy::policy::hospital_policy(), doc).build().unwrap();
     let updates = [
         "//patient/treatment",
         "//treatment",
@@ -63,7 +63,7 @@ fn xmark_generated_updates_converge_natively() {
     // The native backend is cheap enough to sweep a larger update corpus.
     let doc = xmark_document(XmarkConfig::with_factor(0.004));
     let policy = coverage_policy(&doc, 0.5, 23);
-    let s = System::new(xmark_schema(), policy, doc).unwrap();
+    let s = System::builder(xmark_schema(), policy, doc).build().unwrap();
     let mut b = NativeXmlBackend::new();
     for u in delete_updates(&xmark_schema(), 30, 31) {
         check_update(&s, &mut b, &u);
@@ -74,7 +74,7 @@ fn xmark_generated_updates_converge_natively() {
 fn xmark_generated_updates_converge_relationally() {
     let doc = xmark_document(XmarkConfig::with_factor(0.002));
     let policy = coverage_policy(&doc, 0.4, 29);
-    let s = System::new(xmark_schema(), policy, doc).unwrap();
+    let s = System::builder(xmark_schema(), policy, doc).build().unwrap();
     for mut b in backends() {
         for u in delete_updates(&xmark_schema(), 8, 37) {
             check_update(&s, b.as_mut(), &u);
@@ -86,7 +86,7 @@ fn xmark_generated_updates_converge_relationally() {
 #[test]
 fn partial_and_full_accessible_sets_identical() {
     let doc = hospital_document(2, 40, 19);
-    let s = System::new(hospital_schema(), xac_policy::policy::hospital_policy(), doc).unwrap();
+    let s = System::builder(hospital_schema(), xac_policy::policy::hospital_policy(), doc).build().unwrap();
     let u = xac_xpath::parse("//treatment[experimental]").unwrap();
 
     let mut b = RelationalBackend::column();
@@ -109,7 +109,7 @@ fn partial_and_full_accessible_sets_identical() {
 #[test]
 fn sequential_updates_stay_consistent() {
     let doc = hospital_document(2, 50, 3);
-    let s = System::new(hospital_schema(), xac_policy::policy::hospital_policy(), doc).unwrap();
+    let s = System::builder(hospital_schema(), xac_policy::policy::hospital_policy(), doc).build().unwrap();
     let sequence = ["//experimental", "//regular/bill", "//treatment"];
 
     let mut partial = NativeXmlBackend::new();
@@ -147,7 +147,7 @@ fn all_four_semantics_converge() {
                 "default {ds}\nconflict {cr}\n{rules}"
             ))
             .unwrap();
-            let s = System::new(hospital_schema(), policy, doc.clone()).unwrap();
+            let s = System::builder(hospital_schema(), policy, doc.clone()).build().unwrap();
             let mut b = NativeXmlBackend::new();
             for u in updates {
                 let path = xac_xpath::parse(u).unwrap();
@@ -173,7 +173,7 @@ fn all_four_semantics_converge() {
 fn partial_writes_fewer_signs() {
     let doc = xmark_document(XmarkConfig::with_factor(0.01));
     let policy = coverage_policy(&doc, 0.6, 41);
-    let s = System::new(xmark_schema(), policy, doc).unwrap();
+    let s = System::builder(xmark_schema(), policy, doc).build().unwrap();
     let mut b = NativeXmlBackend::new();
 
     // A localized update: delete mail threads.

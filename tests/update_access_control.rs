@@ -15,7 +15,7 @@ fn backends() -> Vec<Box<dyn Backend>> {
 }
 
 fn system() -> System {
-    System::new(hospital_schema(), hospital_policy(), figure2_document()).unwrap()
+    System::builder(hospital_schema(), hospital_policy(), figure2_document()).build().unwrap()
 }
 
 /// Inserting a treatment under the accessible (treatment-less) patient
@@ -45,7 +45,7 @@ fn insert_triggers_reannotation() {
 #[test]
 fn insert_consistency_with_full_annotation() {
     let doc = hospital_document(2, 30, 77);
-    let s = System::new(hospital_schema(), hospital_policy(), doc).unwrap();
+    let s = System::builder(hospital_schema(), hospital_policy(), doc).build().unwrap();
     let parent = xac_xpath::parse("//patient").unwrap();
     for mut b in backends() {
         s.load(b.as_mut()).unwrap();
@@ -148,4 +148,50 @@ fn relational_insert_of_unmapped_element_errors() {
     s.load(&mut b).unwrap();
     let parent = xac_xpath::parse("//patient").unwrap();
     assert!(b.insert(&parent, "martian", None).is_err());
+}
+
+/// A denied guarded update is a true no-op: the backend's sign state is
+/// byte-identical and its epoch unchanged on every backend — readers
+/// snapshotting the store can tell nothing happened.
+#[test]
+fn denied_update_leaves_sign_state_and_epoch_unchanged() {
+    let s = system();
+    let med = xac_xpath::parse("//med").unwrap();
+    let treatment = xac_xpath::parse("//treatment").unwrap();
+    for mut b in backends() {
+        s.load(b.as_mut()).unwrap();
+        s.annotate(b.as_mut()).unwrap();
+        let epoch = b.epoch();
+        let signs = b.sign_state().unwrap();
+
+        let g = s.guarded_delete(b.as_mut(), &med).unwrap();
+        assert!(!g.applied(), "{}", b.name());
+        let g = s.guarded_insert(b.as_mut(), &treatment, "regular", None).unwrap();
+        assert!(!g.applied(), "{}", b.name());
+
+        assert_eq!(b.epoch(), epoch, "{}: denied updates must not bump the epoch", b.name());
+        assert_eq!(
+            b.sign_state().unwrap(),
+            signs,
+            "{}: denied updates must not change sign state",
+            b.name()
+        );
+    }
+}
+
+/// `reset_annotations` invalidates snapshots: the epoch advances, so a
+/// serving layer knows its published snapshot is stale.
+#[test]
+fn reset_annotations_advances_epoch() {
+    let s = system();
+    for mut b in backends() {
+        s.load(b.as_mut()).unwrap();
+        s.annotate(b.as_mut()).unwrap();
+        let annotated = b.epoch();
+        b.reset_annotations().unwrap();
+        assert!(b.epoch() > annotated, "{}", b.name());
+        // Re-annotating advances it again — epochs never repeat.
+        s.annotate(b.as_mut()).unwrap();
+        assert!(b.epoch() > annotated + 1, "{}", b.name());
+    }
 }
