@@ -48,6 +48,7 @@ fn main() {
         "ablations" => ablations(),
         "annotate-modes" => annotate_modes(factors),
         "serve" => serve(factors),
+        "fault-recovery" => fault_recovery(factors),
         "all" => {
             table3();
             table5(factors);
@@ -58,12 +59,14 @@ fn main() {
             summary(&data);
             annotate_modes(factors);
             serve(factors);
+            fault_recovery(factors);
             ablations();
         }
         other => {
             eprintln!(
                 "unknown artifact `{other}`; use \
-                 table3|table5|fig9|fig10|fig11|fig12|summary|ablations|annotate-modes|serve|all"
+                 table3|table5|fig9|fig10|fig11|fig12|summary|ablations|annotate-modes|serve|\
+                 fault-recovery|all"
             );
             std::process::exit(2);
         }
@@ -873,5 +876,137 @@ fn serve(factors: &[f64]) {
         "(reads run lock-free against the published epoch snapshot while the\n \
          writer re-annotates; applied+denied reflects which of the {UPDATES} guarded\n \
          deletes the access check allowed; epochs = snapshots published)"
+    );
+}
+
+/// Fault-recovery cost: checkpoint capture/restore vs document size, and
+/// the latency of each degradation-ladder rung (full re-annotation
+/// fallback, checkpoint rollback, quarantine entry) measured by arming
+/// the corresponding injection plan against the serving engine. Emits
+/// `BENCH_fault_recovery.json` so recovery perf is tracked across
+/// revisions.
+fn fault_recovery(factors: &[f64]) {
+    use std::sync::Arc;
+    use xac_core::FaultPlan;
+    use xac_serve::{BackendKind, ServeEngine};
+
+    banner("Fault recovery — checkpoint cost and degradation-ladder latency");
+    const UPDATES: usize = 12;
+    // Each rung of the ladder, provoked by the plan that defeats every
+    // rung below it. `+1` skips spare the construction-time arrival.
+    // Threshold 0 on `mid_reannotate` fires on the first mid-phase
+    // arrival even when the triggered scope writes no signs — small
+    // documents often apply updates whose re-annotation is that cheap.
+    const RUNGS: [(&str, &str); 3] = [
+        ("recover_full_fallback", "mid_reannotate:error"),
+        ("recover_rollback", "mid_reannotate:error,before_annotate:error+1"),
+        ("recover_quarantine", "after_delete:error,before_restore:error"),
+    ];
+
+    let t = TablePrinter::new(vec![8, 12, 10, 24, 14]);
+    t.row(&[
+        "factor".into(),
+        "backend".into(),
+        "elements".into(),
+        "metric".into(),
+        "latency".into(),
+    ]);
+    t.rule();
+
+    let updates = delete_updates(&xmark_schema(), UPDATES, 5);
+    let mut csv = String::from("factor,backend,elements,metric,seconds\n");
+    let mut json = String::from("[\n");
+    let mut first = true;
+    let mut record = |factor: f64,
+                      backend: &str,
+                      elements: usize,
+                      metric: &'static str,
+                      d: Option<Duration>,
+                      csv: &mut String,
+                      json: &mut String| {
+        let secs = d.map(|d| d.as_secs_f64());
+        let cell = d.map_or("—".to_string(), fmt_duration);
+        t.row(&[
+            format!("{factor}"),
+            backend.into(),
+            elements.to_string(),
+            metric.into(),
+            cell,
+        ]);
+        let s = secs.map_or(String::new(), |s| s.to_string());
+        let _ = writeln!(csv, "{factor},{backend},{elements},{metric},{s}");
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let s = secs.map_or("null".into(), |s| s.to_string());
+        let _ = write!(
+            json,
+            "  {{\"factor\": {factor}, \"backend\": \"{backend}\", \
+             \"elements\": {elements}, \"metric\": \"{metric}\", \"seconds\": {s}}}"
+        );
+    };
+
+    for &f in factors {
+        let system = Arc::new(xmark_system(f, 0.5, 1));
+        let elements = system.prepared().doc.element_count();
+        for kind in BackendKind::ALL {
+            let name = kind.cli_name();
+
+            // Checkpoint capture and restore on a loaded, annotated
+            // backend: the fixed costs rung 3 pays per rollback.
+            let mut b = kind.make(system.annotate_mode());
+            system.load(b.as_mut()).expect("load");
+            system.annotate(b.as_mut()).expect("annotate");
+            let (cp, cp_d) = time(|| b.checkpoint().expect("checkpoint"));
+            let (_, rs_d) = time(|| b.restore(&cp).expect("restore"));
+            record(f, name, elements, "checkpoint", Some(cp_d), &mut csv, &mut json);
+            record(f, name, elements, "restore", Some(rs_d), &mut csv, &mut json);
+
+            // Ladder rung latency: the wall time of the guarded update
+            // during which the armed fault fires (recovery included).
+            for (metric, plan) in RUNGS {
+                let engine = ServeEngine::for_kind_with_faults(
+                    Arc::clone(&system),
+                    kind,
+                    FaultPlan::parse(plan).expect("plan"),
+                )
+                .expect("engine");
+                let mut recovery = None;
+                for u in &updates {
+                    let before = engine.metrics().faults_injected;
+                    let (result, d) = time(|| engine.guarded_delete(u));
+                    let fired = engine.metrics().faults_injected > before;
+                    if result.is_err() && !engine.quarantined() {
+                        // One-shot plan: the rolled-back op must succeed
+                        // on retry.
+                        engine.guarded_delete(u).expect("retry after rollback");
+                    }
+                    if fired {
+                        recovery = Some(d);
+                        break;
+                    }
+                }
+                let m = engine.metrics();
+                match metric {
+                    "recover_full_fallback" => assert!(m.full_fallbacks >= 1, "{name}"),
+                    "recover_rollback" => assert!(m.rollbacks >= 1, "{name}"),
+                    _ => assert_eq!(m.quarantines, 1, "{name}"),
+                }
+                record(f, name, elements, metric, recovery, &mut csv, &mut json);
+            }
+        }
+    }
+    json.push_str("\n]\n");
+    write_csv("fault_recovery.csv", &csv);
+    std::fs::write("BENCH_fault_recovery.json", &json).expect("write json");
+    println!("  [json -> BENCH_fault_recovery.json]");
+    println!(
+        "(checkpoint/restore = the fixed per-rollback costs, growing with\n \
+         document size; recover_* rows time the guarded update on which the\n \
+         armed fault fired — the full-fallback rung re-annotates in place,\n \
+         the rollback rung additionally restores the checkpoint and\n \
+         re-publishes, the quarantine rung is the terminal read-only fall\n \
+         back when the restore itself fails)"
     );
 }

@@ -16,6 +16,7 @@
 //!   nodes whose accessibility differs from the default, the paper's
 //!   space optimization.
 
+use crate::checkpoint::{Checkpoint, CheckpointData};
 use crate::document::PreparedDocument;
 use crate::error::{Error, Result};
 use crate::snapshot::AccessSnapshot;
@@ -89,6 +90,72 @@ pub trait Backend {
     /// (its default-sign elision). Equivalence tests use this for
     /// byte-identical comparisons across write paths and serving modes.
     fn sign_state(&mut self) -> Result<BTreeMap<i64, char>>;
+
+    /// Capture a complete state image at the current epoch: document +
+    /// sign map for the native store, table image + shredding state for
+    /// the relational ones. Deep copy — cost is linear in document size
+    /// (the `fault-recovery` benchmark measures it per backend).
+    fn checkpoint(&mut self) -> Result<Checkpoint>;
+
+    /// Replace the current state wholesale with a checkpointed image
+    /// from the *same* backend (errors otherwise, leaving state
+    /// untouched). After restore, `sign_state()` is byte-identical to
+    /// the checkpointed state. The epoch strictly advances past both
+    /// the current and the checkpointed epoch — an epoch number is
+    /// never reused for possibly-different state, preserving the
+    /// equal-epochs-imply-equal-state invariant of [`Backend::epoch`].
+    fn restore(&mut self, checkpoint: &Checkpoint) -> Result<()>;
+}
+
+/// Boxed backends are backends: lets decorators such as
+/// [`crate::FaultingBackend`] wrap an already type-erased
+/// `Box<dyn Backend + Send>` without knowing the concrete type.
+impl<B: Backend + ?Sized> Backend for Box<B> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn load(&mut self, prepared: &PreparedDocument) -> Result<()> {
+        (**self).load(prepared)
+    }
+    fn is_loaded(&self) -> bool {
+        (**self).is_loaded()
+    }
+    fn annotate(&mut self, query: &AnnotationQuery) -> Result<usize> {
+        (**self).annotate(query)
+    }
+    fn reset_annotations(&mut self) -> Result<usize> {
+        (**self).reset_annotations()
+    }
+    fn query_nodes_allowed(&mut self, path: &Path) -> Result<(usize, bool)> {
+        (**self).query_nodes_allowed(path)
+    }
+    fn accessible_count(&mut self) -> Result<usize> {
+        (**self).accessible_count()
+    }
+    fn delete(&mut self, path: &Path) -> Result<usize> {
+        (**self).delete(path)
+    }
+    fn insert(&mut self, parent_path: &Path, name: &str, text: Option<&str>) -> Result<usize> {
+        (**self).insert(parent_path, name, text)
+    }
+    fn reannotate(&mut self, scope: &[Path], query: &AnnotationQuery) -> Result<usize> {
+        (**self).reannotate(scope, query)
+    }
+    fn epoch(&self) -> u64 {
+        (**self).epoch()
+    }
+    fn snapshot(&mut self) -> Result<AccessSnapshot> {
+        (**self).snapshot()
+    }
+    fn sign_state(&mut self) -> Result<BTreeMap<i64, char>> {
+        (**self).sign_state()
+    }
+    fn checkpoint(&mut self) -> Result<Checkpoint> {
+        (**self).checkpoint()
+    }
+    fn restore(&mut self, checkpoint: &Checkpoint) -> Result<()> {
+        (**self).restore(checkpoint)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -145,7 +212,8 @@ impl std::str::FromStr for AnnotateMode {
     }
 }
 
-struct RelationalState {
+#[derive(Clone)]
+pub(crate) struct RelationalState {
     mapping: Mapping,
     doc: Document,
     shredded: ShreddedDocument,
@@ -591,6 +659,41 @@ impl Backend for RelationalBackend {
     fn sign_state(&mut self) -> Result<BTreeMap<i64, char>> {
         self.sign_map()
     }
+
+    fn checkpoint(&mut self) -> Result<Checkpoint> {
+        Ok(Checkpoint {
+            epoch: self.epoch,
+            backend: Self::static_name(self.kind),
+            data: CheckpointData::Relational {
+                db: self.db.clone(),
+                state: self.state.clone(),
+            },
+        })
+    }
+
+    fn restore(&mut self, checkpoint: &Checkpoint) -> Result<()> {
+        let CheckpointData::Relational { db, state } = &checkpoint.data else {
+            return Err(Error::System(format!(
+                "checkpoint from `{}` cannot restore backend `{}`",
+                checkpoint.backend,
+                self.name()
+            )));
+        };
+        if checkpoint.backend != self.name() {
+            return Err(Error::System(format!(
+                "checkpoint from `{}` cannot restore backend `{}`",
+                checkpoint.backend,
+                self.name()
+            )));
+        }
+        self.db = db.clone();
+        self.state = state.clone();
+        // Strictly advance the epoch: the restored state may differ from
+        // whatever the current epoch number was stamped on.
+        self.epoch = self.epoch.max(checkpoint.epoch) + 1;
+        self.accessible_cache = None;
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -768,6 +871,31 @@ impl Backend for NativeXmlBackend {
             .all_elements()
             .filter_map(|n| sdoc.sign_of(n).map(|s| (n.index() as i64, s)))
             .collect())
+    }
+
+    fn checkpoint(&mut self) -> Result<Checkpoint> {
+        Ok(Checkpoint {
+            epoch: self.epoch,
+            backend: "native/xml",
+            data: CheckpointData::Native {
+                sdoc: self.sdoc.clone(),
+                default_sign: self.default_sign,
+            },
+        })
+    }
+
+    fn restore(&mut self, checkpoint: &Checkpoint) -> Result<()> {
+        let CheckpointData::Native { sdoc, default_sign } = &checkpoint.data else {
+            return Err(Error::System(format!(
+                "checkpoint from `{}` cannot restore backend `{}`",
+                checkpoint.backend,
+                self.name()
+            )));
+        };
+        self.sdoc = sdoc.clone();
+        self.default_sign = *default_sign;
+        self.epoch = self.epoch.max(checkpoint.epoch) + 1;
+        Ok(())
     }
 }
 

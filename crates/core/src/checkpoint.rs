@@ -1,0 +1,72 @@
+//! Backend checkpoints: complete state images for transactional updates.
+//!
+//! A [`Checkpoint`] is everything a backend needs to return to an earlier
+//! state byte for byte: the native store clones its document plus sign
+//! map, the relational backends clone the whole database table image
+//! (catalog + every table's storage) together with the shredding state.
+//! The serving engine captures one after every successful publication and
+//! restores it when an update fails past the point the existing
+//! full-re-annotation fallback can repair — see `xac-serve`'s
+//! degradation ladder and DESIGN.md §4d.
+//!
+//! Checkpoints are deliberately deep copies rather than logs: the paper's
+//! stores are in-memory and the capture cost (measured by the
+//! `fault-recovery` benchmark) is linear in document size, which keeps
+//! restore trivially correct — no replay, no partial undo.
+
+use crate::backend::RelationalState;
+use xac_reldb::Database;
+use xac_xmlstore::StoredDocument;
+
+/// A full state image of one backend at one epoch.
+///
+/// Produced by [`crate::Backend::checkpoint`], consumed by
+/// [`crate::Backend::restore`]. Opaque outside the crate: the only
+/// public surface is the stamp identifying what it is an image *of*.
+#[derive(Clone)]
+pub struct Checkpoint {
+    pub(crate) epoch: u64,
+    pub(crate) backend: &'static str,
+    pub(crate) data: CheckpointData,
+}
+
+/// The per-backend payload. Either arm restores by wholesale
+/// replacement, so a restored backend is byte-identical to the
+/// checkpointed one (modulo the epoch, which strictly advances).
+#[derive(Clone)]
+pub(crate) enum CheckpointData {
+    /// Native store: the document behind its element-name index (which
+    /// carries the sign map) plus the default sign.
+    Native {
+        sdoc: Option<StoredDocument>,
+        default_sign: char,
+    },
+    /// Relational store: the full table image plus the shredding state
+    /// (mapping, document tree, id bookkeeping).
+    Relational {
+        db: Database,
+        state: Option<RelationalState>,
+    },
+}
+
+impl Checkpoint {
+    /// The backend epoch this image was captured at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Name of the backend that produced the image; restore refuses a
+    /// checkpoint from any other backend.
+    pub fn backend(&self) -> &'static str {
+        self.backend
+    }
+}
+
+impl std::fmt::Debug for Checkpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Checkpoint")
+            .field("backend", &self.backend)
+            .field("epoch", &self.epoch)
+            .finish_non_exhaustive()
+    }
+}

@@ -33,6 +33,24 @@ pub enum Error {
     /// Carries the rejected input; valid spellings are listed by
     /// [`crate::AnnotateMode::VALID_NAMES`].
     UnknownAnnotateMode(String),
+    /// A deterministic fault fired at a named fault point (injected by
+    /// [`crate::FaultingBackend`] from a [`crate::FaultPlan`]). Never
+    /// produced in production configurations — only under test/bench
+    /// fault plans — but structured so recovery code can tell an
+    /// injected failure from an organic one.
+    FaultInjected {
+        /// The fault point that fired, e.g. `after_delete`.
+        point: String,
+    },
+    /// The serving engine exhausted its degradation ladder and entered
+    /// read-only quarantine: reads keep being served from the last
+    /// published snapshot, writes are rejected with this error.
+    Quarantined {
+        /// Epoch of the snapshot still being served.
+        last_good_epoch: u64,
+        /// What drove the engine into quarantine.
+        cause: String,
+    },
     /// System-level misuse not covered by a structured variant.
     System(String),
 }
@@ -53,6 +71,14 @@ impl fmt::Display for Error {
                 f,
                 "system error: unknown annotate mode `{input}` (valid modes: {})",
                 crate::backend::AnnotateMode::VALID_NAMES.join(", ")
+            ),
+            Error::FaultInjected { point } => {
+                write!(f, "fault injected at `{point}`")
+            }
+            Error::Quarantined { last_good_epoch, cause } => write!(
+                f,
+                "engine quarantined (read-only, serving last-good epoch \
+                 {last_good_epoch}): {cause}"
             ),
             Error::System(m) => write!(f, "system error: {m}"),
         }

@@ -46,8 +46,10 @@
 
 pub mod annotator;
 pub mod backend;
+pub mod checkpoint;
 pub mod document;
 pub mod error;
+pub mod fault;
 pub mod optimizer;
 pub mod reannotator;
 pub mod requester;
@@ -57,8 +59,13 @@ pub mod timing;
 pub mod view;
 
 pub use backend::{AnnotateMode, Backend, NativeXmlBackend, RelationalBackend};
+pub use checkpoint::Checkpoint;
 pub use document::PreparedDocument;
 pub use error::{Error, Result};
+pub use fault::{
+    injected_panic_message, injected_panic_point, FaultAction, FaultPlan, FaultPoint,
+    FaultSpec, FaultingBackend,
+};
 pub use reannotator::ReannotationPlan;
 pub use requester::Decision;
 pub use snapshot::AccessSnapshot;

@@ -28,6 +28,7 @@ impl StorageKind {
     }
 }
 
+#[derive(Clone)]
 enum Store {
     Row(BTreeMap<String, RowTable>),
     Col(BTreeMap<String, ColTable>),
@@ -61,6 +62,11 @@ impl QueryResult {
 }
 
 /// An in-memory SQL database.
+///
+/// `Clone` produces a full table-image snapshot (catalog + every table's
+/// storage): the relational half of `Backend::checkpoint`. Cost is linear
+/// in the stored data, which the `fault-recovery` benchmark measures.
+#[derive(Clone)]
 pub struct Database {
     kind: StorageKind,
     catalog: Catalog,

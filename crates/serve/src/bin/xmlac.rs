@@ -8,11 +8,15 @@
 //! xmlac query       --schema h.dtd --policy p.pol --doc d.xml --query "//patient" [...]
 //! xmlac update      --schema h.dtd --policy p.pol --doc d.xml --delete "//treatment" [--query "//patient"]
 //! xmlac serve-bench --schema h.dtd --policy p.pol --doc d.xml --query "//patient/name" \
-//!                   [--readers 4] [--reads 200] [--delete XPATH]
+//!                   [--readers 4] [--reads 200] [--delete XPATH] [--fault-plan SPEC|seed:N[xK]]
 //! ```
 //!
 //! Schemas are DTD files (the Figure 1 subset), policies use the
 //! `xac-policy` text format, documents are plain XML.
+//!
+//! Exit codes: 0 success, 2 usage or system error, 3 the serving engine
+//! ended in read-only quarantine, 4 an injected fault surfaced without
+//! being absorbed by the degradation ladder.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -25,14 +29,40 @@ use xac_xml::{parse_dtd, Document, Schema};
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("xmlac: {msg}");
-            ExitCode::from(2)
+        Err(e) => {
+            eprintln!("xmlac: {}", e.message);
+            ExitCode::from(e.code)
         }
     }
 }
 
-type CliResult<T> = Result<T, String>;
+/// A CLI failure with the exit code it maps to. Plain `String` errors
+/// (usage, I/O, parse) convert at code 2; structured core errors keep
+/// their classification so scripts can branch on quarantine (3) vs an
+/// unabsorbed injected fault (4).
+struct CliError {
+    message: String,
+    code: u8,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError { message, code: 2 }
+    }
+}
+
+impl From<xac_core::Error> for CliError {
+    fn from(e: xac_core::Error) -> Self {
+        let code = match &e {
+            xac_core::Error::Quarantined { .. } => 3,
+            xac_core::Error::FaultInjected { .. } => 4,
+            _ => 2,
+        };
+        CliError { message: e.to_string(), code }
+    }
+}
+
+type CliResult<T> = Result<T, CliError>;
 
 struct Args {
     command: String,
@@ -68,7 +98,8 @@ fn usage() -> String {
      [--schema F] [--policy F] [--doc F] [--backend native|row|column] \
      [--annotate-mode paper|batched] \
      [--query XPATH]... [--delete XPATH] [--insert PARENT:NAME[:TEXT]] \
-     [--mode prune|promote] [--readers N] [--reads N] [--out F]"
+     [--mode prune|promote] [--readers N] [--reads N] [--out F] \
+     [--fault-plan SPEC|seed:N[xK]]"
         .to_string()
 }
 
@@ -77,41 +108,41 @@ impl Args {
         self.options
             .get(key)
             .map(String::as_str)
-            .ok_or_else(|| format!("missing --{key}\n{}", usage()))
+            .ok_or_else(|| format!("missing --{key}\n{}", usage()).into())
     }
 
     fn schema(&self) -> CliResult<Schema> {
         let path = self.required("schema")?;
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read schema `{path}`: {e}"))?;
-        parse_dtd(&text).map_err(|e| format!("schema `{path}`: {e}"))
+        parse_dtd(&text).map_err(|e| format!("schema `{path}`: {e}").into())
     }
 
     fn policy(&self) -> CliResult<Policy> {
         let path = self.required("policy")?;
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read policy `{path}`: {e}"))?;
-        Policy::parse(&text).map_err(|e| format!("policy `{path}`: {e}"))
+        Policy::parse(&text).map_err(|e| format!("policy `{path}`: {e}").into())
     }
 
     fn doc(&self) -> CliResult<Document> {
         let path = self.required("doc")?;
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read document `{path}`: {e}"))?;
-        Document::parse_str(&text).map_err(|e| format!("document `{path}`: {e}"))
+        Document::parse_str(&text).map_err(|e| format!("document `{path}`: {e}").into())
     }
 
     fn annotate_mode(&self) -> CliResult<AnnotateMode> {
         match self.options.get("annotate-mode") {
             None => Ok(AnnotateMode::default()),
             // The structured core error lists the valid modes.
-            Some(value) => AnnotateMode::parse(value).map_err(|e| e.to_string()),
+            Some(value) => AnnotateMode::parse(value).map_err(CliError::from),
         }
     }
 
     fn backend_kind(&self) -> CliResult<BackendKind> {
         let spelling = self.options.get("backend").map(String::as_str).unwrap_or("native");
-        BackendKind::parse(spelling).map_err(|e| e.to_string())
+        BackendKind::parse(spelling).map_err(CliError::from)
     }
 
     fn backend(&self) -> CliResult<Box<dyn Backend + Send>> {
@@ -123,7 +154,7 @@ impl Args {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("--{key} needs a positive integer, found `{v}`")),
+                .map_err(|_| format!("--{key} needs a positive integer, found `{v}`").into()),
         }
     }
 
@@ -131,7 +162,7 @@ impl Args {
         System::builder(self.schema()?, self.policy()?, self.doc()?)
             .annotate_mode(self.annotate_mode()?)
             .build()
-            .map_err(|e| e.to_string())
+            .map_err(CliError::from)
     }
 }
 
@@ -151,7 +182,7 @@ fn run() -> CliResult<()> {
             println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+        other => Err(format!("unknown command `{other}`\n{}", usage()).into()),
     }
 }
 
@@ -224,7 +255,7 @@ fn annotate(args: &Args) -> CliResult<()> {
 
 fn query(args: &Args) -> CliResult<()> {
     if args.queries.is_empty() {
-        return Err(format!("query needs at least one --query\n{}", usage()));
+        return Err(format!("query needs at least one --query\n{}", usage()).into());
     }
     let (system, mut backend) = build_system(args)?;
     let mut denied = 0;
@@ -282,7 +313,7 @@ fn update(args: &Args) -> CliResult<()> {
         );
     }
     if !args.options.contains_key("delete") && !args.options.contains_key("insert") {
-        return Err(format!("update needs --delete and/or --insert\n{}", usage()));
+        return Err(format!("update needs --delete and/or --insert\n{}", usage()).into());
     }
     for q in &args.queries {
         let d = system.request(backend.as_mut(), q).map_err(|e| e.to_string())?;
@@ -301,7 +332,7 @@ fn view(args: &Args) -> CliResult<()> {
     let mode = match args.options.get("mode").map(String::as_str).unwrap_or("prune") {
         "prune" => xac_core::ViewMode::Prune,
         "promote" => xac_core::ViewMode::Promote,
-        other => return Err(format!("unknown view mode `{other}` (prune|promote)")),
+        other => return Err(format!("unknown view mode `{other}` (prune|promote)").into()),
     };
     let view = system.security_view(mode);
     let xml = view.to_pretty_xml();
@@ -345,26 +376,46 @@ fn audit(args: &Args) -> CliResult<()> {
 
 /// Drive the serving engine: N reader threads issue the given queries
 /// against published snapshots while this thread applies guarded
-/// updates, then report the engine's metrics.
+/// updates, then report the engine's metrics. `--fault-plan` arms an
+/// injection plan (an explicit spec string or `seed:N[xK]`); a writer
+/// error is reported but the run continues so the metrics always print,
+/// and the exit code classifies the final state: 3 if the engine ended
+/// quarantined, 4 if an injected fault surfaced out of the ladder.
 fn serve_bench(args: &Args) -> CliResult<()> {
     if args.queries.is_empty() {
-        return Err(format!("serve-bench needs at least one --query\n{}", usage()));
+        return Err(format!("serve-bench needs at least one --query\n{}", usage()).into());
     }
     let system = Arc::new(args.build_system()?);
     let kind = args.backend_kind()?;
-    let engine =
-        Arc::new(ServeEngine::for_kind(system, kind).map_err(|e| e.to_string())?);
+    let plan = match args.options.get("fault-plan") {
+        Some(spec) => xac_serve::faults::fault_plan_from_arg(spec)
+            .map_err(|e| format!("--fault-plan `{spec}`: {e}"))?,
+        None => xac_core::FaultPlan::new(),
+    };
+    if !plan.is_exhausted() {
+        // Injected panics are caught and classified by the engine; the
+        // default hook's report + backtrace would only bury the real
+        // output. Organic panics still report normally.
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if xac_core::injected_panic_point(info.payload()).is_none() {
+                default_hook(info);
+            }
+        }));
+    }
+    let engine = Arc::new(ServeEngine::for_kind_with_faults(system, kind, plan)?);
     let readers = args.count("readers", 4)?;
     let reads = args.count("reads", 200)?;
     let paths: Vec<xac_xpath::Path> = args
         .queries
         .iter()
-        .map(|q| xac_xpath::parse(q).map_err(|e| format!("--query `{q}`: {e}")))
+        .map(|q| xac_xpath::parse(q).map_err(|e| format!("--query `{q}`: {e}").into()))
         .collect::<CliResult<_>>()?;
     let delete = match args.options.get("delete") {
         Some(expr) => Some(xac_xpath::parse(expr).map_err(|e| e.to_string())?),
         None => None,
     };
+    let mut writer_error: Option<xac_core::Error> = None;
     std::thread::scope(|scope| {
         for _ in 0..readers {
             let engine = Arc::clone(&engine);
@@ -376,15 +427,19 @@ fn serve_bench(args: &Args) -> CliResult<()> {
             });
         }
         if let Some(update) = &delete {
-            let g = engine.guarded_delete(update).map_err(|e| e.to_string())?;
-            println!(
-                "writer: guarded delete {} at epoch {}",
-                if g.applied() { "applied" } else { "denied" },
-                engine.epoch()
-            );
+            match engine.guarded_delete(update) {
+                Ok(g) => println!(
+                    "writer: guarded delete {} at epoch {}",
+                    if g.applied() { "applied" } else { "denied" },
+                    engine.epoch()
+                ),
+                Err(e) => {
+                    eprintln!("writer: guarded delete failed: {e}");
+                    writer_error = Some(e);
+                }
+            }
         }
-        Ok::<(), String>(())
-    })?;
+    });
     println!(
         "served {} readers × {} reads on {}",
         readers,
@@ -392,5 +447,19 @@ fn serve_bench(args: &Args) -> CliResult<()> {
         engine.backend_name()
     );
     println!("{}", engine.metrics().render());
-    Ok(())
+    if let Some(cause) = engine.quarantine_cause() {
+        return Err(CliError {
+            message: format!(
+                "engine quarantined (read-only at epoch {}): {cause}",
+                engine.epoch()
+            ),
+            code: 3,
+        });
+    }
+    match writer_error {
+        // A rolled-back write: the engine recovered, but the operation
+        // was lost — classify it (FaultInjected -> 4) for the caller.
+        Some(e) => Err(e.into()),
+        None => Ok(()),
+    }
 }

@@ -14,19 +14,35 @@
 //!   snapshot with the backend's new epoch; a denied update publishes
 //!   nothing, so readers cannot observe intermediate sign states —
 //!   each epoch is all-or-nothing with respect to each re-annotation.
-//! * **Degradation**: when a partial plan fails to apply, the engine
-//!   falls back to full re-annotation (the paper's baseline) and
-//!   records the fallback in its [`Metrics`], keeping the served state
-//!   consistent at the cost of the ~7× speedup for that one update.
+//! * **Transactions & degradation** (see DESIGN.md §4d): the guarded
+//!   critical section runs under `catch_unwind` with a *last-good
+//!   checkpoint* always equal to the published snapshot. Failures walk
+//!   an escalating ladder — partial re-annotation → full re-annotation
+//!   (`full_fallbacks`) → restore the last-good checkpoint
+//!   (`rollbacks`) → read-only **quarantine** (`quarantines`): the
+//!   engine keeps serving the last published snapshot and rejects
+//!   writes with [`Error::Quarantined`]. Lock poisoning is recovered,
+//!   never `expect`ed: a poisoned writer lock restores from the
+//!   checkpoint, a poisoned snapshot lock is taken over as-is (the
+//!   protected value is a complete `Arc` at every instant).
 
 use crate::metrics::{Metrics, MetricsSnapshot};
-use std::sync::{Arc, Mutex, RwLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, LockResult, Mutex, MutexGuard, RwLock};
 use std::time::Instant;
 use xac_core::{
-    reannotator, requester, AccessSnapshot, AnnotateMode, Backend, Decision, GuardedUpdate,
-    NativeXmlBackend, RelationalBackend, Result, System, UpdateOutcome,
+    injected_panic_point, reannotator, requester, AccessSnapshot, AnnotateMode, Backend,
+    Checkpoint, Decision, Error, FaultPlan, FaultingBackend, GuardedUpdate, NativeXmlBackend,
+    RelationalBackend, Result, System, UpdateOutcome,
 };
 use xac_xpath::Path;
+
+/// Recover a possibly-poisoned lock whose protected state is consistent
+/// at every observable instant (plain value swaps — no multi-step
+/// mutation happens under these locks).
+fn unpoison<T>(result: LockResult<T>) -> T {
+    result.unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// The storage kinds an engine can front, mirroring the paper's three
 /// systems. Parsed from CLI spellings; constructs configured backends.
@@ -87,6 +103,20 @@ enum UpdateOp<'a> {
     Insert { parent: &'a Path, name: &'a str, text: Option<&'a str> },
 }
 
+/// What the faultable part of a guarded transaction produced: either a
+/// denial (nothing to publish) or everything commit needs, staged while
+/// still inside `catch_unwind`.
+enum TxnOutcome {
+    Denied(GuardedUpdate),
+    Ready {
+        outcome: UpdateOutcome,
+        /// Boxed: a checkpoint holds a full store image, dwarfing the
+        /// denied variant.
+        checkpoint: Box<Checkpoint>,
+        snapshot: Arc<AccessSnapshot>,
+    },
+}
+
 /// The concurrent serving engine. See the [module docs](self).
 pub struct ServeEngine {
     system: Arc<System>,
@@ -97,30 +127,61 @@ pub struct ServeEngine {
     /// to clone the `Arc`; the writer only long enough to swap it —
     /// never during re-annotation.
     published: RwLock<Arc<AccessSnapshot>>,
+    /// Checkpoint of the backend state behind the published snapshot —
+    /// swapped together with `published`, so it always describes the
+    /// same state readers are being served. The rollback rung restores
+    /// it when an update fails past repair.
+    last_good: Mutex<Checkpoint>,
+    /// `Some(cause)` once the ladder is exhausted: the engine is
+    /// read-only and every guarded update is rejected.
+    quarantine: Mutex<Option<String>>,
     metrics: Metrics,
     backend_name: &'static str,
 }
 
 impl ServeEngine {
     /// Stand up an engine: load the system's prepared document into the
-    /// backend, annotate it fully (the paper's startup cost), and
-    /// publish the first snapshot.
+    /// backend, annotate it fully (the paper's startup cost), publish
+    /// the first snapshot and capture the first last-good checkpoint.
+    ///
+    /// First publication is idempotent: a transient `snapshot()`
+    /// failure is retried once, and the publication counters move
+    /// exactly once, after a snapshot actually exists — counting per
+    /// *attempt* used to double-count the initial epoch.
     pub fn new(system: Arc<System>, mut backend: Box<dyn Backend + Send>) -> Result<ServeEngine> {
+        use std::sync::atomic::Ordering::Relaxed;
         system.load(backend.as_mut())?;
         system.annotate(backend.as_mut())?;
-        let snapshot = Arc::new(backend.snapshot()?);
-        let backend_name = backend.name();
         let metrics = Metrics::default();
-        metrics
-            .current_epoch
-            .store(snapshot.epoch(), std::sync::atomic::Ordering::Relaxed);
-        metrics
-            .epochs_published
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut snapshot = None;
+        let mut last_err = None;
+        for _attempt in 0..2 {
+            match backend.snapshot() {
+                Ok(s) => {
+                    snapshot = Some(Arc::new(s));
+                    break;
+                }
+                Err(e) => {
+                    if matches!(e, Error::FaultInjected { .. }) {
+                        metrics.faults_injected.fetch_add(1, Relaxed);
+                    }
+                    last_err = Some(e);
+                }
+            }
+        }
+        let Some(snapshot) = snapshot else {
+            return Err(last_err.expect("no snapshot implies a recorded error"));
+        };
+        let last_good = backend.checkpoint()?;
+        let backend_name = backend.name();
+        metrics.current_epoch.store(snapshot.epoch(), Relaxed);
+        metrics.epochs_published.fetch_add(1, Relaxed);
         Ok(ServeEngine {
             system,
             writer: Mutex::new(backend),
             published: RwLock::new(snapshot),
+            last_good: Mutex::new(last_good),
+            quarantine: Mutex::new(None),
             metrics,
             backend_name,
         })
@@ -131,6 +192,20 @@ impl ServeEngine {
     pub fn for_kind(system: Arc<System>, kind: BackendKind) -> Result<ServeEngine> {
         let mode = system.annotate_mode();
         ServeEngine::new(system, kind.make(mode))
+    }
+
+    /// Build an engine whose backend is wrapped in a
+    /// [`FaultingBackend`] armed with `plan` — the deterministic
+    /// fault-injection deployment used by the recovery tests, the
+    /// `fault-recovery` benchmark and `serve-bench --fault-plan`.
+    pub fn for_kind_with_faults(
+        system: Arc<System>,
+        kind: BackendKind,
+        plan: FaultPlan,
+    ) -> Result<ServeEngine> {
+        let mode = system.annotate_mode();
+        let faulting = FaultingBackend::new(kind.make(mode), plan);
+        ServeEngine::new(system, Box::new(faulting))
     }
 
     /// The system this engine serves.
@@ -145,9 +220,10 @@ impl ServeEngine {
 
     /// The currently published snapshot. Requests answered against it
     /// stay consistent with each other even if the engine publishes a
-    /// newer epoch meanwhile.
+    /// newer epoch meanwhile. Served even under quarantine — the whole
+    /// point of the last rung is that reads outlive write failures.
     pub fn snapshot(&self) -> Arc<AccessSnapshot> {
-        self.published.read().expect("snapshot lock poisoned").clone()
+        unpoison(self.published.read()).clone()
     }
 
     /// Epoch of the currently published snapshot.
@@ -158,6 +234,16 @@ impl ServeEngine {
     /// Accessible-node count at the published epoch.
     pub fn accessible_count(&self) -> usize {
         self.snapshot().accessible_count()
+    }
+
+    /// True once the engine has entered read-only quarantine.
+    pub fn quarantined(&self) -> bool {
+        unpoison(self.quarantine.lock()).is_some()
+    }
+
+    /// Why the engine is quarantined, if it is.
+    pub fn quarantine_cause(&self) -> Option<String> {
+        unpoison(self.quarantine.lock()).clone()
     }
 
     /// Frozen copy of the engine's request counters and latency
@@ -224,45 +310,127 @@ impl ServeEngine {
     /// For tests and maintenance tasks (sign-state audits); readers
     /// keep serving the published snapshot meanwhile. No snapshot is
     /// republished — mutate through the guarded update path instead.
-    pub fn with_writer<R>(&self, f: impl FnOnce(&mut dyn Backend) -> R) -> R {
-        let mut writer = self.writer.lock().expect("writer lock poisoned");
-        f(writer.as_mut())
+    /// Errors when writer-lock recovery itself fails (quarantine).
+    pub fn with_writer<R>(&self, f: impl FnOnce(&mut dyn Backend) -> R) -> Result<R> {
+        let mut writer = self.lock_writer()?;
+        Ok(f(writer.as_mut()))
+    }
+
+    /// Count an injected fault surfaced as a structured error.
+    fn note_fault(&self, e: &Error) {
+        if matches!(e, Error::FaultInjected { .. }) {
+            self.metrics
+                .faults_injected
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Acquire the writer lock, recovering from poison. A poisoned
+    /// writer lock means a previous holder panicked mid-mutation, so
+    /// the state behind it is unverifiable: restore from the last-good
+    /// checkpoint before handing it out (quarantining if even that
+    /// fails).
+    fn lock_writer(&self) -> Result<MutexGuard<'_, Box<dyn Backend + Send>>> {
+        match self.writer.lock() {
+            Ok(guard) => Ok(guard),
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                self.writer.clear_poison();
+                self.rollback(guard.as_mut(), "writer lock was poisoned")?;
+                Ok(guard)
+            }
+        }
     }
 
     fn guarded(&self, op: UpdateOp<'_>) -> Result<GuardedUpdate> {
-        use std::sync::atomic::Ordering::Relaxed;
         let start = Instant::now();
-        let mut writer = self.writer.lock().expect("writer lock poisoned");
-        let result = self.apply_guarded(writer.as_mut(), &op);
-        let result = match result {
-            Ok(GuardedUpdate::Applied(outcome)) => match self.publish(writer.as_mut()) {
-                Ok(()) => {
-                    self.metrics.updates_applied.fetch_add(1, Relaxed);
-                    self.metrics.sign_writes.fetch_add(outcome.sign_writes as u64, Relaxed);
-                    Ok(GuardedUpdate::Applied(outcome))
+        let result = self.guarded_transaction(&op);
+        self.metrics.update_latency.record(start.elapsed());
+        result
+    }
+
+    /// The transactional critical section. Every call lands in exactly
+    /// one of `updates_applied` / `updates_denied` / `update_errors` /
+    /// `rejected_while_quarantined`, keeping the accounting identity.
+    fn guarded_transaction(&self, op: &UpdateOp<'_>) -> Result<GuardedUpdate> {
+        use std::sync::atomic::Ordering::Relaxed;
+        if let Some(cause) = self.quarantine_cause() {
+            self.metrics.rejected_while_quarantined.fetch_add(1, Relaxed);
+            return Err(Error::Quarantined { last_good_epoch: self.epoch(), cause });
+        }
+        let mut writer = match self.lock_writer() {
+            Ok(writer) => writer,
+            Err(e) => {
+                self.metrics.update_errors.fetch_add(1, Relaxed);
+                return Err(e);
+            }
+        };
+        // Everything faultable — the update, the re-annotation, and the
+        // checkpoint + snapshot staging — runs under `catch_unwind`, so
+        // neither an injected nor an organic panic can poison the lock
+        // or escape with the backend half-mutated. Publication itself
+        // (pure pointer swaps in `install`) happens after, outside.
+        let b = writer.as_mut();
+        let staged = catch_unwind(AssertUnwindSafe(|| -> Result<TxnOutcome> {
+            match self.apply_guarded(b, op)? {
+                denied @ GuardedUpdate::Denied(_) => Ok(TxnOutcome::Denied(denied)),
+                GuardedUpdate::Applied(outcome) => {
+                    let checkpoint = Box::new(b.checkpoint()?);
+                    let snapshot = Arc::new(b.snapshot()?);
+                    Ok(TxnOutcome::Ready { outcome, checkpoint, snapshot })
                 }
-                Err(e) => {
-                    self.metrics.update_errors.fetch_add(1, Relaxed);
-                    Err(e)
-                }
-            },
-            Ok(denied @ GuardedUpdate::Denied(_)) => {
+            }
+        }));
+        match staged {
+            Ok(Ok(TxnOutcome::Denied(denied))) => {
                 self.metrics.updates_denied.fetch_add(1, Relaxed);
                 Ok(denied)
             }
-            Err(e) => {
+            Ok(Ok(TxnOutcome::Ready { outcome, checkpoint, snapshot })) => {
+                self.install(*checkpoint, snapshot);
+                self.metrics.updates_applied.fetch_add(1, Relaxed);
+                self.metrics.sign_writes.fetch_add(outcome.sign_writes as u64, Relaxed);
+                Ok(GuardedUpdate::Applied(outcome))
+            }
+            Ok(Err(e)) => {
+                // Rung 3: the update failed past what full
+                // re-annotation could repair — roll the backend back to
+                // the state behind the published snapshot.
+                self.note_fault(&e);
                 self.metrics.update_errors.fetch_add(1, Relaxed);
+                self.rollback(writer.as_mut(), &format!("guarded update failed: {e}"))?;
                 Err(e)
             }
-        };
-        self.metrics.update_latency.record(start.elapsed());
-        result
+            Err(payload) => {
+                let injected = injected_panic_point(&*payload);
+                let cause = match &injected {
+                    Some(point) => {
+                        self.metrics.faults_injected.fetch_add(1, Relaxed);
+                        format!("guarded update panicked: injected fault at `{point}`")
+                    }
+                    None => "guarded update panicked".to_string(),
+                };
+                self.metrics.update_errors.fetch_add(1, Relaxed);
+                self.rollback(writer.as_mut(), &cause)?;
+                // An injected panic keeps its classification (the CLI
+                // maps `FaultInjected` to a distinct exit code); an
+                // organic one is a system error.
+                Err(match injected {
+                    Some(point) => Error::FaultInjected { point },
+                    None => Error::System(format!(
+                        "{cause}; rolled back to last-good epoch {}",
+                        self.epoch()
+                    )),
+                })
+            }
+        }
     }
 
     /// The write-path body, mirroring [`System::guarded_delete`] /
     /// [`System::guarded_insert`] step for step so a single-threaded
     /// `System` replay of the same sequence reaches byte-identical sign
-    /// state — plus the graceful-degradation fallback.
+    /// state — plus rung 2 of the ladder: when the partial plan fails
+    /// to apply, degrade to full re-annotation (the paper's baseline).
     fn apply_guarded(&self, b: &mut dyn Backend, op: &UpdateOp<'_>) -> Result<GuardedUpdate> {
         use std::sync::atomic::Ordering::Relaxed;
         let guard_path = match op {
@@ -286,10 +454,11 @@ impl ServeEngine {
         };
         let sign_writes = match reannotator::apply(b, &plan) {
             Ok(writes) => writes,
-            Err(_) => {
+            Err(e) => {
                 // Partial repair failed: degrade to the paper's full
                 // re-annotation baseline so the served state stays
                 // consistent, and surface the event in the metrics.
+                self.note_fault(&e);
                 self.metrics.full_fallbacks.fetch_add(1, Relaxed);
                 self.system.full_reannotate(b)?
             }
@@ -302,14 +471,59 @@ impl ServeEngine {
         }))
     }
 
-    /// Publish the backend's current state as the new snapshot epoch.
-    fn publish(&self, b: &mut dyn Backend) -> Result<()> {
+    /// Commit a staged transaction: swap in the new snapshot and the
+    /// matching last-good checkpoint. Pure pointer swaps — nothing here
+    /// can fail halfway, which is why checkpoint + snapshot are staged
+    /// *before* publication.
+    fn install(&self, checkpoint: Checkpoint, snapshot: Arc<AccessSnapshot>) {
         use std::sync::atomic::Ordering::Relaxed;
-        let snapshot = Arc::new(b.snapshot()?);
         self.metrics.current_epoch.store(snapshot.epoch(), Relaxed);
         self.metrics.epochs_published.fetch_add(1, Relaxed);
-        *self.published.write().expect("snapshot lock poisoned") = snapshot;
-        Ok(())
+        *unpoison(self.published.write()) = snapshot;
+        *unpoison(self.last_good.lock()) = checkpoint;
+    }
+
+    /// Rung 3: restore the last-good checkpoint, bringing the backend
+    /// byte-identical to the state behind the published snapshot. If
+    /// restore itself fails or panics, escalate to rung 4 — quarantine:
+    /// mark the engine read-only and return [`Error::Quarantined`].
+    fn rollback(&self, b: &mut dyn Backend, cause: &str) -> Result<()> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let checkpoint = unpoison(self.last_good.lock()).clone();
+        match catch_unwind(AssertUnwindSafe(|| b.restore(&checkpoint))) {
+            Ok(Ok(())) => {
+                self.metrics.rollbacks.fetch_add(1, Relaxed);
+                Ok(())
+            }
+            Ok(Err(e)) => {
+                self.note_fault(&e);
+                Err(self.enter_quarantine(format!("{cause}; restore failed: {e}")))
+            }
+            Err(payload) => {
+                let detail = match injected_panic_point(&*payload) {
+                    Some(point) => {
+                        self.metrics.faults_injected.fetch_add(1, Relaxed);
+                        format!("restore panicked: injected fault at `{point}`")
+                    }
+                    None => "restore panicked".to_string(),
+                };
+                Err(self.enter_quarantine(format!("{cause}; {detail}")))
+            }
+        }
+    }
+
+    /// Rung 4: mark the engine read-only. Idempotent — the first cause
+    /// wins and the counter moves once. Reads keep being served from
+    /// the published snapshot.
+    fn enter_quarantine(&self, cause: String) -> Error {
+        let mut quarantine = unpoison(self.quarantine.lock());
+        if quarantine.is_none() {
+            *quarantine = Some(cause.clone());
+            self.metrics
+                .quarantines
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        Error::Quarantined { last_good_epoch: self.epoch(), cause }
     }
 }
 
@@ -426,7 +640,7 @@ mod tests {
         for kind in BackendKind::ALL {
             let engine = ServeEngine::for_kind(Arc::new(system()), kind).unwrap();
             let before_epoch = engine.epoch();
-            let before_signs = engine.with_writer(|b| b.sign_state().unwrap());
+            let before_signs = engine.with_writer(|b| b.sign_state().unwrap()).unwrap();
             // //med is inaccessible: guarded delete refused.
             let med = xac_xpath::parse("//med").unwrap();
             let g = engine.guarded_delete(&med).unwrap();
@@ -437,7 +651,7 @@ mod tests {
             assert!(!g.applied(), "{}", engine.backend_name());
             assert_eq!(engine.epoch(), before_epoch, "{}", engine.backend_name());
             assert_eq!(
-                engine.with_writer(|b| b.sign_state().unwrap()),
+                engine.with_writer(|b| b.sign_state().unwrap()).unwrap(),
                 before_signs,
                 "{}: denied updates must not change sign state",
                 engine.backend_name()
@@ -458,5 +672,41 @@ mod tests {
         for kind in BackendKind::ALL {
             assert_eq!(BackendKind::parse(kind.cli_name()).unwrap(), kind);
         }
+    }
+
+    #[test]
+    fn first_publish_is_idempotent_under_transient_snapshot_failure() {
+        // One-shot before_snapshot fault: the first snapshot attempt
+        // fails, the retry succeeds — and the initial epoch must be
+        // counted exactly once.
+        let plan = FaultPlan::parse("before_snapshot:error").unwrap();
+        let engine =
+            ServeEngine::for_kind_with_faults(Arc::new(system()), BackendKind::Native, plan)
+                .unwrap();
+        let m = engine.metrics();
+        assert_eq!(m.epochs_published, 1, "retried first publish counted once");
+        assert_eq!(m.faults_injected, 1);
+        assert_eq!(m.current_epoch, engine.epoch());
+        assert!(engine.query_str("//patient/name").unwrap().granted());
+    }
+
+    #[test]
+    fn poisoned_writer_lock_is_recovered_not_propagated() {
+        let engine =
+            ServeEngine::for_kind(Arc::new(system()), BackendKind::Native).unwrap();
+        let golden = engine.with_writer(|b| b.sign_state().unwrap()).unwrap();
+        // Poison the writer lock with an organic panic.
+        let poisoned = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _ = engine.with_writer(|_| panic!("organic failure"));
+        }));
+        assert!(poisoned.is_err());
+        // The engine recovers by restoring the last-good checkpoint and
+        // keeps working: reads, state audits, and guarded updates.
+        assert!(engine.query_str("//patient/name").unwrap().granted());
+        assert_eq!(engine.with_writer(|b| b.sign_state().unwrap()).unwrap(), golden);
+        assert!(!engine.quarantined());
+        let u = xac_xpath::parse("//regular").unwrap();
+        assert!(engine.guarded_delete(&u).unwrap().applied());
+        assert_eq!(engine.metrics().rollbacks, 1, "poison recovery rolled back once");
     }
 }

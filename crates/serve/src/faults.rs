@@ -1,0 +1,115 @@
+//! Seeded fault plans: random-but-replayable failure interleavings.
+//!
+//! [`FaultPlan`](xac_core::FaultPlan)s are explicit data; this module
+//! generates them from the in-repo [`SplitMix64`] stream so a single
+//! `u64` seed names a whole failure scenario. The same seed always
+//! expands to the same specs (the generator draws nothing else), which
+//! is what makes `serve-bench --fault-plan seed:42` replayable byte for
+//! byte across runs and machines.
+
+use xac_core::{FaultAction, FaultPlan, FaultPoint, FaultSpec, Result};
+use xac_xmlgen::SplitMix64;
+
+/// Fault points a seeded plan draws from. `before_restore` is excluded
+/// on purpose: arming it turns every rollback into a quarantine, which
+/// would make most seeds terminate the run after the first fault —
+/// quarantine scenarios are driven by explicit plans instead.
+const SEEDED_POINTS: [FaultPoint; 9] = [
+    FaultPoint::BeforeAnnotate,
+    FaultPoint::BeforeDelete,
+    FaultPoint::AfterDelete,
+    FaultPoint::BeforeInsert,
+    FaultPoint::AfterInsert,
+    FaultPoint::BeforeReannotate,
+    FaultPoint::MidReannotate,
+    FaultPoint::AfterReannotate,
+    FaultPoint::BeforeSnapshot,
+];
+
+/// Expand a seed into `faults` one-shot specs over [`SEEDED_POINTS`],
+/// each skipping one qualifying arrival per prior spec at the same
+/// point (so repeated draws of one point fire at successive arrivals,
+/// not all at the first). Startup-time arrivals are spared: points the
+/// engine hits while constructing (`before_annotate`,
+/// `before_snapshot`) get one extra skip.
+pub fn seeded_fault_plan(seed: u64, faults: usize) -> FaultPlan {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut plan = FaultPlan::new();
+    let mut drawn_at: std::collections::BTreeMap<&'static str, u32> =
+        std::collections::BTreeMap::new();
+    for _ in 0..faults {
+        let point = SEEDED_POINTS[rng.gen_range(0..SEEDED_POINTS.len())];
+        let action = if rng.gen_bool(0.25) { FaultAction::Panic } else { FaultAction::Error };
+        let prior = drawn_at.entry(point.name()).or_insert(0);
+        let startup_skip = match point {
+            FaultPoint::BeforeAnnotate | FaultPoint::BeforeSnapshot => 1,
+            _ => 0,
+        };
+        let mut spec = FaultSpec::once(point, action).skip(*prior + startup_skip);
+        if point == FaultPoint::MidReannotate {
+            spec = spec.after_sign_writes(rng.gen_range(1..8usize));
+        }
+        *prior += 1;
+        plan = plan.with(spec);
+    }
+    plan
+}
+
+/// Parse a `--fault-plan` argument: either `seed:<u64>[x<count>]`
+/// (expanded through [`seeded_fault_plan`]; default count 3) or an
+/// explicit [`FaultPlan::parse`] spec string.
+pub fn fault_plan_from_arg(arg: &str) -> Result<FaultPlan> {
+    if let Some(rest) = arg.strip_prefix("seed:") {
+        let (seed_text, count) = match rest.split_once('x') {
+            Some((s, n)) => (
+                s,
+                n.parse::<usize>().map_err(|_| {
+                    xac_core::Error::System(format!("bad fault count in `{arg}`"))
+                })?,
+            ),
+            None => (rest, 3),
+        };
+        let seed = seed_text.parse::<u64>().map_err(|_| {
+            xac_core::Error::System(format!("bad fault seed in `{arg}`"))
+        })?;
+        Ok(seeded_fault_plan(seed, count))
+    } else {
+        FaultPlan::parse(arg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        for seed in [0u64, 1, 42, 0xdead_beef] {
+            assert_eq!(seeded_fault_plan(seed, 5), seeded_fault_plan(seed, 5));
+        }
+        assert_ne!(seeded_fault_plan(1, 5), seeded_fault_plan(2, 5));
+    }
+
+    #[test]
+    fn seeded_plans_never_arm_before_restore() {
+        for seed in 0..64u64 {
+            let plan = seeded_fault_plan(seed, 8);
+            assert_eq!(plan.specs().len(), 8);
+            assert!(plan
+                .specs()
+                .iter()
+                .all(|s| s.point != xac_core::FaultPoint::BeforeRestore));
+        }
+    }
+
+    #[test]
+    fn arg_parsing_accepts_seeds_and_explicit_specs() {
+        assert_eq!(fault_plan_from_arg("seed:42").unwrap(), seeded_fault_plan(42, 3));
+        assert_eq!(fault_plan_from_arg("seed:42x7").unwrap(), seeded_fault_plan(42, 7));
+        assert!(fault_plan_from_arg("seed:many").is_err());
+        assert!(fault_plan_from_arg("seed:1xfew").is_err());
+        let explicit = fault_plan_from_arg("after_delete:panic").unwrap();
+        assert_eq!(explicit.specs().len(), 1);
+        assert!(fault_plan_from_arg("bogus_point").is_err());
+    }
+}

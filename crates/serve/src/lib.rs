@@ -38,7 +38,9 @@
 //! ```
 
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 
 pub use engine::{BackendKind, ServeCluster, ServeEngine};
+pub use faults::seeded_fault_plan;
 pub use metrics::{LatencyHistogram, LatencySummary, Metrics, MetricsSnapshot};

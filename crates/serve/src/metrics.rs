@@ -108,6 +108,10 @@ pub struct Metrics {
     pub(crate) updates_denied: AtomicU64,
     pub(crate) update_errors: AtomicU64,
     pub(crate) full_fallbacks: AtomicU64,
+    pub(crate) faults_injected: AtomicU64,
+    pub(crate) rollbacks: AtomicU64,
+    pub(crate) quarantines: AtomicU64,
+    pub(crate) rejected_while_quarantined: AtomicU64,
     pub(crate) sign_writes: AtomicU64,
     pub(crate) epochs_published: AtomicU64,
     pub(crate) current_epoch: AtomicU64,
@@ -126,6 +130,12 @@ impl Metrics {
             updates_denied: self.updates_denied.load(Ordering::Relaxed),
             update_errors: self.update_errors.load(Ordering::Relaxed),
             full_fallbacks: self.full_fallbacks.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            rollbacks: self.rollbacks.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
+            rejected_while_quarantined: self
+                .rejected_while_quarantined
+                .load(Ordering::Relaxed),
             sign_writes: self.sign_writes.load(Ordering::Relaxed),
             epochs_published: self.epochs_published.load(Ordering::Relaxed),
             current_epoch: self.current_epoch.load(Ordering::Relaxed),
@@ -153,6 +163,18 @@ pub struct MetricsSnapshot {
     pub update_errors: u64,
     /// Partial re-annotations that fell back to full re-annotation.
     pub full_fallbacks: u64,
+    /// Injected faults observed by the engine (errors returned or
+    /// panics caught that carried a fault-injection payload). Zero in
+    /// production configurations.
+    pub faults_injected: u64,
+    /// Updates rolled back by restoring the last-good checkpoint (the
+    /// ladder rung past full re-annotation).
+    pub rollbacks: u64,
+    /// Times the engine entered read-only quarantine (at most 1 today —
+    /// quarantine is terminal).
+    pub quarantines: u64,
+    /// Guarded updates rejected because the engine was quarantined.
+    pub rejected_while_quarantined: u64,
     /// Total sign writes performed by applied updates.
     pub sign_writes: u64,
     /// Snapshots published since the engine started (including the
@@ -174,9 +196,14 @@ impl MetricsSnapshot {
         self.reads_allowed + self.reads_denied + self.read_errors
     }
 
-    /// Total guarded updates issued.
+    /// Total guarded updates issued: every guarded call lands in
+    /// exactly one of applied / denied / errors /
+    /// rejected-while-quarantined.
     pub fn updates_issued(&self) -> u64 {
-        self.updates_applied + self.updates_denied + self.update_errors
+        self.updates_applied
+            + self.updates_denied
+            + self.update_errors
+            + self.rejected_while_quarantined
     }
 
     /// Render a compact human-readable report.
@@ -186,6 +213,8 @@ impl MetricsSnapshot {
              mean {:.1}µs p50 ≤{}µs p99 ≤{}µs\n\
              updates: {} ({} applied, {} denied, {} errors, {} full-reannotation fallbacks) \
              mean {:.1}µs\n\
+             recovery: {} faults injected, {} rollbacks, {} quarantines, \
+             {} rejected while quarantined\n\
              epoch {} ({} published), {} sign writes",
             self.reads_issued(),
             self.reads_allowed,
@@ -200,6 +229,10 @@ impl MetricsSnapshot {
             self.update_errors,
             self.full_fallbacks,
             self.update_latency.mean_us(),
+            self.faults_injected,
+            self.rollbacks,
+            self.quarantines,
+            self.rejected_while_quarantined,
             self.current_epoch,
             self.epochs_published,
             self.sign_writes,

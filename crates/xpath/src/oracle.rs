@@ -99,9 +99,18 @@ impl ContainmentOracle {
         id
     }
 
+    /// Recover the cache lock even when poisoned: the state is a pure
+    /// memo table whose invariant survives any panic in `intern` (the
+    /// pattern vector and id map are only ever *appended to*, and a
+    /// stray pattern without an id entry is unreachable, not corrupt) —
+    /// so a poisoned cache is still a valid cache.
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Memoized `p ⊑ q` (schema-blind homomorphism test).
     pub fn contained_in(&self, p: &Path, q: &Path) -> bool {
-        let mut s = self.state.lock().expect("oracle lock poisoned");
+        let mut s = self.lock_state();
         let pi = Self::intern(&mut s, p);
         let qi = Self::intern(&mut s, q);
         if let Some(&v) = s.plain.get(&(pi, qi)) {
@@ -120,7 +129,7 @@ impl ContainmentOracle {
         let Some(schema) = &self.schema else {
             return self.contained_in(p, q);
         };
-        let mut s = self.state.lock().expect("oracle lock poisoned");
+        let mut s = self.lock_state();
         let pi = Self::intern(&mut s, p);
         let qi = Self::intern(&mut s, q);
         if let Some(&v) = s.schema_aware.get(&(pi, qi)) {
@@ -151,7 +160,7 @@ impl ContainmentOracle {
 
     /// Current cache counters.
     pub fn stats(&self) -> OracleStats {
-        let s = self.state.lock().expect("oracle lock poisoned");
+        let s = self.lock_state();
         OracleStats { hits: s.hits, misses: s.misses, distinct_paths: s.patterns.len() }
     }
 }

@@ -29,4 +29,11 @@ echo "== figures smoke: serve artifact =="
 cargo run --release -q -p xac-bench --bin figures -- serve
 test -s BENCH_serve.json
 
+echo "== fault sweep: every injection point x every backend =="
+cargo test --release -q -p xac-serve --test fault_recovery
+
+echo "== figures smoke: fault-recovery artifact =="
+cargo run --release -q -p xac-bench --bin figures -- fault-recovery
+test -s BENCH_fault_recovery.json
+
 echo "ci.sh: all green"

@@ -185,6 +185,77 @@ fn view_prints_security_view() {
     assert_eq!(stdout(&out).trim(), "<hospital/>");
 }
 
+fn serve_bench_args(extra: &[&str]) -> Vec<String> {
+    let mut args: Vec<String> = [
+        "serve-bench",
+        "--schema",
+        &data("hospital.dtd"),
+        "--policy",
+        &data("hospital.pol"),
+        "--doc",
+        &data("figure2.xml"),
+        "--query",
+        "//patient/name",
+        "--readers",
+        "2",
+        "--reads",
+        "20",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    args.extend(extra.iter().map(|s| s.to_string()));
+    args
+}
+
+#[test]
+fn serve_bench_fault_plan_recovers_with_rollback() {
+    // One-shot fault on the delete: the engine rolls back, the command
+    // classifies the lost write with exit code 4, and the metrics show
+    // the ladder at work.
+    let args = serve_bench_args(&[
+        "--delete",
+        "//patient[psn = \"042\"]/name",
+        "--fault-plan",
+        "after_delete:error",
+    ]);
+    let out = xmlac(&args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert_eq!(out.status.code(), Some(4), "{}", stderr(&out));
+    assert!(stderr(&out).contains("fault injected at `after_delete`"), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("1 faults injected"), "{text}");
+    assert!(text.contains("1 rollbacks"), "{text}");
+    assert!(text.contains("0 quarantines"), "{text}");
+}
+
+#[test]
+fn serve_bench_quarantine_exits_3() {
+    // The rollback itself is sabotaged: the engine must end read-only.
+    let args = serve_bench_args(&[
+        "--delete",
+        "//patient[psn = \"042\"]/name",
+        "--fault-plan",
+        "after_delete:panic,before_restore:error",
+    ]);
+    let out = xmlac(&args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+    assert!(stderr(&out).contains("quarantined"), "{}", stderr(&out));
+    assert!(stdout(&out).contains("1 quarantines"), "{}", stdout(&out));
+}
+
+#[test]
+fn serve_bench_seeded_plan_and_bad_specs() {
+    // A seed with zero faults is a no-op plan: clean exit.
+    let args = serve_bench_args(&["--fault-plan", "seed:7x0"]);
+    let out = xmlac(&args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let args = serve_bench_args(&["--fault-plan", "no_such_point:error"]);
+    let out = xmlac(&args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("--fault-plan"), "{}", stderr(&out));
+}
+
 #[test]
 fn errors_are_reported_with_nonzero_exit() {
     let out = xmlac(&["bogus-command"]);

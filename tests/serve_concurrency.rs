@@ -198,7 +198,7 @@ fn concurrent_serve(kind: BackendKind) {
     }
 
     // 2. Final sign state is byte-identical to the replay's.
-    let final_signs = engine.with_writer(|b| b.sign_state().unwrap());
+    let final_signs = engine.with_writer(|b| b.sign_state().unwrap()).unwrap();
     assert_eq!(
         final_signs,
         expected_signs,
