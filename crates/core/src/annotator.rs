@@ -11,19 +11,25 @@ use xac_policy::{AnnotationQuery, Policy};
 
 /// Compile the annotation query for a policy.
 pub fn annotation_query(policy: &Policy) -> AnnotationQuery {
+    let _span = xac_obs::span("annotate.compile");
     AnnotationQuery::from_policy(policy)
 }
 
 /// Fully annotate a loaded backend under a policy; returns sign writes.
 pub fn annotate(backend: &mut dyn Backend, policy: &Policy) -> Result<usize> {
-    backend.annotate(&annotation_query(policy))
+    let _span = xac_obs::span("annotate.full");
+    let query = annotation_query(policy);
+    backend.annotate(&query)
 }
 
 /// Reset and re-run a full annotation (the paper's baseline against which
 /// re-annotation is compared: "delete all annotations and annotate from
 /// scratch").
 pub fn full_reannotate(backend: &mut dyn Backend, policy: &Policy) -> Result<usize> {
-    backend.reset_annotations()?;
+    {
+        let _span = xac_obs::span("annotate.reset");
+        backend.reset_annotations()?;
+    }
     annotate(backend, policy)
 }
 

@@ -341,6 +341,7 @@ impl RelationalBackend {
     /// tests can measure the write path in isolation from annotation-query
     /// evaluation (which is mode-independent and dominates `annotate`).
     pub fn write_signs(&mut self, targets: &BTreeSet<i64>, sign: char) -> Result<usize> {
+        let _span = xac_obs::span("backend.write_signs");
         self.mutated();
         let tables: Vec<String> =
             self.state()?.mapping.tables().iter().map(|t| t.name.clone()).collect();
@@ -448,6 +449,7 @@ impl Backend for RelationalBackend {
     }
 
     fn load(&mut self, prepared: &PreparedDocument) -> Result<()> {
+        let _span = xac_obs::span("backend.load");
         let mut db = Database::new(self.kind);
         db.execute_script(&prepared.ddl)?;
         db.execute_script(&prepared.sql_text)?;
@@ -481,6 +483,7 @@ impl Backend for RelationalBackend {
     }
 
     fn annotate(&mut self, query: &AnnotationQuery) -> Result<usize> {
+        let _span = xac_obs::span("backend.annotate");
         let sql = self.render_annotation_sql(query)?;
         let targets = self.db.query(&sql)?.column_as_int_set(0);
         self.write_signs(&targets, sign_char(query.mark))
@@ -764,6 +767,7 @@ impl Backend for NativeXmlBackend {
     }
 
     fn load(&mut self, prepared: &PreparedDocument) -> Result<()> {
+        let _span = xac_obs::span("backend.load");
         // A native store loads from the serialized document — parsing is
         // the measured work, exactly like shipping the XML file to the
         // XQuery database.
@@ -779,6 +783,7 @@ impl Backend for NativeXmlBackend {
     }
 
     fn annotate(&mut self, query: &AnnotationQuery) -> Result<usize> {
+        let _span = xac_obs::span("backend.annotate");
         let mark = sign_char(query.mark);
         let Some(expr) = Self::expr_of(query) else {
             return Ok(0);

@@ -408,19 +408,27 @@ impl<B: Backend> FaultingBackend<B> {
         match self.plan.take(point) {
             None => Ok(()),
             Some(FaultAction::Error) => {
+                xac_obs::instant(&format!("fault:{}", point.name()));
                 Err(Error::FaultInjected { point: point.name().to_string() })
             }
-            Some(FaultAction::Panic) => panic!("{}", injected_panic_message(point)),
+            Some(FaultAction::Panic) => {
+                xac_obs::instant(&format!("fault:{}", point.name()));
+                panic!("{}", injected_panic_message(point))
+            }
         }
     }
 
     fn fire_mid(&mut self, writes_done: usize) -> Result<()> {
         match self.plan.take_mid(writes_done) {
             None => Ok(()),
-            Some(FaultAction::Error) => Err(Error::FaultInjected {
-                point: FaultPoint::MidReannotate.name().to_string(),
-            }),
+            Some(FaultAction::Error) => {
+                xac_obs::instant(&format!("fault:{}", FaultPoint::MidReannotate.name()));
+                Err(Error::FaultInjected {
+                    point: FaultPoint::MidReannotate.name().to_string(),
+                })
+            }
             Some(FaultAction::Panic) => {
+                xac_obs::instant(&format!("fault:{}", FaultPoint::MidReannotate.name()));
                 panic!("{}", injected_panic_message(FaultPoint::MidReannotate))
             }
         }

@@ -71,6 +71,7 @@ pub fn plan(
 /// reused across updates instead of re-derived per call. The resulting
 /// plan is identical to [`plan`] over the matching graph and schema.
 pub fn plan_with_analysis(analysis: &PolicyAnalysis, update: &Path) -> ReannotationPlan {
+    let _span = xac_obs::span("reannotate.plan");
     let indices = analysis.trigger(update);
     assemble(analysis.policy(), &indices, analysis.expansions(), analysis.oracle())
 }
@@ -127,6 +128,7 @@ pub fn apply(backend: &mut dyn Backend, plan: &ReannotationPlan) -> Result<usize
     if plan.is_empty() {
         return Ok(0);
     }
+    let _span = xac_obs::span("reannotate.apply");
     backend.reannotate(&plan.scope, &plan.query)
 }
 

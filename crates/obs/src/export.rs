@@ -1,0 +1,612 @@
+//! Exporters written from scratch: Chrome trace-event JSON (loadable
+//! in `chrome://tracing` / Perfetto) and Prometheus text exposition,
+//! plus validators for both formats so CI can check artifacts without
+//! external tooling.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{HistogramSnapshot, Registry};
+use crate::trace::{TraceEvent, TraceKind};
+
+/// Escape a string for embedding inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render events as Chrome trace-event JSON (the "JSON object format"
+/// with a `traceEvents` array). Spans become complete (`"ph":"X"`)
+/// events; instants become thread-scoped (`"ph":"i"`) events.
+/// Timestamps are microseconds with nanosecond precision kept in the
+/// fractional part.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    for e in events {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let ts_us = e.start_ns as f64 / 1_000.0;
+        match e.kind {
+            TraceKind::Span => {
+                let dur_us = e.dur_ns as f64 / 1_000.0;
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"xac\",\"ph\":\"X\",\"ts\":{ts_us:.3},\"dur\":{dur_us:.3},\"pid\":1,\"tid\":{}}}",
+                    json_escape(&e.name),
+                    e.tid
+                );
+            }
+            TraceKind::Instant => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"xac\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts_us:.3},\"pid\":1,\"tid\":{}}}",
+                    json_escape(&e.name),
+                    e.tid
+                );
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Escape a Prometheus label value (`\`, `"`, newline).
+fn label_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Family name of a registered key: everything before the label body.
+fn family_of(key: &str) -> &str {
+    match key.find('{') {
+        Some(i) => &key[..i],
+        None => key,
+    }
+}
+
+/// Append one counter sample (with `# TYPE`/`# HELP` emitted by the
+/// caller once per family).
+pub fn write_counter(out: &mut String, key: &str, value: u64) {
+    let _ = writeln!(out, "{key} {value}");
+}
+
+/// Append one gauge sample.
+pub fn write_gauge(out: &mut String, key: &str, value: u64) {
+    let _ = writeln!(out, "{key} {value}");
+}
+
+/// Merge an extra label (e.g. `le="15"`) into a key that may or may
+/// not already carry a label body.
+fn key_with_label(key: &str, label: &str) -> String {
+    match key.find('{') {
+        Some(i) => {
+            let (name, rest) = key.split_at(i);
+            let body = rest.trim_start_matches('{').trim_end_matches('}');
+            if body.is_empty() {
+                format!("{name}{{{label}}}")
+            } else {
+                format!("{name}{{{body},{label}}}")
+            }
+        }
+        None => format!("{key}{{{label}}}"),
+    }
+}
+
+/// Append one histogram in Prometheus exposition form: cumulative
+/// `_bucket{le=...}` samples (upper bounds are the inclusive log2
+/// bucket tops, `(1<<i)-1`), then `_sum` and `_count`.
+pub fn write_histogram(out: &mut String, key: &str, snap: &HistogramSnapshot) {
+    let name = family_of(key);
+    let labels = &key[name.len()..];
+    let mut cumulative: u64 = 0;
+    for (i, &n) in snap.buckets.iter().enumerate() {
+        cumulative += n;
+        let le = if i + 1 == snap.buckets.len() {
+            "+Inf".to_string()
+        } else {
+            HistogramSnapshot::bucket_bound(i).to_string()
+        };
+        let bucket_key = key_with_label(&format!("{name}_bucket{labels}"), &format!("le=\"{le}\""));
+        let _ = writeln!(out, "{bucket_key} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_sum{labels} {}", snap.total);
+    let _ = writeln!(out, "{name}_count{labels} {}", snap.count);
+}
+
+/// Render a whole registry in Prometheus text exposition format.
+/// Samples sharing a family (same name, different labels) are grouped
+/// under a single `# TYPE` line.
+pub fn prometheus_render(registry: &Registry) -> String {
+    use std::collections::BTreeMap;
+    let mut out = String::new();
+
+    let mut families: BTreeMap<String, Vec<(String, u64)>> = BTreeMap::new();
+    for (key, v) in registry.counters() {
+        families.entry(family_of(&key).to_string()).or_default().push((key, v));
+    }
+    for (family, samples) in &families {
+        let _ = writeln!(out, "# TYPE {family} counter");
+        for (key, v) in samples {
+            write_counter(&mut out, key, *v);
+        }
+    }
+
+    let mut families: BTreeMap<String, Vec<(String, u64)>> = BTreeMap::new();
+    for (key, v) in registry.gauges() {
+        families.entry(family_of(&key).to_string()).or_default().push((key, v));
+    }
+    for (family, samples) in &families {
+        let _ = writeln!(out, "# TYPE {family} gauge");
+        for (key, v) in samples {
+            write_gauge(&mut out, key, *v);
+        }
+    }
+
+    let mut families: BTreeMap<String, Vec<(String, HistogramSnapshot)>> = BTreeMap::new();
+    for (key, snap) in registry.histograms() {
+        families.entry(family_of(&key).to_string()).or_default().push((key, snap));
+    }
+    for (family, samples) in &families {
+        let _ = writeln!(out, "# TYPE {family} histogram");
+        for (key, snap) in samples {
+            write_histogram(&mut out, key, snap);
+        }
+    }
+
+    out
+}
+
+/// Build a labeled sample key, escaping the label values:
+/// `sample_key("xac_serve_reads", &[("backend", "native")])` →
+/// `xac_serve_reads{backend="native"}`.
+pub fn sample_key(family: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return family.to_string();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", label_escape(v)))
+        .collect();
+    format!("{family}{{{}}}", body.join(","))
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_body(s: &str) -> bool {
+    // s is the text between '{' and '}': k="v",k2="v2" (trailing comma ok).
+    let mut rest = s;
+    loop {
+        rest = rest.trim_start();
+        if rest.is_empty() {
+            return true;
+        }
+        let eq = match rest.find('=') {
+            Some(i) => i,
+            None => return false,
+        };
+        let name = rest[..eq].trim();
+        if !valid_metric_name(name) || name.contains(':') {
+            return false;
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return false;
+        }
+        // Scan the quoted value honoring backslash escapes.
+        let bytes = rest.as_bytes();
+        let mut i = 1;
+        loop {
+            match bytes.get(i) {
+                None => return false,
+                Some(b'\\') => i += 2,
+                Some(b'"') => break,
+                Some(_) => i += 1,
+            }
+        }
+        rest = &rest[i + 1..];
+        rest = rest.trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+        } else if !rest.is_empty() {
+            return false;
+        }
+    }
+}
+
+fn valid_sample_line(line: &str) -> bool {
+    // name[{labels}] value [timestamp]
+    let name_end = line
+        .find(|c: char| c == '{' || c.is_whitespace())
+        .unwrap_or(line.len());
+    if !valid_metric_name(&line[..name_end]) {
+        return false;
+    }
+    let mut rest = &line[name_end..];
+    if rest.starts_with('{') {
+        // The label body cannot contain an unescaped '}' in a value, but
+        // values are quoted — find the closing brace outside quotes.
+        let bytes = rest.as_bytes();
+        let mut i = 1;
+        let mut in_quotes = false;
+        let close = loop {
+            match bytes.get(i) {
+                None => return false,
+                Some(b'\\') if in_quotes => i += 1,
+                Some(b'"') => in_quotes = !in_quotes,
+                Some(b'}') if !in_quotes => break i,
+                Some(_) => {}
+            }
+            i += 1;
+        };
+        if !valid_label_body(&rest[1..close]) {
+            return false;
+        }
+        rest = &rest[close + 1..];
+    }
+    let mut parts = rest.split_whitespace();
+    let value = match parts.next() {
+        Some(v) => v,
+        None => return false,
+    };
+    let value_ok = value.parse::<f64>().is_ok()
+        || matches!(value, "+Inf" | "-Inf" | "Inf" | "NaN");
+    if !value_ok {
+        return false;
+    }
+    match parts.next() {
+        None => true,
+        // Optional timestamp (milliseconds, may be negative).
+        Some(ts) => ts.parse::<i64>().is_ok() && parts.next().is_none(),
+    }
+}
+
+/// Validate Prometheus text exposition: every non-empty line must be
+/// `# TYPE`/`# HELP` metadata, a comment, or `name[{labels}] value
+/// [timestamp]`. Returns the first offending line on failure.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(meta) = line.strip_prefix('#') {
+            let meta = meta.trim_start();
+            if meta.starts_with("TYPE ") || meta.starts_with("HELP ") {
+                continue;
+            }
+            return Err(format!("line {}: comment is not # TYPE / # HELP: {line}", idx + 1));
+        }
+        if !valid_sample_line(line) {
+            return Err(format!("line {}: not `name{{labels}} value`: {line}", idx + 1));
+        }
+    }
+    Ok(())
+}
+
+/// A minimal recursive-descent JSON syntax checker (no value
+/// materialization). Rejects trailing garbage and nesting deeper than
+/// 512 levels.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+const MAX_JSON_DEPTH: usize = 512;
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(&b) = bytes.get(*pos) {
+        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+    if depth > MAX_JSON_DEPTH {
+        return Err("nesting too deep".to_string());
+    }
+    match bytes.get(*pos) {
+        None => Err(format!("unexpected end of input at byte {pos}", pos = *pos)),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'"') => parse_string(bytes, pos),
+        Some(b't') => parse_literal(bytes, pos, "true"),
+        Some(b'f') => parse_literal(bytes, pos, "false"),
+        Some(b'n') => parse_literal(bytes, pos, "null"),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
+    *pos += 1;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match bytes.get(*pos) {
+                                Some(c) if c.is_ascii_hexdigit() => *pos += 1,
+                                _ => {
+                                    return Err(format!(
+                                        "bad \\u escape at byte {pos}",
+                                        pos = *pos
+                                    ))
+                                }
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+            }
+            0x00..=0x1f => {
+                return Err(format!("raw control char in string at byte {pos}", pos = *pos))
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let int_start = *pos;
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+        *pos += 1;
+    }
+    if *pos == int_start {
+        return Err(format!("invalid number at byte {start}"));
+    }
+    // JSON forbids leading zeros on multi-digit integer parts.
+    if bytes[int_start] == b'0' && *pos - int_start > 1 {
+        return Err(format!("leading zero in number at byte {start}"));
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_start = *pos;
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return Err(format!("invalid fraction at byte {start}"));
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return Err(format!("invalid exponent at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+    *pos += 1; // consume '{'
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        parse_value(bytes, pos, depth + 1)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+    *pos += 1; // consume '['
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        parse_value(bytes, pos, depth + 1)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceEvent, TraceKind};
+
+    fn span_event(name: &str, tid: u64, start_ns: u64, dur_ns: u64) -> TraceEvent {
+        TraceEvent {
+            name: name.to_string(),
+            kind: TraceKind::Span,
+            tid,
+            depth: 0,
+            start_ns,
+            dur_ns,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_output_is_valid_json() {
+        let mut events = vec![
+            span_event("annotate.full", 1, 1_000, 2_500_000),
+            span_event("reannotate.plan", 2, 5_000, 40_000),
+        ];
+        events.push(TraceEvent {
+            name: "fault:mid_reannotate".to_string(),
+            kind: TraceKind::Instant,
+            tid: 2,
+            depth: 1,
+            start_ns: 25_000,
+            dur_ns: 0,
+            seq: 0,
+        });
+        let json = chrome_trace(&events);
+        validate_json(&json).expect("chrome trace must be well-formed JSON");
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"name\":\"fault:mid_reannotate\""));
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json() {
+        validate_json(&chrome_trace(&[])).expect("empty trace must still parse");
+    }
+
+    #[test]
+    fn prometheus_render_is_valid_exposition() {
+        let reg = Registry::new();
+        reg.counter("xac_oracle_hits_total").add(10);
+        reg.counter("xac_oracle_misses_total").add(3);
+        reg.counter(&sample_key("xac_serve_reads_total", &[("backend", "native")]))
+            .add(7);
+        reg.counter(&sample_key("xac_serve_reads_total", &[("backend", "edge")]))
+            .add(2);
+        reg.gauge("xac_serve_current_epoch").set(4);
+        let h = reg.histogram("xac_read_latency_us");
+        for v in [0u64, 1, 7, 100, u64::MAX] {
+            h.observe(v);
+        }
+        let text = prometheus_render(&reg);
+        validate_prometheus(&text).expect("rendered exposition must validate");
+        // One TYPE line per family even with multiple labeled samples.
+        assert_eq!(text.matches("# TYPE xac_serve_reads_total counter").count(), 1);
+        assert!(text.contains("xac_oracle_hits_total 10"));
+        assert!(text.contains("xac_serve_reads_total{backend=\"native\"} 7"));
+        assert!(text.contains("le=\"+Inf\""));
+        assert!(text.contains("xac_read_latency_us_count 5"));
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_malformed_lines() {
+        assert!(validate_prometheus("just words here\n").is_err());
+        assert!(validate_prometheus("9leading_digit 1\n").is_err());
+        assert!(validate_prometheus("name{unclosed=\"v\" 1\n").is_err());
+        assert!(validate_prometheus("name 1 2 3\n").is_err());
+        assert!(validate_prometheus("# a stray comment\n").is_err());
+        assert!(validate_prometheus("name{} not_a_number\n").is_err());
+        // Valid shapes pass.
+        assert!(validate_prometheus("# TYPE x counter\nx 1\n").is_ok());
+        assert!(validate_prometheus("x{a=\"b\",c=\"d\"} 1.5 1700000000\n").is_ok());
+        assert!(validate_prometheus("x_bucket{le=\"+Inf\"} 12\n").is_ok());
+    }
+
+    #[test]
+    fn json_validator_accepts_and_rejects() {
+        assert!(validate_json("{\"a\":[1,2.5,-3e2,true,false,null,\"s\\n\"]}").is_ok());
+        assert!(validate_json("  [ ]  ").is_ok());
+        assert!(validate_json("{\"a\":1,}").is_err());
+        assert!(validate_json("[1 2]").is_err());
+        assert!(validate_json("{\"a\"}").is_err());
+        assert!(validate_json("01").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+        assert!(validate_json("{}extra").is_err());
+        assert!(validate_json("").is_err());
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        h.observe(0); // bucket 0
+        h.observe(1); // bucket 1
+        h.observe(1); // bucket 1
+        let text = prometheus_render(&reg);
+        assert!(text.contains("lat_bucket{le=\"0\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"1\"} 3"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_sum 2"));
+        assert!(text.contains("lat_count 3"));
+    }
+}

@@ -110,7 +110,11 @@ impl PolicyAnalysis {
     /// `policy.rules`) of the rules this update may invalidate. Identical
     /// output to `trigger(policy, &DependencyGraph::build(policy), u, schema)`.
     pub fn trigger(&self, update: &Path) -> Vec<usize> {
-        let update_expansions = expand_update(update, self.schema.as_ref());
+        let update_expansions = {
+            let _span = xac_obs::span("trigger.expand");
+            expand_update(update, self.schema.as_ref())
+        };
+        let _span = xac_obs::span("trigger.select");
         trigger_with_expansions(&self.expansions, &self.graph, &update_expansions, &self.oracle)
     }
 

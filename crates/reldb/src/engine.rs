@@ -8,6 +8,20 @@ use crate::sql::{parse_script, parse_statement, Condition, Operand, SqlCmpOp, St
 use crate::storage::{ColTable, RowTable};
 use crate::value::Value;
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+use xac_obs::metrics::Counter;
+
+/// Statements executed, across every engine instance in the process.
+fn statements_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| xac_obs::counter("xac_reldb_statements_total"))
+}
+
+/// Rows signed through the batched write path, process-wide.
+fn batch_sign_rows_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| xac_obs::counter("xac_reldb_batch_sign_rows_total"))
+}
 
 /// Physical layout (and matching execution engine) of a database.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +110,7 @@ impl Database {
     /// Parse and execute one statement.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
         let stmt = parse_statement(sql)?;
+        statements_total().inc();
         self.run(&stmt)
     }
 
@@ -104,6 +119,7 @@ impl Database {
     pub fn execute_script(&mut self, sql: &str) -> Result<usize> {
         let stmts = parse_script(sql)?;
         let n = stmts.len();
+        statements_total().add(n as u64);
         for stmt in &stmts {
             self.run(stmt)?;
         }
@@ -295,6 +311,7 @@ impl Database {
                 write_batch!(t)
             }
         }
+        batch_sign_rows_total().add(updated as u64);
         Ok(updated)
     }
 

@@ -69,6 +69,10 @@ struct Args {
     options: BTreeMap<String, String>,
     /// `--query` may repeat.
     queries: Vec<String>,
+    /// Bare (non-flag) tokens. Only the `obs` command takes them (its
+    /// verb); everywhere else they are rejected with the historical
+    /// usage error.
+    positionals: Vec<String>,
 }
 
 fn parse_args() -> CliResult<Args> {
@@ -76,11 +80,13 @@ fn parse_args() -> CliResult<Args> {
     let command = argv.next().ok_or_else(usage)?;
     let mut options = BTreeMap::new();
     let mut queries = Vec::new();
+    let mut positionals = Vec::new();
     while let Some(flag) = argv.next() {
-        let key = flag
-            .strip_prefix("--")
-            .ok_or_else(|| format!("expected a --flag, found `{flag}`"))?
-            .to_string();
+        let Some(key) = flag.strip_prefix("--") else {
+            positionals.push(flag);
+            continue;
+        };
+        let key = key.to_string();
         let value = argv
             .next()
             .ok_or_else(|| format!("flag --{key} needs a value"))?;
@@ -90,16 +96,20 @@ fn parse_args() -> CliResult<Args> {
             options.insert(key, value);
         }
     }
-    Ok(Args { command, options, queries })
+    Ok(Args { command, options, queries, positionals })
 }
 
 fn usage() -> String {
-    "usage: xmlac <check|optimize|shred|annotate|query|update|view|audit|serve-bench> \
+    "usage: xmlac <check|optimize|shred|annotate|query|update|view|audit|serve-bench|obs> \
      [--schema F] [--policy F] [--doc F] [--backend native|row|column] \
      [--annotate-mode paper|batched] \
      [--query XPATH]... [--delete XPATH] [--insert PARENT:NAME[:TEXT]] \
      [--mode prune|promote] [--readers N] [--reads N] [--out F] \
-     [--fault-plan SPEC|seed:N[xK]]"
+     [--fault-plan SPEC|seed:N[xK]] \
+     [--trace-out F] [--metrics-out F]\n\
+     obs dump  --schema F --policy F --doc F [--query XPATH]... [--delete XPATH] \
+     [--out F] [--trace-out F]\n\
+     obs check [--metrics F] [--trace F]"
         .to_string()
 }
 
@@ -168,6 +178,11 @@ impl Args {
 
 fn run() -> CliResult<()> {
     let args = parse_args()?;
+    if args.command != "obs" {
+        if let Some(stray) = args.positionals.first() {
+            return Err(format!("expected a --flag, found `{stray}`").into());
+        }
+    }
     match args.command.as_str() {
         "check" => check(&args),
         "optimize" => optimize(&args),
@@ -178,6 +193,7 @@ fn run() -> CliResult<()> {
         "view" => view(&args),
         "audit" => audit(&args),
         "serve-bench" => serve_bench(&args),
+        "obs" => obs(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -374,6 +390,77 @@ fn audit(args: &Args) -> CliResult<()> {
     Ok(())
 }
 
+/// Observability front end.
+///
+/// `obs dump` builds the system, runs the given queries (and an
+/// optional `--delete` through the re-annotation path) with tracing on,
+/// then prints the global metrics registry — oracle hit/miss counters,
+/// backend write totals, per-span aggregates — in Prometheus text
+/// exposition to stdout or `--out`. `--trace-out` additionally writes
+/// the Chrome trace-event JSON of the run.
+///
+/// `obs check` validates artifacts produced by `obs dump` or
+/// `serve-bench`: `--metrics F` must parse as Prometheus exposition
+/// (every line `name{labels} value` or `# TYPE`/`# HELP`), `--trace F`
+/// must be well-formed JSON. Invalid files exit 2.
+fn obs(args: &Args) -> CliResult<()> {
+    let verb = args.positionals.first().map(String::as_str).unwrap_or("dump");
+    match verb {
+        "dump" => obs_dump(args),
+        "check" => obs_check(args),
+        other => Err(format!("unknown obs verb `{other}` (dump|check)\n{}", usage()).into()),
+    }
+}
+
+fn obs_dump(args: &Args) -> CliResult<()> {
+    xac_obs::trace::set_enabled(true);
+    let (system, mut backend) = build_system(args)?;
+    for q in &args.queries {
+        system.request(backend.as_mut(), q).map_err(|e| e.to_string())?;
+    }
+    if let Some(expr) = args.options.get("delete") {
+        let path = xac_xpath::parse(expr).map_err(|e| e.to_string())?;
+        system
+            .apply_update(backend.as_mut(), &path)
+            .map_err(|e| e.to_string())?;
+    }
+    xac_obs::trace::set_enabled(false);
+    if let Some(path) = args.options.get("trace-out") {
+        let json = xac_obs::chrome_trace(&xac_obs::take_events());
+        std::fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("wrote trace to {path}");
+    }
+    let text = xac_obs::prometheus_global();
+    match args.options.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("wrote metrics to {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn obs_check(args: &Args) -> CliResult<()> {
+    if !args.options.contains_key("metrics") && !args.options.contains_key("trace") {
+        return Err(format!("obs check needs --metrics and/or --trace\n{}", usage()).into());
+    }
+    if let Some(path) = args.options.get("metrics") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read metrics `{path}`: {e}"))?;
+        xac_obs::validate_prometheus(&text)
+            .map_err(|e| format!("metrics `{path}` invalid: {e}"))?;
+        println!("metrics ok: {path} ({} lines)", text.lines().count());
+    }
+    if let Some(path) = args.options.get("trace") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read trace `{path}`: {e}"))?;
+        xac_obs::validate_json(&text).map_err(|e| format!("trace `{path}` invalid: {e}"))?;
+        println!("trace ok: {path} ({} bytes)", text.len());
+    }
+    Ok(())
+}
+
 /// Drive the serving engine: N reader threads issue the given queries
 /// against published snapshots while this thread applies guarded
 /// updates, then report the engine's metrics. `--fault-plan` arms an
@@ -384,6 +471,12 @@ fn audit(args: &Args) -> CliResult<()> {
 fn serve_bench(args: &Args) -> CliResult<()> {
     if args.queries.is_empty() {
         return Err(format!("serve-bench needs at least one --query\n{}", usage()).into());
+    }
+    // Tracing goes on before the system is built so the annotate /
+    // re-annotate phase spans of engine construction are captured too.
+    let tracing = args.options.contains_key("trace-out");
+    if tracing {
+        xac_obs::trace::set_enabled(true);
     }
     let system = Arc::new(args.build_system()?);
     let kind = args.backend_kind()?;
@@ -447,6 +540,23 @@ fn serve_bench(args: &Args) -> CliResult<()> {
         engine.backend_name()
     );
     println!("{}", engine.metrics().render());
+    // Telemetry artifacts are written before the exit-code
+    // classification below so they exist even for runs that end
+    // quarantined or with an unabsorbed fault.
+    if tracing {
+        xac_obs::trace::set_enabled(false);
+    }
+    if let Some(path) = args.options.get("trace-out") {
+        let json = xac_obs::chrome_trace(&xac_obs::take_events());
+        std::fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("wrote trace to {path}");
+    }
+    if let Some(path) = args.options.get("metrics-out") {
+        let mut text = engine.metrics().to_prometheus(engine.backend_name());
+        text.push_str(&xac_obs::prometheus_global());
+        std::fs::write(path, &text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("wrote metrics to {path}");
+    }
     if let Some(cause) = engine.quarantine_cause() {
         return Err(CliError {
             message: format!(

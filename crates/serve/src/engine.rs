@@ -257,6 +257,7 @@ impl ServeEngine {
     /// served at.
     pub fn query_observed(&self, path: &Path) -> (Decision, u64) {
         use std::sync::atomic::Ordering::Relaxed;
+        let _span = xac_obs::span("serve.read");
         let start = Instant::now();
         let snap = self.snapshot();
         let decision = snap.query(path);
@@ -343,6 +344,7 @@ impl ServeEngine {
     }
 
     fn guarded(&self, op: UpdateOp<'_>) -> Result<GuardedUpdate> {
+        let _span = xac_obs::span("serve.update");
         let start = Instant::now();
         let result = self.guarded_transaction(&op);
         self.metrics.update_latency.record(start.elapsed());
@@ -460,6 +462,7 @@ impl ServeEngine {
                 // consistent, and surface the event in the metrics.
                 self.note_fault(&e);
                 self.metrics.full_fallbacks.fetch_add(1, Relaxed);
+                xac_obs::instant("serve.full_fallback");
                 self.system.full_reannotate(b)?
             }
         };
@@ -477,6 +480,7 @@ impl ServeEngine {
     /// *before* publication.
     fn install(&self, checkpoint: Checkpoint, snapshot: Arc<AccessSnapshot>) {
         use std::sync::atomic::Ordering::Relaxed;
+        let _span = xac_obs::span("serve.publish");
         self.metrics.current_epoch.store(snapshot.epoch(), Relaxed);
         self.metrics.epochs_published.fetch_add(1, Relaxed);
         *unpoison(self.published.write()) = snapshot;
@@ -489,6 +493,7 @@ impl ServeEngine {
     /// mark the engine read-only and return [`Error::Quarantined`].
     fn rollback(&self, b: &mut dyn Backend, cause: &str) -> Result<()> {
         use std::sync::atomic::Ordering::Relaxed;
+        let _span = xac_obs::span("serve.rollback");
         let checkpoint = unpoison(self.last_good.lock()).clone();
         match catch_unwind(AssertUnwindSafe(|| b.restore(&checkpoint))) {
             Ok(Ok(())) => {
@@ -519,6 +524,7 @@ impl ServeEngine {
         let mut quarantine = unpoison(self.quarantine.lock());
         if quarantine.is_none() {
             *quarantine = Some(cause.clone());
+            xac_obs::instant("serve.quarantine");
             self.metrics
                 .quarantines
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);

@@ -1,57 +1,42 @@
-//! Per-request observability for the serving engine.
+//! Per-request observability for the serving engine, built on the
+//! `xac-obs` primitives.
 //!
 //! Everything here is lock-free: counters and histogram buckets are
-//! plain relaxed atomics, updated on the request path and read by
-//! [`Metrics::snapshot`] without stopping traffic. Relaxed ordering is
-//! sufficient because each counter is independent — a snapshot is a
-//! statistically consistent view, not a transactional one — while the
-//! accounting identity `allowed + denied + errors == issued` holds
-//! exactly once traffic has quiesced (each request increments exactly
-//! one outcome counter before returning).
+//! plain relaxed atomics (see [`xac_obs::metrics`]), updated on the
+//! request path and read by [`Metrics::snapshot`] without stopping
+//! traffic. Relaxed ordering is sufficient because each counter is
+//! independent — a snapshot is a statistically consistent view, not a
+//! transactional one — while the accounting identity
+//! `allowed + denied + errors == issued` holds exactly once traffic has
+//! quiesced (each request increments exactly one outcome counter before
+//! returning).
+//!
+//! The instruments stay *engine-local* rather than going through the
+//! global `xac_obs` registry: each [`crate::ServeEngine`] owns its
+//! `Metrics`, so the accounting identity holds per engine no matter how
+//! many engines share the process. [`MetricsSnapshot::to_prometheus`]
+//! exports a snapshot in the shared exposition format.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+use xac_obs::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 
-/// Number of power-of-two latency buckets: bucket `i` counts requests
-/// with `latency_us` in `[2^(i-1), 2^i)` (bucket 0 is `< 1 µs`), so 40
-/// buckets cover past 15 minutes — far beyond any request we serve.
-const BUCKETS: usize = 40;
-
-/// A fixed-bucket log₂ latency histogram over microseconds.
+/// A fixed-bucket log₂ latency histogram over microseconds. A thin
+/// facade over [`xac_obs::Histogram`] keeping the µs-denominated
+/// recording API.
+#[derive(Default)]
 pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    total_us: AtomicU64,
-    count: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> LatencyHistogram {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            total_us: AtomicU64::new(0),
-            count: AtomicU64::new(0),
-        }
-    }
+    inner: Histogram,
 }
 
 impl LatencyHistogram {
     /// Record one observation.
     pub fn record(&self, d: Duration) {
-        let us = d.as_micros() as u64;
-        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.total_us.fetch_add(us, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.observe(d.as_micros() as u64);
     }
 
     fn freeze(&self) -> LatencySummary {
-        let buckets: Vec<u64> =
-            self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        LatencySummary {
-            count: self.count.load(Ordering::Relaxed),
-            total_us: self.total_us.load(Ordering::Relaxed),
-            buckets,
-        }
+        let s = self.inner.snapshot();
+        LatencySummary { count: s.count, total_us: s.total, buckets: s.buckets }
     }
 }
 
@@ -90,10 +75,14 @@ impl LatencySummary {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank.max(1) {
-                return 1u64 << i;
+                return 1u64 << i.min(63);
             }
         }
-        1u64 << (self.buckets.len() - 1)
+        1u64 << (self.buckets.len() - 1).min(63)
+    }
+
+    fn to_histogram_snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot { count: self.count, total: self.total_us, buckets: self.buckets.clone() }
     }
 }
 
@@ -101,20 +90,20 @@ impl LatencySummary {
 /// updated from any thread, summarized by [`Metrics::snapshot`].
 #[derive(Default)]
 pub struct Metrics {
-    pub(crate) reads_allowed: AtomicU64,
-    pub(crate) reads_denied: AtomicU64,
-    pub(crate) read_errors: AtomicU64,
-    pub(crate) updates_applied: AtomicU64,
-    pub(crate) updates_denied: AtomicU64,
-    pub(crate) update_errors: AtomicU64,
-    pub(crate) full_fallbacks: AtomicU64,
-    pub(crate) faults_injected: AtomicU64,
-    pub(crate) rollbacks: AtomicU64,
-    pub(crate) quarantines: AtomicU64,
-    pub(crate) rejected_while_quarantined: AtomicU64,
-    pub(crate) sign_writes: AtomicU64,
-    pub(crate) epochs_published: AtomicU64,
-    pub(crate) current_epoch: AtomicU64,
+    pub(crate) reads_allowed: Counter,
+    pub(crate) reads_denied: Counter,
+    pub(crate) read_errors: Counter,
+    pub(crate) updates_applied: Counter,
+    pub(crate) updates_denied: Counter,
+    pub(crate) update_errors: Counter,
+    pub(crate) full_fallbacks: Counter,
+    pub(crate) faults_injected: Counter,
+    pub(crate) rollbacks: Counter,
+    pub(crate) quarantines: Counter,
+    pub(crate) rejected_while_quarantined: Counter,
+    pub(crate) sign_writes: Counter,
+    pub(crate) epochs_published: Counter,
+    pub(crate) current_epoch: Gauge,
     pub(crate) read_latency: LatencyHistogram,
     pub(crate) update_latency: LatencyHistogram,
 }
@@ -123,22 +112,20 @@ impl Metrics {
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            reads_allowed: self.reads_allowed.load(Ordering::Relaxed),
-            reads_denied: self.reads_denied.load(Ordering::Relaxed),
-            read_errors: self.read_errors.load(Ordering::Relaxed),
-            updates_applied: self.updates_applied.load(Ordering::Relaxed),
-            updates_denied: self.updates_denied.load(Ordering::Relaxed),
-            update_errors: self.update_errors.load(Ordering::Relaxed),
-            full_fallbacks: self.full_fallbacks.load(Ordering::Relaxed),
-            faults_injected: self.faults_injected.load(Ordering::Relaxed),
-            rollbacks: self.rollbacks.load(Ordering::Relaxed),
-            quarantines: self.quarantines.load(Ordering::Relaxed),
-            rejected_while_quarantined: self
-                .rejected_while_quarantined
-                .load(Ordering::Relaxed),
-            sign_writes: self.sign_writes.load(Ordering::Relaxed),
-            epochs_published: self.epochs_published.load(Ordering::Relaxed),
-            current_epoch: self.current_epoch.load(Ordering::Relaxed),
+            reads_allowed: self.reads_allowed.get(),
+            reads_denied: self.reads_denied.get(),
+            read_errors: self.read_errors.get(),
+            updates_applied: self.updates_applied.get(),
+            updates_denied: self.updates_denied.get(),
+            update_errors: self.update_errors.get(),
+            full_fallbacks: self.full_fallbacks.get(),
+            faults_injected: self.faults_injected.get(),
+            rollbacks: self.rollbacks.get(),
+            quarantines: self.quarantines.get(),
+            rejected_while_quarantined: self.rejected_while_quarantined.get(),
+            sign_writes: self.sign_writes.get(),
+            epochs_published: self.epochs_published.get(),
+            current_epoch: self.current_epoch.get(),
             read_latency: self.read_latency.freeze(),
             update_latency: self.update_latency.freeze(),
         }
@@ -238,11 +225,70 @@ impl MetricsSnapshot {
             self.sign_writes,
         )
     }
+
+    /// Render the snapshot in Prometheus text exposition format, every
+    /// sample labeled with the serving backend.
+    pub fn to_prometheus(&self, backend: &str) -> String {
+        use std::fmt::Write as _;
+        use xac_obs::export::{write_counter, write_gauge, write_histogram};
+        use xac_obs::sample_key;
+
+        let mut out = String::new();
+        let b = [("backend", backend)];
+        let with_outcome = |family: &str, outcome: &str| {
+            sample_key(family, &[("backend", backend), ("outcome", outcome)])
+        };
+
+        let _ = writeln!(out, "# TYPE xac_serve_reads_total counter");
+        write_counter(&mut out, &with_outcome("xac_serve_reads_total", "allowed"), self.reads_allowed);
+        write_counter(&mut out, &with_outcome("xac_serve_reads_total", "denied"), self.reads_denied);
+        write_counter(&mut out, &with_outcome("xac_serve_reads_total", "error"), self.read_errors);
+
+        let _ = writeln!(out, "# TYPE xac_serve_updates_total counter");
+        write_counter(&mut out, &with_outcome("xac_serve_updates_total", "applied"), self.updates_applied);
+        write_counter(&mut out, &with_outcome("xac_serve_updates_total", "denied"), self.updates_denied);
+        write_counter(&mut out, &with_outcome("xac_serve_updates_total", "error"), self.update_errors);
+        write_counter(
+            &mut out,
+            &with_outcome("xac_serve_updates_total", "rejected_while_quarantined"),
+            self.rejected_while_quarantined,
+        );
+
+        for (family, value) in [
+            ("xac_serve_full_fallbacks_total", self.full_fallbacks),
+            ("xac_serve_faults_injected_total", self.faults_injected),
+            ("xac_serve_rollbacks_total", self.rollbacks),
+            ("xac_serve_quarantines_total", self.quarantines),
+            ("xac_serve_sign_writes_total", self.sign_writes),
+            ("xac_serve_epochs_published_total", self.epochs_published),
+        ] {
+            let _ = writeln!(out, "# TYPE {family} counter");
+            write_counter(&mut out, &sample_key(family, &b), value);
+        }
+
+        let _ = writeln!(out, "# TYPE xac_serve_current_epoch gauge");
+        write_gauge(&mut out, &sample_key("xac_serve_current_epoch", &b), self.current_epoch);
+
+        let _ = writeln!(out, "# TYPE xac_serve_read_latency_us histogram");
+        write_histogram(
+            &mut out,
+            &sample_key("xac_serve_read_latency_us", &b),
+            &self.read_latency.to_histogram_snapshot(),
+        );
+        let _ = writeln!(out, "# TYPE xac_serve_update_latency_us histogram");
+        write_histogram(
+            &mut out,
+            &sample_key("xac_serve_update_latency_us", &b),
+            &self.update_latency.to_histogram_snapshot(),
+        );
+        out
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::Ordering;
 
     #[test]
     fn histogram_buckets_and_quantiles() {
@@ -279,5 +325,20 @@ mod tests {
         assert_eq!(s.reads_issued(), 6);
         assert_eq!(s.updates_issued(), 0);
         assert!(s.render().contains("6 "));
+    }
+
+    #[test]
+    fn prometheus_export_validates_and_carries_outcomes() {
+        let m = Metrics::default();
+        m.reads_allowed.add(5);
+        m.updates_applied.add(2);
+        m.current_epoch.set(3);
+        m.read_latency.record(Duration::from_micros(42));
+        let text = m.snapshot().to_prometheus("native/xml");
+        xac_obs::validate_prometheus(&text).expect("exposition must validate");
+        assert!(text.contains("xac_serve_reads_total{backend=\"native/xml\",outcome=\"allowed\"} 5"));
+        assert!(text.contains("xac_serve_current_epoch{backend=\"native/xml\"} 3"));
+        assert!(text.contains("xac_serve_read_latency_us_count{backend=\"native/xml\"} 1"));
+        assert!(text.contains("le=\"+Inf\""));
     }
 }

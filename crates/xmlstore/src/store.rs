@@ -4,8 +4,16 @@ use crate::index::NameIndex;
 use crate::xquery::NodeSetExpr;
 use crate::{Error, Result};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, OnceLock};
+use xac_obs::metrics::Counter;
 use xac_xml::{Document, NodeId};
 use xac_xpath::{Axis, Path};
+
+/// Sign attributes written through `annotate_expr`, process-wide.
+fn sign_writes_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| xac_obs::counter("xac_xmlstore_sign_writes_total"))
+}
 
 /// The attribute carrying accessibility annotations (paper §5.2: "we
 /// choose to store accessibility annotations for XML elements in the form
@@ -152,10 +160,12 @@ impl StoredDocument {
     /// Annotate every node selected by an expression; returns how many
     /// nodes were touched.
     pub fn annotate_expr(&mut self, expr: &NodeSetExpr, sign: char) -> usize {
+        let _span = xac_obs::span("backend.write_signs");
         let nodes = self.eval_expr(expr);
         for &n in &nodes {
             self.annotate(n, sign);
         }
+        sign_writes_total().add(nodes.len() as u64);
         nodes.len()
     }
 

@@ -22,11 +22,36 @@ use crate::containment::pattern_contained_in;
 use crate::pattern::TreePattern;
 use crate::specialize::contained_in_with_schema;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, OnceLock};
+use xac_obs::metrics::Counter;
 use xac_xml::Schema;
 
 /// Interned path handle: index into the oracle's pattern arena.
 type PathId = u32;
+
+/// Default bound on memoized (p, q) pairs across both memo tables.
+/// Each entry is ~17 bytes of map payload, so the default caps the
+/// memo around tens of megabytes — far above anything a policy-sized
+/// workload produces, but a hard stop for adversarial path streams.
+pub const DEFAULT_MEMO_CAPACITY: usize = 1 << 20;
+
+/// Process-wide oracle counters, aggregated across every oracle
+/// instance and exported as `xac_oracle_*_total`.
+fn global_hits() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| xac_obs::counter("xac_oracle_hits_total"))
+}
+
+fn global_misses() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| xac_obs::counter("xac_oracle_misses_total"))
+}
+
+fn global_evictions() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| xac_obs::counter("xac_oracle_evictions_total"))
+}
 
 #[derive(Default)]
 struct State {
@@ -40,6 +65,33 @@ struct State {
     schema_aware: HashMap<(PathId, PathId), bool>,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl State {
+    fn record_hit(&mut self) {
+        self.hits += 1;
+        global_hits().fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_miss(&mut self) {
+        self.misses += 1;
+        global_misses().fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Enforce the pair-memo bound before an insert: at capacity, both
+    /// memo tables are flushed wholesale (the memo is a pure cache —
+    /// answers recompute identically, only slower). Interned patterns
+    /// are kept: they are bounded by distinct paths, not query pairs.
+    fn evict_if_full(&mut self, capacity: usize) {
+        if self.plain.len() + self.schema_aware.len() >= capacity.max(1) {
+            let cleared = (self.plain.len() + self.schema_aware.len()) as u64;
+            self.plain.clear();
+            self.schema_aware.clear();
+            self.evictions += cleared;
+            global_evictions().fetch_add(cleared, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Cache counters, exposed for tests and perf reports.
@@ -49,8 +101,22 @@ pub struct OracleStats {
     pub hits: u64,
     /// Queries that ran the homomorphism test.
     pub misses: u64,
+    /// Memo entries discarded to stay under the capacity bound.
+    pub evictions: u64,
     /// Distinct paths interned (= tree patterns built).
     pub distinct_paths: usize,
+}
+
+impl OracleStats {
+    /// Fraction of queries served from the memo (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 /// A shared, memoizing façade over the containment checker.
@@ -61,6 +127,7 @@ pub struct OracleStats {
 /// containment tests happen.
 pub struct ContainmentOracle {
     schema: Option<Schema>,
+    memo_capacity: usize,
     state: Mutex<State>,
 }
 
@@ -74,13 +141,29 @@ impl ContainmentOracle {
     /// Oracle without schema knowledge: `contained_in_schema_aware`
     /// degrades to the blind test.
     pub fn new() -> ContainmentOracle {
-        ContainmentOracle { schema: None, state: Mutex::new(State::default()) }
+        ContainmentOracle {
+            schema: None,
+            memo_capacity: DEFAULT_MEMO_CAPACITY,
+            state: Mutex::new(State::default()),
+        }
     }
 
     /// Oracle whose schema-aware queries specialize descendant steps
     /// through `schema` (see [`crate::contained_in_with_schema`]).
     pub fn with_schema(schema: Schema) -> ContainmentOracle {
-        ContainmentOracle { schema: Some(schema), state: Mutex::new(State::default()) }
+        ContainmentOracle {
+            schema: Some(schema),
+            memo_capacity: DEFAULT_MEMO_CAPACITY,
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// Cap the pair-memo at `capacity` entries (minimum 1). At the cap
+    /// the memo is flushed and the flush counted as evictions; answers
+    /// are unchanged — this bounds memory, not correctness.
+    pub fn with_memo_capacity(mut self, capacity: usize) -> ContainmentOracle {
+        self.memo_capacity = capacity.max(1);
+        self
     }
 
     /// The schema this oracle specializes against, if any.
@@ -114,11 +197,12 @@ impl ContainmentOracle {
         let pi = Self::intern(&mut s, p);
         let qi = Self::intern(&mut s, q);
         if let Some(&v) = s.plain.get(&(pi, qi)) {
-            s.hits += 1;
+            s.record_hit();
             return v;
         }
-        s.misses += 1;
+        s.record_miss();
         let v = pattern_contained_in(&s.patterns[pi as usize], &s.patterns[qi as usize]);
+        s.evict_if_full(self.memo_capacity);
         s.plain.insert((pi, qi), v);
         v
     }
@@ -133,10 +217,10 @@ impl ContainmentOracle {
         let pi = Self::intern(&mut s, p);
         let qi = Self::intern(&mut s, q);
         if let Some(&v) = s.schema_aware.get(&(pi, qi)) {
-            s.hits += 1;
+            s.record_hit();
             return v;
         }
-        s.misses += 1;
+        s.record_miss();
         // Cheap path first: a blind yes is also a schema-aware yes, and
         // the blind answer may already be memoized.
         let blind = match s.plain.get(&(pi, qi)) {
@@ -144,11 +228,13 @@ impl ContainmentOracle {
             None => {
                 let v =
                     pattern_contained_in(&s.patterns[pi as usize], &s.patterns[qi as usize]);
+                s.evict_if_full(self.memo_capacity);
                 s.plain.insert((pi, qi), v);
                 v
             }
         };
         let v = blind || contained_in_with_schema(p, q, schema);
+        s.evict_if_full(self.memo_capacity);
         s.schema_aware.insert((pi, qi), v);
         v
     }
@@ -161,7 +247,12 @@ impl ContainmentOracle {
     /// Current cache counters.
     pub fn stats(&self) -> OracleStats {
         let s = self.lock_state();
-        OracleStats { hits: s.hits, misses: s.misses, distinct_paths: s.patterns.len() }
+        OracleStats {
+            hits: s.hits,
+            misses: s.misses,
+            evictions: s.evictions,
+            distinct_paths: s.patterns.len(),
+        }
     }
 }
 
@@ -266,6 +357,42 @@ mod tests {
             assert_eq!(oracle.contained_in_schema_aware(&p, &q), fresh, "{ps} ⊑ {qs} (cached)");
         }
         assert!(oracle.stats().hits >= 4);
+    }
+
+    #[test]
+    fn bounded_memo_evicts_but_stays_correct() {
+        let oracle = ContainmentOracle::new().with_memo_capacity(2);
+        let paths: Vec<Path> = ["//a", "//a[b]", "//a/b", "//c", "//c[d]", "//*"]
+            .iter()
+            .map(|s| parse(s).unwrap())
+            .collect();
+        // Far more ordered pairs than the capacity of 2; every answer
+        // must still match the fresh checker.
+        for p in &paths {
+            for q in &paths {
+                assert_eq!(oracle.contained_in(p, q), crate::contained_in(p, q), "{p} ⊑ {q}");
+            }
+        }
+        let stats = oracle.stats();
+        assert!(stats.evictions > 0, "a capacity-2 memo must have evicted: {stats:?}");
+        assert_eq!(stats.distinct_paths, paths.len(), "interning survives eviction");
+        // And a re-query is still answered correctly post-eviction.
+        assert!(oracle.contained_in(&paths[1], &paths[0]));
+    }
+
+    #[test]
+    fn hit_rate_reflects_cache_traffic() {
+        let oracle = ContainmentOracle::new();
+        assert_eq!(oracle.stats().hit_rate(), 0.0, "idle oracle reports 0");
+        let p = parse("//patient").unwrap();
+        let q = parse("//*").unwrap();
+        oracle.contained_in(&p, &q);
+        oracle.contained_in(&p, &q);
+        oracle.contained_in(&p, &q);
+        let s = oracle.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 2);
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
     }
 
     #[test]

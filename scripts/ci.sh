@@ -36,4 +36,21 @@ echo "== figures smoke: fault-recovery artifact =="
 cargo run --release -q -p xac-bench --bin figures -- fault-recovery
 test -s BENCH_fault_recovery.json
 
+echo "== obs: traced serve-bench smoke =="
+cargo run --release -q -p xac-serve --bin xmlac -- serve-bench \
+    --schema data/hospital.dtd --policy data/hospital.pol --doc data/figure2.xml \
+    --query "//patient/name" --readers 2 --reads 50 --delete "//regular" \
+    --trace-out target/obs_trace.json --metrics-out target/obs_metrics.prom \
+    > /dev/null
+test -s target/obs_trace.json
+test -s target/obs_metrics.prom
+
+echo "== obs: exporter output validates (Prometheus exposition + trace JSON) =="
+cargo run --release -q -p xac-serve --bin xmlac -- obs check \
+    --metrics target/obs_metrics.prom --trace target/obs_trace.json
+
+echo "== obs: figures artifact (includes <2% tracing-off overhead assert) =="
+cargo run --release -q -p xac-bench --bin figures -- obs
+test -s BENCH_obs.json
+
 echo "ci.sh: all green"
