@@ -1,0 +1,43 @@
+//! # xac-analyze
+//!
+//! Static verification of access-control policies *before* they reach
+//! the annotator. The re-annotation machinery of the paper is built on
+//! static analysis — rule expansion, XPath containment, dependency
+//! closure — and this crate composes those same ingredients into a
+//! production lint gate over the policies themselves:
+//!
+//! | code    | pass               | severity | needs schema |
+//! |---------|--------------------|----------|--------------|
+//! | `XA001` | dead rule          | error    | yes          |
+//! | `XA002` | shadowed rule      | warning  | no (sharper with) |
+//! | `XA003` | `+`/`−` conflict   | info     | no (sharper with) |
+//! | `XA004` | coverage gap       | info     | yes          |
+//! | `XA005` | trigger audit      | info / error | yes      |
+//!
+//! ```
+//! use xac_analyze::{Analyzer, Severity};
+//! use xac_policy::Policy;
+//! use xac_xml::parse_dtd;
+//!
+//! let schema = parse_dtd("<!ELEMENT r (a?)>\n<!ELEMENT a (#PCDATA)>").unwrap();
+//! let src = "default deny\nconflict deny-overrides\nR1 allow //a\nR2 allow //b\n";
+//! let policy = Policy::parse(src).unwrap();
+//! let report = Analyzer::new(&policy)
+//!     .with_schema(&schema)
+//!     .with_source(src)
+//!     .run();
+//! // `//b` matches nothing under the schema: dead rule, an error.
+//! assert_eq!(report.count(Severity::Error), 1);
+//! assert_eq!(report.exit_code(false), 5);
+//! ```
+//!
+//! The surface is `xmlac analyze` in the CLI; `scripts/ci.sh` runs it
+//! with `--deny warn` over every checked-in policy.
+
+pub mod audit;
+pub mod diagnostic;
+pub mod verifier;
+
+pub use audit::{update_corpus, AuditConfig};
+pub use diagnostic::{AuditSummary, Code, Diagnostic, Report, Severity};
+pub use verifier::Analyzer;

@@ -1,0 +1,535 @@
+//! The D1–D4 static verification passes and the run orchestration.
+//!
+//! Given a [`Policy`] and optionally a [`Schema`], [`Analyzer::run`]
+//! produces a [`Report`] of:
+//!
+//! * **D1 dead-rule** (`XA001`, error) — the rule's XPath is
+//!   unsatisfiable on schema-valid documents: every schema
+//!   specialization of the path is empty, so the rule can never sign a
+//!   node (schema-aware emptiness via [`xac_xpath::schema_variants`]).
+//! * **D2 shadowed-rule** (`XA002`, warning) — the rule survives the
+//!   optimizer (which only folds *same*-effect containment, §5.1) but
+//!   annotation can never observe it under the policy's Table 2
+//!   semantics: an allow rule contained in a deny rule under `A − D`
+//!   (ds=deny, cr=deny-overrides), a deny rule contained in an allow
+//!   rule under `U − (D − A)` (ds=allow, cr=allow-overrides), or any
+//!   rule of the effect the degenerate semantics ignore wholesale
+//!   (`(+,−) → U − D` discards allows, `(−,+) → A` discards denies).
+//! * **D3 conflict** (`XA003`, info) — a `+` and a `−` rule with
+//!   overlapping scope, with the witness element type and how the
+//!   policy's `cr` resolves the overlap. Informational because
+//!   conflicts are *designed into* real policies (the paper's Table 1
+//!   pairs R1/R3 deliberately); the lint surfaces them for review.
+//! * **D4 coverage-gap** (`XA004`, info) — schema element types no
+//!   rule ever signs; those regions carry only the default sign.
+//!
+//! D1 and D4 need a schema and are skipped without one; D2 and D3
+//! degrade to schema-blind containment. The D5 trigger audit lives in
+//! [`crate::audit`] and is appended by `run`/`run_with_document`.
+
+use crate::audit::{self, AuditConfig};
+use crate::diagnostic::{Code, Diagnostic, Report, Severity};
+use std::collections::BTreeSet;
+use xac_policy::{ConflictResolution, DefaultSemantics, Effect, Policy};
+use xac_xml::{Document, Schema};
+use xac_xpath::{disjoint, schema_variants, ContainmentOracle, NodeTest, Path};
+
+/// A configured verification run over one policy.
+pub struct Analyzer<'a> {
+    policy: &'a Policy,
+    schema: Option<&'a Schema>,
+    source: Option<&'a str>,
+    policy_name: String,
+    schema_name: Option<String>,
+    audit: AuditConfig,
+}
+
+impl<'a> Analyzer<'a> {
+    /// Analyzer over `policy` with no schema, no source spans and the
+    /// default audit corpus size.
+    pub fn new(policy: &'a Policy) -> Analyzer<'a> {
+        Analyzer {
+            policy,
+            schema: None,
+            source: None,
+            policy_name: "<policy>".into(),
+            schema_name: None,
+            audit: AuditConfig::default(),
+        }
+    }
+
+    /// Enable the schema-aware passes (D1, D4, sharper D2/D3, D5).
+    pub fn with_schema(mut self, schema: &'a Schema) -> Analyzer<'a> {
+        self.schema = Some(schema);
+        self
+    }
+
+    /// Provide the policy source text so diagnostics carry line spans.
+    pub fn with_source(mut self, source: &'a str) -> Analyzer<'a> {
+        self.source = Some(source);
+        self
+    }
+
+    /// Display names used in the report (usually file paths).
+    pub fn named(mut self, policy: impl Into<String>, schema: Option<String>) -> Analyzer<'a> {
+        self.policy_name = policy.into();
+        self.schema_name = schema;
+        self
+    }
+
+    /// Cap the D5 audit corpus at `n` update paths.
+    pub fn audit_updates(mut self, n: usize) -> Analyzer<'a> {
+        self.audit.max_updates = n;
+        self
+    }
+
+    /// Run D1–D4 plus the *static* D5 audit (no document available).
+    pub fn run(&self) -> Report {
+        self.run_inner(None)
+    }
+
+    /// Run everything including the dynamic D5 cross-check: affected
+    /// rules and partial-vs-full re-annotation diffs on all three
+    /// backends, using `doc` as the instance.
+    pub fn run_with_document(&self, doc: &Document) -> Report {
+        self.run_inner(Some(doc))
+    }
+
+    fn run_inner(&self, doc: Option<&Document>) -> Report {
+        let _span = xac_obs::span("analyze.verify");
+        let oracle = match self.schema {
+            Some(s) => ContainmentOracle::with_schema(s.clone()),
+            None => ContainmentOracle::new(),
+        };
+        let lines = self.line_map();
+        let mut report = Report {
+            policy_name: self.policy_name.clone(),
+            schema_name: self.schema_name.clone(),
+            ..Report::default()
+        };
+
+        let dead = self.dead_rules(&mut report, &lines);
+        self.shadowed_rules(&mut report, &lines, &oracle, &dead);
+        self.conflicts(&mut report, &lines, &oracle, &dead);
+        self.coverage_gaps(&mut report, &dead);
+        if let Some(schema) = self.schema {
+            let (summary, mut findings) =
+                audit::run(self.policy, schema, doc, &self.audit);
+            report.diagnostics.append(&mut findings);
+            report.audit = Some(summary);
+        }
+
+        xac_obs::counter("xac_analyze_runs_total").inc();
+        xac_obs::counter("xac_analyze_diagnostics_total")
+            .add(report.diagnostics.len() as u64);
+        // Per-analysis oracle traffic, published into the registry
+        // snapshot so hit rates are reportable without process restart.
+        oracle.stats().publish("xac_analyze_oracle");
+        report
+    }
+
+    /// 1-based line of each rule in the policy source, resolved by rule
+    /// id (the id is always the first token of its line).
+    fn line_map(&self) -> Vec<Option<usize>> {
+        let Some(source) = self.source else {
+            return vec![None; self.policy.rules.len()];
+        };
+        self.policy
+            .rules
+            .iter()
+            .map(|r| {
+                source.lines().position(|line| {
+                    line.split_whitespace().next() == Some(r.id.as_str())
+                })
+                .map(|idx| idx + 1)
+            })
+            .collect()
+    }
+
+    /// D1: indices of rules whose path matches nothing on schema-valid
+    /// documents. `schema_variants` rewrites a path into its child-axis
+    /// specializations; an empty set is a proof of emptiness (on
+    /// recursive schemas the rewrite abstains, returning the path
+    /// itself, so no rule is ever falsely declared dead).
+    fn dead_rules(&self, report: &mut Report, lines: &[Option<usize>]) -> BTreeSet<usize> {
+        let _span = xac_obs::span("analyze.dead_rules");
+        let mut dead = BTreeSet::new();
+        let Some(schema) = self.schema else {
+            return dead;
+        };
+        for (i, rule) in self.policy.rules.iter().enumerate() {
+            if schema_variants(&rule.resource, schema).is_empty() {
+                dead.insert(i);
+                report.diagnostics.push(
+                    Diagnostic::new(
+                        Code::DeadRule,
+                        Severity::Error,
+                        format!(
+                            "dead rule: `{}` matches no element of any document valid \
+                             against schema rooted at <{}>",
+                            rule.resource,
+                            schema.root()
+                        ),
+                    )
+                    .for_rule(&rule.id)
+                    .at_line(lines[i])
+                    .with_note(
+                        "every schema specialization of the path is empty; the rule can \
+                         never sign a node and its effect is unreachable"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
+        dead
+    }
+
+    /// D2: rules annotation can never observe under the policy's
+    /// semantics. Distinct from the optimizer's redundancy notion: the
+    /// optimizer folds a rule into a *same*-effect container (§5.1) and
+    /// keeps opposite-effect pairs for conflict resolution — this pass
+    /// flags exactly those kept rules whose contribution Table 2 then
+    /// cancels out.
+    fn shadowed_rules(
+        &self,
+        report: &mut Report,
+        lines: &[Option<usize>],
+        oracle: &ContainmentOracle,
+        dead: &BTreeSet<usize>,
+    ) {
+        let _span = xac_obs::span("analyze.shadowed");
+        let ds = self.policy.default_semantics;
+        let cr = self.policy.conflict_resolution;
+        // Degenerate Table 2 rows first: one whole effect class is
+        // discarded before any containment question arises.
+        let discarded = match (ds, cr) {
+            // (+,−) → U − D: allow rules contribute nothing.
+            (DefaultSemantics::Allow, ConflictResolution::DenyOverrides) => Some(Effect::Allow),
+            // (−,+) → A: deny rules contribute nothing.
+            (DefaultSemantics::Deny, ConflictResolution::AllowOverrides) => Some(Effect::Deny),
+            _ => None,
+        };
+        if let Some(effect) = discarded {
+            for (i, rule) in self.policy.rules.iter().enumerate() {
+                if rule.effect == effect && !dead.contains(&i) {
+                    report.diagnostics.push(
+                        Diagnostic::new(
+                            Code::ShadowedRule,
+                            Severity::Warning,
+                            format!(
+                                "shadowed rule: under (ds={}, cr={}) the Table 2 semantics \
+                                 is `{}`, which ignores every {} rule",
+                                ds.sign(),
+                                cr.sign(),
+                                if effect == Effect::Allow { "U - D" } else { "A" },
+                                rule.effect,
+                            ),
+                        )
+                        .for_rule(&rule.id)
+                        .at_line(lines[i]),
+                    );
+                }
+            }
+            return;
+        }
+        // Non-degenerate rows: a rule loses to an opposite-effect
+        // container. Under A − D (ds=−, cr=−) an allow inside a deny
+        // grants nothing; under U − (D − A) (ds=+, cr=+) a deny inside
+        // an allow denies nothing.
+        let (shadowed_effect, winner_effect) = match (ds, cr) {
+            (DefaultSemantics::Deny, ConflictResolution::DenyOverrides) => {
+                (Effect::Allow, Effect::Deny)
+            }
+            (DefaultSemantics::Allow, ConflictResolution::AllowOverrides) => {
+                (Effect::Deny, Effect::Allow)
+            }
+            _ => unreachable!("degenerate rows returned above"),
+        };
+        for (i, rule) in self.policy.rules.iter().enumerate() {
+            if rule.effect != shadowed_effect || dead.contains(&i) {
+                continue;
+            }
+            let winner = self.policy.rules.iter().enumerate().find(|(j, w)| {
+                w.effect == winner_effect
+                    && !dead.contains(j)
+                    && oracle.contained_in_schema_aware(&rule.resource, &w.resource)
+            });
+            if let Some((j, winner)) = winner {
+                report.diagnostics.push(
+                    Diagnostic::new(
+                        Code::ShadowedRule,
+                        Severity::Warning,
+                        format!(
+                            "shadowed rule: `{}` is contained in {} rule {} (`{}`), and \
+                             conflict resolution {} makes the containing rule win on every \
+                             node — this rule's sign is never observable",
+                            rule.resource,
+                            winner.effect,
+                            winner.id,
+                            winner.resource,
+                            cr.sign(),
+                        ),
+                    )
+                    .for_rule(&rule.id)
+                    .at_line(lines[i])
+                    .with_note(format!(
+                        "the optimizer keeps opposite-effect pairs (its redundancy notion \
+                         folds same-effect containment only); see rule {} at line {}",
+                        winner.id,
+                        lines[j].map(|l| l.to_string()).unwrap_or_else(|| "?".into()),
+                    )),
+                );
+            }
+        }
+    }
+
+    /// D3: `+`/`−` rule pairs with overlapping scope. Containment in
+    /// either direction is a definite overlap; otherwise the sound
+    /// disjointness test abstaining (`!disjoint`) is a possible one.
+    fn conflicts(
+        &self,
+        report: &mut Report,
+        lines: &[Option<usize>],
+        oracle: &ContainmentOracle,
+        dead: &BTreeSet<usize>,
+    ) {
+        let _span = xac_obs::span("analyze.conflicts");
+        let resolution = match self.policy.conflict_resolution {
+            ConflictResolution::AllowOverrides => "allow-overrides grants the overlap",
+            ConflictResolution::DenyOverrides => "deny-overrides denies the overlap",
+        };
+        for (i, a) in self.policy.rules.iter().enumerate() {
+            if a.effect != Effect::Allow || dead.contains(&i) {
+                continue;
+            }
+            for (j, d) in self.policy.rules.iter().enumerate() {
+                if d.effect != Effect::Deny || dead.contains(&j) {
+                    continue;
+                }
+                let a_in_d = oracle.contained_in_schema_aware(&a.resource, &d.resource);
+                let d_in_a = oracle.contained_in_schema_aware(&d.resource, &a.resource);
+                let definite = a_in_d || d_in_a;
+                if !definite && disjoint(&a.resource, &d.resource) {
+                    continue;
+                }
+                let witness = self
+                    .witness_type(&a.resource, &d.resource)
+                    .unwrap_or_else(|| "*".into());
+                report.diagnostics.push(
+                    Diagnostic::new(
+                        Code::Conflict,
+                        Severity::Info,
+                        format!(
+                            "{} conflict between allow rule {} (`{}`) and deny rule {} \
+                             (`{}`): overlapping scope at element type <{}>; {}",
+                            if definite { "definite" } else { "possible" },
+                            a.id,
+                            a.resource,
+                            d.id,
+                            d.resource,
+                            witness,
+                            resolution,
+                        ),
+                    )
+                    .for_rule(&a.id)
+                    .at_line(lines[i]),
+                );
+            }
+        }
+    }
+
+    /// The element type where two overlapping rules meet: a common
+    /// end-label of their schema specializations (or of the raw paths
+    /// without a schema).
+    fn witness_type(&self, a: &Path, d: &Path) -> Option<String> {
+        let ends = |p: &Path| -> BTreeSet<String> {
+            let variants = match self.schema {
+                Some(schema) => schema_variants(p, schema),
+                None => vec![p.clone()],
+            };
+            variants.iter().filter_map(end_label).collect()
+        };
+        let a_ends = ends(a);
+        let d_ends = ends(d);
+        if a_ends.is_empty() {
+            return d_ends.into_iter().next();
+        }
+        if d_ends.is_empty() {
+            return a_ends.into_iter().next();
+        }
+        a_ends.intersection(&d_ends).next().cloned().or_else(|| a_ends.into_iter().next())
+    }
+
+    /// D4: reachable schema element types no live rule ever signs.
+    /// Conservative in the covering direction: a rule ending in a
+    /// wildcard (or left verbatim because the schema is recursive) is
+    /// treated as covering everything, so a type is only reported when
+    /// no rule can possibly sign it.
+    fn coverage_gaps(&self, report: &mut Report, dead: &BTreeSet<usize>) {
+        let _span = xac_obs::span("analyze.coverage");
+        let Some(schema) = self.schema else {
+            return;
+        };
+        let mut covered: BTreeSet<String> = BTreeSet::new();
+        for (i, rule) in self.policy.rules.iter().enumerate() {
+            if dead.contains(&i) {
+                continue;
+            }
+            for variant in schema_variants(&rule.resource, schema) {
+                match end_label(&variant) {
+                    Some(name) => {
+                        covered.insert(name);
+                    }
+                    // A wildcard end (or a verbatim path on a recursive
+                    // schema) may sign any type: no gap is provable.
+                    None => return,
+                }
+            }
+        }
+        let gaps: Vec<&str> = schema
+            .reachable_types()
+            .into_iter()
+            .filter(|t| !covered.contains(*t))
+            .collect();
+        if gaps.is_empty() {
+            return;
+        }
+        let sign = self.policy.default_semantics.sign();
+        report.diagnostics.push(
+            Diagnostic::new(
+                Code::CoverageGap,
+                Severity::Info,
+                format!(
+                    "coverage gap: {} of {} reachable element type(s) are signed by no \
+                     rule and always carry the default sign `{sign}`: {}",
+                    gaps.len(),
+                    schema.reachable_types().len(),
+                    gaps.join(", "),
+                ),
+            )
+            .with_note(
+                "default-sign-only regions are not errors, but every access decision \
+                 there depends solely on the `default` declaration"
+                    .to_string(),
+            ),
+        );
+    }
+}
+
+/// The element name a path's final step selects, `None` for wildcards.
+fn end_label(p: &Path) -> Option<String> {
+    match &p.last_step()?.test {
+        NodeTest::Name(n) => Some(n.clone()),
+        NodeTest::Wildcard => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xac_policy::policy::hospital_policy;
+    use xac_xml::parse_dtd;
+
+    fn hospital_schema() -> Schema {
+        parse_dtd(include_str!("../../../data/hospital.dtd")).unwrap()
+    }
+
+    #[test]
+    fn hospital_policy_is_clean_of_errors_and_warnings() {
+        let policy = hospital_policy();
+        let schema = hospital_schema();
+        let report = Analyzer::new(&policy).with_schema(&schema).run();
+        assert_eq!(report.count(Severity::Error), 0, "{}", report.to_text());
+        assert_eq!(report.count(Severity::Warning), 0, "{}", report.to_text());
+        assert_eq!(report.exit_code(true), 0, "clean under --deny warn");
+        // But the designed-in R1/R3 overlap and the staff-side gap are
+        // surfaced as info.
+        assert!(report.codes().contains(&"XA003"), "{}", report.to_text());
+        assert!(report.codes().contains(&"XA004"), "{}", report.to_text());
+    }
+
+    #[test]
+    fn dead_rule_is_an_error_with_a_span() {
+        let src = "default deny\nconflict deny-overrides\nR1 allow //nurse/med\n";
+        let policy = Policy::parse(src).unwrap();
+        let schema = hospital_schema();
+        let report = Analyzer::new(&policy)
+            .with_schema(&schema)
+            .with_source(src)
+            .named("p.pol", None)
+            .run();
+        let dead: Vec<_> =
+            report.diagnostics.iter().filter(|d| d.code == Code::DeadRule).collect();
+        assert_eq!(dead.len(), 1, "{}", report.to_text());
+        assert_eq!(dead[0].severity, Severity::Error);
+        assert_eq!(dead[0].rule.as_deref(), Some("R1"));
+        assert_eq!(dead[0].line, Some(3));
+        assert_eq!(report.exit_code(false), 5);
+    }
+
+    #[test]
+    fn no_false_dead_rules_without_schema() {
+        let policy =
+            Policy::parse("default deny\nconflict deny-overrides\nR1 allow //nurse/med\n")
+                .unwrap();
+        let report = Analyzer::new(&policy).run();
+        assert!(report.diagnostics.iter().all(|d| d.code != Code::DeadRule));
+    }
+
+    #[test]
+    fn shadowed_allow_under_deny_overrides() {
+        let policy = Policy::parse(
+            "default deny\nconflict deny-overrides\n\
+             D1 deny //patient[treatment]\nA1 allow //patient[treatment and psn]\n",
+        )
+        .unwrap();
+        let report = Analyzer::new(&policy).run();
+        let shadowed: Vec<_> =
+            report.diagnostics.iter().filter(|d| d.code == Code::ShadowedRule).collect();
+        assert_eq!(shadowed.len(), 1, "{}", report.to_text());
+        assert_eq!(shadowed[0].rule.as_deref(), Some("A1"));
+        assert_eq!(shadowed[0].severity, Severity::Warning);
+        assert_eq!(report.exit_code(true), 6, "warnings gate under deny");
+        assert_eq!(report.exit_code(false), 0);
+    }
+
+    #[test]
+    fn degenerate_semantics_shadow_a_whole_effect() {
+        let policy = Policy::parse(
+            "default allow\nconflict deny-overrides\nA1 allow //patient\nD1 deny //regular\n",
+        )
+        .unwrap();
+        let report = Analyzer::new(&policy).run();
+        let shadowed: Vec<_> =
+            report.diagnostics.iter().filter(|d| d.code == Code::ShadowedRule).collect();
+        assert_eq!(shadowed.len(), 1, "(+,-) discards allow rules: {}", report.to_text());
+        assert_eq!(shadowed[0].rule.as_deref(), Some("A1"));
+    }
+
+    #[test]
+    fn conflict_reports_witness_and_resolution() {
+        let policy = hospital_policy();
+        let schema = hospital_schema();
+        let report = Analyzer::new(&policy).with_schema(&schema).run();
+        let conflict = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::Conflict && d.rule.as_deref() == Some("R1"))
+            .expect("R1/R3 conflict surfaced");
+        assert!(conflict.message.contains("<patient>"), "{}", conflict.message);
+        assert!(conflict.message.contains("deny-overrides"), "{}", conflict.message);
+    }
+
+    #[test]
+    fn wildcard_rule_suppresses_coverage_gaps() {
+        let policy =
+            Policy::parse("default deny\nconflict deny-overrides\nR1 allow //*\n").unwrap();
+        let schema = hospital_schema();
+        let report = Analyzer::new(&policy).with_schema(&schema).run();
+        assert!(
+            report.diagnostics.iter().all(|d| d.code != Code::CoverageGap),
+            "{}",
+            report.to_text()
+        );
+    }
+}

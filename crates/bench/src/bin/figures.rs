@@ -50,6 +50,7 @@ fn main() {
         "serve" => serve(factors),
         "fault-recovery" => fault_recovery(factors),
         "obs" => obs(factors),
+        "analyze" => analyze_bench(factors),
         "all" => {
             table3();
             table5(factors);
@@ -62,13 +63,14 @@ fn main() {
             serve(factors);
             fault_recovery(factors);
             obs(factors);
+            analyze_bench(factors);
             ablations();
         }
         other => {
             eprintln!(
                 "unknown artifact `{other}`; use \
                  table3|table5|fig9|fig10|fig11|fig12|summary|ablations|annotate-modes|serve|\
-                 fault-recovery|obs|all"
+                 fault-recovery|obs|analyze|all"
             );
             std::process::exit(2);
         }
@@ -1195,5 +1197,138 @@ fn obs(factors: &[f64]) {
          plans vs re-annotating from scratch; the oracle row is the\n \
          containment cache traffic from compiling this system's policy;\n \
          the overhead row certifies disabled tracing costs < 2% of a pass)"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Static policy verification — analysis time vs policy size, D5 precision
+// ---------------------------------------------------------------------
+
+/// Scaling profile of the `xac-analyze` verifier. Sweeps generated
+/// coverage policies of growing rule count over the XMark schema and
+/// times a full schema-aware D1–D5 pass (static audit included), then
+/// runs the dynamic trigger-soundness audit on the hospital instance to
+/// report the trigger's over-approximation factor
+/// (precision = |selected| / |affected|, 1.0 = exact). Emits
+/// `BENCH_analyze.json`.
+fn analyze_bench(factors: &[f64]) {
+    banner("Static policy verification — analysis time vs policy size, D5 precision");
+
+    fn push_row(json: &mut String, first: &mut bool, row: &str) {
+        if !*first {
+            json.push_str(",\n");
+        }
+        *first = false;
+        json.push_str("  ");
+        json.push_str(row);
+    }
+
+    let t = TablePrinter::new(vec![8, 8, 10, 8, 8, 8, 12]);
+    t.row(&[
+        "factor".into(),
+        "target".into(),
+        "rules".into(),
+        "errors".into(),
+        "warns".into(),
+        "infos".into(),
+        "analysis".into(),
+    ]);
+    t.rule();
+
+    let mut json = String::from("[\n");
+    let mut first = true;
+    let mut csv = String::from("factor,target,rules,errors,warnings,infos,analysis_s\n");
+    let schema = xmark_schema();
+
+    for &f in factors {
+        let doc = xac_xmlgen::xmark_document(xac_xmlgen::XmarkConfig::with_factor(f));
+        for &target in COVERAGE_LEVELS {
+            let policy = xac_xmlgen::coverage_policy(&doc, target, 1);
+            let rules = policy.len();
+            let (report, wall) = time(|| {
+                xac_analyze::Analyzer::new(&policy).with_schema(&schema).run()
+            });
+            let (errors, warns, infos) = (
+                report.count(xac_analyze::Severity::Error),
+                report.count(xac_analyze::Severity::Warning),
+                report.count(xac_analyze::Severity::Info),
+            );
+            t.row(&[
+                format!("{f}"),
+                format!("{target}"),
+                rules.to_string(),
+                errors.to_string(),
+                warns.to_string(),
+                infos.to_string(),
+                fmt_duration(wall),
+            ]);
+            let secs = wall.as_secs_f64();
+            let _ = writeln!(csv, "{f},{target},{rules},{errors},{warns},{infos},{secs}");
+            push_row(
+                &mut json,
+                &mut first,
+                &format!(
+                    "{{\"kind\": \"scaling\", \"factor\": {f}, \"target\": {target}, \
+                     \"rules\": {rules}, \"errors\": {errors}, \"warnings\": {warns}, \
+                     \"infos\": {infos}, \"analysis_s\": {secs}}}"
+                ),
+            );
+        }
+    }
+
+    // Dynamic D5 audit on the paper's hospital instance: replays every
+    // update through partial vs full re-annotation on all three backends
+    // and compares sign states, so `missed == 0` here is the soundness
+    // certificate the CI gate consumes.
+    let h_schema = xac_xmlgen::hospital_schema();
+    let h_policy = hospital_policy();
+    let h_doc = xac_xmlgen::figure2_document();
+    let (report, wall) = time(|| {
+        xac_analyze::Analyzer::new(&h_policy)
+            .with_schema(&h_schema)
+            .named("hospital.pol", Some("hospital.dtd".into()))
+            .run_with_document(&h_doc)
+    });
+    let audit = report.audit.expect("dynamic audit ran");
+    assert!(audit.sound(), "trigger audit must be sound on the hospital instance");
+    println!(
+        "  D5 dynamic audit (hospital): {} updates, selected {} / affected {}, \
+         precision {:.2}, missed {}, backends {:?}, {}",
+        audit.updates,
+        audit.selected_total,
+        audit.affected_total,
+        audit.precision(),
+        audit.missed,
+        audit.backends,
+        fmt_duration(wall),
+    );
+    push_row(
+        &mut json,
+        &mut first,
+        &format!(
+            "{{\"kind\": \"audit\", \"updates\": {}, \"selected\": {}, \"affected\": {}, \
+             \"precision\": {:.4}, \"missed\": {}, \"divergences\": {}, \
+             \"sign_mismatches\": {}, \"sound\": {}, \"audit_s\": {}}}",
+            audit.updates,
+            audit.selected_total,
+            audit.affected_total,
+            audit.precision(),
+            audit.missed,
+            audit.divergences,
+            audit.sign_mismatches,
+            audit.sound(),
+            wall.as_secs_f64(),
+        ),
+    );
+
+    json.push_str("\n]\n");
+    write_csv("analyze.csv", &csv);
+    std::fs::write("BENCH_analyze.json", &json).expect("write json");
+    println!("  [json -> BENCH_analyze.json]");
+    println!(
+        "(analysis_s = one schema-aware D1-D5 pass over a generated policy;\n \
+         the audit row replays deletes through partial vs full re-annotation\n \
+         on native/row/column backends — precision is the Fig. 8 trigger's\n \
+         over-approximation factor |selected|/|affected|, and missed must be 0)"
     );
 }

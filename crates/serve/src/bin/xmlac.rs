@@ -9,6 +9,8 @@
 //! xmlac update      --schema h.dtd --policy p.pol --doc d.xml --delete "//treatment" [--query "//patient"]
 //! xmlac serve-bench --schema h.dtd --policy p.pol --doc d.xml --query "//patient/name" \
 //!                   [--readers 4] [--reads 200] [--delete XPATH] [--fault-plan SPEC|seed:N[xK]]
+//! xmlac analyze     --policy p.pol [--schema h.dtd] [--doc d.xml] \
+//!                   [--format text|json] [--deny warn] [--audit-updates N]
 //! ```
 //!
 //! Schemas are DTD files (the Figure 1 subset), policies use the
@@ -16,7 +18,8 @@
 //!
 //! Exit codes: 0 success, 2 usage or system error, 3 the serving engine
 //! ended in read-only quarantine, 4 an injected fault surfaced without
-//! being absorbed by the degradation ladder.
+//! being absorbed by the degradation ladder, 5 `analyze` found errors,
+//! 6 `analyze --deny warn` found warnings.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -100,13 +103,15 @@ fn parse_args() -> CliResult<Args> {
 }
 
 fn usage() -> String {
-    "usage: xmlac <check|optimize|shred|annotate|query|update|view|audit|serve-bench|obs> \
+    "usage: xmlac <check|optimize|shred|annotate|query|update|view|audit|analyze|serve-bench|obs> \
      [--schema F] [--policy F] [--doc F] [--backend native|row|column] \
      [--annotate-mode paper|batched] \
      [--query XPATH]... [--delete XPATH] [--insert PARENT:NAME[:TEXT]] \
      [--mode prune|promote] [--readers N] [--reads N] [--out F] \
      [--fault-plan SPEC|seed:N[xK]] \
      [--trace-out F] [--metrics-out F]\n\
+     analyze --policy F [--schema F] [--doc F] [--format text|json] \
+     [--deny warn] [--audit-updates N] [--out F]\n\
      obs dump  --schema F --policy F --doc F [--query XPATH]... [--delete XPATH] \
      [--out F] [--trace-out F]\n\
      obs check [--metrics F] [--trace F]"
@@ -192,6 +197,7 @@ fn run() -> CliResult<()> {
         "update" => update(&args),
         "view" => view(&args),
         "audit" => audit(&args),
+        "analyze" => analyze(&args),
         "serve-bench" => serve_bench(&args),
         "obs" => obs(&args),
         "help" | "--help" | "-h" => {
@@ -388,6 +394,80 @@ fn audit(args: &Args) -> CliResult<()> {
         println!("dead on this document: {}", report.dead_rules().join(", "));
     }
     Ok(())
+}
+
+/// Static policy verification (`xac-analyze`).
+///
+/// Runs the D1–D5 diagnostic passes over `--policy`, schema-aware when
+/// `--schema` is given, and additionally replays the dynamic
+/// trigger-soundness audit against `--doc` on all three backends when a
+/// document is supplied. Exit code 0 when clean, 5 when any error-level
+/// diagnostic is present, 6 when `--deny warn` is set and warnings
+/// remain.
+fn analyze(args: &Args) -> CliResult<()> {
+    let policy_path = args.required("policy")?.to_string();
+    let source = std::fs::read_to_string(&policy_path)
+        .map_err(|e| format!("cannot read policy `{policy_path}`: {e}"))?;
+    let policy = Policy::parse(&source)
+        .map_err(|e| format!("policy `{policy_path}`: {e}"))?;
+    let schema = match args.options.get("schema") {
+        Some(_) => Some(args.schema()?),
+        None => None,
+    };
+    let deny_warnings = match args.options.get("deny").map(String::as_str) {
+        None => false,
+        Some("warn") | Some("warnings") => true,
+        Some(other) => return Err(format!("--deny takes `warn`, found `{other}`").into()),
+    };
+    let format = args.options.get("format").map(String::as_str).unwrap_or("text");
+    if format != "text" && format != "json" {
+        return Err(format!("--format takes text|json, found `{format}`").into());
+    }
+    let mut analyzer = xac_analyze::Analyzer::new(&policy)
+        .with_source(&source)
+        .named(&policy_path, args.options.get("schema").cloned());
+    if let Some(s) = &schema {
+        analyzer = analyzer.with_schema(s);
+    }
+    if args.options.contains_key("audit-updates") {
+        analyzer = analyzer.audit_updates(args.count("audit-updates", 16)?);
+    }
+    let report = match args.options.get("doc") {
+        Some(_) => {
+            if schema.is_none() {
+                return Err("analyze --doc needs --schema (the dynamic audit \
+                            replays updates through the full system)"
+                    .to_string()
+                    .into());
+            }
+            analyzer.run_with_document(&args.doc()?)
+        }
+        None => analyzer.run(),
+    };
+    let rendered = match format {
+        "json" => report.to_json(),
+        _ => report.to_text(),
+    };
+    match args.options.get("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered)
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("wrote report to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    match report.exit_code(deny_warnings) {
+        0 => Ok(()),
+        code => Err(CliError {
+            message: format!(
+                "policy `{policy_path}`: {} error(s), {} warning(s){}",
+                report.count(xac_analyze::Severity::Error),
+                report.count(xac_analyze::Severity::Warning),
+                if code == 6 { " (denied by --deny warn)" } else { "" }
+            ),
+            code,
+        }),
+    }
 }
 
 /// Observability front end.

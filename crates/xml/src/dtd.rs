@@ -25,48 +25,89 @@ use std::collections::BTreeMap;
 
 /// Parse DTD text into a [`Schema`]. See the module docs for the
 /// supported subset.
+///
+/// Errors cite the offending declaration and its 1-based line, e.g.
+/// `line 4: <!ELEMENT dept>: empty particle in '(patients,)'`, so
+/// downstream tooling (the `xmlac analyze` verifier in particular) can
+/// point at DTD positions instead of reporting a bare failure.
 pub fn parse_dtd(text: &str) -> Result<Schema> {
     let mut root: Option<String> = None;
     let mut types: BTreeMap<String, ElementType> = BTreeMap::new();
+    // Line of each element's declaration, for duplicate / dangling-ref
+    // reporting.
+    let mut decl_lines: BTreeMap<String, usize> = BTreeMap::new();
 
-    let mut rest = text;
+    let mut cursor = 0usize;
     loop {
         // Find the next declaration.
-        let Some(start) = rest.find("<!ELEMENT") else {
-            let remainder = rest.trim();
+        let Some(found) = text[cursor..].find("<!ELEMENT") else {
+            let remainder = text[cursor..].trim();
             if !remainder.is_empty() && !remainder.starts_with("<!--") {
                 // Tolerate trailing comments/whitespace only.
                 if remainder.contains('<') && !remainder.starts_with("<!--") {
+                    let line = line_of(text, cursor + text[cursor..].len() - text[cursor..].trim_start().len());
                     return Err(Error::Schema(format!(
-                        "unexpected content outside declarations: `{}`",
+                        "line {line}: unexpected content outside declarations: `{}`",
                         remainder.chars().take(40).collect::<String>()
                     )));
                 }
             }
             break;
         };
-        rest = &rest[start + "<!ELEMENT".len()..];
-        let end = rest
-            .find('>')
-            .ok_or_else(|| Error::Schema("unterminated <!ELEMENT declaration".into()))?;
-        let body = rest[..end].trim();
-        rest = &rest[end + 1..];
+        let decl_start = cursor + found;
+        let line = line_of(text, decl_start);
+        let body_start = decl_start + "<!ELEMENT".len();
+        let end = text[body_start..].find('>').ok_or_else(|| {
+            Error::Schema(format!("line {line}: unterminated <!ELEMENT declaration"))
+        })?;
+        let body = text[body_start..body_start + end].trim();
+        cursor = body_start + end + 1;
 
-        let (name, model_src) = body
-            .split_once(char::is_whitespace)
-            .ok_or_else(|| Error::Schema(format!("malformed declaration `{body}`")))?;
+        let (name, model_src) = body.split_once(char::is_whitespace).ok_or_else(|| {
+            Error::Schema(format!("line {line}: malformed declaration `<!ELEMENT {body}>`"))
+        })?;
         let name = name.trim();
         if name.is_empty() || !is_name(name) {
-            return Err(Error::Schema(format!("invalid element name `{name}`")));
+            return Err(Error::Schema(format!(
+                "line {line}: invalid element name `{name}` in <!ELEMENT declaration"
+            )));
         }
-        let content = parse_content_model(model_src.trim())?;
+        let content = parse_content_model(model_src.trim()).map_err(|e| match e {
+            Error::Schema(msg) => {
+                Error::Schema(format!("line {line}: <!ELEMENT {name}>: {msg}"))
+            }
+            other => other,
+        })?;
         if types
             .insert(name.to_string(), ElementType { name: name.to_string(), content })
             .is_some()
         {
-            return Err(Error::Schema(format!("duplicate declaration of `{name}`")));
+            return Err(Error::Schema(format!(
+                "line {line}: duplicate declaration of `{name}` (first declared at line {})",
+                decl_lines.get(name).copied().unwrap_or(line)
+            )));
         }
+        decl_lines.insert(name.to_string(), line);
         root.get_or_insert_with(|| name.to_string());
+    }
+
+    // Check references here, where declaration positions are known —
+    // the builder's own dangling-reference check could only name the
+    // missing type, not where it is referenced from.
+    for (name, et) in &types {
+        let particles = match &et.content {
+            ContentModel::Sequence(ps) | ContentModel::Choice(ps) => ps,
+            ContentModel::Text | ContentModel::Empty => continue,
+        };
+        for p in particles {
+            if !types.contains_key(&p.name) {
+                return Err(Error::Schema(format!(
+                    "line {}: <!ELEMENT {name}> references undeclared child `{}`",
+                    decl_lines.get(name.as_str()).copied().unwrap_or(0),
+                    p.name
+                )));
+            }
+        }
     }
 
     let root = root.ok_or_else(|| Error::Schema("no <!ELEMENT declarations found".into()))?;
@@ -80,6 +121,11 @@ pub fn parse_dtd(text: &str) -> Result<Schema> {
         };
     }
     builder.build()
+}
+
+/// 1-based line number of a byte offset.
+fn line_of(text: &str, offset: usize) -> usize {
+    text.as_bytes()[..offset.min(text.len())].iter().filter(|&&b| b == b'\n').count() + 1
 }
 
 fn is_name(s: &str) -> bool {
@@ -224,6 +270,49 @@ mod tests {
         assert!(parse_dtd("<!ELEMENT a (b)").is_err(), "unterminated");
         assert!(parse_dtd("<!ELEMENT 9bad EMPTY>").is_err(), "bad name");
         assert!(parse_dtd("<!ELEMENT a b>").is_err(), "unparenthesized model");
+    }
+
+    fn err_of(src: &str) -> String {
+        match parse_dtd(src) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("`{src}` should not parse"),
+        }
+    }
+
+    #[test]
+    fn empty_content_model_cites_line_and_declaration() {
+        let msg = err_of("<!ELEMENT a (b)>\n<!ELEMENT b ()>");
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("<!ELEMENT b>"), "{msg}");
+        assert!(msg.contains("empty particle"), "{msg}");
+    }
+
+    #[test]
+    fn duplicate_declaration_cites_both_lines() {
+        let msg = err_of("<!ELEMENT a (b)>\n<!ELEMENT b EMPTY>\n<!ELEMENT a EMPTY>");
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("duplicate declaration of `a`"), "{msg}");
+        assert!(msg.contains("first declared at line 1"), "{msg}");
+    }
+
+    #[test]
+    fn undeclared_child_reference_cites_the_referencing_declaration() {
+        let msg = err_of("<!ELEMENT a (b)>\n<!ELEMENT b (missing?)>");
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("<!ELEMENT b>"), "{msg}");
+        assert!(msg.contains("undeclared child `missing`"), "{msg}");
+    }
+
+    #[test]
+    fn unterminated_and_malformed_declarations_cite_lines() {
+        let msg = err_of("<!ELEMENT a (b)>\n<!ELEMENT b (c)");
+        assert!(msg.contains("line 2") && msg.contains("unterminated"), "{msg}");
+        let msg = err_of("<!ELEMENT a (b)>\n<!ELEMENT b>");
+        assert!(msg.contains("line 2") && msg.contains("malformed"), "{msg}");
+        let msg = err_of("\n\n<!ELEMENT 9bad EMPTY>");
+        assert!(msg.contains("line 3") && msg.contains("invalid element name"), "{msg}");
+        let msg = err_of("<!ELEMENT a (b,c|d)>\n<!ELEMENT b EMPTY>");
+        assert!(msg.contains("line 1") && msg.contains("mixed"), "{msg}");
     }
 
     #[test]

@@ -209,7 +209,16 @@ impl Schema {
     /// rewrite: `.//experimental` under `patient` expands to the finite set
     /// of child paths `treatment/experimental`, …
     ///
-    /// Errors if the schema is recursive (the set would be infinite).
+    /// **Cutoff behavior:** errors *immediately* if the schema is
+    /// recursive (the path set would be infinite) — the recursion check
+    /// runs before any enumeration, so the call terminates without
+    /// enumerating a single path rather than hanging or returning a
+    /// silently truncated set. Callers that need a best-effort answer on
+    /// recursive schemas (the §5.3 rewrite in `xac-xpath`) treat the
+    /// error as "abstain" and fall back to the unrewritten path. On
+    /// non-recursive schemas the enumeration is bounded by the DAG of
+    /// element types: every returned path visits each type at most once
+    /// per distinct parent chain, so the result is finite and complete.
     pub fn paths_between(&self, from: &str, to: &str) -> Result<Vec<Vec<String>>> {
         if self.is_recursive() {
             return Err(Error::Schema(
@@ -240,6 +249,11 @@ impl Schema {
     }
 
     /// Every label path from the root (inclusive) to elements named `to`.
+    ///
+    /// Same cutoff behavior as [`Schema::paths_between`], with one
+    /// special case: asking for the root itself (`to == root`) answers
+    /// `[[root]]` directly and therefore succeeds even on recursive
+    /// schemas.
     pub fn paths_from_root(&self, to: &str) -> Result<Vec<Vec<String>>> {
         if self.root == to {
             return Ok(vec![vec![self.root.clone()]]);
@@ -499,6 +513,73 @@ mod tests {
     use super::*;
     use crate::parse::parse;
     use Occurs::*;
+
+    /// A directly recursive schema: `section` contains `section*`.
+    fn recursive_schema() -> Schema {
+        Schema::builder("book")
+            .sequence("book", vec![Particle::new("section", Plus)])
+            .sequence(
+                "section",
+                vec![Particle::new("title", One), Particle::new("section", Star)],
+            )
+            .text(&["title"])
+            .build()
+            .unwrap()
+    }
+
+    /// A mutually recursive schema: `a → b → a`.
+    fn mutually_recursive_schema() -> Schema {
+        Schema::builder("r")
+            .sequence("r", vec![Particle::new("a", Star)])
+            .sequence("a", vec![Particle::new("b", Optional)])
+            .sequence("b", vec![Particle::new("a", Optional)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn paths_between_refuses_recursive_schemas_promptly() {
+        for schema in [recursive_schema(), mutually_recursive_schema()] {
+            assert!(schema.is_recursive());
+            // The recursion check runs before enumeration: the call must
+            // terminate with an error, never hang on the infinite path
+            // set. Well under a second even in debug builds.
+            let start = std::time::Instant::now();
+            let err = schema.paths_between(schema.root(), "title").unwrap_err();
+            assert!(err.to_string().contains("non-recursive"), "{err}");
+            let err = schema.paths_from_root("section").unwrap_err();
+            assert!(err.to_string().contains("non-recursive"), "{err}");
+            assert!(
+                start.elapsed() < std::time::Duration::from_secs(1),
+                "cutoff must be immediate, took {:?}",
+                start.elapsed()
+            );
+        }
+    }
+
+    #[test]
+    fn paths_from_root_to_root_succeeds_even_on_recursive_schemas() {
+        let schema = recursive_schema();
+        assert_eq!(schema.paths_from_root("book").unwrap(), vec![vec!["book".to_string()]]);
+    }
+
+    #[test]
+    fn paths_enumeration_is_bounded_on_dag_schemas() {
+        // A diamond-shaped (non-recursive) schema with multiple routes:
+        // the enumeration is finite and complete, one path per route.
+        let schema = Schema::builder("r")
+            .sequence("r", vec![Particle::new("x", One), Particle::new("y", One)])
+            .sequence("x", vec![Particle::new("leaf", Optional)])
+            .sequence("y", vec![Particle::new("leaf", Optional)])
+            .text(&["leaf"])
+            .build()
+            .unwrap();
+        assert!(!schema.is_recursive());
+        let paths = schema.paths_from_root("leaf").unwrap();
+        assert_eq!(paths.len(), 2, "{paths:?}");
+        assert!(paths.contains(&vec!["r".into(), "x".into(), "leaf".into()]));
+        assert!(paths.contains(&vec!["r".into(), "y".into(), "leaf".into()]));
+    }
 
     /// The hospital schema of the paper's Figure 1.
     fn hospital_schema() -> Schema {

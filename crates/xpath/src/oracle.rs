@@ -117,6 +117,26 @@ impl OracleStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Publish the counters as gauges into the global obs registry so a
+    /// registry snapshot ([`xac_obs::prometheus_global`]) reports
+    /// per-analysis cache traffic without a process restart:
+    /// `<prefix>_hits`, `<prefix>_misses`, `<prefix>_evictions`,
+    /// `<prefix>_distinct_paths` and `<prefix>_hit_rate_permille`
+    /// (gauges are integer-valued, so the rate is scaled by 1000).
+    ///
+    /// Unlike the `xac_oracle_*_total` counters — which accumulate
+    /// across every oracle for the whole process lifetime — these
+    /// gauges are *set*, so pairing [`ContainmentOracle::reset_stats`]
+    /// with a publish after each analysis yields per-run numbers.
+    pub fn publish(&self, prefix: &str) {
+        xac_obs::gauge(&format!("{prefix}_hits")).set(self.hits);
+        xac_obs::gauge(&format!("{prefix}_misses")).set(self.misses);
+        xac_obs::gauge(&format!("{prefix}_evictions")).set(self.evictions);
+        xac_obs::gauge(&format!("{prefix}_distinct_paths")).set(self.distinct_paths as u64);
+        xac_obs::gauge(&format!("{prefix}_hit_rate_permille"))
+            .set((self.hit_rate() * 1000.0).round() as u64);
+    }
 }
 
 /// A shared, memoizing façade over the containment checker.
@@ -247,12 +267,34 @@ impl ContainmentOracle {
     /// Current cache counters.
     pub fn stats(&self) -> OracleStats {
         let s = self.lock_state();
-        OracleStats {
+        let stats = OracleStats {
             hits: s.hits,
             misses: s.misses,
             evictions: s.evictions,
             distinct_paths: s.patterns.len(),
-        }
+        };
+        // The `evictions > 0 && capacity == 0` corner is unreachable:
+        // construction clamps the capacity to at least 1, so a non-zero
+        // eviction count always has a real bound behind it.
+        debug_assert!(
+            stats.evictions == 0 || self.memo_capacity >= 1,
+            "evictions recorded without a memo bound"
+        );
+        stats
+    }
+
+    /// Zero the traffic counters (hits, misses, evictions) while keeping
+    /// the interned patterns and memoized answers. Lets one shared
+    /// oracle report per-analysis hit rates: reset, run the analysis,
+    /// read [`ContainmentOracle::stats`] (and optionally
+    /// [`OracleStats::publish`] the result into the obs registry). The
+    /// process-wide `xac_oracle_*_total` counters are cumulative by
+    /// design and are not reset.
+    pub fn reset_stats(&self) {
+        let mut s = self.lock_state();
+        s.hits = 0;
+        s.misses = 0;
+        s.evictions = 0;
     }
 }
 
@@ -393,6 +435,62 @@ mod tests {
         assert_eq!(s.misses, 1);
         assert_eq!(s.hits, 2);
         assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_and_stays_correct() {
+        // The `evictions > 0 && capacity == 0` corner: a requested
+        // capacity of 0 is clamped to 1, so eviction bookkeeping always
+        // has a real bound behind it and answers never change.
+        let oracle = ContainmentOracle::new().with_memo_capacity(0);
+        let paths: Vec<Path> = ["//a", "//a[b]", "//a/b", "//c"]
+            .iter()
+            .map(|s| parse(s).unwrap())
+            .collect();
+        for p in &paths {
+            for q in &paths {
+                assert_eq!(oracle.contained_in(p, q), crate::contained_in(p, q), "{p} ⊑ {q}");
+            }
+        }
+        let stats = oracle.stats();
+        assert!(stats.evictions > 0, "a capacity-1 memo must evict: {stats:?}");
+        assert!(stats.hit_rate().is_finite());
+    }
+
+    #[test]
+    fn reset_stats_clears_traffic_but_keeps_interning() {
+        let oracle = ContainmentOracle::new();
+        let p = parse("//patient[treatment]").unwrap();
+        let q = parse("//patient").unwrap();
+        oracle.contained_in(&p, &q);
+        oracle.contained_in(&p, &q);
+        assert_eq!(oracle.stats().hits, 1);
+        oracle.reset_stats();
+        let s = oracle.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (0, 0, 0));
+        assert_eq!(s.distinct_paths, 2, "interned patterns survive the reset");
+        // The memoized answer also survives: the next query is a hit.
+        oracle.contained_in(&p, &q);
+        assert_eq!(oracle.stats().hits, 1);
+        assert_eq!(oracle.stats().misses, 0);
+    }
+
+    #[test]
+    fn stats_publish_into_the_global_registry() {
+        let oracle = ContainmentOracle::new();
+        let p = parse("//patient").unwrap();
+        oracle.contained_in(&p, &p);
+        oracle.contained_in(&p, &p);
+        oracle.stats().publish("test_oracle_publish");
+        assert_eq!(xac_obs::gauge("test_oracle_publish_misses").get(), 1);
+        assert_eq!(xac_obs::gauge("test_oracle_publish_hits").get(), 1);
+        assert_eq!(xac_obs::gauge("test_oracle_publish_distinct_paths").get(), 1);
+        assert_eq!(xac_obs::gauge("test_oracle_publish_hit_rate_permille").get(), 500);
+        let snapshot = xac_obs::prometheus_global();
+        assert!(
+            snapshot.contains("test_oracle_publish_hits"),
+            "published gauges appear in the registry snapshot"
+        );
     }
 
     #[test]

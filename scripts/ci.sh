@@ -53,4 +53,53 @@ echo "== obs: figures artifact (includes <2% tracing-off overhead assert) =="
 cargo run --release -q -p xac-bench --bin figures -- obs
 test -s BENCH_obs.json
 
+echo "== analyze: every checked-in policy passes the verifier gate =="
+# Intentionally dirty fixtures are allowlisted with the exit code and
+# diagnostic codes they are expected to produce; everything else must be
+# clean under --deny warn.
+for pol in data/*.pol examples/policies/*.pol; do
+    case "$pol" in
+    examples/policies/flawed_all5.pol)
+        # Must fail with errors (exit 5) and report all five codes.
+        out=$(cargo run --release -q -p xac-serve --bin xmlac -- analyze \
+            --policy "$pol" --schema data/hospital.dtd --format json \
+            --deny warn) && {
+            echo "ci.sh: $pol unexpectedly passed the analyzer"
+            exit 1
+        }
+        status=$?
+        if [ "$status" -ne 5 ]; then
+            echo "ci.sh: $pol exited $status, expected 5"
+            exit 1
+        fi
+        for code in XA001 XA002 XA003 XA004 XA005; do
+            case "$out" in
+            *"$code"*) ;;
+            *)
+                echo "ci.sh: $pol report is missing $code"
+                exit 1
+                ;;
+            esac
+        done
+        ;;
+    *)
+        cargo run --release -q -p xac-serve --bin xmlac -- analyze \
+            --policy "$pol" --schema data/hospital.dtd --deny warn > /dev/null
+        ;;
+    esac
+done
+
+echo "== analyze: dynamic trigger-soundness audit on the paper instance =="
+cargo run --release -q -p xac-serve --bin xmlac -- analyze \
+    --policy data/hospital.pol --schema data/hospital.dtd \
+    --doc data/figure2.xml --format json --deny warn \
+    --out target/analyze_hospital.json
+grep -q '"missed": 0' target/analyze_hospital.json
+grep -q '"sound": true' target/analyze_hospital.json
+
+echo "== analyze: figures artifact =="
+cargo run --release -q -p xac-bench --bin figures -- analyze
+test -s BENCH_analyze.json
+grep -q '"sound": true' BENCH_analyze.json
+
 echo "ci.sh: all green"

@@ -256,6 +256,100 @@ fn serve_bench_seeded_plan_and_bad_specs() {
     assert!(stderr(&out).contains("--fault-plan"), "{}", stderr(&out));
 }
 
+fn example(file: &str) -> String {
+    format!("{}/../../examples/policies/{file}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn analyze_flawed_fixture_exits_5_with_all_codes() {
+    let out = xmlac(&[
+        "analyze",
+        "--policy",
+        &example("flawed_all5.pol"),
+        "--schema",
+        &data("hospital.dtd"),
+        "--deny",
+        "warn",
+    ]);
+    assert_eq!(out.status.code(), Some(5), "{}", stderr(&out));
+    let text = stdout(&out);
+    for code in ["XA001", "XA002", "XA003", "XA004", "XA005"] {
+        assert!(text.contains(code), "missing {code}: {text}");
+    }
+    assert!(text.contains("error[XA001]"), "{text}");
+    assert!(text.contains("warning[XA002]"), "{text}");
+    assert!(stderr(&out).contains("1 error(s)"), "{}", stderr(&out));
+}
+
+#[test]
+fn analyze_clean_policies_exit_0_under_deny_warn() {
+    for policy in [data("hospital.pol"), example("clean_staff.pol")] {
+        let out = xmlac(&[
+            "analyze",
+            "--policy",
+            &policy,
+            "--schema",
+            &data("hospital.dtd"),
+            "--deny",
+            "warn",
+        ]);
+        assert!(out.status.success(), "{policy}: {}\n{}", stderr(&out), stdout(&out));
+    }
+}
+
+#[test]
+fn analyze_json_output_with_dynamic_audit() {
+    let out = xmlac(&[
+        "analyze",
+        "--policy",
+        &data("hospital.pol"),
+        "--schema",
+        &data("hospital.dtd"),
+        "--doc",
+        &data("figure2.xml"),
+        "--format",
+        "json",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let json = stdout(&out);
+    assert!(json.contains("\"audit\""), "{json}");
+    assert!(json.contains("\"dynamic\": true"), "{json}");
+    assert!(json.contains("\"missed\": 0"), "{json}");
+    assert!(json.contains("\"sound\": true"), "{json}");
+}
+
+#[test]
+fn analyze_usage_errors_exit_2() {
+    // --doc without --schema: the dynamic audit has no schema to drive.
+    let out = xmlac(&[
+        "analyze",
+        "--policy",
+        &data("hospital.pol"),
+        "--doc",
+        &data("figure2.xml"),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("--schema"), "{}", stderr(&out));
+
+    let out = xmlac(&[
+        "analyze",
+        "--policy",
+        &data("hospital.pol"),
+        "--deny",
+        "everything",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+
+    let out = xmlac(&[
+        "analyze",
+        "--policy",
+        &data("hospital.pol"),
+        "--format",
+        "yaml",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+}
+
 #[test]
 fn errors_are_reported_with_nonzero_exit() {
     let out = xmlac(&["bogus-command"]);

@@ -1,0 +1,168 @@
+//! End-to-end tests for the `xac-analyze` static policy verifier: the
+//! flawed fixture must surface all five diagnostic codes with the
+//! documented severities, the checked-in example policies must come out
+//! clean, and the D5 audit must prove trigger soundness across all
+//! three backends.
+
+use xac_analyze::{Analyzer, Code, Report, Severity};
+use xac_policy::Policy;
+use xac_xml::{parse_dtd, Document, Schema};
+
+fn data(name: &str) -> String {
+    let path = format!("{}/../../data/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn example_policy(name: &str) -> String {
+    let path = format!("{}/../../examples/policies/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn hospital_schema() -> Schema {
+    parse_dtd(&data("hospital.dtd")).unwrap()
+}
+
+fn analyze_flawed() -> (String, Report) {
+    let src = example_policy("flawed_all5.pol");
+    let policy = Policy::parse(&src).unwrap();
+    let schema = hospital_schema();
+    let report = Analyzer::new(&policy)
+        .with_schema(&schema)
+        .with_source(&src)
+        .named("flawed_all5.pol", Some("hospital.dtd".into()))
+        .run();
+    (src, report)
+}
+
+#[test]
+fn flawed_fixture_reports_all_five_codes() {
+    let (_, report) = analyze_flawed();
+    assert_eq!(
+        report.codes(),
+        vec!["XA001", "XA002", "XA003", "XA004", "XA005"],
+        "{}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn flawed_fixture_severities_match_the_catalog() {
+    let (_, report) = analyze_flawed();
+    let severity_of = |code: Code| -> Vec<Severity> {
+        report.diagnostics.iter().filter(|d| d.code == code).map(|d| d.severity).collect()
+    };
+    assert_eq!(severity_of(Code::DeadRule), vec![Severity::Error]);
+    assert_eq!(severity_of(Code::ShadowedRule), vec![Severity::Warning]);
+    assert!(severity_of(Code::Conflict).iter().all(|s| *s == Severity::Info));
+    assert!(!severity_of(Code::Conflict).is_empty());
+    assert_eq!(severity_of(Code::CoverageGap), vec![Severity::Info]);
+    assert_eq!(severity_of(Code::TriggerAudit), vec![Severity::Info], "audit is sound");
+}
+
+#[test]
+fn flawed_fixture_findings_carry_rule_spans() {
+    let (src, report) = analyze_flawed();
+    let dead = report.diagnostics.iter().find(|d| d.code == Code::DeadRule).unwrap();
+    assert_eq!(dead.rule.as_deref(), Some("F3"));
+    let line = dead.line.expect("dead rule carries a line span");
+    assert!(
+        src.lines().nth(line - 1).unwrap().starts_with("F3"),
+        "line {line} should hold F3"
+    );
+    let shadowed =
+        report.diagnostics.iter().find(|d| d.code == Code::ShadowedRule).unwrap();
+    assert_eq!(shadowed.rule.as_deref(), Some("F4"));
+    assert!(shadowed.message.contains("F2"), "{}", shadowed.message);
+}
+
+#[test]
+fn flawed_fixture_gates_the_exit_code() {
+    let (_, report) = analyze_flawed();
+    assert_eq!(report.exit_code(false), 5, "errors always gate");
+    assert_eq!(report.exit_code(true), 5, "errors dominate denied warnings");
+}
+
+#[test]
+fn flawed_fixture_renders_to_text_and_valid_json() {
+    let (_, report) = analyze_flawed();
+    let text = report.to_text();
+    for code in ["XA001", "XA002", "XA003", "XA004", "XA005"] {
+        assert!(text.contains(code), "text output missing {code}:\n{text}");
+    }
+    assert!(text.contains("error[XA001] flawed_all5.pol:"), "{text}");
+    let json = report.to_json();
+    xac_obs::validate_json(&json).expect("report JSON validates");
+    for code in ["XA001", "XA002", "XA003", "XA004", "XA005"] {
+        assert!(json.contains(code), "JSON output missing {code}:\n{json}");
+    }
+    assert!(json.contains("\"severity\": \"error\""), "{json}");
+    assert!(json.contains("\"audit\""), "{json}");
+}
+
+#[test]
+fn checked_in_policies_are_clean_under_deny_warn() {
+    let schema = hospital_schema();
+    for (name, src) in [
+        ("data/hospital.pol", data("hospital.pol")),
+        ("examples/policies/clean_staff.pol", example_policy("clean_staff.pol")),
+    ] {
+        let policy = Policy::parse(&src).unwrap();
+        let report = Analyzer::new(&policy)
+            .with_schema(&schema)
+            .with_source(&src)
+            .named(name, Some("hospital.dtd".into()))
+            .run();
+        assert_eq!(
+            report.exit_code(true),
+            0,
+            "{name} must pass --deny warn:\n{}",
+            report.to_text()
+        );
+    }
+}
+
+#[test]
+fn d5_dynamic_audit_is_sound_on_figure2_across_backends() {
+    let schema = hospital_schema();
+    let policy = Policy::parse(&data("hospital.pol")).unwrap();
+    let doc = Document::parse_str(&data("figure2.xml")).unwrap();
+    let report = Analyzer::new(&policy)
+        .with_schema(&schema)
+        .named("hospital.pol", Some("hospital.dtd".into()))
+        .run_with_document(&doc);
+    let audit = report.audit.as_ref().expect("audit ran");
+    assert!(audit.dynamic);
+    assert_eq!(audit.missed, 0, "zero missed rules:\n{}", report.to_text());
+    assert_eq!(audit.divergences, 0, "{}", report.to_text());
+    assert_eq!(audit.sign_mismatches, 0, "{}", report.to_text());
+    assert_eq!(audit.backends.len(), 3, "all three backends: {:?}", audit.backends);
+    assert!(audit.precision() >= 1.0);
+    assert!(audit.affected_total > 0, "corpus must exercise real scope changes");
+}
+
+#[test]
+fn analyzer_publishes_oracle_stats_into_the_registry() {
+    let (_, _report) = analyze_flawed();
+    let snapshot = xac_obs::prometheus_global();
+    for gauge in [
+        "xac_analyze_oracle_hits",
+        "xac_analyze_oracle_misses",
+        "xac_analyze_oracle_hit_rate_permille",
+    ] {
+        assert!(snapshot.contains(gauge), "registry snapshot missing {gauge}");
+    }
+}
+
+#[test]
+fn schema_free_analysis_still_lints_shadowing_and_conflicts() {
+    let src = example_policy("flawed_all5.pol");
+    let policy = Policy::parse(&src).unwrap();
+    let report = Analyzer::new(&policy).with_source(&src).run();
+    // No schema: D1/D4/D5 are out of reach, but the blind containment
+    // passes still catch the shadowed rule and the conflicts.
+    let codes = report.codes();
+    assert!(codes.contains(&"XA002"), "{codes:?}");
+    assert!(codes.contains(&"XA003"), "{codes:?}");
+    assert!(!codes.contains(&"XA001"), "{codes:?}");
+    assert!(!codes.contains(&"XA005"), "{codes:?}");
+}
