@@ -12,8 +12,8 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 use xac_bench::{
-    backend_legend, backends, fmt_bytes, fmt_duration, xmark_system, TablePrinter,
-    COVERAGE_LEVELS, FULL_FACTORS, QUICK_FACTORS, WORKLOAD_SIZE,
+    backend_legend, backends, fmt_bytes, fmt_duration, xmark_system, xmark_system_with_mode,
+    TablePrinter, COVERAGE_LEVELS, FULL_FACTORS, QUICK_FACTORS, WORKLOAD_SIZE,
 };
 use xac_core::{time, Backend};
 use xac_policy::policy::hospital_policy;
@@ -370,12 +370,15 @@ fn summary(data: &[Fig12Row]) {
 // Annotation write modes — paper-faithful per-tuple UPDATEs vs batched
 // ---------------------------------------------------------------------
 
-/// Benchmark the relational sign-write path: `PaperFaithful` (one parsed
-/// `UPDATE … WHERE id = …` statement per tuple, as the paper's Figure 6
-/// scripts do) against `Batched` (one indexed bulk write per table).
-/// The native store has no SQL layer and is reported once per factor as
-/// the mode-less reference. Emits `BENCH_annotation_modes.json` so the
-/// perf trajectory is tracked across revisions.
+/// Benchmark the annotation write path across all three modes:
+/// `PaperFaithful` (one parsed `UPDATE … WHERE id = …` statement per
+/// tuple, as the paper's Figure 6 scripts do), `Batched` (one indexed
+/// bulk write per table) and `Compiled` (the `xac-vmc` bytecode VM —
+/// fused scan+filter+sign-write over the columnar document index,
+/// skipping per-document XPath interpretation entirely). The native
+/// store is reported under interpreted (`none`) and `compiled` rows.
+/// Emits `BENCH_annotation_modes.json` so the perf trajectory is
+/// tracked across revisions.
 fn annotate_modes(factors: &[f64]) {
     use xac_core::{AnnotateMode, NativeXmlBackend, RelationalBackend};
     use xac_reldb::StorageKind;
@@ -433,7 +436,8 @@ fn annotate_modes(factors: &[f64]) {
     for &f in factors {
         let system = xmark_system(f, 0.5, 1);
 
-        // Native reference: no SQL write path, so no modes to compare.
+        // Native store: interpreted reference row, then the VM row.
+        // No SQL layer, so there is no sign-write sub-measurement.
         let mut native = NativeXmlBackend::new();
         system.load(&mut native).expect("load");
         let (writes, d) = time(|| system.annotate(&mut native).expect("annotate"));
@@ -449,11 +453,38 @@ fn annotate_modes(factors: &[f64]) {
         ]);
         record(f, "native", "none", d.as_secs_f64(), None, writes, accessible);
 
+        let mut native_vm = NativeXmlBackend::with_mode(AnnotateMode::Compiled);
+        system.load(&mut native_vm).expect("load");
+        let (vm_writes, vm_d) =
+            time(|| system.annotate(&mut native_vm).expect("annotate"));
+        let vm_accessible = native_vm.accessible_count().expect("count");
+        assert_eq!(writes, vm_writes, "native write counts diverge");
+        assert_eq!(accessible, vm_accessible, "native accessible sets diverge");
+        t.row(&[
+            format!("{f}"),
+            "native".into(),
+            "compiled".into(),
+            fmt_duration(vm_d),
+            String::new(),
+            vm_writes.to_string(),
+            format!("{:.1}x", d.as_secs_f64() / vm_d.as_secs_f64().max(1e-12)),
+        ]);
+        record(
+            f,
+            "native",
+            "compiled",
+            vm_d.as_secs_f64(),
+            None,
+            vm_writes,
+            vm_accessible,
+        );
+
         for (kind, name) in [(StorageKind::Column, "column"), (StorageKind::Row, "row")] {
             let mut per_mode = Vec::new();
             for (mode, label) in [
                 (AnnotateMode::PaperFaithful, "paper-faithful"),
                 (AnnotateMode::Batched, "batched"),
+                (AnnotateMode::Compiled, "compiled"),
             ] {
                 let mut b = RelationalBackend::with_mode(kind, mode);
                 system.load(&mut b).expect("load");
@@ -463,11 +494,14 @@ fn annotate_modes(factors: &[f64]) {
                 record(f, name, label, d.as_secs_f64(), Some(wd.as_secs_f64()), writes, accessible);
                 per_mode.push((label, d, wd, writes, accessible));
             }
-            // Both modes must write the same signs — same tuples touched,
+            // All modes must write the same signs — same tuples touched,
             // same accessible set afterwards.
-            assert_eq!(per_mode[0].3, per_mode[1].3, "write counts diverge on {name}");
-            assert_eq!(per_mode[0].4, per_mode[1].4, "accessible sets diverge on {name}");
-            let paper = per_mode[0].2;
+            for m in &per_mode[1..] {
+                assert_eq!(per_mode[0].3, m.3, "write counts diverge on {name} ({})", m.0);
+                assert_eq!(per_mode[0].4, m.4, "accessible sets diverge on {name} ({})", m.0);
+            }
+            let paper_wd = per_mode[0].2;
+            let batched_d = per_mode[1].1;
             for &(label, d, wd, writes, _) in &per_mode {
                 t.row(&[
                     format!("{f}"),
@@ -476,10 +510,18 @@ fn annotate_modes(factors: &[f64]) {
                     fmt_duration(d),
                     fmt_duration(wd),
                     writes.to_string(),
-                    if label == "batched" {
-                        format!("{:.1}x", paper.as_secs_f64() / wd.as_secs_f64().max(1e-12))
-                    } else {
-                        String::new()
+                    match label {
+                        // sign-write path speedup vs per-tuple SQL
+                        "batched" => format!(
+                            "{:.1}x",
+                            paper_wd.as_secs_f64() / wd.as_secs_f64().max(1e-12)
+                        ),
+                        // end-to-end annotate speedup vs batched
+                        "compiled" => format!(
+                            "{:.1}x",
+                            batched_d.as_secs_f64() / d.as_secs_f64().max(1e-12)
+                        ),
+                        _ => String::new(),
                     },
                 ]);
             }
@@ -490,11 +532,13 @@ fn annotate_modes(factors: &[f64]) {
     std::fs::write("BENCH_annotation_modes.json", &json).expect("write json");
     println!("  [json -> BENCH_annotation_modes.json]");
     println!(
-        "(speedup column compares the sign-write path alone: batched mode\n \
-         partitions the target ids per table and skips per-tuple SQL\n \
-         parsing/planning; end-to-end annotate also pays annotation-query\n \
-         evaluation, identical in both modes; final database state is\n \
-         identical, as asserted above)"
+        "(the `batched` speedup cell compares the sign-write path alone\n \
+         against per-tuple SQL; the `compiled` cell compares END-TO-END\n \
+         annotate time against batched — the VM fuses annotation-query\n \
+         evaluation and sign writes over the columnar document index, so\n \
+         the per-document XPath interpretation that dominates the other\n \
+         modes disappears; final database state is identical in all\n \
+         modes, as asserted above)"
     );
 }
 
@@ -768,22 +812,29 @@ fn ablation_cam() {
 }
 
 /// Serving-engine throughput: concurrent readers over epoch snapshots
-/// while a writer applies guarded deletes, per backend (the deployment
-/// shape the paper's evaluation implies). Emits `BENCH_serve.json` so
-/// the serving perf trajectory is tracked across revisions.
+/// while a writer applies guarded deletes, per backend × annotate mode
+/// (the deployment shape the paper's evaluation implies). The compiled
+/// mode additionally reports a single-threaded decide-path micro-sweep —
+/// per-request latency of the interpreted snapshot walk vs the bytecode
+/// VM (`query_compiled`) over the same published snapshot. Emits
+/// `BENCH_serve.json` so the serving perf trajectory is tracked across
+/// revisions.
 fn serve(factors: &[f64]) {
     use std::sync::Arc;
+    use xac_core::AnnotateMode;
     use xac_serve::{BackendKind, ServeEngine};
 
     banner("Serving engine — concurrent epoch-snapshot reads under guarded updates");
     const READERS: usize = 4;
     const READS_PER_READER: usize = 400;
     const UPDATES: usize = 12;
+    const MICRO_REPS: usize = 3;
 
-    let t = TablePrinter::new(vec![8, 12, 10, 12, 10, 10, 9, 9, 8]);
+    let t = TablePrinter::new(vec![8, 12, 9, 10, 12, 10, 10, 9, 9, 8, 9, 9]);
     t.row(&[
         "factor".into(),
         "backend".into(),
+        "mode".into(),
         "reads/s".into(),
         "mean µs".into(),
         "p50 µs".into(),
@@ -791,85 +842,128 @@ fn serve(factors: &[f64]) {
         "applied".into(),
         "denied".into(),
         "epochs".into(),
+        "dec-i µs".into(),
+        "dec-vm µs".into(),
     ]);
     t.rule();
 
     let queries = query_workload(&xmark_schema(), WORKLOAD_SIZE, 99);
     let updates = delete_updates(&xmark_schema(), UPDATES, 5);
     let mut csv = String::from(
-        "factor,backend,readers,reads,reads_per_s,read_mean_us,read_p50_us,read_p99_us,\
-         updates_applied,updates_denied,epochs_published,full_fallbacks\n",
+        "factor,backend,mode,readers,reads,reads_per_s,read_mean_us,read_p50_us,read_p99_us,\
+         updates_applied,updates_denied,epochs_published,full_fallbacks,\
+         decide_interp_us,decide_compiled_us\n",
     );
     let mut json = String::from("[\n");
     let mut first = true;
 
     for &f in factors {
-        let system = Arc::new(xmark_system(f, 0.5, 1));
-        for kind in BackendKind::ALL {
-            let engine =
-                Arc::new(ServeEngine::for_kind(Arc::clone(&system), kind).expect("engine"));
-            let (_, wall) = time(|| {
-                std::thread::scope(|scope| {
-                    for reader in 0..READERS {
-                        let engine = Arc::clone(&engine);
-                        let queries = &queries;
-                        scope.spawn(move || {
-                            for i in 0..READS_PER_READER {
-                                engine.query(&queries[(i + reader) % queries.len()]);
+        for (mode, mode_label) in [
+            (AnnotateMode::Batched, "batched"),
+            (AnnotateMode::Compiled, "compiled"),
+        ] {
+            let system = Arc::new(xmark_system_with_mode(f, 0.5, 1, mode));
+            for kind in BackendKind::ALL {
+                let engine =
+                    Arc::new(ServeEngine::for_kind(Arc::clone(&system), kind).expect("engine"));
+                let (_, wall) = time(|| {
+                    std::thread::scope(|scope| {
+                        for reader in 0..READERS {
+                            let engine = Arc::clone(&engine);
+                            let queries = &queries;
+                            scope.spawn(move || {
+                                for i in 0..READS_PER_READER {
+                                    engine.query(&queries[(i + reader) % queries.len()]);
+                                }
+                            });
+                        }
+                        for u in &updates {
+                            engine.guarded_delete(u).expect("guarded delete");
+                        }
+                    });
+                });
+                // Decide-path micro-sweep (compiled-mode rows only): both
+                // entry points run against the same published snapshot, so
+                // the delta is pure dispatch — interpreted document walk
+                // vs bytecode VM over the cached columnar index.
+                let micro = (mode == AnnotateMode::Compiled).then(|| {
+                    let snap = engine.snapshot();
+                    let measure = |compiled: bool| -> f64 {
+                        let (_, d) = time(|| {
+                            for _ in 0..MICRO_REPS {
+                                for q in &queries {
+                                    if compiled {
+                                        std::hint::black_box(snap.query_compiled(q));
+                                    } else {
+                                        std::hint::black_box(snap.query(q));
+                                    }
+                                }
                             }
                         });
-                    }
-                    for u in &updates {
-                        engine.guarded_delete(u).expect("guarded delete");
-                    }
+                        d.as_secs_f64() * 1e6 / (MICRO_REPS * queries.len()) as f64
+                    };
+                    (measure(false), measure(true))
                 });
-            });
-            let m = engine.metrics();
-            let reads_per_s = m.reads_issued() as f64 / wall.as_secs_f64().max(1e-9);
-            let name = engine.backend_name();
-            t.row(&[
-                format!("{f}"),
-                name.into(),
-                format!("{reads_per_s:.0}"),
-                format!("{:.1}", m.read_latency.mean_us()),
-                m.read_latency.quantile_us(0.5).to_string(),
-                m.read_latency.quantile_us(0.99).to_string(),
-                m.updates_applied.to_string(),
-                m.updates_denied.to_string(),
-                m.epochs_published.to_string(),
-            ]);
-            let _ = writeln!(
-                csv,
-                "{f},{name},{READERS},{},{reads_per_s},{},{},{},{},{},{},{}",
-                m.reads_issued(),
-                m.read_latency.mean_us(),
-                m.read_latency.quantile_us(0.5),
-                m.read_latency.quantile_us(0.99),
-                m.updates_applied,
-                m.updates_denied,
-                m.epochs_published,
-                m.full_fallbacks,
-            );
-            if !first {
-                json.push_str(",\n");
+                let m = engine.metrics();
+                let reads_per_s = m.reads_issued() as f64 / wall.as_secs_f64().max(1e-9);
+                let name = engine.backend_name();
+                t.row(&[
+                    format!("{f}"),
+                    name.into(),
+                    mode_label.into(),
+                    format!("{reads_per_s:.0}"),
+                    format!("{:.1}", m.read_latency.mean_us()),
+                    m.read_latency.quantile_us(0.5).to_string(),
+                    m.read_latency.quantile_us(0.99).to_string(),
+                    m.updates_applied.to_string(),
+                    m.updates_denied.to_string(),
+                    m.epochs_published.to_string(),
+                    micro.map_or(String::new(), |(i, _)| format!("{i:.1}")),
+                    micro.map_or(String::new(), |(_, c)| format!("{c:.1}")),
+                ]);
+                let (mi_csv, mc_csv) = micro.map_or((String::new(), String::new()), |(i, c)| {
+                    (i.to_string(), c.to_string())
+                });
+                let _ = writeln!(
+                    csv,
+                    "{f},{name},{mode_label},{READERS},{},{reads_per_s},{},{},{},{},{},{},{},\
+                     {mi_csv},{mc_csv}",
+                    m.reads_issued(),
+                    m.read_latency.mean_us(),
+                    m.read_latency.quantile_us(0.5),
+                    m.read_latency.quantile_us(0.99),
+                    m.updates_applied,
+                    m.updates_denied,
+                    m.epochs_published,
+                    m.full_fallbacks,
+                );
+                if !first {
+                    json.push_str(",\n");
+                }
+                first = false;
+                let (mi_json, mc_json) =
+                    micro.map_or(("null".into(), "null".into()), |(i, c)| {
+                        (i.to_string(), c.to_string())
+                    });
+                let _ = write!(
+                    json,
+                    "  {{\"factor\": {f}, \"backend\": \"{name}\", \"mode\": \"{mode_label}\", \
+                     \"readers\": {READERS}, \
+                     \"reads\": {}, \"reads_per_s\": {reads_per_s}, \
+                     \"read_mean_us\": {}, \"read_p50_us\": {}, \"read_p99_us\": {}, \
+                     \"updates_applied\": {}, \"updates_denied\": {}, \
+                     \"epochs_published\": {}, \"full_fallbacks\": {}, \
+                     \"decide_interp_us\": {mi_json}, \"decide_compiled_us\": {mc_json}}}",
+                    m.reads_issued(),
+                    m.read_latency.mean_us(),
+                    m.read_latency.quantile_us(0.5),
+                    m.read_latency.quantile_us(0.99),
+                    m.updates_applied,
+                    m.updates_denied,
+                    m.epochs_published,
+                    m.full_fallbacks,
+                );
             }
-            first = false;
-            let _ = write!(
-                json,
-                "  {{\"factor\": {f}, \"backend\": \"{name}\", \"readers\": {READERS}, \
-                 \"reads\": {}, \"reads_per_s\": {reads_per_s}, \
-                 \"read_mean_us\": {}, \"read_p50_us\": {}, \"read_p99_us\": {}, \
-                 \"updates_applied\": {}, \"updates_denied\": {}, \
-                 \"epochs_published\": {}, \"full_fallbacks\": {}}}",
-                m.reads_issued(),
-                m.read_latency.mean_us(),
-                m.read_latency.quantile_us(0.5),
-                m.read_latency.quantile_us(0.99),
-                m.updates_applied,
-                m.updates_denied,
-                m.epochs_published,
-                m.full_fallbacks,
-            );
         }
     }
     json.push_str("\n]\n");
@@ -879,7 +973,11 @@ fn serve(factors: &[f64]) {
     println!(
         "(reads run lock-free against the published epoch snapshot while the\n \
          writer re-annotates; applied+denied reflects which of the {UPDATES} guarded\n \
-         deletes the access check allowed; epochs = snapshots published)"
+         deletes the access check allowed; epochs = snapshots published;\n \
+         dec-i/dec-vm = single-threaded per-request decide latency of the\n \
+         interpreted snapshot walk vs the bytecode VM on the same snapshot —\n \
+         paths outside the compilable fragment fall back to the interpreter,\n \
+         so dec-vm bounds above the true VM-only latency)"
     );
 }
 

@@ -177,12 +177,21 @@ pub enum AnnotateMode {
     /// overhead — an extension over the paper, reported separately by the
     /// `figures annotate-modes` benchmark.
     Batched,
+    /// Bytecode execution (`xac-vmc`): the annotation query compiles once
+    /// into a register program per (policy, schema) fingerprint and runs
+    /// as fused scan+filter+sign-write ops over a columnar document
+    /// index, skipping SQL translation/parsing/planning on the relational
+    /// backends and the tree-walk evaluator on the native one. Writes go
+    /// through the same batched engine path, so the final sign state is
+    /// byte-identical to [`AnnotateMode::Batched`]. Queries the compiler
+    /// cannot express fall back to the interpreted path per call.
+    Compiled,
 }
 
 impl AnnotateMode {
     /// The accepted command-line spellings, in [`AnnotateMode::parse`]
     /// order.
-    pub const VALID_NAMES: [&'static str; 2] = ["paper", "batched"];
+    pub const VALID_NAMES: [&'static str; 3] = ["paper", "batched", "compiled"];
 
     /// Parse a command-line spelling. Unknown input yields the
     /// structured [`Error::UnknownAnnotateMode`] so callers can report
@@ -191,6 +200,7 @@ impl AnnotateMode {
         match input {
             "paper" => Ok(AnnotateMode::PaperFaithful),
             "batched" => Ok(AnnotateMode::Batched),
+            "compiled" => Ok(AnnotateMode::Compiled),
             other => Err(Error::UnknownAnnotateMode(other.to_string())),
         }
     }
@@ -200,7 +210,16 @@ impl AnnotateMode {
         match self {
             AnnotateMode::PaperFaithful => "paper",
             AnnotateMode::Batched => "batched",
+            AnnotateMode::Compiled => "compiled",
         }
+    }
+}
+
+impl std::fmt::Display for AnnotateMode {
+    /// Renders the canonical spelling, so `Display` round-trips through
+    /// [`AnnotateMode::parse`]/`FromStr`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -236,6 +255,10 @@ pub struct RelationalBackend {
     /// Accessible-id set cached per annotation epoch; any sign write or
     /// document mutation invalidates it.
     accessible_cache: Option<BTreeSet<i64>>,
+    /// Columnar document index for the compiled mode, cached per
+    /// *structural* epoch: sign writes leave it valid, document
+    /// mutations (load/insert/delete/restore) drop it.
+    doc_index: Option<std::sync::Arc<xac_vmc::DocIndex>>,
     /// Monotone annotation epoch; see [`Backend::epoch`].
     epoch: u64,
 }
@@ -250,6 +273,7 @@ impl RelationalBackend {
             state: None,
             mode: AnnotateMode::default(),
             accessible_cache: None,
+            doc_index: None,
             epoch: 0,
         }
     }
@@ -259,6 +283,23 @@ impl RelationalBackend {
     fn mutated(&mut self) {
         self.epoch += 1;
         self.accessible_cache = None;
+    }
+
+    /// Record a *structural* mutation: everything [`Self::mutated`]
+    /// drops, plus the columnar document index.
+    fn structure_changed(&mut self) {
+        self.mutated();
+        self.doc_index = None;
+    }
+
+    /// The columnar index over the loaded document, built lazily and
+    /// reused until the structure changes.
+    fn doc_index(&mut self) -> Result<std::sync::Arc<xac_vmc::DocIndex>> {
+        if self.doc_index.is_none() {
+            let state = self.state()?;
+            self.doc_index = Some(std::sync::Arc::new(xac_vmc::DocIndex::build(&state.doc)));
+        }
+        Ok(std::sync::Arc::clone(self.doc_index.as_ref().expect("just populated")))
     }
 
     fn static_name(kind: StorageKind) -> &'static str {
@@ -366,12 +407,14 @@ impl RelationalBackend {
                     }
                 }
             }
-            // Batched: partition the target set by owning table (via the
-            // id→table map maintained since load), then one engine call
-            // per table with exactly its own ids. Ids the map does not
-            // know (none today; defensive) go to every table and simply
-            // miss the foreign primary-key indexes.
-            AnnotateMode::Batched => {
+            // Batched and compiled: partition the target set by owning
+            // table (via the id→table map maintained since load), then
+            // one engine call per table with exactly its own ids. Ids
+            // the map does not know (none today; defensive) go to every
+            // table and simply miss the foreign primary-key indexes.
+            // The compiled mode shares this write engine — it differs
+            // upstream, in how the target set is computed.
+            AnnotateMode::Batched | AnnotateMode::Compiled => {
                 let mut buckets: Vec<Vec<i64>> = vec![Vec::new(); tables.len()];
                 let mut unknown: Vec<i64> = Vec::new();
                 {
@@ -438,6 +481,68 @@ impl RelationalBackend {
     pub fn shredded(&self) -> Result<&ShreddedDocument> {
         Ok(&self.state()?.shredded)
     }
+
+    /// Compiled annotation: fetch (or compile) the query's bytecode
+    /// program, execute it over the columnar document index, and stream
+    /// the selected set into the batched column/row-store sign write.
+    /// Returns `None` when the query is outside the compilable fragment,
+    /// in which case the caller falls back to the SQL interpreter.
+    fn annotate_compiled(&mut self, query: &AnnotationQuery) -> Result<Option<usize>> {
+        let program = {
+            let state = self.state()?;
+            match xac_vmc::cached_query_program(query, Some(state.mapping.schema())) {
+                Ok(p) => p,
+                Err(_) => return Ok(None),
+            }
+        };
+        let index = self.doc_index()?;
+        self.mutated();
+        let state = self.state.as_mut().expect("state checked by doc_index");
+        let mut sink = RelationalSignSink {
+            db: &mut self.db,
+            shredded: &state.shredded,
+            table_of: &state.table_of,
+            tables: state.mapping.tables(),
+        };
+        let written = xac_vmc::execute(&program, &index, &mut sink)
+            .map_err(Error::System)?;
+        Ok(Some(written))
+    }
+}
+
+/// The VM's fused sign sink over the relational engine: buckets the
+/// selected nodes' universal ids by owning table and issues one batched
+/// [`Database::update_signs`] per table — the same write the batched
+/// mode performs, fed from the VM instead of a SQL result set.
+struct RelationalSignSink<'a> {
+    db: &'a mut Database,
+    shredded: &'a ShreddedDocument,
+    table_of: &'a HashMap<i64, usize>,
+    tables: &'a [xac_shrex::mapping::MappedTable],
+}
+
+impl xac_vmc::SignSink for RelationalSignSink<'_> {
+    fn write(&mut self, nodes: &[xac_xml::NodeId], sign: char) -> std::result::Result<usize, String> {
+        let _span = xac_obs::span("backend.write_signs");
+        let mut buckets: Vec<Vec<i64>> = vec![Vec::new(); self.tables.len()];
+        for &n in nodes {
+            if let Some(id) = self.shredded.id_of(n) {
+                if let Some(&i) = self.table_of.get(&id) {
+                    buckets[i].push(id);
+                }
+            }
+        }
+        let mut updated = 0usize;
+        for (table, ids) in self.tables.iter().zip(buckets) {
+            if !ids.is_empty() {
+                updated += self
+                    .db
+                    .update_signs(&table.name, &ids, sign)
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        Ok(updated)
+    }
 }
 
 impl Backend for RelationalBackend {
@@ -454,7 +559,7 @@ impl Backend for RelationalBackend {
         db.execute_script(&prepared.ddl)?;
         db.execute_script(&prepared.sql_text)?;
         self.db = db;
-        self.mutated();
+        self.structure_changed();
         let table_index: HashMap<&str, usize> = prepared
             .mapping
             .tables()
@@ -484,6 +589,12 @@ impl Backend for RelationalBackend {
 
     fn annotate(&mut self, query: &AnnotationQuery) -> Result<usize> {
         let _span = xac_obs::span("backend.annotate");
+        if self.mode == AnnotateMode::Compiled {
+            if let Some(written) = self.annotate_compiled(query)? {
+                return Ok(written);
+            }
+            // Outside the compilable fragment: interpreted fallback.
+        }
         let sql = self.render_annotation_sql(query)?;
         let targets = self.db.query(&sql)?.column_as_int_set(0);
         self.write_signs(&targets, sign_char(query.mark))
@@ -496,6 +607,14 @@ impl Backend for RelationalBackend {
         let tables: Vec<String> =
             state.mapping.tables().iter().map(|t| t.name.clone()).collect();
         let mut touched = 0usize;
+        if self.mode == AnnotateMode::Compiled {
+            // Vectorized reset: one sweep per table's sign column, no
+            // SQL. Same final state as the UPDATE below.
+            for table in tables {
+                touched += self.db.reset_signs(&table, default)?;
+            }
+            return Ok(touched);
+        }
         for table in tables {
             if let Some(n) = self
                 .db
@@ -533,7 +652,7 @@ impl Backend for RelationalBackend {
     }
 
     fn delete(&mut self, path: &Path) -> Result<usize> {
-        self.mutated();
+        self.structure_changed();
         // Structure lives in the mapping layer's copy of the tree; rows are
         // removed tuple by tuple through SQL point deletes on the id index.
         let targets = {
@@ -568,7 +687,7 @@ impl Backend for RelationalBackend {
     }
 
     fn insert(&mut self, parent_path: &Path, name: &str, text: Option<&str>) -> Result<usize> {
-        self.mutated();
+        self.structure_changed();
         let parents = {
             let state = self.state()?;
             if !state.mapping.schema().contains(name) {
@@ -623,11 +742,26 @@ impl Backend for RelationalBackend {
     }
 
     fn reannotate(&mut self, scope: &[Path], query: &AnnotationQuery) -> Result<usize> {
-        // Phase 1: reset the triggered scopes to the default sign.
+        // Phase 1: reset the triggered scopes to the default sign. In
+        // compiled mode the scope paths run on the VM too (falling back
+        // to XPath→SQL per path outside the fragment).
         let default = self.state()?.default_sign;
         let mut scope_ids: BTreeSet<i64> = BTreeSet::new();
         for p in scope {
-            scope_ids.extend(self.path_ids(p)?);
+            let compiled = if self.mode == AnnotateMode::Compiled {
+                xac_vmc::cached_path_program(p).ok()
+            } else {
+                None
+            };
+            match compiled {
+                Some(program) => {
+                    let index = self.doc_index()?;
+                    let nodes = xac_vmc::execute_select(&program, &index);
+                    let shredded = &self.state()?.shredded;
+                    scope_ids.extend(nodes.iter().filter_map(|&n| shredded.id_of(n)));
+                }
+                None => scope_ids.extend(self.path_ids(p)?),
+            }
         }
         let reset = self.write_signs(&scope_ids, default)?;
         // Phase 2: apply the triggered-rules annotation query.
@@ -695,6 +829,7 @@ impl Backend for RelationalBackend {
         // whatever the current epoch number was stamped on.
         self.epoch = self.epoch.max(checkpoint.epoch) + 1;
         self.accessible_cache = None;
+        self.doc_index = None;
         Ok(())
     }
 }
@@ -708,6 +843,11 @@ impl Backend for RelationalBackend {
 pub struct NativeXmlBackend {
     sdoc: Option<StoredDocument>,
     default_sign: char,
+    mode: AnnotateMode,
+    /// Columnar document index for the compiled mode, cached across sign
+    /// writes and dropped on structural mutations — same discipline as
+    /// [`RelationalBackend::structure_changed`].
+    index: Option<std::sync::Arc<xac_vmc::DocIndex>>,
     /// Monotone annotation epoch; see [`Backend::epoch`].
     epoch: u64,
 }
@@ -715,7 +855,38 @@ pub struct NativeXmlBackend {
 impl NativeXmlBackend {
     /// An empty native backend.
     pub fn new() -> NativeXmlBackend {
-        NativeXmlBackend { sdoc: None, default_sign: '-', epoch: 0 }
+        NativeXmlBackend {
+            sdoc: None,
+            default_sign: '-',
+            mode: AnnotateMode::default(),
+            index: None,
+            epoch: 0,
+        }
+    }
+
+    /// An empty native backend in the given annotation mode. The native
+    /// store has no SQL layer, so `PaperFaithful` and `Batched` behave
+    /// identically here; `Compiled` routes annotation through the
+    /// bytecode VM.
+    pub fn with_mode(mode: AnnotateMode) -> NativeXmlBackend {
+        let mut b = NativeXmlBackend::new();
+        b.mode = mode;
+        b
+    }
+
+    /// The current annotation mode.
+    pub fn annotate_mode(&self) -> AnnotateMode {
+        self.mode
+    }
+
+    /// The columnar index over the stored document, built lazily and
+    /// reused until the structure changes.
+    fn native_index(&mut self) -> Result<std::sync::Arc<xac_vmc::DocIndex>> {
+        if self.index.is_none() {
+            let sdoc = self.sdoc()?;
+            self.index = Some(std::sync::Arc::new(xac_vmc::DocIndex::build(sdoc.doc())));
+        }
+        Ok(std::sync::Arc::clone(self.index.as_ref().expect("just populated")))
     }
 
     fn sdoc(&self) -> Result<&StoredDocument> {
@@ -755,6 +926,19 @@ impl NativeXmlBackend {
     }
 }
 
+/// The VM's fused sign sink over the native store: the selected nodes
+/// go straight into the element arena's sign attributes via
+/// [`StoredDocument::annotate_nodes`].
+struct NativeSignSink<'a> {
+    sdoc: &'a mut StoredDocument,
+}
+
+impl xac_vmc::SignSink for NativeSignSink<'_> {
+    fn write(&mut self, nodes: &[xac_xml::NodeId], sign: char) -> std::result::Result<usize, String> {
+        Ok(self.sdoc.annotate_nodes(nodes, sign))
+    }
+}
+
 impl Default for NativeXmlBackend {
     fn default() -> Self {
         NativeXmlBackend::new()
@@ -774,6 +958,7 @@ impl Backend for NativeXmlBackend {
         let doc = Document::parse_str(&prepared.xml_text)?;
         self.sdoc = Some(StoredDocument::new(doc));
         self.default_sign = prepared.default_sign;
+        self.index = None;
         self.epoch += 1;
         Ok(())
     }
@@ -785,6 +970,20 @@ impl Backend for NativeXmlBackend {
     fn annotate(&mut self, query: &AnnotationQuery) -> Result<usize> {
         let _span = xac_obs::span("backend.annotate");
         let mark = sign_char(query.mark);
+        if self.mode == AnnotateMode::Compiled {
+            // Mirror the interpreted path: an empty include annotates
+            // nothing and leaves the epoch untouched.
+            if query.include.is_empty() {
+                return Ok(0);
+            }
+            if let Ok(program) = xac_vmc::cached_query_program(query, None) {
+                let index = self.native_index()?;
+                let sdoc = self.sdoc_mut()?;
+                let mut sink = NativeSignSink { sdoc };
+                return xac_vmc::execute(&program, &index, &mut sink).map_err(Error::System);
+            }
+            // Outside the compilable fragment: interpreted fallback.
+        }
         let Some(expr) = Self::expr_of(query) else {
             return Ok(0);
         };
@@ -815,6 +1014,7 @@ impl Backend for NativeXmlBackend {
 
     fn delete(&mut self, path: &Path) -> Result<usize> {
         let path = path.clone();
+        self.index = None;
         let sdoc = self.sdoc_mut()?;
         let before = sdoc.doc().element_count();
         sdoc.delete_matching(&path)?;
@@ -823,6 +1023,7 @@ impl Backend for NativeXmlBackend {
 
     fn insert(&mut self, parent_path: &Path, name: &str, text: Option<&str>) -> Result<usize> {
         let parent_path = parent_path.clone();
+        self.index = None;
         let sdoc = self.sdoc_mut()?;
         let parents = sdoc.eval(&parent_path);
         for &parent in &parents {
@@ -835,12 +1036,22 @@ impl Backend for NativeXmlBackend {
     }
 
     fn reannotate(&mut self, scope: &[Path], query: &AnnotationQuery) -> Result<usize> {
-        let sdoc = self.sdoc_mut()?;
         let mut scope_nodes: BTreeSet<xac_xml::NodeId> = BTreeSet::new();
         for p in scope {
-            scope_nodes.extend(sdoc.eval(p));
+            let compiled = if self.mode == AnnotateMode::Compiled {
+                xac_vmc::cached_path_program(p).ok()
+            } else {
+                None
+            };
+            match compiled {
+                Some(program) => {
+                    let index = self.native_index()?;
+                    scope_nodes.extend(xac_vmc::execute_select(&program, &index));
+                }
+                None => scope_nodes.extend(self.sdoc()?.eval(p)),
+            }
         }
-        let reset = sdoc.clear_signs(scope_nodes);
+        let reset = self.sdoc_mut()?.clear_signs(scope_nodes);
         let annotated = self.annotate(query)?;
         Ok(reset + annotated)
     }
@@ -899,6 +1110,7 @@ impl Backend for NativeXmlBackend {
         };
         self.sdoc = sdoc.clone();
         self.default_sign = *default_sign;
+        self.index = None;
         self.epoch = self.epoch.max(checkpoint.epoch) + 1;
         Ok(())
     }
@@ -996,21 +1208,30 @@ mod tests {
         for kind in [StorageKind::Row, StorageKind::Column] {
             let mut faithful = RelationalBackend::new(kind);
             let mut batched = RelationalBackend::with_mode(kind, AnnotateMode::Batched);
+            let mut compiled = RelationalBackend::with_mode(kind, AnnotateMode::Compiled);
             assert_eq!(faithful.annotate_mode(), AnnotateMode::PaperFaithful);
             faithful.load(&p).unwrap();
             batched.load(&p).unwrap();
+            compiled.load(&p).unwrap();
             let w1 = faithful.annotate(&query).unwrap();
             let w2 = batched.annotate(&query).unwrap();
+            let w3 = compiled.annotate(&query).unwrap();
             assert_eq!(w1, w2, "{kind:?}: same number of sign writes");
+            assert_eq!(w2, w3, "{kind:?}: compiled writes the same rows");
             assert_eq!(
                 faithful.accessible_ids().unwrap(),
                 batched.accessible_ids().unwrap(),
                 "{kind:?}: identical sign outcome"
             );
+            assert_eq!(
+                batched.sign_map().unwrap(),
+                compiled.sign_map().unwrap(),
+                "{kind:?}: compiled sign state byte-identical"
+            );
             // Re-annotation after an update agrees too.
             let u = xac_xpath::parse("//patient/treatment").unwrap();
             let scope = vec![xac_xpath::parse("//patient").unwrap()];
-            for b in [&mut faithful, &mut batched] {
+            for b in [&mut faithful, &mut batched, &mut compiled] {
                 b.delete(&u).unwrap();
                 b.reannotate(&scope, &query).unwrap();
             }
@@ -1019,6 +1240,112 @@ mod tests {
                 batched.accessible_ids().unwrap(),
                 "{kind:?}: identical after reannotation"
             );
+            assert_eq!(
+                batched.sign_map().unwrap(),
+                compiled.sign_map().unwrap(),
+                "{kind:?}: compiled identical after reannotation"
+            );
+            // Full reset sweeps agree as well.
+            let rb = batched.reset_annotations().unwrap();
+            let rc = compiled.reset_annotations().unwrap();
+            assert_eq!(rb, rc, "{kind:?}: reset touches the same rows");
+            assert_eq!(
+                batched.sign_map().unwrap(),
+                compiled.sign_map().unwrap(),
+                "{kind:?}: compiled identical after reset"
+            );
+        }
+    }
+
+    #[test]
+    fn native_compiled_mode_matches_interpreter() {
+        let p = prepared();
+        let query = AnnotationQuery::from_policy(&hospital_policy());
+        let mut interp = NativeXmlBackend::new();
+        let mut compiled = NativeXmlBackend::with_mode(AnnotateMode::Compiled);
+        assert_eq!(compiled.annotate_mode(), AnnotateMode::Compiled);
+        interp.load(&p).unwrap();
+        compiled.load(&p).unwrap();
+        let w1 = interp.annotate(&query).unwrap();
+        let w2 = compiled.annotate(&query).unwrap();
+        assert_eq!(w1, w2, "same number of sign writes");
+        assert_eq!(
+            interp.sign_state().unwrap(),
+            compiled.sign_state().unwrap(),
+            "byte-identical native sign state"
+        );
+        // Structural update + re-annotation: the compiled index rebuilds.
+        let u = xac_xpath::parse("//patient/treatment").unwrap();
+        let scope = vec![xac_xpath::parse("//patient").unwrap()];
+        for b in [&mut interp, &mut compiled] {
+            b.delete(&u).unwrap();
+            b.reannotate(&scope, &query).unwrap();
+        }
+        assert_eq!(
+            interp.sign_state().unwrap(),
+            compiled.sign_state().unwrap(),
+            "identical after delete + reannotation"
+        );
+    }
+
+    #[test]
+    fn native_compiled_empty_include_skips_epoch_bump() {
+        let p = prepared();
+        let empty = AnnotationQuery {
+            include: vec![],
+            except: vec![],
+            mark: Effect::Allow,
+            shape: xac_policy::QueryShape::Grants,
+        };
+        let mut b = NativeXmlBackend::with_mode(AnnotateMode::Compiled);
+        b.load(&p).unwrap();
+        let before = b.epoch();
+        assert_eq!(b.annotate(&empty).unwrap(), 0);
+        assert_eq!(b.epoch(), before, "no-op annotate must not bump the epoch");
+    }
+
+    #[test]
+    fn unknown_annotate_mode_error_lists_all_modes() {
+        let err = AnnotateMode::parse("vectorized").unwrap_err();
+        assert_eq!(err, Error::UnknownAnnotateMode("vectorized".to_string()));
+        let text = err.to_string();
+        for name in AnnotateMode::VALID_NAMES {
+            assert!(text.contains(name), "`{name}` missing from: {text}");
+        }
+    }
+
+    #[test]
+    fn annotate_mode_display_round_trips_through_parse() {
+        use std::str::FromStr;
+        let modes =
+            [AnnotateMode::PaperFaithful, AnnotateMode::Batched, AnnotateMode::Compiled];
+        // Exhaustive: every canonical spelling parses back to its mode.
+        for mode in modes {
+            assert_eq!(AnnotateMode::parse(&mode.to_string()).unwrap(), mode);
+            assert_eq!(AnnotateMode::from_str(mode.name()).unwrap(), mode);
+        }
+        // Property: random case/whitespace perturbations of a canonical
+        // spelling only parse when they leave it unchanged.
+        let mut rng = xac_xmlgen::SplitMix64::seed_from_u64(0x5eed_cafe);
+        for _ in 0..256 {
+            let mode = modes[(rng.next_u64() % modes.len() as u64) as usize];
+            let mut s = mode.name().to_string();
+            match rng.next_u64() % 3 {
+                0 => s.make_ascii_uppercase(),
+                1 => s.push(' '),
+                _ => {}
+            }
+            match AnnotateMode::parse(&s) {
+                Ok(parsed) => {
+                    assert_eq!(s, mode.name(), "only canonical spellings parse");
+                    assert_eq!(parsed, mode);
+                    assert_eq!(parsed.to_string(), s, "Display round-trips");
+                }
+                Err(err) => {
+                    assert_ne!(s, mode.name());
+                    assert_eq!(err, Error::UnknownAnnotateMode(s.clone()));
+                }
+            }
         }
     }
 

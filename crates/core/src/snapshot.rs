@@ -32,6 +32,10 @@ pub struct AccessSnapshot {
     backend: &'static str,
     store: Arc<StoredDocument>,
     accessible: Arc<BTreeSet<NodeId>>,
+    /// Columnar index for the compiled read path, built on first use.
+    /// The snapshot is immutable, so the index stays valid for its whole
+    /// lifetime — one build per published epoch.
+    index: std::sync::OnceLock<Arc<xac_vmc::DocIndex>>,
 }
 
 impl AccessSnapshot {
@@ -48,6 +52,7 @@ impl AccessSnapshot {
             backend,
             store: Arc::new(store),
             accessible: Arc::new(accessible),
+            index: std::sync::OnceLock::new(),
         }
     }
 
@@ -78,6 +83,29 @@ impl AccessSnapshot {
     pub fn query_str(&self, query: &str) -> Result<Decision> {
         let path = xac_xpath::parse(query)?;
         Ok(self.query(&path))
+    }
+
+    /// Answer a user request on the compiled read path: the path runs
+    /// as VM bytecode over the snapshot's columnar index instead of the
+    /// tree-walking evaluator. Decisions are identical to
+    /// [`Self::query`] — the VM selects the same node set in the same
+    /// order — and paths outside the compilable fragment silently use
+    /// the interpreter. The serving engine routes reads here when the
+    /// system is configured with `AnnotateMode::Compiled`.
+    pub fn query_compiled(&self, path: &Path) -> Decision {
+        let Ok(program) = xac_vmc::cached_path_program(path) else {
+            return self.query(path);
+        };
+        let index = self
+            .index
+            .get_or_init(|| Arc::new(xac_vmc::DocIndex::build(self.store.doc())));
+        let nodes = xac_vmc::execute_select(&program, index);
+        let allowed = nodes.iter().all(|n| self.accessible.contains(n));
+        if allowed {
+            Decision::Granted { nodes: nodes.len() }
+        } else {
+            Decision::Denied { nodes: nodes.len() }
+        }
     }
 
     /// Number of accessible nodes at this epoch.
@@ -168,5 +196,31 @@ mod tests {
     fn snapshot_errors_when_unloaded() {
         assert!(NativeXmlBackend::new().snapshot().is_err());
         assert!(RelationalBackend::row().snapshot().is_err());
+    }
+
+    #[test]
+    fn compiled_read_path_matches_interpreted_decisions() {
+        let p = prepared();
+        let q = AnnotationQuery::from_policy(&hospital_policy());
+        let mut b = NativeXmlBackend::new();
+        b.load(&p).unwrap();
+        b.annotate(&q).unwrap();
+        let snap = b.snapshot().unwrap();
+        for query in [
+            "//patient/name",
+            "//patient",
+            "//regular",
+            "//med",
+            "//none",
+            "/hospital/dept",
+            "//patient[psn = \"2\"]/name",
+            "//patient[treatment]",
+        ] {
+            let path = xac_xpath::parse(query).unwrap();
+            let interpreted = snap.query(&path);
+            let compiled = snap.query_compiled(&path);
+            assert_eq!(compiled.node_count(), interpreted.node_count(), "{query}");
+            assert_eq!(compiled.granted(), interpreted.granted(), "{query}");
+        }
     }
 }

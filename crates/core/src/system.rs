@@ -318,11 +318,34 @@ impl System {
         xac_policy::accessible_nodes(&self.prepared.doc, &self.policy)
     }
 
+    /// The accessible node set, computed the way the configured
+    /// [`AnnotateMode`] would: under [`AnnotateMode::Compiled`] the
+    /// policy's annotation query runs as VM bytecode
+    /// ([`crate::view::compiled_accessible`], falling back to the
+    /// interpreter outside the compilable fragment); otherwise the
+    /// interpreted Table 2 reference. Always equal to
+    /// [`Self::reference_accessible`] — the equivalence suite holds the
+    /// two paths byte-identical.
+    pub fn accessible_set(&self) -> BTreeSet<NodeId> {
+        if self.annotate_mode == AnnotateMode::Compiled {
+            let query = xac_policy::AnnotationQuery::from_policy(&self.policy);
+            if let Some(set) = crate::view::compiled_accessible(
+                &self.prepared.doc,
+                &query,
+                Some(&self.schema),
+            ) {
+                return set;
+            }
+        }
+        self.reference_accessible()
+    }
+
     /// Derive the security view of the prepared document: the
     /// accessible-only sub-document a reader may see (see
-    /// [`crate::view`]).
+    /// [`crate::view`]). Under [`AnnotateMode::Compiled`] the accessible
+    /// set feeding the pruning pass comes from the bytecode VM.
     pub fn security_view(&self, mode: crate::view::ViewMode) -> Document {
-        crate::view::security_view(&self.prepared.doc, &self.reference_accessible(), mode)
+        crate::view::security_view(&self.prepared.doc, &self.accessible_set(), mode)
     }
 }
 
@@ -378,6 +401,28 @@ mod tests {
         )
         .unwrap();
         assert_eq!(old_aware.reference_accessible(), new.reference_accessible());
+    }
+
+    #[test]
+    fn compiled_accessible_set_and_view_match_reference() {
+        let compiled =
+            System::builder(crate::hospital_schema_for_docs(), hospital_policy(), figure2())
+                .annotate_mode(crate::AnnotateMode::Compiled)
+                .build()
+                .unwrap();
+        assert_eq!(
+            compiled.accessible_set(),
+            compiled.reference_accessible(),
+            "VM accessible set equals Table 2 reference"
+        );
+        let reference = system();
+        for mode in [crate::view::ViewMode::Prune, crate::view::ViewMode::Promote] {
+            assert_eq!(
+                compiled.security_view(mode).to_xml(),
+                reference.security_view(mode).to_xml(),
+                "{mode:?}"
+            );
+        }
     }
 
     #[test]

@@ -315,6 +315,45 @@ impl Database {
         Ok(updated)
     }
 
+    /// Vectorized sign reset: set the `s` column of every live row of
+    /// `table` to `sign` in one sweep over the column, without SQL
+    /// parsing or planning. The compiled annotation mode resets with
+    /// this; final table state is byte-identical to
+    /// `UPDATE {table} SET s = '{sign}'`.
+    pub fn reset_signs(&mut self, table: &str, sign: char) -> Result<usize> {
+        let schema = self.catalog.require_table(table)?;
+        let s_col = schema
+            .column_index("s")
+            .ok_or_else(|| Error::plan(format!("table `{table}` has no `s` column")))?;
+        let value = Value::Text(sign.to_string());
+        let mut updated = 0usize;
+        macro_rules! sweep {
+            ($t:expr) => {{
+                let rows: Vec<usize> = $t.live_rows().collect();
+                for row in rows {
+                    $t.update_cell(row, s_col, value.clone())?;
+                    updated += 1;
+                }
+            }};
+        }
+        match &mut self.store {
+            Store::Row(m) => {
+                let t = m
+                    .get_mut(table)
+                    .ok_or_else(|| Error::exec(format!("missing table `{table}`")))?;
+                sweep!(t)
+            }
+            Store::Col(m) => {
+                let t = m
+                    .get_mut(table)
+                    .ok_or_else(|| Error::exec(format!("missing table `{table}`")))?;
+                sweep!(t)
+            }
+        }
+        batch_sign_rows_total().add(updated as u64);
+        Ok(updated)
+    }
+
     /// Live row count of a table.
     pub fn row_count(&self, table: &str) -> Result<usize> {
         match &self.store {

@@ -103,9 +103,9 @@ fn parse_args() -> CliResult<Args> {
 }
 
 fn usage() -> String {
-    "usage: xmlac <check|optimize|shred|annotate|query|update|view|audit|analyze|serve-bench|obs> \
+    "usage: xmlac <check|optimize|shred|annotate|query|update|view|audit|analyze|serve-bench|obs|vm> \
      [--schema F] [--policy F] [--doc F] [--backend native|row|column] \
-     [--annotate-mode paper|batched] \
+     [--annotate-mode paper|batched|compiled] \
      [--query XPATH]... [--delete XPATH] [--insert PARENT:NAME[:TEXT]] \
      [--mode prune|promote] [--readers N] [--reads N] [--out F] \
      [--fault-plan SPEC|seed:N[xK]] \
@@ -114,7 +114,8 @@ fn usage() -> String {
      [--deny warn] [--audit-updates N] [--out F]\n\
      obs dump  --schema F --policy F --doc F [--query XPATH]... [--delete XPATH] \
      [--out F] [--trace-out F]\n\
-     obs check [--metrics F] [--trace F]"
+     obs check [--metrics F] [--trace F]\n\
+     vm dump   --policy F --schema F [--out F]"
         .to_string()
 }
 
@@ -183,7 +184,7 @@ impl Args {
 
 fn run() -> CliResult<()> {
     let args = parse_args()?;
-    if args.command != "obs" {
+    if args.command != "obs" && args.command != "vm" {
         if let Some(stray) = args.positionals.first() {
             return Err(format!("expected a --flag, found `{stray}`").into());
         }
@@ -200,6 +201,7 @@ fn run() -> CliResult<()> {
         "analyze" => analyze(&args),
         "serve-bench" => serve_bench(&args),
         "obs" => obs(&args),
+        "vm" => vm(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -537,6 +539,36 @@ fn obs_check(args: &Args) -> CliResult<()> {
             .map_err(|e| format!("cannot read trace `{path}`: {e}"))?;
         xac_obs::validate_json(&text).map_err(|e| format!("trace `{path}` invalid: {e}"))?;
         println!("trace ok: {path} ({} bytes)", text.len());
+    }
+    Ok(())
+}
+
+fn vm(args: &Args) -> CliResult<()> {
+    let verb = args.positionals.first().map(String::as_str).unwrap_or("dump");
+    match verb {
+        "dump" => vm_dump(args),
+        other => Err(format!("unknown vm verb `{other}` (dump)\n{}", usage()).into()),
+    }
+}
+
+/// Disassemble the bytecode program the compiled annotate mode runs for
+/// this (policy, schema) pair — the same optimized annotation query the
+/// backends execute, grouped per element type.
+fn vm_dump(args: &Args) -> CliResult<()> {
+    let policy = args.policy()?;
+    let schema = args.schema()?;
+    let optimized = xac_core::optimizer::optimize(&policy).optimized;
+    let query = xac_policy::AnnotationQuery::from_policy(&optimized);
+    let program = xac_vmc::compile_query(&query, Some(&schema))
+        .map_err(|e| format!("annotation query is outside the compilable fragment: {e}"))?;
+    let listing = xac_vmc::disassemble(&program, Some(&schema));
+    match args.options.get("out") {
+        Some(path) => {
+            std::fs::write(path, &listing)
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("wrote listing to {path}");
+        }
+        None => print!("{listing}"),
     }
     Ok(())
 }

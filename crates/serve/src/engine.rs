@@ -85,7 +85,7 @@ impl BackendKind {
     /// given annotation write mode.
     pub fn make(self, mode: AnnotateMode) -> Box<dyn Backend + Send> {
         match self {
-            BackendKind::Native => Box::new(NativeXmlBackend::new()),
+            BackendKind::Native => Box::new(NativeXmlBackend::with_mode(mode)),
             BackendKind::Row => {
                 Box::new(RelationalBackend::with_mode(xac_reldb::StorageKind::Row, mode))
             }
@@ -260,7 +260,14 @@ impl ServeEngine {
         let _span = xac_obs::span("serve.read");
         let start = Instant::now();
         let snap = self.snapshot();
-        let decision = snap.query(path);
+        // Compiled deployments answer reads on the bytecode VM against
+        // the snapshot's columnar index; decisions are identical to the
+        // interpreted path (the equivalence suite holds them so).
+        let decision = if self.system.annotate_mode() == AnnotateMode::Compiled {
+            snap.query_compiled(path)
+        } else {
+            snap.query(path)
+        };
         self.metrics.read_latency.record(start.elapsed());
         if decision.granted() {
             self.metrics.reads_allowed.fetch_add(1, Relaxed);

@@ -1,0 +1,146 @@
+//! Bounded program cache keyed on (policy, schema) fingerprints.
+//!
+//! Mirrors `ContainmentOracle`'s memo discipline: a fixed capacity, a
+//! wholesale flush when full (counted as evictions, fed to a global
+//! counter), and hit/miss/eviction stats published as gauges. Programs
+//! are tiny, so the default capacity comfortably holds every annotation
+//! query and request path a serving process sees; the bound exists so a
+//! pathological workload cannot grow the map without limit.
+
+use crate::bytecode::Program;
+use crate::compile::{compile_path, compile_query, CompileError};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use xac_obs::Counter;
+use xac_policy::AnnotationQuery;
+use xac_xml::Schema;
+use xac_xpath::Path;
+
+/// Default capacity of the global program cache.
+pub const DEFAULT_PROGRAM_CACHE_CAPACITY: usize = 4096;
+
+fn programs_compiled_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| xac_obs::counter("xac_vm_programs_compiled_total"))
+}
+
+fn cache_evictions_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| xac_obs::counter("xac_vm_cache_evictions_total"))
+}
+
+/// Cache effectiveness counters (cumulative since process start or the
+/// last [`reset_cache`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+impl VmCacheStats {
+    /// Hit fraction in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Publish the stats as gauges (`xac_vm_cache_hits`, `_misses`,
+    /// `_evictions`, and `xac_vm_cache_hit_rate_pct` as an integer
+    /// percentage).
+    pub fn publish(&self) {
+        xac_obs::gauge("xac_vm_cache_hits").set(self.hits);
+        xac_obs::gauge("xac_vm_cache_misses").set(self.misses);
+        xac_obs::gauge("xac_vm_cache_evictions").set(self.evictions);
+        xac_obs::gauge("xac_vm_cache_hit_rate_pct").set((self.hit_rate() * 100.0).round() as u64);
+    }
+}
+
+struct ProgramCache {
+    map: HashMap<u64, Arc<Program>>,
+    capacity: usize,
+    stats: VmCacheStats,
+}
+
+impl ProgramCache {
+    fn lookup_or_insert<E>(
+        &mut self,
+        key: u64,
+        build: impl FnOnce() -> Result<Program, E>,
+    ) -> Result<Arc<Program>, E> {
+        if let Some(p) = self.map.get(&key) {
+            self.stats.hits += 1;
+            return Ok(Arc::clone(p));
+        }
+        self.stats.misses += 1;
+        let program = Arc::new(build()?);
+        programs_compiled_total().inc();
+        if self.map.len() >= self.capacity {
+            // Wholesale flush, like the containment memo: cheap, and a
+            // full cache under a stable workload never reaches here.
+            let cleared = self.map.len() as u64;
+            self.map.clear();
+            self.stats.evictions += cleared;
+            cache_evictions_total().add(cleared);
+        }
+        self.map.insert(key, Arc::clone(&program));
+        Ok(program)
+    }
+}
+
+fn cache() -> MutexGuard<'static, ProgramCache> {
+    static CACHE: OnceLock<Mutex<ProgramCache>> = OnceLock::new();
+    CACHE
+        .get_or_init(|| {
+            Mutex::new(ProgramCache {
+                map: HashMap::new(),
+                capacity: DEFAULT_PROGRAM_CACHE_CAPACITY,
+                stats: VmCacheStats::default(),
+            })
+        })
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Fingerprint the cache keys a query program under. Exposed so callers
+/// can correlate disassembly output with cache entries.
+pub fn query_fingerprint(query: &AnnotationQuery, schema: Option<&Schema>) -> u64 {
+    crate::compile::fingerprint(&query.describe(), query.mark.sign(), schema)
+}
+
+fn path_fingerprint(path: &Path) -> u64 {
+    crate::compile::fingerprint(&format!("path|{path}"), '+', None)
+}
+
+/// Compile-or-fetch the program for an annotation query. The schema only
+/// contributes to the cache key (two schemas may shred the same query
+/// differently downstream), not to the generated code.
+pub fn cached_query_program(
+    query: &AnnotationQuery,
+    schema: Option<&Schema>,
+) -> Result<Arc<Program>, CompileError> {
+    let key = query_fingerprint(query, schema);
+    cache().lookup_or_insert(key, || compile_query(query, schema))
+}
+
+/// Compile-or-fetch the program for a single request path (decide path).
+pub fn cached_path_program(path: &Path) -> Result<Arc<Program>, CompileError> {
+    let key = path_fingerprint(path);
+    cache().lookup_or_insert(key, || compile_path(path))
+}
+
+/// Current cache stats.
+pub fn cache_stats() -> VmCacheStats {
+    cache().stats
+}
+
+/// Drop every cached program and zero the stats (tests).
+pub fn reset_cache() {
+    let mut c = cache();
+    c.map.clear();
+    c.stats = VmCacheStats::default();
+}

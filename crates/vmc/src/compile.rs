@@ -1,0 +1,227 @@
+//! Compiler: annotation queries and request paths → bytecode programs.
+//!
+//! The pipeline per absolute path is fixed: the leading step becomes a
+//! `ScanRoot`/`ScanAll`, every later step a `StepChild`/`StepDesc`, each
+//! followed by a `Filter` per qualifier; the path result is folded into
+//! the `r0` accumulator with `Union` (include) or `Diff` (except) and a
+//! single fused `SignWrite` terminates the program. Qualifiers compile
+//! to [`Pred`] scalar programs.
+//!
+//! Compilation is total over the repo's XPath fragment; anything outside
+//! it (an absolute path inside a qualifier, an empty absolute path as
+//! the *only* include) reports [`CompileError`] and callers fall back to
+//! the interpreted `AnnotationQuery::evaluate` path.
+
+use crate::bytecode::{fnv1a, Inst, NameSel, Pred, Program, RelStep, FNV_OFFSET};
+use std::fmt;
+use xac_policy::AnnotationQuery;
+use xac_xml::Schema;
+use xac_xpath::{Axis, NodeTest, Path, Qualifier};
+
+/// Why a (query, schema) pair could not be compiled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A qualifier contained an absolute path — outside the fragment the
+    /// VM models (qualifier paths are relative by construction).
+    AbsoluteQualifierPath(String),
+    /// The main path was relative; programs are compiled for absolute
+    /// paths only.
+    RelativeMainPath(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::AbsoluteQualifierPath(p) => {
+                write!(f, "cannot compile absolute path `{p}` inside a qualifier")
+            }
+            CompileError::RelativeMainPath(p) => {
+                write!(f, "cannot compile relative path `{p}` as a selection root")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+struct Compiler {
+    names: Vec<String>,
+    insts: Vec<Inst>,
+    preds: Vec<Pred>,
+}
+
+impl Compiler {
+    fn new() -> Self {
+        Compiler { names: Vec::new(), insts: Vec::new(), preds: Vec::new() }
+    }
+
+    fn intern(&mut self, name: &str) -> u16 {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return i as u16;
+        }
+        self.names.push(name.to_string());
+        (self.names.len() - 1) as u16
+    }
+
+    fn name_sel(&mut self, test: &NodeTest) -> NameSel {
+        match test {
+            NodeTest::Wildcard => NameSel::Any,
+            NodeTest::Name(n) => {
+                let id = self.intern(n);
+                NameSel::Name(id)
+            }
+        }
+    }
+
+    /// Compile one absolute path; the final frontier lands in the
+    /// returned register (`r1` or `r2`, ping-ponged per step).
+    fn compile_path(&mut self, path: &Path) -> Result<u8, CompileError> {
+        if !path.absolute {
+            return Err(CompileError::RelativeMainPath(path.to_string()));
+        }
+        let mut cur: u8 = 1;
+        for (i, step) in path.steps.iter().enumerate() {
+            let name = self.name_sel(&step.test);
+            if i == 0 {
+                match step.axis {
+                    Axis::Child => self.insts.push(Inst::ScanRoot { dst: cur, name }),
+                    Axis::Descendant => self.insts.push(Inst::ScanAll { dst: cur, name }),
+                }
+            } else {
+                let dst = if cur == 1 { 2 } else { 1 };
+                match step.axis {
+                    Axis::Child => self.insts.push(Inst::StepChild { dst, src: cur, name }),
+                    Axis::Descendant => self.insts.push(Inst::StepDesc { dst, src: cur, name }),
+                }
+                cur = dst;
+            }
+            for q in &step.predicates {
+                let pred = self.compile_qualifier(q)?;
+                let id = self.preds.len() as u16;
+                self.preds.push(pred);
+                self.insts.push(Inst::Filter { reg: cur, pred: id });
+            }
+        }
+        Ok(cur)
+    }
+
+    fn compile_qualifier(&mut self, q: &Qualifier) -> Result<Pred, CompileError> {
+        Ok(match q {
+            Qualifier::Exists(p) => {
+                if p.is_self() {
+                    Pred::True
+                } else {
+                    Pred::Exists { steps: self.compile_rel(p)? }
+                }
+            }
+            Qualifier::Cmp(p, op, d) => {
+                if p.is_self() {
+                    Pred::SelfCmp { op: *op, rhs: d.clone() }
+                } else {
+                    Pred::Cmp { steps: self.compile_rel(p)?, op: *op, rhs: d.clone() }
+                }
+            }
+            Qualifier::And(qs) => {
+                let mut preds = Vec::with_capacity(qs.len());
+                for q in qs {
+                    preds.push(self.compile_qualifier(q)?);
+                }
+                Pred::All(preds)
+            }
+        })
+    }
+
+    fn compile_rel(&mut self, p: &Path) -> Result<Vec<RelStep>, CompileError> {
+        if p.absolute {
+            return Err(CompileError::AbsoluteQualifierPath(p.to_string()));
+        }
+        let mut steps = Vec::with_capacity(p.steps.len());
+        for step in &p.steps {
+            let name = self.name_sel(&step.test);
+            let mut preds = Vec::with_capacity(step.predicates.len());
+            for q in &step.predicates {
+                preds.push(self.compile_qualifier(q)?);
+            }
+            steps.push(RelStep { axis: step.axis, name, preds });
+        }
+        Ok(steps)
+    }
+}
+
+/// Stable fingerprint of a (source, mark, schema) triple — the cache
+/// key a compiled program is stored under.
+pub(crate) fn fingerprint(source: &str, mark: char, schema: Option<&Schema>) -> u64 {
+    let mut h = fnv1a(source.as_bytes(), FNV_OFFSET);
+    h = fnv1a(&[mark as u8], h);
+    if let Some(s) = schema {
+        h = fnv1a(s.root().as_bytes(), h);
+        for t in s.type_names() {
+            h = fnv1a(t.as_bytes(), h);
+            h = fnv1a(b"|", h);
+        }
+    }
+    h
+}
+
+/// Compile an annotation query (the Fig. 5 union/except selection plus
+/// its mark) into a program ending in a fused sign write.
+pub fn compile_query(
+    query: &AnnotationQuery,
+    schema: Option<&Schema>,
+) -> Result<Program, CompileError> {
+    let _span = xac_obs::span("vm.compile");
+    let mut c = Compiler::new();
+    for p in &query.include {
+        if p.steps.is_empty() {
+            // An empty absolute path selects nothing; it contributes
+            // nothing to the union.
+            continue;
+        }
+        let reg = c.compile_path(p)?;
+        c.insts.push(Inst::Union { dst: 0, src: reg });
+    }
+    for p in &query.except {
+        if p.steps.is_empty() {
+            continue;
+        }
+        let reg = c.compile_path(p)?;
+        c.insts.push(Inst::Diff { dst: 0, src: reg });
+    }
+    let mark = query.mark.sign();
+    c.insts.push(Inst::SignWrite { src: 0, sign: mark });
+    let source = query.describe();
+    Ok(Program {
+        fingerprint: fingerprint(&source, mark, schema),
+        names: c.names,
+        insts: c.insts,
+        preds: c.preds,
+        reg_count: 3,
+        mark,
+        source,
+        shape: format!("{:?}", query.shape),
+    })
+}
+
+/// Compile a single absolute request path (the decide/read hot path).
+/// The program selects the path's node set; the terminal write carries
+/// `'+'` but decide-style executions collect instead of writing.
+pub fn compile_path(path: &Path) -> Result<Program, CompileError> {
+    let _span = xac_obs::span("vm.compile");
+    let mut c = Compiler::new();
+    if !path.steps.is_empty() {
+        let reg = c.compile_path(path)?;
+        c.insts.push(Inst::Union { dst: 0, src: reg });
+    }
+    c.insts.push(Inst::SignWrite { src: 0, sign: '+' });
+    let source = path.to_string();
+    Ok(Program {
+        fingerprint: fingerprint(&format!("path|{source}"), '+', None),
+        names: c.names,
+        insts: c.insts,
+        preds: c.preds,
+        reg_count: 3,
+        mark: '+',
+        source,
+        shape: "RequestPath".to_string(),
+    })
+}

@@ -1,0 +1,174 @@
+//! Columnar document index: the VM's execution substrate.
+//!
+//! [`DocIndex`] flattens a [`Document`] arena into dense columns —
+//! per-slot name id, parent slot, string value — plus per-element-type
+//! node lists and a CSR child adjacency. Scans and steps then run over
+//! contiguous `u32` arrays instead of chasing arena nodes, and masks are
+//! bitsets over arena slots, whose ascending order *is* the document
+//! (arena) order the interpreter produces.
+//!
+//! The index depends only on document *structure and text*; sign writes
+//! do not invalidate it, so backends cache one index per structural
+//! epoch.
+
+use std::collections::HashMap;
+use xac_xml::{Document, NodeId};
+
+/// Sentinel for "no name" (text node or dead slot) and "no parent".
+pub(crate) const NONE: u32 = u32::MAX;
+
+/// Dense columnar view of one document.
+#[derive(Debug, Clone)]
+pub struct DocIndex {
+    /// Arena capacity (bitset width).
+    n: usize,
+    /// Arena slot of the document root.
+    root: u32,
+    /// Per-slot interned name id (`NONE` for text nodes and dead slots).
+    name_id: Vec<u32>,
+    /// Per-slot parent arena slot (`NONE` for the root and dead slots).
+    parent: Vec<u32>,
+    /// Interned element-name lookup.
+    lookup: HashMap<String, u32>,
+    /// Live element slots per name id, ascending (document order).
+    by_name: Vec<Vec<u32>>,
+    /// All live element slots, ascending.
+    elements: Vec<u32>,
+    /// CSR adjacency over *element* children: children of slot `s` are
+    /// `child_list[child_start[s]..child_start[s + 1]]`.
+    child_start: Vec<u32>,
+    child_list: Vec<u32>,
+    /// Per-slot string value (concatenated direct text children), only
+    /// materialized where non-empty.
+    text: Vec<Option<Box<str>>>,
+    /// Per-slot `NodeId` for mapping mask bits back to arena handles.
+    node_of: Vec<NodeId>,
+}
+
+impl DocIndex {
+    /// Build the index in two O(n) passes over the arena.
+    pub fn build(doc: &Document) -> DocIndex {
+        let _span = xac_obs::span("vm.index");
+        let n = doc.arena_len();
+        let root = doc.root();
+        let mut name_id = vec![NONE; n];
+        let mut parent = vec![NONE; n];
+        let mut name_count = 0u32;
+        let mut lookup: HashMap<String, u32> = HashMap::new();
+        let mut elements: Vec<u32> = Vec::new();
+        let mut text: Vec<Option<Box<str>>> = vec![None; n];
+        let mut node_of = vec![root; n];
+
+        for node in doc.all_elements() {
+            let slot = node.index();
+            node_of[slot] = node;
+            let name = doc.name(node).expect("element has a name");
+            let id = match lookup.get(name) {
+                Some(&id) => id,
+                None => {
+                    let id = name_count;
+                    name_count += 1;
+                    lookup.insert(name.to_string(), id);
+                    id
+                }
+            };
+            name_id[slot] = id;
+            if let Some(p) = doc.parent(node) {
+                parent[slot] = p.index() as u32;
+            }
+            let value = doc.text_of(node);
+            if !value.is_empty() {
+                text[slot] = Some(value.into_boxed_str());
+            }
+            elements.push(slot as u32);
+        }
+
+        let mut by_name: Vec<Vec<u32>> = vec![Vec::new(); name_count as usize];
+        for &slot in &elements {
+            by_name[name_id[slot as usize] as usize].push(slot);
+        }
+
+        // CSR over element children, in sibling (document) order. Text
+        // and dead slots get empty ranges.
+        let mut child_start = vec![0u32; n + 1];
+        let mut child_list: Vec<u32> = Vec::with_capacity(elements.len().saturating_sub(1));
+        for slot in 0..n {
+            child_start[slot] = child_list.len() as u32;
+            if name_id[slot] != NONE {
+                for c in doc.child_elements(node_of[slot]) {
+                    child_list.push(c.index() as u32);
+                }
+            }
+        }
+        child_start[n] = child_list.len() as u32;
+
+        DocIndex {
+            n,
+            root: root.index() as u32,
+            name_id,
+            parent,
+            lookup,
+            by_name,
+            elements,
+            child_start,
+            child_list,
+            text,
+            node_of,
+        }
+    }
+
+    /// Bitset width (arena capacity).
+    pub fn width(&self) -> usize {
+        self.n
+    }
+
+    /// Number of live elements.
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Arena slot of the root.
+    pub(crate) fn root_slot(&self) -> u32 {
+        self.root
+    }
+
+    /// Interned name id for `name`, if any element carries it.
+    pub(crate) fn name_of(&self, name: &str) -> Option<u32> {
+        self.lookup.get(name).copied()
+    }
+
+    pub(crate) fn name_id_at(&self, slot: u32) -> u32 {
+        self.name_id[slot as usize]
+    }
+
+    pub(crate) fn parent_of(&self, slot: u32) -> u32 {
+        self.parent[slot as usize]
+    }
+
+    /// Live element slots of one name id, ascending.
+    pub(crate) fn slots_of(&self, name: u32) -> &[u32] {
+        &self.by_name[name as usize]
+    }
+
+    /// All live element slots, ascending.
+    pub(crate) fn all_slots(&self) -> &[u32] {
+        &self.elements
+    }
+
+    /// Element children of a slot, in document order.
+    pub(crate) fn children_of(&self, slot: u32) -> &[u32] {
+        let s = self.child_start[slot as usize] as usize;
+        let e = self.child_start[slot as usize + 1] as usize;
+        &self.child_list[s..e]
+    }
+
+    /// String value of a slot (concatenated direct text children).
+    pub(crate) fn value_of(&self, slot: u32) -> &str {
+        self.text[slot as usize].as_deref().unwrap_or("")
+    }
+
+    /// Arena handle for a slot known to hold a live element.
+    pub(crate) fn node_at(&self, slot: u32) -> NodeId {
+        self.node_of[slot as usize]
+    }
+}

@@ -169,6 +169,19 @@ impl StoredDocument {
         nodes.len()
     }
 
+    /// Fused sign write over a precomputed node set (the VM's element-
+    /// arena sink): same span, counter and final store state as
+    /// [`Self::annotate_expr`] on an expression selecting these nodes,
+    /// without re-evaluating anything.
+    pub fn annotate_nodes(&mut self, nodes: &[NodeId], sign: char) -> usize {
+        let _span = xac_obs::span("backend.write_signs");
+        for &n in nodes {
+            self.annotate(n, sign);
+        }
+        sign_writes_total().add(nodes.len() as u64);
+        nodes.len()
+    }
+
     /// The sign of a node, if annotated.
     pub fn sign_of(&self, node: NodeId) -> Option<char> {
         self.doc.attribute(node, SIGN_ATTR).and_then(|s| s.chars().next())

@@ -21,13 +21,39 @@ cargo bench --no-run -q
 echo "== figures smoke: table3 =="
 cargo run --release -q -p xac-bench --bin figures -- table3
 
+echo "== vm: compiled mode is lint-clean and observationally identical =="
+cargo clippy -p xac-vmc -- -D warnings
+cargo test --release -q -p xac-serve --test vm_equivalence
+
 echo "== figures smoke: annotate-modes artifact =="
 cargo run --release -q -p xac-bench --bin figures -- annotate-modes
 test -s BENCH_annotation_modes.json
 
-echo "== figures smoke: serve artifact =="
+echo "== vm: compiled row family present and state-identical to batched =="
+# The figures run itself asserts equal writes/accessible across modes;
+# here we double-check the emitted artifact carries the compiled rows
+# and that each compiled row repeats its sibling batched row's writes
+# and accessible counts verbatim.
+grep -q '"mode": "compiled"' BENCH_annotation_modes.json
+for backend in column row; do
+    batched=$(grep "\"backend\": \"$backend\", \"mode\": \"batched\"" \
+        BENCH_annotation_modes.json |
+        sed 's/.*\("writes": [0-9]*, "accessible": [0-9]*\).*/\1/')
+    compiled=$(grep "\"backend\": \"$backend\", \"mode\": \"compiled\"" \
+        BENCH_annotation_modes.json |
+        sed 's/.*\("writes": [0-9]*, "accessible": [0-9]*\).*/\1/')
+    test -n "$batched"
+    if [ "$batched" != "$compiled" ]; then
+        echo "ci.sh: compiled rows diverge from batched on $backend"
+        exit 1
+    fi
+done
+
+echo "== figures smoke: serve artifact (incl. decide-path micro-sweep) =="
 cargo run --release -q -p xac-bench --bin figures -- serve
 test -s BENCH_serve.json
+grep -q '"mode": "compiled"' BENCH_serve.json
+grep -q '"decide_compiled_us": [0-9]' BENCH_serve.json
 
 echo "== fault sweep: every injection point x every backend =="
 cargo test --release -q -p xac-serve --test fault_recovery

@@ -351,6 +351,87 @@ fn analyze_usage_errors_exit_2() {
 }
 
 #[test]
+fn vm_dump_matches_golden_listing() {
+    let out = xmlac(&["vm", "dump", "--policy", &data("hospital.pol"), "--schema", &data("hospital.dtd")]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let golden_path =
+        format!("{}/../../tests/golden/vm_dump_hospital.txt", env!("CARGO_MANIFEST_DIR"));
+    let golden = std::fs::read_to_string(&golden_path).expect("golden listing checked in");
+    assert_eq!(stdout(&out), golden, "disassembly drifted from {golden_path}");
+}
+
+#[test]
+fn vm_dump_writes_out_file_and_rejects_bad_verbs() {
+    let dir = std::env::temp_dir().join("xmlac_vm_dump_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_file = dir.join("listing.txt");
+    let out_path = out_file.to_str().unwrap();
+    let out = xmlac(&[
+        "vm",
+        "dump",
+        "--policy",
+        &data("hospital.pol"),
+        "--schema",
+        &data("hospital.dtd"),
+        "--out",
+        out_path,
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let listing = std::fs::read_to_string(&out_file).unwrap();
+    assert!(listing.contains(";; xac-vmc program"), "{listing}");
+    assert!(listing.contains("== element type `patient` =="), "{listing}");
+    assert!(listing.contains("sign.write"), "{listing}");
+
+    let out = xmlac(&["vm", "disasm", "--policy", &data("hospital.pol")]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("unknown vm verb"), "{}", stderr(&out));
+}
+
+#[test]
+fn annotate_mode_compiled_accepted_and_unknown_rejected() {
+    for backend in ["native", "row", "column"] {
+        let out = xmlac(&[
+            "query",
+            "--schema",
+            &data("hospital.dtd"),
+            "--policy",
+            &data("hospital.pol"),
+            "--doc",
+            &data("figure2.xml"),
+            "--backend",
+            backend,
+            "--annotate-mode",
+            "compiled",
+            "--query",
+            "//patient/name",
+            "--query",
+            "//patient",
+        ]);
+        assert!(out.status.success(), "{backend}: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(text.contains("GRANTED //patient/name (3 nodes)"), "{backend}: {text}");
+        assert!(text.contains("DENIED  //patient (3 nodes)"), "{backend}: {text}");
+    }
+    let out = xmlac(&[
+        "query",
+        "--schema",
+        &data("hospital.dtd"),
+        "--policy",
+        &data("hospital.pol"),
+        "--doc",
+        &data("figure2.xml"),
+        "--annotate-mode",
+        "vectorised",
+        "--query",
+        "//patient",
+    ]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown annotate mode `vectorised`"), "{err}");
+    assert!(err.contains("paper, batched, compiled"), "{err}");
+}
+
+#[test]
 fn errors_are_reported_with_nonzero_exit() {
     let out = xmlac(&["bogus-command"]);
     assert!(!out.status.success());
