@@ -33,6 +33,19 @@ pub enum Error {
     /// Carries the rejected input; valid spellings are listed by
     /// [`crate::AnnotateMode::VALID_NAMES`].
     UnknownAnnotateMode(String),
+    /// A name-typed input (`what` = "backend", "role", …) did not match
+    /// any valid spelling. The shared shape behind every CLI/wire name
+    /// parse — same message format as [`Error::UnknownAnnotateMode`],
+    /// generic over what was being named so higher layers (`BackendKind`,
+    /// the serving `Role`) report errors identically.
+    UnknownName {
+        /// What kind of thing was being named (singular noun).
+        what: &'static str,
+        /// The rejected input.
+        input: String,
+        /// Comma-separated valid spellings.
+        valid: String,
+    },
     /// A deterministic fault fired at a named fault point (injected by
     /// [`crate::FaultingBackend`] from a [`crate::FaultPlan`]). Never
     /// produced in production configurations — only under test/bench
@@ -72,6 +85,9 @@ impl fmt::Display for Error {
                 "system error: unknown annotate mode `{input}` (valid modes: {})",
                 crate::backend::AnnotateMode::VALID_NAMES.join(", ")
             ),
+            Error::UnknownName { what, input, valid } => {
+                write!(f, "system error: unknown {what} `{input}` (valid {what}s: {valid})")
+            }
             Error::FaultInjected { point } => {
                 write!(f, "fault injected at `{point}`")
             }

@@ -58,12 +58,25 @@ pub enum FaultPoint {
     /// Before a checkpoint is restored — failing here defeats the
     /// rollback rung and forces quarantine.
     BeforeRestore,
+    /// Network harness: the client stalls mid-frame longer than the
+    /// server's read timeout. Fired client-side by the `xac-net`
+    /// transport, never by [`FaultingBackend`]; the armed
+    /// [`FaultAction`] is ignored — the point itself *is* the behavior.
+    NetSlowClient,
+    /// Network harness: the client disconnects after sending only part
+    /// of a frame. Client-side, action ignored (see
+    /// [`FaultPoint::NetSlowClient`]).
+    NetMidFrameDisconnect,
+    /// Network harness: the client sends a frame header whose declared
+    /// length exceeds the server's frame-size cap. Client-side, action
+    /// ignored (see [`FaultPoint::NetSlowClient`]).
+    NetOversizedFrame,
 }
 
 impl FaultPoint {
     /// Every fault point, in lifecycle order (the sweep test iterates
     /// this).
-    pub const ALL: [FaultPoint; 11] = [
+    pub const ALL: [FaultPoint; 14] = [
         FaultPoint::BeforeAnnotate,
         FaultPoint::BeforeDelete,
         FaultPoint::AfterDelete,
@@ -75,7 +88,23 @@ impl FaultPoint {
         FaultPoint::BeforeSnapshot,
         FaultPoint::BeforeCheckpoint,
         FaultPoint::BeforeRestore,
+        FaultPoint::NetSlowClient,
+        FaultPoint::NetMidFrameDisconnect,
+        FaultPoint::NetOversizedFrame,
     ];
+
+    /// The network fault points, fired by the `xac-net` client-side
+    /// transport rather than by [`FaultingBackend`].
+    pub const NET: [FaultPoint; 3] = [
+        FaultPoint::NetSlowClient,
+        FaultPoint::NetMidFrameDisconnect,
+        FaultPoint::NetOversizedFrame,
+    ];
+
+    /// True for the points in [`FaultPoint::NET`].
+    pub fn is_net(self) -> bool {
+        FaultPoint::NET.contains(&self)
+    }
 
     /// The canonical spelling used in plans, errors and panic payloads.
     pub fn name(self) -> &'static str {
@@ -91,6 +120,9 @@ impl FaultPoint {
             FaultPoint::BeforeSnapshot => "before_snapshot",
             FaultPoint::BeforeCheckpoint => "before_checkpoint",
             FaultPoint::BeforeRestore => "before_restore",
+            FaultPoint::NetSlowClient => "net_slow_client",
+            FaultPoint::NetMidFrameDisconnect => "net_mid_frame_disconnect",
+            FaultPoint::NetOversizedFrame => "net_oversized_frame",
         }
     }
 
@@ -308,6 +340,14 @@ impl FaultPlan {
         self.specs
             .iter()
             .any(|s| s.point == FaultPoint::MidReannotate && s.times > 0)
+    }
+
+    /// Fire-and-disarm the next armed spec at `point`, honouring its
+    /// skip count. Public for harnesses outside [`FaultingBackend`]:
+    /// the `xac-net` transport drives the client-side network points
+    /// ([`FaultPoint::NET`]) from the same plan grammar.
+    pub fn fire_at(&mut self, point: FaultPoint) -> Option<FaultAction> {
+        self.take(point)
     }
 
     /// Fire-and-disarm for a plain point (never `MidReannotate`).

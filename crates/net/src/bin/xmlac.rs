@@ -7,8 +7,13 @@
 //! xmlac annotate    --schema h.dtd --policy p.pol --doc d.xml [--backend native|row|column]
 //! xmlac query       --schema h.dtd --policy p.pol --doc d.xml --query "//patient" [...]
 //! xmlac update      --schema h.dtd --policy p.pol --doc d.xml --delete "//treatment" [--query "//patient"]
+//! xmlac serve       --schema h.dtd --policy p.pol --doc d.xml [--listen 127.0.0.1:0] \
+//!                   [--addr-file F] [--max-conns N] [--read-timeout-ms N] [--rate-limit N] [--linger-ms N]
+//! xmlac client      --addr HOST:PORT [--role reader|writer|admin] \
+//!                   [--query XPATH]... [--delete XPATH] [--insert PARENT:NAME[:TEXT]] [status] [metrics]
 //! xmlac serve-bench --schema h.dtd --policy p.pol --doc d.xml --query "//patient/name" \
-//!                   [--readers 4] [--reads 200] [--delete XPATH] [--fault-plan SPEC|seed:N[xK]]
+//!                   [--readers 4] [--reads 200] [--delete XPATH] [--fault-plan SPEC|seed:N[xK]] \
+//!                   [--net CLIENTS] [--out BENCH_net.json]
 //! xmlac analyze     --policy p.pol [--schema h.dtd] [--doc d.xml] \
 //!                   [--format text|json] [--deny warn] [--audit-updates N]
 //! ```
@@ -19,14 +24,17 @@
 //! Exit codes: 0 success, 2 usage or system error, 3 the serving engine
 //! ended in read-only quarantine, 4 an injected fault surfaced without
 //! being absorbed by the degradation ladder, 5 `analyze` found errors,
-//! 6 `analyze --deny warn` found warnings.
+//! 6 `analyze --deny warn` found warnings, 7 the server refused a
+//! request because the session's role may not issue it.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use xac_core::{AnnotateMode, Backend, System};
+use xac_net::{split_net_plan, NetClient, NetServer, ServerConfig};
 use xac_policy::Policy;
-use xac_serve::{BackendKind, ServeEngine};
+use xac_serve::{BackendKind, ErrorKind, Request, Response, Role, ServeEngine};
 use xac_xml::{parse_dtd, Document, Schema};
 
 fn main() -> ExitCode {
@@ -42,7 +50,7 @@ fn main() -> ExitCode {
 /// A CLI failure with the exit code it maps to. Plain `String` errors
 /// (usage, I/O, parse) convert at code 2; structured core errors keep
 /// their classification so scripts can branch on quarantine (3) vs an
-/// unabsorbed injected fault (4).
+/// unabsorbed injected fault (4) vs a role refusal (7).
 struct CliError {
     message: String,
     code: u8,
@@ -65,6 +73,17 @@ impl From<xac_core::Error> for CliError {
     }
 }
 
+/// The exit code a typed response error maps to (the wire and
+/// in-process paths share [`ErrorKind`], so this is the whole mapping).
+fn error_kind_code(kind: ErrorKind) -> u8 {
+    match kind {
+        ErrorKind::Quarantined => 3,
+        ErrorKind::FaultInjected => 4,
+        ErrorKind::RoleDenied => 7,
+        _ => 2,
+    }
+}
+
 type CliResult<T> = Result<T, CliError>;
 
 struct Args {
@@ -72,9 +91,9 @@ struct Args {
     options: BTreeMap<String, String>,
     /// `--query` may repeat.
     queries: Vec<String>,
-    /// Bare (non-flag) tokens. Only the `obs` command takes them (its
-    /// verb); everywhere else they are rejected with the historical
-    /// usage error.
+    /// Bare (non-flag) tokens. Only the `obs`, `vm` and `client`
+    /// commands take them (their verbs); everywhere else they are
+    /// rejected with the historical usage error.
     positionals: Vec<String>,
 }
 
@@ -103,13 +122,18 @@ fn parse_args() -> CliResult<Args> {
 }
 
 fn usage() -> String {
-    "usage: xmlac <check|optimize|shred|annotate|query|update|view|audit|analyze|serve-bench|obs|vm> \
+    "usage: xmlac <check|optimize|shred|annotate|query|update|view|audit|analyze|serve|client|serve-bench|obs|vm> \
      [--schema F] [--policy F] [--doc F] [--backend native|row|column] \
      [--annotate-mode paper|batched|compiled] \
      [--query XPATH]... [--delete XPATH] [--insert PARENT:NAME[:TEXT]] \
      [--mode prune|promote] [--readers N] [--reads N] [--out F] \
      [--fault-plan SPEC|seed:N[xK]] \
      [--trace-out F] [--metrics-out F]\n\
+     serve   --schema F --policy F --doc F [--listen ADDR] [--addr-file F] \
+     [--max-conns N] [--read-timeout-ms N] [--rate-limit N] [--linger-ms N]\n\
+     client  --addr HOST:PORT [--role reader|writer|admin] \
+     [--query XPATH]... [--delete XPATH] [--insert PARENT:NAME[:TEXT]] [status] [metrics]\n\
+     serve-bench ... [--net CLIENTS] [--out F]\n\
      analyze --policy F [--schema F] [--doc F] [--format text|json] \
      [--deny warn] [--audit-updates N] [--out F]\n\
      obs dump  --schema F --policy F --doc F [--query XPATH]... [--delete XPATH] \
@@ -180,11 +204,24 @@ impl Args {
             .build()
             .map_err(CliError::from)
     }
+
+    /// `--fault-plan`, split into the backend-side half (armed on the
+    /// engine) and the client-side network half.
+    fn fault_plans(&self) -> CliResult<(xac_core::FaultPlan, xac_core::FaultPlan)> {
+        match self.options.get("fault-plan") {
+            Some(spec) => {
+                let plan = xac_serve::faults::fault_plan_from_arg(spec)
+                    .map_err(|e| format!("--fault-plan `{spec}`: {e}"))?;
+                Ok(split_net_plan(&plan))
+            }
+            None => Ok((xac_core::FaultPlan::new(), xac_core::FaultPlan::new())),
+        }
+    }
 }
 
 fn run() -> CliResult<()> {
     let args = parse_args()?;
-    if args.command != "obs" && args.command != "vm" {
+    if args.command != "obs" && args.command != "vm" && args.command != "client" {
         if let Some(stray) = args.positionals.first() {
             return Err(format!("expected a --flag, found `{stray}`").into());
         }
@@ -199,6 +236,8 @@ fn run() -> CliResult<()> {
         "view" => view(&args),
         "audit" => audit(&args),
         "analyze" => analyze(&args),
+        "serve" => serve(&args),
+        "client" => client(&args),
         "serve-bench" => serve_bench(&args),
         "obs" => obs(&args),
         "vm" => vm(&args),
@@ -316,15 +355,7 @@ fn update(args: &Args) -> CliResult<()> {
         );
     }
     if let Some(spec) = args.options.get("insert") {
-        let mut parts = spec.splitn(3, ':');
-        let parent = parts.next().filter(|s| !s.is_empty()).ok_or(
-            "--insert takes PARENT_XPATH:NAME[:TEXT]".to_string(),
-        )?;
-        let name = parts
-            .next()
-            .filter(|s| !s.is_empty())
-            .ok_or("--insert takes PARENT_XPATH:NAME[:TEXT]".to_string())?;
-        let text = parts.next();
+        let (parent, name, text) = parse_insert_spec(spec)?;
         let path = xac_xpath::parse(parent).map_err(|e| e.to_string())?;
         let outcome = system
             .apply_insert(backend.as_mut(), &path, name, text)
@@ -349,6 +380,21 @@ fn update(args: &Args) -> CliResult<()> {
         );
     }
     Ok(())
+}
+
+/// `PARENT_XPATH:NAME[:TEXT]`, shared by `update --insert` and
+/// `client --insert`.
+fn parse_insert_spec(spec: &str) -> CliResult<(&str, &str, Option<&str>)> {
+    let mut parts = spec.splitn(3, ':');
+    let parent = parts
+        .next()
+        .filter(|s| !s.is_empty())
+        .ok_or("--insert takes PARENT_XPATH:NAME[:TEXT]".to_string())?;
+    let name = parts
+        .next()
+        .filter(|s| !s.is_empty())
+        .ok_or("--insert takes PARENT_XPATH:NAME[:TEXT]".to_string())?;
+    Ok((parent, name, parts.next()))
 }
 
 fn view(args: &Args) -> CliResult<()> {
@@ -573,6 +619,193 @@ fn vm_dump(args: &Args) -> CliResult<()> {
     Ok(())
 }
 
+/// Build the serving engine for the network commands, arming the
+/// backend half of `--fault-plan` (the net half belongs to clients and
+/// is rejected here).
+fn build_engine(args: &Args) -> CliResult<Arc<ServeEngine>> {
+    let (backend_plan, net_plan) = args.fault_plans()?;
+    if !net_plan.is_exhausted() {
+        return Err(format!(
+            "--fault-plan: net_* points are client-side (use `client`/`serve-bench --net`), \
+             found `{net_plan}`"
+        )
+        .into());
+    }
+    let system = Arc::new(args.build_system()?);
+    let kind = args.backend_kind()?;
+    Ok(Arc::new(ServeEngine::for_kind_with_faults(system, kind, backend_plan)?))
+}
+
+fn server_config(args: &Args) -> CliResult<ServerConfig> {
+    let mut config = ServerConfig {
+        listen: args
+            .options
+            .get("listen")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        max_connections: args.count("max-conns", 64)?,
+        read_timeout: Duration::from_millis(args.count("read-timeout-ms", 5000)? as u64),
+        rate_limit: None,
+    };
+    if args.options.contains_key("rate-limit") {
+        config.rate_limit = Some(args.count("rate-limit", 0)? as u32);
+    }
+    Ok(config)
+}
+
+/// Run the TCP server over one engine until killed (or for
+/// `--linger-ms`, then drain gracefully — the mode the CI smoke test
+/// uses). `--addr-file` publishes the bound address, so scripts can
+/// bind port 0 and scrape the real port.
+fn serve(args: &Args) -> CliResult<()> {
+    let engine = build_engine(args)?;
+    let config = server_config(args)?;
+    let server = NetServer::start(Arc::clone(&engine), config)
+        .map_err(|e| format!("cannot start server: {e}"))?;
+    let addr = server.local_addr();
+    println!("listening on {addr} ({}, role-gated, epoch {})", engine.backend_name(), engine.epoch());
+    if let Some(path) = args.options.get("addr-file") {
+        std::fs::write(path, addr.to_string())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    match args.options.get("linger-ms") {
+        Some(_) => {
+            let ms = args.count("linger-ms", 0)?;
+            std::thread::sleep(Duration::from_millis(ms as u64));
+            server.shutdown();
+            println!("drained and shut down after {ms}ms");
+        }
+        None => loop {
+            // Foreground mode: serve until the process is killed.
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    if let Some(cause) = engine.quarantine_cause() {
+        return Err(CliError {
+            message: format!(
+                "engine quarantined (read-only at epoch {}): {cause}",
+                engine.epoch()
+            ),
+            code: 3,
+        });
+    }
+    Ok(())
+}
+
+/// One table row per request outcome.
+fn render_response(req: &Request, resp: &Response) -> (String, String, String) {
+    match resp {
+        Response::Decision { granted, nodes, epoch } => (
+            if *granted { "GRANTED" } else { "DENIED" }.to_string(),
+            format!("{} ({nodes} nodes)", describe_request(req)),
+            epoch.to_string(),
+        ),
+        Response::Update { applied, removed, inserted, sign_writes, denied_nodes, epoch } => {
+            if *applied {
+                let changed = if *removed > 0 {
+                    format!("removed {removed}")
+                } else {
+                    format!("inserted {inserted}")
+                };
+                (
+                    "APPLIED".to_string(),
+                    format!("{changed}, {sign_writes} sign writes"),
+                    epoch.to_string(),
+                )
+            } else {
+                (
+                    "REFUSED".to_string(),
+                    format!("guard denied {denied_nodes} nodes"),
+                    epoch.to_string(),
+                )
+            }
+        }
+        Response::Status { backend, epoch, accessible, quarantined } => (
+            if *quarantined { "QUARANTINED" } else { "OK" }.to_string(),
+            format!("{backend}, {accessible} accessible"),
+            epoch.to_string(),
+        ),
+        Response::Metrics { rendered } => (
+            "OK".to_string(),
+            format!("{} metric lines", rendered.lines().count()),
+            "-".to_string(),
+        ),
+        Response::Error { kind, message } => {
+            (format!("ERROR({kind})"), message.clone(), "-".to_string())
+        }
+        other => ("?".to_string(), format!("{other:?}"), "-".to_string()),
+    }
+}
+
+fn describe_request(req: &Request) -> String {
+    match req {
+        Request::Query { query } => query.clone(),
+        Request::Delete { path } => path.clone(),
+        Request::Insert { parent, name, .. } => format!("{parent} <- <{name}>"),
+        _ => String::new(),
+    }
+}
+
+/// Connect to a running server and issue requests, rendering decisions
+/// as a table. The worst outcome drives the exit code: role-denied 7,
+/// quarantined 3, fault-injected 4, other errors 2; a *denied* query or
+/// refused update is a successful answer (exit 0).
+fn client(args: &Args) -> CliResult<()> {
+    let addr = args.required("addr")?;
+    let role = match args.options.get("role") {
+        None => Role::Reader,
+        Some(spelling) => Role::parse(spelling).map_err(CliError::from)?,
+    };
+    let mut requests: Vec<Request> = args.queries.iter().map(Request::query).collect();
+    if let Some(path) = args.options.get("delete") {
+        requests.push(Request::delete(path));
+    }
+    if let Some(spec) = args.options.get("insert") {
+        let (parent, name, text) = parse_insert_spec(spec)?;
+        requests.push(Request::insert(parent, name, text.map(str::to_string)));
+    }
+    for verb in &args.positionals {
+        match verb.as_str() {
+            "status" => requests.push(Request::Status),
+            "metrics" => requests.push(Request::Metrics),
+            other => {
+                return Err(format!("unknown client verb `{other}` (status|metrics)").into())
+            }
+        }
+    }
+    if requests.is_empty() {
+        requests.push(Request::Status);
+    }
+    let mut session = NetClient::connect(addr, role)
+        .map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+    println!("connected to {} as `{role}` (epoch {})", session.backend(), session.welcome_epoch());
+    println!("{:<8} {:<14} {:<44} {:>6}", "verb", "outcome", "detail", "epoch");
+    let mut worst: u8 = 0;
+    let mut worst_message = String::new();
+    for req in &requests {
+        let resp = session
+            .request(req)
+            .map_err(|e| format!("{} failed on the wire: {e}", req.verb()))?;
+        let (outcome, detail, epoch) = render_response(req, &resp);
+        println!("{:<8} {:<14} {:<44} {:>6}", req.verb(), outcome, detail, epoch);
+        if let Response::Error { kind, message } = &resp {
+            let code = error_kind_code(*kind);
+            // 7 (role) outranks 2, 3 and 4 outrank 7 as hard failures:
+            // pick the first error's code unless a later one is a
+            // quarantine/fault classification.
+            if worst == 0 || matches!(code, 3 | 4) {
+                worst = code;
+                worst_message = format!("{kind}: {message}");
+            }
+        }
+    }
+    session.close();
+    match worst {
+        0 => Ok(()),
+        code => Err(CliError { message: worst_message, code }),
+    }
+}
+
 /// Drive the serving engine: N reader threads issue the given queries
 /// against published snapshots while this thread applies guarded
 /// updates, then report the engine's metrics. `--fault-plan` arms an
@@ -580,9 +813,17 @@ fn vm_dump(args: &Args) -> CliResult<()> {
 /// error is reported but the run continues so the metrics always print,
 /// and the exit code classifies the final state: 3 if the engine ended
 /// quarantined, 4 if an injected fault surfaced out of the ladder.
+///
+/// `--net CLIENTS` switches to the network mode: the same engine is
+/// fronted by a real TCP server and CLIENTS socket sessions issue the
+/// reads (writes go over a writer session), emitting a `BENCH_net.json`
+/// artifact row (`--out` overrides the path).
 fn serve_bench(args: &Args) -> CliResult<()> {
     if args.queries.is_empty() {
         return Err(format!("serve-bench needs at least one --query\n{}", usage()).into());
+    }
+    if args.options.contains_key("net") {
+        return serve_bench_net(args);
     }
     // Tracing goes on before the system is built so the annotate /
     // re-annotate phase spans of engine construction are captured too.
@@ -598,15 +839,7 @@ fn serve_bench(args: &Args) -> CliResult<()> {
         None => xac_core::FaultPlan::new(),
     };
     if !plan.is_exhausted() {
-        // Injected panics are caught and classified by the engine; the
-        // default hook's report + backtrace would only bury the real
-        // output. Organic panics still report normally.
-        let default_hook = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            if xac_core::injected_panic_point(info.payload()).is_none() {
-                default_hook(info);
-            }
-        }));
+        install_injected_panic_silencer();
     }
     let engine = Arc::new(ServeEngine::for_kind_with_faults(system, kind, plan)?);
     let readers = args.count("readers", 4)?;
@@ -682,6 +915,197 @@ fn serve_bench(args: &Args) -> CliResult<()> {
         // A rolled-back write: the engine recovered, but the operation
         // was lost — classify it (FaultInjected -> 4) for the caller.
         Some(e) => Err(e.into()),
+        None => Ok(()),
+    }
+}
+
+/// Injected panics are caught and classified by the engine; the default
+/// hook's report + backtrace would only bury the real output. Organic
+/// panics still report normally.
+fn install_injected_panic_silencer() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if xac_core::injected_panic_point(info.payload()).is_none() {
+            default_hook(info);
+        }
+    }));
+}
+
+/// Per-client tallies for the network bench.
+#[derive(Default)]
+struct NetTally {
+    granted: u64,
+    denied: u64,
+    errors: u64,
+    wire_errors: u64,
+}
+
+/// `serve-bench --net N`: front the engine with a real TCP server and
+/// drive it over N client sockets (each issuing `--reads` queries
+/// round-robin over the `--query` list), plus one writer session for
+/// `--delete`. The net half of `--fault-plan` is armed on the first
+/// client, the backend half on the engine. Emits one JSON artifact row
+/// (`"bench": "net"`) to `--out` (default `BENCH_net.json`).
+fn serve_bench_net(args: &Args) -> CliResult<()> {
+    let clients = args.count("net", 4)?.max(1);
+    let reads = args.count("reads", 200)?;
+    let (backend_plan, net_plan) = args.fault_plans()?;
+    if !backend_plan.is_exhausted() {
+        install_injected_panic_silencer();
+    }
+    let system = Arc::new(args.build_system()?);
+    let kind = args.backend_kind()?;
+    let engine =
+        Arc::new(ServeEngine::for_kind_with_faults(system, kind, backend_plan)?);
+    let mut config = server_config(args)?;
+    // Keep the cap above the fleet so admission control never skews the
+    // numbers unless explicitly configured.
+    if !args.options.contains_key("max-conns") {
+        config.max_connections = clients + 8;
+    }
+    let server = NetServer::start(Arc::clone(&engine), config)
+        .map_err(|e| format!("cannot start server: {e}"))?;
+    let addr = server.local_addr();
+    let started = Instant::now();
+    let mut tallies: Vec<NetTally> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let queries = &args.queries;
+            let plan = if c == 0 { net_plan.clone() } else { xac_core::FaultPlan::new() };
+            handles.push(scope.spawn(move || {
+                let mut tally = NetTally::default();
+                let Ok(mut session) = NetClient::connect_with(
+                    addr,
+                    Role::Reader,
+                    plan,
+                    Duration::from_millis(300),
+                ) else {
+                    tally.wire_errors += reads as u64;
+                    return tally;
+                };
+                for i in 0..reads {
+                    if session.is_dead() {
+                        // A net fault tore the session: reconnect —
+                        // carrying the unfired fault specs over — so the
+                        // bench keeps measuring the server, not the tear.
+                        let rest = session.take_plan();
+                        match NetClient::connect_with(
+                            addr,
+                            Role::Reader,
+                            rest,
+                            Duration::from_millis(300),
+                        ) {
+                            Ok(s) => session = s,
+                            Err(_) => {
+                                tally.wire_errors += (reads - i) as u64;
+                                break;
+                            }
+                        }
+                    }
+                    match session.query(&queries[i % queries.len()]) {
+                        Ok(Response::Decision { granted: true, .. }) => tally.granted += 1,
+                        Ok(Response::Decision { granted: false, .. }) => tally.denied += 1,
+                        Ok(_) => tally.errors += 1,
+                        Err(_) => tally.wire_errors += 1,
+                    }
+                }
+                session.close();
+                tally
+            }));
+        }
+        tallies = handles.into_iter().map(|h| h.join().unwrap_or_default()).collect();
+    });
+    let mut updates_applied: u64 = 0;
+    let mut updates_refused: u64 = 0;
+    let mut writer_error: Option<CliError> = None;
+    if let Some(expr) = args.options.get("delete") {
+        match NetClient::connect(addr, Role::Writer) {
+            Ok(mut writer) => {
+                match writer.delete(expr) {
+                    Ok(Response::Update { applied: true, epoch, .. }) => {
+                        updates_applied += 1;
+                        println!("writer: guarded delete applied at epoch {epoch}");
+                    }
+                    Ok(Response::Update { applied: false, .. }) => {
+                        updates_refused += 1;
+                        println!("writer: guarded delete denied");
+                    }
+                    Ok(Response::Error { kind, message }) => {
+                        eprintln!("writer: guarded delete failed: {message}");
+                        writer_error =
+                            Some(CliError { message, code: error_kind_code(kind) });
+                    }
+                    Ok(other) => {
+                        writer_error = Some(CliError {
+                            message: format!("unexpected writer response {other:?}"),
+                            code: 2,
+                        });
+                    }
+                    Err(e) => {
+                        writer_error = Some(CliError {
+                            message: format!("writer session broke: {e}"),
+                            code: 2,
+                        });
+                    }
+                }
+                writer.close();
+            }
+            Err(e) => {
+                writer_error = Some(CliError {
+                    message: format!("cannot connect writer session: {e}"),
+                    code: 2,
+                });
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+    server.shutdown();
+    let total: u64 = tallies
+        .iter()
+        .map(|t| t.granted + t.denied + t.errors + t.wire_errors)
+        .sum();
+    let granted: u64 = tallies.iter().map(|t| t.granted).sum();
+    let denied: u64 = tallies.iter().map(|t| t.denied).sum();
+    let errors: u64 = tallies.iter().map(|t| t.errors).sum();
+    let wire_errors: u64 = tallies.iter().map(|t| t.wire_errors).sum();
+    let answered = granted + denied + errors;
+    let elapsed_ms = elapsed.as_secs_f64() * 1e3;
+    let rps = answered as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "net: {clients} clients × {reads} requests over {} = {answered} answered \
+         ({granted} granted, {denied} denied, {errors} errors, {wire_errors} wire errors) \
+         in {elapsed_ms:.1}ms ({rps:.0} req/s)",
+        engine.backend_name()
+    );
+    println!("{}", engine.metrics().render());
+    let out = args
+        .options
+        .get("out")
+        .map(String::as_str)
+        .unwrap_or("BENCH_net.json");
+    let json = format!(
+        "[\n  {{\"bench\": \"net\", \"backend\": \"{}\", \"clients\": {clients}, \
+         \"reads_per_client\": {reads}, \"requests_total\": {total}, \
+         \"answered\": {answered}, \"granted\": {granted}, \"denied\": {denied}, \
+         \"errors\": {errors}, \"wire_errors\": {wire_errors}, \
+         \"updates_applied\": {updates_applied}, \"updates_refused\": {updates_refused}, \
+         \"elapsed_ms\": {elapsed_ms:.3}, \"requests_per_s\": {rps:.1}}}\n]\n",
+        engine.backend_name()
+    );
+    std::fs::write(out, &json).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    eprintln!("wrote net bench artifact to {out}");
+    if let Some(cause) = engine.quarantine_cause() {
+        return Err(CliError {
+            message: format!(
+                "engine quarantined (read-only at epoch {}): {cause}",
+                engine.epoch()
+            ),
+            code: 3,
+        });
+    }
+    match writer_error {
+        Some(e) => Err(e),
         None => Ok(()),
     }
 }

@@ -1,0 +1,288 @@
+//! Blocking TCP client for the wire protocol.
+//!
+//! [`NetClient::connect`] performs the preamble + hello/welcome
+//! handshake; [`NetClient::request`] sends one [`Request`] frame and
+//! returns the server's answer as a [`Response`] — typed error frames
+//! come back as [`Response::Error`], so a caller sees exactly the value
+//! the in-process `serve_as` path would have produced (wire errors that
+//! break the conversation itself are [`WireError`]s instead).
+//!
+//! The client doubles as the network fault harness: a
+//! [`FaultPlan`](xac_core::FaultPlan) carrying the client-side
+//! [`FaultPoint::NET`](xac_core::FaultPoint) points makes the *next*
+//! request misbehave on the wire — stall mid-frame past the server's
+//! read timeout (`net_slow_client`), disconnect half way through a
+//! frame (`net_mid_frame_disconnect`), or declare a payload above the
+//! server's frame cap (`net_oversized_frame`). The armed
+//! [`FaultAction`](xac_core::FaultAction) is ignored for these points:
+//! the point itself is the behavior.
+
+use crate::wire::{self, Frame, WireError, MAX_FRAME};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+use xac_core::{FaultPlan, FaultPoint};
+use xac_serve::{ErrorKind, Request, Response, Role};
+
+/// A connected, handshaken client session.
+pub struct NetClient {
+    stream: TcpStream,
+    role: Role,
+    backend: String,
+    welcome_epoch: u64,
+    plan: FaultPlan,
+    /// How long `net_slow_client` stalls mid-frame. Must exceed the
+    /// server's read timeout for the fault to be observable.
+    stall: Duration,
+    /// Set once the conversation is unrecoverable (server closed after
+    /// a protocol error, or an injected disconnect).
+    dead: bool,
+}
+
+impl NetClient {
+    /// Connect and handshake as `role`. A typed error frame in place of
+    /// `Welcome` (admission refused, unknown role at a future version…)
+    /// surfaces as [`WireError::Rejected`].
+    pub fn connect(addr: impl ToSocketAddrs, role: Role) -> Result<NetClient, WireError> {
+        NetClient::connect_with(addr, role, FaultPlan::new(), Duration::from_millis(200))
+    }
+
+    /// [`NetClient::connect`] with a fault plan whose
+    /// [`FaultPoint::NET`] points this client will fire, and the
+    /// mid-frame stall duration for `net_slow_client`.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        role: Role,
+        plan: FaultPlan,
+        stall: Duration,
+    ) -> Result<NetClient, WireError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        // Bound every read so a wedged server cannot hang the client;
+        // generous relative to the server's own timeouts.
+        stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+        wire::write_preamble(&mut stream)?;
+        wire::write_frame(&mut stream, &Frame::Hello { role })?;
+        match wire::read_frame(&mut stream)? {
+            Frame::Welcome { backend, epoch } => Ok(NetClient {
+                stream,
+                role,
+                backend,
+                welcome_epoch: epoch,
+                plan,
+                stall,
+                dead: false,
+            }),
+            Frame::Error { kind, message } => Err(WireError::Rejected { kind, message }),
+            other => {
+                Err(WireError::Unexpected { wanted: "welcome", got: other.kind_name() })
+            }
+        }
+    }
+
+    /// The session role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// The serving backend's name, from the welcome frame.
+    pub fn backend(&self) -> &str {
+        &self.backend
+    }
+
+    /// The epoch published when the session was accepted.
+    pub fn welcome_epoch(&self) -> u64 {
+        self.welcome_epoch
+    }
+
+    /// True once the conversation broke (no further requests will
+    /// succeed; reconnect instead).
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Take the remaining fault plan out of this session — a net fault
+    /// kills its session, so a harness that reconnects must carry the
+    /// unfired specs over to the replacement connection.
+    pub fn take_plan(&mut self) -> FaultPlan {
+        std::mem::replace(&mut self.plan, FaultPlan::new())
+    }
+
+    /// Send one request, wait for the answer. Typed error frames are
+    /// returned as [`Response::Error`]; rate-limited requests leave the
+    /// session usable, any other error frame ends it.
+    pub fn request(&mut self, req: &Request) -> Result<Response, WireError> {
+        if self.dead {
+            return Err(WireError::Closed);
+        }
+        let bytes = Frame::Request(req.clone()).to_bytes();
+        if self.plan.fire_at(FaultPoint::NetOversizedFrame).is_some() {
+            return self.send_oversized();
+        }
+        if self.plan.fire_at(FaultPoint::NetMidFrameDisconnect).is_some() {
+            return self.disconnect_mid_frame(&bytes);
+        }
+        if self.plan.fire_at(FaultPoint::NetSlowClient).is_some() {
+            return self.send_slowly(&bytes);
+        }
+        self.stream.write_all(&bytes)?;
+        self.read_answer()
+    }
+
+    /// All-or-nothing read.
+    pub fn query(&mut self, query: &str) -> Result<Response, WireError> {
+        self.request(&Request::query(query))
+    }
+
+    /// Guarded delete.
+    pub fn delete(&mut self, path: &str) -> Result<Response, WireError> {
+        self.request(&Request::delete(path))
+    }
+
+    /// Guarded insert.
+    pub fn insert(
+        &mut self,
+        parent: &str,
+        name: &str,
+        text: Option<String>,
+    ) -> Result<Response, WireError> {
+        self.request(&Request::insert(parent, name, text))
+    }
+
+    /// Engine status.
+    pub fn status(&mut self) -> Result<Response, WireError> {
+        self.request(&Request::Status)
+    }
+
+    /// Engine metrics (admin only).
+    pub fn metrics(&mut self) -> Result<Response, WireError> {
+        self.request(&Request::Metrics)
+    }
+
+    /// Clean close: best-effort goodbye frame, then drop the socket.
+    pub fn close(mut self) {
+        if !self.dead {
+            let _ = wire::write_frame(&mut self.stream, &Frame::Goodbye);
+        }
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
+    fn read_answer(&mut self) -> Result<Response, WireError> {
+        match wire::read_frame(&mut self.stream) {
+            Ok(Frame::Response(resp)) => Ok(resp),
+            Ok(Frame::Error { kind, message }) => {
+                // The server keeps the session after a rate-limit
+                // refusal; every other error frame precedes its close.
+                if kind != ErrorKind::RateLimited {
+                    self.dead = true;
+                }
+                Ok(Response::Error { kind, message })
+            }
+            Ok(other) => {
+                self.dead = true;
+                Err(WireError::Unexpected { wanted: "response", got: other.kind_name() })
+            }
+            Err(e) => {
+                self.dead = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// `net_oversized_frame`: declare a payload above the server's cap.
+    /// The server must refuse from the header alone with a typed
+    /// protocol error — which we read back as the answer.
+    fn send_oversized(&mut self) -> Result<Response, WireError> {
+        let mut header = Vec::with_capacity(5);
+        header.extend_from_slice(&((MAX_FRAME + 1) as u32).to_be_bytes());
+        header.push(wire::tag::REQUEST);
+        self.stream.write_all(&header)?;
+        let answer = self.read_answer();
+        self.dead = true;
+        answer
+    }
+
+    /// `net_mid_frame_disconnect`: send half the frame, then vanish.
+    /// There is no answer to read — the request never happened; the
+    /// caller observes the torn conversation as [`WireError::Closed`].
+    fn disconnect_mid_frame(&mut self, bytes: &[u8]) -> Result<Response, WireError> {
+        let half = (bytes.len() / 2).max(5);
+        let _ = self.stream.write_all(&bytes[..half.min(bytes.len())]);
+        let _ = self.stream.shutdown(Shutdown::Both);
+        self.dead = true;
+        Err(WireError::Closed)
+    }
+
+    /// `net_slow_client`: send half the frame, stall, then finish. If
+    /// the stall exceeds the server's read timeout the answer is its
+    /// typed timeout error (already in our receive buffer) and
+    /// `read_answer` marks the session dead; a stall the server
+    /// tolerates is served normally and the session stays usable.
+    fn send_slowly(&mut self, bytes: &[u8]) -> Result<Response, WireError> {
+        let half = (bytes.len() / 2).max(5).min(bytes.len());
+        self.stream.write_all(&bytes[..half])?;
+        std::thread::sleep(self.stall);
+        // The tail may hit a closed socket (EPIPE) — that's expected;
+        // the server's error frame is still readable.
+        let _ = self.stream.write_all(&bytes[half..]);
+        self.read_answer()
+    }
+}
+
+/// Split a mixed fault plan into its backend-side and client-side
+/// halves: specs at [`FaultPoint::NET`] points go to the wire client,
+/// everything else to the engine's [`FaultingBackend`]
+/// (xac-core) decorator. Fired counts start at zero in both halves.
+pub fn split_net_plan(plan: &FaultPlan) -> (FaultPlan, FaultPlan) {
+    let mut backend = FaultPlan::new();
+    let mut net = FaultPlan::new();
+    for spec in plan.specs() {
+        if spec.point.is_net() {
+            net.push(spec.clone());
+        } else {
+            backend.push(spec.clone());
+        }
+    }
+    (backend, net)
+}
+
+/// Raw-socket helper for protocol-robustness tests: connect, write
+/// exactly `bytes`, then read whatever the server answers until it
+/// closes (bounded by `timeout`). Returns the raw answer bytes.
+pub fn raw_exchange(
+    addr: impl ToSocketAddrs,
+    bytes: &[u8],
+    timeout: Duration,
+) -> std::io::Result<Vec<u8>> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.write_all(bytes)?;
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut out = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => out.extend_from_slice(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                break
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+impl std::fmt::Debug for NetClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetClient")
+            .field("role", &self.role)
+            .field("backend", &self.backend)
+            .field("welcome_epoch", &self.welcome_epoch)
+            .field("dead", &self.dead)
+            .finish()
+    }
+}

@@ -1,0 +1,53 @@
+//! # xac-net
+//!
+//! Network serving layer over [`xac_serve`]: a from-scratch
+//! length-prefixed binary wire protocol ([`wire`]), a multi-threaded
+//! TCP server fronting a [`ServeEngine`](xac_serve::ServeEngine)
+//! ([`server`]), a blocking client that doubles as the network fault
+//! harness ([`client`]), and per-role token-bucket rate limiting
+//! ([`limiter`]).
+//!
+//! The layer is deliberately *thin*: the engine's unified
+//! [`Request`](xac_serve::Request)/[`Response`](xac_serve::Response)
+//! API is the entire semantic surface, and the wire protocol is a pure
+//! codec over it. The server performs admission, handshake, and rate
+//! limiting, then forwards each request to
+//! [`ServeEngine::serve_as`](xac_serve::ServeEngine::serve_as) — it
+//! never interprets queries, checks access, or touches metrics
+//! accounting itself, which is what makes a response over a socket
+//! byte-identical to the same request served in process.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xac_net::{NetClient, NetServer, ServerConfig};
+//! use xac_serve::{BackendKind, Response, Role, ServeEngine};
+//! use xac_policy::policy::hospital_policy;
+//!
+//! let schema = xac_core::hospital_schema_for_docs();
+//! let doc = xac_xml::Document::parse_str(
+//!     "<hospital><dept><patients>\
+//!      <patient><psn>1</psn><name>a</name></patient>\
+//!      </patients><staffinfo/></dept></hospital>").unwrap();
+//! let system = xac_core::System::builder(schema, hospital_policy(), doc)
+//!     .build().unwrap();
+//! let engine = Arc::new(
+//!     ServeEngine::for_kind(Arc::new(system), BackendKind::Native).unwrap());
+//! let server = NetServer::start(engine, ServerConfig::default()).unwrap();
+//! let mut client = NetClient::connect(server.local_addr(), Role::Reader).unwrap();
+//! match client.query("//patient/name").unwrap() {
+//!     Response::Decision { granted, .. } => assert!(granted),
+//!     other => panic!("unexpected response: {other:?}"),
+//! }
+//! client.close();
+//! server.shutdown();
+//! ```
+
+pub mod client;
+pub mod limiter;
+pub mod server;
+pub mod wire;
+
+pub use client::{raw_exchange, split_net_plan, NetClient};
+pub use limiter::TokenBucket;
+pub use server::{NetServer, ServerConfig};
+pub use wire::{Frame, WireError, MAGIC, MAX_FRAME, VERSION};

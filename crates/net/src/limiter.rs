@@ -1,0 +1,108 @@
+//! Per-role token-bucket rate limiting for the TCP server.
+//!
+//! One bucket per [`Role`](xac_serve::Role): every admitted request
+//! takes one token, tokens refill continuously at the configured rate,
+//! and the bucket holds at most `capacity` so an idle role can burst
+//! but not hoard. An empty bucket answers the request with a typed
+//! [`ErrorKind::RateLimited`](xac_serve::ErrorKind) error frame — the
+//! connection stays up, only the request is refused.
+//!
+//! Time is passed in ([`TokenBucket::try_take_at`]) so the refill
+//! arithmetic is testable without sleeping; the server calls
+//! [`TokenBucket::try_take`], which samples the monotonic clock.
+
+use std::time::{Duration, Instant};
+
+/// A continuous-refill token bucket.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    capacity: f64,
+    tokens: f64,
+    refill_per_sec: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    /// A bucket starting full, holding at most `capacity` tokens and
+    /// refilling at `refill_per_sec` tokens per second.
+    pub fn new(capacity: u32, refill_per_sec: u32) -> TokenBucket {
+        TokenBucket {
+            capacity: capacity as f64,
+            tokens: capacity as f64,
+            refill_per_sec: refill_per_sec as f64,
+            last: Instant::now(),
+        }
+    }
+
+    /// Take one token now; `false` when the bucket is empty.
+    pub fn try_take(&mut self) -> bool {
+        self.try_take_at(Instant::now())
+    }
+
+    /// Take one token at an explicit instant (test hook; `now` earlier
+    /// than the last observed instant refills nothing).
+    pub fn try_take_at(&mut self, now: Instant) -> bool {
+        let elapsed = now.saturating_duration_since(self.last);
+        self.last = now;
+        self.tokens =
+            (self.tokens + elapsed.as_secs_f64() * self.refill_per_sec).min(self.capacity);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (floored; diagnostic only).
+    pub fn available(&self) -> u32 {
+        self.tokens as u32
+    }
+}
+
+/// How long until one token will be available, for tests that want to
+/// wait out a refill deterministically.
+pub fn refill_wait(refill_per_sec: u32) -> Duration {
+    Duration::from_secs_f64(1.0 / refill_per_sec.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_drains_then_refills_continuously() {
+        let start = Instant::now();
+        let mut b = TokenBucket::new(3, 10);
+        assert!(b.try_take_at(start));
+        assert!(b.try_take_at(start));
+        assert!(b.try_take_at(start));
+        assert!(!b.try_take_at(start), "capacity exhausted");
+        // 100ms at 10 tokens/sec refills exactly one token.
+        let later = start + Duration::from_millis(100);
+        assert!(b.try_take_at(later));
+        assert!(!b.try_take_at(later));
+    }
+
+    #[test]
+    fn refill_caps_at_capacity() {
+        let start = Instant::now();
+        let mut b = TokenBucket::new(2, 1000);
+        assert!(b.try_take_at(start));
+        assert!(b.try_take_at(start));
+        // A long idle period must not bank more than `capacity`.
+        let much_later = start + Duration::from_secs(60);
+        assert!(b.try_take_at(much_later));
+        assert!(b.try_take_at(much_later));
+        assert!(!b.try_take_at(much_later));
+    }
+
+    #[test]
+    fn time_never_runs_backwards() {
+        let start = Instant::now();
+        let mut b = TokenBucket::new(1, 1);
+        assert!(b.try_take_at(start + Duration::from_secs(5)));
+        // An earlier instant refills nothing (saturating elapsed).
+        assert!(!b.try_take_at(start));
+    }
+}

@@ -1,0 +1,383 @@
+//! Multi-threaded TCP server fronting a [`ServeEngine`].
+//!
+//! One accept thread polls a non-blocking listener; each admitted
+//! connection gets its own session thread running the state machine
+//! documented in `DESIGN.md` §4h:
+//!
+//! ```text
+//! preamble → hello → welcome → (request → response|error)* → goodbye/close
+//! ```
+//!
+//! The server never re-implements engine semantics: after admission and
+//! rate limiting every request is one [`ServeEngine::serve_as`] call,
+//! so a response over the wire is the same [`Response`] value the
+//! in-process path produces (the loopback differential suite holds the
+//! two byte-identical).
+//!
+//! Defense lines, outermost first:
+//!
+//! 1. **Admission** — at most `max_connections` concurrent sessions; a
+//!    connection beyond the cap is answered with a typed
+//!    [`ErrorKind::RateLimited`] error frame and closed.
+//! 2. **Read timeout** — every session read is bounded; a stalled or
+//!    slow-writing client gets a typed [`ErrorKind::Protocol`] error
+//!    frame and the session ends. No client can hold a thread forever.
+//! 3. **Frame cap** — oversized declared lengths are refused from the
+//!    header ([`wire::MAX_FRAME`]) before any allocation.
+//! 4. **Rate limiting** — one token bucket per role; an empty bucket
+//!    refuses the request (typed `RateLimited` frame) but keeps the
+//!    session open.
+//!
+//! Shutdown drains: [`NetServer::shutdown`] stops the accept loop, then
+//! half-closes every session's *read* side — an in-flight request still
+//! writes its response — and waits for the sessions to finish.
+
+use crate::limiter::TokenBucket;
+use crate::wire::{self, Frame, WireError};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use xac_serve::{ErrorKind, Response, Role, ServeEngine};
+
+/// Tunables for [`NetServer::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind; port 0 picks a free port (read it back from
+    /// [`NetServer::local_addr`]).
+    pub listen: String,
+    /// Concurrent-session cap (admission control).
+    pub max_connections: usize,
+    /// Per-read timeout; a client silent mid-frame for longer is cut
+    /// off with a typed protocol error.
+    pub read_timeout: Duration,
+    /// Requests per second allowed per role (bucket capacity equals the
+    /// rate, so a full burst of one second is admitted). `None`
+    /// disables rate limiting.
+    pub rate_limit: Option<u32>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            listen: "127.0.0.1:0".into(),
+            max_connections: 64,
+            read_timeout: Duration::from_secs(5),
+            rate_limit: None,
+        }
+    }
+}
+
+/// State shared between the accept loop and the session threads.
+struct Shared {
+    engine: Arc<ServeEngine>,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    next_session: AtomicU64,
+    /// Socket clones of live sessions, for the drain's read-side
+    /// half-close.
+    sessions: Mutex<HashMap<u64, TcpStream>>,
+    /// Per-role token buckets (present iff rate limiting is on).
+    buckets: Mutex<HashMap<&'static str, TokenBucket>>,
+}
+
+impl Shared {
+    fn counter(name: &str) {
+        xac_obs::counter(name).inc();
+    }
+
+    /// Admit one request for `role`, refilling from the monotonic
+    /// clock. `true` when no limit is configured.
+    fn admit_request(&self, role: Role) -> bool {
+        let Some(rate) = self.config.rate_limit else { return true };
+        let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
+        buckets
+            .entry(role.name())
+            .or_insert_with(|| TokenBucket::new(rate, rate))
+            .try_take()
+    }
+}
+
+/// A running TCP server. Dropping it shuts it down (gracefully, same as
+/// [`NetServer::shutdown`]).
+pub struct NetServer {
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl NetServer {
+    /// Bind `config.listen` and start accepting. The engine is shared —
+    /// in-process callers may keep using it concurrently.
+    pub fn start(engine: Arc<ServeEngine>, config: ServerConfig) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(&config.listen)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine,
+            config,
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            next_session: AtomicU64::new(0),
+            sessions: Mutex::new(HashMap::new()),
+            buckets: Mutex::new(HashMap::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("xac-net-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(NetServer { shared, accept_thread: Some(accept_thread), local_addr })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live session count.
+    pub fn active_sessions(&self) -> usize {
+        self.shared.active.load(Ordering::Acquire)
+    }
+
+    /// Graceful shutdown: stop accepting, half-close every session's
+    /// read side (in-flight responses still go out), wait for the
+    /// sessions to drain (bounded by the read timeout plus slack).
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        {
+            let sessions = self.shared.sessions.lock().unwrap_or_else(|e| e.into_inner());
+            for stream in sessions.values() {
+                // Read side only: a session blocked in read wakes with
+                // EOF; one mid-serve still writes its response.
+                let _ = stream.shutdown(Shutdown::Read);
+            }
+        }
+        let deadline =
+            Instant::now() + self.shared.config.read_timeout + Duration::from_secs(1);
+        while self.shared.active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                Shared::counter("xac_net_connections_total");
+                if shared.active.load(Ordering::Acquire) >= shared.config.max_connections {
+                    Shared::counter("xac_net_rejected_total{reason=\"admission\"}");
+                    refuse(stream, "connection limit reached, try again later");
+                    continue;
+                }
+                let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+                shared.active.fetch_add(1, Ordering::AcqRel);
+                if let Ok(clone) = stream.try_clone() {
+                    shared
+                        .sessions
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert(id, clone);
+                }
+                let session_shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("xac-net-session-{id}"))
+                    .spawn(move || {
+                        session(stream, &session_shared);
+                        session_shared
+                            .sessions
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .remove(&id);
+                        session_shared.active.fetch_sub(1, Ordering::AcqRel);
+                    });
+                if spawned.is_err() {
+                    // Thread spawn failed: undo the registration.
+                    shared
+                        .sessions
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .remove(&id);
+                    shared.active.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+/// Refuse a connection pre-handshake with a typed error frame. Best
+/// effort — the client may already be gone.
+fn refuse(mut stream: TcpStream, message: &str) {
+    let frame = Frame::Error { kind: ErrorKind::RateLimited, message: message.into() };
+    let _ = stream.write_all(&frame.to_bytes());
+    linger_close(stream);
+}
+
+/// Lingering close: half-close the write side, then briefly drain
+/// whatever the peer already sent. Closing a socket with unread bytes
+/// in its receive buffer makes TCP reset the connection, which can
+/// destroy an error frame in flight before the peer reads it.
+fn linger_close(mut stream: TcpStream) {
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let deadline = Instant::now() + Duration::from_millis(250);
+    let mut sink = [0u8; 4096];
+    while Instant::now() < deadline {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Send a typed error frame, best effort (the peer may have vanished).
+fn send_error(stream: &mut TcpStream, kind: ErrorKind, message: String) {
+    let _ = wire::write_frame(stream, &Frame::Error { kind, message });
+}
+
+/// One session: handshake, then the request/response loop, then a
+/// lingering close so the last frame written always reaches the peer.
+fn session(stream: TcpStream, shared: &Shared) {
+    let mut stream = stream;
+    run_session(&mut stream, shared);
+    linger_close(stream);
+}
+
+/// The session state machine. Every exit path either answered with a
+/// typed error frame or saw the peer leave first — the session never
+/// panics and never blocks unboundedly (all reads carry the configured
+/// timeout).
+fn run_session(stream: &mut TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+
+    // Preamble: six raw bytes before any frame.
+    if let Err(e) = wire::read_preamble(stream) {
+        Shared::counter("xac_net_rejected_total{reason=\"preamble\"}");
+        send_error(stream, ErrorKind::Protocol, e.to_string());
+        return;
+    }
+
+    // Handshake: exactly one hello, answered with welcome.
+    let role = match wire::read_frame(stream) {
+        Ok(Frame::Hello { role }) => role,
+        Ok(other) => {
+            Shared::counter("xac_net_rejected_total{reason=\"handshake\"}");
+            send_error(
+                stream,
+                ErrorKind::Protocol,
+                WireError::Unexpected { wanted: "hello", got: other.kind_name() }.to_string(),
+            );
+            return;
+        }
+        Err(e) => {
+            // Covers unknown roles (decoded as Malformed with the shared
+            // `unknown role` message), torn frames, and garbage.
+            Shared::counter("xac_net_rejected_total{reason=\"handshake\"}");
+            send_error(stream, ErrorKind::Protocol, e.to_string());
+            return;
+        }
+    };
+    let welcome = Frame::Welcome {
+        backend: shared.engine.backend_name().to_string(),
+        epoch: shared.engine.epoch(),
+    };
+    if wire::write_frame(stream, &welcome).is_err() {
+        return;
+    }
+    Shared::counter(&format!("xac_net_sessions_total{{role=\"{}\"}}", role.name()));
+
+    loop {
+        match wire::read_frame(stream) {
+            Ok(Frame::Request(req)) => {
+                if !shared.admit_request(role) {
+                    Shared::counter("xac_net_rejected_total{reason=\"rate_limit\"}");
+                    send_error(
+                        stream,
+                        ErrorKind::RateLimited,
+                        format!(
+                            "role `{role}` exceeded {} requests/sec",
+                            shared.config.rate_limit.unwrap_or(0)
+                        ),
+                    );
+                    continue;
+                }
+                Shared::counter(&format!(
+                    "xac_net_requests_total{{verb=\"{}\"}}",
+                    req.verb()
+                ));
+                let response = shared.engine.serve_as(role, &req);
+                if matches!(response, Response::Error { .. }) {
+                    Shared::counter("xac_net_request_errors_total");
+                }
+                if wire::write_frame(stream, &Frame::Response(response)).is_err() {
+                    return;
+                }
+            }
+            Ok(Frame::Goodbye) => return,
+            Ok(other) => {
+                send_error(
+                    stream,
+                    ErrorKind::Protocol,
+                    WireError::Unexpected { wanted: "request", got: other.kind_name() }
+                        .to_string(),
+                );
+                return;
+            }
+            // Clean close between frames: the drain path (read side
+            // half-closed by shutdown) and impatient clients alike.
+            Err(WireError::Closed) => return,
+            Err(e) if e.is_timeout() => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    send_error(
+                        stream,
+                        ErrorKind::Shutdown,
+                        "server is draining for shutdown".into(),
+                    );
+                } else {
+                    Shared::counter("xac_net_rejected_total{reason=\"timeout\"}");
+                    send_error(
+                        stream,
+                        ErrorKind::Protocol,
+                        format!(
+                            "read timed out after {:?} mid-session",
+                            shared.config.read_timeout
+                        ),
+                    );
+                }
+                return;
+            }
+            Err(e @ (WireError::Oversized { .. }
+            | WireError::UnknownTag(_)
+            | WireError::Malformed(_))) => {
+                Shared::counter("xac_net_rejected_total{reason=\"protocol\"}");
+                send_error(stream, ErrorKind::Protocol, e.to_string());
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}

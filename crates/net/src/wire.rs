@@ -1,0 +1,700 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! A connection opens with a fixed **preamble** the client sends raw
+//! (before any frame), so a server can reject a stray non-xmlac client
+//! from the first six bytes:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "XACN"
+//! 4       2     protocol version, u16 big-endian (currently 1)
+//! ```
+//!
+//! Everything after the preamble is **frames**, in both directions:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     payload length n, u32 big-endian (tag excluded)
+//! 4       1     frame tag
+//! 5       n     payload
+//! ```
+//!
+//! Declared payload lengths above [`MAX_FRAME`] are rejected before any
+//! allocation — an attacker-controlled header can never size a buffer.
+//! Within payloads, integers are big-endian, strings are `u32` length +
+//! UTF-8 bytes, options are a presence byte, bools one byte. Trailing
+//! bytes after a decoded payload are a protocol error: every frame
+//! parses to exactly one [`Frame`] or fails with a [`WireError`].
+//!
+//! The frame vocabulary mirrors the serving engine's unified API
+//! ([`Request`]/[`Response`]): the wire layer is a codec over those two
+//! enums plus a three-frame session envelope (`Hello`/`Welcome`/
+//! `Goodbye`) and a typed `Error` frame whose kind byte is
+//! [`ErrorKind::code`] — the same closed vocabulary the in-process path
+//! uses, so a decoded error frame *is* a [`Response::Error`].
+
+use std::io::{Read, Write};
+use xac_serve::{ErrorKind, Request, Response, Role};
+
+/// First four bytes of every connection.
+pub const MAGIC: [u8; 4] = *b"XACN";
+
+/// Protocol version the preamble carries.
+pub const VERSION: u16 = 1;
+
+/// Hard cap on a frame's declared payload length. Bigger declarations
+/// are rejected from the header alone ([`WireError::Oversized`]).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Frame tags (the byte after the length prefix).
+pub mod tag {
+    /// Client → server: role handshake.
+    pub const HELLO: u8 = 1;
+    /// Server → client: handshake accepted.
+    pub const WELCOME: u8 = 2;
+    /// Client → server: one [`xac_serve::Request`].
+    pub const REQUEST: u8 = 3;
+    /// Server → client: one [`xac_serve::Response`].
+    pub const RESPONSE: u8 = 4;
+    /// Server → client: typed error (kind byte + message).
+    pub const ERROR: u8 = 5;
+    /// Client → server: clean close.
+    pub const GOODBYE: u8 = 6;
+}
+
+/// Everything that can go wrong on the wire. Transport failures are
+/// kept distinct from the in-band [`Response::Error`]s: a `WireError`
+/// means the *conversation* broke, not that a request was answered
+/// negatively.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Underlying socket error; `kind` preserves the io classification
+    /// (timeouts surface as `WouldBlock`/`TimedOut` — see
+    /// [`WireError::is_timeout`]).
+    Io {
+        /// The io error kind.
+        kind: std::io::ErrorKind,
+        /// Rendered detail.
+        detail: String,
+    },
+    /// The peer closed cleanly at a frame boundary.
+    Closed,
+    /// The preamble's first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The preamble's version word was not [`VERSION`].
+    Version {
+        /// The version the peer announced.
+        got: u16,
+    },
+    /// A frame header declared a payload above [`MAX_FRAME`].
+    Oversized {
+        /// The declared payload length.
+        declared: usize,
+    },
+    /// A frame carried an unknown tag byte.
+    UnknownTag(u8),
+    /// The payload did not decode (truncated mid-frame, bad UTF-8,
+    /// unknown enum code, trailing bytes…).
+    Malformed(String),
+    /// A well-formed frame arrived where the session state machine
+    /// expected a different one.
+    Unexpected {
+        /// What the state machine wanted.
+        wanted: &'static str,
+        /// What actually arrived.
+        got: &'static str,
+    },
+    /// The server answered the handshake with a typed error frame
+    /// instead of `Welcome` (admission refused, unknown role, …).
+    Rejected {
+        /// The error frame's kind.
+        kind: ErrorKind,
+        /// The error frame's message.
+        message: String,
+    },
+}
+
+impl WireError {
+    /// True when the io error is a read-timeout expiry (both spellings
+    /// the platform may use for `set_read_timeout`).
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io { kind: std::io::ErrorKind::WouldBlock, .. }
+                | WireError::Io { kind: std::io::ErrorKind::TimedOut, .. }
+        )
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io { detail, .. } => write!(f, "io error: {detail}"),
+            WireError::Closed => write!(f, "peer closed the connection"),
+            WireError::BadMagic(m) => {
+                write!(f, "bad magic {m:02x?} (expected `XACN`)")
+            }
+            WireError::Version { got } => {
+                write!(f, "protocol version {got} unsupported (speaking {VERSION})")
+            }
+            WireError::Oversized { declared } => write!(
+                f,
+                "frame declares {declared} payload bytes, cap is {MAX_FRAME}"
+            ),
+            WireError::UnknownTag(t) => write!(f, "unknown frame tag {t:#04x}"),
+            WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            WireError::Unexpected { wanted, got } => {
+                write!(f, "expected a {wanted} frame, got {got}")
+            }
+            WireError::Rejected { kind, message } => {
+                write!(f, "handshake rejected ({kind}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io { kind: e.kind(), detail: e.to_string() }
+    }
+}
+
+/// One frame of the protocol, either direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Client → server: the role this session requests.
+    Hello {
+        /// Requested session role.
+        role: Role,
+    },
+    /// Server → client: handshake accepted; identifies the engine.
+    Welcome {
+        /// The serving backend's name, e.g. `native/xml`.
+        backend: String,
+        /// Epoch published at accept time.
+        epoch: u64,
+    },
+    /// Client → server: one request.
+    Request(Request),
+    /// Server → client: one response.
+    Response(Response),
+    /// Server → client: typed error. Kind byte is [`ErrorKind::code`].
+    Error {
+        /// What went wrong.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Client → server: clean close.
+    Goodbye,
+}
+
+impl Frame {
+    /// The frame's name for state-machine errors and logs.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "hello",
+            Frame::Welcome { .. } => "welcome",
+            Frame::Request(_) => "request",
+            Frame::Response(_) => "response",
+            Frame::Error { .. } => "error",
+            Frame::Goodbye => "goodbye",
+        }
+    }
+
+    /// The frame's tag byte.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => tag::HELLO,
+            Frame::Welcome { .. } => tag::WELCOME,
+            Frame::Request(_) => tag::REQUEST,
+            Frame::Response(_) => tag::RESPONSE,
+            Frame::Error { .. } => tag::ERROR,
+            Frame::Goodbye => tag::GOODBYE,
+        }
+    }
+
+    /// Encode the payload (everything after the tag byte).
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Frame::Hello { role } => put_str(&mut out, role.name()),
+            Frame::Welcome { backend, epoch } => {
+                put_u64(&mut out, *epoch);
+                put_str(&mut out, backend);
+            }
+            Frame::Request(req) => encode_request(&mut out, req),
+            Frame::Response(resp) => encode_response(&mut out, resp),
+            Frame::Error { kind, message } => {
+                out.push(kind.code());
+                put_str(&mut out, message);
+            }
+            Frame::Goodbye => {}
+        }
+        out
+    }
+
+    /// Serialize the whole frame: header, tag, payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut out = Vec::with_capacity(5 + payload.len());
+        put_u32(&mut out, payload.len() as u32);
+        out.push(self.tag());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decode a frame from its tag byte and payload.
+    pub fn decode(tag_byte: u8, payload: &[u8]) -> Result<Frame, WireError> {
+        let mut c = Cursor::new(payload);
+        let frame = match tag_byte {
+            tag::HELLO => {
+                let spelling = c.take_str()?;
+                let role = Role::parse(&spelling)
+                    .map_err(|e| WireError::Malformed(e.to_string()))?;
+                Frame::Hello { role }
+            }
+            tag::WELCOME => {
+                let epoch = c.take_u64()?;
+                let backend = c.take_str()?;
+                Frame::Welcome { backend, epoch }
+            }
+            tag::REQUEST => Frame::Request(decode_request(&mut c)?),
+            tag::RESPONSE => Frame::Response(decode_response(&mut c)?),
+            tag::ERROR => {
+                let code = c.take_u8()?;
+                let kind = ErrorKind::from_code(code).ok_or_else(|| {
+                    WireError::Malformed(format!("unknown error kind code {code}"))
+                })?;
+                let message = c.take_str()?;
+                Frame::Error { kind, message }
+            }
+            tag::GOODBYE => Frame::Goodbye,
+            other => return Err(WireError::UnknownTag(other)),
+        };
+        c.finish()?;
+        Ok(frame)
+    }
+}
+
+/// Send the connection preamble (client side, once, before any frame).
+pub fn write_preamble(w: &mut impl Write) -> Result<(), WireError> {
+    let mut bytes = [0u8; 6];
+    bytes[..4].copy_from_slice(&MAGIC);
+    bytes[4..].copy_from_slice(&VERSION.to_be_bytes());
+    w.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Read and validate the preamble (server side).
+pub fn read_preamble(r: &mut impl Read) -> Result<(), WireError> {
+    let mut magic = [0u8; 4];
+    read_exact_or(r, &mut magic, "truncated preamble")?;
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let mut version = [0u8; 2];
+    read_exact_or(r, &mut version, "truncated preamble")?;
+    let got = u16::from_be_bytes(version);
+    if got != VERSION {
+        return Err(WireError::Version { got });
+    }
+    Ok(())
+}
+
+/// Write one frame.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+    w.write_all(&frame.to_bytes())?;
+    Ok(())
+}
+
+/// Read one frame. A clean close *between* frames is [`WireError::Closed`];
+/// a close inside a frame (header or payload half-read) is
+/// [`WireError::Malformed`] — the two are distinguished so a server can
+/// tell a polite goodbye-less disconnect from a torn frame.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
+    let mut header = [0u8; 4];
+    // First byte by hand: read() returning 0 here is the only place a
+    // disconnect counts as clean.
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Err(WireError::Closed),
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    header[0] = first[0];
+    read_exact_or(r, &mut header[1..], "truncated frame header")?;
+    let declared = u32::from_be_bytes(header) as usize;
+    if declared > MAX_FRAME {
+        return Err(WireError::Oversized { declared });
+    }
+    let mut tag_byte = [0u8; 1];
+    read_exact_or(r, &mut tag_byte, "truncated frame header")?;
+    let mut payload = vec![0u8; declared];
+    read_exact_or(r, &mut payload, "truncated frame payload")?;
+    Frame::decode(tag_byte[0], &payload)
+}
+
+/// `read_exact` that reports a mid-frame disconnect as a malformed
+/// frame rather than a bare io error.
+fn read_exact_or(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    context: &str,
+) -> Result<(), WireError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Malformed(format!("{context} (peer disconnected mid-frame)"))
+        } else {
+            e.into()
+        }
+    })
+}
+
+// ---- payload codecs ----------------------------------------------------
+
+fn encode_request(out: &mut Vec<u8>, req: &Request) {
+    match req {
+        Request::Query { query } => {
+            out.push(1);
+            put_str(out, query);
+        }
+        Request::Delete { path } => {
+            out.push(2);
+            put_str(out, path);
+        }
+        Request::Insert { parent, name, text } => {
+            out.push(3);
+            put_str(out, parent);
+            put_str(out, name);
+            put_opt_str(out, text.as_deref());
+        }
+        Request::Status => out.push(4),
+        Request::Metrics => out.push(5),
+        // Request is #[non_exhaustive]; a new variant must get a wire
+        // code here before anything can send it.
+        other => unreachable!("unencodable request variant {other:?}"),
+    }
+}
+
+fn decode_request(c: &mut Cursor<'_>) -> Result<Request, WireError> {
+    match c.take_u8()? {
+        1 => Ok(Request::Query { query: c.take_str()? }),
+        2 => Ok(Request::Delete { path: c.take_str()? }),
+        3 => Ok(Request::Insert {
+            parent: c.take_str()?,
+            name: c.take_str()?,
+            text: c.take_opt_str()?,
+        }),
+        4 => Ok(Request::Status),
+        5 => Ok(Request::Metrics),
+        code => Err(WireError::Malformed(format!("unknown request code {code}"))),
+    }
+}
+
+fn encode_response(out: &mut Vec<u8>, resp: &Response) {
+    match resp {
+        Response::Decision { granted, nodes, epoch } => {
+            out.push(1);
+            put_bool(out, *granted);
+            put_u64(out, *nodes);
+            put_u64(out, *epoch);
+        }
+        Response::Update { applied, removed, inserted, sign_writes, denied_nodes, epoch } => {
+            out.push(2);
+            put_bool(out, *applied);
+            put_u64(out, *removed);
+            put_u64(out, *inserted);
+            put_u64(out, *sign_writes);
+            put_u64(out, *denied_nodes);
+            put_u64(out, *epoch);
+        }
+        Response::Status { backend, epoch, accessible, quarantined } => {
+            out.push(3);
+            put_str(out, backend);
+            put_u64(out, *epoch);
+            put_u64(out, *accessible);
+            put_bool(out, *quarantined);
+        }
+        Response::Metrics { rendered } => {
+            out.push(4);
+            put_str(out, rendered);
+        }
+        Response::Error { kind, message } => {
+            out.push(5);
+            out.push(kind.code());
+            put_str(out, message);
+        }
+        other => unreachable!("unencodable response variant {other:?}"),
+    }
+}
+
+fn decode_response(c: &mut Cursor<'_>) -> Result<Response, WireError> {
+    match c.take_u8()? {
+        1 => Ok(Response::Decision {
+            granted: c.take_bool()?,
+            nodes: c.take_u64()?,
+            epoch: c.take_u64()?,
+        }),
+        2 => Ok(Response::Update {
+            applied: c.take_bool()?,
+            removed: c.take_u64()?,
+            inserted: c.take_u64()?,
+            sign_writes: c.take_u64()?,
+            denied_nodes: c.take_u64()?,
+            epoch: c.take_u64()?,
+        }),
+        3 => Ok(Response::Status {
+            backend: c.take_str()?,
+            epoch: c.take_u64()?,
+            accessible: c.take_u64()?,
+            quarantined: c.take_bool()?,
+        }),
+        4 => Ok(Response::Metrics { rendered: c.take_str()? }),
+        5 => {
+            let code = c.take_u8()?;
+            let kind = ErrorKind::from_code(code).ok_or_else(|| {
+                WireError::Malformed(format!("unknown error kind code {code}"))
+            })?;
+            Ok(Response::Error { kind, message: c.take_str()? })
+        }
+        code => Err(WireError::Malformed(format!("unknown response code {code}"))),
+    }
+}
+
+// ---- primitive writers/readers -----------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_str(out: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        None => out.push(0),
+        Some(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+    }
+}
+
+/// Bounds-checked payload reader: every decode failure is a
+/// [`WireError::Malformed`] naming what was being read.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let slice = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(WireError::Malformed(format!(
+                "payload truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            ))),
+        }
+    }
+
+    fn take_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn take_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn take_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn take_bool(&mut self) -> Result<bool, WireError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::Malformed(format!("bad bool byte {b}"))),
+        }
+    }
+
+    fn take_str(&mut self) -> Result<String, WireError> {
+        let len = self.take_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Malformed("string is not UTF-8".into()))
+    }
+
+    fn take_opt_str(&mut self) -> Result<Option<String>, WireError> {
+        match self.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.take_str()?)),
+            b => Err(WireError::Malformed(format!("bad option byte {b}"))),
+        }
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let bytes = frame.to_bytes();
+        let mut r = &bytes[..];
+        assert_eq!(read_frame(&mut r).unwrap(), frame);
+        assert!(r.is_empty(), "frame must consume exactly its bytes");
+    }
+
+    #[test]
+    fn every_frame_kind_round_trips() {
+        round_trip(Frame::Hello { role: Role::Writer });
+        round_trip(Frame::Welcome { backend: "native/xml".into(), epoch: 7 });
+        round_trip(Frame::Request(Request::query("//patient/name")));
+        round_trip(Frame::Request(Request::delete("//treatment")));
+        round_trip(Frame::Request(Request::insert("//patient", "note", Some("x".into()))));
+        round_trip(Frame::Request(Request::insert("//patient", "note", None)));
+        round_trip(Frame::Request(Request::Status));
+        round_trip(Frame::Request(Request::Metrics));
+        round_trip(Frame::Response(Response::Decision { granted: true, nodes: 3, epoch: 1 }));
+        round_trip(Frame::Response(Response::Update {
+            applied: false,
+            removed: 0,
+            inserted: 0,
+            sign_writes: 0,
+            denied_nodes: 2,
+            epoch: 9,
+        }));
+        round_trip(Frame::Response(Response::Status {
+            backend: "rel/row".into(),
+            epoch: 3,
+            accessible: 11,
+            quarantined: false,
+        }));
+        round_trip(Frame::Response(Response::Metrics { rendered: "reads 5\n".into() }));
+        round_trip(Frame::Response(Response::Error {
+            kind: ErrorKind::Quarantined,
+            message: "read-only".into(),
+        }));
+        round_trip(Frame::Error { kind: ErrorKind::RateLimited, message: "slow down".into() });
+        round_trip(Frame::Goodbye);
+    }
+
+    #[test]
+    fn preamble_round_trips_and_rejects_impostors() {
+        let mut buf = Vec::new();
+        write_preamble(&mut buf).unwrap();
+        assert_eq!(buf.len(), 6);
+        assert_eq!(read_preamble(&mut &buf[..]), Ok(()));
+
+        let mut http = &b"GET / HTTP/1.1\r\n"[..];
+        assert_eq!(
+            read_preamble(&mut http),
+            Err(WireError::BadMagic(*b"GET "))
+        );
+
+        let mut future = Vec::from(MAGIC);
+        future.extend_from_slice(&2u16.to_be_bytes());
+        assert_eq!(
+            read_preamble(&mut &future[..]),
+            Err(WireError::Version { got: 2 })
+        );
+    }
+
+    #[test]
+    fn oversized_header_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(u32::MAX).to_be_bytes());
+        bytes.push(tag::REQUEST);
+        assert_eq!(
+            read_frame(&mut &bytes[..]),
+            Err(WireError::Oversized { declared: u32::MAX as usize })
+        );
+    }
+
+    #[test]
+    fn clean_close_vs_torn_frame_are_distinct() {
+        assert_eq!(read_frame(&mut &[][..]), Err(WireError::Closed));
+        let whole = Frame::Request(Request::query("//a")).to_bytes();
+        for cut in 1..whole.len() {
+            match read_frame(&mut &whole[..cut]) {
+                Err(WireError::Malformed(_)) => {}
+                other => panic!("cut at {cut}: expected Malformed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tags_codes_and_trailing_bytes_are_malformed() {
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, 0);
+        bytes.push(0x7f);
+        assert_eq!(read_frame(&mut &bytes[..]), Err(WireError::UnknownTag(0x7f)));
+
+        assert!(matches!(
+            Frame::decode(tag::REQUEST, &[9]),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(
+            Frame::decode(tag::ERROR, &[0, 0, 0, 0, 0]),
+            Err(WireError::Malformed(_))
+        ));
+
+        let mut padded = Frame::Goodbye.encode_payload();
+        padded.push(0);
+        assert!(matches!(
+            Frame::decode(tag::GOODBYE, &padded),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn hello_with_unknown_role_is_malformed_with_the_shared_message() {
+        let mut payload = Vec::new();
+        put_str(&mut payload, "root");
+        let err = Frame::decode(tag::HELLO, &payload).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::Malformed(
+                "system error: unknown role `root` (valid roles: reader, writer, admin)"
+                    .into()
+            )
+        );
+    }
+}

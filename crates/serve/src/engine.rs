@@ -27,6 +27,7 @@
 //!   protected value is a complete `Arc` at every instant).
 
 use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::request::{ErrorKind, Request, Response, Role};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, LockResult, Mutex, MutexGuard, RwLock};
 use std::time::Instant;
@@ -60,15 +61,22 @@ impl BackendKind {
     /// All kinds, in the paper's presentation order.
     pub const ALL: [BackendKind; 3] = [BackendKind::Native, BackendKind::Column, BackendKind::Row];
 
-    /// Parse a CLI spelling (`native`, `row`, `column`).
+    /// The accepted spellings, in [`BackendKind::parse`] order.
+    pub const VALID_NAMES: [&'static str; 3] = ["native", "row", "column"];
+
+    /// Parse a CLI spelling (`native`, `row`, `column`). Unknown names
+    /// get the shared [`Error::UnknownName`](xac_core::Error::UnknownName)
+    /// shape, same as `Role` and `AnnotateMode`.
     pub fn parse(input: &str) -> Result<BackendKind> {
         match input {
             "native" => Ok(BackendKind::Native),
             "row" => Ok(BackendKind::Row),
             "column" => Ok(BackendKind::Column),
-            other => Err(xac_core::Error::System(format!(
-                "unknown backend `{other}` (valid backends: native, row, column)"
-            ))),
+            other => Err(xac_core::Error::UnknownName {
+                what: "backend",
+                input: other.to_string(),
+                valid: BackendKind::VALID_NAMES.join(", "),
+            }),
         }
     }
 
@@ -93,6 +101,21 @@ impl BackendKind {
                 Box::new(RelationalBackend::with_mode(xac_reldb::StorageKind::Column, mode))
             }
         }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    /// The CLI spelling; round-trips through [`BackendKind::parse`].
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.cli_name())
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = xac_core::Error;
+
+    fn from_str(s: &str) -> Result<BackendKind> {
+        BackendKind::parse(s)
     }
 }
 
@@ -252,10 +275,102 @@ impl ServeEngine {
         self.metrics.snapshot()
     }
 
-    /// Answer a read request against the published snapshot, recording
-    /// outcome and latency; returns the decision and the epoch it was
-    /// served at.
-    pub fn query_observed(&self, path: &Path) -> (Decision, u64) {
+    /// Serve one [`Request`] — **the unified entry point**. Every
+    /// consumer goes through here (or through the typed shims below,
+    /// which share the same audited internals): the `xmlac` CLI, the
+    /// `xac-net` wire dispatcher, benchmarks and tests. Dispatch,
+    /// access semantics and metrics accounting live in exactly one
+    /// place, so an answer over the wire is byte-identical to the same
+    /// request served in process.
+    ///
+    /// Failures are data: a malformed path, a quarantined engine, or a
+    /// surfaced fault all come back as [`Response::Error`] with a typed
+    /// [`ErrorKind`], never as a transport-level error.
+    pub fn serve(&self, req: &Request) -> Response {
+        use std::sync::atomic::Ordering::Relaxed;
+        match req {
+            Request::Query { query } => match xac_xpath::parse(query) {
+                Ok(path) => {
+                    let (decision, epoch) = self.read_observed(&path);
+                    Response::Decision {
+                        granted: decision.granted(),
+                        nodes: decision.node_count() as u64,
+                        epoch,
+                    }
+                }
+                Err(e) => {
+                    // Same accounting as the historical `query_str`:
+                    // a malformed read is a read error with zero cost.
+                    self.metrics.read_errors.fetch_add(1, Relaxed);
+                    self.metrics.read_latency.record(std::time::Duration::ZERO);
+                    Response::from_error(&e.into())
+                }
+            },
+            Request::Delete { path } => match xac_xpath::parse(path) {
+                Ok(p) => self.update_response(self.guarded(UpdateOp::Delete(&p))),
+                Err(e) => Response::from_error(&e.into()),
+            },
+            Request::Insert { parent, name, text } => match xac_xpath::parse(parent) {
+                Ok(p) => self.update_response(self.guarded(UpdateOp::Insert {
+                    parent: &p,
+                    name,
+                    text: text.as_deref(),
+                })),
+                Err(e) => Response::from_error(&e.into()),
+            },
+            Request::Status => Response::Status {
+                backend: self.backend_name.to_string(),
+                epoch: self.epoch(),
+                accessible: self.accessible_count() as u64,
+                quarantined: self.quarantined(),
+            },
+            Request::Metrics => Response::Metrics { rendered: self.metrics().render() },
+        }
+    }
+
+    /// [`ServeEngine::serve`] behind a role-admission gate: the answer
+    /// the network layer gives a session authenticated as `role`, and
+    /// the in-process equivalent the differential suite compares it
+    /// against. A refused request never reaches the engine — no engine
+    /// counter moves.
+    pub fn serve_as(&self, role: Role, req: &Request) -> Response {
+        if !role.allows(req) {
+            return Response::Error {
+                kind: ErrorKind::RoleDenied,
+                message: format!("role `{role}` may not issue `{}` requests", req.verb()),
+            };
+        }
+        self.serve(req)
+    }
+
+    /// Fold a guarded-update result into the wire-shaped answer.
+    fn update_response(&self, result: Result<GuardedUpdate>) -> Response {
+        match result {
+            Ok(GuardedUpdate::Applied(o)) => Response::Update {
+                applied: true,
+                removed: o.removed_elements as u64,
+                inserted: o.inserted_elements as u64,
+                sign_writes: o.sign_writes as u64,
+                denied_nodes: 0,
+                epoch: self.epoch(),
+            },
+            Ok(GuardedUpdate::Denied(d)) => Response::Update {
+                applied: false,
+                removed: 0,
+                inserted: 0,
+                sign_writes: 0,
+                denied_nodes: d.node_count() as u64,
+                epoch: self.epoch(),
+            },
+            Err(e) => Response::from_error(&e),
+        }
+    }
+
+    /// The read path shared by [`ServeEngine::serve`] and the typed
+    /// shims: answer against the published snapshot, recording outcome
+    /// and latency; returns the decision and the epoch it was served
+    /// at.
+    fn read_observed(&self, path: &Path) -> (Decision, u64) {
         use std::sync::atomic::Ordering::Relaxed;
         let _span = xac_obs::span("serve.read");
         let start = Instant::now();
@@ -277,13 +392,30 @@ impl ServeEngine {
         (decision, snap.epoch())
     }
 
-    /// Answer a read request against the published snapshot.
+    /// Answer a read request against the published snapshot, returning
+    /// the decision and the epoch it was served at.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `serve(&Request::query(..))` — the unified entry point; \
+                the epoch travels in `Response::Decision`"
+    )]
+    pub fn query_observed(&self, path: &Path) -> (Decision, u64) {
+        self.read_observed(path)
+    }
+
+    /// Answer a pre-parsed read request against the published snapshot.
+    /// A typed shim over the same audited read path
+    /// [`ServeEngine::serve`] uses.
     pub fn query(&self, path: &Path) -> Decision {
-        self.query_observed(path).0
+        self.read_observed(path).0
     }
 
     /// Parse and answer a read request; parse failures count as request
     /// errors.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `serve(&Request::query(..))` — the unified entry point"
+    )]
     pub fn query_str(&self, query: &str) -> Result<Decision> {
         use std::sync::atomic::Ordering::Relaxed;
         match xac_xpath::parse(query) {
@@ -298,13 +430,17 @@ impl ServeEngine {
 
     /// Access-controlled delete (§8): refused unless every designated
     /// node is accessible at the *current* backend state; applied
-    /// updates re-annotate partially and publish a new epoch.
+    /// updates re-annotate partially and publish a new epoch. A typed
+    /// shim over the same guarded transaction [`ServeEngine::serve`]
+    /// runs for [`Request::Delete`], returning the full
+    /// [`UpdateOutcome`] (including the re-annotation plan).
     pub fn guarded_delete(&self, update: &Path) -> Result<GuardedUpdate> {
         self.guarded(UpdateOp::Delete(update))
     }
 
     /// Access-controlled insert (§8): refused unless every designated
-    /// parent is accessible.
+    /// parent is accessible. Typed shim over the [`Request::Insert`]
+    /// transaction, like [`ServeEngine::guarded_delete`].
     pub fn guarded_insert(
         &self,
         parent: &Path,
@@ -611,14 +747,23 @@ mod tests {
         assert_send_sync::<ServeCluster>();
     }
 
+    /// Serve a query and return (granted, nodes, epoch).
+    fn served(engine: &ServeEngine, query: &str) -> (bool, u64, u64) {
+        match engine.serve(&Request::query(query)) {
+            Response::Decision { granted, nodes, epoch } => (granted, nodes, epoch),
+            other => panic!("expected a decision, got {other:?}"),
+        }
+    }
+
     #[test]
     fn serves_reads_on_every_kind() {
         let cluster = ServeCluster::new(system(), &BackendKind::ALL).unwrap();
         assert_eq!(cluster.engines().len(), 3);
         for engine in cluster.engines() {
-            assert!(engine.query_str("//patient/name").unwrap().granted());
-            assert!(!engine.query_str("//patient").unwrap().granted());
-            assert!(engine.query_str("//bad[").is_err());
+            assert!(served(engine, "//patient/name").0);
+            assert!(!served(engine, "//patient").0);
+            let err = engine.serve(&Request::query("//bad["));
+            assert_eq!(err.error_kind(), Some(ErrorKind::Parse), "{err:?}");
             let m = engine.metrics();
             assert_eq!(m.reads_issued(), 3, "{}", engine.backend_name());
             assert_eq!(m.read_errors, 1);
@@ -629,11 +774,101 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_string_shims_still_answer_identically() {
+        // One release of compatibility: the `#[deprecated]` shims keep
+        // working and share the unified entry point's accounting.
+        #![allow(deprecated)]
+        let engine = ServeEngine::for_kind(Arc::new(system()), BackendKind::Native).unwrap();
+        let d = engine.query_str("//patient/name").unwrap();
+        assert!(d.granted());
+        let (granted, nodes, epoch) = served(&engine, "//patient/name");
+        assert!(granted);
+        assert_eq!(nodes, d.node_count() as u64);
+        let path = xac_xpath::parse("//patient/name").unwrap();
+        assert_eq!(engine.query_observed(&path), (d, epoch));
+        assert!(engine.query_str("//bad[").is_err());
+        let m = engine.metrics();
+        assert_eq!(m.reads_issued(), 4);
+        assert_eq!(m.read_errors, 1);
+    }
+
+    #[test]
+    fn serve_dispatches_updates_status_and_metrics() {
+        let engine = ServeEngine::for_kind(Arc::new(system()), BackendKind::Native).unwrap();
+        // Denied update: epoch pinned, denied node count carried.
+        let denied = engine.serve(&Request::delete("//med"));
+        assert_eq!(
+            denied,
+            Response::Update {
+                applied: false,
+                removed: 0,
+                inserted: 0,
+                sign_writes: 0,
+                denied_nodes: 1,
+                epoch: engine.epoch(),
+            }
+        );
+        // Applied update: epoch advances, counts carried.
+        let before = engine.epoch();
+        match engine.serve(&Request::delete("//regular")) {
+            Response::Update { applied, removed, epoch, sign_writes, .. } => {
+                assert!(applied);
+                assert_eq!(removed, 3, "regular + med + bill");
+                assert_eq!(sign_writes, engine.metrics().sign_writes);
+                assert!(epoch > before);
+            }
+            other => panic!("expected an update response, got {other:?}"),
+        }
+        // Malformed update path: a typed parse error, no update counter.
+        let bad = engine.serve(&Request::delete("//bad["));
+        assert_eq!(bad.error_kind(), Some(ErrorKind::Parse));
+        match engine.serve(&Request::Status) {
+            Response::Status { backend, epoch, accessible, quarantined } => {
+                assert_eq!(backend, "native/xml");
+                assert_eq!(epoch, engine.epoch());
+                assert_eq!(accessible, engine.accessible_count() as u64);
+                assert!(!quarantined);
+            }
+            other => panic!("expected status, got {other:?}"),
+        }
+        match engine.serve(&Request::Metrics) {
+            Response::Metrics { rendered } => assert!(rendered.contains("updates: 2")),
+            other => panic!("expected metrics, got {other:?}"),
+        }
+        let m = engine.metrics();
+        assert_eq!(m.updates_applied, 1);
+        assert_eq!(m.updates_denied, 1);
+        assert_eq!(m.update_errors, 0);
+    }
+
+    #[test]
+    fn serve_as_gates_by_role_without_touching_the_engine() {
+        let engine = ServeEngine::for_kind(Arc::new(system()), BackendKind::Native).unwrap();
+        let denied = engine.serve_as(Role::Reader, &Request::delete("//regular"));
+        assert_eq!(denied.error_kind(), Some(ErrorKind::RoleDenied));
+        let m = engine.metrics();
+        assert_eq!(m.updates_issued(), 0, "role denial precedes admission");
+        assert_eq!(engine.metrics().epochs_published, 1);
+        // The same request as a writer goes through.
+        match engine.serve_as(Role::Writer, &Request::delete("//regular")) {
+            Response::Update { applied: true, .. } => {}
+            other => panic!("writer should apply, got {other:?}"),
+        }
+        // Metrics are admin-only.
+        let denied = engine.serve_as(Role::Writer, &Request::Metrics);
+        assert_eq!(denied.error_kind(), Some(ErrorKind::RoleDenied));
+        assert!(matches!(
+            engine.serve_as(Role::Admin, &Request::Metrics),
+            Response::Metrics { .. }
+        ));
+    }
+
+    #[test]
     fn applied_update_publishes_new_epoch() {
         let engine =
             ServeEngine::for_kind(Arc::new(system()), BackendKind::Native).unwrap();
         let before = engine.epoch();
-        assert!(!engine.query_str("//patient").unwrap().granted());
+        assert!(!served(&engine, "//patient").0);
         let u = xac_xpath::parse("//regular").unwrap();
         let g = engine.guarded_delete(&u).unwrap();
         let outcome = match g {
@@ -688,6 +923,58 @@ mod tests {
     }
 
     #[test]
+    fn unknown_backend_error_lists_all_kinds() {
+        // Same `unknown X (valid Xs: …)` shape as AnnotateMode and Role.
+        let err = BackendKind::parse("mongodb").unwrap_err();
+        assert_eq!(
+            err,
+            xac_core::Error::UnknownName {
+                what: "backend",
+                input: "mongodb".to_string(),
+                valid: "native, row, column".to_string(),
+            }
+        );
+        let text = err.to_string();
+        for name in BackendKind::VALID_NAMES {
+            assert!(text.contains(name), "`{name}` missing from: {text}");
+        }
+    }
+
+    #[test]
+    fn backend_kind_display_round_trips_through_parse() {
+        use std::str::FromStr;
+        // Exhaustive: every canonical spelling parses back to its kind.
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::parse(&kind.to_string()).unwrap(), kind);
+            assert_eq!(BackendKind::from_str(kind.cli_name()).unwrap(), kind);
+        }
+        // Property: random case/whitespace perturbations of a canonical
+        // spelling only parse when they leave it unchanged.
+        let mut rng = xac_xmlgen::SplitMix64::seed_from_u64(0xbac_c0de);
+        for _ in 0..256 {
+            let kind = BackendKind::ALL[(rng.next_u64() % 3) as usize];
+            let mut s = kind.cli_name().to_string();
+            match rng.next_u64() % 3 {
+                0 => s.make_ascii_uppercase(),
+                1 => s.push(' '),
+                _ => {}
+            }
+            match BackendKind::from_str(&s) {
+                Ok(parsed) => {
+                    assert_eq!(s, kind.cli_name(), "only canonical spellings parse");
+                    assert_eq!(parsed, kind);
+                    assert_eq!(parsed.to_string(), s, "Display round-trips");
+                }
+                Err(err) => {
+                    assert_ne!(s, kind.cli_name());
+                    let text = err.to_string();
+                    assert!(text.contains("valid backends"), "{text}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn first_publish_is_idempotent_under_transient_snapshot_failure() {
         // One-shot before_snapshot fault: the first snapshot attempt
         // fails, the retry succeeds — and the initial epoch must be
@@ -700,7 +987,7 @@ mod tests {
         assert_eq!(m.epochs_published, 1, "retried first publish counted once");
         assert_eq!(m.faults_injected, 1);
         assert_eq!(m.current_epoch, engine.epoch());
-        assert!(engine.query_str("//patient/name").unwrap().granted());
+        assert!(served(&engine, "//patient/name").0);
     }
 
     #[test]
@@ -715,7 +1002,7 @@ mod tests {
         assert!(poisoned.is_err());
         // The engine recovers by restoring the last-good checkpoint and
         // keeps working: reads, state audits, and guarded updates.
-        assert!(engine.query_str("//patient/name").unwrap().granted());
+        assert!(served(&engine, "//patient/name").0);
         assert_eq!(engine.with_writer(|b| b.sign_state().unwrap()).unwrap(), golden);
         assert!(!engine.quarantined());
         let u = xac_xpath::parse("//regular").unwrap();

@@ -19,10 +19,15 @@
 //! * **Observability**: every request lands in exactly one outcome
 //!   counter and one latency-histogram bucket; [`ServeEngine::metrics`]
 //!   freezes them into a [`MetricsSnapshot`].
+//! * **One entry point**: every consumer — typed in-process callers,
+//!   the CLI, and the `xac-net` wire dispatcher — reduces to a
+//!   [`Request`] answered by [`ServeEngine::serve`] with a [`Response`]
+//!   (role-gated via [`ServeEngine::serve_as`]), so the network layer
+//!   is a pure codec over one audited semantics.
 //!
 //! ```
 //! use std::sync::Arc;
-//! use xac_serve::{BackendKind, ServeEngine};
+//! use xac_serve::{BackendKind, Request, Response, ServeEngine};
 //! use xac_policy::policy::hospital_policy;
 //!
 //! let schema = xac_core::hospital_schema_for_docs();
@@ -33,14 +38,19 @@
 //! let system = xac_core::System::builder(schema, hospital_policy(), doc)
 //!     .build().unwrap();
 //! let engine = ServeEngine::for_kind(Arc::new(system), BackendKind::Native).unwrap();
-//! assert!(engine.query_str("//patient/name").unwrap().granted());
+//! match engine.serve(&Request::query("//patient/name")) {
+//!     Response::Decision { granted, .. } => assert!(granted),
+//!     other => panic!("unexpected response: {other:?}"),
+//! }
 //! assert_eq!(engine.metrics().reads_issued(), 1);
 //! ```
 
 pub mod engine;
 pub mod faults;
 pub mod metrics;
+pub mod request;
 
 pub use engine::{BackendKind, ServeCluster, ServeEngine};
 pub use faults::seeded_fault_plan;
 pub use metrics::{LatencyHistogram, LatencySummary, Metrics, MetricsSnapshot};
+pub use request::{ErrorKind, Request, Response, Role};

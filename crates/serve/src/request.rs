@@ -1,0 +1,376 @@
+//! The unified request/response surface of the serving engine.
+//!
+//! Every way of asking the engine something — the typed in-process
+//! methods, the `xmlac` CLI, and the `xac-net` wire protocol — reduces
+//! to one [`Request`] handed to [`ServeEngine::serve`], which answers
+//! with one [`Response`]. The wire layer is a pure codec over these two
+//! enums: it never re-implements dispatch, access checks, or metrics
+//! accounting, so an answer over a socket is byte-identical to the same
+//! request served in process (the loopback differential suite holds
+//! this on all three backends).
+//!
+//! [`Role`] is the requester identity the network handshake carries:
+//! admission is decided per (role, request-kind) by [`Role::allows`],
+//! applied by [`ServeEngine::serve_as`] before dispatch — in process
+//! and over the wire alike, so a denied-role answer is the same bytes
+//! on both paths.
+//!
+//! [`ServeEngine::serve`]: crate::ServeEngine::serve
+//! [`ServeEngine::serve_as`]: crate::ServeEngine::serve_as
+
+use xac_core::Error;
+
+/// The requester identity carried by the network auth handshake (and by
+/// [`crate::ServeEngine::serve_as`] in process). Ordered by privilege.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Role {
+    /// May issue reads (`Query`, `Status`).
+    Reader,
+    /// Everything a reader may, plus guarded updates.
+    Writer,
+    /// Everything a writer may, plus engine metrics.
+    Admin,
+}
+
+impl Role {
+    /// All roles, least privileged first.
+    pub const ALL: [Role; 3] = [Role::Reader, Role::Writer, Role::Admin];
+
+    /// The accepted spellings, in [`Role::ALL`] order.
+    pub const VALID_NAMES: [&'static str; 3] = ["reader", "writer", "admin"];
+
+    /// The canonical spelling (handshake wire form and CLI `--role`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Role::Reader => "reader",
+            Role::Writer => "writer",
+            Role::Admin => "admin",
+        }
+    }
+
+    /// Parse a spelling. Unknown names get the shared
+    /// [`Error::UnknownName`] shape (`unknown role `x` (valid roles:
+    /// …)`), same as `BackendKind` and `AnnotateMode`.
+    pub fn parse(input: &str) -> Result<Role, Error> {
+        Role::ALL
+            .into_iter()
+            .find(|r| r.name() == input)
+            .ok_or_else(|| Error::UnknownName {
+                what: "role",
+                input: input.to_string(),
+                valid: Role::VALID_NAMES.join(", "),
+            })
+    }
+
+    /// Whether this role may issue `req` at all. Deny decisions made
+    /// here never reach the engine: the request is answered with a
+    /// [`ResponseError`] of kind [`ErrorKind::RoleDenied`] and no
+    /// engine counter moves.
+    pub fn allows(self, req: &Request) -> bool {
+        match req {
+            Request::Query { .. } | Request::Status => true,
+            Request::Delete { .. } | Request::Insert { .. } => self >= Role::Writer,
+            Request::Metrics => self >= Role::Admin,
+        }
+    }
+}
+
+impl std::fmt::Display for Role {
+    /// The canonical spelling; round-trips through [`Role::parse`].
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Role {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Role, Error> {
+        Role::parse(s)
+    }
+}
+
+/// One request to the serving engine. Paths travel as source text (the
+/// wire form); the engine parses them, so a malformed path is answered
+/// with a typed [`ErrorKind::Parse`] error rather than failing the
+/// transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Request {
+    /// All-or-nothing read (§4): granted iff every selected node is
+    /// accessible at the published snapshot.
+    Query {
+        /// XPath source text.
+        query: String,
+    },
+    /// Access-controlled delete (§8).
+    Delete {
+        /// XPath source text designating the nodes to delete.
+        path: String,
+    },
+    /// Access-controlled insert (§8).
+    Insert {
+        /// XPath source text designating the parent nodes.
+        parent: String,
+        /// Element name to insert.
+        name: String,
+        /// Optional text content.
+        text: Option<String>,
+    },
+    /// Engine status: backend, epoch, accessible count, quarantine.
+    Status,
+    /// The engine's metrics report (admin only).
+    Metrics,
+}
+
+impl Request {
+    /// Convenience constructor for a read.
+    pub fn query(q: impl Into<String>) -> Request {
+        Request::Query { query: q.into() }
+    }
+
+    /// Convenience constructor for a guarded delete.
+    pub fn delete(path: impl Into<String>) -> Request {
+        Request::Delete { path: path.into() }
+    }
+
+    /// Convenience constructor for a guarded insert.
+    pub fn insert(
+        parent: impl Into<String>,
+        name: impl Into<String>,
+        text: Option<String>,
+    ) -> Request {
+        Request::Insert { parent: parent.into(), name: name.into(), text }
+    }
+
+    /// Short verb for logs and tables.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Query { .. } => "query",
+            Request::Delete { .. } => "delete",
+            Request::Insert { .. } => "insert",
+            Request::Status => "status",
+            Request::Metrics => "metrics",
+        }
+    }
+}
+
+/// What went wrong, as a closed vocabulary shared by the in-process
+/// path and the wire's typed error frames. The CLI maps kinds to exit
+/// codes (quarantined 3, fault-injected 4, role-denied 7, the rest 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// The request carried a malformed XPath.
+    Parse,
+    /// The session's role may not issue this request kind.
+    RoleDenied,
+    /// The per-role token bucket was empty (wire layer only).
+    RateLimited,
+    /// The engine is in read-only quarantine.
+    Quarantined,
+    /// An injected fault surfaced without being absorbed.
+    FaultInjected,
+    /// Transport-level violation (bad frame, handshake failure). Only
+    /// produced by the wire layer.
+    Protocol,
+    /// The server is draining for shutdown.
+    Shutdown,
+    /// Anything else.
+    Internal,
+}
+
+impl ErrorKind {
+    /// Every kind, in wire-code order.
+    pub const ALL: [ErrorKind; 8] = [
+        ErrorKind::Parse,
+        ErrorKind::RoleDenied,
+        ErrorKind::RateLimited,
+        ErrorKind::Quarantined,
+        ErrorKind::FaultInjected,
+        ErrorKind::Protocol,
+        ErrorKind::Shutdown,
+        ErrorKind::Internal,
+    ];
+
+    /// Stable one-byte wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            ErrorKind::Parse => 1,
+            ErrorKind::RoleDenied => 2,
+            ErrorKind::RateLimited => 3,
+            ErrorKind::Quarantined => 4,
+            ErrorKind::FaultInjected => 5,
+            ErrorKind::Protocol => 6,
+            ErrorKind::Shutdown => 7,
+            ErrorKind::Internal => 8,
+        }
+    }
+
+    /// Inverse of [`ErrorKind::code`].
+    pub fn from_code(code: u8) -> Option<ErrorKind> {
+        ErrorKind::ALL.into_iter().find(|k| k.code() == code)
+    }
+
+    /// The canonical spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::RoleDenied => "role_denied",
+            ErrorKind::RateLimited => "rate_limited",
+            ErrorKind::Quarantined => "quarantined",
+            ErrorKind::FaultInjected => "fault_injected",
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::Shutdown => "shutdown",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One answer from the serving engine. Every [`Request`] produces
+/// exactly one `Response`; failures are data (`Response::Error`), never
+/// transport errors, so the wire layer can stay a codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Response {
+    /// Answer to a [`Request::Query`].
+    Decision {
+        /// All-or-nothing outcome.
+        granted: bool,
+        /// Nodes the query selected (regardless of outcome).
+        nodes: u64,
+        /// Epoch of the snapshot that answered.
+        epoch: u64,
+    },
+    /// Answer to a guarded [`Request::Delete`] / [`Request::Insert`].
+    Update {
+        /// False when the write-access check refused the update.
+        applied: bool,
+        /// Elements removed (deletes).
+        removed: u64,
+        /// Elements inserted (inserts).
+        inserted: u64,
+        /// Sign writes the re-annotation performed.
+        sign_writes: u64,
+        /// Nodes the refused guard decision selected; 0 when applied.
+        denied_nodes: u64,
+        /// Epoch after the update (unchanged when denied).
+        epoch: u64,
+    },
+    /// Answer to a [`Request::Status`].
+    Status {
+        /// The engine's backend name, e.g. `native/xml`.
+        backend: String,
+        /// Published epoch.
+        epoch: u64,
+        /// Accessible-node count at that epoch.
+        accessible: u64,
+        /// True once the engine is read-only.
+        quarantined: bool,
+    },
+    /// Answer to a [`Request::Metrics`].
+    Metrics {
+        /// The engine's rendered metrics report
+        /// ([`crate::MetricsSnapshot::render`]).
+        rendered: String,
+    },
+    /// The request failed; `kind` is the closed classification.
+    Error {
+        /// What went wrong.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Build the typed error answer for an engine [`Error`].
+    pub fn from_error(e: &Error) -> Response {
+        let kind = match e {
+            Error::XPath(_) => ErrorKind::Parse,
+            Error::Quarantined { .. } => ErrorKind::Quarantined,
+            Error::FaultInjected { .. } => ErrorKind::FaultInjected,
+            _ => ErrorKind::Internal,
+        };
+        Response::Error { kind, message: e.to_string() }
+    }
+
+    /// True when the response reports a failure.
+    pub fn is_error(&self) -> bool {
+        matches!(self, Response::Error { .. })
+    }
+
+    /// The error kind, when the response is one.
+    pub fn error_kind(&self) -> Option<ErrorKind> {
+        match self {
+            Response::Error { kind, .. } => Some(*kind),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_parsing_round_trips_and_reports_valid_names() {
+        for role in Role::ALL {
+            assert_eq!(Role::parse(role.name()).unwrap(), role);
+            assert_eq!(role.to_string().parse::<Role>().unwrap(), role);
+        }
+        let err = Role::parse("root").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "system error: unknown role `root` (valid roles: reader, writer, admin)"
+        );
+    }
+
+    #[test]
+    fn role_admission_matrix() {
+        let query = Request::query("//a");
+        let delete = Request::delete("//a");
+        let insert = Request::insert("//a", "b", None);
+        let status = Request::Status;
+        let metrics = Request::Metrics;
+        for role in Role::ALL {
+            assert!(role.allows(&query));
+            assert!(role.allows(&status));
+        }
+        assert!(!Role::Reader.allows(&delete));
+        assert!(!Role::Reader.allows(&insert));
+        assert!(Role::Writer.allows(&delete));
+        assert!(Role::Writer.allows(&insert));
+        assert!(!Role::Reader.allows(&metrics));
+        assert!(!Role::Writer.allows(&metrics));
+        assert!(Role::Admin.allows(&metrics));
+    }
+
+    #[test]
+    fn error_kind_codes_round_trip() {
+        for kind in ErrorKind::ALL {
+            assert_eq!(ErrorKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(ErrorKind::from_code(0), None);
+        assert_eq!(ErrorKind::from_code(255), None);
+    }
+
+    #[test]
+    fn engine_errors_map_to_typed_kinds() {
+        let parse = Error::XPath("bad".into());
+        assert_eq!(Response::from_error(&parse).error_kind(), Some(ErrorKind::Parse));
+        let q = Error::Quarantined { last_good_epoch: 3, cause: "x".into() };
+        assert_eq!(Response::from_error(&q).error_kind(), Some(ErrorKind::Quarantined));
+        let fi = Error::FaultInjected { point: "after_delete".into() };
+        assert_eq!(Response::from_error(&fi).error_kind(), Some(ErrorKind::FaultInjected));
+        let sys = Error::System("x".into());
+        assert_eq!(Response::from_error(&sys).error_kind(), Some(ErrorKind::Internal));
+        assert!(Response::from_error(&sys).is_error());
+    }
+}

@@ -63,7 +63,7 @@ cargo run --release -q -p xac-bench --bin figures -- fault-recovery
 test -s BENCH_fault_recovery.json
 
 echo "== obs: traced serve-bench smoke =="
-cargo run --release -q -p xac-serve --bin xmlac -- serve-bench \
+cargo run --release -q -p xac-net --bin xmlac -- serve-bench \
     --schema data/hospital.dtd --policy data/hospital.pol --doc data/figure2.xml \
     --query "//patient/name" --readers 2 --reads 50 --delete "//regular" \
     --trace-out target/obs_trace.json --metrics-out target/obs_metrics.prom \
@@ -72,7 +72,7 @@ test -s target/obs_trace.json
 test -s target/obs_metrics.prom
 
 echo "== obs: exporter output validates (Prometheus exposition + trace JSON) =="
-cargo run --release -q -p xac-serve --bin xmlac -- obs check \
+cargo run --release -q -p xac-net --bin xmlac -- obs check \
     --metrics target/obs_metrics.prom --trace target/obs_trace.json
 
 echo "== obs: figures artifact (includes <2% tracing-off overhead assert) =="
@@ -87,7 +87,7 @@ for pol in data/*.pol examples/policies/*.pol; do
     case "$pol" in
     examples/policies/flawed_all5.pol)
         # Must fail with errors (exit 5) and report all five codes.
-        out=$(cargo run --release -q -p xac-serve --bin xmlac -- analyze \
+        out=$(cargo run --release -q -p xac-net --bin xmlac -- analyze \
             --policy "$pol" --schema data/hospital.dtd --format json \
             --deny warn) && {
             echo "ci.sh: $pol unexpectedly passed the analyzer"
@@ -109,14 +109,14 @@ for pol in data/*.pol examples/policies/*.pol; do
         done
         ;;
     *)
-        cargo run --release -q -p xac-serve --bin xmlac -- analyze \
+        cargo run --release -q -p xac-net --bin xmlac -- analyze \
             --policy "$pol" --schema data/hospital.dtd --deny warn > /dev/null
         ;;
     esac
 done
 
 echo "== analyze: dynamic trigger-soundness audit on the paper instance =="
-cargo run --release -q -p xac-serve --bin xmlac -- analyze \
+cargo run --release -q -p xac-net --bin xmlac -- analyze \
     --policy data/hospital.pol --schema data/hospital.dtd \
     --doc data/figure2.xml --format json --deny warn \
     --out target/analyze_hospital.json
@@ -127,5 +127,49 @@ echo "== analyze: figures artifact =="
 cargo run --release -q -p xac-bench --bin figures -- analyze
 test -s BENCH_analyze.json
 grep -q '"sound": true' BENCH_analyze.json
+
+echo "== net: lint-clean under -D warnings =="
+cargo clippy -p xac-net -- -D warnings
+
+echo "== net: loopback smoke (server + client, exit-code contract) =="
+# A real server process on a free port, exercised by real client
+# processes: a read (exit 0), a guarded write (exit 0), and a
+# role-denied write attempt (exit 7).
+rm -f target/net_addr.txt
+cargo run --release -q -p xac-net --bin xmlac -- serve \
+    --schema data/hospital.dtd --policy data/hospital.pol --doc data/figure2.xml \
+    --addr-file target/net_addr.txt --linger-ms 15000 > /dev/null &
+server_pid=$!
+tries=0
+while [ ! -s target/net_addr.txt ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "ci.sh: server never wrote its address file"
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat target/net_addr.txt)
+cargo run --release -q -p xac-net --bin xmlac -- client \
+    --addr "$addr" --query "//patient/name" status > /dev/null
+cargo run --release -q -p xac-net --bin xmlac -- client \
+    --addr "$addr" --role writer --delete "//regular" > /dev/null
+denied=0
+cargo run --release -q -p xac-net --bin xmlac -- client \
+    --addr "$addr" --role reader --delete "//med" > /dev/null 2>&1 || denied=$?
+if [ "$denied" -ne 7 ]; then
+    echo "ci.sh: denied-role client exited $denied, expected 7"
+    exit 1
+fi
+wait "$server_pid"
+
+echo "== net: wire bench artifact =="
+cargo run --release -q -p xac-net --bin xmlac -- serve-bench \
+    --schema data/hospital.dtd --policy data/hospital.pol --doc data/figure2.xml \
+    --query "//patient/name" --query "//med" --net 3 --reads 50 \
+    --delete "//regular" --out BENCH_net.json > /dev/null
+test -s BENCH_net.json
+grep -q '"bench": "net"' BENCH_net.json
+grep -q '"wire_errors": 0' BENCH_net.json
 
 echo "ci.sh: all green"

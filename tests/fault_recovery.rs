@@ -19,7 +19,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use xac_core::{Error, FaultPlan, GuardedUpdate, System};
-use xac_serve::{BackendKind, ServeEngine};
+use xac_serve::{BackendKind, Request, Response, ServeEngine};
 use xac_policy::policy::hospital_policy;
 use xac_xmlgen::{figure2_document, hospital_schema};
 
@@ -265,7 +265,13 @@ fn quarantine_scenario(kind: BackendKind, restore_action: &str) {
     // Reads survive, frozen at the last-good epoch.
     assert_eq!(engine.epoch(), last_good_epoch, "{label}");
     assert_eq!(engine.accessible_count(), accessible, "{label}");
-    assert!(engine.query_str("//patient/name").unwrap().granted(), "{label}");
+    assert!(
+        matches!(
+            engine.serve(&Request::query("//patient/name")),
+            Response::Decision { granted: true, .. }
+        ),
+        "{label}"
+    );
     // Writes are rejected with the structured error, and counted.
     let rejected = apply_op(&engine, &write_sequence()[4]).unwrap_err();
     assert!(matches!(rejected, Error::Quarantined { .. }), "{label}: {rejected}");

@@ -1,0 +1,240 @@
+//! Loopback differential suite: the wire path must be a pure codec.
+//!
+//! Two engines are built from identical systems; one is fronted by a
+//! real TCP server, the other driven in process through
+//! `ServeEngine::serve_as`. The same scenario — queries, an applied
+//! delete, a guard-denied delete, an insert, a denied-role attempt,
+//! status — runs on both, and every wire [`Response`] must equal the
+//! in-process one (`Response` is `Eq`, and the codec round-trips
+//! bit-exactly, so equal values *are* equal bytes). Afterwards the two
+//! engines' full sign states must be byte-identical, on all three
+//! backends. A second leg repeats the exercise with a network fault
+//! plan armed on the client — requests the faults eat never reach
+//! either engine, and the surviving ones still match.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+use xac_core::{FaultPlan, System};
+use xac_net::{split_net_plan, NetClient, NetServer, ServerConfig, WireError};
+use xac_policy::policy::hospital_policy;
+use xac_serve::{BackendKind, ErrorKind, Request, Response, Role, ServeEngine};
+use xac_xmlgen::{figure2_document, hospital_schema};
+
+fn system() -> System {
+    System::builder(hospital_schema(), hospital_policy(), figure2_document())
+        .build()
+        .unwrap()
+}
+
+fn engine(kind: BackendKind) -> Arc<ServeEngine> {
+    Arc::new(ServeEngine::for_kind(Arc::new(system()), kind).unwrap())
+}
+
+fn sign_state(engine: &ServeEngine) -> BTreeMap<i64, char> {
+    engine.with_writer(|b| b.sign_state().unwrap()).unwrap()
+}
+
+/// The differential scenario: (role, request) steps covering every
+/// request kind, applied and denied updates, and a role refusal.
+fn scenario() -> Vec<(Role, Request)> {
+    vec![
+        (Role::Reader, Request::query("//patient/name")),
+        (Role::Reader, Request::query("//med")),
+        (Role::Reader, Request::Status),
+        // Role refusal: answered before the engine, identically on both
+        // paths.
+        (Role::Reader, Request::delete("//regular")),
+        // Guard-denied delete: reaches the engine, is refused by the
+        // write-access check.
+        (Role::Writer, Request::delete("//med")),
+        // Applied update: re-annotates and publishes a new epoch.
+        (Role::Writer, Request::delete("//regular")),
+        (Role::Reader, Request::query("//regular")),
+        (Role::Writer, Request::insert("//patient[psn = \"099\"]", "treatment", None)),
+        // Malformed query: typed parse error, engine untouched.
+        (Role::Reader, Request::query("//[broken")),
+        (Role::Reader, Request::Status),
+    ]
+}
+
+fn differential(kind: BackendKind) {
+    let wire_engine = engine(kind);
+    let ref_engine = engine(kind);
+    let server = NetServer::start(Arc::clone(&wire_engine), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // One session per role, as a real deployment would hold them.
+    let mut sessions: BTreeMap<&'static str, NetClient> = BTreeMap::new();
+    for (i, (role, req)) in scenario().into_iter().enumerate() {
+        let session = sessions.entry(role.name()).or_insert_with(|| {
+            NetClient::connect(addr, role).unwrap_or_else(|e| {
+                panic!("{}: cannot connect as {role}: {e}", kind.cli_name())
+            })
+        });
+        let over_wire = session
+            .request(&req)
+            .unwrap_or_else(|e| panic!("{}: step {i} broke the wire: {e}", kind.cli_name()));
+        let in_process = ref_engine.serve_as(role, &req);
+        assert_eq!(
+            over_wire,
+            in_process,
+            "{}: step {i} ({role} {}) diverged between wire and in-process",
+            kind.cli_name(),
+            req.verb()
+        );
+    }
+    for (_, session) in sessions {
+        session.close();
+    }
+    server.shutdown();
+
+    assert_eq!(
+        sign_state(&wire_engine),
+        sign_state(&ref_engine),
+        "{}: sign state diverged after the scenario",
+        kind.cli_name()
+    );
+    assert_eq!(wire_engine.epoch(), ref_engine.epoch(), "{}", kind.cli_name());
+
+    // The engines did identical work, so their metrics agree on every
+    // request-outcome counter (the role refusal never reached either).
+    let (wm, rm) = (wire_engine.metrics(), ref_engine.metrics());
+    assert_eq!(wm.reads_issued(), rm.reads_issued(), "{}", kind.cli_name());
+    assert_eq!(wm.updates_applied, rm.updates_applied, "{}", kind.cli_name());
+    assert_eq!(wm.updates_denied, rm.updates_denied, "{}", kind.cli_name());
+    assert_eq!(wm.read_errors, rm.read_errors, "{}", kind.cli_name());
+}
+
+#[test]
+fn wire_equals_in_process_native() {
+    differential(BackendKind::Native);
+}
+
+#[test]
+fn wire_equals_in_process_row() {
+    differential(BackendKind::Row);
+}
+
+#[test]
+fn wire_equals_in_process_column() {
+    differential(BackendKind::Column);
+}
+
+/// The same differential discipline under a network fault plan: the
+/// oversized frame and the mid-frame disconnect each eat one request
+/// before it reaches the engine, the slow client within the timeout is
+/// served normally, and everything that *was* served matches the
+/// in-process reference — including the final sign state.
+fn differential_with_net_faults(kind: BackendKind) {
+    let wire_engine = engine(kind);
+    let ref_engine = engine(kind);
+    let server = NetServer::start(
+        Arc::clone(&wire_engine),
+        ServerConfig { read_timeout: Duration::from_secs(2), ..ServerConfig::default() },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Mixed plan, as `--fault-plan` would carry it: the net half arms
+    // the client, the backend half (empty here) the engine.
+    let mixed =
+        FaultPlan::parse("net_oversized_frame,net_mid_frame_disconnect,net_slow_client")
+            .unwrap();
+    let (backend_half, net_half) = split_net_plan(&mixed);
+    assert!(backend_half.is_exhausted(), "no backend points in this plan");
+    assert_eq!(net_half.specs().len(), 3);
+
+    // Each fault kills (or spends) its session, so each leg arms a
+    // fresh connection with its own single-point slice of the plan.
+    let leg = |point: &str| {
+        NetClient::connect_with(
+            addr,
+            Role::Writer,
+            FaultPlan::parse(point).unwrap(),
+            // Stalls inside the server's patience: the slow leg must
+            // still be served.
+            Duration::from_millis(50),
+        )
+        .unwrap()
+    };
+
+    // Leg 1 — oversized frame eats the query before it is ever sent:
+    // typed protocol error, engine untouched on both sides.
+    let mut session = leg("net_oversized_frame");
+    match session.query("//patient/name").unwrap() {
+        Response::Error { kind: ErrorKind::Protocol, .. } => {}
+        other => panic!("{}: expected protocol error, got {other:?}", kind.cli_name()),
+    }
+    assert!(session.is_dead());
+
+    // Leg 2 — mid-frame disconnect tears the delete; it must NOT have
+    // reached the engine (no half-applied update, no epoch bump).
+    session = leg("net_mid_frame_disconnect");
+    let epoch_before = wire_engine.epoch();
+    assert_eq!(session.delete("//regular"), Err(WireError::Closed));
+    assert_eq!(wire_engine.epoch(), epoch_before, "{}", kind.cli_name());
+
+    // Leg 3 — slow client inside the timeout: served normally.
+    session = leg("net_slow_client");
+    let over_wire = session.query("//patient/name").unwrap();
+    assert_eq!(
+        over_wire,
+        ref_engine.serve_as(Role::Reader, &Request::query("//patient/name")),
+        "{}",
+        kind.cli_name()
+    );
+
+    // The plan is spent; the delete now goes through on both engines.
+    let wire_delete = session.delete("//regular").unwrap();
+    let ref_delete = ref_engine.serve_as(Role::Writer, &Request::delete("//regular"));
+    assert_eq!(wire_delete, ref_delete, "{}", kind.cli_name());
+    assert!(matches!(wire_delete, Response::Update { applied: true, .. }));
+
+    session.close();
+    server.shutdown();
+
+    assert_eq!(
+        sign_state(&wire_engine),
+        sign_state(&ref_engine),
+        "{}: sign state diverged under the net fault plan",
+        kind.cli_name()
+    );
+    // The engine never saw the eaten requests: reads match the
+    // reference exactly (fault handling is transport-level).
+    assert_eq!(
+        wire_engine.metrics().reads_issued(),
+        ref_engine.metrics().reads_issued(),
+        "{}",
+        kind.cli_name()
+    );
+}
+
+#[test]
+fn net_faults_differential_native() {
+    differential_with_net_faults(BackendKind::Native);
+}
+
+#[test]
+fn net_faults_differential_row() {
+    differential_with_net_faults(BackendKind::Row);
+}
+
+#[test]
+fn net_faults_differential_column() {
+    differential_with_net_faults(BackendKind::Column);
+}
+
+/// `split_net_plan` partitions a mixed plan faithfully: order, actions
+/// and counts survive, and nothing is lost or duplicated.
+#[test]
+fn split_net_plan_partitions_mixed_plans() {
+    let mixed = FaultPlan::parse(
+        "after_delete:panic,net_slow_client,mid_reannotate@3:error*2,net_oversized_frame+1",
+    )
+    .unwrap();
+    let (backend, net) = split_net_plan(&mixed);
+    assert_eq!(backend.to_string(), "after_delete:panic,mid_reannotate@3:error*2");
+    assert_eq!(net.to_string(), "net_slow_client:error,net_oversized_frame:error+1");
+    assert_eq!(backend.specs().len() + net.specs().len(), mixed.specs().len());
+}

@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Barrier};
 use xac_core::{Backend, System};
 use xac_policy::policy::hospital_policy;
-use xac_serve::{BackendKind, ServeEngine};
+use xac_serve::{BackendKind, Request, Response, ServeEngine};
 use xac_xmlgen::{figure2_document, hospital_schema};
 use xac_xpath::Path;
 
@@ -50,11 +50,10 @@ fn write_sequence() -> Vec<Op> {
     ]
 }
 
+const READ_QUERIES: [&str; 4] = ["//patient/name", "//patient", "//psn", "//regular"];
+
 fn read_paths() -> Vec<Path> {
-    ["//patient/name", "//patient", "//psn", "//regular"]
-        .iter()
-        .map(|q| xac_xpath::parse(q).unwrap())
-        .collect()
+    READ_QUERIES.iter().map(|q| xac_xpath::parse(q).unwrap()).collect()
 }
 
 /// State the replay had at one epoch: accessible count plus the decision
@@ -134,10 +133,15 @@ fn concurrent_serve(kind: BackendKind) {
                 let mut last_epoch = 0;
                 for i in 0..READS_PER_READER {
                     let idx = (i + reader) % paths.len();
-                    // Snapshot + query on *that* snapshot: decision and
-                    // count belong to one epoch by construction; the
-                    // engine's metrics still count it via query_observed.
-                    let (decision, epoch) = engine.query_observed(&paths[idx]);
+                    // The unified request path: decision and epoch come
+                    // from one response, so they belong to one snapshot
+                    // by construction, and the engine's metrics count
+                    // the read.
+                    let (granted, epoch) =
+                        match engine.serve(&Request::query(READ_QUERIES[idx])) {
+                            Response::Decision { granted, epoch, .. } => (granted, epoch),
+                            other => panic!("query answered with {other:?}"),
+                        };
                     let snap = engine.snapshot();
                     assert!(
                         epoch >= last_epoch,
@@ -146,7 +150,7 @@ fn concurrent_serve(kind: BackendKind) {
                     last_epoch = epoch;
                     // The separately-fetched snapshot is itself consistent.
                     let count = snap.accessible_count();
-                    seen.push((idx, epoch, decision.granted(), count));
+                    seen.push((idx, epoch, granted, count));
                     let _ = snap;
                 }
                 seen
