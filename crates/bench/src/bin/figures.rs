@@ -1065,6 +1065,42 @@ fn fault_recovery(factors: &[f64]) {
             record(f, name, elements, "checkpoint", Some(cp_d), &mut csv, &mut json);
             record(f, name, elements, "restore", Some(rs_d), &mut csv, &mut json);
 
+            // The durable engine's counterpart: committing one guarded
+            // update through the WAL (op record + sign diff + fsync +
+            // dirty-page writeback) replaces the clone checkpoint
+            // entirely. O(diff) work, not O(document) — flat where the
+            // clone rows above grow with the element count.
+            let ddir = std::env::temp_dir()
+                .join(format!("xac_bench_wal_{}_{f}_{name}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&ddir);
+            std::fs::create_dir_all(&ddir).expect("bench data dir");
+            let mut dur = xac_serve::Durability::fresh(
+                &xac_serve::DurabilityConfig::new(&ddir),
+                FaultPlan::new(),
+                b.name(),
+                system.annotate_mode().name(),
+                &b.sign_state().expect("signs"),
+                b.epoch(),
+            )
+            .expect("durability");
+            let mut committed = None;
+            for u in &updates {
+                let g = system.guarded_delete(b.as_mut(), u).expect("guarded delete");
+                if !g.applied() {
+                    continue;
+                }
+                let op = xac_serve::LoggedOp::Delete { path: u.to_string() };
+                let signs = b.sign_state().expect("signs");
+                let epoch = b.epoch();
+                let (_, d) = time(|| dur.log_txn(&op, &signs, epoch).expect("log txn"));
+                committed = Some(d);
+                break;
+            }
+            assert!(committed.is_some(), "{name}: no update applied for the wal row");
+            record(f, name, elements, "checkpoint_wal", committed, &mut csv, &mut json);
+            drop(dur);
+            let _ = std::fs::remove_dir_all(&ddir);
+
             // Ladder rung latency: the wall time of the guarded update
             // during which the armed fault fires (recovery included).
             for (metric, plan) in RUNGS {
@@ -1104,10 +1140,12 @@ fn fault_recovery(factors: &[f64]) {
     std::fs::write("BENCH_fault_recovery.json", &json).expect("write json");
     println!("  [json -> BENCH_fault_recovery.json]");
     println!(
-        "(checkpoint/restore = the fixed per-rollback costs, growing with\n \
-         document size; recover_* rows time the guarded update on which the\n \
-         armed fault fired — the full-fallback rung re-annotates in place,\n \
-         the rollback rung additionally restores the checkpoint and\n \
+        "(checkpoint/restore = the fixed per-rollback costs of the clone\n \
+         image, growing with document size; checkpoint_wal = the durable\n \
+         engine's per-update commit — O(sign diff), flat across sizes;\n \
+         recover_* rows time the guarded update on which the armed fault\n \
+         fired — the full-fallback rung re-annotates in place, the\n \
+         rollback rung additionally restores the checkpoint and\n \
          re-publishes, the quarantine rung is the terminal read-only fall\n \
          back when the restore itself fails)"
     );

@@ -91,6 +91,17 @@ pub trait Backend {
     /// byte-identical comparisons across write paths and serving modes.
     fn sign_state(&mut self) -> Result<BTreeMap<i64, char>>;
 
+    /// Overwrite the materialized sign state wholesale with `signs`
+    /// (the [`Backend::sign_state`] encoding), leaving document
+    /// structure untouched. The WAL recovery path: after replaying
+    /// structural operations, the serving durability layer folds the
+    /// log's sign records into a map and applies it here in one pass.
+    /// The epoch strictly advances past both the current epoch and
+    /// `min_epoch` (the last committed epoch from the log), so epoch
+    /// numbers are never reused for possibly-different state across a
+    /// crash — same invariant as [`Backend::restore`].
+    fn apply_sign_state(&mut self, signs: &BTreeMap<i64, char>, min_epoch: u64) -> Result<()>;
+
     /// Capture a complete state image at the current epoch: document +
     /// sign map for the native store, table image + shredding state for
     /// the relational ones. Deep copy — cost is linear in document size
@@ -149,6 +160,9 @@ impl<B: Backend + ?Sized> Backend for Box<B> {
     }
     fn sign_state(&mut self) -> Result<BTreeMap<i64, char>> {
         (**self).sign_state()
+    }
+    fn apply_sign_state(&mut self, signs: &BTreeMap<i64, char>, min_epoch: u64) -> Result<()> {
+        (**self).apply_sign_state(signs, min_epoch)
     }
     fn checkpoint(&mut self) -> Result<Checkpoint> {
         (**self).checkpoint()
@@ -797,6 +811,26 @@ impl Backend for RelationalBackend {
         self.sign_map()
     }
 
+    fn apply_sign_state(&mut self, signs: &BTreeMap<i64, char>, min_epoch: u64) -> Result<()> {
+        // `signs` is a complete `sign_state` image (every live tuple
+        // carries a sign in the relational encoding), so two batched
+        // partitioned writes cover the whole map.
+        let mut plus = BTreeSet::new();
+        let mut minus = BTreeSet::new();
+        for (&id, &sign) in signs {
+            if sign == '+' {
+                plus.insert(id);
+            } else {
+                minus.insert(id);
+            }
+        }
+        self.write_signs(&minus, '-')?;
+        self.write_signs(&plus, '+')?;
+        self.epoch = self.epoch.max(min_epoch) + 1;
+        self.accessible_cache = None;
+        Ok(())
+    }
+
     fn checkpoint(&mut self) -> Result<Checkpoint> {
         Ok(Checkpoint {
             epoch: self.epoch,
@@ -1087,6 +1121,15 @@ impl Backend for NativeXmlBackend {
             .all_elements()
             .filter_map(|n| sdoc.sign_of(n).map(|s| (n.index() as i64, s)))
             .collect())
+    }
+
+    fn apply_sign_state(&mut self, signs: &BTreeMap<i64, char>, min_epoch: u64) -> Result<()> {
+        // The native encoding is sparse (only explicitly-annotated
+        // nodes appear), so the store clears everything and re-annotates
+        // exactly the mapped nodes.
+        self.sdoc_mut()?.apply_sign_map(signs);
+        self.epoch = self.epoch.max(min_epoch) + 1;
+        Ok(())
     }
 
     fn checkpoint(&mut self) -> Result<Checkpoint> {

@@ -64,6 +64,18 @@ pub enum Error {
         /// What drove the engine into quarantine.
         cause: String,
     },
+    /// Durable-storage (pager/WAL) failure. Produced by the `xac-serve`
+    /// durability layer wrapping `xac-store` errors, so pager and WAL
+    /// I/O failures flow through the degradation ladder as structured
+    /// errors instead of panics, and the CLI can give them a stable
+    /// exit code.
+    Storage {
+        /// The storage failure class (`io`, `checksum`, `torn_write`,
+        /// `corrupt` — `xac_store::StoreErrorKind` spellings).
+        source_kind: String,
+        /// What was being attempted, with paths/offsets where useful.
+        context: String,
+    },
     /// System-level misuse not covered by a structured variant.
     System(String),
 }
@@ -96,6 +108,9 @@ impl fmt::Display for Error {
                 "engine quarantined (read-only, serving last-good epoch \
                  {last_good_epoch}): {cause}"
             ),
+            Error::Storage { source_kind, context } => {
+                write!(f, "storage {source_kind} error: {context}")
+            }
             Error::System(m) => write!(f, "system error: {m}"),
         }
     }

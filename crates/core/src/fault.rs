@@ -71,12 +71,32 @@ pub enum FaultPoint {
     /// length exceeds the server's frame-size cap. Client-side, action
     /// ignored (see [`FaultPoint::NetSlowClient`]).
     NetOversizedFrame,
+    /// Storage harness: crash after the transaction's WAL records are
+    /// appended but before the commit record — recovery must roll the
+    /// transaction back. Fired by the `xac-serve` durability layer,
+    /// never by [`FaultingBackend`].
+    WalBeforeCommit,
+    /// Storage harness: crash mid-append, leaving a torn (partial,
+    /// CRC-failing) record at the log's tail — the reopen scan must
+    /// detect and truncate it. Durability-layer-fired (see
+    /// [`FaultPoint::WalBeforeCommit`]).
+    WalMidRecord,
+    /// Storage harness: crash mid-page-write *after* commit, leaving a
+    /// checksum-failing page on disk — recovery must rebuild the page
+    /// from the WAL, and the committed transaction must survive.
+    /// Durability-layer-fired (see [`FaultPoint::WalBeforeCommit`]).
+    PageTornWrite,
+    /// Storage harness: crash partway through the multi-page checkpoint
+    /// flush *after* commit — some dirty pages written, the rest stale.
+    /// Recovery reconciles from the WAL. Durability-layer-fired (see
+    /// [`FaultPoint::WalBeforeCommit`]).
+    CheckpointMidFlush,
 }
 
 impl FaultPoint {
     /// Every fault point, in lifecycle order (the sweep test iterates
     /// this).
-    pub const ALL: [FaultPoint; 14] = [
+    pub const ALL: [FaultPoint; 18] = [
         FaultPoint::BeforeAnnotate,
         FaultPoint::BeforeDelete,
         FaultPoint::AfterDelete,
@@ -91,6 +111,10 @@ impl FaultPoint {
         FaultPoint::NetSlowClient,
         FaultPoint::NetMidFrameDisconnect,
         FaultPoint::NetOversizedFrame,
+        FaultPoint::WalBeforeCommit,
+        FaultPoint::WalMidRecord,
+        FaultPoint::PageTornWrite,
+        FaultPoint::CheckpointMidFlush,
     ];
 
     /// The network fault points, fired by the `xac-net` client-side
@@ -101,9 +125,26 @@ impl FaultPoint {
         FaultPoint::NetOversizedFrame,
     ];
 
+    /// The durable-storage fault points, fired by the `xac-serve`
+    /// durability layer (WAL + pager) rather than by
+    /// [`FaultingBackend`]. The first two fire *before* the commit
+    /// record (the crashed transaction must roll back); the last two
+    /// fire *after* it (the transaction must survive recovery).
+    pub const STORAGE: [FaultPoint; 4] = [
+        FaultPoint::WalBeforeCommit,
+        FaultPoint::WalMidRecord,
+        FaultPoint::PageTornWrite,
+        FaultPoint::CheckpointMidFlush,
+    ];
+
     /// True for the points in [`FaultPoint::NET`].
     pub fn is_net(self) -> bool {
         FaultPoint::NET.contains(&self)
+    }
+
+    /// True for the points in [`FaultPoint::STORAGE`].
+    pub fn is_storage(self) -> bool {
+        FaultPoint::STORAGE.contains(&self)
     }
 
     /// The canonical spelling used in plans, errors and panic payloads.
@@ -123,6 +164,10 @@ impl FaultPoint {
             FaultPoint::NetSlowClient => "net_slow_client",
             FaultPoint::NetMidFrameDisconnect => "net_mid_frame_disconnect",
             FaultPoint::NetOversizedFrame => "net_oversized_frame",
+            FaultPoint::WalBeforeCommit => "wal_before_commit",
+            FaultPoint::WalMidRecord => "wal_mid_record",
+            FaultPoint::PageTornWrite => "page_torn_write",
+            FaultPoint::CheckpointMidFlush => "checkpoint_mid_flush",
         }
     }
 
@@ -559,6 +604,13 @@ impl<B: Backend> Backend for FaultingBackend<B> {
 
     fn sign_state(&mut self) -> Result<BTreeMap<i64, char>> {
         self.inner.sign_state()
+    }
+
+    /// Transparent: the storage points ([`FaultPoint::STORAGE`]) are
+    /// fired by the durability layer around its own WAL/page writes,
+    /// not here.
+    fn apply_sign_state(&mut self, signs: &BTreeMap<i64, char>, min_epoch: u64) -> Result<()> {
+        self.inner.apply_sign_state(signs, min_epoch)
     }
 
     fn checkpoint(&mut self) -> Result<Checkpoint> {

@@ -8,11 +8,13 @@
 //! xmlac query       --schema h.dtd --policy p.pol --doc d.xml --query "//patient" [...]
 //! xmlac update      --schema h.dtd --policy p.pol --doc d.xml --delete "//treatment" [--query "//patient"]
 //! xmlac serve       --schema h.dtd --policy p.pol --doc d.xml [--listen 127.0.0.1:0] \
+//!                   [--data-dir DIR] [--wal sync|nosync] \
 //!                   [--addr-file F] [--max-conns N] [--read-timeout-ms N] [--rate-limit N] [--linger-ms N]
 //! xmlac client      --addr HOST:PORT [--role reader|writer|admin] \
 //!                   [--query XPATH]... [--delete XPATH] [--insert PARENT:NAME[:TEXT]] [status] [metrics]
 //! xmlac serve-bench --schema h.dtd --policy p.pol --doc d.xml --query "//patient/name" \
 //!                   [--readers 4] [--reads 200] [--delete XPATH] [--fault-plan SPEC|seed:N[xK]] \
+//!                   [--data-dir DIR] [--wal sync|nosync] \
 //!                   [--net CLIENTS] [--out BENCH_net.json]
 //! xmlac analyze     --policy p.pol [--schema h.dtd] [--doc d.xml] \
 //!                   [--format text|json] [--deny warn] [--audit-updates N]
@@ -25,7 +27,16 @@
 //! ended in read-only quarantine, 4 an injected fault surfaced without
 //! being absorbed by the degradation ladder, 5 `analyze` found errors,
 //! 6 `analyze --deny warn` found warnings, 7 the server refused a
-//! request because the session's role may not issue it.
+//! request because the session's role may not issue it, 8 the durable
+//! storage layer failed (WAL/page I/O, checksum, or a backend-tag
+//! mismatch against an existing data dir).
+//!
+//! `serve` and `serve-bench` take `--data-dir DIR` to run the engine on
+//! the durable storage layer (4 KB pager + write-ahead log): guarded
+//! updates commit through the WAL, rollback replays the log, and a
+//! restart over the same dir recovers the exact committed state.
+//! `--wal sync|nosync` picks whether each commit fsyncs (default
+//! `sync`).
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -34,7 +45,7 @@ use std::time::{Duration, Instant};
 use xac_core::{AnnotateMode, Backend, System};
 use xac_net::{split_net_plan, NetClient, NetServer, ServerConfig};
 use xac_policy::Policy;
-use xac_serve::{BackendKind, ErrorKind, Request, Response, Role, ServeEngine};
+use xac_serve::{BackendKind, DurabilityConfig, ErrorKind, Request, Response, Role, ServeEngine};
 use xac_xml::{parse_dtd, Document, Schema};
 
 fn main() -> ExitCode {
@@ -50,7 +61,8 @@ fn main() -> ExitCode {
 /// A CLI failure with the exit code it maps to. Plain `String` errors
 /// (usage, I/O, parse) convert at code 2; structured core errors keep
 /// their classification so scripts can branch on quarantine (3) vs an
-/// unabsorbed injected fault (4) vs a role refusal (7).
+/// unabsorbed injected fault (4) vs a role refusal (7) vs a storage
+/// failure (8).
 struct CliError {
     message: String,
     code: u8,
@@ -67,6 +79,7 @@ impl From<xac_core::Error> for CliError {
         let code = match &e {
             xac_core::Error::Quarantined { .. } => 3,
             xac_core::Error::FaultInjected { .. } => 4,
+            xac_core::Error::Storage { .. } => 8,
             _ => 2,
         };
         CliError { message: e.to_string(), code }
@@ -130,6 +143,7 @@ fn usage() -> String {
      [--fault-plan SPEC|seed:N[xK]] \
      [--trace-out F] [--metrics-out F]\n\
      serve   --schema F --policy F --doc F [--listen ADDR] [--addr-file F] \
+     [--data-dir DIR] [--wal sync|nosync] \
      [--max-conns N] [--read-timeout-ms N] [--rate-limit N] [--linger-ms N]\n\
      client  --addr HOST:PORT [--role reader|writer|admin] \
      [--query XPATH]... [--delete XPATH] [--insert PARENT:NAME[:TEXT]] [status] [metrics]\n\
@@ -203,6 +217,27 @@ impl Args {
             .annotate_mode(self.annotate_mode()?)
             .build()
             .map_err(CliError::from)
+    }
+
+    /// `--data-dir DIR [--wal sync|nosync]`: the durable storage
+    /// configuration, or `None` to serve from memory. `--wal` without
+    /// `--data-dir` is a usage error (there is no WAL to configure).
+    fn durability(&self) -> CliResult<Option<DurabilityConfig>> {
+        let Some(dir) = self.options.get("data-dir") else {
+            if self.options.contains_key("wal") {
+                return Err("--wal needs --data-dir".to_string().into());
+            }
+            return Ok(None);
+        };
+        let mut config = DurabilityConfig::new(dir);
+        match self.options.get("wal").map(String::as_str) {
+            None | Some("sync") => {}
+            Some("nosync") => config.sync = false,
+            Some(other) => {
+                return Err(format!("--wal takes `sync` or `nosync`, found `{other}`").into())
+            }
+        }
+        Ok(Some(config))
     }
 
     /// `--fault-plan`, split into the backend-side half (armed on the
@@ -619,6 +654,53 @@ fn vm_dump(args: &Args) -> CliResult<()> {
     Ok(())
 }
 
+/// Build an engine on the storage the flags select: durable over
+/// `--data-dir` (the storage half of `--fault-plan` arms the WAL/page
+/// crash seams, the rest the backend) or in-memory otherwise. A reopen
+/// that recovered from the log reports what the replay did.
+fn engine_on_selected_storage(
+    args: &Args,
+    system: Arc<System>,
+    kind: BackendKind,
+    plan: xac_core::FaultPlan,
+) -> CliResult<ServeEngine> {
+    match args.durability()? {
+        Some(config) => {
+            let engine = ServeEngine::durable_with_faults(system, kind, &config, plan)?;
+            match engine.recovery() {
+                Some(r) => println!(
+                    "recovered {} from {}: {} ops replayed, {} sign entries, epoch {}, \
+                     {} wal bytes truncated, {} torn pages repaired",
+                    r.backend,
+                    config.data_dir.display(),
+                    r.ops_replayed,
+                    r.sign_entries,
+                    r.last_epoch,
+                    r.wal_truncated_bytes,
+                    r.torn_pages_repaired,
+                ),
+                None => println!(
+                    "fresh durable boot at {} (wal {})",
+                    config.data_dir.display(),
+                    if config.sync { "sync" } else { "nosync" },
+                ),
+            }
+            Ok(engine)
+        }
+        None => {
+            if plan.specs().iter().any(|s| s.point.is_storage()) {
+                return Err(
+                    "--fault-plan: wal_*/page_*/checkpoint_* points arm the durable \
+                     storage layer; add --data-dir"
+                        .to_string()
+                        .into(),
+                );
+            }
+            Ok(ServeEngine::for_kind_with_faults(system, kind, plan)?)
+        }
+    }
+}
+
 /// Build the serving engine for the network commands, arming the
 /// backend half of `--fault-plan` (the net half belongs to clients and
 /// is rejected here).
@@ -633,7 +715,7 @@ fn build_engine(args: &Args) -> CliResult<Arc<ServeEngine>> {
     }
     let system = Arc::new(args.build_system()?);
     let kind = args.backend_kind()?;
-    Ok(Arc::new(ServeEngine::for_kind_with_faults(system, kind, backend_plan)?))
+    Ok(Arc::new(engine_on_selected_storage(args, system, kind, backend_plan)?))
 }
 
 fn server_config(args: &Args) -> CliResult<ServerConfig> {
@@ -841,7 +923,7 @@ fn serve_bench(args: &Args) -> CliResult<()> {
     if !plan.is_exhausted() {
         install_injected_panic_silencer();
     }
-    let engine = Arc::new(ServeEngine::for_kind_with_faults(system, kind, plan)?);
+    let engine = Arc::new(engine_on_selected_storage(args, system, kind, plan)?);
     let readers = args.count("readers", 4)?;
     let reads = args.count("reads", 200)?;
     let paths: Vec<xac_xpath::Path> = args
@@ -956,7 +1038,7 @@ fn serve_bench_net(args: &Args) -> CliResult<()> {
     let system = Arc::new(args.build_system()?);
     let kind = args.backend_kind()?;
     let engine =
-        Arc::new(ServeEngine::for_kind_with_faults(system, kind, backend_plan)?);
+        Arc::new(engine_on_selected_storage(args, system, kind, backend_plan)?);
     let mut config = server_config(args)?;
     // Keep the cap above the fleet so admission control never skews the
     // numbers unless explicitly configured.

@@ -1,0 +1,520 @@
+//! The durability layer: crash-consistent guarded updates over
+//! `xac-store` (DESIGN.md §4i).
+//!
+//! A [`Durability`] pairs one write-ahead [`Wal`] with one
+//! [`SignPageStore`] and composes them into the commit protocol the
+//! engine runs inside each guarded transaction:
+//!
+//! 1. truncate any dead tail left by an earlier failure
+//!    ([`Wal::abort_to_last_commit`] — cleanup is lazy, so the on-disk
+//!    state at a crash instant *is* the crash state);
+//! 2. append the structural operation record, then one
+//!    `SignSet`/`SignClear` record per sign-map difference;
+//! 3. append the `Commit` boundary and fsync — **the durability
+//!    point**;
+//! 4. write the same differences into the slotted pages and flush the
+//!    dirty ones — O(dirty pages), the durable checkpoint that replaces
+//!    the full-image clone of the non-durable engine.
+//!
+//! Failures before step 3 fail the transaction (the engine's
+//! degradation ladder rolls the backend back by replaying the log);
+//! failures after step 3 are *absorbed* — the commit is durable and
+//! recovery repairs the pages from the log. The four storage fault
+//! points ([`FaultPoint::STORAGE`]) land exactly on those seams:
+//! `wal_mid_record` and `wal_before_commit` pre-commit,
+//! `page_torn_write` and `checkpoint_mid_flush` post-commit.
+//!
+//! The very first annotation is logged as the log's first transaction
+//! (`Meta` + the full sign map + `Commit`), so recovery never re-runs
+//! annotation: it reloads the document, replays the structural
+//! operations in order, folds the sign records into one map, and
+//! applies it wholesale via [`Backend::apply_sign_state`].
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use xac_core::{
+    injected_panic_message, Backend, Error, FaultAction, FaultPlan, FaultPoint, Result, System,
+};
+use xac_store::{PageStore, PagerStats, SignPageStore, StoreError, Wal, WalRecord, WalStats};
+
+/// Where and how the engine persists (CLI: `--data-dir`, `--wal`).
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding the log and page files (created if absent).
+    pub data_dir: PathBuf,
+    /// Fsync on every commit (`--wal sync`, the default) or leave
+    /// durability to the OS (`--wal nosync`).
+    pub sync: bool,
+    /// Buffer-pool capacity of the page store, in pages.
+    pub pool_pages: usize,
+}
+
+impl DurabilityConfig {
+    /// A config with the default knobs (`sync`, 64-page pool).
+    pub fn new(data_dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig { data_dir: data_dir.into(), sync: true, pool_pages: 64 }
+    }
+
+    /// The write-ahead log file.
+    pub fn wal_path(&self) -> PathBuf {
+        self.data_dir.join("xmlac.wal")
+    }
+
+    /// The slotted-page sign-store file.
+    pub fn pages_path(&self) -> PathBuf {
+        self.data_dir.join("signs.pages")
+    }
+}
+
+/// Wrap an `xac-store` failure as the core's structured storage error.
+pub(crate) fn storage_error(e: StoreError) -> Error {
+    Error::Storage { source_kind: e.kind.name().to_string(), context: e.context }
+}
+
+/// True when the log at `config.wal_path()` holds at least one
+/// committed transaction — the boot-vs-recover decision. Opening the
+/// log also truncates any torn tail, so a crash during the very first
+/// (initial-annotation) transaction correctly reads as "no history"
+/// and boots fresh.
+pub(crate) fn has_committed_history(config: &DurabilityConfig) -> Result<bool> {
+    if !config.wal_path().exists() {
+        return Ok(false);
+    }
+    let (_, records) = Wal::open(&config.wal_path()).map_err(storage_error)?;
+    Ok(!records.is_empty())
+}
+
+/// Partition a fault plan into (storage specs, everything else) — the
+/// storage points are fired by [`Durability`] around its own WAL/page
+/// writes, the rest arm the usual
+/// [`FaultingBackend`](xac_core::FaultingBackend) decorator. Same shape
+/// as the net layer's client/server plan split.
+pub fn split_storage_plan(plan: &FaultPlan) -> (FaultPlan, FaultPlan) {
+    let mut storage = FaultPlan::new();
+    let mut rest = FaultPlan::new();
+    for spec in plan.specs() {
+        if spec.point.is_storage() {
+            storage.push(spec.clone());
+        } else {
+            rest.push(spec.clone());
+        }
+    }
+    (storage, rest)
+}
+
+/// A replayable structural operation, mirroring the WAL's `Delete` /
+/// `Insert` records. Paths travel as their XPath spellings (the
+/// [`Display`](std::fmt::Display) of a parsed path re-parses to an
+/// equivalent path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoggedOp {
+    /// A guarded delete of every node the path designates.
+    Delete {
+        /// XPath spelling of the delete path.
+        path: String,
+    },
+    /// A guarded insert under every node the parent path designates.
+    Insert {
+        /// XPath spelling of the parent path.
+        parent: String,
+        /// Element name inserted.
+        name: String,
+        /// Optional text content.
+        text: Option<String>,
+    },
+}
+
+impl LoggedOp {
+    fn to_record(&self) -> WalRecord {
+        match self {
+            LoggedOp::Delete { path } => WalRecord::Delete { path: path.clone() },
+            LoggedOp::Insert { parent, name, text } => WalRecord::Insert {
+                parent: parent.clone(),
+                name: name.clone(),
+                text: text.clone(),
+            },
+        }
+    }
+
+    /// Re-apply this operation to a freshly loaded backend. Replay is
+    /// deterministic: both stores assign ids sequentially, so the same
+    /// operation sequence over the same document reproduces the same
+    /// id space the sign records refer to.
+    fn replay(&self, b: &mut dyn Backend) -> Result<()> {
+        match self {
+            LoggedOp::Delete { path } => {
+                b.delete(&xac_xpath::parse(path)?)?;
+            }
+            LoggedOp::Insert { parent, name, text } => {
+                b.insert(&xac_xpath::parse(parent)?, name, text.as_deref())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The sign-map difference one transaction commits, precomputed by the
+/// caller so the logging/flushing cost measured by the benchmarks is
+/// the storage cost alone.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SignDiff {
+    /// Ids whose sign is new or changed.
+    pub set: Vec<(i64, char)>,
+    /// Ids no longer present (their element was removed).
+    pub clear: Vec<i64>,
+}
+
+impl SignDiff {
+    /// The difference taking `old` to `new`.
+    pub fn between(old: &BTreeMap<i64, char>, new: &BTreeMap<i64, char>) -> SignDiff {
+        let mut diff = SignDiff::default();
+        for (&id, &sign) in new {
+            if old.get(&id) != Some(&sign) {
+                diff.set.push((id, sign));
+            }
+        }
+        for &id in old.keys() {
+            if !new.contains_key(&id) {
+                diff.clear.push(id);
+            }
+        }
+        diff
+    }
+
+    /// Number of entries the diff touches.
+    pub fn len(&self) -> usize {
+        self.set.len() + self.clear.len()
+    }
+
+    /// True when the transaction changed no signs.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty() && self.clear.is_empty()
+    }
+}
+
+/// What a reopen found and repaired; surfaced by
+/// [`ServeEngine::recovery`](crate::ServeEngine::recovery) and printed
+/// by the CLI on restart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Backend tag from the log's `Meta` record.
+    pub backend: String,
+    /// Annotate-mode tag from the log's `Meta` record.
+    pub mode: String,
+    /// Structural operations replayed.
+    pub ops_replayed: usize,
+    /// Entries in the recovered sign map.
+    pub sign_entries: usize,
+    /// Epoch of the last committed transaction.
+    pub last_epoch: u64,
+    /// Torn/uncommitted bytes truncated from the log tail.
+    pub wal_truncated_bytes: u64,
+    /// Pages that failed their checksum and were rebuilt from the log.
+    pub torn_pages_repaired: usize,
+    /// Page entries changed while reconciling pages to the log's map.
+    pub page_entries_repaired: usize,
+}
+
+/// One WAL + one page store + the in-memory mirrors recovery and
+/// rollback rebuild from. Owned by the engine behind a mutex; every
+/// method runs under the writer lock's serialization.
+pub struct Durability {
+    wal: Wal,
+    store: SignPageStore,
+    /// Sign map as of the last committed transaction.
+    committed_signs: BTreeMap<i64, char>,
+    /// Every committed structural operation, in commit order.
+    ops: Vec<LoggedOp>,
+    /// Epoch of the last committed transaction.
+    last_epoch: u64,
+    /// Armed storage fault points (see [`FaultPoint::STORAGE`]).
+    plan: FaultPlan,
+    sync: bool,
+}
+
+impl Durability {
+    /// Fresh boot: the backend was just loaded and fully annotated;
+    /// log that state as the first transaction (`Meta` + the full sign
+    /// map + `Commit`) and materialize it onto pages. Errors if the
+    /// log already holds committed transactions — that state must go
+    /// through [`Durability::recover`] instead.
+    pub fn fresh(
+        config: &DurabilityConfig,
+        plan: FaultPlan,
+        backend: &str,
+        mode: &str,
+        signs: &BTreeMap<i64, char>,
+        epoch: u64,
+    ) -> Result<Durability> {
+        let (mut wal, records) = Wal::open(&config.wal_path()).map_err(storage_error)?;
+        if !records.is_empty() {
+            return Err(Error::Storage {
+                source_kind: "corrupt".to_string(),
+                context: format!(
+                    "refusing to overwrite populated wal {} ({} committed records); \
+                     recover it or remove the data dir",
+                    config.wal_path().display(),
+                    records.len()
+                ),
+            });
+        }
+        wal.append(&WalRecord::Meta { backend: backend.to_string(), mode: mode.to_string() })
+            .map_err(storage_error)?;
+        for (&id, &sign) in signs {
+            wal.append(&WalRecord::SignSet { id, sign }).map_err(storage_error)?;
+        }
+        wal.commit(epoch, config.sync).map_err(storage_error)?;
+        let mut store =
+            SignPageStore::open(&config.pages_path(), config.pool_pages).map_err(storage_error)?;
+        store.reconcile(signs).map_err(storage_error)?;
+        store.flush().map_err(storage_error)?;
+        Ok(Durability {
+            wal,
+            store,
+            committed_signs: signs.clone(),
+            ops: Vec::new(),
+            last_epoch: epoch,
+            plan,
+            sync: config.sync,
+        })
+    }
+
+    /// Reopen after a crash (or clean shutdown — same path): fold the
+    /// committed records, check the `Meta` backend tag against the
+    /// backend being recovered, reload the document, replay the
+    /// structural operations, apply the folded sign map wholesale, and
+    /// repair the pages to it.
+    pub fn recover(
+        config: &DurabilityConfig,
+        plan: FaultPlan,
+        system: &System,
+        b: &mut dyn Backend,
+    ) -> Result<(Durability, RecoveryReport)> {
+        let (wal, records) = Wal::open(&config.wal_path()).map_err(storage_error)?;
+        let wal_truncated_bytes = wal.stats().truncated_bytes;
+        let mut meta: Option<(String, String)> = None;
+        let mut signs = BTreeMap::new();
+        let mut ops = Vec::new();
+        let mut last_epoch = 0u64;
+        for record in records {
+            match record {
+                WalRecord::Meta { backend, mode } => {
+                    meta.get_or_insert((backend, mode));
+                }
+                WalRecord::Delete { path } => ops.push(LoggedOp::Delete { path }),
+                WalRecord::Insert { parent, name, text } => {
+                    ops.push(LoggedOp::Insert { parent, name, text })
+                }
+                WalRecord::SignSet { id, sign } => {
+                    signs.insert(id, sign);
+                }
+                WalRecord::SignClear { id } => {
+                    signs.remove(&id);
+                }
+                WalRecord::Commit { epoch } => last_epoch = epoch,
+            }
+        }
+        let Some((backend_tag, mode_tag)) = meta else {
+            return Err(Error::Storage {
+                source_kind: "corrupt".to_string(),
+                context: format!(
+                    "wal {} holds no Meta record; cannot recover",
+                    config.wal_path().display()
+                ),
+            });
+        };
+        if backend_tag != b.name() {
+            return Err(Error::Storage {
+                source_kind: "corrupt".to_string(),
+                context: format!(
+                    "wal written by backend `{backend_tag}` cannot recover backend `{}`",
+                    b.name()
+                ),
+            });
+        }
+        system.load(b)?;
+        for op in &ops {
+            op.replay(b)?;
+        }
+        b.apply_sign_state(&signs, last_epoch)?;
+        let mut store =
+            SignPageStore::open(&config.pages_path(), config.pool_pages).map_err(storage_error)?;
+        let torn_pages_repaired = store.torn_pages().len();
+        let page_entries_repaired = store.reconcile(&signs).map_err(storage_error)?;
+        store.flush().map_err(storage_error)?;
+        let report = RecoveryReport {
+            backend: backend_tag,
+            mode: mode_tag,
+            ops_replayed: ops.len(),
+            sign_entries: signs.len(),
+            last_epoch,
+            wal_truncated_bytes,
+            torn_pages_repaired,
+            page_entries_repaired,
+        };
+        Ok((
+            Durability {
+                wal,
+                store,
+                committed_signs: signs,
+                ops,
+                last_epoch,
+                plan,
+                sync: config.sync,
+            },
+            report,
+        ))
+    }
+
+    /// Fire a pre-commit storage fault: error or panic, exactly like
+    /// [`FaultingBackend`](xac_core::FaultingBackend)'s points, so the
+    /// engine's ladder handles both the same way.
+    fn fail(point: FaultPoint, action: FaultAction) -> Result<()> {
+        xac_obs::instant(&format!("fault:{}", point.name()));
+        match action {
+            FaultAction::Error => Err(Error::FaultInjected { point: point.name().to_string() }),
+            FaultAction::Panic => panic!("{}", injected_panic_message(point)),
+        }
+    }
+
+    /// Commit one guarded transaction: the protocol in the [module
+    /// docs](self). `new_signs` is the backend's post-update
+    /// [`Backend::sign_state`]; `epoch` its post-update epoch. On an
+    /// `Ok(diff)` the transaction is durable (even if a post-commit
+    /// fault was absorbed); on `Err` it is not, and the caller must
+    /// roll the backend back ([`Durability::rebuild_backend`]).
+    pub fn log_txn(
+        &mut self,
+        op: &LoggedOp,
+        new_signs: &BTreeMap<i64, char>,
+        epoch: u64,
+    ) -> Result<SignDiff> {
+        // Lazy cleanup: a previous transaction that failed pre-commit
+        // left its records as a dead tail. Dropping it here (not at
+        // failure time) keeps the on-disk state at a crash instant
+        // identical to what the crash left.
+        self.wal.abort_to_last_commit().map_err(storage_error)?;
+        let record = op.to_record();
+        if let Some(action) = self.plan.fire_at(FaultPoint::WalMidRecord) {
+            // Crash mid-append: half a frame, then the failure.
+            self.wal.append_torn(&record).map_err(storage_error)?;
+            Durability::fail(FaultPoint::WalMidRecord, action)?;
+        }
+        self.wal.append(&record).map_err(storage_error)?;
+        let diff = SignDiff::between(&self.committed_signs, new_signs);
+        for &(id, sign) in &diff.set {
+            self.wal.append(&WalRecord::SignSet { id, sign }).map_err(storage_error)?;
+        }
+        for &id in &diff.clear {
+            self.wal.append(&WalRecord::SignClear { id }).map_err(storage_error)?;
+        }
+        if let Some(action) = self.plan.fire_at(FaultPoint::WalBeforeCommit) {
+            // Every record written, no commit boundary: a reopen must
+            // treat the whole transaction as an implicit abort.
+            Durability::fail(FaultPoint::WalBeforeCommit, action)?;
+        }
+        self.wal.commit(epoch, self.sync).map_err(storage_error)?;
+        // -- durability point: everything below is write-behind --
+        self.committed_signs = new_signs.clone();
+        self.ops.push(op.clone());
+        self.last_epoch = epoch;
+        for &(id, sign) in &diff.set {
+            self.store.put_sign(id, sign).map_err(storage_error)?;
+        }
+        for &id in &diff.clear {
+            self.store.clear_sign(id).map_err(storage_error)?;
+        }
+        // Post-commit faults are absorbed (the action is ignored, like
+        // the net layer's client points): the commit is durable and the
+        // pages are repaired from the log on reopen.
+        if self.plan.fire_at(FaultPoint::PageTornWrite).is_some() {
+            xac_obs::instant("fault:page_torn_write");
+            self.store.tear_first_dirty_page().map_err(storage_error)?;
+            return Ok(diff);
+        }
+        if self.plan.fire_at(FaultPoint::CheckpointMidFlush).is_some() {
+            xac_obs::instant("fault:checkpoint_mid_flush");
+            self.store.flush_capped(1).map_err(storage_error)?;
+            return Ok(diff);
+        }
+        self.store.flush().map_err(storage_error)?;
+        Ok(diff)
+    }
+
+    /// The rollback rung, durable edition: truncate the dead log tail,
+    /// then rebuild the backend from the log's mirrors — reload the
+    /// document, replay every committed operation, apply the committed
+    /// sign map — and repair the pages. Replaces the non-durable
+    /// engine's clone-image [`Backend::restore`].
+    pub fn rebuild_backend(&mut self, system: &System, b: &mut dyn Backend) -> Result<()> {
+        self.wal.abort_to_last_commit().map_err(storage_error)?;
+        system.load(b)?;
+        for op in &self.ops {
+            op.replay(b)?;
+        }
+        b.apply_sign_state(&self.committed_signs, self.last_epoch)?;
+        self.store.reconcile(&self.committed_signs).map_err(storage_error)?;
+        self.store.flush().map_err(storage_error)?;
+        Ok(())
+    }
+
+    /// Sign map as of the last committed transaction.
+    pub fn committed_signs(&self) -> &BTreeMap<i64, char> {
+        &self.committed_signs
+    }
+
+    /// Epoch of the last committed transaction.
+    pub fn last_epoch(&self) -> u64 {
+        self.last_epoch
+    }
+
+    /// Committed structural operations, in commit order.
+    pub fn ops(&self) -> &[LoggedOp] {
+        &self.ops
+    }
+
+    /// The log's counters.
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal.stats()
+    }
+
+    /// The page store's buffer-pool counters.
+    pub fn pager_stats(&self) -> PagerStats {
+        self.store.pager_stats()
+    }
+
+    /// The durable page image's sign map (for audits; the pages lag the
+    /// log only between a commit and its flush).
+    pub fn page_sign_state(&self) -> BTreeMap<i64, char> {
+        self.store.sign_state()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_diff_between_maps() {
+        let old: BTreeMap<i64, char> = [(1, '+'), (2, '-'), (3, '+')].into();
+        let new: BTreeMap<i64, char> = [(1, '+'), (2, '+'), (4, '-')].into();
+        let diff = SignDiff::between(&old, &new);
+        assert_eq!(diff.set, vec![(2, '+'), (4, '-')]);
+        assert_eq!(diff.clear, vec![3]);
+        assert_eq!(diff.len(), 3);
+        assert!(SignDiff::between(&new, &new).is_empty());
+    }
+
+    #[test]
+    fn storage_plan_split_partitions_by_point() {
+        let plan = FaultPlan::parse(
+            "wal_before_commit:panic,after_delete,page_torn_write,net_slow_client",
+        )
+        .unwrap();
+        let (storage, rest) = split_storage_plan(&plan);
+        assert_eq!(storage.specs().len(), 2);
+        assert!(storage.specs().iter().all(|s| s.point.is_storage()));
+        assert_eq!(rest.specs().len(), 2);
+        assert!(rest.specs().iter().all(|s| !s.point.is_storage()));
+    }
+}

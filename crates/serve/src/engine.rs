@@ -26,6 +26,9 @@
 //!   checkpoint, a poisoned snapshot lock is taken over as-is (the
 //!   protected value is a complete `Arc` at every instant).
 
+use crate::durable::{
+    split_storage_plan, Durability, DurabilityConfig, LoggedOp, RecoveryReport,
+};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::request::{ErrorKind, Request, Response, Role};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -134,8 +137,11 @@ enum TxnOutcome {
     Ready {
         outcome: UpdateOutcome,
         /// Boxed: a checkpoint holds a full store image, dwarfing the
-        /// denied variant.
-        checkpoint: Box<Checkpoint>,
+        /// denied variant. `None` on durable engines — their last-good
+        /// state lives in the WAL, so no clone image is staged and the
+        /// per-transaction checkpoint cost is the durability layer's
+        /// O(dirty pages) flush instead of an O(document) copy.
+        checkpoint: Option<Box<Checkpoint>>,
         snapshot: Arc<AccessSnapshot>,
     },
 }
@@ -158,6 +164,12 @@ pub struct ServeEngine {
     /// `Some(cause)` once the ladder is exhausted: the engine is
     /// read-only and every guarded update is rejected.
     quarantine: Mutex<Option<String>>,
+    /// The WAL + page store when the engine persists (`--data-dir`).
+    /// Mutated only under the writer lock's serialization; the mutex
+    /// satisfies `Sync` for the read paths that sample its counters.
+    durability: Option<Mutex<Durability>>,
+    /// What reopen found, when this engine came up via recovery.
+    recovery: Option<RecoveryReport>,
     metrics: Metrics,
     backend_name: &'static str,
 }
@@ -172,9 +184,21 @@ impl ServeEngine {
     /// exactly once, after a snapshot actually exists — counting per
     /// *attempt* used to double-count the initial epoch.
     pub fn new(system: Arc<System>, mut backend: Box<dyn Backend + Send>) -> Result<ServeEngine> {
-        use std::sync::atomic::Ordering::Relaxed;
         system.load(backend.as_mut())?;
         system.annotate(backend.as_mut())?;
+        ServeEngine::finish(system, backend, None, None)
+    }
+
+    /// Shared tail of every constructor: the backend is loaded and
+    /// annotated (freshly or via WAL recovery); publish the first
+    /// snapshot and capture the first last-good checkpoint.
+    fn finish(
+        system: Arc<System>,
+        mut backend: Box<dyn Backend + Send>,
+        durability: Option<Durability>,
+        recovery: Option<RecoveryReport>,
+    ) -> Result<ServeEngine> {
+        use std::sync::atomic::Ordering::Relaxed;
         let metrics = Metrics::default();
         let mut snapshot = None;
         let mut last_err = None;
@@ -205,6 +229,8 @@ impl ServeEngine {
             published: RwLock::new(snapshot),
             last_good: Mutex::new(last_good),
             quarantine: Mutex::new(None),
+            durability: durability.map(Mutex::new),
+            recovery,
             metrics,
             backend_name,
         })
@@ -215,6 +241,63 @@ impl ServeEngine {
     pub fn for_kind(system: Arc<System>, kind: BackendKind) -> Result<ServeEngine> {
         let mode = system.annotate_mode();
         ServeEngine::new(system, kind.make(mode))
+    }
+
+    /// Build a **durable** engine persisting under
+    /// `config.data_dir` (DESIGN.md §4i). An empty data dir boots
+    /// fresh — load, annotate, log the initial state as the WAL's
+    /// first transaction; a populated one *recovers* — replay the log,
+    /// repair the pages, and come up serving the last committed state
+    /// without re-running annotation ([`ServeEngine::recovery`]
+    /// reports what was found).
+    pub fn durable(
+        system: Arc<System>,
+        kind: BackendKind,
+        config: &DurabilityConfig,
+    ) -> Result<ServeEngine> {
+        ServeEngine::durable_with_faults(system, kind, config, FaultPlan::new())
+    }
+
+    /// [`ServeEngine::durable`] with a fault plan: specs at the storage
+    /// points ([`xac_core::FaultPoint::STORAGE`]) arm the durability
+    /// layer's crash seams, the rest wrap the backend in a
+    /// [`FaultingBackend`] as usual.
+    pub fn durable_with_faults(
+        system: Arc<System>,
+        kind: BackendKind,
+        config: &DurabilityConfig,
+        plan: FaultPlan,
+    ) -> Result<ServeEngine> {
+        std::fs::create_dir_all(&config.data_dir).map_err(|e| Error::Storage {
+            source_kind: "io".to_string(),
+            context: format!("create data dir {}: {e}", config.data_dir.display()),
+        })?;
+        let (storage_plan, backend_plan) = split_storage_plan(&plan);
+        let mode = system.annotate_mode();
+        let mut backend: Box<dyn Backend + Send> = if backend_plan.specs().is_empty() {
+            kind.make(mode)
+        } else {
+            Box::new(FaultingBackend::new(kind.make(mode), backend_plan))
+        };
+        if crate::durable::has_committed_history(config)? {
+            let (dur, report) =
+                Durability::recover(config, storage_plan, &system, backend.as_mut())?;
+            ServeEngine::finish(system, backend, Some(dur), Some(report))
+        } else {
+            system.load(backend.as_mut())?;
+            system.annotate(backend.as_mut())?;
+            let signs = backend.sign_state()?;
+            let epoch = backend.epoch();
+            let dur = Durability::fresh(
+                config,
+                storage_plan,
+                backend.name(),
+                mode.name(),
+                &signs,
+                epoch,
+            )?;
+            ServeEngine::finish(system, backend, Some(dur), None)
+        }
     }
 
     /// Build an engine whose backend is wrapped in a
@@ -273,6 +356,33 @@ impl ServeEngine {
     /// histograms.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// True when the engine persists through a WAL + page store.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// What reopen found and repaired, when this engine came up by
+    /// recovering an existing data dir; `None` on fresh boots and
+    /// non-durable engines.
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// The durability layer's WAL and buffer-pool counters, when the
+    /// engine is durable.
+    pub fn storage_stats(&self) -> Option<(xac_store::WalStats, xac_store::PagerStats)> {
+        let dur = unpoison(self.durability.as_ref()?.lock());
+        Some((dur.wal_stats(), dur.pager_stats()))
+    }
+
+    /// Run a closure over the durability layer (audits, tests). `None`
+    /// on non-durable engines. Serializes with guarded updates only
+    /// for the duration of the closure.
+    pub fn with_durability<R>(&self, f: impl FnOnce(&mut Durability) -> R) -> Option<R> {
+        let mut dur = unpoison(self.durability.as_ref()?.lock());
+        Some(f(&mut dur))
     }
 
     /// Serve one [`Request`] — **the unified entry point**. Every
@@ -392,40 +502,11 @@ impl ServeEngine {
         (decision, snap.epoch())
     }
 
-    /// Answer a read request against the published snapshot, returning
-    /// the decision and the epoch it was served at.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `serve(&Request::query(..))` — the unified entry point; \
-                the epoch travels in `Response::Decision`"
-    )]
-    pub fn query_observed(&self, path: &Path) -> (Decision, u64) {
-        self.read_observed(path)
-    }
-
     /// Answer a pre-parsed read request against the published snapshot.
     /// A typed shim over the same audited read path
     /// [`ServeEngine::serve`] uses.
     pub fn query(&self, path: &Path) -> Decision {
         self.read_observed(path).0
-    }
-
-    /// Parse and answer a read request; parse failures count as request
-    /// errors.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `serve(&Request::query(..))` — the unified entry point"
-    )]
-    pub fn query_str(&self, query: &str) -> Result<Decision> {
-        use std::sync::atomic::Ordering::Relaxed;
-        match xac_xpath::parse(query) {
-            Ok(path) => Ok(self.query(&path)),
-            Err(e) => {
-                self.metrics.read_errors.fetch_add(1, Relaxed);
-                self.metrics.read_latency.record(std::time::Duration::ZERO);
-                Err(e.into())
-            }
-        }
     }
 
     /// Access-controlled delete (§8): refused unless every designated
@@ -520,7 +601,21 @@ impl ServeEngine {
             match self.apply_guarded(b, op)? {
                 denied @ GuardedUpdate::Denied(_) => Ok(TxnOutcome::Denied(denied)),
                 GuardedUpdate::Applied(outcome) => {
-                    let checkpoint = Box::new(b.checkpoint()?);
+                    let checkpoint = match &self.durability {
+                        // Durable engine: the commit protocol (WAL
+                        // append → commit record → page writes) *is*
+                        // the checkpoint — O(dirty pages), no clone.
+                        // Failure here fails the transaction and the
+                        // ladder rolls back by replaying the log.
+                        Some(dur) => {
+                            let logged = ServeEngine::logged_op(op);
+                            let signs = b.sign_state()?;
+                            let epoch = b.epoch();
+                            unpoison(dur.lock()).log_txn(&logged, &signs, epoch)?;
+                            None
+                        }
+                        None => Some(Box::new(b.checkpoint()?)),
+                    };
                     let snapshot = Arc::new(b.snapshot()?);
                     Ok(TxnOutcome::Ready { outcome, checkpoint, snapshot })
                 }
@@ -532,7 +627,7 @@ impl ServeEngine {
                 Ok(denied)
             }
             Ok(Ok(TxnOutcome::Ready { outcome, checkpoint, snapshot })) => {
-                self.install(*checkpoint, snapshot);
+                self.install(checkpoint.map(|c| *c), snapshot);
                 self.metrics.updates_applied.fetch_add(1, Relaxed);
                 self.metrics.sign_writes.fetch_add(outcome.sign_writes as u64, Relaxed);
                 Ok(GuardedUpdate::Applied(outcome))
@@ -617,26 +712,71 @@ impl ServeEngine {
         }))
     }
 
-    /// Commit a staged transaction: swap in the new snapshot and the
-    /// matching last-good checkpoint. Pure pointer swaps — nothing here
-    /// can fail halfway, which is why checkpoint + snapshot are staged
-    /// *before* publication.
-    fn install(&self, checkpoint: Checkpoint, snapshot: Arc<AccessSnapshot>) {
+    /// Commit a staged transaction: swap in the new snapshot and (on
+    /// non-durable engines) the matching last-good checkpoint. Pure
+    /// pointer swaps — nothing here can fail halfway, which is why
+    /// checkpoint + snapshot are staged *before* publication. Durable
+    /// engines pass no checkpoint: their last-good state is the WAL's
+    /// last committed transaction.
+    fn install(&self, checkpoint: Option<Checkpoint>, snapshot: Arc<AccessSnapshot>) {
         use std::sync::atomic::Ordering::Relaxed;
         let _span = xac_obs::span("serve.publish");
         self.metrics.current_epoch.store(snapshot.epoch(), Relaxed);
         self.metrics.epochs_published.fetch_add(1, Relaxed);
         *unpoison(self.published.write()) = snapshot;
-        *unpoison(self.last_good.lock()) = checkpoint;
+        if let Some(checkpoint) = checkpoint {
+            *unpoison(self.last_good.lock()) = checkpoint;
+        }
     }
 
-    /// Rung 3: restore the last-good checkpoint, bringing the backend
-    /// byte-identical to the state behind the published snapshot. If
-    /// restore itself fails or panics, escalate to rung 4 — quarantine:
-    /// mark the engine read-only and return [`Error::Quarantined`].
+    /// The WAL record shape of a guarded update, logged by the durable
+    /// commit path and replayed by recovery/rollback.
+    fn logged_op(op: &UpdateOp<'_>) -> LoggedOp {
+        match op {
+            UpdateOp::Delete(path) => LoggedOp::Delete { path: path.to_string() },
+            UpdateOp::Insert { parent, name, text } => LoggedOp::Insert {
+                parent: parent.to_string(),
+                name: (*name).to_string(),
+                text: text.map(str::to_string),
+            },
+        }
+    }
+
+    /// Rung 3: bring the backend byte-identical to the state behind the
+    /// published snapshot. Non-durable engines restore the last-good
+    /// clone checkpoint; durable engines **replay the WAL** — truncate
+    /// the dead tail, reload the document, replay the committed
+    /// operations, re-apply the committed sign map. If the rollback
+    /// itself fails or panics, escalate to rung 4 — quarantine: mark
+    /// the engine read-only and return [`Error::Quarantined`].
     fn rollback(&self, b: &mut dyn Backend, cause: &str) -> Result<()> {
         use std::sync::atomic::Ordering::Relaxed;
         let _span = xac_obs::span("serve.rollback");
+        if let Some(dur) = &self.durability {
+            xac_obs::instant("serve.wal_rollback");
+            return match catch_unwind(AssertUnwindSafe(|| {
+                unpoison(dur.lock()).rebuild_backend(&self.system, b)
+            })) {
+                Ok(Ok(())) => {
+                    self.metrics.rollbacks.fetch_add(1, Relaxed);
+                    Ok(())
+                }
+                Ok(Err(e)) => {
+                    self.note_fault(&e);
+                    Err(self.enter_quarantine(format!("{cause}; wal replay failed: {e}")))
+                }
+                Err(payload) => {
+                    let detail = match injected_panic_point(&*payload) {
+                        Some(point) => {
+                            self.metrics.faults_injected.fetch_add(1, Relaxed);
+                            format!("wal replay panicked: injected fault at `{point}`")
+                        }
+                        None => "wal replay panicked".to_string(),
+                    };
+                    Err(self.enter_quarantine(format!("{cause}; {detail}")))
+                }
+            };
+        }
         let checkpoint = unpoison(self.last_good.lock()).clone();
         match catch_unwind(AssertUnwindSafe(|| b.restore(&checkpoint))) {
             Ok(Ok(())) => {
@@ -771,25 +911,6 @@ mod tests {
         }
         assert!(cluster.engine("native/xml").is_some());
         assert!(cluster.engine("no/such").is_none());
-    }
-
-    #[test]
-    fn deprecated_string_shims_still_answer_identically() {
-        // One release of compatibility: the `#[deprecated]` shims keep
-        // working and share the unified entry point's accounting.
-        #![allow(deprecated)]
-        let engine = ServeEngine::for_kind(Arc::new(system()), BackendKind::Native).unwrap();
-        let d = engine.query_str("//patient/name").unwrap();
-        assert!(d.granted());
-        let (granted, nodes, epoch) = served(&engine, "//patient/name");
-        assert!(granted);
-        assert_eq!(nodes, d.node_count() as u64);
-        let path = xac_xpath::parse("//patient/name").unwrap();
-        assert_eq!(engine.query_observed(&path), (d, epoch));
-        assert!(engine.query_str("//bad[").is_err());
-        let m = engine.metrics();
-        assert_eq!(m.reads_issued(), 4);
-        assert_eq!(m.read_errors, 1);
     }
 
     #[test]

@@ -45,11 +45,15 @@
 //! assert_eq!(engine.metrics().reads_issued(), 1);
 //! ```
 
+pub mod durable;
 pub mod engine;
 pub mod faults;
 pub mod metrics;
 pub mod request;
 
+pub use durable::{
+    split_storage_plan, Durability, DurabilityConfig, LoggedOp, RecoveryReport, SignDiff,
+};
 pub use engine::{BackendKind, ServeCluster, ServeEngine};
 pub use faults::seeded_fault_plan;
 pub use metrics::{LatencyHistogram, LatencySummary, Metrics, MetricsSnapshot};

@@ -1,0 +1,476 @@
+//! The file-backed pager: a buffer pool of [`Page`] frames over one
+//! page file, with LRU eviction, pin counts, dirty tracking, and
+//! checksum verification on every load. Flushing is O(dirty pages) —
+//! the property the durable checkpoint above inherits.
+
+use crate::error::{Result, StoreError, StoreErrorKind};
+use crate::page::{Page, PAGE_SIZE};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+
+fn pager_hits() -> &'static Arc<xac_obs::Counter> {
+    static C: OnceLock<Arc<xac_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| xac_obs::counter("xac_pager_hits_total"))
+}
+
+fn pager_misses() -> &'static Arc<xac_obs::Counter> {
+    static C: OnceLock<Arc<xac_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| xac_obs::counter("xac_pager_misses_total"))
+}
+
+fn pager_evictions() -> &'static Arc<xac_obs::Counter> {
+    static C: OnceLock<Arc<xac_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| xac_obs::counter("xac_pager_evictions_total"))
+}
+
+fn pager_flushed() -> &'static Arc<xac_obs::Counter> {
+    static C: OnceLock<Arc<xac_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| xac_obs::counter("xac_pager_flushed_pages_total"))
+}
+
+fn pager_fsyncs() -> &'static Arc<xac_obs::Counter> {
+    static C: OnceLock<Arc<xac_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| xac_obs::counter("xac_pager_fsyncs_total"))
+}
+
+/// Running counters for one pager instance (process-global equivalents
+/// are published as `xac_pager_*` obs metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PagerStats {
+    /// Frame lookups answered from the buffer pool.
+    pub hits: u64,
+    /// Frame lookups that had to read the file.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Pages written back to the file.
+    pub pages_flushed: u64,
+    /// `fsync` calls on the page file.
+    pub fsyncs: u64,
+}
+
+impl PagerStats {
+    /// Buffer-pool hit rate in [0, 1]; 1.0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Frame {
+    page: Page,
+    dirty: bool,
+    pins: u32,
+    last_used: u64,
+}
+
+/// The buffer-pooled pager. Single-writer by construction (the serve
+/// engine's writer mutex is the concurrency story above it).
+pub struct Pager {
+    file: File,
+    path: PathBuf,
+    frames: HashMap<u32, Frame>,
+    capacity: usize,
+    tick: u64,
+    npages: u32,
+    stats: PagerStats,
+}
+
+impl Pager {
+    /// Open (creating if absent) the page file at `path` with a buffer
+    /// pool of `capacity` frames. A trailing partial page — the residue
+    /// of a crash mid-extension — is truncated away; page *content*
+    /// corruption is surfaced lazily, per page, on first load.
+    pub fn open(path: &Path, capacity: usize) -> Result<Pager> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| StoreError::io(format!("open page file {}", path.display()), e))?;
+        let len = file
+            .metadata()
+            .map_err(|e| StoreError::io("stat page file", e))?
+            .len();
+        let whole = len - len % PAGE_SIZE as u64;
+        if whole != len {
+            file.set_len(whole)
+                .map_err(|e| StoreError::io("truncate torn tail page", e))?;
+        }
+        Ok(Pager {
+            file,
+            path: path.to_path_buf(),
+            frames: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            npages: (whole / PAGE_SIZE as u64) as u32,
+            stats: PagerStats::default(),
+        })
+    }
+
+    /// The page file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of allocated pages.
+    pub fn page_count(&self) -> u32 {
+        self.npages
+    }
+
+    /// This pager's counters.
+    pub fn stats(&self) -> PagerStats {
+        self.stats
+    }
+
+    /// Number of dirty frames in the pool.
+    pub fn dirty_count(&self) -> usize {
+        self.frames.values().filter(|f| f.dirty).count()
+    }
+
+    /// Numbers of the dirty frames, ascending.
+    pub fn dirty_pages(&self) -> Vec<u32> {
+        let mut dirty: Vec<u32> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(&no, _)| no)
+            .collect();
+        dirty.sort_unstable();
+        dirty
+    }
+
+    /// Allocate a fresh page at the end of the file; returns its
+    /// number. The page exists as a dirty frame until flushed.
+    pub fn allocate(&mut self) -> Result<u32> {
+        let no = self.npages;
+        self.npages += 1;
+        self.make_room(no)?;
+        self.tick += 1;
+        self.frames.insert(
+            no,
+            Frame { page: Page::new(no), dirty: true, pins: 0, last_used: self.tick },
+        );
+        Ok(no)
+    }
+
+    fn make_room(&mut self, incoming: u32) -> Result<()> {
+        while self.frames.len() >= self.capacity {
+            let victim = self
+                .frames
+                .iter()
+                .filter(|(&no, f)| f.pins == 0 && no != incoming)
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(&no, _)| no);
+            let Some(no) = victim else {
+                // Everything is pinned: grow past capacity rather than
+                // deadlock — the pool is a cache, not a hard limit.
+                return Ok(());
+            };
+            self.evict(no)?;
+        }
+        Ok(())
+    }
+
+    fn evict(&mut self, no: u32) -> Result<()> {
+        if let Some(mut frame) = self.frames.remove(&no) {
+            if frame.dirty {
+                self.write_frame(no, &mut frame.page)?;
+            }
+            self.stats.evictions += 1;
+            pager_evictions().inc();
+        }
+        Ok(())
+    }
+
+    fn write_frame(&mut self, no: u32, page: &mut Page) -> Result<()> {
+        let offset = no as u64 * PAGE_SIZE as u64;
+        self.file
+            .seek(SeekFrom::Start(offset))
+            .map_err(|e| StoreError::io(format!("seek to page {no}"), e))?;
+        self.file
+            .write_all(page.sealed())
+            .map_err(|e| StoreError::io(format!("write page {no}"), e))?;
+        self.stats.pages_flushed += 1;
+        pager_flushed().inc();
+        Ok(())
+    }
+
+    fn load(&mut self, no: u32) -> Result<()> {
+        if self.frames.contains_key(&no) {
+            self.stats.hits += 1;
+            pager_hits().inc();
+            return Ok(());
+        }
+        if no >= self.npages {
+            return Err(StoreError::new(
+                StoreErrorKind::Corrupt,
+                format!("page {no} out of range (file has {})", self.npages),
+            ));
+        }
+        self.stats.misses += 1;
+        pager_misses().inc();
+        self.make_room(no)?;
+        let mut bytes = [0u8; PAGE_SIZE];
+        self.file
+            .seek(SeekFrom::Start(no as u64 * PAGE_SIZE as u64))
+            .map_err(|e| StoreError::io(format!("seek to page {no}"), e))?;
+        self.file
+            .read_exact(&mut bytes)
+            .map_err(|e| StoreError::io(format!("read page {no}"), e))?;
+        let page = Page::from_bytes(bytes)?;
+        if page.page_no() != no {
+            return Err(StoreError::new(
+                StoreErrorKind::Corrupt,
+                format!("page at slot {no} claims to be page {}", page.page_no()),
+            ));
+        }
+        self.tick += 1;
+        self.frames
+            .insert(no, Frame { page, dirty: false, pins: 0, last_used: self.tick });
+        Ok(())
+    }
+
+    /// Read access to page `no`, faulting it in (and verifying its
+    /// checksum) if needed.
+    pub fn page(&mut self, no: u32) -> Result<&Page> {
+        self.load(no)?;
+        self.tick += 1;
+        let frame = self.frames.get_mut(&no).expect("just loaded");
+        frame.last_used = self.tick;
+        Ok(&frame.page)
+    }
+
+    /// Write access to page `no`; marks the frame dirty.
+    pub fn page_mut(&mut self, no: u32) -> Result<&mut Page> {
+        self.load(no)?;
+        self.tick += 1;
+        let frame = self.frames.get_mut(&no).expect("just loaded");
+        frame.last_used = self.tick;
+        frame.dirty = true;
+        Ok(&mut frame.page)
+    }
+
+    /// Pin page `no` in the pool (it will not be evicted until
+    /// unpinned). Faults the page in first.
+    pub fn pin(&mut self, no: u32) -> Result<()> {
+        self.load(no)?;
+        self.frames.get_mut(&no).expect("just loaded").pins += 1;
+        Ok(())
+    }
+
+    /// Drop one pin from page `no` (no-op when not resident or
+    /// unpinned).
+    pub fn unpin(&mut self, no: u32) {
+        if let Some(frame) = self.frames.get_mut(&no) {
+            frame.pins = frame.pins.saturating_sub(1);
+        }
+    }
+
+    /// Replace page `no` with a fresh empty page (dirty, unflushed) —
+    /// the recovery path for a page whose checksum failed: its contents
+    /// are rebuilt from the WAL, not trusted from disk.
+    pub fn reset_page(&mut self, no: u32) -> Result<()> {
+        if no >= self.npages {
+            return Err(StoreError::new(
+                StoreErrorKind::Corrupt,
+                format!("cannot reset unallocated page {no}"),
+            ));
+        }
+        self.make_room(no)?;
+        self.tick += 1;
+        self.frames.insert(
+            no,
+            Frame { page: Page::new(no), dirty: true, pins: 0, last_used: self.tick },
+        );
+        Ok(())
+    }
+
+    /// Write back every dirty frame and fsync the file; returns how
+    /// many pages were written. `stop_after` caps the number written
+    /// (fault-injection hook — simulates a crash partway through a
+    /// multi-page checkpoint flush); `None` flushes everything.
+    pub fn flush_dirty_capped(&mut self, stop_after: Option<usize>) -> Result<usize> {
+        let mut dirty: Vec<u32> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(&no, _)| no)
+            .collect();
+        dirty.sort_unstable();
+        let mut written = 0usize;
+        for no in dirty {
+            if let Some(cap) = stop_after {
+                if written >= cap {
+                    return Ok(written);
+                }
+            }
+            let mut frame = self.frames.remove(&no).expect("listed as resident");
+            self.write_frame(no, &mut frame.page)?;
+            frame.dirty = false;
+            self.frames.insert(no, frame);
+            written += 1;
+        }
+        self.sync()?;
+        Ok(written)
+    }
+
+    /// Write back every dirty frame and fsync the file.
+    pub fn flush_dirty(&mut self) -> Result<usize> {
+        self.flush_dirty_capped(None)
+    }
+
+    /// fsync the page file.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file
+            .sync_data()
+            .map_err(|e| StoreError::io("fsync page file", e))?;
+        self.stats.fsyncs += 1;
+        pager_fsyncs().inc();
+        Ok(())
+    }
+
+    /// Fault-injection hook: write only the first half of page `no` to
+    /// disk (a torn write), leaving the on-disk image failing its
+    /// checksum — exactly what a power cut mid-`write` leaves behind.
+    /// The in-memory frame stays resident and dirty: the running
+    /// process still holds the good copy, so a later flush repairs the
+    /// disk and the tear is only observable by an open that happens
+    /// first — i.e. by a crash.
+    pub fn tear_page(&mut self, no: u32) -> Result<()> {
+        if no >= self.npages {
+            return Err(StoreError::new(
+                StoreErrorKind::Corrupt,
+                format!("cannot tear unallocated page {no}"),
+            ));
+        }
+        self.load(no)?;
+        let frame = self.frames.get_mut(&no).expect("just loaded");
+        let sealed = *frame.page.sealed();
+        frame.dirty = true;
+        self.file
+            .seek(SeekFrom::Start(no as u64 * PAGE_SIZE as u64))
+            .map_err(|e| StoreError::io(format!("seek to page {no}"), e))?;
+        self.file
+            .write_all(&sealed[..PAGE_SIZE / 2])
+            .map_err(|e| StoreError::io(format!("tear page {no}"), e))?;
+        // Scribble over the second half so the torn image cannot
+        // accidentally still match its checksum.
+        let noise = [0x5Au8; PAGE_SIZE / 2];
+        self.file
+            .write_all(&noise)
+            .map_err(|e| StoreError::io(format!("tear page {no}"), e))?;
+        self.file
+            .sync_data()
+            .map_err(|e| StoreError::io("fsync torn page", e))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("xac_store_pager_{name}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("pages.dat")
+    }
+
+    #[test]
+    fn pages_survive_flush_and_reopen() {
+        let path = tmp("reopen");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut pager = Pager::open(&path, 8).unwrap();
+            let a = pager.allocate().unwrap();
+            let b = pager.allocate().unwrap();
+            pager.page_mut(a).unwrap().insert_cell(b"first").unwrap();
+            pager.page_mut(b).unwrap().insert_cell(b"second").unwrap();
+            assert_eq!(pager.dirty_count(), 2);
+            assert_eq!(pager.flush_dirty().unwrap(), 2);
+            assert_eq!(pager.dirty_count(), 0);
+        }
+        let mut pager = Pager::open(&path, 8).unwrap();
+        assert_eq!(pager.page_count(), 2);
+        assert_eq!(pager.page(0).unwrap().cell(0).unwrap(), b"first");
+        assert_eq!(pager.page(1).unwrap().cell(0).unwrap(), b"second");
+        let stats = pager.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(pager.page(0).unwrap().cell(0).unwrap(), b"first");
+        assert_eq!(pager.stats().hits, 1);
+    }
+
+    #[test]
+    fn lru_evicts_cold_unpinned_frames_only() {
+        let path = tmp("lru");
+        let _ = std::fs::remove_file(&path);
+        let mut pager = Pager::open(&path, 2).unwrap();
+        let a = pager.allocate().unwrap();
+        let b = pager.allocate().unwrap();
+        pager.page_mut(a).unwrap().insert_cell(b"a").unwrap();
+        pager.page_mut(b).unwrap().insert_cell(b"b").unwrap();
+        pager.pin(a).unwrap();
+        // Third page with capacity 2: must evict b (a is pinned),
+        // writing its dirty frame back.
+        let c = pager.allocate().unwrap();
+        pager.page_mut(c).unwrap().insert_cell(b"c").unwrap();
+        assert_eq!(pager.stats().evictions, 1);
+        // b faults back in from disk intact.
+        assert_eq!(pager.page(b).unwrap().cell(0).unwrap(), b"b");
+        pager.unpin(a);
+        assert_eq!(pager.page(a).unwrap().cell(0).unwrap(), b"a");
+        assert!(pager.stats().hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn torn_page_write_fails_checksum_on_reopen() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut pager = Pager::open(&path, 4).unwrap();
+            let a = pager.allocate().unwrap();
+            pager.page_mut(a).unwrap().insert_cell(b"doomed").unwrap();
+            pager.flush_dirty().unwrap();
+            pager.tear_page(a).unwrap();
+        }
+        let mut pager = Pager::open(&path, 4).unwrap();
+        let err = pager.page(0).unwrap_err();
+        assert_eq!(err.kind, StoreErrorKind::Checksum, "{err}");
+        // reset_page rebuilds a usable empty page in place.
+        pager.reset_page(0).unwrap();
+        pager.page_mut(0).unwrap().insert_cell(b"repaired").unwrap();
+        pager.flush_dirty().unwrap();
+        drop(pager);
+        let mut pager = Pager::open(&path, 4).unwrap();
+        assert_eq!(pager.page(0).unwrap().cell(0).unwrap(), b"repaired");
+    }
+
+    #[test]
+    fn partial_tail_page_is_truncated_on_open() {
+        let path = tmp("tail");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut pager = Pager::open(&path, 4).unwrap();
+            pager.allocate().unwrap();
+            pager.flush_dirty().unwrap();
+        }
+        // Append half a page of garbage — a crash mid-extension.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0xFFu8; PAGE_SIZE / 2]).unwrap();
+        }
+        let pager = Pager::open(&path, 4).unwrap();
+        assert_eq!(pager.page_count(), 1);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), PAGE_SIZE as u64);
+    }
+}

@@ -205,6 +205,29 @@ impl StoredDocument {
         self.clear_signs(nodes)
     }
 
+    /// Overwrite the sign state wholesale with `signs`, keyed by
+    /// `NodeId::index() as i64` (the native `sign_state` encoding used
+    /// by the serving durability layer's WAL). Every existing sign is
+    /// cleared, then exactly the mapped nodes are re-annotated; nodes
+    /// whose index is not in the map end up unannotated (default sign).
+    /// Returns the number of sign writes (clears + annotations).
+    pub fn apply_sign_map(&mut self, signs: &std::collections::BTreeMap<i64, char>) -> usize {
+        let mut writes = self.clear_all_signs();
+        let mut plus: Vec<NodeId> = Vec::new();
+        let mut minus: Vec<NodeId> = Vec::new();
+        let nodes: Vec<NodeId> = self.doc.all_elements().collect();
+        for n in nodes {
+            match signs.get(&(n.index() as i64)) {
+                Some('+') => plus.push(n),
+                Some(_) => minus.push(n),
+                None => {}
+            }
+        }
+        writes += self.annotate_nodes(&plus, '+');
+        writes += self.annotate_nodes(&minus, '-');
+        writes
+    }
+
     /// Count of nodes annotated with each sign `(plus, minus)`.
     pub fn sign_counts(&self) -> (usize, usize) {
         let mut plus = 0;
