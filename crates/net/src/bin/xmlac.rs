@@ -135,7 +135,7 @@ fn parse_args() -> CliResult<Args> {
 }
 
 fn usage() -> String {
-    "usage: xmlac <check|optimize|shred|annotate|query|update|view|audit|analyze|serve|client|serve-bench|obs|vm> \
+    "usage: xmlac <check|optimize|shred|annotate|query|update|view|audit|analyze|serve|client|top|serve-bench|obs|vm> \
      [--schema F] [--policy F] [--doc F] [--backend native|row|column] \
      [--annotate-mode paper|batched|compiled] \
      [--query XPATH]... [--delete XPATH] [--insert PARENT:NAME[:TEXT]] \
@@ -146,7 +146,9 @@ fn usage() -> String {
      [--data-dir DIR] [--wal sync|nosync] \
      [--max-conns N] [--read-timeout-ms N] [--rate-limit N] [--linger-ms N]\n\
      client  --addr HOST:PORT [--role reader|writer|admin] \
-     [--query XPATH]... [--delete XPATH] [--insert PARENT:NAME[:TEXT]] [status] [metrics]\n\
+     [--query XPATH]... [--delete XPATH] [--insert PARENT:NAME[:TEXT]] \
+     [--last N] [--scrape-out F] [status] [metrics] [scrape] [tail]\n\
+     top     --addr HOST:PORT [--interval-ms N] [--iterations N]\n\
      serve-bench ... [--net CLIENTS] [--out F]\n\
      analyze --policy F [--schema F] [--doc F] [--format text|json] \
      [--deny warn] [--audit-updates N] [--out F]\n\
@@ -273,6 +275,7 @@ fn run() -> CliResult<()> {
         "analyze" => analyze(&args),
         "serve" => serve(&args),
         "client" => client(&args),
+        "top" => top(&args),
         "serve-bench" => serve_bench(&args),
         "obs" => obs(&args),
         "vm" => vm(&args),
@@ -619,6 +622,12 @@ fn obs_check(args: &Args) -> CliResult<()> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read trace `{path}`: {e}"))?;
         xac_obs::validate_json(&text).map_err(|e| format!("trace `{path}` invalid: {e}"))?;
+        // Structural JSON is not enough for a Chrome trace carrying
+        // distributed flows: every flow-start must have a matching
+        // finish bound by the same id, or the viewer draws dangling
+        // arrows.
+        xac_obs::validate_flow_pairing(&text)
+            .map_err(|e| format!("trace `{path}` flow pairing invalid: {e}"))?;
         println!("trace ok: {path} ({} bytes)", text.len());
     }
     Ok(())
@@ -812,6 +821,16 @@ fn render_response(req: &Request, resp: &Response) -> (String, String, String) {
             format!("{} metric lines", rendered.lines().count()),
             "-".to_string(),
         ),
+        Response::Scrape { exposition } => (
+            "OK".to_string(),
+            format!("{} exposition lines", exposition.lines().count()),
+            "-".to_string(),
+        ),
+        Response::Tail { records } => (
+            "OK".to_string(),
+            format!("{} flight records", records.len()),
+            "-".to_string(),
+        ),
         Response::Error { kind, message } => {
             (format!("ERROR({kind})"), message.clone(), "-".to_string())
         }
@@ -850,8 +869,13 @@ fn client(args: &Args) -> CliResult<()> {
         match verb.as_str() {
             "status" => requests.push(Request::Status),
             "metrics" => requests.push(Request::Metrics),
+            "scrape" => requests.push(Request::Scrape),
+            "tail" => requests.push(Request::tail(args.count("last", 10)? as u32)),
             other => {
-                return Err(format!("unknown client verb `{other}` (status|metrics)").into())
+                return Err(format!(
+                    "unknown client verb `{other}` (status|metrics|scrape|tail)"
+                )
+                .into())
             }
         }
     }
@@ -870,6 +894,37 @@ fn client(args: &Args) -> CliResult<()> {
             .map_err(|e| format!("{} failed on the wire: {e}", req.verb()))?;
         let (outcome, detail, epoch) = render_response(req, &resp);
         println!("{:<8} {:<14} {:<44} {:>6}", req.verb(), outcome, detail, epoch);
+        match &resp {
+            // The scraped exposition is an artifact, not table content:
+            // `--scrape-out F` saves it for `obs check`/CI, otherwise it
+            // prints in full after its table row.
+            Response::Scrape { exposition } => match args.options.get("scrape-out") {
+                Some(path) => {
+                    std::fs::write(path, exposition)
+                        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                    eprintln!("wrote scrape to {path}");
+                }
+                None => print!("{exposition}"),
+            },
+            Response::Tail { records } => {
+                for r in records {
+                    println!(
+                        "  {} {:<8} {:<10} {:<18} epoch {:>4}  decode {:>5}µs  queue {:>5}µs  \
+                         execute {:>7}µs  total {:>7}µs",
+                        xac_obs::trace::trace_id_hex(r.trace_id),
+                        r.verb,
+                        r.backend,
+                        r.outcome,
+                        r.epoch,
+                        r.decode_us,
+                        r.queue_us,
+                        r.execute_us,
+                        r.total_us,
+                    );
+                }
+            }
+            _ => {}
+        }
         if let Response::Error { kind, message } = &resp {
             let code = error_kind_code(*kind);
             // 7 (role) outranks 2, 3 and 4 outrank 7 as hard failures:
@@ -885,6 +940,201 @@ fn client(args: &Args) -> CliResult<()> {
     match worst {
         0 => Ok(()),
         code => Err(CliError { message: worst_message, code }),
+    }
+}
+
+/// Live terminal telemetry over the admin wire plane: poll a running
+/// server with `Request::Scrape` + `Request::Tail`, reconstruct the
+/// per-verb `xac_net_request_us` histograms from the scraped Prometheus
+/// text, and render latency quantiles (sub-bucket interpolated p50,
+/// p99, p999), per-backend outcome tallies, and the most recent flight
+/// records — refreshed in place like `top(1)`. `--interval-ms` sets the
+/// poll cadence (default 1000); `--iterations N` bounds the refreshes
+/// (default 0 = run until interrupted), so CI takes one sample with
+/// `--iterations 1` and exits.
+fn top(args: &Args) -> CliResult<()> {
+    let addr = args.required("addr")?;
+    let interval = Duration::from_millis(args.count("interval-ms", 1000)? as u64);
+    let iterations = args.count("iterations", 0)?;
+    let live = iterations != 1;
+    let mut session = NetClient::connect(addr, Role::Admin)
+        .map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+    let backend = session.backend().to_string();
+    for iter in 1.. {
+        let exposition = match session
+            .scrape()
+            .map_err(|e| format!("scrape failed on the wire: {e}"))?
+        {
+            Response::Scrape { exposition } => exposition,
+            Response::Error { kind, message } => {
+                return Err(CliError {
+                    message: format!("{kind}: {message}"),
+                    code: error_kind_code(kind),
+                })
+            }
+            other => return Err(format!("unexpected scrape answer: {other:?}").into()),
+        };
+        let records = match session
+            .tail(12)
+            .map_err(|e| format!("tail failed on the wire: {e}"))?
+        {
+            Response::Tail { records } => records,
+            Response::Error { kind, message } => {
+                return Err(CliError {
+                    message: format!("{kind}: {message}"),
+                    code: error_kind_code(kind),
+                })
+            }
+            other => return Err(format!("unexpected tail answer: {other:?}").into()),
+        };
+        if live {
+            // Home + clear: repaint in place, like top(1).
+            print!("\x1b[H\x1b[2J");
+        }
+        render_top(&backend, iter, &exposition, &records);
+        if iterations != 0 && iter >= iterations {
+            break;
+        }
+        std::thread::sleep(interval);
+    }
+    session.close();
+    Ok(())
+}
+
+/// Rebuild per-verb histogram snapshots from scraped
+/// `xac_net_request_us_bucket{…}` / `_sum` / `_count` lines. The
+/// cumulative `le` samples are de-cumulated back into per-bucket counts
+/// so [`HistogramSnapshot::quantile`](xac_obs::HistogramSnapshot) runs
+/// on the *client* side — the server ships text, not statistics.
+fn parse_verb_histograms(exposition: &str) -> BTreeMap<String, xac_obs::HistogramSnapshot> {
+    const FAMILY: &str = "xac_net_request_us";
+    let mut cumulative: BTreeMap<String, Vec<(usize, u64)>> = BTreeMap::new();
+    let mut sums: BTreeMap<String, u64> = BTreeMap::new();
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    for line in exposition.lines() {
+        let Some(rest) = line.strip_prefix(FAMILY) else { continue };
+        let Some((kind, rest)) = rest.split_once('{') else { continue };
+        let Some((labels, value)) = rest.split_once("} ") else { continue };
+        // Drop any OpenMetrics exemplar suffix before reading the value.
+        let value = value.split(" # ").next().unwrap_or(value).trim();
+        let Ok(value) = value.parse::<u64>() else { continue };
+        let mut verb = None;
+        let mut le = None;
+        for pair in labels.split(',') {
+            let Some((k, v)) = pair.split_once('=') else { continue };
+            let v = v.trim_matches('"');
+            match k {
+                "verb" => verb = Some(v.to_string()),
+                "le" => le = Some(v.to_string()),
+                _ => {}
+            }
+        }
+        let Some(verb) = verb else { continue };
+        match kind {
+            "_bucket" => {
+                let Some(le) = le else { continue };
+                // `le` is the inclusive log2 bucket top `(1<<i)-1`;
+                // recover the bucket index from it.
+                let index = if le == "+Inf" {
+                    xac_obs::BUCKETS - 1
+                } else {
+                    match le.parse::<u64>() {
+                        Ok(bound) => (bound + 1).trailing_zeros() as usize,
+                        Err(_) => continue,
+                    }
+                };
+                cumulative.entry(verb).or_default().push((index, value));
+            }
+            "_sum" => {
+                sums.insert(verb, value);
+            }
+            "_count" => {
+                counts.insert(verb, value);
+            }
+            _ => {}
+        }
+    }
+    let mut out = BTreeMap::new();
+    for (verb, mut samples) in cumulative {
+        samples.sort_unstable();
+        let mut buckets = vec![0u64; xac_obs::BUCKETS];
+        let mut prev = 0u64;
+        for (index, cum) in samples {
+            if index < buckets.len() {
+                buckets[index] = cum.saturating_sub(prev);
+                prev = cum;
+            }
+        }
+        let count = counts.get(&verb).copied().unwrap_or(prev);
+        let total = sums.get(&verb).copied().unwrap_or(0);
+        out.insert(
+            verb,
+            xac_obs::HistogramSnapshot { count, total, buckets, exemplars: vec![] },
+        );
+    }
+    out
+}
+
+fn render_top(
+    backend: &str,
+    iter: usize,
+    exposition: &str,
+    records: &[xac_obs::FlightRecord],
+) {
+    println!("xmlac top — {backend} (sample {iter})");
+    println!();
+    println!(
+        "{:<10} {:>8} {:>10} {:>9} {:>9} {:>9}",
+        "verb", "count", "mean_us", "p50_us", "p99_us", "p999_us"
+    );
+    let histograms = parse_verb_histograms(exposition);
+    if histograms.is_empty() {
+        println!("(no xac_net_request_us samples yet — has the server served a request?)");
+    }
+    for (verb, snap) in &histograms {
+        println!(
+            "{:<10} {:>8} {:>10.1} {:>9.0} {:>9.0} {:>9.0}",
+            verb,
+            snap.count,
+            snap.mean(),
+            snap.quantile(0.50),
+            snap.quantile(0.99),
+            snap.quantile(0.999),
+        );
+    }
+    // Outcome tallies per (backend, verb) from the flight tail — the
+    // recorder sees every wire request, including rate-limited ones
+    // that never reach the engine.
+    let mut outcomes: BTreeMap<(String, String, String), u64> = BTreeMap::new();
+    for r in records {
+        *outcomes
+            .entry((r.backend.clone(), r.verb.clone(), r.outcome.clone()))
+            .or_default() += 1;
+    }
+    if !outcomes.is_empty() {
+        println!();
+        println!("{:<12} {:<10} {:<18} {:>6}", "backend", "verb", "outcome", "n");
+        for ((backend, verb, outcome), n) in &outcomes {
+            println!("{backend:<12} {verb:<10} {outcome:<18} {n:>6}");
+        }
+    }
+    if !records.is_empty() {
+        println!();
+        println!("recent requests (newest last):");
+        for r in records {
+            println!(
+                "  {} {:<8} {:<18} epoch {:>4}  decode {:>4}µs  queue {:>4}µs  \
+                 execute {:>6}µs  total {:>6}µs",
+                &xac_obs::trace::trace_id_hex(r.trace_id)[..16],
+                r.verb,
+                r.outcome,
+                r.epoch,
+                r.decode_us,
+                r.queue_us,
+                r.execute_us,
+                r.total_us,
+            );
+        }
     }
 }
 

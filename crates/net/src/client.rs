@@ -17,11 +17,12 @@
 //! [`FaultAction`](xac_core::FaultAction) is ignored for these points:
 //! the point itself is the behavior.
 
-use crate::wire::{self, Frame, WireError, MAX_FRAME};
+use crate::wire::{self, Frame, WireError, WireTrace, MAX_FRAME};
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 use xac_core::{FaultPlan, FaultPoint};
+use xac_obs::TraceContext;
 use xac_serve::{ErrorKind, Request, Response, Role};
 
 /// A connected, handshaken client session.
@@ -37,6 +38,11 @@ pub struct NetClient {
     /// Set once the conversation is unrecoverable (server closed after
     /// a protocol error, or an injected disconnect).
     dead: bool,
+    /// Whether requests mint and carry a trace context (on by default;
+    /// the overhead benchmark turns it off to measure the delta).
+    propagate: bool,
+    /// The context minted for the most recent request.
+    last_trace: Option<TraceContext>,
 }
 
 impl NetClient {
@@ -72,6 +78,8 @@ impl NetClient {
                 plan,
                 stall,
                 dead: false,
+                propagate: true,
+                last_trace: None,
             }),
             Frame::Error { kind, message } => Err(WireError::Rejected { kind, message }),
             other => {
@@ -108,14 +116,36 @@ impl NetClient {
         std::mem::replace(&mut self.plan, FaultPlan::new())
     }
 
+    /// Enable or disable trace-context propagation (on by default).
+    /// With it off, requests go out as bare v1-shaped frames — the
+    /// overhead benchmark's control arm.
+    pub fn set_propagation(&mut self, on: bool) {
+        self.propagate = on;
+    }
+
+    /// The trace context the *last* request was sent under (`None`
+    /// before any request, or with propagation off).
+    pub fn last_trace(&self) -> Option<TraceContext> {
+        self.last_trace
+    }
+
     /// Send one request, wait for the answer. Typed error frames are
     /// returned as [`Response::Error`]; rate-limited requests leave the
     /// session usable, any other error frame ends it.
+    ///
+    /// With propagation on (the default), each request mints a fresh
+    /// [`TraceContext`], sends it as the frame's v2 trailing field, and
+    /// wraps the send in a `net.client_send` span carrying the same
+    /// trace id the server's spans will carry — one id links both ends
+    /// of the wire.
     pub fn request(&mut self, req: &Request) -> Result<Response, WireError> {
         if self.dead {
             return Err(WireError::Closed);
         }
-        let bytes = Frame::Request(req.clone()).to_bytes();
+        let ctx = if self.propagate { Some(TraceContext::mint()) } else { None };
+        self.last_trace = ctx;
+        let _guard = ctx.map(xac_obs::trace::enter);
+        let bytes = Frame::Request(req.clone(), ctx.map(WireTrace::from_context)).to_bytes();
         if self.plan.fire_at(FaultPoint::NetOversizedFrame).is_some() {
             return self.send_oversized();
         }
@@ -125,7 +155,10 @@ impl NetClient {
         if self.plan.fire_at(FaultPoint::NetSlowClient).is_some() {
             return self.send_slowly(&bytes);
         }
-        self.stream.write_all(&bytes)?;
+        {
+            let _span = xac_obs::span("net.client_send");
+            self.stream.write_all(&bytes)?;
+        }
         self.read_answer()
     }
 
@@ -157,6 +190,16 @@ impl NetClient {
     /// Engine metrics (admin only).
     pub fn metrics(&mut self) -> Result<Response, WireError> {
         self.request(&Request::Metrics)
+    }
+
+    /// Prometheus exposition over the wire (admin only).
+    pub fn scrape(&mut self) -> Result<Response, WireError> {
+        self.request(&Request::Scrape)
+    }
+
+    /// The server's most recent `n` flight records (admin only).
+    pub fn tail(&mut self, n: u32) -> Result<Response, WireError> {
+        self.request(&Request::tail(n))
     }
 
     /// Clean close: best-effort goodbye frame, then drop the socket.

@@ -50,4 +50,4 @@ pub mod wire;
 pub use client::{raw_exchange, split_net_plan, NetClient};
 pub use limiter::TokenBucket;
 pub use server::{NetServer, ServerConfig};
-pub use wire::{Frame, WireError, MAGIC, MAX_FRAME, VERSION};
+pub use wire::{Frame, WireError, WireTrace, MAGIC, MAX_FRAME, MIN_VERSION, VERSION};

@@ -41,7 +41,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use xac_serve::{ErrorKind, Response, Role, ServeEngine};
+use xac_serve::{ErrorKind, Request, Response, Role, ServeEngine};
 
 /// Tunables for [`NetServer::start`].
 #[derive(Debug, Clone)]
@@ -258,6 +258,48 @@ fn send_error(stream: &mut TcpStream, kind: ErrorKind, message: String) {
     let _ = wire::write_frame(stream, &Frame::Error { kind, message });
 }
 
+/// Flight-record one wire request: phase breakdown into the always-on
+/// recorder, plus the per-verb latency histogram (exemplared with the
+/// request's trace id) that `Request::Scrape` exposes and `xmlac top`
+/// renders. `response` is `None` for rate-limit refusals, which never
+/// reach the engine.
+#[allow(clippy::too_many_arguments)]
+fn record_flight(
+    shared: &Shared,
+    req: &Request,
+    trace_id: u128,
+    decode_dur: Duration,
+    queue_dur: Duration,
+    execute_dur: Option<Duration>,
+    served: Instant,
+    response: Option<&Response>,
+) {
+    let outcome = match response {
+        None => "error:rate_limited".to_string(),
+        Some(Response::Decision { granted: true, .. }) => "granted".to_string(),
+        Some(Response::Decision { granted: false, .. }) => "denied".to_string(),
+        Some(Response::Update { applied: true, .. }) => "applied".to_string(),
+        Some(Response::Update { applied: false, .. }) => "refused".to_string(),
+        Some(Response::Error { kind, .. }) => format!("error:{kind}"),
+        Some(_) => "ok".to_string(),
+    };
+    let total_us = (decode_dur + served.elapsed()).as_micros() as u64;
+    xac_obs::flight_recorder().record(xac_obs::FlightRecord {
+        trace_id,
+        verb: req.verb().to_string(),
+        backend: shared.engine.backend_name().to_string(),
+        outcome,
+        epoch: shared.engine.epoch(),
+        decode_us: decode_dur.as_micros() as u64,
+        queue_us: queue_dur.as_micros() as u64,
+        execute_us: execute_dur.unwrap_or_default().as_micros() as u64,
+        total_us,
+        seq: 0,
+    });
+    let key = xac_obs::sample_key("xac_net_request_us", &[("verb", req.verb())]);
+    xac_obs::histogram(&key).observe_with_exemplar(total_us, trace_id);
+}
+
 /// One session: handshake, then the request/response loop, then a
 /// lingering close so the last frame written always reaches the peer.
 fn session(stream: TcpStream, shared: &Shared) {
@@ -311,34 +353,65 @@ fn run_session(stream: &mut TcpStream, shared: &Shared) {
     Shared::counter(&format!("xac_net_sessions_total{{role=\"{}\"}}", role.name()));
 
     loop {
-        match wire::read_frame(stream) {
-            Ok(Frame::Request(req)) => {
-                if !shared.admit_request(role) {
-                    Shared::counter("xac_net_rejected_total{reason=\"rate_limit\"}");
-                    send_error(
-                        stream,
-                        ErrorKind::RateLimited,
-                        format!(
-                            "role `{role}` exceeded {} requests/sec",
-                            shared.config.rate_limit.unwrap_or(0)
-                        ),
-                    );
-                    continue;
+        match wire::read_frame_timed(stream) {
+            Ok((Frame::Request(req, trace), decode_dur)) => {
+                // Re-enter the client's trace context (if the frame
+                // carried one) so every span and record below shares
+                // its trace id. The decode span is backfilled — the
+                // context only exists once decode has finished.
+                let _ctx = trace.map(|t| xac_obs::trace::enter(t.to_context()));
+                xac_obs::trace::record_span("net.server_decode", decode_dur);
+                let trace_id = trace.map_or(0, |t| t.trace_id);
+                let served = Instant::now();
+                let queue_dur;
+                {
+                    let _span = xac_obs::span("net.queue_wait");
+                    let queue_start = Instant::now();
+                    let admitted = shared.admit_request(role);
+                    queue_dur = queue_start.elapsed();
+                    if !admitted {
+                        Shared::counter("xac_net_rejected_total{reason=\"rate_limit\"}");
+                        record_flight(
+                            shared, &req, trace_id, decode_dur, queue_dur, None, served, None,
+                        );
+                        send_error(
+                            stream,
+                            ErrorKind::RateLimited,
+                            format!(
+                                "role `{role}` exceeded {} requests/sec",
+                                shared.config.rate_limit.unwrap_or(0)
+                            ),
+                        );
+                        continue;
+                    }
                 }
                 Shared::counter(&format!(
                     "xac_net_requests_total{{verb=\"{}\"}}",
                     req.verb()
                 ));
+                let execute_start = Instant::now();
                 let response = shared.engine.serve_as(role, &req);
+                let execute_dur = execute_start.elapsed();
                 if matches!(response, Response::Error { .. }) {
                     Shared::counter("xac_net_request_errors_total");
                 }
-                if wire::write_frame(stream, &Frame::Response(response)).is_err() {
+                let sent = wire::write_frame(stream, &Frame::Response(response.clone()));
+                record_flight(
+                    shared,
+                    &req,
+                    trace_id,
+                    decode_dur,
+                    queue_dur,
+                    Some(execute_dur),
+                    served,
+                    Some(&response),
+                );
+                if sent.is_err() {
                     return;
                 }
             }
-            Ok(Frame::Goodbye) => return,
-            Ok(other) => {
+            Ok((Frame::Goodbye, _)) => return,
+            Ok((other, _)) => {
                 send_error(
                     stream,
                     ErrorKind::Protocol,

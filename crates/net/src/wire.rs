@@ -7,8 +7,13 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  "XACN"
-//! 4       2     protocol version, u16 big-endian (currently 1)
+//! 4       2     protocol version, u16 big-endian (currently 2)
 //! ```
+//!
+//! The server accepts any version in `[MIN_VERSION, VERSION]` — a v1
+//! client talks to a v2 server unchanged, because the only v2 addition
+//! is an *optional trailing field* on request frames (the trace
+//! context, below) that v1 clients simply never send.
 //!
 //! Everything after the preamble is **frames**, in both directions:
 //!
@@ -39,8 +44,14 @@ use xac_serve::{ErrorKind, Request, Response, Role};
 /// First four bytes of every connection.
 pub const MAGIC: [u8; 4] = *b"XACN";
 
-/// Protocol version the preamble carries.
-pub const VERSION: u16 = 1;
+/// Protocol version the preamble carries: version 2 adds the optional
+/// trailing [`WireTrace`] field on request frames.
+pub const VERSION: u16 = 2;
+
+/// Oldest protocol version the server still accepts. Version-1 frames
+/// are a strict subset of version 2 (no trailing trace context), so one
+/// decoder serves both.
+pub const MIN_VERSION: u16 = 1;
 
 /// Hard cap on a frame's declared payload length. Bigger declarations
 /// are rejected from the header alone ([`WireError::Oversized`]).
@@ -81,7 +92,8 @@ pub enum WireError {
     Closed,
     /// The preamble's first four bytes were not [`MAGIC`].
     BadMagic([u8; 4]),
-    /// The preamble's version word was not [`VERSION`].
+    /// The preamble's version word was outside
+    /// `[MIN_VERSION, VERSION]`.
     Version {
         /// The version the peer announced.
         got: u16,
@@ -135,7 +147,10 @@ impl std::fmt::Display for WireError {
                 write!(f, "bad magic {m:02x?} (expected `XACN`)")
             }
             WireError::Version { got } => {
-                write!(f, "protocol version {got} unsupported (speaking {VERSION})")
+                write!(
+                    f,
+                    "protocol version {got} unsupported (accepting {MIN_VERSION}..={VERSION})"
+                )
             }
             WireError::Oversized { declared } => write!(
                 f,
@@ -161,6 +176,32 @@ impl From<std::io::Error> for WireError {
     }
 }
 
+/// The trace context a version-2 request frame may carry: 16 bytes of
+/// trace id plus the client's sending span id, appended to the request
+/// payload as three big-endian `u64` words (`trace_id` high half, low
+/// half, `parent_span`). Absence — a v1 frame, or a v2 client with
+/// propagation off — decodes as `None`; a *partial* trailer is
+/// malformed, never silently ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireTrace {
+    /// 128-bit trace id minted by the client ([`xac_obs::TraceContext`]).
+    pub trace_id: u128,
+    /// Span id of the client-side send span, the server's parent.
+    pub parent_span: u64,
+}
+
+impl WireTrace {
+    /// The wire form of an [`xac_obs::TraceContext`].
+    pub fn from_context(ctx: xac_obs::TraceContext) -> WireTrace {
+        WireTrace { trace_id: ctx.trace_id, parent_span: ctx.span_id }
+    }
+
+    /// Re-enterable context on the receiving side.
+    pub fn to_context(self) -> xac_obs::TraceContext {
+        xac_obs::TraceContext { trace_id: self.trace_id, span_id: self.parent_span }
+    }
+}
+
 /// One frame of the protocol, either direction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {
@@ -176,8 +217,9 @@ pub enum Frame {
         /// Epoch published at accept time.
         epoch: u64,
     },
-    /// Client → server: one request.
-    Request(Request),
+    /// Client → server: one request, with the optional v2 trace
+    /// context.
+    Request(Request, Option<WireTrace>),
     /// Server → client: one response.
     Response(Response),
     /// Server → client: typed error. Kind byte is [`ErrorKind::code`].
@@ -197,7 +239,7 @@ impl Frame {
         match self {
             Frame::Hello { .. } => "hello",
             Frame::Welcome { .. } => "welcome",
-            Frame::Request(_) => "request",
+            Frame::Request(..) => "request",
             Frame::Response(_) => "response",
             Frame::Error { .. } => "error",
             Frame::Goodbye => "goodbye",
@@ -209,7 +251,7 @@ impl Frame {
         match self {
             Frame::Hello { .. } => tag::HELLO,
             Frame::Welcome { .. } => tag::WELCOME,
-            Frame::Request(_) => tag::REQUEST,
+            Frame::Request(..) => tag::REQUEST,
             Frame::Response(_) => tag::RESPONSE,
             Frame::Error { .. } => tag::ERROR,
             Frame::Goodbye => tag::GOODBYE,
@@ -225,7 +267,14 @@ impl Frame {
                 put_u64(&mut out, *epoch);
                 put_str(&mut out, backend);
             }
-            Frame::Request(req) => encode_request(&mut out, req),
+            Frame::Request(req, trace) => {
+                encode_request(&mut out, req);
+                if let Some(t) = trace {
+                    put_u64(&mut out, (t.trace_id >> 64) as u64);
+                    put_u64(&mut out, t.trace_id as u64);
+                    put_u64(&mut out, t.parent_span);
+                }
+            }
             Frame::Response(resp) => encode_response(&mut out, resp),
             Frame::Error { kind, message } => {
                 out.push(kind.code());
@@ -261,7 +310,25 @@ impl Frame {
                 let backend = c.take_str()?;
                 Frame::Welcome { backend, epoch }
             }
-            tag::REQUEST => Frame::Request(decode_request(&mut c)?),
+            tag::REQUEST => {
+                let req = decode_request(&mut c)?;
+                // v2's optional trailing trace context: absent on v1
+                // frames (and v2 frames with propagation off). Present
+                // means exactly three u64 words — a truncated trailer
+                // fails in `take_u64`, surplus bytes in `finish`.
+                let trace = if c.remaining() > 0 {
+                    let hi = c.take_u64()?;
+                    let lo = c.take_u64()?;
+                    let parent_span = c.take_u64()?;
+                    Some(WireTrace {
+                        trace_id: (hi as u128) << 64 | lo as u128,
+                        parent_span,
+                    })
+                } else {
+                    None
+                };
+                Frame::Request(req, trace)
+            }
             tag::RESPONSE => Frame::Response(decode_response(&mut c)?),
             tag::ERROR => {
                 let code = c.take_u8()?;
@@ -288,8 +355,20 @@ pub fn write_preamble(w: &mut impl Write) -> Result<(), WireError> {
     Ok(())
 }
 
-/// Read and validate the preamble (server side).
-pub fn read_preamble(r: &mut impl Read) -> Result<(), WireError> {
+/// Send a preamble carrying a specific version (cross-version tests;
+/// real clients use [`write_preamble`]).
+pub fn write_preamble_versioned(w: &mut impl Write, version: u16) -> Result<(), WireError> {
+    let mut bytes = [0u8; 6];
+    bytes[..4].copy_from_slice(&MAGIC);
+    bytes[4..].copy_from_slice(&version.to_be_bytes());
+    w.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Read and validate the preamble (server side). Returns the version
+/// the peer negotiated — any of `[MIN_VERSION, VERSION]` is accepted,
+/// so v1 clients keep working against a v2 server.
+pub fn read_preamble(r: &mut impl Read) -> Result<u16, WireError> {
     let mut magic = [0u8; 4];
     read_exact_or(r, &mut magic, "truncated preamble")?;
     if magic != MAGIC {
@@ -298,10 +377,10 @@ pub fn read_preamble(r: &mut impl Read) -> Result<(), WireError> {
     let mut version = [0u8; 2];
     read_exact_or(r, &mut version, "truncated preamble")?;
     let got = u16::from_be_bytes(version);
-    if got != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&got) {
         return Err(WireError::Version { got });
     }
-    Ok(())
+    Ok(got)
 }
 
 /// Write one frame.
@@ -315,6 +394,16 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
 /// [`WireError::Malformed`] — the two are distinguished so a server can
 /// tell a polite goodbye-less disconnect from a torn frame.
 pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
+    read_frame_timed(r).map(|(frame, _)| frame)
+}
+
+/// [`read_frame`] that also reports how long the *decode* took — the
+/// time from the last payload byte being in memory to the typed
+/// [`Frame`] existing. Network wait is excluded, so the duration is the
+/// server's decode phase, not the client's think time.
+pub fn read_frame_timed(
+    r: &mut impl Read,
+) -> Result<(Frame, std::time::Duration), WireError> {
     let mut header = [0u8; 4];
     // First byte by hand: read() returning 0 here is the only place a
     // disconnect counts as clean.
@@ -337,7 +426,9 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
     read_exact_or(r, &mut tag_byte, "truncated frame header")?;
     let mut payload = vec![0u8; declared];
     read_exact_or(r, &mut payload, "truncated frame payload")?;
-    Frame::decode(tag_byte[0], &payload)
+    let started = std::time::Instant::now();
+    let frame = Frame::decode(tag_byte[0], &payload)?;
+    Ok((frame, started.elapsed()))
 }
 
 /// `read_exact` that reports a mid-frame disconnect as a malformed
@@ -376,6 +467,11 @@ fn encode_request(out: &mut Vec<u8>, req: &Request) {
         }
         Request::Status => out.push(4),
         Request::Metrics => out.push(5),
+        Request::Scrape => out.push(6),
+        Request::Tail { n } => {
+            out.push(7);
+            put_u32(out, *n);
+        }
         // Request is #[non_exhaustive]; a new variant must get a wire
         // code here before anything can send it.
         other => unreachable!("unencodable request variant {other:?}"),
@@ -393,6 +489,8 @@ fn decode_request(c: &mut Cursor<'_>) -> Result<Request, WireError> {
         }),
         4 => Ok(Request::Status),
         5 => Ok(Request::Metrics),
+        6 => Ok(Request::Scrape),
+        7 => Ok(Request::Tail { n: c.take_u32()? }),
         code => Err(WireError::Malformed(format!("unknown request code {code}"))),
     }
 }
@@ -430,6 +528,27 @@ fn encode_response(out: &mut Vec<u8>, resp: &Response) {
             out.push(kind.code());
             put_str(out, message);
         }
+        Response::Scrape { exposition } => {
+            out.push(6);
+            put_str(out, exposition);
+        }
+        Response::Tail { records } => {
+            out.push(7);
+            put_u32(out, records.len() as u32);
+            for r in records {
+                put_u64(out, (r.trace_id >> 64) as u64);
+                put_u64(out, r.trace_id as u64);
+                put_str(out, &r.verb);
+                put_str(out, &r.backend);
+                put_str(out, &r.outcome);
+                put_u64(out, r.epoch);
+                put_u64(out, r.decode_us);
+                put_u64(out, r.queue_us);
+                put_u64(out, r.execute_us);
+                put_u64(out, r.total_us);
+                put_u64(out, r.seq);
+            }
+        }
         other => unreachable!("unencodable response variant {other:?}"),
     }
 }
@@ -462,6 +581,35 @@ fn decode_response(c: &mut Cursor<'_>) -> Result<Response, WireError> {
                 WireError::Malformed(format!("unknown error kind code {code}"))
             })?;
             Ok(Response::Error { kind, message: c.take_str()? })
+        }
+        6 => Ok(Response::Scrape { exposition: c.take_str()? }),
+        7 => {
+            let count = c.take_u32()? as usize;
+            // Each record is ≥ 76 bytes on the wire; reject counts the
+            // payload cannot possibly hold before allocating.
+            if count > c.remaining() / 76 {
+                return Err(WireError::Malformed(format!(
+                    "tail declares {count} records, payload cannot hold them"
+                )));
+            }
+            let mut records = Vec::with_capacity(count);
+            for _ in 0..count {
+                let hi = c.take_u64()?;
+                let lo = c.take_u64()?;
+                records.push(xac_obs::FlightRecord {
+                    trace_id: (hi as u128) << 64 | lo as u128,
+                    verb: c.take_str()?,
+                    backend: c.take_str()?,
+                    outcome: c.take_str()?,
+                    epoch: c.take_u64()?,
+                    decode_us: c.take_u64()?,
+                    queue_us: c.take_u64()?,
+                    execute_us: c.take_u64()?,
+                    total_us: c.take_u64()?,
+                    seq: c.take_u64()?,
+                });
+            }
+            Ok(Response::Tail { records })
         }
         code => Err(WireError::Malformed(format!("unknown response code {code}"))),
     }
@@ -559,6 +707,10 @@ impl<'a> Cursor<'a> {
         }
     }
 
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     fn finish(&self) -> Result<(), WireError> {
         if self.pos == self.buf.len() {
             Ok(())
@@ -586,12 +738,20 @@ mod tests {
     fn every_frame_kind_round_trips() {
         round_trip(Frame::Hello { role: Role::Writer });
         round_trip(Frame::Welcome { backend: "native/xml".into(), epoch: 7 });
-        round_trip(Frame::Request(Request::query("//patient/name")));
-        round_trip(Frame::Request(Request::delete("//treatment")));
-        round_trip(Frame::Request(Request::insert("//patient", "note", Some("x".into()))));
-        round_trip(Frame::Request(Request::insert("//patient", "note", None)));
-        round_trip(Frame::Request(Request::Status));
-        round_trip(Frame::Request(Request::Metrics));
+        round_trip(Frame::Request(Request::query("//patient/name"), None));
+        round_trip(Frame::Request(Request::delete("//treatment"), None));
+        round_trip(Frame::Request(
+            Request::insert("//patient", "note", Some("x".into())),
+            None,
+        ));
+        round_trip(Frame::Request(Request::insert("//patient", "note", None), None));
+        round_trip(Frame::Request(Request::Status, None));
+        round_trip(Frame::Request(Request::Metrics, None));
+        round_trip(Frame::Request(Request::Scrape, None));
+        round_trip(Frame::Request(Request::tail(32), None));
+        let trace = WireTrace { trace_id: 0xfeed_beef_dead_cafe_0123 << 16 | 7, parent_span: 42 };
+        round_trip(Frame::Request(Request::query("//psn"), Some(trace)));
+        round_trip(Frame::Request(Request::Status, Some(trace)));
         round_trip(Frame::Response(Response::Decision { granted: true, nodes: 3, epoch: 1 }));
         round_trip(Frame::Response(Response::Update {
             applied: false,
@@ -608,6 +768,24 @@ mod tests {
             quarantined: false,
         }));
         round_trip(Frame::Response(Response::Metrics { rendered: "reads 5\n".into() }));
+        round_trip(Frame::Response(Response::Scrape {
+            exposition: "# TYPE x counter\nx 1\n".into(),
+        }));
+        round_trip(Frame::Response(Response::Tail { records: vec![] }));
+        round_trip(Frame::Response(Response::Tail {
+            records: vec![xac_obs::FlightRecord {
+                trace_id: 0xabcdu128 << 64 | 0x1234,
+                verb: "query".into(),
+                backend: "native/xml".into(),
+                outcome: "granted".into(),
+                epoch: 5,
+                decode_us: 3,
+                queue_us: 0,
+                execute_us: 210,
+                total_us: 215,
+                seq: 17,
+            }],
+        }));
         round_trip(Frame::Response(Response::Error {
             kind: ErrorKind::Quarantined,
             message: "read-only".into(),
@@ -621,7 +799,13 @@ mod tests {
         let mut buf = Vec::new();
         write_preamble(&mut buf).unwrap();
         assert_eq!(buf.len(), 6);
-        assert_eq!(read_preamble(&mut &buf[..]), Ok(()));
+        assert_eq!(read_preamble(&mut &buf[..]), Ok(VERSION));
+
+        // A v1 preamble still negotiates: v2's only addition is the
+        // optional trailing trace context v1 clients never send.
+        let mut v1 = Vec::new();
+        write_preamble_versioned(&mut v1, 1).unwrap();
+        assert_eq!(read_preamble(&mut &v1[..]), Ok(1));
 
         let mut http = &b"GET / HTTP/1.1\r\n"[..];
         assert_eq!(
@@ -629,12 +813,48 @@ mod tests {
             Err(WireError::BadMagic(*b"GET "))
         );
 
-        let mut future = Vec::from(MAGIC);
-        future.extend_from_slice(&2u16.to_be_bytes());
+        for bad in [0u16, 3, 99] {
+            let mut future = Vec::from(MAGIC);
+            future.extend_from_slice(&bad.to_be_bytes());
+            assert_eq!(
+                read_preamble(&mut &future[..]),
+                Err(WireError::Version { got: bad })
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_trace_context_is_malformed_not_ignored() {
+        // A full v2 request frame payload, then cut the 24-byte trace
+        // trailer at every prefix length: each cut must be Malformed —
+        // a partial context is never silently dropped.
+        let trace = WireTrace { trace_id: 77, parent_span: 8 };
+        let full = Frame::Request(Request::query("//a"), Some(trace)).encode_payload();
+        let bare = Frame::Request(Request::query("//a"), None).encode_payload();
+        assert_eq!(full.len(), bare.len() + 24);
+        for cut in 1..24 {
+            let payload = &full[..bare.len() + cut];
+            match Frame::decode(tag::REQUEST, payload) {
+                Err(WireError::Malformed(_)) => {}
+                other => panic!("cut {cut}: expected Malformed, got {other:?}"),
+            }
+        }
+        // The intact trailer round-trips, and its absence decodes None.
         assert_eq!(
-            read_preamble(&mut &future[..]),
-            Err(WireError::Version { got: 2 })
+            Frame::decode(tag::REQUEST, &full).unwrap(),
+            Frame::Request(Request::query("//a"), Some(trace))
         );
+        assert_eq!(
+            Frame::decode(tag::REQUEST, &bare).unwrap(),
+            Frame::Request(Request::query("//a"), None)
+        );
+    }
+
+    #[test]
+    fn wire_trace_context_round_trips() {
+        let ctx = xac_obs::TraceContext::mint();
+        let wt = WireTrace::from_context(ctx);
+        assert_eq!(wt.to_context(), ctx);
     }
 
     #[test]
@@ -651,7 +871,7 @@ mod tests {
     #[test]
     fn clean_close_vs_torn_frame_are_distinct() {
         assert_eq!(read_frame(&mut &[][..]), Err(WireError::Closed));
-        let whole = Frame::Request(Request::query("//a")).to_bytes();
+        let whole = Frame::Request(Request::query("//a"), None).to_bytes();
         for cut in 1..whole.len() {
             match read_frame(&mut &whole[..cut]) {
                 Err(WireError::Malformed(_)) => {}

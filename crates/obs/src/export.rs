@@ -32,7 +32,16 @@ pub fn json_escape(s: &str) -> String {
 /// events; instants become thread-scoped (`"ph":"i"`) events.
 /// Timestamps are microseconds with nanosecond precision kept in the
 /// fractional part.
+///
+/// Spans that carry a nonzero trace id are additionally stitched into
+/// **flow events** (`ph:"s"` start → `ph:"t"` steps → `ph:"f"` finish,
+/// `bt:"e"` so the finish binds to the enclosing slice) keyed by the
+/// hex trace id, which is what makes a client-send span and the
+/// server-side spans of the same request draw as one connected arrow
+/// chain in Perfetto even across threads and processes. A trace id
+/// that appears on a single span emits no flow (nothing to connect).
 pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    use std::collections::BTreeMap;
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
     let mut first = true;
     for e in events {
@@ -59,6 +68,37 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     e.tid
                 );
             }
+        }
+    }
+
+    // Flow chains: spans grouped per trace id, ordered by start time
+    // (seq breaks ties so re-exported buffers stay deterministic).
+    let mut by_trace: BTreeMap<u128, Vec<&TraceEvent>> = BTreeMap::new();
+    for e in events {
+        if e.kind == TraceKind::Span && e.trace_id != 0 {
+            by_trace.entry(e.trace_id).or_default().push(e);
+        }
+    }
+    for (trace_id, mut spans) in by_trace {
+        if spans.len() < 2 {
+            continue;
+        }
+        spans.sort_by_key(|e| (e.start_ns, e.seq));
+        let id = crate::trace::trace_id_hex(trace_id);
+        let last = spans.len() - 1;
+        for (i, e) in spans.iter().enumerate() {
+            let ph = match i {
+                0 => "s",
+                i if i == last => "f",
+                _ => "t",
+            };
+            let bt = if ph == "f" { ",\"bt\":\"e\"" } else { "" };
+            let ts_us = e.start_ns as f64 / 1_000.0;
+            let _ = write!(
+                out,
+                ",\n{{\"name\":\"request\",\"cat\":\"flow\",\"ph\":\"{ph}\"{bt},\"id\":\"{id}\",\"ts\":{ts_us:.3},\"pid\":1,\"tid\":{}}}",
+                e.tid
+            );
         }
     }
     out.push_str("\n]}\n");
@@ -117,7 +157,10 @@ fn key_with_label(key: &str, label: &str) -> String {
 
 /// Append one histogram in Prometheus exposition form: cumulative
 /// `_bucket{le=...}` samples (upper bounds are the inclusive log2
-/// bucket tops, `(1<<i)-1`), then `_sum` and `_count`.
+/// bucket tops, `(1<<i)-1`), then `_sum` and `_count`. Buckets that
+/// carry a trace-id exemplar get the OpenMetrics suffix
+/// `# {trace_id="<32 hex>"} <observed value>`, linking the bucket to a
+/// recent request that landed in it.
 pub fn write_histogram(out: &mut String, key: &str, snap: &HistogramSnapshot) {
     let name = family_of(key);
     let labels = &key[name.len()..];
@@ -130,7 +173,19 @@ pub fn write_histogram(out: &mut String, key: &str, snap: &HistogramSnapshot) {
             HistogramSnapshot::bucket_bound(i).to_string()
         };
         let bucket_key = key_with_label(&format!("{name}_bucket{labels}"), &format!("le=\"{le}\""));
-        let _ = writeln!(out, "{bucket_key} {cumulative}");
+        match snap.exemplars.get(i).copied().flatten() {
+            Some(ex) => {
+                let _ = writeln!(
+                    out,
+                    "{bucket_key} {cumulative} # {{trace_id=\"{}\"}} {}",
+                    crate::trace::trace_id_hex(ex.trace_id),
+                    ex.value
+                );
+            }
+            None => {
+                let _ = writeln!(out, "{bucket_key} {cumulative}");
+            }
+        }
     }
     let _ = writeln!(out, "{name}_sum{labels} {}", snap.total);
     let _ = writeln!(out, "{name}_count{labels} {}", snap.count);
@@ -243,8 +298,37 @@ fn valid_label_body(s: &str) -> bool {
     }
 }
 
+/// Scan a `{...}` label body starting at `rest` (which must begin with
+/// `{`), honoring quoted values; returns the text after the closing
+/// brace, or `None` if the body is unterminated or malformed.
+fn scan_label_body(rest: &str) -> Option<&str> {
+    let bytes = rest.as_bytes();
+    let mut i = 1;
+    let mut in_quotes = false;
+    let close = loop {
+        match bytes.get(i) {
+            None => return None,
+            Some(b'\\') if in_quotes => i += 1,
+            Some(b'"') => in_quotes = !in_quotes,
+            Some(b'}') if !in_quotes => break i,
+            Some(_) => {}
+        }
+        i += 1;
+    };
+    if !valid_label_body(&rest[1..close]) {
+        return None;
+    }
+    Some(&rest[close + 1..])
+}
+
+fn valid_sample_value(value: &str) -> bool {
+    value.parse::<f64>().is_ok() || matches!(value, "+Inf" | "-Inf" | "Inf" | "NaN")
+}
+
 fn valid_sample_line(line: &str) -> bool {
-    // name[{labels}] value [timestamp]
+    // name[{labels}] value [timestamp] [# {labels} value [timestamp]]
+    // — the trailing `# {...}` form is an OpenMetrics exemplar, as
+    // emitted by [`write_histogram`] for buckets with a trace id.
     let name_end = line
         .find(|c: char| c == '{' || c.is_whitespace())
         .unwrap_or(line.len());
@@ -255,38 +339,43 @@ fn valid_sample_line(line: &str) -> bool {
     if rest.starts_with('{') {
         // The label body cannot contain an unescaped '}' in a value, but
         // values are quoted — find the closing brace outside quotes.
-        let bytes = rest.as_bytes();
-        let mut i = 1;
-        let mut in_quotes = false;
-        let close = loop {
-            match bytes.get(i) {
-                None => return false,
-                Some(b'\\') if in_quotes => i += 1,
-                Some(b'"') => in_quotes = !in_quotes,
-                Some(b'}') if !in_quotes => break i,
-                Some(_) => {}
-            }
-            i += 1;
+        rest = match scan_label_body(rest) {
+            Some(r) => r,
+            None => return false,
         };
-        if !valid_label_body(&rest[1..close]) {
+    }
+    rest = rest.trim_start();
+    let value_end = rest.find(char::is_whitespace).unwrap_or(rest.len());
+    if !valid_sample_value(&rest[..value_end]) {
+        return false;
+    }
+    rest = rest[value_end..].trim_start();
+    // Optional timestamp (milliseconds, may be negative).
+    if !rest.is_empty() && !rest.starts_with('#') {
+        let ts_end = rest.find(char::is_whitespace).unwrap_or(rest.len());
+        if rest[..ts_end].parse::<i64>().is_err() {
             return false;
         }
-        rest = &rest[close + 1..];
+        rest = rest[ts_end..].trim_start();
     }
-    let mut parts = rest.split_whitespace();
-    let value = match parts.next() {
-        Some(v) => v,
-        None => return false,
-    };
-    let value_ok = value.parse::<f64>().is_ok()
-        || matches!(value, "+Inf" | "-Inf" | "Inf" | "NaN");
-    if !value_ok {
+    if rest.is_empty() {
+        return true;
+    }
+    // Exemplar: `# {labels} value [timestamp]`.
+    let Some(ex) = rest.strip_prefix('#') else { return false };
+    let ex = ex.trim_start();
+    if !ex.starts_with('{') {
         return false;
+    }
+    let Some(after) = scan_label_body(ex) else { return false };
+    let mut parts = after.split_whitespace();
+    match parts.next() {
+        Some(v) if valid_sample_value(v) => {}
+        _ => return false,
     }
     match parts.next() {
         None => true,
-        // Optional timestamp (milliseconds, may be negative).
-        Some(ts) => ts.parse::<i64>().is_ok() && parts.next().is_none(),
+        Some(ts) => ts.parse::<f64>().is_ok() && parts.next().is_none(),
     }
 }
 
@@ -500,6 +589,133 @@ fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), String
     }
 }
 
+/// Like [`parse_string`] but returns the raw contents (escapes left
+/// as-is — flow phases and trace-id strings never contain any).
+fn read_string_raw<'a>(bytes: &'a [u8], pos: &mut usize, text: &'a str) -> Result<&'a str, String> {
+    let start = *pos + 1;
+    parse_string(bytes, pos)?;
+    Ok(&text[start..*pos - 1])
+}
+
+/// Walk a JSON value collecting `(ph, id)` string pairs from every
+/// object that carries both keys at the same level.
+fn flow_scan(
+    text: &str,
+    bytes: &[u8],
+    pos: &mut usize,
+    depth: usize,
+    found: &mut Vec<(String, String)>,
+) -> Result<(), String> {
+    if depth > MAX_JSON_DEPTH {
+        return Err("nesting too deep".to_string());
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(bytes, pos);
+            let (mut ph, mut id) = (None, None);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = read_string_raw(bytes, pos, text)?.to_string();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}", pos = *pos));
+                }
+                *pos += 1;
+                skip_ws(bytes, pos);
+                if (key == "ph" || key == "id") && bytes.get(*pos) == Some(&b'"') {
+                    let value = read_string_raw(bytes, pos, text)?.to_string();
+                    if key == "ph" {
+                        ph = Some(value);
+                    } else {
+                        id = Some(value);
+                    }
+                } else {
+                    flow_scan(text, bytes, pos, depth + 1, found)?;
+                }
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        break;
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+                }
+            }
+            if let (Some(ph), Some(id)) = (ph, id) {
+                found.push((ph, id));
+            }
+            Ok(())
+        }
+        Some(b'[') => {
+            *pos += 1;
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                flow_scan(text, bytes, pos, depth + 1, found)?;
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        _ => parse_value(bytes, pos, depth),
+    }
+}
+
+/// Validate flow-event pairing in a Chrome trace: the document must be
+/// well-formed JSON, and every flow id that appears on any `ph:"s"`,
+/// `ph:"t"` or `ph:"f"` event must carry exactly one start (`s`) and
+/// exactly one finish (`f`) — a dangling start, a finish without a
+/// start, or a step on an unopened chain all fail. Traces with no flow
+/// events at all pass (nothing to pair).
+pub fn validate_flow_pairing(text: &str) -> Result<(), String> {
+    validate_json(text)?;
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let mut found = Vec::new();
+    skip_ws(bytes, &mut pos);
+    flow_scan(text, bytes, &mut pos, 0, &mut found)?;
+    use std::collections::BTreeMap;
+    let mut chains: BTreeMap<&str, (u32, u32, u32)> = BTreeMap::new();
+    for (ph, id) in &found {
+        let slot = chains.entry(id.as_str()).or_default();
+        match ph.as_str() {
+            "s" => slot.0 += 1,
+            "t" => slot.1 += 1,
+            "f" => slot.2 += 1,
+            _ => {}
+        }
+    }
+    for (id, (starts, steps, finishes)) in chains {
+        if starts + steps + finishes == 0 {
+            continue; // id on a non-flow event (e.g. an async span)
+        }
+        if starts != 1 || finishes != 1 {
+            return Err(format!(
+                "flow id {id}: {starts} start(s), {steps} step(s), {finishes} finish(es) \
+                 — expected exactly one start and one finish"
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -514,7 +730,12 @@ mod tests {
             start_ns,
             dur_ns,
             seq: 0,
+            trace_id: 0,
         }
+    }
+
+    fn traced_span(name: &str, tid: u64, start_ns: u64, trace_id: u128) -> TraceEvent {
+        TraceEvent { trace_id, ..span_event(name, tid, start_ns, 10_000) }
     }
 
     #[test]
@@ -531,12 +752,69 @@ mod tests {
             start_ns: 25_000,
             dur_ns: 0,
             seq: 0,
+            trace_id: 0,
         });
         let json = chrome_trace(&events);
         validate_json(&json).expect("chrome trace must be well-formed JSON");
         assert!(json.contains("\"ph\":\"X\""));
         assert!(json.contains("\"ph\":\"i\""));
         assert!(json.contains("\"name\":\"fault:mid_reannotate\""));
+        assert!(!json.contains("\"ph\":\"s\""), "untraced spans emit no flow events");
+    }
+
+    #[test]
+    fn flow_events_connect_spans_sharing_a_trace_id() {
+        let events = vec![
+            traced_span("net.client_send", 1, 1_000, 0xAB),
+            traced_span("net.server_decode", 2, 2_000, 0xAB),
+            traced_span("serve.update", 2, 3_000, 0xAB),
+            traced_span("lonely", 3, 4_000, 0xCD), // single span: no flow
+            span_event("untraced", 3, 5_000, 10),
+        ];
+        let json = chrome_trace(&events);
+        validate_flow_pairing(&json).expect("emitted flows must pair");
+        let id = "000000000000000000000000000000ab";
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"t\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 1);
+        assert!(json.contains(&format!("\"id\":\"{id}\"")));
+        assert!(json.contains("\"bt\":\"e\""), "finish must bind enclosing");
+        assert!(!json.contains("00000000000000000000000000cd"), "singleton id emits nothing");
+    }
+
+    #[test]
+    fn flow_pairing_validator_rejects_dangling_chains() {
+        let ok = r#"{"traceEvents":[
+            {"ph":"s","id":"a","ts":1},{"ph":"t","id":"a","ts":2},{"ph":"f","id":"a","ts":3}]}"#;
+        validate_flow_pairing(ok).expect("balanced chain");
+        let dangling_start = r#"{"traceEvents":[{"ph":"s","id":"a","ts":1}]}"#;
+        assert!(validate_flow_pairing(dangling_start).is_err());
+        let orphan_finish = r#"{"traceEvents":[{"ph":"f","id":"a","ts":1}]}"#;
+        assert!(validate_flow_pairing(orphan_finish).is_err());
+        let double_start =
+            r#"[{"ph":"s","id":"a"},{"ph":"s","id":"a"},{"ph":"f","id":"a"}]"#;
+        assert!(validate_flow_pairing(double_start).is_err());
+        let step_only = r#"[{"ph":"t","id":"a"}]"#;
+        assert!(validate_flow_pairing(step_only).is_err());
+        // Non-flow phases sharing an id don't participate.
+        let async_only = r#"[{"ph":"X","id":"a","ts":1,"dur":2}]"#;
+        validate_flow_pairing(async_only).expect("no flow events to pair");
+        // Still a JSON validator underneath.
+        assert!(validate_flow_pairing("[1 2]").is_err());
+    }
+
+    #[test]
+    fn histogram_exemplars_render_and_validate() {
+        let reg = Registry::new();
+        let h = reg.histogram(&sample_key("xac_net_request_us", &[("verb", "query")]));
+        h.observe_with_exemplar(100, 0xAB);
+        h.observe(50_000); // no exemplar on this bucket
+        let text = prometheus_render(&reg);
+        validate_prometheus(&text).expect("exemplar exposition must validate");
+        assert!(
+            text.contains("# {trace_id=\"000000000000000000000000000000ab\"} 100"),
+            "missing exemplar suffix in:\n{text}"
+        );
     }
 
     #[test]
@@ -580,6 +858,12 @@ mod tests {
         assert!(validate_prometheus("# TYPE x counter\nx 1\n").is_ok());
         assert!(validate_prometheus("x{a=\"b\",c=\"d\"} 1.5 1700000000\n").is_ok());
         assert!(validate_prometheus("x_bucket{le=\"+Inf\"} 12\n").is_ok());
+        // Exemplar suffixes: `# {labels} value [ts]` after the sample.
+        assert!(validate_prometheus("x_bucket{le=\"127\"} 3 # {trace_id=\"ab12\"} 100\n").is_ok());
+        assert!(validate_prometheus("x 1 1700000000 # {trace_id=\"ab\"} 2 1700.5\n").is_ok());
+        assert!(validate_prometheus("x 1 # not_braced 2\n").is_err());
+        assert!(validate_prometheus("x 1 # {trace_id=\"ab\"}\n").is_err(), "exemplar needs a value");
+        assert!(validate_prometheus("x 1 # {unclosed=\"v\" 2\n").is_err());
     }
 
     #[test]

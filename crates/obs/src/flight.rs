@@ -1,0 +1,266 @@
+//! Always-on flight recorder: a fixed-size ring of per-request
+//! records.
+//!
+//! Unlike span tracing (off by default, drained by tools), the flight
+//! recorder is cheap enough to never disable: one small record per
+//! request — trace id, verb, backend, outcome, epoch, and the phase
+//! latency breakdown the server measured — pushed into a bounded ring
+//! under a short mutex hold. The ring answers two questions a span
+//! buffer cannot: *what were the last N requests this server handled*
+//! (the `Request::Tail` admin verb) and *what did the request that
+//! just failed look like* (records classified as errors, quarantines
+//! or slower than the configured threshold are additionally dumped to
+//! stderr the moment they are recorded, so the evidence exists even if
+//! nobody ever asks for the tail).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use crate::trace::trace_id_hex;
+
+/// Default ring capacity of the global recorder.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 1024;
+
+/// Default slow-request threshold (microseconds): requests at or above
+/// it are dumped on record. 500 ms — generous enough that only genuine
+/// outliers trip it on any workload this repo serves.
+pub const DEFAULT_SLOW_THRESHOLD_US: u64 = 500_000;
+
+/// One request's flight record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// The request's 128-bit trace id (0 when the client sent none).
+    pub trace_id: u128,
+    /// Request verb (`query`, `delete`, `scrape`, …).
+    pub verb: String,
+    /// Serving backend name (`native/xml`, `rdb/row`, `rdb/column`).
+    pub backend: String,
+    /// Outcome classification: `granted`, `denied`, `applied`,
+    /// `refused`, `ok`, or `error:<kind>`.
+    pub outcome: String,
+    /// Engine epoch observed by the request.
+    pub epoch: u64,
+    /// Time spent decoding the request frame, microseconds.
+    pub decode_us: u64,
+    /// Queue wait (admission + rate-limit throttling), microseconds.
+    pub queue_us: u64,
+    /// Engine execution time, microseconds.
+    pub execute_us: u64,
+    /// End-to-end server-side latency, microseconds.
+    pub total_us: u64,
+    /// Monotone record number, assigned by the ring.
+    pub seq: u64,
+}
+
+impl FlightRecord {
+    /// Whether the outcome classifies as a failure (dumped on record).
+    pub fn is_error(&self) -> bool {
+        self.outcome.starts_with("error")
+    }
+
+    /// One-line text rendering, shared by the stderr dump and
+    /// `xmlac client tail`.
+    pub fn render(&self) -> String {
+        format!(
+            "#{} trace={} verb={} backend={} outcome={} epoch={} \
+             decode={}us queue={}us execute={}us total={}us",
+            self.seq,
+            trace_id_hex(self.trace_id),
+            self.verb,
+            self.backend,
+            self.outcome,
+            self.epoch,
+            self.decode_us,
+            self.queue_us,
+            self.execute_us,
+            self.total_us,
+        )
+    }
+}
+
+struct RecorderInner {
+    ring: VecDeque<FlightRecord>,
+    dropped: u64,
+    next_seq: u64,
+}
+
+/// A bounded ring of [`FlightRecord`]s with oldest-first eviction and
+/// automatic dump-on-anomaly. The process-global instance is reached
+/// through [`flight_recorder`]; tests build small ones directly.
+pub struct FlightRecorder {
+    cap: usize,
+    slow_threshold_us: AtomicU64,
+    dump_to_stderr: AtomicBool,
+    inner: Mutex<RecorderInner>,
+}
+
+fn unpoison<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `cap` records (minimum 1).
+    pub fn with_capacity(cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            cap: cap.max(1),
+            slow_threshold_us: AtomicU64::new(DEFAULT_SLOW_THRESHOLD_US),
+            dump_to_stderr: AtomicBool::new(true),
+            inner: Mutex::new(RecorderInner {
+                ring: VecDeque::new(),
+                dropped: 0,
+                next_seq: 0,
+            }),
+        }
+    }
+
+    /// Record one request, stamping its `seq`. At capacity the oldest
+    /// record is evicted first and counted. Records classified as
+    /// errors or slower than the threshold are dumped to stderr
+    /// (unless dumping is disabled).
+    pub fn record(&self, mut record: FlightRecord) {
+        let slow = record.total_us >= self.slow_threshold_us.load(Ordering::Relaxed);
+        let anomalous = slow || record.is_error();
+        {
+            let mut inner = unpoison(&self.inner);
+            record.seq = inner.next_seq;
+            inner.next_seq += 1;
+            if inner.ring.len() == self.cap {
+                inner.ring.pop_front();
+                inner.dropped += 1;
+            }
+            inner.ring.push_back(record.clone());
+        }
+        if anomalous && self.dump_to_stderr.load(Ordering::Relaxed) {
+            eprintln!(
+                "xac-flight[{}]: {}",
+                if record.is_error() { "error" } else { "slow" },
+                record.render()
+            );
+        }
+    }
+
+    /// The most recent `n` records, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<FlightRecord> {
+        let inner = unpoison(&self.inner);
+        let skip = inner.ring.len().saturating_sub(n);
+        inner.ring.iter().skip(skip).cloned().collect()
+    }
+
+    /// Records evicted at capacity so far.
+    pub fn dropped(&self) -> u64 {
+        unpoison(&self.inner).dropped
+    }
+
+    /// Buffered record count.
+    pub fn len(&self) -> usize {
+        unpoison(&self.inner).ring.len()
+    }
+
+    /// True when nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Set the slow-request dump threshold, microseconds.
+    pub fn set_slow_threshold_us(&self, us: u64) {
+        self.slow_threshold_us.store(us, Ordering::Relaxed);
+    }
+
+    /// The current slow-request dump threshold, microseconds.
+    pub fn slow_threshold_us(&self) -> u64 {
+        self.slow_threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable the stderr dump (tests that drive error paths
+    /// on purpose turn it off to keep their output readable).
+    pub fn set_dump_to_stderr(&self, on: bool) {
+        self.dump_to_stderr.store(on, Ordering::Relaxed);
+    }
+
+    /// Clear records and the drop counter (`seq` keeps counting).
+    pub fn reset(&self) {
+        let mut inner = unpoison(&self.inner);
+        inner.ring.clear();
+        inner.dropped = 0;
+    }
+}
+
+static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
+
+/// The process-global flight recorder ([`DEFAULT_FLIGHT_CAPACITY`]
+/// records).
+pub fn flight_recorder() -> &'static FlightRecorder {
+    GLOBAL.get_or_init(|| FlightRecorder::with_capacity(DEFAULT_FLIGHT_CAPACITY))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(n: u64) -> FlightRecord {
+        FlightRecord {
+            trace_id: n as u128 + 1,
+            verb: "query".to_string(),
+            backend: "native/xml".to_string(),
+            outcome: "granted".to_string(),
+            epoch: 1,
+            decode_us: 1,
+            queue_us: 0,
+            execute_us: n,
+            total_us: n + 1,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let rec = FlightRecorder::with_capacity(4);
+        rec.set_dump_to_stderr(false);
+        for n in 0..10 {
+            rec.record(record(n));
+        }
+        assert_eq!(rec.len(), 4);
+        assert_eq!(rec.dropped(), 6);
+        let tail = rec.tail(16);
+        let seqs: Vec<u64> = tail.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, [6, 7, 8, 9], "newest four survive, oldest first");
+        assert_eq!(rec.tail(2).len(), 2);
+        assert_eq!(rec.tail(2)[1].seq, 9, "tail(n) keeps the most recent n");
+    }
+
+    #[test]
+    fn reset_clears_but_seq_keeps_counting() {
+        let rec = FlightRecorder::with_capacity(2);
+        rec.set_dump_to_stderr(false);
+        rec.record(record(0));
+        rec.record(record(1));
+        rec.record(record(2));
+        assert_eq!(rec.dropped(), 1);
+        rec.reset();
+        assert!(rec.is_empty());
+        assert_eq!(rec.dropped(), 0);
+        rec.record(record(3));
+        assert_eq!(rec.tail(1)[0].seq, 3, "seq survives the reset");
+    }
+
+    #[test]
+    fn error_and_slow_classification() {
+        let rec = FlightRecorder::with_capacity(4);
+        rec.set_dump_to_stderr(false);
+        rec.set_slow_threshold_us(100);
+        assert_eq!(rec.slow_threshold_us(), 100);
+        let mut bad = record(0);
+        bad.outcome = "error:quarantined".to_string();
+        assert!(bad.is_error());
+        assert!(!record(1).is_error());
+        let line = bad.render();
+        assert!(line.contains("outcome=error:quarantined"));
+        assert!(line.contains("trace=00000000000000000000000000000001"));
+    }
+}

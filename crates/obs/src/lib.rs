@@ -17,15 +17,21 @@
 //! engine's accounting identity holds independently.
 
 pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod trace;
 
 pub use export::{
-    chrome_trace, prometheus_render, sample_key, validate_json, validate_prometheus,
+    chrome_trace, prometheus_render, sample_key, validate_flow_pairing, validate_json,
+    validate_prometheus,
 };
-pub use metrics::{bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, Registry, BUCKETS};
+pub use flight::{flight_recorder, FlightRecord, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
+pub use metrics::{
+    bucket_index, Counter, Exemplar, Gauge, Histogram, HistogramSnapshot, Registry, BUCKETS,
+};
 pub use trace::{
-    instant, span, span_stats, take_events, SpanGuard, SpanStat, TraceBuffer, TraceEvent, TraceKind,
+    instant, span, span_stats, take_events, SpanGuard, SpanStat, TraceBuffer, TraceContext,
+    TraceEvent, TraceKind,
 };
 
 use std::sync::OnceLock;

@@ -14,12 +14,21 @@
 //! The ring buffer is bounded: at capacity it drops the *oldest* event
 //! and counts the drop, never reordering survivors — a long run keeps
 //! the most recent window instead of failing or growing without bound.
+//!
+//! Request-scoped tracing rides on a [`TraceContext`] — a 128-bit
+//! trace id plus the minting span's id — stored in a thread-local slot
+//! while a request is being handled ([`enter`]). Every span and
+//! instant recorded while a context is entered carries its trace id,
+//! so one id links the client-side send, the server-side decode and
+//! admission, the engine's `serve.*` spans, and the durable
+//! `wal.commit` fsync for the same request, across threads (and, via
+//! the wire frame, across processes).
 
 use std::cell::Cell;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Capacity of the global event ring buffer.
 pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
@@ -35,6 +44,115 @@ thread_local! {
     static TID: Cell<u64> = const { Cell::new(0) };
     /// Depth of the live span stack on this thread.
     static DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// The request context entered on this thread (0 = none).
+    static CONTEXT: Cell<(u128, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// One splitmix64 step (Steele, Lea & Flood, OOPSLA 2014) — the same
+/// mixer the workload generators use, inlined here so the substrate
+/// crate stays dependency-free.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Entropy pool for [`TraceContext::mint`]: seeded once from the wall
+/// clock, then advanced by a relaxed fetch-add so concurrent minters
+/// draw distinct splitmix streams.
+static MINT_STATE: AtomicU64 = AtomicU64::new(0);
+
+/// A request-scoped trace context: a 128-bit trace id shared by every
+/// span of one logical request, plus the id of the span that minted it
+/// (the parent for any remote continuation).
+///
+/// Contexts are minted client-side, serialized into the wire frame as
+/// three big-endian `u64`s, and re-entered server-side with [`enter`];
+/// a zero `trace_id` means "no context" and is never minted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// 128-bit trace id, nonzero for every minted context.
+    pub trace_id: u128,
+    /// Id of the span that minted (or last owned) this context.
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// Mint a fresh context with a random nonzero trace id.
+    pub fn mint() -> TraceContext {
+        // First mint folds the wall clock into the pool so separate
+        // processes (client vs server binaries) draw distinct streams.
+        if MINT_STATE.load(Ordering::Relaxed) == 0 {
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0x5EED);
+            let _ = MINT_STATE.compare_exchange(
+                0,
+                nanos | 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+        }
+        let mut s = MINT_STATE.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        loop {
+            let hi = splitmix64(&mut s);
+            let lo = splitmix64(&mut s);
+            let span_id = splitmix64(&mut s);
+            let trace_id = ((hi as u128) << 64) | lo as u128;
+            if trace_id != 0 {
+                return TraceContext { trace_id, span_id };
+            }
+        }
+    }
+
+    /// The trace id as 32 lowercase hex digits — the spelling used by
+    /// exemplars, flight records and Chrome-trace flow event ids.
+    pub fn trace_id_hex(&self) -> String {
+        format!("{:032x}", self.trace_id)
+    }
+}
+
+/// Render any 128-bit trace id the way [`TraceContext::trace_id_hex`]
+/// does.
+pub fn trace_id_hex(trace_id: u128) -> String {
+    format!("{trace_id:032x}")
+}
+
+/// Enter `ctx` on this thread: spans and instants recorded until the
+/// returned guard drops carry `ctx.trace_id`. Nests — the guard
+/// restores the previously entered context.
+pub fn enter(ctx: TraceContext) -> ContextGuard {
+    let prev = CONTEXT.with(|c| c.replace((ctx.trace_id, ctx.span_id)));
+    ContextGuard { prev }
+}
+
+/// The context currently entered on this thread, if any.
+pub fn current() -> Option<TraceContext> {
+    let (trace_id, span_id) = CONTEXT.with(|c| c.get());
+    if trace_id == 0 {
+        None
+    } else {
+        Some(TraceContext { trace_id, span_id })
+    }
+}
+
+/// RAII guard restoring the previously entered [`TraceContext`].
+#[must_use = "dropping the guard immediately exits the context"]
+pub struct ContextGuard {
+    prev: (u128, u64),
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CONTEXT.with(|c| c.set(self.prev));
+    }
+}
+
+fn current_trace_id() -> u128 {
+    CONTEXT.with(|c| c.get().0)
 }
 
 /// Nanoseconds since the process trace epoch (first trace activity).
@@ -96,6 +214,9 @@ pub struct TraceEvent {
     /// Global push order, assigned by the buffer — survivors of a
     /// capacity drop keep strictly increasing `seq`.
     pub seq: u64,
+    /// The [`TraceContext`] trace id entered when the event was
+    /// recorded; 0 when no request context was active.
+    pub trace_id: u128,
 }
 
 /// A bounded MPSC-ish event log: concurrent pushes, oldest-first drops
@@ -219,6 +340,7 @@ impl Drop for SpanGuard {
             start_ns: self.start_ns,
             dur_ns,
             seq: 0,
+            trace_id: current_trace_id(),
         });
     }
 }
@@ -237,6 +359,37 @@ pub fn instant(name: &str) {
         start_ns: now_ns(),
         dur_ns: 0,
         seq: 0,
+        trace_id: current_trace_id(),
+    });
+}
+
+/// Record an already-measured span that *ends now* and lasted `dur` —
+/// for phases whose trace context only becomes known after the work
+/// (e.g. the server decoding the very frame that carries the context:
+/// decode is timed with a plain clock, the context is entered, then
+/// the span is backfilled so it still carries the request's trace id).
+/// No-op while tracing is off.
+pub fn record_span(name: &'static str, dur: Duration) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let dur_ns = dur.as_nanos() as u64;
+    let end = now_ns();
+    {
+        let mut stats = unpoison(&STATS);
+        let entry = stats.entry(name).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 = entry.1.saturating_add(dur_ns);
+    }
+    buffer().push(TraceEvent {
+        name: name.to_string(),
+        kind: TraceKind::Span,
+        tid: thread_id(),
+        depth: DEPTH.with(|d| d.get()),
+        start_ns: end.saturating_sub(dur_ns),
+        dur_ns,
+        seq: 0,
+        trace_id: current_trace_id(),
     });
 }
 
@@ -290,7 +443,36 @@ mod tests {
             start_ns: 0,
             dur_ns: 0,
             seq: 0,
+            trace_id: 0,
         }
+    }
+
+    #[test]
+    fn minted_contexts_are_distinct_and_nonzero() {
+        let a = TraceContext::mint();
+        let b = TraceContext::mint();
+        assert_ne!(a.trace_id, 0);
+        assert_ne!(b.trace_id, 0);
+        assert_ne!(a.trace_id, b.trace_id, "two mints must not collide");
+        assert_eq!(a.trace_id_hex().len(), 32);
+        assert_eq!(trace_id_hex(a.trace_id), a.trace_id_hex());
+    }
+
+    #[test]
+    fn enter_nests_and_restores() {
+        assert!(current().is_none());
+        let a = TraceContext::mint();
+        let b = TraceContext::mint();
+        {
+            let _ga = enter(a);
+            assert_eq!(current(), Some(a));
+            {
+                let _gb = enter(b);
+                assert_eq!(current(), Some(b));
+            }
+            assert_eq!(current(), Some(a), "inner exit restores the outer context");
+        }
+        assert!(current().is_none());
     }
 
     #[test]

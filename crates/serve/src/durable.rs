@@ -413,7 +413,13 @@ impl Durability {
             // treat the whole transaction as an implicit abort.
             Durability::fail(FaultPoint::WalBeforeCommit, action)?;
         }
-        self.wal.commit(epoch, self.sync).map_err(storage_error)?;
+        {
+            // The durability point itself — the commit record + fsync —
+            // gets its own span so a trace shows how much of a guarded
+            // update was spent waiting on stable storage.
+            let _span = xac_obs::span("wal.commit");
+            self.wal.commit(epoch, self.sync).map_err(storage_error)?;
+        }
         // -- durability point: everything below is write-behind --
         self.committed_signs = new_signs.clone();
         self.ops.push(op.clone());

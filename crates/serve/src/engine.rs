@@ -435,6 +435,13 @@ impl ServeEngine {
                 quarantined: self.quarantined(),
             },
             Request::Metrics => Response::Metrics { rendered: self.metrics().render() },
+            Request::Scrape => Response::Scrape {
+                exposition: self.metrics().to_prometheus(self.backend_name)
+                    + &xac_obs::prometheus_global(),
+            },
+            Request::Tail { n } => Response::Tail {
+                records: xac_obs::flight_recorder().tail(*n as usize),
+            },
         }
     }
 

@@ -62,27 +62,21 @@ impl LatencySummary {
         }
     }
 
-    /// Upper bound (µs) of the bucket containing the q-quantile
-    /// (`0.0 ..= 1.0`), or 0 when empty. Bucket resolution makes this an
-    /// upper estimate within a factor of two — enough for the serving
-    /// dashboards the paper's workload motivates.
+    /// The q-quantile (`0.0 ..= 1.0`) in microseconds, estimated with
+    /// sub-bucket linear interpolation
+    /// ([`HistogramSnapshot::quantile`]), rounded to the nearest
+    /// microsecond; 0 when empty.
     pub fn quantile_us(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank.max(1) {
-                return 1u64 << i.min(63);
-            }
-        }
-        1u64 << (self.buckets.len() - 1).min(63)
+        self.to_histogram_snapshot().quantile(q).round() as u64
     }
 
     fn to_histogram_snapshot(&self) -> HistogramSnapshot {
-        HistogramSnapshot { count: self.count, total: self.total_us, buckets: self.buckets.clone() }
+        HistogramSnapshot {
+            count: self.count,
+            total: self.total_us,
+            buckets: self.buckets.clone(),
+            exemplars: vec![],
+        }
     }
 }
 
@@ -197,7 +191,7 @@ impl MetricsSnapshot {
     pub fn render(&self) -> String {
         format!(
             "reads: {} ({} allowed, {} denied, {} errors) \
-             mean {:.1}µs p50 ≤{}µs p99 ≤{}µs\n\
+             mean {:.1}µs p50 ~{}µs p99 ~{}µs p999 ~{}µs\n\
              updates: {} ({} applied, {} denied, {} errors, {} full-reannotation fallbacks) \
              mean {:.1}µs\n\
              recovery: {} faults injected, {} rollbacks, {} quarantines, \
@@ -210,6 +204,7 @@ impl MetricsSnapshot {
             self.read_latency.mean_us(),
             self.read_latency.quantile_us(0.5),
             self.read_latency.quantile_us(0.99),
+            self.read_latency.quantile_us(0.999),
             self.updates_issued(),
             self.updates_applied,
             self.updates_denied,
@@ -302,8 +297,11 @@ mod tests {
         assert_eq!(s.buckets.iter().sum::<u64>(), 6);
         // 0µs lands in bucket 0 (the `< 1µs` bucket).
         assert_eq!(s.buckets[0], 1);
-        assert!(s.quantile_us(0.0) >= 1);
+        // Interpolated quantiles: q=0 pins the histogram's minimum
+        // (bucket 0 holds only the value 0), q=1 its bucket ceiling.
+        assert_eq!(s.quantile_us(0.0), 0);
         assert!(s.quantile_us(1.0) >= 1000);
+        assert!(s.quantile_us(0.999) >= s.quantile_us(0.5));
         assert!(s.mean_us() > 100.0);
     }
 

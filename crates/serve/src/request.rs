@@ -70,7 +70,7 @@ impl Role {
         match req {
             Request::Query { .. } | Request::Status => true,
             Request::Delete { .. } | Request::Insert { .. } => self >= Role::Writer,
-            Request::Metrics => self >= Role::Admin,
+            Request::Metrics | Request::Scrape | Request::Tail { .. } => self >= Role::Admin,
         }
     }
 }
@@ -121,6 +121,15 @@ pub enum Request {
     Status,
     /// The engine's metrics report (admin only).
     Metrics,
+    /// Prometheus text exposition of the engine's metrics plus the
+    /// process-global registry — the telemetry plane's pull endpoint,
+    /// served over the wire (admin only).
+    Scrape,
+    /// The most recent `n` flight-recorder records (admin only).
+    Tail {
+        /// How many records to return (capped by the ring's capacity).
+        n: u32,
+    },
 }
 
 impl Request {
@@ -143,6 +152,11 @@ impl Request {
         Request::Insert { parent: parent.into(), name: name.into(), text }
     }
 
+    /// Convenience constructor for a flight-recorder tail.
+    pub fn tail(n: u32) -> Request {
+        Request::Tail { n }
+    }
+
     /// Short verb for logs and tables.
     pub fn verb(&self) -> &'static str {
         match self {
@@ -151,6 +165,8 @@ impl Request {
             Request::Insert { .. } => "insert",
             Request::Status => "status",
             Request::Metrics => "metrics",
+            Request::Scrape => "scrape",
+            Request::Tail { .. } => "tail",
         }
     }
 }
@@ -280,6 +296,19 @@ pub enum Response {
         /// ([`crate::MetricsSnapshot::render`]).
         rendered: String,
     },
+    /// Answer to a [`Request::Scrape`]: the engine's metrics plus the
+    /// process-global registry in Prometheus text exposition format.
+    Scrape {
+        /// The exposition text (validates under
+        /// [`xac_obs::validate_prometheus`]).
+        exposition: String,
+    },
+    /// Answer to a [`Request::Tail`]: recent flight records, oldest
+    /// first.
+    Tail {
+        /// The records.
+        records: Vec<xac_obs::FlightRecord>,
+    },
     /// The request failed; `kind` is the closed classification.
     Error {
         /// What went wrong.
@@ -350,6 +379,14 @@ mod tests {
         assert!(!Role::Reader.allows(&metrics));
         assert!(!Role::Writer.allows(&metrics));
         assert!(Role::Admin.allows(&metrics));
+        // The telemetry plane is admin-gated like `Metrics`.
+        for req in [Request::Scrape, Request::tail(8)] {
+            assert!(!Role::Reader.allows(&req), "{}", req.verb());
+            assert!(!Role::Writer.allows(&req), "{}", req.verb());
+            assert!(Role::Admin.allows(&req), "{}", req.verb());
+        }
+        assert_eq!(Request::Scrape.verb(), "scrape");
+        assert_eq!(Request::tail(8).verb(), "tail");
     }
 
     #[test]

@@ -114,6 +114,13 @@ cargo run --release -q -p xac-net --bin xmlac -- obs check \
 echo "== obs: figures artifact (includes <2% tracing-off overhead assert) =="
 cargo run --release -q -p xac-bench --bin figures -- obs
 test -s BENCH_obs.json
+# The wire-propagation rows (trace context on vs off over loopback, with
+# the in-run <3% overhead assert) and the per-phase wire breakdown must
+# be present.
+grep -q '"kind": "wire_propagation", "mode": "off"' BENCH_obs.json
+grep -q '"kind": "wire_propagation", "mode": "on"' BENCH_obs.json
+grep -q '"kind": "wire_propagation_overhead"' BENCH_obs.json
+grep -q '"kind": "wire_phase", "span": "net.client_send"' BENCH_obs.json
 
 echo "== analyze: every checked-in policy passes the verifier gate =="
 # Intentionally dirty fixtures are allowlisted with the exit code and
@@ -174,7 +181,7 @@ echo "== net: loopback smoke (server + client, exit-code contract) =="
 rm -f target/net_addr.txt
 cargo run --release -q -p xac-net --bin xmlac -- serve \
     --schema data/hospital.dtd --policy data/hospital.pol --doc data/figure2.xml \
-    --addr-file target/net_addr.txt --linger-ms 15000 > /dev/null &
+    --addr-file target/net_addr.txt --linger-ms 30000 > /dev/null &
 server_pid=$!
 tries=0
 while [ ! -s target/net_addr.txt ]; do
@@ -197,6 +204,32 @@ if [ "$denied" -ne 7 ]; then
     echo "ci.sh: denied-role client exited $denied, expected 7"
     exit 1
 fi
+
+echo "== net: admin telemetry plane (scrape + tail + top over the wire) =="
+# An admin scrape must carry the per-verb wire histograms with trace-id
+# exemplars, validate as Prometheus exposition, and be refused for a
+# reader with the role exit code.
+cargo run --release -q -p xac-net --bin xmlac -- client \
+    --addr "$addr" --role admin scrape --scrape-out target/net_scrape.prom \
+    > /dev/null
+test -s target/net_scrape.prom
+grep -q 'xac_net_request_us_bucket{verb=' target/net_scrape.prom
+grep -q '# {trace_id="' target/net_scrape.prom
+cargo run --release -q -p xac-net --bin xmlac -- obs check \
+    --metrics target/net_scrape.prom > /dev/null
+scrape_denied=0
+cargo run --release -q -p xac-net --bin xmlac -- client \
+    --addr "$addr" --role reader scrape > /dev/null 2>&1 || scrape_denied=$?
+if [ "$scrape_denied" -ne 7 ]; then
+    echo "ci.sh: denied-role scrape exited $scrape_denied, expected 7"
+    exit 1
+fi
+# One `top` sample renders the reconstructed quantile table, and the
+# flight tail shows the served requests with their phase breakdown.
+cargo run --release -q -p xac-net --bin xmlac -- top \
+    --addr "$addr" --iterations 1 | grep -q 'p999_us'
+cargo run --release -q -p xac-net --bin xmlac -- client \
+    --addr "$addr" --role admin tail --last 8 | grep -q 'flight records'
 wait "$server_pid"
 
 echo "== net: wire bench artifact =="

@@ -133,7 +133,7 @@ fn unknown_role_handshake_gets_the_shared_error_shape() {
 fn frame_instead_of_hello_is_a_protocol_error() {
     let server = quick_server();
     let mut bytes = preamble();
-    bytes.extend_from_slice(&Frame::Request(Request::Status).to_bytes());
+    bytes.extend_from_slice(&Frame::Request(Request::Status, None).to_bytes());
     let reply = raw_exchange(server.local_addr(), &bytes, EXCHANGE_TIMEOUT).unwrap();
     match &decode_frames(&reply)[..] {
         [Frame::Error { kind: ErrorKind::Protocol, message }] => {
@@ -165,7 +165,7 @@ fn truncated_frame_then_disconnect_is_answered_not_hung() {
     let server = quick_server();
     let mut bytes = preamble();
     bytes.extend_from_slice(&raw_hello("reader"));
-    let whole = Frame::Request(Request::query("//patient/name")).to_bytes();
+    let whole = Frame::Request(Request::query("//patient/name"), None).to_bytes();
     bytes.extend_from_slice(&whole[..whole.len() / 2]);
     // raw_exchange closes its write side after sending: the server sees
     // a torn frame, not a slow client.
@@ -347,6 +347,88 @@ fn rate_limit_refuses_the_burst_overflow_but_keeps_the_session() {
 }
 
 #[test]
+fn v1_client_is_served_by_the_v2_server() {
+    // A legacy client: version-1 preamble, request frames with no
+    // trailing trace context. The v2 server must serve it unchanged.
+    let server = quick_server();
+    let mut bytes = Vec::new();
+    wire::write_preamble_versioned(&mut bytes, 1).unwrap();
+    bytes.extend_from_slice(&raw_hello("reader"));
+    bytes.extend_from_slice(&Frame::Request(Request::query("//patient/name"), None).to_bytes());
+    let reply = raw_exchange(server.local_addr(), &bytes, EXCHANGE_TIMEOUT).unwrap();
+    match &decode_frames(&reply)[..] {
+        [Frame::Welcome { .. }, Frame::Response(Response::Decision { granted, .. })] => {
+            assert!(granted, "v1 client must get the same decision");
+        }
+        other => panic!("expected welcome + decision, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn v2_trace_context_is_accepted_and_v3_preamble_refused() {
+    let server = quick_server();
+    // A v2 client sending the trailing trace context is served.
+    let trace = wire::WireTrace { trace_id: 0xabcd, parent_span: 9 };
+    let mut bytes = preamble();
+    bytes.extend_from_slice(&raw_hello("reader"));
+    bytes.extend_from_slice(&Frame::Request(Request::Status, Some(trace)).to_bytes());
+    let reply = raw_exchange(server.local_addr(), &bytes, EXCHANGE_TIMEOUT).unwrap();
+    match &decode_frames(&reply)[..] {
+        [Frame::Welcome { .. }, Frame::Response(Response::Status { .. })] => {}
+        other => panic!("expected welcome + status, got {other:?}"),
+    }
+    // A from-the-future preamble is refused with a typed error.
+    let mut future = Vec::new();
+    wire::write_preamble_versioned(&mut future, wire::VERSION + 1).unwrap();
+    let reply = raw_exchange(server.local_addr(), &future, EXCHANGE_TIMEOUT).unwrap();
+    match &decode_frames(&reply)[..] {
+        [Frame::Error { kind: ErrorKind::Protocol, message }] => {
+            assert!(message.contains("version"), "got: {message}");
+        }
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn truncated_trace_context_on_the_wire_is_a_protocol_error() {
+    // A request frame whose declared length includes only *part* of the
+    // 24-byte trace trailer: the server must answer with a typed
+    // protocol error, never treat it as an untraced request.
+    let server = quick_server();
+    for keep in [4usize, 8, 12, 16, 23] {
+        let full = Frame::Request(Request::Status, Some(wire::WireTrace {
+            trace_id: 7,
+            parent_span: 1,
+        }))
+        .to_bytes();
+        // Rebuild the frame with the trailer cut to `keep` bytes and the
+        // header re-declared to match (so it is a *complete* frame whose
+        // payload ends mid-trailer, not a torn stream).
+        let payload = &full[5..full.len() - (24 - keep)];
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.push(tag::REQUEST);
+        frame.extend_from_slice(payload);
+        let mut bytes = preamble();
+        bytes.extend_from_slice(&raw_hello("reader"));
+        bytes.extend_from_slice(&frame);
+        let reply = raw_exchange(server.local_addr(), &bytes, EXCHANGE_TIMEOUT).unwrap();
+        match &decode_frames(&reply)[..] {
+            [Frame::Welcome { .. }, Frame::Error { kind: ErrorKind::Protocol, message }] => {
+                assert!(
+                    message.contains("malformed") || message.contains("truncated"),
+                    "keep {keep}: got {message}"
+                );
+            }
+            other => panic!("keep {keep}: expected welcome + protocol error, got {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
 fn graceful_shutdown_drains_sessions() {
     let server = quick_server();
     let addr = server.local_addr();
@@ -375,7 +457,7 @@ fn rand_string(rng: &mut SplitMix64) -> String {
 }
 
 fn rand_request(rng: &mut SplitMix64) -> Request {
-    match rng.gen_range(0..5u32) {
+    match rng.gen_range(0..7u32) {
         0 => Request::query(rand_string(rng)),
         1 => Request::delete(rand_string(rng)),
         2 => Request::insert(
@@ -384,18 +466,27 @@ fn rand_request(rng: &mut SplitMix64) -> Request {
             rng.gen_bool(0.5).then(|| rand_string(rng)),
         ),
         3 => Request::Status,
+        4 => Request::Scrape,
+        5 => Request::tail(rng.next_u64() as u32),
         _ => Request::Metrics,
     }
 }
 
+fn rand_trace(rng: &mut SplitMix64) -> Option<wire::WireTrace> {
+    rng.gen_bool(0.5).then(|| wire::WireTrace {
+        trace_id: (rng.next_u64() as u128) << 64 | rng.next_u64() as u128,
+        parent_span: rng.next_u64(),
+    })
+}
+
 fn rand_response(rng: &mut SplitMix64) -> Response {
-    match rng.gen_range(0..5u32) {
+    match rng.gen_range(0..8u32) {
         0 => Response::Decision {
             granted: rng.gen_bool(0.5),
             nodes: rng.next_u64(),
             epoch: rng.next_u64(),
         },
-        1 => Response::Update {
+        6 => Response::Update {
             applied: rng.gen_bool(0.5),
             removed: rng.next_u64(),
             inserted: rng.next_u64(),
@@ -410,6 +501,23 @@ fn rand_response(rng: &mut SplitMix64) -> Response {
             quarantined: rng.gen_bool(0.5),
         },
         3 => Response::Metrics { rendered: rand_string(rng) },
+        4 => Response::Scrape { exposition: rand_string(rng) },
+        5 => Response::Tail {
+            records: (0..rng.gen_range(0..4u32))
+                .map(|_| xac_obs::FlightRecord {
+                    trace_id: (rng.next_u64() as u128) << 64 | rng.next_u64() as u128,
+                    verb: rand_string(rng),
+                    backend: rand_string(rng),
+                    outcome: rand_string(rng),
+                    epoch: rng.next_u64(),
+                    decode_us: rng.next_u64(),
+                    queue_us: rng.next_u64(),
+                    execute_us: rng.next_u64(),
+                    total_us: rng.next_u64(),
+                    seq: rng.next_u64(),
+                })
+                .collect(),
+        },
         _ => Response::Error {
             kind: ErrorKind::ALL[rng.gen_range(0..ErrorKind::ALL.len())],
             message: rand_string(rng),
@@ -424,7 +532,7 @@ fn codec_round_trip_property() {
     let mut rng = SplitMix64::seed_from_u64(0x0e7_f2a3e);
     for i in 0..256 {
         let frame = if i % 2 == 0 {
-            Frame::Request(rand_request(&mut rng))
+            Frame::Request(rand_request(&mut rng), rand_trace(&mut rng))
         } else {
             Frame::Response(rand_response(&mut rng))
         };

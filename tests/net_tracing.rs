@@ -1,0 +1,164 @@
+//! End-to-end trace differential: one trace id must link both ends of
+//! the wire.
+//!
+//! A client minting a [`TraceContext`](xac_obs::TraceContext) sends it
+//! as the v2 frame's trailing field; the server re-enters it before
+//! serving. For a single guarded update over a real TCP loopback, the
+//! *same* 128-bit trace id must appear on the client's `net.client_send`
+//! span, the server's `net.server_decode` and `net.queue_wait` spans,
+//! the engine's `serve.update` span, and the storage layer's
+//! `wal.commit` fsync span — on all three backends. The flight recorder
+//! must expose the same id over the wire via `Request::Tail`, and
+//! turning propagation off must degrade cleanly to untraced (id 0)
+//! service.
+//!
+//! The trace buffer and flight recorder are process-global, so every
+//! test here serializes on one mutex and drains the buffer before
+//! acting.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use xac_core::System;
+use xac_net::{NetClient, NetServer, ServerConfig};
+use xac_policy::policy::hospital_policy;
+use xac_serve::{BackendKind, DurabilityConfig, Request, Response, Role, ServeEngine};
+use xac_xmlgen::{figure2_document, hospital_schema};
+
+/// Serializes tests: they share the global trace buffer and flight
+/// recorder, and a concurrent drain would eat another test's events.
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn system() -> System {
+    System::builder(hospital_schema(), hospital_policy(), figure2_document())
+        .build()
+        .unwrap()
+}
+
+/// Fresh scratch dir per scenario (durable engines need one for the
+/// WAL whose commit span the differential asserts on).
+fn data_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xac_net_tracing_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn durable_server(kind: BackendKind, name: &str) -> (NetServer, PathBuf) {
+    let dir = data_dir(name);
+    let config = DurabilityConfig::new(&dir);
+    let engine =
+        Arc::new(ServeEngine::durable(Arc::new(system()), kind, &config).unwrap());
+    let server = NetServer::start(engine, ServerConfig::default()).unwrap();
+    (server, dir)
+}
+
+/// Span names that must all carry the request's trace id for one
+/// guarded update: client send, server decode, admission wait, engine
+/// execute, and the WAL fsync.
+const LINKED_SPANS: [&str; 5] =
+    ["net.client_send", "net.server_decode", "net.queue_wait", "serve.update", "wal.commit"];
+
+#[test]
+fn one_trace_id_links_client_and_server_spans_on_all_backends() {
+    let _guard = lock();
+    xac_obs::trace::set_enabled(true);
+    for kind in BackendKind::ALL {
+        let (server, dir) = durable_server(kind, kind.cli_name());
+        let mut client = NetClient::connect(server.local_addr(), Role::Writer).unwrap();
+        xac_obs::trace::take_events(); // start from a clean buffer
+
+        let resp = client.request(&Request::delete("//regular")).unwrap();
+        assert!(
+            matches!(resp, Response::Update { applied: true, .. }),
+            "{}: update must apply, got {resp:?}",
+            kind.cli_name()
+        );
+        let trace_id = client.last_trace().expect("propagation is on by default").trace_id;
+        assert_ne!(trace_id, 0, "minted trace ids are never zero");
+
+        let events = xac_obs::trace::take_events();
+        let linked: BTreeSet<&str> = events
+            .iter()
+            .filter(|e| e.trace_id == trace_id)
+            .map(|e| e.name.as_str())
+            .collect();
+        for span in LINKED_SPANS {
+            assert!(
+                linked.contains(span),
+                "{}: span `{span}` missing from trace {trace_id:#x}; linked spans: {linked:?}",
+                kind.cli_name()
+            );
+        }
+
+        client.close();
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    xac_obs::trace::set_enabled(false);
+}
+
+#[test]
+fn flight_recorder_tail_over_the_wire_carries_the_same_trace_id() {
+    let _guard = lock();
+    let (server, dir) = durable_server(BackendKind::Native, "tail");
+    let mut client = NetClient::connect(server.local_addr(), Role::Admin).unwrap();
+
+    let resp = client.request(&Request::delete("//regular")).unwrap();
+    assert!(matches!(resp, Response::Update { applied: true, .. }));
+    let trace_id = client.last_trace().unwrap().trace_id;
+
+    match client.tail(16).unwrap() {
+        Response::Tail { records } => {
+            let rec = records
+                .iter()
+                .find(|r| r.trace_id == trace_id)
+                .unwrap_or_else(|| panic!("no flight record for trace {trace_id:#x}"));
+            assert_eq!(rec.verb, "delete");
+            assert_eq!(rec.outcome, "applied");
+            assert!(rec.total_us >= rec.execute_us, "phases must sum into the total");
+        }
+        other => panic!("expected tail records, got {other:?}"),
+    }
+
+    client.close();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn propagation_off_serves_identically_with_a_zero_trace_id() {
+    let _guard = lock();
+    xac_obs::trace::set_enabled(true);
+    let (server, dir) = durable_server(BackendKind::Native, "off");
+    let mut client = NetClient::connect(server.local_addr(), Role::Writer).unwrap();
+    client.set_propagation(false);
+    xac_obs::trace::take_events();
+
+    let resp = client.request(&Request::delete("//regular")).unwrap();
+    assert!(matches!(resp, Response::Update { applied: true, .. }));
+    assert!(client.last_trace().is_none(), "no context is minted with propagation off");
+
+    // The server still serves and still records its phase spans — they
+    // just carry no trace id (0 = untraced).
+    let events = xac_obs::trace::take_events();
+    let decode = events
+        .iter()
+        .find(|e| e.name == "net.server_decode")
+        .expect("decode span is recorded even for untraced requests");
+    assert_eq!(decode.trace_id, 0);
+    let send = events
+        .iter()
+        .find(|e| e.name == "net.client_send")
+        .expect("the send span is still measured with propagation off");
+    assert_eq!(send.trace_id, 0, "no minted context means an untraced send");
+
+    client.close();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    xac_obs::trace::set_enabled(false);
+}

@@ -199,6 +199,7 @@ fn ring_buffer_drops_oldest_first_without_reordering_survivors() {
             start_ns: i,
             dur_ns: 0,
             seq: 0,
+            trace_id: 0,
         });
     }
     assert_eq!(buf.dropped(), 12);
@@ -211,4 +212,58 @@ fn ring_buffer_drops_oldest_first_without_reordering_survivors() {
         seqs.windows(2).all(|w| w[1] == w[0] + 1),
         "survivor sequence numbers must stay contiguous: {seqs:?}"
     );
+}
+
+#[test]
+fn ring_buffer_accounts_exactly_under_racing_writers() {
+    // Four threads race 100 pushes each into a 64-slot ring. However
+    // the interleaving lands, the ring must conserve events exactly:
+    // survivors + dropped == pushed, eviction is oldest-first (the
+    // survivors are precisely the last `capacity` sequence numbers,
+    // contiguous), and nothing is duplicated.
+    const WRITERS: usize = 4;
+    const PUSHES: u64 = 100;
+    const CAP: usize = 64;
+    let buf = TraceBuffer::with_capacity(CAP);
+    let gate = Barrier::new(WRITERS);
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let buf = &buf;
+            let gate = &gate;
+            scope.spawn(move || {
+                gate.wait();
+                for i in 0..PUSHES {
+                    buf.push(TraceEvent {
+                        name: format!("w{w}e{i}"),
+                        kind: TraceKind::Span,
+                        tid: w as u64,
+                        depth: 0,
+                        start_ns: i,
+                        dur_ns: 0,
+                        seq: 0,
+                        trace_id: 0,
+                    });
+                }
+            });
+        }
+    });
+    let total = WRITERS as u64 * PUSHES;
+    assert_eq!(buf.dropped(), total - CAP as u64, "exact drop accounting");
+    let survivors = buf.drain();
+    assert_eq!(survivors.len(), CAP);
+    let seqs: Vec<u64> = survivors.iter().map(|e| e.seq).collect();
+    let expected: Vec<u64> = (total - CAP as u64..total).collect();
+    assert_eq!(seqs, expected, "survivors are the newest CAP events, oldest first");
+    // Per-writer events retain their own program order.
+    for w in 0..WRITERS as u64 {
+        let starts: Vec<u64> = survivors
+            .iter()
+            .filter(|e| e.tid == w)
+            .map(|e| e.start_ns)
+            .collect();
+        assert!(
+            starts.windows(2).all(|p| p[0] < p[1]),
+            "writer {w} events out of order: {starts:?}"
+        );
+    }
 }
