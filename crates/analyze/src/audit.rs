@@ -118,6 +118,14 @@ pub fn run(
         dynamic_audit(policy, schema, doc, &corpus, &analysis, &mut summary, &mut findings);
     }
 
+    findings.push(summary_diagnostic(&summary));
+    (summary, findings)
+}
+
+/// The D5 summary line, rendered from the aggregate numbers alone so the
+/// incremental engine can emit a byte-identical diagnostic from cached
+/// audit state.
+pub(crate) fn summary_diagnostic(summary: &AuditSummary) -> Diagnostic {
     let severity = if summary.sound() { Severity::Info } else { Severity::Error };
     let scope = if summary.dynamic {
         format!(
@@ -128,7 +136,7 @@ pub fn run(
     } else {
         "static only (no document given)".to_string()
     };
-    findings.push(Diagnostic::new(
+    Diagnostic::new(
         Code::TriggerAudit,
         severity,
         format!(
@@ -141,8 +149,7 @@ pub fn run(
             summary.affected_total,
             summary.precision(),
         ),
-    ));
-    (summary, findings)
+    )
 }
 
 fn ids<'a>(policy: &'a Policy, indices: &BTreeSet<usize>) -> Vec<&'a str> {
@@ -227,7 +234,10 @@ fn dynamic_audit(
     }
 }
 
-fn backends() -> Vec<Box<dyn Backend>> {
+/// The three backends every differential check runs against. Shared
+/// with the repair verifier, which re-annotates candidate policies on
+/// each of them.
+pub(crate) fn backends() -> Vec<Box<dyn Backend>> {
     vec![
         Box::new(NativeXmlBackend::new()),
         Box::new(RelationalBackend::row()),

@@ -80,6 +80,9 @@ pub struct Diagnostic {
     pub rule: Option<String>,
     /// 1-based line of that rule in the policy source, when known.
     pub line: Option<usize>,
+    /// 1-based column within that line (the exact qualifier being
+    /// flagged), when known.
+    pub col: Option<usize>,
     /// The finding itself.
     pub message: String,
     /// Optional secondary explanation (rendered indented / as `note`).
@@ -89,7 +92,15 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// A finding not anchored to a single rule.
     pub fn new(code: Code, severity: Severity, message: impl Into<String>) -> Diagnostic {
-        Diagnostic { code, severity, rule: None, line: None, message: message.into(), note: None }
+        Diagnostic {
+            code,
+            severity,
+            rule: None,
+            line: None,
+            col: None,
+            message: message.into(),
+            note: None,
+        }
     }
 
     /// Anchor the finding to a rule id.
@@ -101,6 +112,12 @@ impl Diagnostic {
     /// Attach the rule's line in the policy source.
     pub fn at_line(mut self, line: Option<usize>) -> Diagnostic {
         self.line = line;
+        self
+    }
+
+    /// Attach the column of the exact span being flagged.
+    pub fn at_col(mut self, col: Option<usize>) -> Diagnostic {
+        self.col = col;
         self
     }
 
@@ -191,14 +208,37 @@ impl Report {
         }
     }
 
+    /// Diagnostics in render order: by source span (line, then column,
+    /// unanchored findings last), then code, then rule id, with the
+    /// original pass order breaking remaining ties. Both renderers use
+    /// this ordering, so text and JSON output are stable regardless of
+    /// the order passes pushed their findings.
+    pub fn sorted(&self) -> Vec<&Diagnostic> {
+        let mut ds: Vec<&Diagnostic> = self.diagnostics.iter().collect();
+        ds.sort_by_key(|d| {
+            (
+                d.line.is_none(),
+                d.line.unwrap_or(0),
+                d.col.is_none(),
+                d.col.unwrap_or(0),
+                d.code,
+                d.rule.clone(),
+            )
+        });
+        ds
+    }
+
     /// Human-readable rendering, one finding per line plus a summary.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
-        for d in &self.diagnostics {
+        for d in self.sorted() {
             let _ = write!(out, "{}[{}]", d.severity.label(), d.code.as_str());
             let _ = write!(out, " {}", self.policy_name);
             if let Some(line) = d.line {
                 let _ = write!(out, ":{line}");
+                if let Some(col) = d.col {
+                    let _ = write!(out, ":{col}");
+                }
             }
             if let Some(rule) = &d.rule {
                 let _ = write!(out, " rule {rule}");
@@ -231,7 +271,8 @@ impl Report {
             None => out.push_str("  \"schema\": null,\n"),
         }
         out.push_str("  \"diagnostics\": [\n");
-        for (i, d) in self.diagnostics.iter().enumerate() {
+        let sorted = self.sorted();
+        for (i, d) in sorted.iter().enumerate() {
             let _ = write!(
                 out,
                 "    {{\"code\": \"{}\", \"kind\": \"{}\", \"severity\": \"{}\", ",
@@ -251,12 +292,18 @@ impl Report {
                 }
                 None => out.push_str("\"line\": null, "),
             }
+            match d.col {
+                Some(c) => {
+                    let _ = write!(out, "\"col\": {c}, ");
+                }
+                None => out.push_str("\"col\": null, "),
+            }
             let _ = write!(out, "\"message\": \"{}\"", escape(&d.message));
             if let Some(note) = &d.note {
                 let _ = write!(out, ", \"note\": \"{}\"", escape(note));
             }
             out.push('}');
-            if i + 1 < self.diagnostics.len() {
+            if i + 1 < sorted.len() {
                 out.push(',');
             }
             out.push('\n');
@@ -349,6 +396,50 @@ mod tests {
         assert_eq!(r.exit_code(true), 6, "warnings gate under deny");
         r.diagnostics[0].severity = Severity::Info;
         assert_eq!(r.exit_code(true), 0, "info never gates");
+    }
+
+    #[test]
+    fn errors_beat_warnings_regardless_of_order() {
+        // With both present, the error path must win deterministically
+        // under `--deny warn` — whichever order the passes emitted them.
+        let mut r = sample();
+        r.diagnostics.push(
+            Diagnostic::new(Code::ShadowedRule, Severity::Warning, "shadowed")
+                .for_rule("R0")
+                .at_line(Some(1)),
+        );
+        assert_eq!(r.exit_code(true), 5);
+        r.diagnostics.reverse();
+        assert_eq!(r.exit_code(true), 5);
+    }
+
+    #[test]
+    fn rendering_orders_by_span_then_code() {
+        let mut r = sample();
+        r.diagnostics = vec![
+            Diagnostic::new(Code::CoverageGap, Severity::Info, "gap"),
+            Diagnostic::new(Code::Conflict, Severity::Info, "late")
+                .for_rule("R7")
+                .at_line(Some(9)),
+            Diagnostic::new(Code::Conflict, Severity::Info, "precise")
+                .for_rule("R4")
+                .at_line(Some(4))
+                .at_col(Some(19)),
+            Diagnostic::new(Code::ShadowedRule, Severity::Warning, "shadowed")
+                .for_rule("R4")
+                .at_line(Some(4)),
+        ];
+        let order: Vec<&str> = r.sorted().iter().map(|d| d.message.as_str()).collect();
+        // Line 4 first (col-anchored before col-less on the same line),
+        // then line 9, then the unanchored gap last.
+        assert_eq!(order, vec!["precise", "shadowed", "late", "gap"]);
+        let text = r.to_text();
+        assert!(
+            text.contains("info[XA003] p.pol:4:19 rule R4: precise"),
+            "line:col rendering: {text}"
+        );
+        let first = text.lines().next().unwrap();
+        assert!(first.contains("precise"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,534 @@
+//! The incremental analysis engine: re-verify only what an edit touched.
+//!
+//! A full [`crate::Analyzer`] run is quadratic in the rule count (D2/D3
+//! test every opposite-effect pair) plus an audit sweep per corpus
+//! update. The repair synthesizer re-analyzes the policy once per
+//! candidate edit, so paying the full cost each time would make
+//! verification the bottleneck. [`IncrementalAnalyzer`] keeps every
+//! pass result in caches keyed by FNV fingerprints
+//! ([`crate::graph::AnalysisGraph`]) and persistent containment
+//! oracles, so after [`IncrementalAnalyzer::set_policy`] with a
+//! single-rule edit only the edited rule's dependency region is
+//! re-verified:
+//!
+//! * **D1** — schema variants are memoized per resource; an unchanged
+//!   rule's deadness is a cache lookup.
+//! * **D2/D3** — findings are cached per `(rule_fp, region_fp)`. The
+//!   region fingerprint covers everything those passes can observe
+//!   (member rules, their order, the Table 2 row, the schema), so a
+//!   hit re-emits the previous findings verbatim and only the edited
+//!   region re-runs its containment scans — and even those hit the
+//!   persistent oracle for pairs not involving the edited rule.
+//! * **D4** — recomputed from the variants cache (linear, no fresh
+//!   specializations).
+//! * **D5** — the trigger replay reuses memoized rule/update
+//!   expansions and the persistent schema-blind oracle. The closure
+//!   invariant (leg 2 of [`crate::audit`]) is checked honestly per
+//!   update; the fast-vs-definitional differential (leg 1) is skipped
+//!   because both legs of the full audit call the same
+//!   [`xac_policy::trigger::trigger_with_expansions`] — it is an
+//!   implementation self-test that cannot diverge, so `divergences`
+//!   is reported as the full audit would: zero unless the closure
+//!   check fails.
+//!
+//! The produced [`Report`] is identical to
+//! `Analyzer::new(&policy).with_schema(schema).run()` — same
+//! diagnostics (messages, order, severities), same audit summary —
+//! just cheaper to reach. Cache traffic is published on the
+//! `xac_analyze_incremental_hits_total` / `_reruns_total` counters and
+//! every run is wrapped in an `analyze.incremental` span.
+
+use crate::audit::{self, AuditConfig};
+use crate::diagnostic::{AuditSummary, Code, Diagnostic, Report, Severity};
+use crate::graph::AnalysisGraph;
+use crate::verifier::{
+    conflict_diag, coverage_gap_diag, dead_rule_diag, degenerate_shadow_diag,
+    discarded_effect, end_label, shadow_diag, shadow_roles, witness_type,
+};
+use std::collections::{BTreeSet, HashMap};
+use xac_policy::trigger::{expand_update, trigger_with_expansions};
+use xac_policy::{DependencyGraph, Effect, Policy};
+use xac_xml::Schema;
+use xac_xpath::{expand, schema_variants, ContainmentOracle, Path};
+
+/// A reusable analysis session over successive versions of one policy
+/// under one (optional) schema.
+pub struct IncrementalAnalyzer {
+    policy: Policy,
+    schema: Option<Schema>,
+    policy_name: String,
+    schema_name: Option<String>,
+    audit: AuditConfig,
+    /// Answers D2/D3 containment and disjointness; schema-aware.
+    aware_oracle: ContainmentOracle,
+    /// Answers the D5 trigger replay; schema-blind like the production
+    /// fast path ([`xac_policy::PolicyAnalysis::build`]).
+    blind_oracle: ContainmentOracle,
+    /// `resource → schema_variants(resource, schema)`; the schema is
+    /// fixed per session, so the resource text is the whole key.
+    variants: HashMap<String, Vec<Path>>,
+    /// `resource → expand(resource, schema)` for the trigger replay.
+    expansions: HashMap<String, Vec<Path>>,
+    /// The D5 update corpus and its per-update expansions (fixed per
+    /// schema and corpus cap).
+    corpus: Vec<Path>,
+    corpus_expansions: Vec<Vec<Path>>,
+    /// D2 finding per `(rule_fp, region_fp)` (None = not shadowed).
+    d2_cache: HashMap<(u64, u64), Option<Diagnostic>>,
+    /// D3 findings per `(rule_fp, region_fp)` for the allow anchor.
+    d3_cache: HashMap<(u64, u64), Vec<Diagnostic>>,
+    /// Cache traffic of the most recent [`IncrementalAnalyzer::analyze`].
+    last_hits: u64,
+    last_reruns: u64,
+}
+
+impl IncrementalAnalyzer {
+    /// A session over `policy`, optionally schema-aware.
+    pub fn new(policy: Policy, schema: Option<&Schema>) -> IncrementalAnalyzer {
+        let mut engine = IncrementalAnalyzer {
+            policy,
+            schema: schema.cloned(),
+            policy_name: "<policy>".into(),
+            schema_name: None,
+            audit: AuditConfig::default(),
+            aware_oracle: match schema {
+                Some(s) => ContainmentOracle::with_schema(s.clone()),
+                None => ContainmentOracle::new(),
+            },
+            blind_oracle: ContainmentOracle::new(),
+            variants: HashMap::new(),
+            expansions: HashMap::new(),
+            corpus: Vec::new(),
+            corpus_expansions: Vec::new(),
+            d2_cache: HashMap::new(),
+            d3_cache: HashMap::new(),
+            last_hits: 0,
+            last_reruns: 0,
+        };
+        engine.refresh_corpus();
+        engine
+    }
+
+    /// Display names used in reports (usually file paths).
+    pub fn named(mut self, policy: impl Into<String>, schema: Option<String>) -> Self {
+        self.policy_name = policy.into();
+        self.schema_name = schema;
+        self
+    }
+
+    /// Cap the D5 audit corpus at `n` update paths.
+    pub fn audit_updates(mut self, n: usize) -> Self {
+        self.audit.max_updates = n;
+        self.refresh_corpus();
+        self
+    }
+
+    /// The current policy.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// The session schema, if any.
+    pub fn schema(&self) -> Option<&Schema> {
+        self.schema.as_ref()
+    }
+
+    /// Replace the policy under analysis. Caches survive: the next
+    /// [`IncrementalAnalyzer::analyze`] re-runs only the passes whose
+    /// fingerprinted inputs actually changed.
+    pub fn set_policy(&mut self, policy: Policy) {
+        self.policy = policy;
+    }
+
+    /// `(hits, reruns)` of the most recent run: per-rule pass results
+    /// served from cache vs recomputed.
+    pub fn last_cache_traffic(&self) -> (u64, u64) {
+        (self.last_hits, self.last_reruns)
+    }
+
+    fn refresh_corpus(&mut self) {
+        match &self.schema {
+            Some(schema) => {
+                self.corpus = audit::update_corpus(schema, self.audit.max_updates);
+                self.corpus_expansions = self
+                    .corpus
+                    .iter()
+                    .map(|u| expand_update(u, Some(schema)))
+                    .collect();
+            }
+            None => {
+                self.corpus.clear();
+                self.corpus_expansions.clear();
+            }
+        }
+    }
+
+    /// Run all five passes, reusing every cached result whose inputs
+    /// are fingerprint-identical. The report matches a fresh
+    /// [`crate::Analyzer`] run (schema-enabled, no source text, no
+    /// document) byte for byte.
+    pub fn analyze(&mut self) -> Report {
+        let _span = xac_obs::span("analyze.incremental");
+        let mut hits = 0u64;
+        let mut reruns = 0u64;
+        let mut report = Report {
+            policy_name: self.policy_name.clone(),
+            schema_name: self.schema_name.clone(),
+            ..Report::default()
+        };
+
+        // D1: deadness from the memoized variants.
+        let mut dead: BTreeSet<usize> = BTreeSet::new();
+        if let Some(schema) = &self.schema {
+            for (i, rule) in self.policy.rules.iter().enumerate() {
+                let variants = cached_variants(
+                    &mut self.variants,
+                    &rule.resource,
+                    schema,
+                    &mut hits,
+                    &mut reruns,
+                );
+                if variants.is_empty() {
+                    dead.insert(i);
+                    report.diagnostics.push(dead_rule_diag(rule, schema, None));
+                }
+            }
+        }
+
+        let graph =
+            AnalysisGraph::build(&self.policy, self.schema.as_ref(), &self.aware_oracle, &dead);
+        let n = self.policy.rules.len();
+        let region_fps: Vec<u64> = (0..n).map(|i| graph.region_fp(i)).collect();
+
+        // D2: shadowed rules.
+        let ds = self.policy.default_semantics;
+        let cr = self.policy.conflict_resolution;
+        if let Some(effect) = discarded_effect(ds, cr) {
+            for (i, rule) in self.policy.rules.iter().enumerate() {
+                if rule.effect == effect && !dead.contains(&i) {
+                    report.diagnostics.push(degenerate_shadow_diag(ds, cr, rule, None));
+                }
+            }
+        } else {
+            let (shadowed_effect, winner_effect) =
+                shadow_roles(ds, cr).expect("non-degenerate row");
+            for (i, rule) in self.policy.rules.iter().enumerate() {
+                if rule.effect != shadowed_effect || dead.contains(&i) {
+                    continue;
+                }
+                let key = (graph.rule_fp(i), region_fps[i]);
+                let diag = match self.d2_cache.get(&key) {
+                    Some(cached) => {
+                        hits += 1;
+                        cached.clone()
+                    }
+                    None => {
+                        reruns += 1;
+                        // Scan the region in index order with the full
+                        // pass's winner predicate: every containment
+                        // winner is a region member, so the first match
+                        // here is the first match globally.
+                        let winner = graph.region(i).into_iter().find(|&j| {
+                            let w = &self.policy.rules[j];
+                            w.effect == winner_effect
+                                && !graph.is_dead(j)
+                                && self
+                                    .aware_oracle
+                                    .contained_in_schema_aware(&rule.resource, &w.resource)
+                        });
+                        let diag = winner.map(|j| {
+                            shadow_diag(rule, &self.policy.rules[j], cr, None, None, None)
+                        });
+                        self.d2_cache.insert(key, diag.clone());
+                        diag
+                    }
+                };
+                if let Some(d) = diag {
+                    report.diagnostics.push(d);
+                }
+            }
+        }
+
+        // D3: conflicts, anchored per allow rule.
+        for (i, a) in self.policy.rules.iter().enumerate() {
+            if a.effect != Effect::Allow || dead.contains(&i) {
+                continue;
+            }
+            let key = (graph.rule_fp(i), region_fps[i]);
+            let diags = match self.d3_cache.get(&key) {
+                Some(cached) => {
+                    hits += 1;
+                    cached.clone()
+                }
+                None => {
+                    reruns += 1;
+                    // Deny partners are exactly the deny members of the
+                    // region that pass the overlap test; rules outside
+                    // the region fail it by construction.
+                    let mut diags = Vec::new();
+                    for j in graph.region(i) {
+                        let d = &self.policy.rules[j];
+                        if d.effect != Effect::Deny || graph.is_dead(j) {
+                            continue;
+                        }
+                        let a_in_d =
+                            self.aware_oracle.contained_in_schema_aware(&a.resource, &d.resource);
+                        let d_in_a =
+                            self.aware_oracle.contained_in_schema_aware(&d.resource, &a.resource);
+                        let definite = a_in_d || d_in_a;
+                        if !definite
+                            && self.aware_oracle.disjoint_schema_aware(&a.resource, &d.resource)
+                        {
+                            continue;
+                        }
+                        let witness =
+                            witness_type(&a.resource, &d.resource, self.schema.as_ref())
+                                .unwrap_or_else(|| "*".into());
+                        diags.push(conflict_diag(a, d, definite, &witness, cr, None, None));
+                    }
+                    self.d3_cache.insert(key, diags.clone());
+                    diags
+                }
+            };
+            report.diagnostics.extend(diags);
+        }
+
+        // D4: coverage, linear over the memoized variants.
+        if let Some(schema) = self.schema.as_ref() {
+            coverage(&self.policy, schema, &mut self.variants, &dead, &mut report);
+        }
+
+        // D5: the trigger-soundness audit from cached expansions.
+        if self.schema.is_some() {
+            let summary = self.audit_replay(&mut report, &mut hits, &mut reruns);
+            report.audit = Some(summary);
+        }
+
+        xac_obs::counter("xac_analyze_incremental_hits_total").add(hits);
+        xac_obs::counter("xac_analyze_incremental_reruns_total").add(reruns);
+        self.last_hits = hits;
+        self.last_reruns = reruns;
+        report
+    }
+
+    /// D5 static leg: replay the Fig. 8 trigger for every corpus update
+    /// from cached expansions and check the dependency-closure
+    /// invariant. Produces the same summary and findings as
+    /// [`crate::audit::run`] without a document.
+    fn audit_replay(
+        &mut self,
+        report: &mut Report,
+        hits: &mut u64,
+        reruns: &mut u64,
+    ) -> AuditSummary {
+        let schema = self.schema.as_ref().expect("audit needs a schema");
+        let expansions: Vec<Vec<Path>> = self
+            .policy
+            .rules
+            .iter()
+            .map(|r| {
+                let key = r.resource.to_string();
+                match self.expansions.get(&key) {
+                    Some(e) => {
+                        *hits += 1;
+                        e.clone()
+                    }
+                    None => {
+                        *reruns += 1;
+                        let e = expand(&r.resource, Some(schema));
+                        self.expansions.insert(key, e.clone());
+                        e
+                    }
+                }
+            })
+            .collect();
+        // The blind graph the production fast path uses; its pairwise
+        // containment pass re-answers from the persistent oracle.
+        let graph = DependencyGraph::build_with_oracle(&self.policy, &self.blind_oracle);
+        let mut summary =
+            AuditSummary { updates: self.corpus.len(), ..AuditSummary::default() };
+        for (u, u_expansions) in self.corpus.iter().zip(&self.corpus_expansions) {
+            let fast: BTreeSet<usize> =
+                trigger_with_expansions(&expansions, &graph, u_expansions, &self.blind_oracle)
+                    .into_iter()
+                    .collect();
+            if let Some(&i) = fast
+                .iter()
+                .find(|&&i| graph.depends(i).iter().any(|d| !fast.contains(d)))
+            {
+                summary.divergences += 1;
+                report.diagnostics.push(Diagnostic::new(
+                    Code::TriggerAudit,
+                    Severity::Error,
+                    format!(
+                        "closure violation on update `{u}`: rule {} is selected but its \
+                         dependency component is not fully selected",
+                        self.policy.rules[i].id,
+                    ),
+                ));
+            }
+            summary.selected_total += fast.len();
+        }
+        report.diagnostics.push(audit::summary_diagnostic(&summary));
+        summary
+    }
+}
+
+/// D4 against the variants cache. `analyze` populated the cache for
+/// every live rule already, so this never computes a specialization.
+fn coverage(
+    policy: &Policy,
+    schema: &Schema,
+    variants: &mut HashMap<String, Vec<Path>>,
+    dead: &BTreeSet<usize>,
+    report: &mut Report,
+) {
+    let mut covered: BTreeSet<String> = BTreeSet::new();
+    for (i, rule) in policy.rules.iter().enumerate() {
+        if dead.contains(&i) {
+            continue;
+        }
+        let vs = variants
+            .entry(rule.resource.to_string())
+            .or_insert_with(|| schema_variants(&rule.resource, schema));
+        for variant in vs.iter() {
+            match end_label(variant) {
+                Some(name) => {
+                    covered.insert(name);
+                }
+                // A wildcard end may sign any type: no gap provable.
+                None => return,
+            }
+        }
+    }
+    let gaps: Vec<&str> = schema
+        .reachable_types()
+        .into_iter()
+        .filter(|t| !covered.contains(*t))
+        .collect();
+    if gaps.is_empty() {
+        return;
+    }
+    report.diagnostics.push(coverage_gap_diag(
+        &gaps,
+        schema.reachable_types().len(),
+        policy.default_semantics,
+    ));
+}
+
+/// The memoized `schema_variants`, counting cache traffic.
+fn cached_variants<'a>(
+    cache: &'a mut HashMap<String, Vec<Path>>,
+    resource: &Path,
+    schema: &Schema,
+    hits: &mut u64,
+    reruns: &mut u64,
+) -> &'a [Path] {
+    let key = resource.to_string();
+    if cache.contains_key(&key) {
+        *hits += 1;
+    } else {
+        *reruns += 1;
+        cache.insert(key.clone(), schema_variants(resource, schema));
+    }
+    cache.get(&key).expect("just inserted").as_slice()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verifier::Analyzer;
+    use xac_policy::policy::hospital_policy;
+    use xac_xml::parse_dtd;
+
+    fn hospital_schema() -> Schema {
+        parse_dtd(include_str!("../../../data/hospital.dtd")).unwrap()
+    }
+
+    fn full_report(policy: &Policy, schema: &Schema) -> Report {
+        Analyzer::new(policy).with_schema(schema).named("p.pol", None).run()
+    }
+
+    #[test]
+    fn matches_the_full_analyzer_byte_for_byte() {
+        let schema = hospital_schema();
+        for src in [
+            include_str!("../../../examples/policies/flawed_all5.pol"),
+            "default deny\nconflict deny-overrides\nR1 allow //patient\n",
+            "default allow\nconflict deny-overrides\nA1 allow //patient\nD1 deny //regular\n",
+            "default deny\nconflict allow-overrides\nA1 allow //patient\nD1 deny //nurse\n",
+        ] {
+            let policy = Policy::parse(src).unwrap();
+            let mut engine = IncrementalAnalyzer::new(policy.clone(), Some(&schema))
+                .named("p.pol", None);
+            let incremental = engine.analyze();
+            let full = full_report(&policy, &schema);
+            assert_eq!(incremental.to_json(), full.to_json(), "on policy:\n{src}");
+            assert_eq!(incremental.to_text(), full.to_text(), "on policy:\n{src}");
+        }
+    }
+
+    #[test]
+    fn unrelated_edit_is_answered_from_cache() {
+        let schema = hospital_schema();
+        let base = "default deny\nconflict deny-overrides\n\
+                    R1 allow //patient\nR2 deny //patient[treatment]\n\
+                    R3 allow //nurse/phone\nR4 allow //doctor/name\n";
+        let policy = Policy::parse(base).unwrap();
+        let mut engine = IncrementalAnalyzer::new(policy, Some(&schema));
+        engine.analyze();
+
+        // Editing R4 must not re-run the R1/R2 region.
+        let edited = Policy::parse(
+            "default deny\nconflict deny-overrides\n\
+             R1 allow //patient\nR2 deny //patient[treatment]\n\
+             R3 allow //nurse/phone\nR4 allow //doctor/sid\n",
+        )
+        .unwrap();
+        engine.set_policy(edited.clone());
+        let incremental = engine.analyze();
+        let (hits, reruns) = engine.last_cache_traffic();
+        assert!(hits > 0, "unchanged regions served from cache");
+        // Fresh work: R4's variants + expansion and its (trivial) D3
+        // region; everything touching R1/R2/R3 is a hit.
+        assert!(
+            reruns <= 4,
+            "only the edited rule re-runs (its variants, expansion, D2 and \
+             D3 entries), got {reruns} reruns / {hits} hits"
+        );
+        let full = Analyzer::new(&edited).with_schema(&schema).run();
+        assert_eq!(incremental.to_json(), full.to_json());
+    }
+
+    #[test]
+    fn identical_policy_is_all_hits() {
+        let schema = hospital_schema();
+        let policy = hospital_policy();
+        let mut engine =
+            IncrementalAnalyzer::new(policy.clone(), Some(&schema)).named("p.pol", None);
+        engine.analyze();
+        let before = engine.aware_oracle.stats();
+        engine.set_policy(policy);
+        let report = engine.analyze();
+        let (_, reruns) = engine.last_cache_traffic();
+        assert_eq!(reruns, 0, "a second run over the same policy re-verifies nothing");
+        let after = engine.aware_oracle.stats();
+        assert_eq!(after.misses, before.misses, "no fresh homomorphism tests");
+        let full = full_report(&hospital_policy(), &schema);
+        assert_eq!(report.to_json(), full.to_json());
+    }
+
+    #[test]
+    fn works_without_a_schema() {
+        let policy = Policy::parse(
+            "default deny\nconflict deny-overrides\n\
+             D1 deny //patient[treatment]\nA1 allow //patient[treatment and psn]\n",
+        )
+        .unwrap();
+        let mut engine = IncrementalAnalyzer::new(policy.clone(), None);
+        let incremental = engine.analyze();
+        let full = Analyzer::new(&policy).run();
+        assert_eq!(incremental.to_json(), full.to_json());
+        assert!(incremental.audit.is_none(), "no audit without a schema");
+    }
+}

@@ -36,8 +36,14 @@
 
 pub mod audit;
 pub mod diagnostic;
+pub mod graph;
+pub mod incremental;
+pub mod repair;
 pub mod verifier;
 
 pub use audit::{update_corpus, AuditConfig};
 pub use diagnostic::{AuditSummary, Code, Diagnostic, Report, Severity};
+pub use graph::AnalysisGraph;
+pub use incremental::IncrementalAnalyzer;
+pub use repair::{synthesize, unified_diff, Repair, RepairConfig, RepairKind, RepairOutcome};
 pub use verifier::Analyzer;

@@ -1,0 +1,833 @@
+//! Verified repair synthesis for XA001–XA004 findings.
+//!
+//! For each gating diagnostic the synthesizer proposes *minimal*
+//! candidate edits, ordered least-invasive first:
+//!
+//! | finding | candidates |
+//! |---------|-----------|
+//! | `XA001` dead rule | delete the rule |
+//! | `XA002` shadowed (degenerate row) | flip `conflict`, flip the rule's sign, delete |
+//! | `XA002` shadowed (containment)    | flip the rule's sign, delete |
+//! | `XA003` conflict | tighten the allow's qualifier with the complement of the deny's bound |
+//! | `XA004` coverage gap | append one default-effect `//t` rule per gap type |
+//!
+//! A candidate is **accepted** only when verification proves it safe:
+//!
+//! 1. *clears* — re-analyzing the edited policy (incrementally, via the
+//!    caller's [`IncrementalAnalyzer`]) no longer reports the target
+//!    diagnostic;
+//! 2. *no regression* — no new warning-or-worse diagnostic appears that
+//!    the baseline did not have;
+//! 3. *sign preservation* — when a document is supplied, the original
+//!    and edited policies are annotated side by side on all three
+//!    backends (native XML, row- and column-relational) and their
+//!    [`sign_state`](xac_core::Backend::sign_state) must be
+//!    byte-identical for every node whose element type the edit could
+//!    not have touched (for scope-free edits — deleting a dead rule,
+//!    flipping precedence on an overlap-free policy — that is *every*
+//!    node).
+//!
+//! Rejected candidates fall through to the next; accepted ones are
+//! applied and the loop re-targets until the policy is clean or no
+//! candidate makes progress. The textual edit trail is rendered as a
+//! unified diff against the original `.pol` source.
+
+use crate::diagnostic::{Code, Diagnostic, Report, Severity};
+use crate::incremental::IncrementalAnalyzer;
+use crate::verifier::{discarded_effect, end_label};
+use std::collections::{BTreeSet, HashMap};
+use xac_core::System;
+use xac_policy::{ConflictResolution, DefaultSemantics, Effect, Policy, Rule};
+use xac_xml::{Document, Schema};
+use xac_xpath::{schema_variants, Path, Qualifier};
+
+/// The shape of one applied repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairKind {
+    /// Remove a rule that can never sign a node.
+    DeleteRule,
+    /// Swap a rule's effect so the semantics can observe it.
+    FlipSign,
+    /// Swap the policy's conflict-resolution strategy.
+    FlipPrecedence,
+    /// Conjoin the complement of the conflicting bound onto a qualifier.
+    TightenQualifier,
+    /// Add default-effect rules for uncovered element types.
+    AddCoveringRule,
+}
+
+impl RepairKind {
+    /// Stable kebab-case label (JSON rows, CLI output).
+    pub fn label(self) -> &'static str {
+        match self {
+            RepairKind::DeleteRule => "delete-rule",
+            RepairKind::FlipSign => "flip-sign",
+            RepairKind::FlipPrecedence => "flip-precedence",
+            RepairKind::TightenQualifier => "tighten-qualifier",
+            RepairKind::AddCoveringRule => "add-covering-rule",
+        }
+    }
+}
+
+/// One accepted, verified repair.
+#[derive(Debug, Clone)]
+pub struct Repair {
+    /// What was done.
+    pub kind: RepairKind,
+    /// The diagnostic it cleared.
+    pub code: Code,
+    /// The rule the diagnostic was anchored to, if any.
+    pub rule: Option<String>,
+    /// Human description of the edit.
+    pub description: String,
+}
+
+/// What the synthesizer is allowed to touch.
+#[derive(Debug, Clone, Default)]
+pub struct RepairConfig {
+    /// Treat warnings as gating (the `--deny warn` contract).
+    pub deny_warnings: bool,
+    /// Also repair info-level findings (XA003 conflicts, XA004 gaps).
+    pub fix_infos: bool,
+}
+
+/// The result of a synthesis run.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// Accepted repairs, in application order.
+    pub repairs: Vec<Repair>,
+    /// The report of the final (repaired) policy.
+    pub report: Report,
+    /// The repaired policy.
+    pub policy: Policy,
+    /// The repaired source text.
+    pub source: String,
+    /// Unified diff original → repaired (empty when nothing changed).
+    pub diff: String,
+}
+
+/// A concrete edit, applicable to both the [`Policy`] AST and the
+/// `.pol` source text (so the diff the user reviews is exactly the
+/// change the verifier proved safe).
+#[derive(Debug, Clone)]
+enum Edit {
+    Delete { id: String },
+    Flip { id: String, to: Effect },
+    SetResource { id: String, resource: String },
+    SetConflict { to: ConflictResolution },
+    Append { rules: Vec<(String, Effect, String)> },
+}
+
+/// Synthesize and verify repairs for the engine's current policy.
+/// `source` is the policy's source text (diff base), `source_name` its
+/// display path. The engine is left holding the repaired policy with
+/// warm caches.
+pub fn synthesize(
+    engine: &mut IncrementalAnalyzer,
+    source: &str,
+    source_name: &str,
+    doc: Option<&Document>,
+    cfg: &RepairConfig,
+) -> RepairOutcome {
+    let _span = xac_obs::span("analyze.repair");
+    let schema = engine.schema().cloned();
+    let mut current = engine.policy().clone();
+    let mut current_src = source.to_string();
+    let mut repairs: Vec<Repair> = Vec::new();
+    engine.set_policy(current.clone());
+    let mut report = engine.analyze();
+
+    // Bounded severity-first loop: re-target after every accepted edit.
+    'outer: for _ in 0..64 {
+        let baseline = gating_pairs(&report);
+        let targets = ordered_targets(&report, cfg);
+        for target in &targets {
+            for (kind, edit, description) in candidates(&current, schema.as_ref(), target) {
+                let Some(candidate) = apply_to_policy(&current, &edit) else {
+                    continue;
+                };
+                engine.set_policy(candidate.clone());
+                let cand_report = engine.analyze();
+                if !cleared(&cand_report, target) || regressed(&cand_report, &baseline) {
+                    continue;
+                }
+                if let (Some(schema), Some(doc)) = (schema.as_ref(), doc) {
+                    if let Some(flagged) = flagged_types(&edit, &current, schema) {
+                        if !signs_preserved(schema, doc, &current, &candidate, &flagged) {
+                            continue;
+                        }
+                    }
+                    // `None`: the edit's scope is unbounded (wildcard
+                    // end), so no node lies outside it — nothing to
+                    // hold fixed.
+                }
+                current_src = apply_to_source(&current_src, &edit);
+                current = candidate;
+                report = cand_report;
+                repairs.push(Repair {
+                    kind,
+                    code: target.code,
+                    rule: target.rule.clone(),
+                    description,
+                });
+                xac_obs::counter("xac_analyze_repairs_total").inc();
+                continue 'outer;
+            }
+        }
+        break; // no target had an acceptable candidate
+    }
+
+    engine.set_policy(current.clone());
+    let diff = if repairs.is_empty() {
+        String::new()
+    } else {
+        unified_diff(source, &current_src, source_name)
+    };
+    RepairOutcome { repairs, report, policy: current, source: current_src, diff }
+}
+
+/// `(code, rule)` pairs of warning-or-worse findings: the regression
+/// baseline a candidate must not grow.
+fn gating_pairs(report: &Report) -> BTreeSet<(&'static str, String)> {
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity >= Severity::Warning)
+        .map(|d| (d.code.as_str(), d.rule.clone().unwrap_or_default()))
+        .collect()
+}
+
+/// Repairable findings, most severe first (stable within a severity).
+fn ordered_targets(report: &Report, cfg: &RepairConfig) -> Vec<Diagnostic> {
+    let eligible = |d: &&Diagnostic| match d.severity {
+        Severity::Error => d.code != Code::TriggerAudit,
+        Severity::Warning => cfg.deny_warnings,
+        Severity::Info => {
+            cfg.fix_infos && matches!(d.code, Code::Conflict | Code::CoverageGap)
+        }
+    };
+    let mut targets: Vec<Diagnostic> = Vec::new();
+    for severity in [Severity::Error, Severity::Warning, Severity::Info] {
+        targets.extend(
+            report
+                .sorted()
+                .into_iter()
+                .filter(|d| d.severity == severity)
+                .filter(eligible)
+                .cloned(),
+        );
+    }
+    targets
+}
+
+/// Did `target` disappear from the candidate's report?
+fn cleared(report: &Report, target: &Diagnostic) -> bool {
+    !report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == target.code && d.rule == target.rule)
+}
+
+/// Did the candidate introduce a warning-or-worse finding the baseline
+/// did not have?
+fn regressed(report: &Report, baseline: &BTreeSet<(&'static str, String)>) -> bool {
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity >= Severity::Warning)
+        .any(|d| !baseline.contains(&(d.code.as_str(), d.rule.clone().unwrap_or_default())))
+}
+
+/// Candidate edits for one finding, least-invasive first.
+fn candidates(
+    policy: &Policy,
+    schema: Option<&Schema>,
+    target: &Diagnostic,
+) -> Vec<(RepairKind, Edit, String)> {
+    match target.code {
+        Code::DeadRule => {
+            let Some(id) = target.rule.clone() else { return Vec::new() };
+            vec![(
+                RepairKind::DeleteRule,
+                Edit::Delete { id: id.clone() },
+                format!("delete dead rule {id}"),
+            )]
+        }
+        Code::ShadowedRule => {
+            let Some(id) = target.rule.clone() else { return Vec::new() };
+            let Some(rule) = policy.rule(&id) else { return Vec::new() };
+            let to = opposite(rule.effect);
+            let mut out = Vec::new();
+            if discarded_effect(policy.default_semantics, policy.conflict_resolution).is_some()
+            {
+                let cr = opposite_cr(policy.conflict_resolution);
+                out.push((
+                    RepairKind::FlipPrecedence,
+                    Edit::SetConflict { to: cr },
+                    format!(
+                        "flip conflict resolution to {} so {} rules take part in the \
+                         Table 2 semantics",
+                        cr_word(cr),
+                        rule.effect,
+                    ),
+                ));
+            }
+            out.push((
+                RepairKind::FlipSign,
+                Edit::Flip { id: id.clone(), to },
+                format!("flip rule {id} to {to} so its sign becomes observable"),
+            ));
+            out.push((
+                RepairKind::DeleteRule,
+                Edit::Delete { id: id.clone() },
+                format!("delete shadowed rule {id}"),
+            ));
+            out
+        }
+        Code::Conflict => tighten_candidate(policy, target).into_iter().collect(),
+        Code::CoverageGap => covering_candidate(policy, schema).into_iter().collect(),
+        Code::TriggerAudit => Vec::new(),
+    }
+}
+
+/// XA003: conjoin the complement of the deny rule's value bound onto
+/// the allow rule's output step, carving the overlap away. Only
+/// applies when the deny's output step carries comparison qualifiers
+/// over bare child paths — the shape the schema-aware disjointness
+/// test can then prove apart.
+fn tighten_candidate(policy: &Policy, target: &Diagnostic) -> Option<(RepairKind, Edit, String)> {
+    let a_id = target.rule.as_deref()?;
+    let a = policy.rule(a_id)?;
+    // The partner is named in our own (golden-tested) message format:
+    // "… and deny rule <id> (`…`)".
+    let d_id = target
+        .message
+        .split(" deny rule ")
+        .nth(1)?
+        .split_whitespace()
+        .next()?;
+    let d = policy.rule(d_id)?;
+    let constraints = value_constraints(d.resource.last_step()?.predicates.as_slice());
+    if constraints.is_empty() {
+        return None;
+    }
+    let mut resource = a.resource.clone();
+    let last = resource.steps.last_mut()?;
+    for (path, op, bound) in &constraints {
+        last.predicates.push(Qualifier::Cmp((*path).clone(), op.complement(), bound.clone()));
+    }
+    let resource = resource.to_string();
+    Some((
+        RepairKind::TightenQualifier,
+        Edit::SetResource { id: a_id.to_string(), resource: resource.clone() },
+        format!("tighten rule {a_id} to `{resource}`, excluding deny rule {d_id}'s scope"),
+    ))
+}
+
+/// The `Cmp` qualifiers over bare single-step child paths in a
+/// predicate list (one `And` level flattened) — the bounds whose
+/// complements the tighten repair conjoins.
+fn value_constraints(
+    predicates: &[Qualifier],
+) -> Vec<(&Path, xac_xpath::CmpOp, String)> {
+    let mut out = Vec::new();
+    fn walk<'q>(qs: &'q [Qualifier], out: &mut Vec<(&'q Path, xac_xpath::CmpOp, String)>) {
+        for q in qs {
+            match q {
+                Qualifier::Cmp(p, op, d) if is_bare_child(p) => {
+                    out.push((p, *op, d.clone()));
+                }
+                Qualifier::And(inner) => walk(inner, out),
+                _ => {}
+            }
+        }
+    }
+    walk(predicates, &mut out);
+    out
+}
+
+/// A relative, predicate-free, single child step to a named element.
+fn is_bare_child(p: &Path) -> bool {
+    !p.absolute
+        && p.steps.len() == 1
+        && p.steps[0].axis == xac_xpath::Axis::Child
+        && p.steps[0].predicates.is_empty()
+        && matches!(p.steps[0].test, xac_xpath::NodeTest::Name(_))
+}
+
+/// XA004: one fresh default-effect `//t` rule per uncovered type. The
+/// rules sign exactly the nodes that already carried the default sign,
+/// with the default's own effect — sign-preserving by construction,
+/// and verified to be so anyway.
+fn covering_candidate(
+    policy: &Policy,
+    schema: Option<&Schema>,
+) -> Option<(RepairKind, Edit, String)> {
+    let schema = schema?;
+    let mut covered: BTreeSet<String> = BTreeSet::new();
+    for rule in &policy.rules {
+        let variants = schema_variants(&rule.resource, schema);
+        if variants.is_empty() {
+            continue; // dead rule: signs nothing
+        }
+        for v in &variants {
+            covered.insert(end_label(v)?); // wildcard end: no gap exists
+        }
+    }
+    let gaps: Vec<&str> = schema
+        .reachable_types()
+        .into_iter()
+        .filter(|t| !covered.contains(*t))
+        .collect();
+    if gaps.is_empty() {
+        return None;
+    }
+    let effect = match policy.default_semantics {
+        DefaultSemantics::Allow => Effect::Allow,
+        DefaultSemantics::Deny => Effect::Deny,
+    };
+    let existing: BTreeSet<&str> = policy.rules.iter().map(|r| r.id.as_str()).collect();
+    let mut rules = Vec::new();
+    let mut n = policy.rules.len() + 1;
+    for gap in &gaps {
+        let mut id = format!("G{n}");
+        while existing.contains(id.as_str()) {
+            n += 1;
+            id = format!("G{n}");
+        }
+        n += 1;
+        rules.push((id, effect, format!("//{gap}")));
+    }
+    let description = format!(
+        "add {} explicit {effect} rule(s) covering: {}",
+        rules.len(),
+        gaps.join(", "),
+    );
+    Some((RepairKind::AddCoveringRule, Edit::Append { rules }, description))
+}
+
+fn opposite(e: Effect) -> Effect {
+    match e {
+        Effect::Allow => Effect::Deny,
+        Effect::Deny => Effect::Allow,
+    }
+}
+
+fn opposite_cr(cr: ConflictResolution) -> ConflictResolution {
+    match cr {
+        ConflictResolution::AllowOverrides => ConflictResolution::DenyOverrides,
+        ConflictResolution::DenyOverrides => ConflictResolution::AllowOverrides,
+    }
+}
+
+fn cr_word(cr: ConflictResolution) -> &'static str {
+    match cr {
+        ConflictResolution::AllowOverrides => "allow-overrides",
+        ConflictResolution::DenyOverrides => "deny-overrides",
+    }
+}
+
+fn effect_word(e: Effect) -> &'static str {
+    match e {
+        Effect::Allow => "allow",
+        Effect::Deny => "deny",
+    }
+}
+
+/// Apply an edit to the policy AST. `None` when the edit no longer
+/// applies (rule vanished, parse failure) — the candidate is skipped.
+fn apply_to_policy(policy: &Policy, edit: &Edit) -> Option<Policy> {
+    match edit {
+        Edit::Delete { id } => policy.without_rule(id).ok(),
+        Edit::Flip { id, to } => {
+            let rule = policy.rule(id)?;
+            let replacement = Rule::parse(id.clone(), &rule.resource.to_string(), *to).ok()?;
+            policy.with_rule_replaced(id, replacement).ok()
+        }
+        Edit::SetResource { id, resource } => {
+            let rule = policy.rule(id)?;
+            let replacement = Rule::parse(id.clone(), resource, rule.effect).ok()?;
+            policy.with_rule_replaced(id, replacement).ok()
+        }
+        Edit::SetConflict { to } => {
+            Policy::new(policy.default_semantics, *to, policy.rules.clone()).ok()
+        }
+        Edit::Append { rules } => {
+            let mut out = policy.clone();
+            for (id, effect, resource) in rules {
+                let rule = Rule::parse(id.clone(), resource, *effect).ok()?;
+                out = out.with_rule_appended(rule).ok()?;
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Apply an edit to the `.pol` source text. Mirrors the line discipline
+/// of `Policy::parse` (and `rule_spans`): a rule's line is the one whose
+/// first token is its id.
+fn apply_to_source(source: &str, edit: &Edit) -> String {
+    let first_token = |line: &str| line.split_whitespace().next().map(str::to_string);
+    let mut lines: Vec<String> = source.lines().map(str::to_string).collect();
+    match edit {
+        Edit::Delete { id } => {
+            lines.retain(|l| first_token(l).as_deref() != Some(id.as_str()));
+        }
+        Edit::Flip { id, to } => {
+            for line in &mut lines {
+                if first_token(line).as_deref() != Some(id.as_str()) {
+                    continue;
+                }
+                let mut parts = line.splitn(3, char::is_whitespace);
+                let (head, old_effect, rest) =
+                    (parts.next().unwrap_or(""), parts.next().unwrap_or(""), parts.next());
+                // Keep the author's notation: sign stays sign, word
+                // stays word.
+                let new_effect = match old_effect {
+                    "+" | "-" => if *to == Effect::Allow { "+" } else { "-" }.to_string(),
+                    _ => effect_word(*to).to_string(),
+                };
+                *line = match rest {
+                    Some(rest) => format!("{head} {new_effect} {}", rest.trim_start()),
+                    None => format!("{head} {new_effect}"),
+                };
+            }
+        }
+        Edit::SetResource { id, resource } => {
+            for line in &mut lines {
+                if first_token(line).as_deref() != Some(id.as_str()) {
+                    continue;
+                }
+                let mut parts = line.splitn(3, char::is_whitespace);
+                let (head, effect) =
+                    (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+                *line = format!("{head} {effect} {resource}");
+            }
+        }
+        Edit::SetConflict { to } => {
+            for line in &mut lines {
+                if first_token(line).as_deref() == Some("conflict") {
+                    *line = format!("conflict {}", cr_word(*to));
+                }
+            }
+        }
+        Edit::Append { rules } => {
+            for (id, effect, resource) in rules {
+                lines.push(format!("{id} {} {resource}", effect_word(*effect)));
+            }
+        }
+    }
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+/// The element types an edit can re-sign: the end labels of the edited
+/// rule's schema specializations, before and after. `Some(∅)` demands
+/// global sign identity (scope-free edits); `None` means the scope is
+/// unbounded (wildcard end) and the differential check is vacuous.
+fn flagged_types(edit: &Edit, policy: &Policy, schema: &Schema) -> Option<BTreeSet<String>> {
+    let labels = |resource: &Path| -> Option<BTreeSet<String>> {
+        schema_variants(resource, schema).iter().map(end_label).collect()
+    };
+    match edit {
+        Edit::Delete { id } => {
+            let rule = policy.rule(id)?;
+            labels(&rule.resource) // dead rule ⇒ empty set ⇒ global identity
+        }
+        Edit::Flip { id, .. } => labels(&policy.rule(id)?.resource),
+        Edit::SetResource { id, resource } => {
+            let mut set = labels(&policy.rule(id)?.resource)?;
+            set.extend(labels(&xac_xpath::parse(resource).ok()?)?);
+            Some(set)
+        }
+        Edit::SetConflict { .. } => Some(BTreeSet::new()),
+        Edit::Append { rules } => {
+            let mut set = BTreeSet::new();
+            for (_, _, resource) in rules {
+                set.extend(labels(&xac_xpath::parse(resource).ok()?)?);
+            }
+            Some(set)
+        }
+    }
+}
+
+/// Annotate `old` and `new` side by side on all three backends and
+/// require byte-identical sign state for every node whose element type
+/// is not in `flagged`. Any backend failure rejects the candidate.
+fn signs_preserved(
+    schema: &Schema,
+    doc: &Document,
+    old: &Policy,
+    new: &Policy,
+    flagged: &BTreeSet<String>,
+) -> bool {
+    let _span = xac_obs::span("analyze.repair.diff");
+    let build = |policy: &Policy| {
+        System::builder(schema.clone(), policy.clone(), doc.clone()).build().ok()
+    };
+    let (Some(sys_old), Some(sys_new)) = (build(old), build(new)) else {
+        return false;
+    };
+    let names: HashMap<i64, &str> = doc
+        .all_elements()
+        .map(|n| (n.index() as i64, doc.name(n).unwrap_or("")))
+        .collect();
+    for (mut b_old, mut b_new) in
+        crate::audit::backends().into_iter().zip(crate::audit::backends())
+    {
+        let run = |sys: &System, b: &mut Box<dyn xac_core::Backend>| {
+            sys.load(b.as_mut()).ok()?;
+            sys.annotate(b.as_mut()).ok()?;
+            b.sign_state().ok()
+        };
+        let (Some(state_old), Some(state_new)) =
+            (run(&sys_old, &mut b_old), run(&sys_new, &mut b_new))
+        else {
+            return false;
+        };
+        let ids: BTreeSet<&i64> = state_old.keys().chain(state_new.keys()).collect();
+        for id in ids {
+            let name = names.get(id).copied().unwrap_or("");
+            if flagged.contains(name) {
+                continue;
+            }
+            if state_old.get(id) != state_new.get(id) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// A hand-rolled unified diff (LCS over lines, three lines of context).
+/// Good enough for `.pol` files; avoids shelling out to `diff`.
+pub fn unified_diff(a: &str, b: &str, name: &str) -> String {
+    const CONTEXT: usize = 3;
+    #[derive(Clone, Copy, PartialEq)]
+    enum Tag {
+        Keep,
+        Del,
+        Add,
+    }
+    let a_lines: Vec<&str> = a.lines().collect();
+    let b_lines: Vec<&str> = b.lines().collect();
+    let (n, m) = (a_lines.len(), b_lines.len());
+    let mut lcs = vec![vec![0usize; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[i][j] = if a_lines[i] == b_lines[j] {
+                lcs[i + 1][j + 1] + 1
+            } else {
+                lcs[i + 1][j].max(lcs[i][j + 1])
+            };
+        }
+    }
+    let mut ops: Vec<(Tag, &str)> = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if a_lines[i] == b_lines[j] {
+            ops.push((Tag::Keep, a_lines[i]));
+            i += 1;
+            j += 1;
+        } else if lcs[i + 1][j] >= lcs[i][j + 1] {
+            ops.push((Tag::Del, a_lines[i]));
+            i += 1;
+        } else {
+            ops.push((Tag::Add, b_lines[j]));
+            j += 1;
+        }
+    }
+    ops.extend(a_lines[i..].iter().map(|l| (Tag::Del, *l)));
+    ops.extend(b_lines[j..].iter().map(|l| (Tag::Add, *l)));
+    if ops.iter().all(|(t, _)| *t == Tag::Keep) {
+        return String::new();
+    }
+
+    // Group changed ops into hunks, merging when the gap between
+    // changes is within twice the context width.
+    let changed: Vec<usize> = ops
+        .iter()
+        .enumerate()
+        .filter(|(_, (t, _))| *t != Tag::Keep)
+        .map(|(k, _)| k)
+        .collect();
+    let mut hunks: Vec<(usize, usize)> = Vec::new();
+    for &k in &changed {
+        let start = k.saturating_sub(CONTEXT);
+        let end = (k + CONTEXT + 1).min(ops.len());
+        match hunks.last_mut() {
+            Some((_, e)) if start <= *e => *e = end,
+            _ => hunks.push((start, end)),
+        }
+    }
+
+    let mut out = format!("--- {name}\n+++ {name} (repaired)\n");
+    // Line numbers of each op in the old/new files.
+    let mut a_line = 1usize;
+    let mut b_line = 1usize;
+    let mut positions = Vec::with_capacity(ops.len());
+    for (tag, _) in &ops {
+        positions.push((a_line, b_line));
+        match tag {
+            Tag::Keep => {
+                a_line += 1;
+                b_line += 1;
+            }
+            Tag::Del => a_line += 1,
+            Tag::Add => b_line += 1,
+        }
+    }
+    for (start, end) in hunks {
+        let (a_start, b_start) = positions[start];
+        let a_count = ops[start..end].iter().filter(|(t, _)| *t != Tag::Add).count();
+        let b_count = ops[start..end].iter().filter(|(t, _)| *t != Tag::Del).count();
+        out.push_str(&format!("@@ -{a_start},{a_count} +{b_start},{b_count} @@\n"));
+        for (tag, line) in &ops[start..end] {
+            let prefix = match tag {
+                Tag::Keep => ' ',
+                Tag::Del => '-',
+                Tag::Add => '+',
+            };
+            out.push(prefix);
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hospital_schema() -> Schema {
+        xac_xml::parse_dtd(include_str!("../../../data/hospital.dtd")).unwrap()
+    }
+
+    fn figure2() -> Document {
+        Document::parse_str(include_str!("../../../data/figure2.xml")).unwrap()
+    }
+
+    fn repair(
+        src: &str,
+        schema: &Schema,
+        doc: Option<&Document>,
+        cfg: &RepairConfig,
+    ) -> RepairOutcome {
+        let policy = Policy::parse(src).unwrap();
+        let mut engine =
+            IncrementalAnalyzer::new(policy, Some(schema)).named("p.pol", None);
+        synthesize(&mut engine, src, "p.pol", doc, cfg)
+    }
+
+    #[test]
+    fn flawed_fixture_repairs_to_a_clean_policy() {
+        let src = include_str!("../../../examples/policies/flawed_all5.pol");
+        let schema = hospital_schema();
+        let doc = figure2();
+        let cfg = RepairConfig { deny_warnings: true, fix_infos: false };
+        let outcome = repair(src, &schema, Some(&doc), &cfg);
+        let kinds: Vec<RepairKind> = outcome.repairs.iter().map(|r| r.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![RepairKind::DeleteRule, RepairKind::FlipSign],
+            "dead F3 deleted, shadowed F4 flipped: {:?}",
+            outcome.repairs,
+        );
+        assert_eq!(outcome.report.exit_code(true), 0, "{}", outcome.report.to_text());
+        assert!(outcome.diff.contains("-F3 allow //nurse/med"), "{}", outcome.diff);
+        assert!(outcome.diff.contains("+F4 deny"), "{}", outcome.diff);
+        // The repaired source is itself parseable and clean.
+        let reparsed = Policy::parse(&outcome.source).unwrap();
+        assert_eq!(reparsed, outcome.policy);
+    }
+
+    #[test]
+    fn tighten_carves_the_conflict_away() {
+        let schema = hospital_schema();
+        let src = "default deny\nconflict deny-overrides\n\
+                   W4 allow //regular[bill > 500]\nW5 deny //regular[bill > 1000]\n";
+        let cfg = RepairConfig { deny_warnings: true, fix_infos: true };
+        let outcome = repair(src, &schema, None, &cfg);
+        assert!(
+            outcome.repairs.iter().any(|r| r.kind == RepairKind::TightenQualifier),
+            "{:?}",
+            outcome.repairs
+        );
+        assert!(
+            outcome.policy.rule("W4").unwrap().resource.to_string().contains("bill <= 1000"),
+            "complement of the deny bound conjoined: {}",
+            outcome.policy.rule("W4").unwrap().resource,
+        );
+        assert!(
+            outcome.report.diagnostics.iter().all(|d| d.code != Code::Conflict),
+            "{}",
+            outcome.report.to_text()
+        );
+    }
+
+    #[test]
+    fn covering_rules_fill_the_gap_with_the_default_sign() {
+        let schema = hospital_schema();
+        let src = "default deny\nconflict deny-overrides\nR1 allow //patient\n";
+        let cfg = RepairConfig { deny_warnings: true, fix_infos: true };
+        let doc = figure2();
+        let outcome = repair(src, &schema, Some(&doc), &cfg);
+        assert!(
+            outcome.repairs.iter().any(|r| r.kind == RepairKind::AddCoveringRule),
+            "{:?}",
+            outcome.repairs
+        );
+        assert!(
+            outcome.report.diagnostics.iter().all(|d| d.code != Code::CoverageGap),
+            "{}",
+            outcome.report.to_text()
+        );
+        // The added rules carry the default effect: deny.
+        assert!(outcome.source.contains("deny //phone"), "{}", outcome.source);
+    }
+
+    #[test]
+    fn repairable_fixture_matches_the_golden_diff() {
+        let src = include_str!("../../../examples/policies/repairable.pol");
+        let schema = hospital_schema();
+        let doc = figure2();
+        let cfg = RepairConfig { deny_warnings: true, fix_infos: true };
+        let outcome = repair(src, &schema, Some(&doc), &cfg);
+        let kinds: BTreeSet<&str> =
+            outcome.repairs.iter().map(|r| r.kind.label()).collect();
+        let expected: BTreeSet<&str> =
+            ["delete-rule", "flip-sign", "tighten-qualifier", "add-covering-rule"]
+                .into_iter()
+                .collect();
+        assert_eq!(kinds, expected, "{:?}", outcome.repairs);
+        assert_eq!(outcome.report.exit_code(true), 0, "{}", outcome.report.to_text());
+        let golden = include_str!("../../../tests/golden/repairable_fix.diff");
+        assert_eq!(outcome.diff, golden, "ACTUAL DIFF:\n{}", outcome.diff);
+        // The repaired text is what the diff claims it is.
+        let reparsed = Policy::parse(&outcome.source).unwrap();
+        assert_eq!(reparsed, outcome.policy);
+    }
+
+    #[test]
+    fn no_gating_findings_means_no_edits() {
+        let schema = hospital_schema();
+        let src = "default deny\nconflict deny-overrides\nR1 allow //patient\n";
+        let cfg = RepairConfig { deny_warnings: false, fix_infos: false };
+        let outcome = repair(src, &schema, None, &cfg);
+        assert!(outcome.repairs.is_empty());
+        assert!(outcome.diff.is_empty());
+    }
+
+    #[test]
+    fn unified_diff_shape() {
+        let a = "one\ntwo\nthree\nfour\nfive\nsix\nseven\n";
+        let b = "one\ntwo\nTHREE\nfour\nfive\nsix\nseven\nEIGHT\n";
+        let d = unified_diff(a, b, "x.pol");
+        assert!(d.starts_with("--- x.pol\n+++ x.pol (repaired)\n"), "{d}");
+        assert!(d.contains("-three\n+THREE\n"), "{d}");
+        assert!(d.contains("+EIGHT"), "{d}");
+        assert_eq!(unified_diff(a, a, "x.pol"), "", "identical inputs diff empty");
+    }
+}

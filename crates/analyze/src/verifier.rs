@@ -30,9 +30,9 @@
 use crate::audit::{self, AuditConfig};
 use crate::diagnostic::{Code, Diagnostic, Report, Severity};
 use std::collections::BTreeSet;
-use xac_policy::{ConflictResolution, DefaultSemantics, Effect, Policy};
+use xac_policy::{rule_spans, ConflictResolution, DefaultSemantics, Effect, Policy, RuleSpan};
 use xac_xml::{Document, Schema};
-use xac_xpath::{disjoint, schema_variants, ContainmentOracle, NodeTest, Path};
+use xac_xpath::{schema_variants, ContainmentOracle, NodeTest, Path};
 
 /// A configured verification run over one policy.
 pub struct Analyzer<'a> {
@@ -102,6 +102,7 @@ impl<'a> Analyzer<'a> {
             None => ContainmentOracle::new(),
         };
         let lines = self.line_map();
+        let spans = self.source.map(rule_spans).unwrap_or_default();
         let mut report = Report {
             policy_name: self.policy_name.clone(),
             schema_name: self.schema_name.clone(),
@@ -109,8 +110,8 @@ impl<'a> Analyzer<'a> {
         };
 
         let dead = self.dead_rules(&mut report, &lines);
-        self.shadowed_rules(&mut report, &lines, &oracle, &dead);
-        self.conflicts(&mut report, &lines, &oracle, &dead);
+        self.shadowed_rules(&mut report, &lines, &spans, &oracle, &dead);
+        self.conflicts(&mut report, &lines, &spans, &oracle, &dead);
         self.coverage_gaps(&mut report, &dead);
         if let Some(schema) = self.schema {
             let (summary, mut findings) =
@@ -160,25 +161,7 @@ impl<'a> Analyzer<'a> {
         for (i, rule) in self.policy.rules.iter().enumerate() {
             if schema_variants(&rule.resource, schema).is_empty() {
                 dead.insert(i);
-                report.diagnostics.push(
-                    Diagnostic::new(
-                        Code::DeadRule,
-                        Severity::Error,
-                        format!(
-                            "dead rule: `{}` matches no element of any document valid \
-                             against schema rooted at <{}>",
-                            rule.resource,
-                            schema.root()
-                        ),
-                    )
-                    .for_rule(&rule.id)
-                    .at_line(lines[i])
-                    .with_note(
-                        "every schema specialization of the path is empty; the rule can \
-                         never sign a node and its effect is unreachable"
-                            .to_string(),
-                    ),
-                );
+                report.diagnostics.push(dead_rule_diag(rule, schema, lines[i]));
             }
         }
         dead
@@ -194,6 +177,7 @@ impl<'a> Analyzer<'a> {
         &self,
         report: &mut Report,
         lines: &[Option<usize>],
+        spans: &[RuleSpan],
         oracle: &ContainmentOracle,
         dead: &BTreeSet<usize>,
     ) {
@@ -202,32 +186,10 @@ impl<'a> Analyzer<'a> {
         let cr = self.policy.conflict_resolution;
         // Degenerate Table 2 rows first: one whole effect class is
         // discarded before any containment question arises.
-        let discarded = match (ds, cr) {
-            // (+,−) → U − D: allow rules contribute nothing.
-            (DefaultSemantics::Allow, ConflictResolution::DenyOverrides) => Some(Effect::Allow),
-            // (−,+) → A: deny rules contribute nothing.
-            (DefaultSemantics::Deny, ConflictResolution::AllowOverrides) => Some(Effect::Deny),
-            _ => None,
-        };
-        if let Some(effect) = discarded {
+        if let Some(effect) = discarded_effect(ds, cr) {
             for (i, rule) in self.policy.rules.iter().enumerate() {
                 if rule.effect == effect && !dead.contains(&i) {
-                    report.diagnostics.push(
-                        Diagnostic::new(
-                            Code::ShadowedRule,
-                            Severity::Warning,
-                            format!(
-                                "shadowed rule: under (ds={}, cr={}) the Table 2 semantics \
-                                 is `{}`, which ignores every {} rule",
-                                ds.sign(),
-                                cr.sign(),
-                                if effect == Effect::Allow { "U - D" } else { "A" },
-                                rule.effect,
-                            ),
-                        )
-                        .for_rule(&rule.id)
-                        .at_line(lines[i]),
-                    );
+                    report.diagnostics.push(degenerate_shadow_diag(ds, cr, rule, lines[i]));
                 }
             }
             return;
@@ -236,15 +198,8 @@ impl<'a> Analyzer<'a> {
         // container. Under A − D (ds=−, cr=−) an allow inside a deny
         // grants nothing; under U − (D − A) (ds=+, cr=+) a deny inside
         // an allow denies nothing.
-        let (shadowed_effect, winner_effect) = match (ds, cr) {
-            (DefaultSemantics::Deny, ConflictResolution::DenyOverrides) => {
-                (Effect::Allow, Effect::Deny)
-            }
-            (DefaultSemantics::Allow, ConflictResolution::AllowOverrides) => {
-                (Effect::Deny, Effect::Allow)
-            }
-            _ => unreachable!("degenerate rows returned above"),
-        };
+        let (shadowed_effect, winner_effect) =
+            shadow_roles(ds, cr).expect("degenerate rows returned above");
         for (i, rule) in self.policy.rules.iter().enumerate() {
             if rule.effect != shadowed_effect || dead.contains(&i) {
                 continue;
@@ -255,49 +210,34 @@ impl<'a> Analyzer<'a> {
                     && oracle.contained_in_schema_aware(&rule.resource, &w.resource)
             });
             if let Some((j, winner)) = winner {
-                report.diagnostics.push(
-                    Diagnostic::new(
-                        Code::ShadowedRule,
-                        Severity::Warning,
-                        format!(
-                            "shadowed rule: `{}` is contained in {} rule {} (`{}`), and \
-                             conflict resolution {} makes the containing rule win on every \
-                             node — this rule's sign is never observable",
-                            rule.resource,
-                            winner.effect,
-                            winner.id,
-                            winner.resource,
-                            cr.sign(),
-                        ),
-                    )
-                    .for_rule(&rule.id)
-                    .at_line(lines[i])
-                    .with_note(format!(
-                        "the optimizer keeps opposite-effect pairs (its redundancy notion \
-                         folds same-effect containment only); see rule {} at line {}",
-                        winner.id,
-                        lines[j].map(|l| l.to_string()).unwrap_or_else(|| "?".into()),
-                    )),
-                );
+                report.diagnostics.push(shadow_diag(
+                    rule,
+                    winner,
+                    cr,
+                    lines[i],
+                    lines[j],
+                    qualifier_col(spans, &rule.id),
+                ));
             }
         }
     }
 
     /// D3: `+`/`−` rule pairs with overlapping scope. Containment in
     /// either direction is a definite overlap; otherwise the sound
-    /// disjointness test abstaining (`!disjoint`) is a possible one.
+    /// schema-aware disjointness test abstaining
+    /// ([`ContainmentOracle::disjoint_schema_aware`]) is a possible one
+    /// — with a schema, pairs whose qualifiers contradict on a
+    /// single-occurrence child (e.g. `[bill <= 1000]` vs
+    /// `[bill > 1000]`) are proved overlap-free and not reported.
     fn conflicts(
         &self,
         report: &mut Report,
         lines: &[Option<usize>],
+        spans: &[RuleSpan],
         oracle: &ContainmentOracle,
         dead: &BTreeSet<usize>,
     ) {
         let _span = xac_obs::span("analyze.conflicts");
-        let resolution = match self.policy.conflict_resolution {
-            ConflictResolution::AllowOverrides => "allow-overrides grants the overlap",
-            ConflictResolution::DenyOverrides => "deny-overrides denies the overlap",
-        };
         for (i, a) in self.policy.rules.iter().enumerate() {
             if a.effect != Effect::Allow || dead.contains(&i) {
                 continue;
@@ -309,55 +249,22 @@ impl<'a> Analyzer<'a> {
                 let a_in_d = oracle.contained_in_schema_aware(&a.resource, &d.resource);
                 let d_in_a = oracle.contained_in_schema_aware(&d.resource, &a.resource);
                 let definite = a_in_d || d_in_a;
-                if !definite && disjoint(&a.resource, &d.resource) {
+                if !definite && oracle.disjoint_schema_aware(&a.resource, &d.resource) {
                     continue;
                 }
-                let witness = self
-                    .witness_type(&a.resource, &d.resource)
+                let witness = witness_type(&a.resource, &d.resource, self.schema)
                     .unwrap_or_else(|| "*".into());
-                report.diagnostics.push(
-                    Diagnostic::new(
-                        Code::Conflict,
-                        Severity::Info,
-                        format!(
-                            "{} conflict between allow rule {} (`{}`) and deny rule {} \
-                             (`{}`): overlapping scope at element type <{}>; {}",
-                            if definite { "definite" } else { "possible" },
-                            a.id,
-                            a.resource,
-                            d.id,
-                            d.resource,
-                            witness,
-                            resolution,
-                        ),
-                    )
-                    .for_rule(&a.id)
-                    .at_line(lines[i]),
-                );
+                report.diagnostics.push(conflict_diag(
+                    a,
+                    d,
+                    definite,
+                    &witness,
+                    self.policy.conflict_resolution,
+                    lines[i],
+                    qualifier_col(spans, &a.id),
+                ));
             }
         }
-    }
-
-    /// The element type where two overlapping rules meet: a common
-    /// end-label of their schema specializations (or of the raw paths
-    /// without a schema).
-    fn witness_type(&self, a: &Path, d: &Path) -> Option<String> {
-        let ends = |p: &Path| -> BTreeSet<String> {
-            let variants = match self.schema {
-                Some(schema) => schema_variants(p, schema),
-                None => vec![p.clone()],
-            };
-            variants.iter().filter_map(end_label).collect()
-        };
-        let a_ends = ends(a);
-        let d_ends = ends(d);
-        if a_ends.is_empty() {
-            return d_ends.into_iter().next();
-        }
-        if d_ends.is_empty() {
-            return a_ends.into_iter().next();
-        }
-        a_ends.intersection(&d_ends).next().cloned().or_else(|| a_ends.into_iter().next())
     }
 
     /// D4: reachable schema element types no live rule ever signs.
@@ -394,30 +301,228 @@ impl<'a> Analyzer<'a> {
         if gaps.is_empty() {
             return;
         }
-        let sign = self.policy.default_semantics.sign();
-        report.diagnostics.push(
-            Diagnostic::new(
-                Code::CoverageGap,
-                Severity::Info,
-                format!(
-                    "coverage gap: {} of {} reachable element type(s) are signed by no \
-                     rule and always carry the default sign `{sign}`: {}",
-                    gaps.len(),
-                    schema.reachable_types().len(),
-                    gaps.join(", "),
-                ),
-            )
-            .with_note(
-                "default-sign-only regions are not errors, but every access decision \
-                 there depends solely on the `default` declaration"
-                    .to_string(),
-            ),
-        );
+        report.diagnostics.push(coverage_gap_diag(
+            &gaps,
+            schema.reachable_types().len(),
+            self.policy.default_semantics,
+        ));
     }
 }
 
+/// The effect class the degenerate Table 2 rows discard wholesale, if
+/// the `(ds, cr)` row is degenerate.
+pub(crate) fn discarded_effect(
+    ds: DefaultSemantics,
+    cr: ConflictResolution,
+) -> Option<Effect> {
+    match (ds, cr) {
+        // (+,−) → U − D: allow rules contribute nothing.
+        (DefaultSemantics::Allow, ConflictResolution::DenyOverrides) => Some(Effect::Allow),
+        // (−,+) → A: deny rules contribute nothing.
+        (DefaultSemantics::Deny, ConflictResolution::AllowOverrides) => Some(Effect::Deny),
+        _ => None,
+    }
+}
+
+/// For the non-degenerate rows, `(shadowed_effect, winner_effect)`:
+/// which effect loses to an opposite-effect container, and which wins.
+pub(crate) fn shadow_roles(
+    ds: DefaultSemantics,
+    cr: ConflictResolution,
+) -> Option<(Effect, Effect)> {
+    match (ds, cr) {
+        (DefaultSemantics::Deny, ConflictResolution::DenyOverrides) => {
+            Some((Effect::Allow, Effect::Deny))
+        }
+        (DefaultSemantics::Allow, ConflictResolution::AllowOverrides) => {
+            Some((Effect::Deny, Effect::Allow))
+        }
+        _ => None,
+    }
+}
+
+// The diagnostic constructors are shared with the incremental engine
+// (`crate::incremental`), which re-emits cached findings: keeping every
+// message format in exactly one place is what makes "incremental report
+// == full report" a byte-level guarantee rather than a convention.
+
+/// The D1 finding for a schema-dead rule.
+pub(crate) fn dead_rule_diag(
+    rule: &xac_policy::Rule,
+    schema: &Schema,
+    line: Option<usize>,
+) -> Diagnostic {
+    Diagnostic::new(
+        Code::DeadRule,
+        Severity::Error,
+        format!(
+            "dead rule: `{}` matches no element of any document valid \
+             against schema rooted at <{}>",
+            rule.resource,
+            schema.root()
+        ),
+    )
+    .for_rule(&rule.id)
+    .at_line(line)
+    .with_note(
+        "every schema specialization of the path is empty; the rule can \
+         never sign a node and its effect is unreachable"
+            .to_string(),
+    )
+}
+
+/// The D2 finding for a rule discarded by a degenerate Table 2 row.
+pub(crate) fn degenerate_shadow_diag(
+    ds: DefaultSemantics,
+    cr: ConflictResolution,
+    rule: &xac_policy::Rule,
+    line: Option<usize>,
+) -> Diagnostic {
+    Diagnostic::new(
+        Code::ShadowedRule,
+        Severity::Warning,
+        format!(
+            "shadowed rule: under (ds={}, cr={}) the Table 2 semantics \
+             is `{}`, which ignores every {} rule",
+            ds.sign(),
+            cr.sign(),
+            if rule.effect == Effect::Allow { "U - D" } else { "A" },
+            rule.effect,
+        ),
+    )
+    .for_rule(&rule.id)
+    .at_line(line)
+}
+
+/// The D2 finding for a rule contained in an opposite-effect winner.
+pub(crate) fn shadow_diag(
+    rule: &xac_policy::Rule,
+    winner: &xac_policy::Rule,
+    cr: ConflictResolution,
+    line: Option<usize>,
+    winner_line: Option<usize>,
+    col: Option<usize>,
+) -> Diagnostic {
+    Diagnostic::new(
+        Code::ShadowedRule,
+        Severity::Warning,
+        format!(
+            "shadowed rule: `{}` is contained in {} rule {} (`{}`), and \
+             conflict resolution {} makes the containing rule win on every \
+             node — this rule's sign is never observable",
+            rule.resource,
+            winner.effect,
+            winner.id,
+            winner.resource,
+            cr.sign(),
+        ),
+    )
+    .for_rule(&rule.id)
+    .at_line(line)
+    .at_col(col)
+    .with_note(format!(
+        "the optimizer keeps opposite-effect pairs (its redundancy notion \
+         folds same-effect containment only); see rule {} at line {}",
+        winner.id,
+        winner_line.map(|l| l.to_string()).unwrap_or_else(|| "?".into()),
+    ))
+}
+
+/// The D3 finding for one allow/deny overlap.
+pub(crate) fn conflict_diag(
+    a: &xac_policy::Rule,
+    d: &xac_policy::Rule,
+    definite: bool,
+    witness: &str,
+    cr: ConflictResolution,
+    line: Option<usize>,
+    col: Option<usize>,
+) -> Diagnostic {
+    let resolution = match cr {
+        ConflictResolution::AllowOverrides => "allow-overrides grants the overlap",
+        ConflictResolution::DenyOverrides => "deny-overrides denies the overlap",
+    };
+    Diagnostic::new(
+        Code::Conflict,
+        Severity::Info,
+        format!(
+            "{} conflict between allow rule {} (`{}`) and deny rule {} \
+             (`{}`): overlapping scope at element type <{}>; {}",
+            if definite { "definite" } else { "possible" },
+            a.id,
+            a.resource,
+            d.id,
+            d.resource,
+            witness,
+            resolution,
+        ),
+    )
+    .for_rule(&a.id)
+    .at_line(line)
+    .at_col(col)
+}
+
+/// The D4 finding listing all uncovered element types.
+pub(crate) fn coverage_gap_diag(
+    gaps: &[&str],
+    total: usize,
+    ds: DefaultSemantics,
+) -> Diagnostic {
+    let sign = ds.sign();
+    Diagnostic::new(
+        Code::CoverageGap,
+        Severity::Info,
+        format!(
+            "coverage gap: {} of {} reachable element type(s) are signed by no \
+             rule and always carry the default sign `{sign}`: {}",
+            gaps.len(),
+            total,
+            gaps.join(", "),
+        ),
+    )
+    .with_note(
+        "default-sign-only regions are not errors, but every access decision \
+         there depends solely on the `default` declaration"
+            .to_string(),
+    )
+}
+
+/// The element type where two overlapping rules meet: a common
+/// end-label of their schema specializations (or of the raw paths
+/// without a schema).
+pub(crate) fn witness_type(a: &Path, d: &Path, schema: Option<&Schema>) -> Option<String> {
+    let ends = |p: &Path| -> BTreeSet<String> {
+        let variants = match schema {
+            Some(schema) => schema_variants(p, schema),
+            None => vec![p.clone()],
+        };
+        variants.iter().filter_map(end_label).collect()
+    };
+    let a_ends = ends(a);
+    let d_ends = ends(d);
+    if a_ends.is_empty() {
+        return d_ends.into_iter().next();
+    }
+    if d_ends.is_empty() {
+        return a_ends.into_iter().next();
+    }
+    a_ends.intersection(&d_ends).next().cloned().or_else(|| a_ends.into_iter().next())
+}
+
+/// Column of the rule's first qualifier group, when source spans are
+/// available and the rule's resource has one: the predicate is what
+/// XA002/XA003 findings are really about, so the diagnostic points at
+/// it rather than the start of the line.
+fn qualifier_col(spans: &[RuleSpan], rule_id: &str) -> Option<usize> {
+    spans
+        .iter()
+        .find(|s| s.id == rule_id)
+        .and_then(|s| s.first_qualifier())
+        .map(|q| q.col_start)
+}
+
 /// The element name a path's final step selects, `None` for wildcards.
-fn end_label(p: &Path) -> Option<String> {
+pub(crate) fn end_label(p: &Path) -> Option<String> {
     match &p.last_step()?.test {
         NodeTest::Name(n) => Some(n.clone()),
         NodeTest::Wildcard => None,
@@ -518,6 +623,47 @@ mod tests {
             .expect("R1/R3 conflict surfaced");
         assert!(conflict.message.contains("<patient>"), "{}", conflict.message);
         assert!(conflict.message.contains("deny-overrides"), "{}", conflict.message);
+    }
+
+    #[test]
+    fn qualifier_spans_point_at_the_predicate() {
+        let src = "default deny\nconflict deny-overrides\n\
+                   D1 deny //patient[treatment]\nA1 allow //patient[treatment and psn]\n";
+        let policy = Policy::parse(src).unwrap();
+        let report =
+            Analyzer::new(&policy).with_source(src).named("p.pol", None).run();
+        let shadowed = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::ShadowedRule)
+            .expect("A1 is shadowed by D1");
+        assert_eq!(shadowed.line, Some(4));
+        assert_eq!(shadowed.col, Some(19), "column of `[treatment and psn]`");
+        assert!(report.to_text().contains("p.pol:4:19"), "{}", report.to_text());
+    }
+
+    #[test]
+    fn schema_disjoint_qualifiers_are_not_conflicts() {
+        let schema = hospital_schema();
+        let policy = Policy::parse(
+            "default deny\nconflict deny-overrides\n\
+             W4 allow //regular[bill > 500][bill <= 1000]\nW5 deny //regular[bill > 1000]\n",
+        )
+        .unwrap();
+        let report = Analyzer::new(&policy).with_schema(&schema).run();
+        assert!(
+            report.diagnostics.iter().all(|d| d.code != Code::Conflict),
+            "contradicting bills on a single-occurrence child cannot overlap: {}",
+            report.to_text()
+        );
+        // Without the bound on W4, the pair genuinely overlaps.
+        let policy = Policy::parse(
+            "default deny\nconflict deny-overrides\n\
+             W4 allow //regular[bill > 500]\nW5 deny //regular[bill > 1000]\n",
+        )
+        .unwrap();
+        let report = Analyzer::new(&policy).with_schema(&schema).run();
+        assert!(report.diagnostics.iter().any(|d| d.code == Code::Conflict));
     }
 
     #[test]

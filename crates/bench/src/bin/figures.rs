@@ -1544,6 +1544,10 @@ fn analyze_bench(factors: &[f64]) {
     let mut csv = String::from("factor,target,rules,errors,warnings,infos,analysis_s\n");
     let schema = xmark_schema();
 
+    // `(rules, speedup)` of the incremental re-analysis at the largest
+    // ladder size — the gate below asserts it beats 5x.
+    let mut largest: (usize, f64) = (0, 0.0);
+
     for &f in factors {
         let doc = xac_xmlgen::xmark_document(xac_xmlgen::XmarkConfig::with_factor(f));
         for &target in COVERAGE_LEVELS {
@@ -1577,8 +1581,112 @@ fn analyze_bench(factors: &[f64]) {
                      \"infos\": {infos}, \"analysis_s\": {secs}}}"
                 ),
             );
+
+            // Incremental re-analysis after a single-rule edit: warm
+            // the engine on the base policy, flip one mid-policy rule's
+            // effect, and compare a full from-scratch pass against the
+            // fingerprint-cached one (which must render the same
+            // report).
+            let mut engine =
+                xac_analyze::IncrementalAnalyzer::new(policy.clone(), Some(&schema))
+                    .named("ladder.pol", None);
+            let _ = engine.analyze();
+            let edited = flip_mid_rule(&policy);
+            let (full_report, full_wall) = time(|| {
+                xac_analyze::Analyzer::new(&edited)
+                    .with_schema(&schema)
+                    .named("ladder.pol", None)
+                    .run()
+            });
+            engine.set_policy(edited.clone());
+            let (incr_report, incr_wall) = time(|| engine.analyze());
+            assert_eq!(
+                incr_report.to_json(),
+                full_report.to_json(),
+                "incremental report must match the full pass (factor {f}, target {target})"
+            );
+            let (hits, reruns) = engine.last_cache_traffic();
+            let full_s = full_wall.as_secs_f64();
+            let incremental_s = incr_wall.as_secs_f64();
+            let speedup = full_s / incremental_s.max(1e-9);
+            if rules >= largest.0 {
+                largest = (rules, speedup);
+            }
+            println!(
+                "  incremental: 1-rule edit over {rules} rules re-analyzed in {} \
+                 (full pass {}, speedup {speedup:.1}x, cache {hits} hits / {reruns} reruns)",
+                fmt_duration(incr_wall),
+                fmt_duration(full_wall),
+            );
+            push_row(
+                &mut json,
+                &mut first,
+                &format!(
+                    "{{\"kind\": \"incremental\", \"factor\": {f}, \"target\": {target}, \
+                     \"rules\": {rules}, \"full_s\": {full_s}, \
+                     \"incremental_s\": {incremental_s}, \"speedup\": {speedup}, \
+                     \"hits\": {hits}, \"reruns\": {reruns}}}"
+                ),
+            );
         }
     }
+
+    // Dedicated incremental ladder: the coverage policies top out at a
+    // few dozen rules, where fixed costs mask the cache win. These
+    // mixed-effect policies over the XMark element graph grow until the
+    // full pass's O(rules^2) containment work dominates — the regime
+    // the incremental engine is built for.
+    for &n in &[32usize, 64, 128, 256] {
+        let policy = incremental_ladder_policy(&schema, n);
+        let mut engine = xac_analyze::IncrementalAnalyzer::new(policy.clone(), Some(&schema))
+            .named("ladder.pol", None);
+        let _ = engine.analyze();
+        let edited = flip_mid_rule(&policy);
+        let (full_report, full_wall) = time(|| {
+            xac_analyze::Analyzer::new(&edited)
+                .with_schema(&schema)
+                .named("ladder.pol", None)
+                .run()
+        });
+        engine.set_policy(edited.clone());
+        let (incr_report, incr_wall) = time(|| engine.analyze());
+        assert_eq!(
+            incr_report.to_json(),
+            full_report.to_json(),
+            "incremental report must match the full pass at {n} rules"
+        );
+        let (hits, reruns) = engine.last_cache_traffic();
+        let full_s = full_wall.as_secs_f64();
+        let incremental_s = incr_wall.as_secs_f64();
+        let speedup = full_s / incremental_s.max(1e-9);
+        if n >= largest.0 {
+            largest = (n, speedup);
+        }
+        println!(
+            "  incremental: 1-rule edit over {n} rules re-analyzed in {} \
+             (full pass {}, speedup {speedup:.1}x, cache {hits} hits / {reruns} reruns)",
+            fmt_duration(incr_wall),
+            fmt_duration(full_wall),
+        );
+        push_row(
+            &mut json,
+            &mut first,
+            &format!(
+                "{{\"kind\": \"incremental\", \"factor\": 0, \"target\": 0, \
+                 \"rules\": {n}, \"full_s\": {full_s}, \
+                 \"incremental_s\": {incremental_s}, \"speedup\": {speedup}, \
+                 \"hits\": {hits}, \"reruns\": {reruns}}}"
+            ),
+        );
+    }
+
+    assert!(
+        largest.1 >= 5.0,
+        "incremental re-analysis must be at least 5x faster than a full pass \
+         at the largest policy size ({} rules), got {:.1}x",
+        largest.0,
+        largest.1
+    );
 
     // Dynamic D5 audit on the paper's hospital instance: replays every
     // update through partial vs full re-annotation on all three backends
@@ -1625,14 +1733,111 @@ fn analyze_bench(factors: &[f64]) {
         ),
     );
 
+    // Verified repair synthesis on the intentionally flawed fixture:
+    // every accepted edit re-analyzes incrementally and differentially
+    // annotates on all three backends before it is kept, and the
+    // repaired policy must come out gating-clean.
+    let flawed_src = include_str!("../../../../examples/policies/flawed_all5.pol");
+    let flawed = xac_policy::Policy::parse(flawed_src).expect("fixture parses");
+    let mut engine = xac_analyze::IncrementalAnalyzer::new(flawed, Some(&h_schema))
+        .named("flawed_all5.pol", Some("hospital.dtd".into()));
+    let cfg = xac_analyze::RepairConfig { deny_warnings: true, fix_infos: false };
+    let (outcome, repair_wall) = time(|| {
+        xac_analyze::synthesize(&mut engine, flawed_src, "flawed_all5.pol", Some(&h_doc), &cfg)
+    });
+    assert_eq!(
+        outcome.report.exit_code(true),
+        0,
+        "repaired fixture must re-analyze clean:\n{}",
+        outcome.report.to_text()
+    );
+    println!(
+        "  repair synthesis (flawed_all5.pol): {} verified repair(s) in {}, \
+         repaired exit code 0",
+        outcome.repairs.len(),
+        fmt_duration(repair_wall),
+    );
+    for repair in &outcome.repairs {
+        println!("    [{}] {}", repair.kind.label(), repair.description);
+        push_row(
+            &mut json,
+            &mut first,
+            &format!(
+                "{{\"kind\": \"repair\", \"repair\": \"{}\", \"code\": \"{}\", \
+                 \"rule\": \"{}\"}}",
+                repair.kind.label(),
+                repair.code.as_str(),
+                repair.rule.as_deref().unwrap_or(""),
+            ),
+        );
+    }
+    push_row(
+        &mut json,
+        &mut first,
+        &format!(
+            "{{\"kind\": \"repair_summary\", \"repairs\": {}, \"exit_code\": {}, \
+             \"repair_s\": {}}}",
+            outcome.repairs.len(),
+            outcome.report.exit_code(true),
+            repair_wall.as_secs_f64(),
+        ),
+    );
+
     json.push_str("\n]\n");
     write_csv("analyze.csv", &csv);
     std::fs::write("BENCH_analyze.json", &json).expect("write json");
     println!("  [json -> BENCH_analyze.json]");
     println!(
         "(analysis_s = one schema-aware D1-D5 pass over a generated policy;\n \
-         the audit row replays deletes through partial vs full re-annotation\n \
-         on native/row/column backends — precision is the Fig. 8 trigger's\n \
-         over-approximation factor |selected|/|affected|, and missed must be 0)"
+         incremental rows re-analyze a 1-rule edit through the fingerprint\n \
+         cache — the figures binary asserts >= 5x over a full pass at the\n \
+         largest size; the audit row replays deletes through partial vs full\n \
+         re-annotation on native/row/column backends — precision is the\n \
+         Fig. 8 trigger's over-approximation factor |selected|/|affected|;\n \
+         repair rows are the verified edits that fix flawed_all5.pol)"
     );
+}
+
+/// A deterministic mixed-effect policy with `n` rules over the schema's
+/// element graph: cycles through `//t`, `//p/c` and `//p[c]` shapes with
+/// alternating signs, so the D2/D3 passes have real opposite-effect
+/// overlap work at every size.
+fn incremental_ladder_policy(schema: &xac_xml::Schema, n: usize) -> xac_policy::Policy {
+    let types: Vec<&str> = schema.reachable_types().into_iter().collect();
+    let mut edges: Vec<(&str, &str)> = Vec::new();
+    for t in &types {
+        for c in schema.child_types(t) {
+            edges.push((t, c));
+        }
+    }
+    let mut src = String::from("default deny\nconflict deny-overrides\n");
+    for i in 0..n {
+        let effect = if i % 2 == 0 { "allow" } else { "deny" };
+        let resource = match i % 3 {
+            0 => format!("//{}", types[i % types.len()]),
+            1 => {
+                let (p, c) = edges[i % edges.len()];
+                format!("//{p}/{c}")
+            }
+            _ => {
+                let (p, c) = edges[(i * 7) % edges.len()];
+                format!("//{p}[{c}]")
+            }
+        };
+        let _ = writeln!(src, "L{i} {effect} {resource}");
+    }
+    xac_policy::Policy::parse(&src).expect("ladder policy parses")
+}
+
+/// Flip the effect of the middle rule — the canonical single-rule edit
+/// the incremental sweep measures.
+fn flip_mid_rule(policy: &xac_policy::Policy) -> xac_policy::Policy {
+    let mid = &policy.rules[policy.rules.len() / 2];
+    let to = match mid.effect {
+        xac_policy::Effect::Allow => xac_policy::Effect::Deny,
+        xac_policy::Effect::Deny => xac_policy::Effect::Allow,
+    };
+    let replacement = xac_policy::Rule::parse(mid.id.clone(), &mid.resource.to_string(), to)
+        .expect("flipped rule parses");
+    policy.with_rule_replaced(&mid.id, replacement).expect("replace keeps ids unique")
 }

@@ -122,6 +122,11 @@ fn parse_args() -> CliResult<Args> {
             continue;
         };
         let key = key.to_string();
+        // Presence-only switches: they never consume the next token.
+        if matches!(key.as_str(), "fix" | "dry-run") {
+            options.insert(key, String::new());
+            continue;
+        }
         let value = argv
             .next()
             .ok_or_else(|| format!("flag --{key} needs a value"))?;
@@ -147,11 +152,12 @@ fn usage() -> String {
      [--max-conns N] [--read-timeout-ms N] [--rate-limit N] [--linger-ms N]\n\
      client  --addr HOST:PORT [--role reader|writer|admin] \
      [--query XPATH]... [--delete XPATH] [--insert PARENT:NAME[:TEXT]] \
-     [--last N] [--scrape-out F] [status] [metrics] [scrape] [tail]\n\
+     [--last N] [--scrape-out F] [status] [metrics] [scrape] [tail] [analyze]\n\
      top     --addr HOST:PORT [--interval-ms N] [--iterations N]\n\
      serve-bench ... [--net CLIENTS] [--out F]\n\
      analyze --policy F [--schema F] [--doc F] [--format text|json] \
-     [--deny warn] [--audit-updates N] [--out F]\n\
+     [--deny warn] [--audit-updates N] [--out F] \
+     [--fix | --dry-run] [--fix-out F] [--fix-level warn|info]\n\
      obs dump  --schema F --policy F --doc F [--query XPATH]... [--delete XPATH] \
      [--out F] [--trace-out F]\n\
      obs check [--metrics F] [--trace F]\n\
@@ -509,6 +515,14 @@ fn analyze(args: &Args) -> CliResult<()> {
     if format != "text" && format != "json" {
         return Err(format!("--format takes text|json, found `{format}`").into());
     }
+    let fix = args.options.contains_key("fix");
+    let dry_run = args.options.contains_key("dry-run");
+    if fix && dry_run {
+        return Err("--fix and --dry-run are mutually exclusive".to_string().into());
+    }
+    if fix || dry_run {
+        return analyze_fix(args, &policy_path, source, policy, schema, deny_warnings, format, dry_run);
+    }
     let mut analyzer = xac_analyze::Analyzer::new(&policy)
         .with_source(&source)
         .named(&policy_path, args.options.get("schema").cloned());
@@ -542,6 +556,16 @@ fn analyze(args: &Args) -> CliResult<()> {
         }
         None => print!("{rendered}"),
     }
+    analyze_exit(&report, deny_warnings, &policy_path)
+}
+
+/// Map a report onto the `analyze` exit-code contract (0 clean, 5
+/// errors, 6 warnings under `--deny warn`).
+fn analyze_exit(
+    report: &xac_analyze::Report,
+    deny_warnings: bool,
+    policy_path: &str,
+) -> CliResult<()> {
     match report.exit_code(deny_warnings) {
         0 => Ok(()),
         code => Err(CliError {
@@ -554,6 +578,91 @@ fn analyze(args: &Args) -> CliResult<()> {
             code,
         }),
     }
+}
+
+/// `analyze --fix` / `--dry-run`: synthesize verified repairs on top of
+/// the incremental engine, then either rewrite the policy source
+/// (`--fix`, honouring `--fix-out`) or print the unified diff and leave
+/// the file untouched (`--dry-run`).
+///
+/// With `--doc` every candidate edit is differentially annotated on all
+/// three backends and must keep the sign state byte-identical outside
+/// the edit's own element types. The exit code reflects the policy left
+/// on disk: post-repair for `--fix`, pre-repair for `--dry-run`.
+#[allow(clippy::too_many_arguments)]
+fn analyze_fix(
+    args: &Args,
+    policy_path: &str,
+    source: String,
+    policy: Policy,
+    schema: Option<Schema>,
+    deny_warnings: bool,
+    format: &str,
+    dry_run: bool,
+) -> CliResult<()> {
+    let doc = match args.options.get("doc") {
+        Some(_) => {
+            if schema.is_none() {
+                return Err("analyze --doc needs --schema (repairs are verified \
+                            by differential annotation over the full system)"
+                    .to_string()
+                    .into());
+            }
+            Some(args.doc()?)
+        }
+        None => None,
+    };
+    let fix_infos = match args.options.get("fix-level").map(String::as_str) {
+        None | Some("warn") => false,
+        Some("info") => true,
+        Some(other) => {
+            return Err(format!("--fix-level takes warn|info, found `{other}`").into())
+        }
+    };
+    let mut engine = xac_analyze::IncrementalAnalyzer::new(policy, schema.as_ref())
+        .named(policy_path, args.options.get("schema").cloned());
+    if args.options.contains_key("audit-updates") {
+        engine = engine.audit_updates(args.count("audit-updates", 16)?);
+    }
+    let before = engine.analyze();
+    let cfg = xac_analyze::RepairConfig { deny_warnings, fix_infos };
+    let outcome =
+        xac_analyze::synthesize(&mut engine, &source, policy_path, doc.as_ref(), &cfg);
+    let rendered = match format {
+        "json" => outcome.report.to_json(),
+        _ => outcome.report.to_text(),
+    };
+    match args.options.get("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered)
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("wrote report to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    for repair in &outcome.repairs {
+        eprintln!("repair [{}] {}", repair.kind.label(), repair.description);
+    }
+    if dry_run {
+        if !outcome.diff.is_empty() {
+            print!("{}", outcome.diff);
+        }
+        return analyze_exit(&before, deny_warnings, policy_path);
+    }
+    let target = args
+        .options
+        .get("fix-out")
+        .map(String::as_str)
+        .unwrap_or(policy_path);
+    if !outcome.repairs.is_empty() || args.options.contains_key("fix-out") {
+        std::fs::write(target, &outcome.source)
+            .map_err(|e| format!("cannot write `{target}`: {e}"))?;
+        eprintln!(
+            "wrote repaired policy to {target} ({} repair(s))",
+            outcome.repairs.len()
+        );
+    }
+    analyze_exit(&outcome.report, deny_warnings, policy_path)
 }
 
 /// Observability front end.
@@ -831,6 +940,11 @@ fn render_response(req: &Request, resp: &Response) -> (String, String, String) {
             format!("{} flight records", records.len()),
             "-".to_string(),
         ),
+        Response::Analysis { exit_code, repairs, .. } => (
+            if *exit_code == 0 { "CLEAN".to_string() } else { format!("EXIT({exit_code})") },
+            format!("{repairs} verified repair(s)"),
+            "-".to_string(),
+        ),
         Response::Error { kind, message } => {
             (format!("ERROR({kind})"), message.clone(), "-".to_string())
         }
@@ -871,9 +985,16 @@ fn client(args: &Args) -> CliResult<()> {
             "metrics" => requests.push(Request::Metrics),
             "scrape" => requests.push(Request::Scrape),
             "tail" => requests.push(Request::tail(args.count("last", 10)? as u32)),
+            "analyze" => requests.push(Request::Analyze {
+                deny_warnings: matches!(
+                    args.options.get("deny").map(String::as_str),
+                    Some("warn") | Some("warnings")
+                ),
+                fix: args.options.contains_key("fix"),
+            }),
             other => {
                 return Err(format!(
-                    "unknown client verb `{other}` (status|metrics|scrape|tail)"
+                    "unknown client verb `{other}` (status|metrics|scrape|tail|analyze)"
                 )
                 .into())
             }
@@ -921,6 +1042,12 @@ fn client(args: &Args) -> CliResult<()> {
                         r.execute_us,
                         r.total_us,
                     );
+                }
+            }
+            Response::Analysis { report_json, diff, .. } => {
+                print!("{report_json}");
+                if let Some(diff) = diff {
+                    print!("{diff}");
                 }
             }
             _ => {}

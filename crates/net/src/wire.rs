@@ -472,6 +472,11 @@ fn encode_request(out: &mut Vec<u8>, req: &Request) {
             out.push(7);
             put_u32(out, *n);
         }
+        Request::Analyze { deny_warnings, fix } => {
+            out.push(8);
+            put_bool(out, *deny_warnings);
+            put_bool(out, *fix);
+        }
         // Request is #[non_exhaustive]; a new variant must get a wire
         // code here before anything can send it.
         other => unreachable!("unencodable request variant {other:?}"),
@@ -491,6 +496,10 @@ fn decode_request(c: &mut Cursor<'_>) -> Result<Request, WireError> {
         5 => Ok(Request::Metrics),
         6 => Ok(Request::Scrape),
         7 => Ok(Request::Tail { n: c.take_u32()? }),
+        8 => Ok(Request::Analyze {
+            deny_warnings: c.take_bool()?,
+            fix: c.take_bool()?,
+        }),
         code => Err(WireError::Malformed(format!("unknown request code {code}"))),
     }
 }
@@ -548,6 +557,13 @@ fn encode_response(out: &mut Vec<u8>, resp: &Response) {
                 put_u64(out, r.total_us);
                 put_u64(out, r.seq);
             }
+        }
+        Response::Analysis { exit_code, report_json, repairs, diff } => {
+            out.push(8);
+            out.push(*exit_code);
+            put_str(out, report_json);
+            put_u32(out, *repairs);
+            put_opt_str(out, diff.as_deref());
         }
         other => unreachable!("unencodable response variant {other:?}"),
     }
@@ -611,6 +627,12 @@ fn decode_response(c: &mut Cursor<'_>) -> Result<Response, WireError> {
             }
             Ok(Response::Tail { records })
         }
+        8 => Ok(Response::Analysis {
+            exit_code: c.take_u8()?,
+            report_json: c.take_str()?,
+            repairs: c.take_u32()?,
+            diff: c.take_opt_str()?,
+        }),
         code => Err(WireError::Malformed(format!("unknown response code {code}"))),
     }
 }
@@ -749,6 +771,14 @@ mod tests {
         round_trip(Frame::Request(Request::Metrics, None));
         round_trip(Frame::Request(Request::Scrape, None));
         round_trip(Frame::Request(Request::tail(32), None));
+        round_trip(Frame::Request(
+            Request::Analyze { deny_warnings: true, fix: false },
+            None,
+        ));
+        round_trip(Frame::Request(
+            Request::Analyze { deny_warnings: false, fix: true },
+            None,
+        ));
         let trace = WireTrace { trace_id: 0xfeed_beef_dead_cafe_0123 << 16 | 7, parent_span: 42 };
         round_trip(Frame::Request(Request::query("//psn"), Some(trace)));
         round_trip(Frame::Request(Request::Status, Some(trace)));
@@ -785,6 +815,18 @@ mod tests {
                 total_us: 215,
                 seq: 17,
             }],
+        }));
+        round_trip(Frame::Response(Response::Analysis {
+            exit_code: 0,
+            report_json: "{\"diagnostics\": []}".into(),
+            repairs: 0,
+            diff: None,
+        }));
+        round_trip(Frame::Response(Response::Analysis {
+            exit_code: 5,
+            report_json: "{}".into(),
+            repairs: 2,
+            diff: Some("--- p.pol\n+++ p.pol (repaired)\n".into()),
         }));
         round_trip(Frame::Response(Response::Error {
             kind: ErrorKind::Quarantined,

@@ -25,7 +25,10 @@
 //! * [`policy_analysis`] — [`PolicyAnalysis`], the precomputed Trigger
 //!   context: rule expansions, dependency graph and a shared containment
 //!   oracle built once per `(policy, schema)` so per-update analysis is
-//!   (memoized) lookups, not recomputation.
+//!   (memoized) lookups, not recomputation;
+//! * [`span`] — source spans for `.pol` text: per-rule line/column plus
+//!   the spans of qualifier (`[...]`) groups, so diagnostics and repair
+//!   diffs can point at the exact predicate.
 
 pub mod analysis;
 pub mod annotation_query;
@@ -36,6 +39,7 @@ pub mod policy;
 pub mod policy_analysis;
 pub mod rule;
 pub mod semantics;
+pub mod span;
 pub mod trigger;
 
 pub use analysis::{analyze, PolicyReport, RuleStats};
@@ -50,4 +54,5 @@ pub use policy::{ConflictResolution, DefaultSemantics, Policy};
 pub use policy_analysis::PolicyAnalysis;
 pub use rule::{Effect, Rule};
 pub use semantics::accessible_nodes;
+pub use span::{rule_spans, QualifierSpan, RuleSpan};
 pub use trigger::trigger;

@@ -115,6 +115,54 @@ impl Policy {
         self.rules.is_empty()
     }
 
+    /// Index of the rule with the given id in declaration order.
+    pub fn rule_index(&self, id: &str) -> Option<usize> {
+        self.rules.iter().position(|r| r.id == id)
+    }
+
+    /// A copy of the policy without the rule `id`. Errors when no such
+    /// rule exists.
+    pub fn without_rule(&self, id: &str) -> Result<Policy> {
+        let idx = self
+            .rule_index(id)
+            .ok_or_else(|| Error::Invalid(format!("no rule `{id}` to remove")))?;
+        let mut edited = self.clone();
+        edited.rules.remove(idx);
+        Ok(edited)
+    }
+
+    /// A copy of the policy with the rule `id` replaced in place
+    /// (declaration order preserved). The replacement may rename the
+    /// rule; id uniqueness is re-checked.
+    pub fn with_rule_replaced(&self, id: &str, replacement: Rule) -> Result<Policy> {
+        let idx = self
+            .rule_index(id)
+            .ok_or_else(|| Error::Invalid(format!("no rule `{id}` to replace")))?;
+        let mut rules = self.rules.clone();
+        rules[idx] = replacement;
+        Policy::new(self.default_semantics, self.conflict_resolution, rules)
+    }
+
+    /// A copy of the policy with `rule` appended. Id uniqueness is
+    /// re-checked.
+    pub fn with_rule_appended(&self, rule: Rule) -> Result<Policy> {
+        let mut rules = self.rules.clone();
+        rules.push(rule);
+        Policy::new(self.default_semantics, self.conflict_resolution, rules)
+    }
+
+    /// A rule id of the form `{prefix}{n}` not used by any current rule.
+    pub fn fresh_rule_id(&self, prefix: &str) -> String {
+        let mut n = self.rules.len() + 1;
+        loop {
+            let candidate = format!("{prefix}{n}");
+            if self.rule(&candidate).is_none() {
+                return candidate;
+            }
+            n += 1;
+        }
+    }
+
     /// Parse the text format. Blank lines and `#` comments are ignored.
     pub fn parse(text: &str) -> Result<Policy> {
         let mut ds = None;
@@ -271,6 +319,33 @@ mod tests {
             "duplicate rule ids"
         );
         assert!(Policy::parse("default maybe\nconflict deny\n").is_err());
+    }
+
+    #[test]
+    fn edit_api_preserves_order_and_checks_ids() {
+        let p = hospital_policy();
+        let without = p.without_rule("R3").unwrap();
+        assert_eq!(without.len(), 7);
+        assert!(without.rule("R3").is_none());
+        assert_eq!(without.rules[2].id, "R4", "later rules keep their slot order");
+        assert!(p.without_rule("R99").is_err());
+
+        let flipped = Rule::parse("R3", "//patient[treatment]", Effect::Allow).unwrap();
+        let replaced = p.with_rule_replaced("R3", flipped).unwrap();
+        assert_eq!(replaced.rule_index("R3"), Some(2), "replacement stays in place");
+        assert_eq!(replaced.rule("R3").unwrap().effect, Effect::Allow);
+        let rename_clash = Rule::parse("R1", "//x", Effect::Deny).unwrap();
+        assert!(p.with_rule_replaced("R3", rename_clash).is_err(), "rename must not collide");
+
+        let extra = Rule::parse("R9", "//phone", Effect::Deny).unwrap();
+        let appended = p.with_rule_appended(extra).unwrap();
+        assert_eq!(appended.len(), 9);
+        assert_eq!(appended.rules.last().unwrap().id, "R9");
+        let dup = Rule::parse("R1", "//phone", Effect::Deny).unwrap();
+        assert!(p.with_rule_appended(dup).is_err());
+
+        assert_eq!(p.fresh_rule_id("R"), "R9");
+        assert_eq!(appended.fresh_rule_id("R"), "R10");
     }
 
     #[test]

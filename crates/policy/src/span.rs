@@ -1,0 +1,159 @@
+//! Source spans for policy text: where each rule — and each qualifier
+//! inside its resource expression — sits in the `.pol` file.
+//!
+//! The [`crate::Policy`] AST deliberately carries no positions (it is
+//! `Eq` and round-trips through `to_text`), so diagnostics and repair
+//! diffs that want to point into the *original* source re-scan it here.
+//! The scan is purely lexical and mirrors the line discipline of
+//! [`crate::Policy::parse`]: one rule per line, `#` comments and blanks
+//! skipped, the rule id as first token. Qualifiers are the depth-1
+//! `[...]` groups of the resource text; nested brackets stay part of
+//! their enclosing group. All lines and columns are 1-based.
+
+/// The span of one qualifier (`[...]` group) inside a rule's resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QualifierSpan {
+    /// 1-based column of the opening `[`.
+    pub col_start: usize,
+    /// 1-based column of the closing `]`.
+    pub col_end: usize,
+    /// The qualifier body, brackets excluded.
+    pub text: String,
+}
+
+/// The source location of one rule line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleSpan {
+    /// The rule id (first token of the line).
+    pub id: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column where the resource expression starts.
+    pub resource_col: usize,
+    /// Depth-1 qualifier groups of the resource, left to right.
+    pub qualifiers: Vec<QualifierSpan>,
+}
+
+impl RuleSpan {
+    /// The first qualifier span, if the resource has one.
+    pub fn first_qualifier(&self) -> Option<&QualifierSpan> {
+        self.qualifiers.first()
+    }
+}
+
+/// Scan policy source for the span of every rule line. Lines that do
+/// not look like rules (headers, comments, blanks, malformed lines) are
+/// skipped — the scan never fails, it only reports what it can anchor.
+pub fn rule_spans(source: &str) -> Vec<RuleSpan> {
+    let mut out = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, char::is_whitespace);
+        let head = parts.next().unwrap_or_default();
+        if head == "default" || head == "conflict" {
+            continue;
+        }
+        // Skip the effect token; what remains is the resource.
+        if parts.next().is_none() {
+            continue;
+        }
+        let Some(resource) = parts.next().map(str::trim_start) else {
+            continue;
+        };
+        if resource.is_empty() {
+            continue;
+        }
+        let resource_offset = match raw.find(resource) {
+            Some(o) => o,
+            None => continue,
+        };
+        out.push(RuleSpan {
+            id: head.to_string(),
+            line: idx + 1,
+            resource_col: resource_offset + 1,
+            qualifiers: qualifier_spans(resource, resource_offset),
+        });
+    }
+    out
+}
+
+/// Depth-1 bracket groups of `resource`, with columns shifted by the
+/// resource's offset into its raw line.
+fn qualifier_spans(resource: &str, offset: usize) -> Vec<QualifierSpan> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut in_string = false;
+    for (i, ch) in resource.char_indices() {
+        match ch {
+            '"' => in_string = !in_string,
+            '[' if !in_string => {
+                if depth == 0 {
+                    start = i;
+                }
+                depth += 1;
+            }
+            ']' if !in_string => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    out.push(QualifierSpan {
+                        col_start: offset + start + 1,
+                        col_end: offset + i + 1,
+                        text: resource[start + 1..i].to_string(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_cover_rules_and_qualifiers() {
+        let src = "# header\ndefault deny\nconflict deny-overrides\n\
+                   R1 allow //patient\n\
+                   R3 deny  //patient[treatment]\n\
+                   R8 allow //regular[bill > 1000][med = \"x\"]\n";
+        let spans = rule_spans(src);
+        assert_eq!(spans.len(), 3);
+        assert_eq!((spans[0].id.as_str(), spans[0].line), ("R1", 4));
+        assert!(spans[0].qualifiers.is_empty());
+
+        let r3 = &spans[1];
+        assert_eq!((r3.id.as_str(), r3.line), ("R3", 5));
+        assert_eq!(r3.resource_col, 10, "two spaces after `deny`");
+        let q = r3.first_qualifier().unwrap();
+        assert_eq!(q.text, "treatment");
+        assert_eq!(&src.lines().nth(4).unwrap()[q.col_start - 1..q.col_end], "[treatment]");
+
+        let r8 = &spans[2];
+        assert_eq!(r8.qualifiers.len(), 2);
+        assert_eq!(r8.qualifiers[0].text, "bill > 1000");
+        assert_eq!(r8.qualifiers[1].text, "med = \"x\"");
+    }
+
+    #[test]
+    fn nested_and_quoted_brackets_stay_inside_their_group() {
+        let spans = rule_spans("default deny\nconflict deny\nR1 allow //a[b[c]]/d[e = \"[x]\"]\n");
+        let r1 = &spans[0];
+        assert_eq!(r1.qualifiers.len(), 2);
+        assert_eq!(r1.qualifiers[0].text, "b[c]");
+        assert_eq!(r1.qualifiers[1].text, "e = \"[x]\"");
+    }
+
+    #[test]
+    fn non_rule_lines_are_skipped() {
+        let spans = rule_spans("default deny\nconflict deny\n# note\n\nbroken\nR1 allow //a\n");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].id, "R1");
+        assert_eq!(spans[0].line, 6);
+    }
+}

@@ -442,6 +442,39 @@ impl ServeEngine {
             Request::Tail { n } => Response::Tail {
                 records: xac_obs::flight_recorder().tail(*n as usize),
             },
+            Request::Analyze { deny_warnings, fix } => {
+                self.analyze_response(*deny_warnings, *fix)
+            }
+        }
+    }
+
+    /// Lint the engine's live policy (and, with `fix`, synthesize
+    /// verified repairs). Purely advisory: the served policy is never
+    /// mutated — accepted repairs come back as a unified diff over the
+    /// policy's canonical text form.
+    fn analyze_response(&self, deny_warnings: bool, fix: bool) -> Response {
+        let policy = self.system.original_policy().clone();
+        let schema = self.system.schema();
+        let source = policy.to_text();
+        let mut engine = xac_analyze::IncrementalAnalyzer::new(policy, Some(schema))
+            .named("<live policy>", Some("<live schema>".into()));
+        if !fix {
+            let report = engine.analyze();
+            return Response::Analysis {
+                exit_code: report.exit_code(deny_warnings),
+                report_json: report.to_json(),
+                repairs: 0,
+                diff: None,
+            };
+        }
+        let cfg = xac_analyze::RepairConfig { deny_warnings, fix_infos: false };
+        let outcome =
+            xac_analyze::synthesize(&mut engine, &source, "<live policy>", None, &cfg);
+        Response::Analysis {
+            exit_code: outcome.report.exit_code(deny_warnings),
+            report_json: outcome.report.to_json(),
+            repairs: outcome.repairs.len() as u32,
+            diff: if outcome.diff.is_empty() { None } else { Some(outcome.diff) },
         }
     }
 

@@ -70,7 +70,10 @@ impl Role {
         match req {
             Request::Query { .. } | Request::Status => true,
             Request::Delete { .. } | Request::Insert { .. } => self >= Role::Writer,
-            Request::Metrics | Request::Scrape | Request::Tail { .. } => self >= Role::Admin,
+            Request::Metrics
+            | Request::Scrape
+            | Request::Tail { .. }
+            | Request::Analyze { .. } => self >= Role::Admin,
         }
     }
 }
@@ -130,6 +133,16 @@ pub enum Request {
         /// How many records to return (capped by the ring's capacity).
         n: u32,
     },
+    /// Static analysis of the engine's live policy (admin only): the
+    /// XA001–XA005 lint passes, optionally followed by verified repair
+    /// synthesis. The engine's own policy is never mutated — repairs
+    /// are advisory, returned as a unified diff.
+    Analyze {
+        /// Treat warnings as gating when computing the exit code.
+        deny_warnings: bool,
+        /// Also run the repair synthesizer.
+        fix: bool,
+    },
 }
 
 impl Request {
@@ -167,6 +180,7 @@ impl Request {
             Request::Metrics => "metrics",
             Request::Scrape => "scrape",
             Request::Tail { .. } => "tail",
+            Request::Analyze { .. } => "analyze",
         }
     }
 }
@@ -309,6 +323,18 @@ pub enum Response {
         /// The records.
         records: Vec<xac_obs::FlightRecord>,
     },
+    /// Answer to a [`Request::Analyze`].
+    Analysis {
+        /// The `analyze` exit-code contract for the live policy (0
+        /// clean, 5 errors, 6 warnings under `deny_warnings`).
+        exit_code: u8,
+        /// The diagnostic report, JSON-rendered.
+        report_json: String,
+        /// Verified repairs the synthesizer accepted (0 without `fix`).
+        repairs: u32,
+        /// Unified diff of the advisory repairs, when `fix` found any.
+        diff: Option<String>,
+    },
     /// The request failed; `kind` is the closed classification.
     Error {
         /// What went wrong.
@@ -379,8 +405,13 @@ mod tests {
         assert!(!Role::Reader.allows(&metrics));
         assert!(!Role::Writer.allows(&metrics));
         assert!(Role::Admin.allows(&metrics));
-        // The telemetry plane is admin-gated like `Metrics`.
-        for req in [Request::Scrape, Request::tail(8)] {
+        // The telemetry plane and the policy linter are admin-gated
+        // like `Metrics`.
+        for req in [
+            Request::Scrape,
+            Request::tail(8),
+            Request::Analyze { deny_warnings: true, fix: true },
+        ] {
             assert!(!Role::Reader.allows(&req), "{}", req.verb());
             assert!(!Role::Writer.allows(&req), "{}", req.verb());
             assert!(Role::Admin.allows(&req), "{}", req.verb());

@@ -87,6 +87,57 @@ impl CmpOp {
         }
     }
 
+    /// Can *no single value* satisfy both `self` with bound `own` and
+    /// `other` with bound `other_bound`? Sound under the same numeric
+    /// convention as [`CmpOp::implies`] (numeric bounds compare over the
+    /// numeric domain); returns `false` whenever unsatisfiability cannot
+    /// be proved. Used by the schema-aware disjointness test, which only
+    /// applies it to single-occurrence qualifier paths — with repeated
+    /// children, exists-semantics could satisfy both constraints via
+    /// *different* nodes even when no one value satisfies both.
+    /// The complementary operator: satisfied by exactly the values this
+    /// one rejects (`>` ↔ `<=`, `=` ↔ `!=`). For any shared bound `d`,
+    /// `self` and `self.complement()` contradict each other, which is
+    /// what the repair synthesizer exploits to carve one rule's scope
+    /// out of another's.
+    pub fn complement(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Le => CmpOp::Gt,
+        }
+    }
+
+    pub fn contradicts(self, own: &str, other: CmpOp, other_bound: &str) -> bool {
+        use CmpOp::*;
+        match (self, other) {
+            (Eq, _) => !other.compare(own, other_bound),
+            (_, Eq) => !self.compare(other_bound, own),
+            (Ne, _) | (_, Ne) => false,
+            _ => {
+                let (a, b) = match (
+                    own.trim().parse::<f64>(),
+                    other_bound.trim().parse::<f64>(),
+                ) {
+                    (Ok(a), Ok(b)) => (a, b),
+                    _ => return false,
+                };
+                // Opposite-direction numeric bounds: the interval they
+                // would jointly admit is empty.
+                match (self, other) {
+                    (Gt, Lt) | (Gt, Le) | (Ge, Lt) => b <= a,
+                    (Ge, Le) => b < a,
+                    (Lt, Gt) | (Le, Gt) | (Lt, Ge) => a <= b,
+                    (Le, Ge) => a < b,
+                    _ => false, // same-direction bounds always overlap
+                }
+            }
+        }
+    }
+
     /// Does satisfying `self` with bound `own` imply satisfying `other`
     /// with bound `other_bound`? Sound (never claims implication that does
     /// not hold); used by the containment test. Numeric bounds only; for
@@ -360,6 +411,30 @@ mod tests {
         assert!(!Eq.implies("x", Eq, "y"));
         assert!(Gt.implies("10", Ne, "10"));
         assert!(!Gt.implies("10", Ne, "11"));
+    }
+
+    #[test]
+    fn cmp_contradiction() {
+        use CmpOp::*;
+        // Opposite-direction numeric bounds with an empty joint interval.
+        assert!(Gt.contradicts("1000", Le, "1000"));
+        assert!(Le.contradicts("1000", Gt, "1000"));
+        assert!(Gt.contradicts("1000", Lt, "500"));
+        assert!(Ge.contradicts("1000", Le, "999"));
+        assert!(!Ge.contradicts("1000", Le, "1000"), "1000 satisfies both");
+        assert!(!Gt.contradicts("500", Le, "1000"), "interval (500,1000]");
+        // Same-direction bounds never contradict.
+        assert!(!Gt.contradicts("500", Gt, "1000"));
+        assert!(!Le.contradicts("5", Lt, "3"));
+        // Equality against anything it fails.
+        assert!(Eq.contradicts("7", Gt, "10"));
+        assert!(Eq.contradicts("a", Eq, "b"));
+        assert!(!Eq.contradicts("7", Ne, "10"));
+        assert!(Ne.contradicts("x", Eq, "x"));
+        // Ne against inequalities proves nothing.
+        assert!(!Ne.contradicts("10", Gt, "10"));
+        // Non-numeric bounds on ordered ops prove nothing.
+        assert!(!Gt.contradicts("abc", Lt, "abb"));
     }
 
     #[test]

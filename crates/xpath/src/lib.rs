@@ -63,7 +63,7 @@ pub use expand::expand;
 pub use oracle::{ContainmentOracle, OracleStats};
 pub use parser::parse;
 pub use pattern::TreePattern;
-pub use specialize::{contained_in_with_schema, schema_variants};
+pub use specialize::{contained_in_with_schema, disjoint_with_schema, schema_variants};
 
 impl Path {
     /// `self ⊑ other`: every tree maps `self`'s result set inside `other`'s.

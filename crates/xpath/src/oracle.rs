@@ -20,7 +20,8 @@
 use crate::ast::Path;
 use crate::containment::pattern_contained_in;
 use crate::pattern::TreePattern;
-use crate::specialize::contained_in_with_schema;
+use crate::containment::disjoint as blind_disjoint;
+use crate::specialize::{contained_in_with_schema, disjoint_with_schema};
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -63,6 +64,8 @@ struct State {
     plain: HashMap<(PathId, PathId), bool>,
     /// Memoized schema-aware answers per ordered pair.
     schema_aware: HashMap<(PathId, PathId), bool>,
+    /// Memoized schema-aware disjointness answers per ordered pair.
+    disjoint: HashMap<(PathId, PathId), bool>,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -84,12 +87,13 @@ impl State {
     /// answers recompute identically, only slower). Interned patterns
     /// are kept: they are bounded by distinct paths, not query pairs.
     fn evict_if_full(&mut self, capacity: usize) {
-        if self.plain.len() + self.schema_aware.len() >= capacity.max(1) {
-            let cleared = (self.plain.len() + self.schema_aware.len()) as u64;
+        let filled = self.plain.len() + self.schema_aware.len() + self.disjoint.len();
+        if filled >= capacity.max(1) {
             self.plain.clear();
             self.schema_aware.clear();
-            self.evictions += cleared;
-            global_evictions().fetch_add(cleared, Ordering::Relaxed);
+            self.disjoint.clear();
+            self.evictions += filled as u64;
+            global_evictions().fetch_add(filled as u64, Ordering::Relaxed);
         }
     }
 }
@@ -262,6 +266,29 @@ impl ContainmentOracle {
     /// Memoized equivalence: containment in both directions.
     pub fn equivalent(&self, p: &Path, q: &Path) -> bool {
         self.contained_in(p, q) && self.contained_in(q, p)
+    }
+
+    /// Memoized schema-aware disjointness
+    /// ([`crate::disjoint_with_schema`]); degrades to the schema-blind
+    /// [`crate::disjoint`] when no schema was given. Disjointness is
+    /// symmetric, so the pair is memoized under a canonical ordering.
+    pub fn disjoint_schema_aware(&self, p: &Path, q: &Path) -> bool {
+        let mut s = self.lock_state();
+        let pi = Self::intern(&mut s, p);
+        let qi = Self::intern(&mut s, q);
+        let key = if pi <= qi { (pi, qi) } else { (qi, pi) };
+        if let Some(&v) = s.disjoint.get(&key) {
+            s.record_hit();
+            return v;
+        }
+        s.record_miss();
+        let v = match &self.schema {
+            Some(schema) => disjoint_with_schema(p, q, schema),
+            None => blind_disjoint(p, q),
+        };
+        s.evict_if_full(self.memo_capacity);
+        s.disjoint.insert(key, v);
+        v
     }
 
     /// Current cache counters.
@@ -491,6 +518,32 @@ mod tests {
             snapshot.contains("test_oracle_publish_hits"),
             "published gauges appear in the registry snapshot"
         );
+    }
+
+    #[test]
+    fn disjointness_through_the_oracle() {
+        use xac_xml::{Occurs::*, Particle, Schema};
+        let schema = Schema::builder("r")
+            .sequence("r", vec![Particle::new("a", One), Particle::new("x", Star)])
+            .text(&["a", "x"])
+            .build()
+            .unwrap();
+        let oracle = ContainmentOracle::with_schema(schema.clone());
+        let lo = parse("//r[a <= 10]").unwrap();
+        let hi = parse("//r[a > 10]").unwrap();
+        assert_eq!(
+            oracle.disjoint_schema_aware(&lo, &hi),
+            crate::disjoint_with_schema(&lo, &hi, &schema)
+        );
+        assert!(oracle.disjoint_schema_aware(&lo, &hi));
+        // Symmetric memoization: the flipped query is a hit.
+        let before = oracle.stats().hits;
+        assert!(oracle.disjoint_schema_aware(&hi, &lo));
+        assert_eq!(oracle.stats().hits, before + 1);
+        // A schema-less oracle degrades to the blind test.
+        let blind = ContainmentOracle::new();
+        assert!(!blind.disjoint_schema_aware(&lo, &hi));
+        assert!(blind.disjoint_schema_aware(&parse("//a").unwrap(), &parse("//b").unwrap()));
     }
 
     #[test]

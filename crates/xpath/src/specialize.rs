@@ -26,9 +26,9 @@
 //! assert!(contained_in_with_schema(&p, &q, &schema));
 //! ```
 
-use crate::ast::{Axis, NodeTest, Path, Qualifier, Step};
-use crate::containment::contained_in;
-use xac_xml::Schema;
+use crate::ast::{Axis, CmpOp, NodeTest, Path, Qualifier, Step};
+use crate::containment::{contained_in, disjoint};
+use xac_xml::{ContentModel, Schema};
 
 /// Rewrite an absolute path into its child-axis-only schema variants.
 ///
@@ -252,6 +252,112 @@ pub fn contained_in_with_schema(p: &Path, q: &Path, schema: &Schema) -> bool {
         .all(|v| q_variants.iter().any(|qv| contained_in(v, qv)))
 }
 
+/// Schema-aware disjointness: `[[p]] ∩ [[q]] = ∅` on every document
+/// valid under `schema`. Sound strengthening of [`disjoint`] (which is
+/// schema-blind and thus holds on *all* trees): on top of the blind
+/// test it proves emptiness when either path matches no valid document,
+/// when the variants' end labels never coincide, and when two variants
+/// sharing an end type carry contradicting value constraints
+/// ([`CmpOp::contradicts`]) on the same single-occurrence child — the
+/// occurrence bound is what licenses the step from "no one value
+/// satisfies both" to "no one *element* satisfies both" under
+/// exists-semantics. Returns `false` whenever disjointness cannot be
+/// proved.
+pub fn disjoint_with_schema(p: &Path, q: &Path, schema: &Schema) -> bool {
+    if disjoint(p, q) {
+        return true;
+    }
+    let p_variants = schema_variants(p, schema);
+    if p_variants.is_empty() {
+        return true; // p matches nothing on valid documents
+    }
+    let q_variants = schema_variants(q, schema);
+    if q_variants.is_empty() {
+        return true;
+    }
+    p_variants
+        .iter()
+        .all(|a| q_variants.iter().all(|b| variant_pair_disjoint(a, b, schema)))
+}
+
+/// Disjointness of two schema variants (child-axis-normalized paths).
+fn variant_pair_disjoint(a: &Path, b: &Path, schema: &Schema) -> bool {
+    if disjoint(a, b) {
+        return true;
+    }
+    let (ea, eb) = match (named_end(a), named_end(b)) {
+        (Some(x), Some(y)) => (x, y),
+        _ => return false, // wildcard end: label analysis proves nothing
+    };
+    if ea != eb {
+        return true;
+    }
+    // Same end type: hunt for a pair of value constraints on the same
+    // single-occurrence child that no single value can satisfy.
+    let content = match schema.element_type(ea) {
+        Some(t) => &t.content,
+        None => return false,
+    };
+    let ca = value_constraints(a);
+    let cb = value_constraints(b);
+    ca.iter().any(|(pa, opa, da)| {
+        cb.iter().any(|(pb, opb, db)| {
+            pa == pb
+                && single_occurrence_child(pa, content)
+                && opa.contradicts(da, *opb, db)
+        })
+    })
+}
+
+/// The end label of a path, when its last step names one.
+fn named_end(p: &Path) -> Option<&str> {
+    match &p.last_step()?.test {
+        NodeTest::Name(n) => Some(n),
+        NodeTest::Wildcard => None,
+    }
+}
+
+/// Every `Cmp` qualifier on the output step, with `And` flattened.
+fn value_constraints(p: &Path) -> Vec<(&Path, CmpOp, &str)> {
+    fn collect<'a>(q: &'a Qualifier, out: &mut Vec<(&'a Path, CmpOp, &'a str)>) {
+        match q {
+            Qualifier::Cmp(rel, op, d) => out.push((rel, *op, d)),
+            Qualifier::And(qs) => qs.iter().for_each(|q| collect(q, out)),
+            Qualifier::Exists(_) => {}
+        }
+    }
+    let mut out = Vec::new();
+    if let Some(last) = p.last_step() {
+        last.predicates.iter().for_each(|q| collect(q, &mut out));
+    }
+    out
+}
+
+/// Is `rel` a bare single child step naming an element the content model
+/// admits at most once? Only then can contradicting value constraints
+/// prove element-level disjointness under exists-semantics.
+fn single_occurrence_child(rel: &Path, content: &ContentModel) -> bool {
+    let [step] = rel.steps.as_slice() else {
+        return false;
+    };
+    if rel.absolute || step.axis != Axis::Child || !step.predicates.is_empty() {
+        return false;
+    }
+    let NodeTest::Name(name) = &step.test else {
+        return false;
+    };
+    let particles = match content {
+        ContentModel::Sequence(ps) | ContentModel::Choice(ps) => ps,
+        ContentModel::Text | ContentModel::Empty => return false,
+    };
+    particles
+        .iter()
+        .filter(|p| p.name == *name)
+        .map(|p| p.occurs.max())
+        .try_fold(0usize, |acc, max| max.map(|m| acc + m))
+        .is_some_and(|total| total == 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -424,6 +530,69 @@ mod tests {
             &parse("//med/patient").unwrap(),
             &parse("//test").unwrap(),
             &s
+        ));
+    }
+
+    #[test]
+    fn schema_disjointness_beats_blind_disjointness() {
+        let s = hospital_schema();
+        // Dead path: matches nothing valid, disjoint from everything.
+        let p = parse("//nurse/med").unwrap();
+        let q = parse("//med").unwrap();
+        assert!(!disjoint(&p, &q), "blind test cannot separate these");
+        assert!(disjoint_with_schema(&p, &q, &s));
+        // Unsatisfiable qualifier, same end label as the peer.
+        assert!(disjoint_with_schema(
+            &parse("//patient[phone]").unwrap(),
+            &parse("//patient").unwrap(),
+            &s
+        ));
+        // Contradicting bounds on the single-occurrence `bill` child.
+        let lo = parse("//regular[bill > 500][bill <= 1000]").unwrap();
+        let hi = parse("//regular[bill > 1000]").unwrap();
+        assert!(!disjoint(&lo, &hi));
+        assert!(disjoint_with_schema(&lo, &hi, &s));
+        assert!(disjoint_with_schema(&hi, &lo, &s));
+    }
+
+    #[test]
+    fn schema_disjointness_still_sound() {
+        let s = hospital_schema();
+        // Overlapping bounds: 700 satisfies both.
+        assert!(!disjoint_with_schema(
+            &parse("//regular[bill > 500]").unwrap(),
+            &parse("//regular[bill <= 1000]").unwrap(),
+            &s
+        ));
+        // Same end type, no constraints: plainly overlapping.
+        assert!(!disjoint_with_schema(
+            &parse("//patient").unwrap(),
+            &parse("//patients/patient").unwrap(),
+            &s
+        ));
+        // Constraints on a *repeated* child must not be combined: under
+        // exists-semantics two different `a` children can satisfy the
+        // two bounds even though no single value does.
+        let multi = Schema::builder("r")
+            .sequence("r", vec![Particle::new("a", Star)])
+            .text(&["a"])
+            .build()
+            .unwrap();
+        assert!(!disjoint_with_schema(
+            &parse("//r[a > 10]").unwrap(),
+            &parse("//r[a <= 10]").unwrap(),
+            &multi
+        ));
+        // Single-occurrence child: the same bounds do contradict.
+        let single = Schema::builder("r")
+            .sequence("r", vec![Particle::new("a", One)])
+            .text(&["a"])
+            .build()
+            .unwrap();
+        assert!(disjoint_with_schema(
+            &parse("//r[a > 10]").unwrap(),
+            &parse("//r[a <= 10]").unwrap(),
+            &single
         ));
     }
 

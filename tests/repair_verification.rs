@@ -1,0 +1,290 @@
+//! Property suite for the incremental analysis engine and the repair
+//! synthesizer, over SplitMix64-seeded random policies against the
+//! hospital (§1.1) and XMark-like (§7) schemas.
+//!
+//! Two properties, each checked on every mutation step:
+//!
+//! 1. **Incremental fidelity** — the cache-backed
+//!    [`IncrementalAnalyzer`] renders byte-identical reports (text and
+//!    JSON) to a from-scratch [`Analyzer`] run, for every policy in a
+//!    random mutation walk.
+//! 2. **Repair soundness** — every synthesis run over a mutant ends
+//!    with a gating-clean policy (dead and shadowed rules are always
+//!    repairable), and the repaired policy annotates **byte-identically
+//!    to the original on all three backends** for every node whose
+//!    element type no accepted repair could have touched.
+
+use std::collections::{BTreeMap, BTreeSet};
+use xac_analyze::{synthesize, Analyzer, IncrementalAnalyzer, RepairConfig};
+use xac_core::{Backend, NativeXmlBackend, RelationalBackend, System};
+use xac_policy::Policy;
+use xac_xml::{Document, Schema};
+use xac_xmlgen::{
+    figure2_document, hospital_schema, xmark_document, xmark_schema, SplitMix64, XmarkConfig,
+};
+use xac_xpath::{schema_variants, NodeTest, Path};
+
+fn backends() -> Vec<Box<dyn Backend>> {
+    vec![
+        Box::new(NativeXmlBackend::new()),
+        Box::new(RelationalBackend::row()),
+        Box::new(RelationalBackend::column()),
+    ]
+}
+
+/// A random but always-parseable policy source over `schema`'s types.
+struct PolicyGen {
+    types: Vec<String>,
+    /// `(parent, child)` pairs of the element graph, for `//p/c` rules
+    /// and `[c]` qualifiers.
+    edges: Vec<(String, String)>,
+    next_id: usize,
+}
+
+impl PolicyGen {
+    fn new(schema: &Schema) -> PolicyGen {
+        let types: Vec<String> =
+            schema.reachable_types().into_iter().map(str::to_string).collect();
+        let mut edges = Vec::new();
+        for t in &types {
+            for c in schema.child_types(t) {
+                edges.push((t.clone(), c.to_string()));
+            }
+        }
+        PolicyGen { types, edges, next_id: 1 }
+    }
+
+    fn rule_line(&mut self, rng: &mut SplitMix64) -> String {
+        let id = format!("R{}", self.next_id);
+        self.next_id += 1;
+        let effect = if rng.gen_bool(0.5) { "allow" } else { "deny" };
+        let resource = match rng.gen_range(0..3u32) {
+            0 => {
+                let t = &self.types[rng.gen_range(0..self.types.len())];
+                format!("//{t}")
+            }
+            1 if !self.edges.is_empty() => {
+                let (p, c) = &self.edges[rng.gen_range(0..self.edges.len())];
+                format!("//{p}/{c}")
+            }
+            _ if !self.edges.is_empty() => {
+                let (p, c) = &self.edges[rng.gen_range(0..self.edges.len())];
+                format!("//{p}[{c}]")
+            }
+            _ => {
+                let t = &self.types[rng.gen_range(0..self.types.len())];
+                format!("//{t}")
+            }
+        };
+        format!("{id} {effect} {resource}")
+    }
+
+    fn source(&self, conflict: &str, rules: &[String]) -> String {
+        let mut out = format!("default deny\nconflict {conflict}\n");
+        for r in rules {
+            out.push_str(r);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One random mutation of the rule list (always leaves a parseable
+/// policy with at least one rule).
+fn mutate(gen: &mut PolicyGen, rng: &mut SplitMix64, rules: &mut Vec<String>) {
+    match rng.gen_range(0..4u32) {
+        0 if rules.len() > 1 => {
+            let i = rng.gen_range(0..rules.len());
+            rules.remove(i);
+        }
+        1 => {
+            // Flip one rule's effect in place.
+            let i = rng.gen_range(0..rules.len());
+            let flipped = if rules[i].contains(" allow ") {
+                rules[i].replacen(" allow ", " deny ", 1)
+            } else {
+                rules[i].replacen(" deny ", " allow ", 1)
+            };
+            rules[i] = flipped;
+        }
+        _ => {
+            let line = gen.rule_line(rng);
+            rules.push(line);
+        }
+    }
+}
+
+/// The end label of a specialized path; `None` for wildcard ends.
+fn end_label(p: &Path) -> Option<String> {
+    match &p.steps.last()?.test {
+        NodeTest::Name(n) => Some(n.clone()),
+        NodeTest::Wildcard => None,
+    }
+}
+
+/// Element types a rule can sign under `schema`; `None` when unbounded.
+fn rule_labels(resource: &Path, schema: &Schema) -> Option<BTreeSet<String>> {
+    schema_variants(resource, schema).iter().map(end_label).collect()
+}
+
+fn sign_map(schema: &Schema, doc: &Document, policy: &Policy) -> Vec<BTreeMap<i64, char>> {
+    let system = System::builder(schema.clone(), policy.clone(), doc.clone())
+        .build()
+        .expect("system builds");
+    backends()
+        .into_iter()
+        .map(|mut b| {
+            system.load(b.as_mut()).expect("load");
+            system.annotate(b.as_mut()).expect("annotate");
+            b.sign_state().expect("sign state")
+        })
+        .collect()
+}
+
+/// Property 1: the incremental engine is indistinguishable from the
+/// from-scratch analyzer across a random mutation walk.
+fn incremental_matches_full(schema: &Schema, seed: u64, steps: usize) {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut gen = PolicyGen::new(schema);
+    let mut rules: Vec<String> = (0..6).map(|_| gen.rule_line(&mut rng)).collect();
+    let conflict = "deny-overrides";
+    let src = gen.source(conflict, &rules);
+    let policy = Policy::parse(&src).expect("seed policy parses");
+    let mut engine =
+        IncrementalAnalyzer::new(policy, Some(schema)).named("p.pol", None);
+    for step in 0..steps {
+        mutate(&mut gen, &mut rng, &mut rules);
+        let src = gen.source(conflict, &rules);
+        let policy = Policy::parse(&src).expect("mutant parses");
+        engine.set_policy(policy.clone());
+        let fast = engine.analyze();
+        let full = Analyzer::new(&policy)
+            .with_schema(schema)
+            .named("p.pol", None)
+            .run();
+        assert_eq!(
+            fast.to_json(),
+            full.to_json(),
+            "incremental and full reports diverge at seed {seed} step {step}\n{src}"
+        );
+        assert_eq!(fast.to_text(), full.to_text(), "seed {seed} step {step}");
+    }
+}
+
+/// Property 2: synthesis over a mutant clears every gating finding and
+/// leaves sign state untouched outside the repaired element types.
+fn repairs_verify(schema: &Schema, doc: &Document, seed: u64) {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut gen = PolicyGen::new(schema);
+    let mut rules: Vec<String> = (0..5).map(|_| gen.rule_line(&mut rng)).collect();
+    for _ in 0..4 {
+        mutate(&mut gen, &mut rng, &mut rules);
+    }
+    let src = gen.source("deny-overrides", &rules);
+    let original = Policy::parse(&src).expect("mutant parses");
+    let mut engine =
+        IncrementalAnalyzer::new(original.clone(), Some(schema)).named("p.pol", None);
+    let cfg = RepairConfig { deny_warnings: true, fix_infos: false };
+    let outcome = synthesize(&mut engine, &src, "p.pol", Some(doc), &cfg);
+
+    // Dead and shadowed rules are always repairable (delete is a
+    // verified fallback), so the walk must end gating-clean.
+    assert_eq!(
+        outcome.report.exit_code(true),
+        0,
+        "seed {seed} left gating findings:\n{}\npolicy:\n{src}",
+        outcome.report.to_text()
+    );
+    if outcome.repairs.is_empty() {
+        assert!(outcome.diff.is_empty(), "no repairs but a diff at seed {seed}");
+        return;
+    }
+
+    // Collect the element types any accepted repair could touch: the
+    // labels of every rule named by a repair (in the original and the
+    // repaired policy) plus every appended rule. A wildcard-ended rule
+    // makes the footprint unbounded — nothing is provably untouched.
+    let mut affected: BTreeSet<String> = BTreeSet::new();
+    let mut bounded = true;
+    let original_ids: BTreeSet<&str> =
+        original.rules.iter().map(|r| r.id.as_str()).collect();
+    for repair in &outcome.repairs {
+        let Some(id) = &repair.rule else { continue };
+        for policy in [&original, &outcome.policy] {
+            if let Some(rule) = policy.rule(id) {
+                match rule_labels(&rule.resource, schema) {
+                    Some(labels) => affected.extend(labels),
+                    None => bounded = false,
+                }
+            }
+        }
+    }
+    for rule in &outcome.policy.rules {
+        if !original_ids.contains(rule.id.as_str()) {
+            match rule_labels(&rule.resource, schema) {
+                Some(labels) => affected.extend(labels),
+                None => bounded = false,
+            }
+        }
+    }
+    if !bounded {
+        return;
+    }
+
+    let before = sign_map(schema, doc, &original);
+    let after = sign_map(schema, doc, &outcome.policy);
+    let names: BTreeMap<i64, String> = doc
+        .all_elements()
+        .map(|n| (n.index() as i64, doc.name(n).unwrap_or("").to_string()))
+        .collect();
+    for (b, (old, new)) in before.iter().zip(after.iter()).enumerate() {
+        let ids: BTreeSet<&i64> = old.keys().chain(new.keys()).collect();
+        for id in ids {
+            let name = names.get(id).map(String::as_str).unwrap_or("");
+            if affected.contains(name) {
+                continue;
+            }
+            assert_eq!(
+                old.get(id),
+                new.get(id),
+                "backend #{b} sign changed on unaffected `{name}` (node {id}) \
+                 at seed {seed}\nrepairs: {:?}\npolicy:\n{src}",
+                outcome.repairs
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_analysis_matches_full_reports_on_hospital_mutations() {
+    let schema = hospital_schema();
+    for seed in [1u64, 2, 3, 4] {
+        incremental_matches_full(&schema, seed, 8);
+    }
+}
+
+#[test]
+fn incremental_analysis_matches_full_reports_on_xmark_mutations() {
+    let schema = xmark_schema();
+    for seed in [11u64, 12] {
+        incremental_matches_full(&schema, seed, 5);
+    }
+}
+
+#[test]
+fn repairs_clear_findings_and_preserve_unaffected_signs_on_hospital() {
+    let schema = hospital_schema();
+    let doc = figure2_document();
+    for seed in [21u64, 22, 23, 24, 25] {
+        repairs_verify(&schema, &doc, seed);
+    }
+}
+
+#[test]
+fn repairs_clear_findings_and_preserve_unaffected_signs_on_xmark() {
+    let schema = xmark_schema();
+    let doc = xmark_document(XmarkConfig::with_factor(0.01));
+    for seed in [31u64, 32] {
+        repairs_verify(&schema, &doc, seed);
+    }
+}
